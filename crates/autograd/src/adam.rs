@@ -1,0 +1,129 @@
+//! Adam optimiser with global-norm gradient clipping.
+
+use crate::tensor::Tensor;
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Global gradient-norm clip (0 disables clipping).
+    pub grad_clip: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig { lr: 3e-4, beta1: 0.9, beta2: 0.999, eps: 1e-8, grad_clip: 1.0 }
+    }
+}
+
+/// The optimiser state (one first/second moment per parameter tensor).
+#[derive(Debug)]
+pub struct Adam {
+    cfg: AdamConfig,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an optimiser; moment buffers are allocated lazily to match
+    /// the first step's parameter shapes.
+    pub fn new(cfg: AdamConfig) -> Adam {
+        Adam { cfg, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update. `params` and `grads` must be index-aligned and
+    /// keep the same shapes across calls.
+    ///
+    /// Returns the (pre-clip) global gradient norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts or shapes drift between calls.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) -> f32 {
+        assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
+        if self.m.is_empty() {
+            self.m = grads.iter().map(|g| Tensor::zeros(g.rows(), g.cols())).collect();
+            self.v = grads.iter().map(|g| Tensor::zeros(g.rows(), g.cols())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "optimiser state count drift");
+
+        let mut sq = 0.0f32;
+        for g in grads {
+            sq += g.data().iter().map(|x| x * x).sum::<f32>();
+        }
+        let norm = sq.sqrt();
+        let clip_scale = if self.cfg.grad_clip > 0.0 && norm > self.cfg.grad_clip {
+            self.cfg.grad_clip / norm
+        } else {
+            1.0
+        };
+
+        self.t += 1;
+        let bc1 = 1.0 - self.cfg.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.cfg.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!((p.rows(), p.cols()), (g.rows(), g.cols()), "shape drift");
+            for i in 0..p.len() {
+                let gi = g.data()[i] * clip_scale;
+                m.data_mut()[i] = self.cfg.beta1 * m.data()[i] + (1.0 - self.cfg.beta1) * gi;
+                v.data_mut()[i] =
+                    self.cfg.beta2 * v.data()[i] + (1.0 - self.cfg.beta2) * gi * gi;
+                let mhat = m.data()[i] / bc1;
+                let vhat = v.data()[i] / bc2;
+                p.data_mut()[i] -= self.cfg.lr * mhat / (vhat.sqrt() + self.cfg.eps);
+            }
+        }
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimising f(x) = (x-3)^2 converges to 3.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut x = Tensor::from_rows(&[&[0.0f32]]);
+        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..Default::default() });
+        for _ in 0..300 {
+            let g = Tensor::from_rows(&[&[2.0 * (x.get(0, 0) - 3.0)]]);
+            adam.step(&mut [&mut x], &[g]);
+        }
+        assert!((x.get(0, 0) - 3.0).abs() < 1e-2, "x = {}", x.get(0, 0));
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut x = Tensor::from_rows(&[&[0.0f32]]);
+        let mut adam = Adam::new(AdamConfig { lr: 0.1, grad_clip: 1.0, ..Default::default() });
+        let norm = adam.step(&mut [&mut x], &[Tensor::from_rows(&[&[1000.0]])]);
+        assert_eq!(norm, 1000.0, "returned norm is pre-clip");
+        assert!(x.get(0, 0).abs() <= 0.11, "update was clipped");
+    }
+
+    #[test]
+    #[should_panic(expected = "param/grad count mismatch")]
+    fn rejects_mismatched_lengths() {
+        let mut x = Tensor::zeros(1, 1);
+        let mut adam = Adam::new(AdamConfig::default());
+        adam.step(&mut [&mut x], &[]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Finite-difference validation of every backward pass.
+//!
+//! For each op we build a tiny graph `loss = reduce(op(inputs))`, compute
+//! analytic gradients via the tape, then perturb every input element by
+//! ±eps and compare against the central difference.
+
+use chatfuzz_autograd::{Tape, Tensor, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPS: f32 = 1e-3;
+const TOL: f32 = 2e-2;
+
+/// Builds the graph, returning the loss node given parameter nodes.
+type Builder = dyn Fn(&mut Tape, &[Value]) -> Value;
+
+fn gradcheck(name: &str, inputs: &[Tensor], build: &Builder) {
+    // Analytic gradients.
+    let mut tape = Tape::new();
+    let vals: Vec<Value> = inputs.iter().map(|t| tape.param(t.clone())).collect();
+    let loss = build(&mut tape, &vals);
+    tape.backward(loss);
+    let analytic: Vec<Tensor> = vals
+        .iter()
+        .map(|v| tape.grad(*v).cloned().unwrap_or_else(|| {
+            let t = tape.value(*v);
+            Tensor::zeros(t.rows(), t.cols())
+        }))
+        .collect();
+
+    // Numeric gradients.
+    for (pi, input) in inputs.iter().enumerate() {
+        for i in 0..input.len() {
+            let eval = |delta: f32| -> f32 {
+                let mut tape = Tape::new();
+                let vals: Vec<Value> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(pj, t)| {
+                        let mut t = t.clone();
+                        if pj == pi {
+                            t.data_mut()[i] += delta;
+                        }
+                        tape.param(t)
+                    })
+                    .collect();
+                let loss = build(&mut tape, &vals);
+                tape.value(loss).get(0, 0)
+            };
+            let numeric = (eval(EPS) - eval(-EPS)) / (2.0 * EPS);
+            let got = analytic[pi].data()[i];
+            let denom = numeric.abs().max(got.abs()).max(1.0);
+            assert!(
+                (numeric - got).abs() / denom < TOL,
+                "{name}: input {pi} element {i}: analytic {got} vs numeric {numeric}"
+            );
+        }
+    }
+}
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+#[test]
+fn gradcheck_matmul() {
+    let mut r = rng();
+    let a = Tensor::randn(3, 4, 1.0, &mut r);
+    let b = Tensor::randn(4, 2, 1.0, &mut r);
+    gradcheck("matmul", &[a, b], &|t, v| {
+        let c = t.matmul(v[0], v[1]);
+        t.sum_all(c)
+    });
+}
+
+#[test]
+fn gradcheck_matmul_nt() {
+    let mut r = rng();
+    let a = Tensor::randn(3, 4, 1.0, &mut r);
+    let b = Tensor::randn(2, 4, 1.0, &mut r);
+    gradcheck("matmul_nt", &[a, b], &|t, v| {
+        let c = t.matmul_nt(v[0], v[1]);
+        t.sum_all(c)
+    });
+}
+
+#[test]
+fn gradcheck_add_sub_mul() {
+    let mut r = rng();
+    let a = Tensor::randn(2, 3, 1.0, &mut r);
+    let b = Tensor::randn(2, 3, 1.0, &mut r);
+    gradcheck("add", &[a.clone(), b.clone()], &|t, v| {
+        let c = t.add(v[0], v[1]);
+        t.sum_all(c)
+    });
+    gradcheck("sub", &[a.clone(), b.clone()], &|t, v| {
+        let c = t.sub(v[0], v[1]);
+        let d = t.mul(c, c);
+        t.sum_all(d)
+    });
+    gradcheck("mul", &[a, b], &|t, v| {
+        let c = t.mul(v[0], v[1]);
+        t.sum_all(c)
+    });
+}
+
+#[test]
+fn gradcheck_add_row() {
+    let mut r = rng();
+    let a = Tensor::randn(3, 4, 1.0, &mut r);
+    let bias = Tensor::randn(1, 4, 1.0, &mut r);
+    gradcheck("add_row", &[a, bias], &|t, v| {
+        let c = t.add_row(v[0], v[1]);
+        let d = t.mul(c, c);
+        t.sum_all(d)
+    });
+}
+
+#[test]
+fn gradcheck_activations() {
+    let mut r = rng();
+    let a = Tensor::randn(2, 4, 1.0, &mut r);
+    gradcheck("gelu", &[a.clone()], &|t, v| {
+        let c = t.gelu(v[0]);
+        t.sum_all(c)
+    });
+    gradcheck("tanh", &[a.clone()], &|t, v| {
+        let c = t.tanh(v[0]);
+        t.sum_all(c)
+    });
+    gradcheck("exp", &[a.clone()], &|t, v| {
+        let c = t.exp(v[0]);
+        t.sum_all(c)
+    });
+    gradcheck("scale", &[a], &|t, v| {
+        let c = t.scale(v[0], -1.7);
+        t.sum_all(c)
+    });
+}
+
+#[test]
+fn gradcheck_clamp_and_min() {
+    // Keep values away from the clamp/min kinks where the derivative is
+    // discontinuous and finite differences are unreliable.
+    let a = Tensor::from_rows(&[&[-2.0, -0.5, 0.4, 1.9]]);
+    let b = Tensor::from_rows(&[&[0.6, -1.5, 1.4, 0.2]]);
+    gradcheck("clamp", &[a.clone()], &|t, v| {
+        let c = t.clamp(v[0], -1.0, 1.0);
+        t.sum_all(c)
+    });
+    gradcheck("min_elem", &[a, b], &|t, v| {
+        let c = t.min_elem(v[0], v[1]);
+        t.sum_all(c)
+    });
+}
+
+#[test]
+fn gradcheck_layer_norm() {
+    let mut r = rng();
+    let a = Tensor::randn(3, 6, 1.0, &mut r);
+    let gain = Tensor::randn(1, 6, 0.5, &mut r);
+    let bias = Tensor::randn(1, 6, 0.5, &mut r);
+    gradcheck("layer_norm", &[a, gain, bias], &|t, v| {
+        let c = t.layer_norm(v[0], v[1], v[2]);
+        let d = t.mul(c, c);
+        t.sum_all(d)
+    });
+}
+
+#[test]
+fn gradcheck_causal_softmax() {
+    let mut r = rng();
+    let a = Tensor::randn(4, 4, 1.0, &mut r);
+    let weights = Tensor::randn(4, 4, 1.0, &mut r);
+    gradcheck("causal_softmax", &[a, weights], &|t, v| {
+        let y = t.causal_softmax(v[0]);
+        let w = t.mul(y, v[1]);
+        t.sum_all(w)
+    });
+}
+
+#[test]
+fn gradcheck_log_softmax() {
+    let mut r = rng();
+    let a = Tensor::randn(3, 5, 1.0, &mut r);
+    let w = Tensor::randn(3, 5, 1.0, &mut r);
+    gradcheck("log_softmax", &[a, w], &|t, v| {
+        let y = t.log_softmax(v[0]);
+        let z = t.mul(y, v[1]);
+        t.sum_all(z)
+    });
+}
+
+#[test]
+fn gradcheck_gather_and_select() {
+    let mut r = rng();
+    let table = Tensor::randn(5, 3, 1.0, &mut r);
+    gradcheck("gather_rows", &[table], &|t, v| {
+        let y = t.gather_rows(v[0], &[4, 0, 0, 2]);
+        let z = t.mul(y, y);
+        t.sum_all(z)
+    });
+    let a = Tensor::randn(4, 6, 1.0, &mut r);
+    gradcheck("select_cols", &[a], &|t, v| {
+        let y = t.select_cols(v[0], &[5, 1, 3, 0]);
+        let z = t.mul(y, y);
+        t.sum_all(z)
+    });
+}
+
+#[test]
+fn gradcheck_cross_entropy() {
+    let mut r = rng();
+    let logits = Tensor::randn(4, 7, 1.0, &mut r);
+    gradcheck("cross_entropy", &[logits], &|t, v| t.cross_entropy(v[0], &[3, 0, 6, 2]));
+}
+
+#[test]
+fn gradcheck_reductions_and_shapes() {
+    let mut r = rng();
+    let a = Tensor::randn(3, 8, 1.0, &mut r);
+    gradcheck("mean_all", &[a.clone()], &|t, v| {
+        let m = t.mean_all(v[0]);
+        t.sum_all(m)
+    });
+    gradcheck("slice_concat", &[a.clone()], &|t, v| {
+        let left = t.slice_cols(v[0], 0, 4);
+        let right = t.slice_cols(v[0], 4, 4);
+        let swapped = t.concat_cols(&[right, left]);
+        let sq = t.mul(swapped, swapped);
+        t.sum_all(sq)
+    });
+    gradcheck("row_mul", &[a], &|t, v| {
+        let y = t.row_mul(v[0], &[0.5, -2.0, 1.5]);
+        t.sum_all(y)
+    });
+}
+
+#[test]
+fn gradcheck_transformer_block_composite() {
+    // A miniature end-to-end block: embeddings -> attention -> MLP -> CE.
+    let mut r = rng();
+    let d = 4;
+    let tcount = 3;
+    let vocab = 5;
+    let wte = Tensor::randn(vocab, d, 0.5, &mut r);
+    let wq = Tensor::randn(d, d, 0.5, &mut r);
+    let wk = Tensor::randn(d, d, 0.5, &mut r);
+    let wv = Tensor::randn(d, d, 0.5, &mut r);
+    let gain = Tensor::full(1, d, 1.0);
+    let bias = Tensor::zeros(1, d);
+    let ids = [1usize, 3, 0];
+    let targets = [3usize, 0, 2];
+    let _ = tcount;
+    gradcheck(
+        "transformer_block",
+        &[wte, wq, wk, wv, gain, bias],
+        &move |t, v| {
+            let x = t.gather_rows(v[0], &ids);
+            let xn = t.layer_norm(x, v[4], v[5]);
+            let q = t.matmul(xn, v[1]);
+            let k = t.matmul(xn, v[2]);
+            let val = t.matmul(xn, v[3]);
+            let scores = t.matmul_nt(q, k);
+            let scaled = t.scale(scores, 0.5);
+            let att = t.causal_softmax(scaled);
+            let ctx = t.matmul(att, val);
+            let res = t.add(x, ctx);
+            let logits = t.matmul_nt(res, v[0]);
+            t.cross_entropy(logits, &targets)
+        },
+    );
+}

@@ -1,0 +1,31 @@
+//! The generator interface the fuzzing loop drives.
+
+/// Per-input coverage feedback handed back to a generator after its batch
+/// was simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Feedback {
+    /// Coverage bins attained by this input alone.
+    pub standalone: usize,
+    /// Bins newly attained relative to the previous batch's total.
+    pub incremental: usize,
+    /// Control-register (mux-select) bins attained by this input alone —
+    /// the DifuzzRTL-style signal.
+    pub mux_covered: usize,
+}
+
+/// A source of fuzzing inputs with coverage feedback.
+///
+/// Implemented by the baselines in this crate and by the ChatFuzz LM
+/// generator in the `chatfuzz` crate.
+pub trait InputGenerator: Send {
+    /// Short generator name for reports.
+    fn name(&self) -> &str;
+
+    /// Produces the next batch of test inputs (little-endian instruction
+    /// images loaded at the DUT's RAM base).
+    fn next_batch(&mut self, n: usize) -> Vec<Vec<u8>>;
+
+    /// Receives per-input coverage feedback for the batch most recently
+    /// returned by [`InputGenerator::next_batch`].
+    fn observe(&mut self, batch: &[Vec<u8>], feedback: &[Feedback]);
+}

@@ -1,0 +1,236 @@
+//! ISA-aware random instruction generation (TheHuzz's seed generator).
+//!
+//! TheHuzz "can identify valid instructions from the ISA" but has "no
+//! well-defined feedback to determine a meaningful sequence" (paper §II-A):
+//! every instruction is individually valid, operands are uniform random,
+//! and there is no data-flow relationship between consecutive instructions.
+
+use chatfuzz_isa::{
+    AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, Reg, SystemOp, CSR_LIST,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+fn reg<R: Rng>(rng: &mut R) -> Reg {
+    Reg::new(rng.gen_range(0..32)).expect("in range")
+}
+
+/// Samples one encodable instruction with uniform random operands.
+pub fn random_instr<R: Rng>(rng: &mut R) -> Instr {
+    match rng.gen_range(0..100) {
+        0..=24 => {
+            // Register-immediate ALU.
+            let ops = [
+                AluOp::Add,
+                AluOp::Slt,
+                AluOp::Sltu,
+                AluOp::Xor,
+                AluOp::Or,
+                AluOp::And,
+                AluOp::Sll,
+                AluOp::Srl,
+                AluOp::Sra,
+            ];
+            let op = *ops.choose(rng).expect("non-empty");
+            let word = op.has_word_form() && rng.gen_bool(0.2);
+            let imm = if op.is_shift() {
+                rng.gen_range(0..if word { 32 } else { 64 })
+            } else {
+                rng.gen_range(-2048..=2047)
+            };
+            Instr::OpImm { op, rd: reg(rng), rs1: reg(rng), imm, word }
+        }
+        25..=44 => {
+            // Register-register ALU.
+            let ops = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Sll,
+                AluOp::Slt,
+                AluOp::Sltu,
+                AluOp::Xor,
+                AluOp::Srl,
+                AluOp::Sra,
+                AluOp::Or,
+                AluOp::And,
+            ];
+            let op = *ops.choose(rng).expect("non-empty");
+            let word = op.has_word_form() && rng.gen_bool(0.2);
+            Instr::Op { op, rd: reg(rng), rs1: reg(rng), rs2: reg(rng), word }
+        }
+        45..=54 => {
+            let width = *[MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D]
+                .choose(rng)
+                .expect("non-empty");
+            let signed = width == MemWidth::D || rng.gen_bool(0.5);
+            Instr::Load {
+                width,
+                signed,
+                rd: reg(rng),
+                rs1: reg(rng),
+                offset: rng.gen_range(-2048..=2047),
+            }
+        }
+        55..=62 => {
+            let width = *[MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D]
+                .choose(rng)
+                .expect("non-empty");
+            Instr::Store {
+                width,
+                rs2: reg(rng),
+                rs1: reg(rng),
+                offset: rng.gen_range(-2048..=2047),
+            }
+        }
+        63..=72 => {
+            let conds = [
+                BranchCond::Eq,
+                BranchCond::Ne,
+                BranchCond::Lt,
+                BranchCond::Ge,
+                BranchCond::Ltu,
+                BranchCond::Geu,
+            ];
+            Instr::Branch {
+                cond: *conds.choose(rng).expect("non-empty"),
+                rs1: reg(rng),
+                rs2: reg(rng),
+                offset: i64::from(rng.gen_range(-64i32..64)) * 2,
+            }
+        }
+        73..=76 => Instr::Jal {
+            rd: reg(rng),
+            offset: i64::from(rng.gen_range(-128i32..128)) * 2,
+        },
+        77..=79 => Instr::Jalr {
+            rd: reg(rng),
+            rs1: reg(rng),
+            offset: rng.gen_range(-2048..=2047),
+        },
+        80..=85 => {
+            let ops = [
+                MulDivOp::Mul,
+                MulDivOp::Mulh,
+                MulDivOp::Mulhsu,
+                MulDivOp::Mulhu,
+                MulDivOp::Div,
+                MulDivOp::Divu,
+                MulDivOp::Rem,
+                MulDivOp::Remu,
+            ];
+            let op = *ops.choose(rng).expect("non-empty");
+            let word = op.has_word_form() && rng.gen_bool(0.2);
+            Instr::MulDiv { op, rd: reg(rng), rs1: reg(rng), rs2: reg(rng), word }
+        }
+        86..=89 => {
+            let width = if rng.gen_bool(0.5) { MemWidth::W } else { MemWidth::D };
+            match rng.gen_range(0..3) {
+                0 => Instr::LoadReserved {
+                    width,
+                    rd: reg(rng),
+                    rs1: reg(rng),
+                    aq: rng.gen(),
+                    rl: rng.gen(),
+                },
+                1 => Instr::StoreConditional {
+                    width,
+                    rd: reg(rng),
+                    rs1: reg(rng),
+                    rs2: reg(rng),
+                    aq: rng.gen(),
+                    rl: rng.gen(),
+                },
+                _ => {
+                    let ops = [
+                        AmoOp::Swap,
+                        AmoOp::Add,
+                        AmoOp::Xor,
+                        AmoOp::And,
+                        AmoOp::Or,
+                        AmoOp::Min,
+                        AmoOp::Max,
+                        AmoOp::Minu,
+                        AmoOp::Maxu,
+                    ];
+                    Instr::Amo {
+                        op: *ops.choose(rng).expect("non-empty"),
+                        width,
+                        rd: reg(rng),
+                        rs1: reg(rng),
+                        rs2: reg(rng),
+                        aq: rng.gen(),
+                        rl: rng.gen(),
+                    }
+                }
+            }
+        }
+        90..=93 => {
+            // CSR access: usually a real CSR, sometimes a wild address.
+            let csr = if rng.gen_bool(0.7) {
+                CSR_LIST.choose(rng).expect("non-empty").addr()
+            } else {
+                rng.gen_range(0..0x1000)
+            };
+            let op = *[CsrOp::Rw, CsrOp::Rs, CsrOp::Rc].choose(rng).expect("non-empty");
+            let src = if rng.gen_bool(0.5) {
+                CsrSrc::Reg(reg(rng))
+            } else {
+                CsrSrc::Imm(rng.gen_range(0..32))
+            };
+            Instr::Csr { op, rd: reg(rng), csr, src }
+        }
+        94..=95 => Instr::Lui {
+            rd: reg(rng),
+            imm: i64::from(rng.gen_range(-0x8_0000i32..0x8_0000)) << 12,
+        },
+        96 => Instr::Auipc {
+            rd: reg(rng),
+            imm: i64::from(rng.gen_range(-0x8_0000i32..0x8_0000)) << 12,
+        },
+        97 => {
+            if rng.gen_bool(0.5) {
+                Instr::Fence { pred: rng.gen_range(0..16), succ: rng.gen_range(0..16) }
+            } else {
+                Instr::FenceI
+            }
+        }
+        _ => {
+            let ops = [
+                SystemOp::Ecall,
+                SystemOp::Ebreak,
+                SystemOp::Mret,
+                SystemOp::Sret,
+                SystemOp::Wfi,
+            ];
+            Instr::System(*ops.choose(rng).expect("non-empty"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatfuzz_isa::{decode, encode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn always_encodable_and_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..4096 {
+            let instr = random_instr(&mut rng);
+            let word = encode(&instr).unwrap_or_else(|e| panic!("{instr}: {e}"));
+            assert_eq!(decode(word).unwrap(), instr);
+        }
+    }
+
+    #[test]
+    fn covers_many_instruction_classes() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let mut classes = std::collections::HashSet::new();
+        for _ in 0..2048 {
+            classes.insert(std::mem::discriminant(&random_instr(&mut rng)));
+        }
+        assert!(classes.len() >= 12, "only {} classes sampled", classes.len());
+    }
+}

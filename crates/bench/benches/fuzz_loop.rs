@@ -1,0 +1,78 @@
+//! End-to-end loop benchmarks: the mismatch detector, the coverage
+//! calculator, and a complete small fuzzing round (generate → simulate →
+//! diff → score → feedback).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use chatfuzz::fuzz::{run_campaign, CampaignConfig};
+use chatfuzz::harness::{wrap, HarnessConfig};
+use chatfuzz::mismatch::diff_traces;
+use chatfuzz_baselines::{MutatorConfig, TheHuzz};
+use chatfuzz_coverage::Calculator;
+use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
+use chatfuzz_isa::encode_program;
+use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
+use chatfuzz_softcore::{SoftCore, SoftCoreConfig};
+
+fn bench_mismatch_detector(c: &mut Criterion) {
+    let mut corpus = CorpusGenerator::new(CorpusConfig { seed: 5, ..Default::default() });
+    let mut body = Vec::new();
+    for f in corpus.generate(8) {
+        body.extend_from_slice(&encode_program(&f).unwrap());
+    }
+    let image = wrap(&body, HarnessConfig::default());
+    let golden = SoftCore::new(SoftCoreConfig::default()).run(&image);
+    let mut rocket = Rocket::new(RocketConfig::default());
+    let dut = rocket.run(&image);
+
+    let mut group = c.benchmark_group("mismatch");
+    group.throughput(Throughput::Elements(golden.len() as u64));
+    group.bench_function("diff_traces", |b| {
+        b.iter(|| diff_traces(std::hint::black_box(&golden), std::hint::black_box(&dut.trace)))
+    });
+    group.finish();
+}
+
+fn bench_coverage_calculator(c: &mut Criterion) {
+    let mut rocket = Rocket::new(RocketConfig::default());
+    let mut corpus = CorpusGenerator::new(CorpusConfig { seed: 9, ..Default::default() });
+    let maps: Vec<_> = corpus
+        .generate(16)
+        .into_iter()
+        .map(|f| {
+            let image = wrap(&encode_program(&f).unwrap(), HarnessConfig::default());
+            rocket.run(&image).coverage
+        })
+        .collect();
+    c.bench_function("coverage_score_batch_16", |b| {
+        b.iter(|| {
+            let mut calc = Calculator::new(rocket.space());
+            calc.score_batch(std::hint::black_box(&maps))
+        })
+    });
+}
+
+fn bench_fuzz_round(c: &mut Criterion) {
+    let cfg = CampaignConfig {
+        total_tests: 32,
+        batch_size: 16,
+        workers: 4,
+        history_every: 32,
+        ..Default::default()
+    };
+    c.bench_function("campaign_32_tests_thehuzz", |b| {
+        b.iter(|| {
+            let mut generator = TheHuzz::new(MutatorConfig::default());
+            let factory =
+                || Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>;
+            run_campaign(&mut generator, &factory, std::hint::black_box(&cfg))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mismatch_detector, bench_coverage_calculator, bench_fuzz_round
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! ML-stack benchmarks: tokenizer, transformer forward/backward, sampling,
+//! and one PPO optimisation step.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use chatfuzz_autograd::Tape;
+use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
+use chatfuzz_lm::{Gpt, GptConfig, Tokenizer};
+use chatfuzz_rl::{PpoConfig, PpoTrainer};
+
+fn setup() -> (Tokenizer, Vec<Vec<u32>>) {
+    let mut corpus = CorpusGenerator::new(CorpusConfig::default());
+    let programs = corpus.generate_words(64);
+    let tokenizer = Tokenizer::train(&programs, 256);
+    (tokenizer, programs)
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let (tokenizer, programs) = setup();
+    let mut group = c.benchmark_group("tokenizer");
+    let total_words: u64 = programs.iter().map(|p| p.len() as u64).sum();
+    group.throughput(Throughput::Elements(total_words));
+    group.bench_function("encode_corpus", |b| {
+        b.iter(|| {
+            programs.iter().map(|p| tokenizer.encode(std::hint::black_box(p)).len()).sum::<usize>()
+        })
+    });
+    let encoded: Vec<Vec<u32>> = programs.iter().map(|p| tokenizer.encode(p)).collect();
+    group.bench_function("decode_corpus", |b| {
+        b.iter(|| {
+            encoded
+                .iter()
+                .map(|t| tokenizer.decode_to_bytes(std::hint::black_box(t)).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_transformer(c: &mut Criterion) {
+    let (tokenizer, programs) = setup();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Gpt::new(GptConfig::small(tokenizer.vocab_size() as usize), &mut rng);
+    let seq: Vec<u32> = tokenizer.encode(&programs[0])
+        [..48.min(tokenizer.encode(&programs[0]).len())]
+        .to_vec();
+
+    let mut group = c.benchmark_group("transformer");
+    group.bench_function("forward_48tok", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            model.forward(&mut tape, std::hint::black_box(&seq))
+        })
+    });
+    group.bench_function("forward_backward_48tok", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let (loss, _) = model.lm_loss(&mut tape, std::hint::black_box(&seq));
+            tape.backward(loss);
+        })
+    });
+    group.bench_function("sample_16_new_tokens", |b| {
+        b.iter(|| model.generate(std::hint::black_box(&seq[..8]), 16, 1.0, 16, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_ppo(c: &mut Criterion) {
+    let (tokenizer, _) = setup();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = Gpt::new(GptConfig::tiny(tokenizer.vocab_size() as usize), &mut rng);
+    let mut trainer = PpoTrainer::new(
+        model,
+        PpoConfig { max_new_tokens: 24, epochs: 1, ..Default::default() },
+    );
+    let rollouts: Vec<_> = (0..4)
+        .map(|i| {
+            let tokens = trainer.sample(&[1], &mut rng);
+            trainer.score(tokens, 1, i as f32 * 0.5)
+        })
+        .collect();
+    c.bench_function("ppo_step_4rollouts", |b| {
+        b.iter(|| trainer.step(std::hint::black_box(&rollouts)))
+    });
+}
+
+criterion_group!(benches, bench_tokenizer, bench_transformer, bench_ppo);
+criterion_main!(benches);

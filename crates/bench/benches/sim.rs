@@ -1,0 +1,85 @@
+//! Component benchmarks: decoder/encoder throughput and simulator
+//! instructions-per-second (golden model, Rocket, BOOM, coverage overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
+use chatfuzz_isa::{decode, encode, encode_program};
+use chatfuzz_rtl::{Boom, BoomConfig, BugConfig, Dut, Rocket, RocketConfig};
+use chatfuzz_softcore::{SoftCore, SoftCoreConfig};
+
+/// A deterministic, loop-heavy program image (wrapped for trap safety).
+fn workload() -> Vec<u8> {
+    let mut corpus = CorpusGenerator::new(CorpusConfig { seed: 3, ..Default::default() });
+    let mut body = Vec::new();
+    for f in corpus.generate(8) {
+        body.extend_from_slice(&encode_program(&f).unwrap());
+    }
+    chatfuzz::harness::wrap(&body, chatfuzz::harness::HarnessConfig::default())
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut corpus = CorpusGenerator::new(CorpusConfig::default());
+    let instrs: Vec<_> = corpus.generate(32).into_iter().flatten().collect();
+    let words: Vec<u32> = instrs.iter().map(|i| encode(i).unwrap()).collect();
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut ok = 0usize;
+            for w in &words {
+                ok += usize::from(decode(std::hint::black_box(*w)).is_ok());
+            }
+            ok
+        })
+    });
+    group.throughput(Throughput::Elements(instrs.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in &instrs {
+                acc = acc.wrapping_add(u64::from(encode(std::hint::black_box(i)).unwrap()));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let image = workload();
+    let mut group = c.benchmark_group("simulators");
+
+    let golden = SoftCore::new(SoftCoreConfig::default());
+    let steps = golden.run(&image).len() as u64;
+    group.throughput(Throughput::Elements(steps));
+    group.bench_function("golden_model", |b| b.iter(|| golden.run(std::hint::black_box(&image))));
+
+    let mut rocket = Rocket::new(RocketConfig::default());
+    group.bench_function("rocket_buggy", |b| b.iter(|| rocket.run(std::hint::black_box(&image))));
+
+    let mut fixed =
+        Rocket::new(RocketConfig { bugs: BugConfig::all_off(), ..Default::default() });
+    group.bench_function("rocket_bugfree", |b| b.iter(|| fixed.run(std::hint::black_box(&image))));
+
+    let mut boom = Boom::new(BoomConfig::default());
+    group.bench_function("boom", |b| b.iter(|| boom.run(std::hint::black_box(&image))));
+    group.finish();
+}
+
+fn bench_budgets(c: &mut Criterion) {
+    // Cycle cost versus instruction budget: how the per-test cost scales.
+    let image = workload();
+    let mut group = c.benchmark_group("rocket_budget");
+    for budget in [256usize, 1024, 4096] {
+        let mut dut = Rocket::new(RocketConfig { max_steps: budget, ..Default::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, _| {
+            b.iter(|| dut.run(std::hint::black_box(&image)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_simulators, bench_budgets);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! **Ablation A2** — coverage-reward shaping: the paper's reward gives an
+//! incremental-coverage bonus and penalises non-improving inputs. This
+//! ablation removes those terms (leaving only the stand-alone term) and
+//! compares campaign coverage with online training enabled.
+
+use chatfuzz::fuzz::run_campaign;
+use chatfuzz::generator::{CoverageReward, LmGenerator, LmGeneratorConfig};
+use chatfuzz::pipeline::train_chatfuzz;
+use chatfuzz_bench::{campaign, print_table, rocket_factory, write_csv, Scale};
+use chatfuzz_rl::PpoConfig;
+use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let tests = scale.campaign_tests();
+    let cfg = campaign(tests);
+    let factory = rocket_factory();
+
+    let run_with = |reward: CoverageReward, label: &str| {
+        println!("[{label}] training pipeline…");
+        let mut dut = Rocket::new(RocketConfig::default());
+        let pcfg = scale.pipeline(42);
+        let (model, _) = train_chatfuzz(&pcfg, &mut dut);
+        let total_bins = dut.space().total_bins();
+        let ppo = PpoConfig {
+            max_new_tokens: 56,
+            lr: 3e-4,
+            temperature: 0.9,
+            top_k: 24,
+            ..Default::default()
+        };
+        let gcfg = LmGeneratorConfig { seed: 42, total_bins, reward, ..Default::default() };
+        let mut generator =
+            LmGenerator::new(model.tokenizer, model.policy, ppo, model.prompt_pool, gcfg);
+        println!("[{label}] fuzzing…");
+        run_campaign(&mut generator, &factory, &cfg)
+    };
+
+    let full = run_with(CoverageReward::default(), "full reward");
+    let no_shaping = run_with(
+        CoverageReward { incremental_weight: 0.0, no_improve_penalty: 0.0, standalone_weight: 2.0 },
+        "standalone only",
+    );
+
+    let rows = vec![
+        vec!["incremental bonus + penalty (paper)".into(), format!("{:.2}", full.final_coverage_pct)],
+        vec!["stand-alone term only".into(), format!("{:.2}", no_shaping.final_coverage_pct)],
+    ];
+    print_table("A2 — reward-shaping ablation (RocketCore)", &["reward", "coverage %"], &rows);
+    write_csv("abl_reward", &["reward", "coverage_pct"], &rows);
+    println!(
+        "\ndelta: {:+.2} points for the paper's shaping",
+        full.final_coverage_pct - no_shaping.final_coverage_pct
+    );
+}

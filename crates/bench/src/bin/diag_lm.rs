@@ -1,0 +1,46 @@
+//! Diagnostic: what does the trained quick-scale model generate?
+
+use chatfuzz::pipeline::{train_chatfuzz, PipelineConfig};
+use chatfuzz_baselines::valid_fraction;
+use chatfuzz_isa::disasm::disassemble;
+use chatfuzz_lm::tokenizer::{BOS, SEP};
+use chatfuzz_rtl::{Rocket, RocketConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut dut = Rocket::new(RocketConfig::default());
+    let cfg = PipelineConfig::quick(42);
+    let (model, report) = train_chatfuzz(&cfg, &mut dut);
+    println!(
+        "LM loss: {:.3} -> {:.3}",
+        report.lm_curve.first().unwrap().loss,
+        report.lm_curve.last().unwrap().loss
+    );
+    for p in &report.cleanup_curve {
+        println!("cleanup iter {}: reward {:.3} valid {:.1}%", p.iter, p.mean_reward, p.valid_fraction * 100.0);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    for i in 0..6 {
+        // Prompt with 2 corpus instructions.
+        let program = &model.prompt_pool[i * 3];
+        let mut prompt = vec![BOS];
+        for w in &program[..2] {
+            prompt.extend(model.tokenizer.encode_word(*w));
+            prompt.push(SEP);
+        }
+        let plen = prompt.len();
+        let full = model.policy.generate(&prompt, 48, 1.0, 32, &mut rng);
+        let bytes = model.tokenizer.decode_to_bytes(&full);
+        println!(
+            "\n--- sample {i}: {} prompt tokens, {} generated, {} instrs, valid {:.0}% ---",
+            plen,
+            full.len() - plen,
+            bytes.len() / 4,
+            valid_fraction(&bytes) * 100.0
+        );
+        for line in disassemble(&bytes).iter().take(14) {
+            println!("  {line}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! **Experiment E1 (paper Fig. 2)** — condition coverage over time for
+//! ChatFuzz vs TheHuzz (plus random regression) fuzzing the RocketCore
+//! model. Writes one CSV per generator under `results/` and prints the
+//! curves as a combined table.
+//!
+//! Paper shape to reproduce: ChatFuzz's curve dominates TheHuzz's from the
+//! start and reaches TheHuzz's late-run coverage with a fraction of the
+//! effort (34.6× in the paper's wall-clock terms).
+
+use chatfuzz::fuzz::run_campaign;
+use chatfuzz_baselines::{MutatorConfig, RandomRegression, TheHuzz};
+use chatfuzz_bench::{
+    campaign, history_rows, print_table, rocket_factory, trained_chatfuzz_generator, write_csv,
+    Scale,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let tests = scale.campaign_tests();
+    let cfg = campaign(tests);
+    let factory = rocket_factory();
+
+    println!("== Fig. 2: coverage over time on RocketCore ({tests} tests/generator) ==");
+
+    println!("[1/3] training ChatFuzz pipeline…");
+    let (mut chatfuzz_gen, _) = trained_chatfuzz_generator(scale, 42);
+    println!("[1/3] fuzzing with ChatFuzz…");
+    let chatfuzz = run_campaign(&mut chatfuzz_gen, &factory, &cfg);
+
+    println!("[2/3] fuzzing with TheHuzz…");
+    let mut thehuzz_gen = TheHuzz::new(MutatorConfig::default());
+    let thehuzz = run_campaign(&mut thehuzz_gen, &factory, &cfg);
+
+    println!("[3/3] fuzzing with random regression…");
+    let mut random_gen = RandomRegression::new(7, 24);
+    let random = run_campaign(&mut random_gen, &factory, &cfg);
+
+    for (name, report) in
+        [("chatfuzz", &chatfuzz), ("thehuzz", &thehuzz), ("random", &random)]
+    {
+        write_csv(
+            &format!("fig2_{name}"),
+            &["tests", "coverage_pct", "sim_cycles", "wall_s"],
+            &history_rows(report),
+        );
+    }
+
+    // Combined table at shared checkpoints.
+    let mut rows = Vec::new();
+    for point in &chatfuzz.history {
+        let at = |r: &chatfuzz::fuzz::CampaignReport| {
+            r.history
+                .iter()
+                .filter(|p| p.tests <= point.tests)
+                .next_back()
+                .map(|p| format!("{:.2}", p.coverage_pct))
+                .unwrap_or_else(|| "-".into())
+        };
+        rows.push(vec![
+            point.tests.to_string(),
+            format!("{:.2}", point.coverage_pct),
+            at(&thehuzz),
+            at(&random),
+        ]);
+    }
+    print_table(
+        "Fig. 2 — % condition points covered vs tests (RocketCore)",
+        &["tests", "ChatFuzz", "TheHuzz", "random"],
+        &rows,
+    );
+
+    println!(
+        "\nfinal: ChatFuzz {:.2}%  TheHuzz {:.2}%  random {:.2}%",
+        chatfuzz.final_coverage_pct, thehuzz.final_coverage_pct, random.final_coverage_pct
+    );
+    assert!(
+        chatfuzz.final_coverage_pct > thehuzz.final_coverage_pct,
+        "paper shape violated: ChatFuzz must dominate TheHuzz"
+    );
+    assert!(
+        thehuzz.final_coverage_pct > random.final_coverage_pct,
+        "paper shape violated: TheHuzz must dominate random regression"
+    );
+}

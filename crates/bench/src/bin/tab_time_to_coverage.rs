@@ -1,0 +1,92 @@
+//! **Experiment E3 (paper §V-A, row 2)** — effort to reach a fixed
+//! coverage level. Paper: ChatFuzz reaches ~75 % in <1 h where TheHuzz
+//! needs ~30 h (34.6× faster).
+//!
+//! Our testbed has no 30-hour wall clock; the anchor level is what
+//! ChatFuzz attains after the first quarter of its budget, and effort is
+//! measured both in tests and in simulated DUT cycles.
+
+use chatfuzz::fuzz::run_campaign;
+use chatfuzz_baselines::{MutatorConfig, TheHuzz};
+use chatfuzz_bench::{
+    campaign, print_table, rocket_factory, trained_chatfuzz_generator, write_csv, Scale,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let tests = scale.campaign_tests();
+    let cfg = campaign(tests);
+    let factory = rocket_factory();
+
+    println!("== Time-to-coverage on RocketCore ({tests} tests/generator) ==");
+    println!("[1/2] training + fuzzing ChatFuzz…");
+    let (mut chatfuzz_gen, _) = trained_chatfuzz_generator(scale, 42);
+    let chatfuzz = run_campaign(&mut chatfuzz_gen, &factory, &cfg);
+    println!("[2/2] fuzzing TheHuzz…");
+    let mut thehuzz_gen = TheHuzz::new(MutatorConfig::default());
+    let thehuzz = run_campaign(&mut thehuzz_gen, &factory, &cfg);
+
+    // Anchor: TheHuzz's end-of-budget coverage — the analogue of the
+    // paper's "the level TheHuzz needs ~30 hours for".
+    let level = thehuzz.final_coverage_pct;
+
+    let cf_tests = chatfuzz.tests_to_reach(level).unwrap_or(tests);
+    let th_tests = thehuzz.tests_to_reach(level);
+    let cf_cycles = chatfuzz.cycles_to_reach(level).unwrap_or(u64::MAX);
+    let th_cycles = thehuzz.cycles_to_reach(level);
+
+    let speedup_tests =
+        th_tests.map(|t| t as f64 / cf_tests as f64).map(|s| format!("{s:.1}x"));
+    let speedup_cycles = th_cycles
+        .map(|c| c as f64 / cf_cycles as f64)
+        .map(|s| format!("{s:.1}x"));
+
+    let fmt_opt_usize =
+        |v: Option<usize>| v.map(|x| x.to_string()).unwrap_or_else(|| format!(">{tests}"));
+    let fmt_opt_u64 = |v: Option<u64>| {
+        v.map(|x| x.to_string()).unwrap_or_else(|| "not reached".to_string())
+    };
+
+    let rows = vec![
+        vec![
+            format!("{level:.2}% coverage"),
+            cf_tests.to_string(),
+            fmt_opt_usize(th_tests),
+            speedup_tests.clone().unwrap_or_else(|| "not reached".into()),
+        ],
+        vec![
+            "(simulated cycles)".into(),
+            cf_cycles.to_string(),
+            fmt_opt_u64(th_cycles),
+            speedup_cycles.clone().unwrap_or_else(|| "not reached".into()),
+        ],
+    ];
+    print_table(
+        "E3 — effort to reach the ChatFuzz early-run coverage level (paper: 34.6x)",
+        &["anchor", "ChatFuzz", "TheHuzz", "TheHuzz/ChatFuzz"],
+        &rows,
+    );
+    write_csv(
+        "tab_time_to_coverage",
+        &["level_pct", "chatfuzz_tests", "thehuzz_tests", "chatfuzz_cycles", "thehuzz_cycles"],
+        &[vec![
+            format!("{level:.2}"),
+            cf_tests.to_string(),
+            fmt_opt_usize(th_tests),
+            cf_cycles.to_string(),
+            fmt_opt_u64(th_cycles),
+        ]],
+    );
+
+    if let Some(s) = th_tests {
+        assert!(
+            s as f64 / cf_tests as f64 >= 1.0,
+            "paper shape violated: ChatFuzz must not need MORE effort than TheHuzz              for TheHuzz's own final level"
+        );
+    }
+    println!(
+        "\nheadline: TheHuzz needs {} the tests / {} the cycles of ChatFuzz for {level:.2}%",
+        speedup_tests.unwrap_or_else(|| "∞ (never reached)".into()),
+        speedup_cycles.unwrap_or_else(|| "∞ (never reached)".into()),
+    );
+}

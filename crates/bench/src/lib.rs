@@ -1,0 +1,169 @@
+//! Shared support for the experiment binaries (`src/bin/*`) and Criterion
+//! benches: standard configurations, a trained-generator factory, and
+//! CSV/markdown result writers.
+//!
+//! Every experiment binary regenerates one table or figure of the paper's
+//! evaluation (see DESIGN.md §4 for the index) and writes its rows both to
+//! stdout and to `results/<name>.csv`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use chatfuzz::fuzz::{CampaignConfig, CampaignReport};
+use chatfuzz::generator::{LmGenerator, LmGeneratorConfig};
+use chatfuzz::pipeline::{train_chatfuzz, ChatFuzzModel, PipelineConfig, PipelineReport};
+use chatfuzz_rl::PpoConfig;
+use chatfuzz_rtl::{Boom, BoomConfig, BugConfig, Dut, Rocket, RocketConfig};
+
+/// Experiment effort level, selected with the `CHATFUZZ_SCALE` env var
+/// (`quick` | `full`, default `quick`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale runs; shapes hold, absolute counts are small.
+    Quick,
+    /// The configuration used for the committed EXPERIMENTS.md numbers.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("CHATFUZZ_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Total tests for campaign-style experiments.
+    pub fn campaign_tests(self) -> usize {
+        match self {
+            Scale::Quick => 1200,
+            Scale::Full => 6000,
+        }
+    }
+
+    /// The pipeline configuration for this scale.
+    pub fn pipeline(self, seed: u64) -> PipelineConfig {
+        match self {
+            Scale::Quick => PipelineConfig::quick(seed),
+            Scale::Full => PipelineConfig::experiment(seed),
+        }
+    }
+}
+
+/// Builds a buggy-Rocket factory (the paper's RocketCore target).
+pub fn rocket_factory() -> impl Fn() -> Box<dyn Dut> + Sync {
+    || Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>
+}
+
+/// Builds a bug-free-Rocket factory (for sanity baselines).
+pub fn fixed_rocket_factory() -> impl Fn() -> Box<dyn Dut> + Sync {
+    || {
+        Box::new(Rocket::new(RocketConfig { bugs: BugConfig::all_off(), ..Default::default() }))
+            as Box<dyn Dut>
+    }
+}
+
+/// Builds a BOOM factory.
+pub fn boom_factory() -> impl Fn() -> Box<dyn Dut> + Sync {
+    || Box::new(Boom::new(BoomConfig::default())) as Box<dyn Dut>
+}
+
+/// Standard campaign configuration for a given test budget.
+pub fn campaign(total_tests: usize) -> CampaignConfig {
+    CampaignConfig {
+        total_tests,
+        batch_size: 32,
+        workers: 10,
+        history_every: 50,
+        ..Default::default()
+    }
+}
+
+/// Trains the full ChatFuzz pipeline against a fresh Rocket and wraps the
+/// result as the fuzzing-loop generator (online step-3 training enabled).
+pub fn trained_chatfuzz_generator(scale: Scale, seed: u64) -> (LmGenerator, PipelineReport) {
+    let mut dut = Rocket::new(RocketConfig::default());
+    let cfg = scale.pipeline(seed);
+    let (model, report) = train_chatfuzz(&cfg, &mut dut);
+    let total_bins = dut.space().total_bins();
+    let generator = generator_from_model(model, seed, total_bins);
+    (generator, report)
+}
+
+/// Wraps a trained model as the campaign generator.
+pub fn generator_from_model(model: ChatFuzzModel, seed: u64, total_bins: usize) -> LmGenerator {
+    let ppo = PpoConfig {
+        max_new_tokens: 56,
+        lr: 3e-4,
+        temperature: 0.9,
+        top_k: 24,
+        ..Default::default()
+    };
+    let cfg = LmGeneratorConfig { seed, total_bins, ..Default::default() };
+    LmGenerator::new(model.tokenizer, model.policy, ppo, model.prompt_pool, cfg)
+}
+
+/// Writes rows to `results/<name>.csv` (and echoes the path).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let dir = PathBuf::from("results");
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out).expect("write results csv");
+    println!("[written] {}", path.display());
+}
+
+/// Prints a markdown table to stdout.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    let mut stdout = std::io::stdout();
+    let _ = stdout.flush();
+}
+
+/// Formats a campaign's history as CSV rows (`tests,pct,cycles,wall_s`).
+pub fn history_rows(report: &CampaignReport) -> Vec<Vec<String>> {
+    report
+        .history
+        .iter()
+        .map(|p| {
+            vec![
+                p.tests.to_string(),
+                format!("{:.2}", p.coverage_pct),
+                p.sim_cycles.to_string(),
+                format!("{:.2}", p.wall.as_secs_f64()),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_defaults_to_quick() {
+        assert_eq!(Scale::from_env(), Scale::Quick);
+        assert!(Scale::Quick.campaign_tests() < Scale::Full.campaign_tests());
+    }
+
+    #[test]
+    fn factories_elaborate_consistent_spaces() {
+        let f = rocket_factory();
+        assert_eq!(f().space().fingerprint(), f().space().fingerprint());
+        let b = boom_factory();
+        assert_ne!(f().space().fingerprint(), b().space().fingerprint());
+    }
+}

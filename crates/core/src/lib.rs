@@ -1,0 +1,54 @@
+//! ChatFuzz — ML-based hardware fuzzing (DATE 2024 reproduction).
+//!
+//! This crate is the system of the paper *Beyond Random Inputs: A Novel
+//! ML-Based Hardware Fuzzing*: a processor fuzzer whose input generator is
+//! a GPT-style language model trained on machine code and refined with two
+//! PPO phases (a deterministic disassembler reward, then an RTL
+//! condition-coverage reward), driving a differential fuzzing loop against
+//! a RocketCore-like or BOOM-like core and a golden-model ISA simulator.
+//!
+//! The pieces:
+//!
+//! * [`pipeline`] — the three-step training pipeline (paper Fig. 1b);
+//! * [`generator`] — the LLM-based Input Generator with online
+//!   coverage-reward training (paper Fig. 1a), plus the n-gram ablation;
+//! * [`fuzz`] — the batched, multi-worker fuzzing loop with the Coverage
+//!   Calculator feedback;
+//! * [`mismatch`] — the Mismatch Detector: trace diffing, unique-mismatch
+//!   clustering, and classification against the known RocketCore defects;
+//! * [`harness`] — the bare-metal wrapper (trap handler + stack) around
+//!   every generated test.
+//!
+//! # Examples
+//!
+//! Fuzz a buggy RocketCore with the TheHuzz baseline for a quick smoke run:
+//!
+//! ```
+//! use chatfuzz::fuzz::{run_campaign, CampaignConfig};
+//! use chatfuzz_baselines::{MutatorConfig, TheHuzz};
+//! use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
+//!
+//! let mut generator = TheHuzz::new(MutatorConfig::default());
+//! let factory = || Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>;
+//! let cfg = CampaignConfig { total_tests: 32, batch_size: 16, workers: 2, ..Default::default() };
+//! let report = run_campaign(&mut generator, &factory, &cfg);
+//! assert!(report.final_coverage_pct > 0.0);
+//! ```
+
+pub mod fuzz;
+pub mod generator;
+pub mod harness;
+pub mod mismatch;
+pub mod pipeline;
+pub mod report;
+
+pub use fuzz::{run_campaign, CampaignConfig, CampaignReport, CoveragePoint};
+pub use generator::{CoverageReward, LmGenerator, LmGeneratorConfig, NgramGenerator};
+pub use harness::{wrap, HarnessConfig};
+pub use mismatch::{
+    classify, diff_traces, KnownBug, Mismatch, MismatchFilter, MismatchLog, UniqueMismatch,
+};
+pub use pipeline::{
+    train_chatfuzz, ChatFuzzModel, CleanupPoint, ModelScale, OptimizePoint, PipelineConfig,
+    PipelineReport,
+};

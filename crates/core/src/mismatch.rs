@@ -1,0 +1,532 @@
+//! The Mismatch Detector (paper §III-C / §IV-A).
+//!
+//! Differential testing: the same input runs on the DUT and the golden
+//! model; their architectural traces are diffed record by record. Raw
+//! mismatches are clustered by *signature* into unique mismatches
+//! (the paper reports ~5.9 K raw → >100 unique), and signatures matching
+//! the known RocketCore defects are classified for the bug report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use chatfuzz_isa::{decode, Instr, Reg};
+use chatfuzz_softcore::trace::{ExitReason, Trace};
+
+/// One observed trace divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mismatch {
+    /// The two runs ended differently.
+    ExitDivergence {
+        /// Golden-model exit.
+        golden: ExitReason,
+        /// DUT exit.
+        dut: ExitReason,
+    },
+    /// One trace is a strict prefix of the other.
+    LengthDivergence {
+        /// Golden-model record count.
+        golden: usize,
+        /// DUT record count.
+        dut: usize,
+    },
+    /// Control flow diverged (different PC at the same slot).
+    PcDivergence {
+        /// Record index.
+        index: usize,
+        /// Golden PC.
+        golden_pc: u64,
+        /// DUT PC.
+        dut_pc: u64,
+    },
+    /// Same PC fetched different instruction words (stale I-cache).
+    WordDivergence {
+        /// Record index.
+        index: usize,
+        /// The PC.
+        pc: u64,
+        /// Golden word.
+        golden_word: u32,
+        /// DUT word.
+        dut_word: u32,
+    },
+    /// Register write-back differs (missing, spurious, or wrong value).
+    RdWriteDivergence {
+        /// Record index.
+        index: usize,
+        /// The PC.
+        pc: u64,
+        /// Instruction word at that slot.
+        word: u32,
+        /// Golden write-back.
+        golden: Option<(Reg, u64)>,
+        /// DUT write-back.
+        dut: Option<(Reg, u64)>,
+    },
+    /// Trap presence or cause differs.
+    TrapDivergence {
+        /// Record index.
+        index: usize,
+        /// The PC.
+        pc: u64,
+        /// Golden trap cause.
+        golden_cause: Option<u64>,
+        /// DUT trap cause.
+        dut_cause: Option<u64>,
+    },
+    /// Memory effect differs.
+    MemDivergence {
+        /// Record index.
+        index: usize,
+        /// The PC.
+        pc: u64,
+    },
+}
+
+impl Mismatch {
+    /// A clustering signature: mismatches with the same signature are the
+    /// "same" unique mismatch (the paper's automated filtration step).
+    pub fn signature(&self) -> String {
+        match self {
+            Mismatch::ExitDivergence { golden, dut } => {
+                format!("exit:{golden}|{dut}")
+            }
+            Mismatch::LengthDivergence { .. } => "length".to_string(),
+            Mismatch::PcDivergence { .. } => "pc".to_string(),
+            Mismatch::WordDivergence { .. } => "word:stale-fetch".to_string(),
+            Mismatch::RdWriteDivergence { word, golden, dut, .. } => {
+                let class = decode(*word)
+                    .map(|i| instr_class(&i))
+                    .unwrap_or("unknown");
+                let shape = match (golden, dut) {
+                    (Some(_), None) => "missing",
+                    (None, Some((r, _))) if r.is_zero() => "spurious-x0",
+                    (None, Some(_)) => "spurious",
+                    (Some((gr, _)), Some((dr, _))) if gr != dr => "wrong-reg",
+                    _ => "wrong-value",
+                };
+                format!("rd:{class}:{shape}")
+            }
+            Mismatch::TrapDivergence { golden_cause, dut_cause, .. } => {
+                format!("trap:{golden_cause:?}|{dut_cause:?}")
+            }
+            Mismatch::MemDivergence { .. } => "mem".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mismatch::ExitDivergence { golden, dut } => {
+                write!(f, "exit divergence: golden `{golden}` vs dut `{dut}`")
+            }
+            Mismatch::LengthDivergence { golden, dut } => {
+                write!(f, "trace length divergence: golden {golden} vs dut {dut}")
+            }
+            Mismatch::PcDivergence { index, golden_pc, dut_pc } => {
+                write!(f, "pc divergence @slot {index}: {golden_pc:#x} vs {dut_pc:#x}")
+            }
+            Mismatch::WordDivergence { index, pc, golden_word, dut_word } => write!(
+                f,
+                "stale fetch @slot {index} pc {pc:#x}: {golden_word:#010x} vs {dut_word:#010x}"
+            ),
+            Mismatch::RdWriteDivergence { index, pc, golden, dut, .. } => write!(
+                f,
+                "rd-write divergence @slot {index} pc {pc:#x}: {golden:?} vs {dut:?}"
+            ),
+            Mismatch::TrapDivergence { index, pc, golden_cause, dut_cause } => write!(
+                f,
+                "trap divergence @slot {index} pc {pc:#x}: cause {golden_cause:?} vs {dut_cause:?}"
+            ),
+            Mismatch::MemDivergence { index, pc } => {
+                write!(f, "memory-effect divergence @slot {index} pc {pc:#x}")
+            }
+        }
+    }
+}
+
+fn instr_class(i: &Instr) -> &'static str {
+    match i {
+        Instr::MulDiv { .. } => "muldiv",
+        Instr::Amo { .. } => "amo",
+        Instr::Op { .. } | Instr::OpImm { .. } => "alu",
+        Instr::Load { .. } => "load",
+        Instr::Store { .. } => "store",
+        Instr::Csr { .. } => "csr",
+        _ => "other",
+    }
+}
+
+/// Known injected RocketCore defects (the paper's findings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KnownBug {
+    /// BUG1: I-cache incoherence without `fence.i` (CWE-1202).
+    Bug1IcacheCoherency,
+    /// BUG2: tracer omits mul/div write-backs (CWE-440).
+    Bug2TracerMulDiv,
+    /// Finding 1: access-fault reported where misaligned has priority.
+    Finding1ExceptionPriority,
+    /// Finding 2: AMO with `rd = x0` logs a value into `x0`.
+    Finding2AmoX0,
+    /// Finding 3: spurious `x0` write records in bypass sequences.
+    Finding3X0Bypass,
+}
+
+impl fmt::Display for KnownBug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnownBug::Bug1IcacheCoherency => {
+                write!(f, "BUG1: icache coherency / fence.i (CWE-1202)")
+            }
+            KnownBug::Bug2TracerMulDiv => {
+                write!(f, "BUG2: tracer drops mul/div write-back (CWE-440)")
+            }
+            KnownBug::Finding1ExceptionPriority => {
+                write!(f, "Finding1: misaligned/access-fault priority inversion")
+            }
+            KnownBug::Finding2AmoX0 => write!(f, "Finding2: AMO rd=x0 traced as written"),
+            KnownBug::Finding3X0Bypass => write!(f, "Finding3: x0 bypass write traced"),
+        }
+    }
+}
+
+/// Maps a mismatch to the known defect it evidences, if any.
+pub fn classify(m: &Mismatch) -> Option<KnownBug> {
+    match m {
+        Mismatch::WordDivergence { .. } => Some(KnownBug::Bug1IcacheCoherency),
+        Mismatch::RdWriteDivergence { word, golden, dut, .. } => {
+            let instr = decode(*word).ok()?;
+            match (&instr, golden, dut) {
+                (Instr::MulDiv { .. }, Some(_), None) => Some(KnownBug::Bug2TracerMulDiv),
+                (Instr::Amo { .. }, None, Some((r, _))) if r.is_zero() => {
+                    Some(KnownBug::Finding2AmoX0)
+                }
+                (Instr::Op { .. } | Instr::OpImm { .. }, None, Some((r, _)))
+                    if r.is_zero() =>
+                {
+                    Some(KnownBug::Finding3X0Bypass)
+                }
+                _ => None,
+            }
+        }
+        Mismatch::TrapDivergence { golden_cause, dut_cause, .. } => {
+            match (golden_cause, dut_cause) {
+                (Some(4), Some(5)) | (Some(6), Some(7)) => {
+                    Some(KnownBug::Finding1ExceptionPriority)
+                }
+                _ => None,
+            }
+        }
+        Mismatch::ExitDivergence { golden, dut } => {
+            // Unhandled traps carry the diverging causes in the exit reason.
+            if let (ExitReason::UnhandledTrap(g), ExitReason::UnhandledTrap(d)) = (golden, dut)
+            {
+                match (g.cause(), d.cause()) {
+                    (4, 5) | (6, 7) => Some(KnownBug::Finding1ExceptionPriority),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Optional suppression filters verification engineers can install
+/// (paper §IV-A: "filters ... to filter out most of the false positive
+/// mismatches").
+#[derive(Debug, Clone, Default)]
+pub struct MismatchFilter {
+    /// Suppress trailing [`Mismatch::LengthDivergence`] reports.
+    pub ignore_length: bool,
+    /// Suppress divergences that only involve these registers.
+    pub ignore_regs: Vec<Reg>,
+}
+
+impl MismatchFilter {
+    /// Whether the mismatch passes (is kept by) the filter.
+    pub fn keep(&self, m: &Mismatch) -> bool {
+        match m {
+            Mismatch::LengthDivergence { .. } if self.ignore_length => false,
+            Mismatch::RdWriteDivergence { golden, dut, .. } => {
+                let touches_ignored = |w: &Option<(Reg, u64)>| {
+                    w.map(|(r, _)| self.ignore_regs.contains(&r)).unwrap_or(false)
+                };
+                !(touches_ignored(golden) || touches_ignored(dut))
+            }
+            _ => true,
+        }
+    }
+}
+
+/// Diffs two traces; scanning stops after a control divergence (PC or
+/// fetched word), since every later slot compares unrelated instructions.
+pub fn diff_traces(golden: &Trace, dut: &Trace) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    for (index, (g, d)) in golden.records.iter().zip(&dut.records).enumerate() {
+        if g.pc != d.pc {
+            out.push(Mismatch::PcDivergence { index, golden_pc: g.pc, dut_pc: d.pc });
+            return out;
+        }
+        if g.word != d.word {
+            out.push(Mismatch::WordDivergence {
+                index,
+                pc: g.pc,
+                golden_word: g.word,
+                dut_word: d.word,
+            });
+            return out;
+        }
+        let g_cause = g.trap.map(|t| t.exception.cause());
+        let d_cause = d.trap.map(|t| t.exception.cause());
+        if g_cause != d_cause {
+            out.push(Mismatch::TrapDivergence {
+                index,
+                pc: g.pc,
+                golden_cause: g_cause,
+                dut_cause: d_cause,
+            });
+            // Different traps change downstream state; stop scanning.
+            return out;
+        }
+        if g.rd_write != d.rd_write {
+            out.push(Mismatch::RdWriteDivergence {
+                index,
+                pc: g.pc,
+                word: g.word,
+                golden: g.rd_write,
+                dut: d.rd_write,
+            });
+        }
+        if g.mem != d.mem {
+            out.push(Mismatch::MemDivergence { index, pc: g.pc });
+        }
+    }
+    if golden.records.len() != dut.records.len() {
+        out.push(Mismatch::LengthDivergence {
+            golden: golden.records.len(),
+            dut: dut.records.len(),
+        });
+    }
+    if golden.exit != dut.exit {
+        out.push(Mismatch::ExitDivergence { golden: golden.exit, dut: dut.exit });
+    }
+    out
+}
+
+/// A deduplicated mismatch cluster.
+#[derive(Debug, Clone)]
+pub struct UniqueMismatch {
+    /// The clustering signature.
+    pub signature: String,
+    /// A representative instance.
+    pub example: Mismatch,
+    /// How many raw mismatches share the signature.
+    pub count: usize,
+    /// Classification, if the signature matches a known defect.
+    pub bug: Option<KnownBug>,
+}
+
+/// Accumulates raw mismatches across a campaign and clusters them.
+#[derive(Debug, Default)]
+pub struct MismatchLog {
+    raw_count: usize,
+    clusters: BTreeMap<String, UniqueMismatch>,
+    filter: MismatchFilter,
+}
+
+impl MismatchLog {
+    /// Creates an empty log with no filters.
+    pub fn new() -> MismatchLog {
+        MismatchLog::default()
+    }
+
+    /// Creates a log with suppression filters installed.
+    pub fn with_filter(filter: MismatchFilter) -> MismatchLog {
+        MismatchLog { filter, ..Default::default() }
+    }
+
+    /// Records the mismatches of one input.
+    pub fn record(&mut self, mismatches: Vec<Mismatch>) {
+        for m in mismatches {
+            if !self.filter.keep(&m) {
+                continue;
+            }
+            self.raw_count += 1;
+            let sig = m.signature();
+            let bug = classify(&m);
+            self.clusters
+                .entry(sig.clone())
+                .and_modify(|u| u.count += 1)
+                .or_insert(UniqueMismatch { signature: sig, example: m, count: 1, bug });
+        }
+    }
+
+    /// Total raw (post-filter) mismatches.
+    pub fn raw_count(&self) -> usize {
+        self.raw_count
+    }
+
+    /// Unique mismatch clusters, in signature order.
+    pub fn unique(&self) -> Vec<&UniqueMismatch> {
+        self.clusters.values().collect()
+    }
+
+    /// The set of known defects evidenced so far.
+    pub fn bugs_found(&self) -> Vec<KnownBug> {
+        let mut bugs: Vec<KnownBug> =
+            self.clusters.values().filter_map(|u| u.bug).collect();
+        bugs.sort_unstable();
+        bugs.dedup();
+        bugs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatfuzz_isa::PrivLevel;
+    use chatfuzz_softcore::trace::CommitRecord;
+
+    fn record(pc: u64, word: u32) -> CommitRecord {
+        CommitRecord {
+            pc,
+            word,
+            priv_level: PrivLevel::Machine,
+            rd_write: None,
+            mem: None,
+            trap: None,
+        }
+    }
+
+    fn trace(records: Vec<CommitRecord>) -> Trace {
+        Trace { records, exit: ExitReason::Wfi }
+    }
+
+    #[test]
+    fn identical_traces_produce_no_mismatch() {
+        let t = trace(vec![record(0x8000_0000, 0x13)]);
+        assert!(diff_traces(&t, &t).is_empty());
+    }
+
+    #[test]
+    fn word_divergence_stops_scan_and_classifies_bug1() {
+        let g = trace(vec![record(0x8000_0000, 0x13), record(0x8000_0004, 0x13)]);
+        let mut d = g.clone();
+        d.records[0].word = 0x1111_1111;
+        d.records[1].pc = 0xdead; // downstream junk must not be reported
+        let ms = diff_traces(&g, &d);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(classify(&ms[0]), Some(KnownBug::Bug1IcacheCoherency));
+    }
+
+    #[test]
+    fn muldiv_missing_writeback_classifies_bug2() {
+        let mul = chatfuzz_isa::encode(&Instr::MulDiv {
+            op: chatfuzz_isa::MulDivOp::Mul,
+            rd: Reg::new(10).unwrap(),
+            rs1: Reg::new(10).unwrap(),
+            rs2: Reg::new(11).unwrap(),
+            word: false,
+        })
+        .unwrap();
+        let mut g = trace(vec![record(0x8000_0000, mul)]);
+        g.records[0].rd_write = Some((Reg::new(10).unwrap(), 42));
+        let mut d = g.clone();
+        d.records[0].rd_write = None;
+        let ms = diff_traces(&g, &d);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(classify(&ms[0]), Some(KnownBug::Bug2TracerMulDiv));
+    }
+
+    #[test]
+    fn trap_cause_flip_classifies_finding1() {
+        let g = Trace {
+            records: vec![],
+            exit: ExitReason::UnhandledTrap(chatfuzz_isa::Exception::LoadAddrMisaligned {
+                addr: 3,
+            }),
+        };
+        let d = Trace {
+            records: vec![],
+            exit: ExitReason::UnhandledTrap(chatfuzz_isa::Exception::LoadAccessFault {
+                addr: 3,
+            }),
+        };
+        let ms = diff_traces(&g, &d);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(classify(&ms[0]), Some(KnownBug::Finding1ExceptionPriority));
+    }
+
+    #[test]
+    fn spurious_x0_writes_classify_f2_f3() {
+        let amo = chatfuzz_isa::encode(&Instr::Amo {
+            op: chatfuzz_isa::AmoOp::Or,
+            width: chatfuzz_isa::MemWidth::D,
+            rd: Reg::X0,
+            rs1: Reg::new(10).unwrap(),
+            rs2: Reg::new(11).unwrap(),
+            aq: false,
+            rl: false,
+        })
+        .unwrap();
+        let g = trace(vec![record(0x8000_0000, amo)]);
+        let mut d = g.clone();
+        d.records[0].rd_write = Some((Reg::X0, 7));
+        let ms = diff_traces(&g, &d);
+        assert_eq!(classify(&ms[0]), Some(KnownBug::Finding2AmoX0));
+
+        let alu = chatfuzz_isa::encode(&Instr::Op {
+            op: chatfuzz_isa::AluOp::Add,
+            rd: Reg::X0,
+            rs1: Reg::new(11).unwrap(),
+            rs2: Reg::new(11).unwrap(),
+            word: false,
+        })
+        .unwrap();
+        let g = trace(vec![record(0x8000_0000, alu)]);
+        let mut d = g.clone();
+        d.records[0].rd_write = Some((Reg::X0, 14));
+        let ms = diff_traces(&g, &d);
+        assert_eq!(classify(&ms[0]), Some(KnownBug::Finding3X0Bypass));
+    }
+
+    #[test]
+    fn log_clusters_by_signature() {
+        let mut log = MismatchLog::new();
+        for i in 0..5 {
+            log.record(vec![Mismatch::WordDivergence {
+                index: i,
+                pc: 0x8000_0000 + i as u64 * 4,
+                golden_word: 1,
+                dut_word: 2,
+            }]);
+        }
+        log.record(vec![Mismatch::PcDivergence {
+            index: 0,
+            golden_pc: 1,
+            dut_pc: 2,
+        }]);
+        assert_eq!(log.raw_count(), 6);
+        assert_eq!(log.unique().len(), 2);
+        assert_eq!(log.bugs_found(), vec![KnownBug::Bug1IcacheCoherency]);
+    }
+
+    #[test]
+    fn filters_suppress_configured_reports() {
+        let filter = MismatchFilter { ignore_length: true, ignore_regs: vec![Reg::X0] };
+        let mut log = MismatchLog::with_filter(filter);
+        log.record(vec![
+            Mismatch::LengthDivergence { golden: 1, dut: 2 },
+            Mismatch::RdWriteDivergence {
+                index: 0,
+                pc: 0,
+                word: 0x13,
+                golden: None,
+                dut: Some((Reg::X0, 1)),
+            },
+        ]);
+        assert_eq!(log.raw_count(), 0);
+    }
+}

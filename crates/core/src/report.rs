@@ -1,0 +1,142 @@
+//! Human- and machine-readable rendering of campaign results.
+//!
+//! The experiment harness and the examples both need the same few views of
+//! a [`CampaignReport`]: a coverage-over-time CSV, a markdown summary, and
+//! a compact one-line digest for logs. Keeping them here (instead of in
+//! each binary) makes report formats part of the library contract.
+
+use std::fmt::Write as _;
+
+use crate::fuzz::CampaignReport;
+
+/// Renders the coverage history as CSV
+/// (`tests,covered_bins,coverage_pct,sim_cycles,wall_s`).
+pub fn history_csv(report: &CampaignReport) -> String {
+    let mut out = String::from("tests,covered_bins,coverage_pct,sim_cycles,wall_s\n");
+    for p in &report.history {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{},{:.3}",
+            p.tests,
+            p.covered_bins,
+            p.coverage_pct,
+            p.sim_cycles,
+            p.wall.as_secs_f64()
+        );
+    }
+    out
+}
+
+/// Renders a full markdown summary: headline, history table, unique
+/// mismatches and classified defects.
+pub fn markdown_summary(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Campaign: `{}` vs `{}`\n", report.generator, report.dut);
+    let _ = writeln!(
+        out,
+        "- tests: **{}**  coverage: **{:.2}%**  sim-cycles: {}  wall: {:.1}s",
+        report.tests_run,
+        report.final_coverage_pct,
+        report.total_cycles,
+        report.wall.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "- mismatches: {} raw, {} unique, {} classified defects\n",
+        report.raw_mismatches,
+        report.unique_mismatches.len(),
+        report.bugs.len()
+    );
+    let _ = writeln!(out, "## Coverage over time\n");
+    let _ = writeln!(out, "| tests | coverage % | sim cycles |");
+    let _ = writeln!(out, "|---|---|---|");
+    for p in &report.history {
+        let _ = writeln!(out, "| {} | {:.2} | {} |", p.tests, p.coverage_pct, p.sim_cycles);
+    }
+    if !report.unique_mismatches.is_empty() {
+        let _ = writeln!(out, "\n## Unique mismatches\n");
+        let _ = writeln!(out, "| signature | count | classified |");
+        let _ = writeln!(out, "|---|---|---|");
+        for u in &report.unique_mismatches {
+            let bug = u.bug.map(|b| b.to_string()).unwrap_or_else(|| "-".into());
+            let _ = writeln!(out, "| `{}` | {} | {} |", u.signature, u.count, bug);
+        }
+    }
+    if !report.bugs.is_empty() {
+        let _ = writeln!(out, "\n## Defects found\n");
+        for b in &report.bugs {
+            let _ = writeln!(out, "- {b}");
+        }
+    }
+    out
+}
+
+/// One-line digest for progress logs.
+pub fn digest(report: &CampaignReport) -> String {
+    format!(
+        "{}@{}: {:.2}% in {} tests ({} raw / {} unique mismatches, {} defects)",
+        report.generator,
+        report.dut,
+        report.final_coverage_pct,
+        report.tests_run,
+        report.raw_mismatches,
+        report.unique_mismatches.len(),
+        report.bugs.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::{run_campaign, CampaignConfig};
+    use chatfuzz_baselines::{MutatorConfig, TheHuzz};
+    use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
+
+    fn small_report() -> CampaignReport {
+        let mut generator = TheHuzz::new(MutatorConfig::default());
+        let factory = || Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>;
+        let cfg = CampaignConfig {
+            total_tests: 32,
+            batch_size: 16,
+            workers: 2,
+            history_every: 16,
+            ..Default::default()
+        };
+        run_campaign(&mut generator, &factory, &cfg)
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_point() {
+        let report = small_report();
+        let csv = history_csv(&report);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("tests,covered_bins"));
+        assert_eq!(lines.len(), report.history.len() + 1);
+        // Every data row parses back.
+        for line in &lines[1..] {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 5);
+            cols[0].parse::<usize>().unwrap();
+            cols[2].parse::<f64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn markdown_contains_headline_and_mismatch_sections() {
+        let report = small_report();
+        let md = markdown_summary(&report);
+        assert!(md.contains("# Campaign: `thehuzz` vs `rocket`"));
+        assert!(md.contains("## Coverage over time"));
+        if report.raw_mismatches > 0 {
+            assert!(md.contains("## Unique mismatches"));
+        }
+    }
+
+    #[test]
+    fn digest_is_single_line() {
+        let report = small_report();
+        let d = digest(&report);
+        assert!(!d.contains('\n'));
+        assert!(d.contains("thehuzz@rocket"));
+    }
+}

@@ -1,0 +1,817 @@
+//! Synthetic machine-language training corpus (paper §III-A).
+//!
+//! The paper statically extracts ~500 K per-function machine-code snippets
+//! from a compiled Linux kernel; the property it relies on is that each
+//! snippet is a self-contained unit with strong **instruction
+//! inter-dependency** (data flow through registers and memory, loops,
+//! compare-and-branch idioms, privilege-handling sequences). Compiling a
+//! kernel is out of scope here, so this crate *manufactures* that property
+//! directly: a seeded generator emits function-shaped RV64 bodies composed
+//! of compiler-like idioms — stack prologue/epilogue, dependent arithmetic
+//! chains, counted loops, guarded blocks, memory round-trips, atomics,
+//! CSR accesses, a full trap-handler round-trip template, and occasional
+//! self-modifying-code patterns (with and without `fence.i` — the BUG1
+//! trigger).
+//!
+//! The ablation hook [`shuffle_bodies`] destroys the inter-dependency while
+//! keeping the instruction multiset identical (experiment A3 in DESIGN.md).
+//!
+//! # Examples
+//!
+//! ```
+//! use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
+//!
+//! let mut generator = CorpusGenerator::new(CorpusConfig::default());
+//! let functions = generator.generate_words(8);
+//! assert_eq!(functions.len(), 8);
+//! for f in &functions {
+//!     for w in f {
+//!         chatfuzz_isa::decode(*w).unwrap(); // every word decodes
+//!     }
+//! }
+//! ```
+
+use chatfuzz_isa::asm::Assembler;
+use chatfuzz_isa::{
+    encode, AluOp, AmoOp, BranchCond, Csr, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, Reg,
+    SystemOp,
+};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Corpus-generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// RNG seed (the corpus is fully reproducible).
+    pub seed: u64,
+    /// Minimum instructions per function body.
+    pub min_body: usize,
+    /// Maximum instructions per function body.
+    pub max_body: usize,
+    /// Base address functions assume for scratch memory (must be RAM).
+    pub scratch_base: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 0xC0FFEE,
+            min_body: 8,
+            max_body: 28,
+            scratch_base: 0x8008_0000,
+        }
+    }
+}
+
+/// Seeded generator of function-shaped instruction sequences.
+#[derive(Debug)]
+pub struct CorpusGenerator {
+    cfg: CorpusConfig,
+    rng: ChaCha8Rng,
+    label_counter: usize,
+}
+
+impl CorpusGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(cfg: CorpusConfig) -> CorpusGenerator {
+        CorpusGenerator { cfg, rng: ChaCha8Rng::seed_from_u64(cfg.seed), label_counter: 0 }
+    }
+
+    /// Generates `n` function bodies as decoded instructions.
+    pub fn generate(&mut self, n: usize) -> Vec<Vec<Instr>> {
+        (0..n).map(|_| self.generate_function()).collect()
+    }
+
+    /// Generates `n` function bodies as encoded instruction words.
+    pub fn generate_words(&mut self, n: usize) -> Vec<Vec<u32>> {
+        self.generate(n)
+            .iter()
+            .map(|f| f.iter().map(|i| encode(i).expect("corpus emits encodable code")).collect())
+            .collect()
+    }
+
+    fn fresh_label(&mut self, hint: &str) -> String {
+        self.label_counter += 1;
+        format!("{hint}_{}", self.label_counter)
+    }
+
+    /// One function: prologue, a run of idioms, epilogue.
+    pub fn generate_function(&mut self) -> Vec<Instr> {
+        let mut asm = Assembler::new();
+        let mut live: Vec<Reg> = Vec::new();
+
+        self.emit_prologue(&mut asm);
+        // A base pointer into scratch memory is almost always live, like a
+        // compiler's frame/global pointer.
+        let base = Reg::new(8).unwrap(); // s0
+        asm.li(base, self.cfg.scratch_base as i64 + i64::from(self.rng.gen_range(0..16)) * 8);
+        live.push(base);
+
+        let body_target = self.rng.gen_range(self.cfg.min_body..=self.cfg.max_body);
+        while asm.len() < body_target {
+            match self.rng.gen_range(0..100) {
+                0..=21 => self.emit_arith_chain(&mut asm, &mut live),
+                22..=35 => self.emit_counted_loop(&mut asm, &mut live),
+                36..=46 => self.emit_memory_roundtrip(&mut asm, &mut live, base),
+                47..=54 => self.emit_guarded_block(&mut asm, &mut live),
+                55..=62 => self.emit_muldiv(&mut asm, &mut live),
+                63..=69 => self.emit_atomic(&mut asm, &mut live, base),
+                70..=76 => self.emit_csr_idiom(&mut asm, &mut live),
+                77..=81 => self.emit_trap_roundtrip(&mut asm),
+                82..=85 => self.emit_call(&mut asm, &mut live),
+                86..=89 => self.emit_streaming_stores(&mut asm, &mut live, base),
+                90..=93 => self.emit_fault_probe(&mut asm, &mut live, base),
+                94..=96 => self.emit_div_corners(&mut asm, &mut live),
+                _ => self.emit_smc(&mut asm, &mut live),
+            }
+        }
+        // Occasionally end the function by descending to U- or S-mode and
+        // exercising delegated traps there — the privilege-entangled tail
+        // the paper's deep findings come from.
+        let descended = if self.rng.gen_bool(0.25) {
+            let to_supervisor = self.rng.gen_bool(0.5);
+            self.emit_priv_descent(&mut asm, &mut live, base, to_supervisor);
+            true
+        } else {
+            false
+        };
+        if descended {
+            // Low-privilege code cannot restore the M-stack discipline;
+            // terminate cleanly instead.
+            asm.push(Instr::System(SystemOp::Wfi));
+        } else {
+            self.emit_epilogue(&mut asm);
+        }
+        asm.assemble().expect("corpus assembles")
+    }
+
+    fn emit_prologue(&mut self, asm: &mut Assembler) {
+        let sp = Reg::SP;
+        asm.push(Instr::OpImm { op: AluOp::Add, rd: sp, rs1: sp, imm: -32, word: false });
+        asm.push(Instr::Store { width: MemWidth::D, rs2: Reg::RA, rs1: sp, offset: 24 });
+        asm.push(Instr::Store {
+            width: MemWidth::D,
+            rs2: Reg::new(8).unwrap(),
+            rs1: sp,
+            offset: 16,
+        });
+    }
+
+    fn emit_epilogue(&mut self, asm: &mut Assembler) {
+        let sp = Reg::SP;
+        asm.push(Instr::Load {
+            width: MemWidth::D,
+            signed: true,
+            rd: Reg::RA,
+            rs1: sp,
+            offset: 24,
+        });
+        asm.push(Instr::Load {
+            width: MemWidth::D,
+            signed: true,
+            rd: Reg::new(8).unwrap(),
+            rs1: sp,
+            offset: 16,
+        });
+        asm.push(Instr::OpImm { op: AluOp::Add, rd: sp, rs1: sp, imm: 32, word: false });
+        if self.rng.gen_bool(0.8) {
+            asm.push(Instr::Jalr { rd: Reg::X0, rs1: Reg::RA, offset: 0 }); // ret
+        } else {
+            asm.push(Instr::System(SystemOp::Wfi));
+        }
+    }
+
+    fn pick_live(&mut self, live: &[Reg]) -> Reg {
+        if live.is_empty() || self.rng.gen_bool(0.15) {
+            Reg::X0
+        } else {
+            *live.choose(&mut self.rng).expect("non-empty")
+        }
+    }
+
+    fn fresh_reg(&mut self, live: &mut Vec<Reg>) -> Reg {
+        let candidates: Vec<Reg> = Reg::temps().chain(Reg::args()).collect();
+        let r = *candidates.choose(&mut self.rng).expect("non-empty");
+        if !live.contains(&r) {
+            live.push(r);
+        }
+        r
+    }
+
+    /// Dependent arithmetic: each op consumes earlier results. A few
+    /// percent of chains end by discarding a dependent result into `x0`
+    /// (pseudo-random generated code does this; it is the paper's
+    /// Finding-3 trigger sequence).
+    fn emit_arith_chain(&mut self, asm: &mut Assembler, live: &mut Vec<Reg>) {
+        if self.rng.gen_bool(0.12) {
+            let rs1 = self.pick_live(live);
+            let producer = self.fresh_reg(live);
+            asm.push(Instr::OpImm {
+                op: AluOp::Add,
+                rd: producer,
+                rs1,
+                imm: self.rng.gen_range(-32..32),
+                word: false,
+            });
+            asm.push(Instr::Op {
+                op: AluOp::Add,
+                rd: Reg::X0,
+                rs1: producer,
+                rs2: producer,
+                word: false,
+            });
+        }
+        let len = self.rng.gen_range(2..=4);
+        for _ in 0..len {
+            let rs1 = self.pick_live(live);
+            let rd = self.fresh_reg(live);
+            if self.rng.gen_bool(0.5) {
+                let imm = self.rng.gen_range(-512..512);
+                let ops = [AluOp::Add, AluOp::Xor, AluOp::Or, AluOp::And, AluOp::Slt];
+                let op = *ops.choose(&mut self.rng).expect("non-empty");
+                let word = op == AluOp::Add && self.rng.gen_bool(0.25);
+                asm.push(Instr::OpImm { op, rd, rs1, imm, word });
+            } else {
+                let rs2 = self.pick_live(live);
+                let ops = [
+                    AluOp::Add,
+                    AluOp::Sub,
+                    AluOp::Sll,
+                    AluOp::Srl,
+                    AluOp::Sra,
+                    AluOp::Xor,
+                    AluOp::Sltu,
+                ];
+                let op = *ops.choose(&mut self.rng).expect("non-empty");
+                let word = op.has_word_form() && self.rng.gen_bool(0.2);
+                asm.push(Instr::Op { op, rd, rs1, rs2, word });
+            }
+        }
+    }
+
+    /// `li n; loop: body; addi n, n, -1; bne n, x0, loop`.
+    ///
+    /// Hot loops (up to 10 iterations) saturate the BHT counters and carry
+    /// a never-taken guard inside the body so the not-taken side of the
+    /// predictor state machine is exercised at a stable PC.
+    fn emit_counted_loop(&mut self, asm: &mut Assembler, live: &mut Vec<Reg>) {
+        let counter = self.fresh_reg(live);
+        let mut acc = self.fresh_reg(live);
+        if acc == counter {
+            acc = Reg::new(28).unwrap(); // t3: guaranteed distinct fallback
+        }
+        let n = self.rng.gen_range(2..=10);
+        let label = self.fresh_label("loop");
+        asm.li(counter, n);
+        asm.label(&label);
+        let rs = self.pick_live(live);
+        asm.push(Instr::Op { op: AluOp::Add, rd: acc, rs1: acc, rs2: rs, word: false });
+        if self.rng.gen_bool(0.4) {
+            // Never-taken guard: counter is non-zero inside the loop.
+            let skip = self.fresh_label("nt");
+            asm.branch_to(BranchCond::Eq, counter, Reg::X0, &skip);
+            asm.push(Instr::OpImm { op: AluOp::Xor, rd: acc, rs1: acc, imm: 1, word: false });
+            asm.label(&skip);
+        }
+        asm.push(Instr::OpImm { op: AluOp::Add, rd: counter, rs1: counter, imm: -1, word: false });
+        asm.branch_to(BranchCond::Ne, counter, Reg::X0, &label);
+    }
+
+    /// A local call/return pair: exercises the return-address stack with a
+    /// matched `jal ra` / `jalr x0, 0(ra)`.
+    fn emit_call(&mut self, asm: &mut Assembler, live: &mut Vec<Reg>) {
+        let callee = self.fresh_label("callee");
+        let after = self.fresh_label("after");
+        asm.jal_to(Reg::RA, &callee);
+        // Return lands here; do one dependent op then skip the callee body.
+        let rd = self.fresh_reg(live);
+        asm.push(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: 3, word: false });
+        asm.jal_to(Reg::X0, &after);
+        asm.label(&callee);
+        let rs = self.pick_live(live);
+        asm.push(Instr::Op { op: AluOp::Xor, rd, rs1: rd, rs2: rs, word: false });
+        asm.push(Instr::Jalr { rd: Reg::X0, rs1: Reg::RA, offset: 0 }); // ret
+        asm.label(&after);
+        asm.nop();
+    }
+
+    /// Strided stores across many cache lines (working-set growth, way
+    /// conflicts, dirty evictions).
+    fn emit_streaming_stores(&mut self, asm: &mut Assembler, live: &mut Vec<Reg>, base: Reg) {
+        let src = self.pick_live(live);
+        let lines = self.rng.gen_range(4..=8);
+        let stride = 64 * self.rng.gen_range(1..=3);
+        for i in 0..lines {
+            let offset = i * stride + 8;
+            if offset > 2047 {
+                break;
+            }
+            asm.push(Instr::Store { width: MemWidth::D, rs2: src, rs1: base, offset });
+        }
+        let dst = self.fresh_reg(live);
+        asm.push(Instr::Load { width: MemWidth::D, signed: true, rd: dst, rs1: base, offset: 8 });
+    }
+
+    /// Deliberate architectural corner cases: misaligned accesses,
+    /// out-of-PMA accesses, misaligned jump targets, breakpoints — the
+    /// fault surface the paper's generated tests keep poking (its Finding 1
+    /// test cases are exactly simultaneous misaligned+faulting accesses).
+    fn emit_fault_probe(&mut self, asm: &mut Assembler, live: &mut Vec<Reg>, base: Reg) {
+        let rd = self.fresh_reg(live);
+        match self.rng.gen_range(0..6) {
+            // Misaligned load (in RAM): cause 4.
+            0 => {
+                let width = if self.rng.gen_bool(0.5) { MemWidth::W } else { MemWidth::H };
+                asm.push(Instr::Load {
+                    width,
+                    signed: true,
+                    rd,
+                    rs1: base,
+                    offset: self.rng.gen_range(0..4) * 2 + 1,
+                });
+            }
+            // Misaligned store (in RAM): cause 6.
+            1 => {
+                let src = self.pick_live(live);
+                asm.push(Instr::Store { width: MemWidth::W, rs2: src, rs1: base, offset: 2 });
+            }
+            // Access fault: low address, also misaligned half the time —
+            // the Finding-1 double condition.
+            2 => {
+                let t = Reg::new(29).unwrap(); // t4
+                let addr = if self.rng.gen_bool(0.5) { 0x103 } else { 0x100 };
+                asm.li(t, addr);
+                asm.push(Instr::Load { width: MemWidth::W, signed: false, rd, rs1: t, offset: 0 });
+            }
+            // Store access fault.
+            3 => {
+                let t = Reg::new(29).unwrap();
+                asm.li(t, 0x41);
+                asm.push(Instr::Store { width: MemWidth::D, rs2: base, rs1: t, offset: 0 });
+            }
+            // Misaligned jump target: cause 0 (trap taken at the jalr).
+            4 => {
+                asm.push(Instr::Jalr { rd: Reg::X0, rs1: base, offset: 2 });
+            }
+            // Breakpoint: cause 3.
+            _ => {
+                asm.push(Instr::System(SystemOp::Ebreak));
+            }
+        }
+    }
+
+    /// Divider corner cases: signed overflow (MIN / −1) and back-to-back
+    /// divides (structural hazard on the mul/div unit).
+    fn emit_div_corners(&mut self, asm: &mut Assembler, live: &mut Vec<Reg>) {
+        let t = Reg::new(30).unwrap(); // t5
+        let u = Reg::new(31).unwrap(); // t6
+        let rd = self.fresh_reg(live);
+        // t = i64::MIN; u = -1.
+        asm.push(Instr::OpImm { op: AluOp::Add, rd: t, rs1: Reg::X0, imm: -1, word: false });
+        asm.push(Instr::OpImm { op: AluOp::Sll, rd: t, rs1: t, imm: 63, word: false });
+        asm.push(Instr::OpImm { op: AluOp::Add, rd: u, rs1: Reg::X0, imm: -1, word: false });
+        asm.push(Instr::MulDiv { op: MulDivOp::Div, rd, rs1: t, rs2: u, word: false });
+        // Back-to-back divide: structural stall.
+        asm.push(Instr::MulDiv { op: MulDivOp::Rem, rd, rs1: t, rs2: u, word: false });
+    }
+
+    /// Descends to U- or S-mode with delegation installed, takes delegated
+    /// traps there, and (for S) drops further privilege with `sret`.
+    ///
+    /// ```text
+    ///     jal  t1, skip
+    /// s_handler:                  ; delegated traps land here (S-mode)
+    ///     csrrs t0, sepc, x0
+    ///     addi  t0, t0, 4
+    ///     csrrw x0, sepc, t0
+    ///     sret
+    /// skip:
+    ///     csrw  stvec, t1
+    ///     li    t2, 0x100         ; delegate ecall-from-U
+    ///     csrw  medeleg, t2
+    ///     li    t3, 0x1800
+    ///     csrrc x0, mstatus, t3   ; MPP = U
+    ///   [ li t4, 0x800 ; csrrs x0, mstatus, t4 ]  ; MPP = S variant
+    ///     auipc t5, 0
+    ///     addi  t5, t5, 16
+    ///     csrw  mepc, t5
+    ///     mret                    ; descend
+    /// target:
+    ///     …low-privilege memory / atomic / csr / ecall activity…
+    /// ```
+    fn emit_priv_descent(
+        &mut self,
+        asm: &mut Assembler,
+        live: &mut Vec<Reg>,
+        base: Reg,
+        to_supervisor: bool,
+    ) {
+        let t0 = Reg::new(5).unwrap();
+        let t1 = Reg::new(6).unwrap();
+        let t2 = Reg::new(7).unwrap();
+        let skip = self.fresh_label("sskip");
+        asm.jal_to(t1, &skip);
+        // s_handler:
+        asm.push(Instr::Csr { op: CsrOp::Rs, rd: t0, csr: Csr::SEPC.addr(), src: CsrSrc::Reg(Reg::X0) });
+        asm.push(Instr::OpImm { op: AluOp::Add, rd: t0, rs1: t0, imm: 4, word: false });
+        asm.push(Instr::Csr { op: CsrOp::Rw, rd: Reg::X0, csr: Csr::SEPC.addr(), src: CsrSrc::Reg(t0) });
+        asm.push(Instr::System(SystemOp::Sret));
+        asm.label(&skip);
+        asm.push(Instr::Csr { op: CsrOp::Rw, rd: Reg::X0, csr: Csr::STVEC.addr(), src: CsrSrc::Reg(t1) });
+        asm.li(t2, 0x100); // ecall-from-U delegatable
+        asm.push(Instr::Csr { op: CsrOp::Rw, rd: Reg::X0, csr: Csr::MEDELEG.addr(), src: CsrSrc::Reg(t2) });
+        asm.li(t2, 0x1800);
+        asm.push(Instr::Csr { op: CsrOp::Rc, rd: Reg::X0, csr: Csr::MSTATUS.addr(), src: CsrSrc::Reg(t2) });
+        if to_supervisor {
+            asm.li(t2, 0x800);
+            asm.push(Instr::Csr { op: CsrOp::Rs, rd: Reg::X0, csr: Csr::MSTATUS.addr(), src: CsrSrc::Reg(t2) });
+        }
+        asm.push(Instr::Auipc { rd: t0, imm: 0 });
+        asm.push(Instr::OpImm { op: AluOp::Add, rd: t0, rs1: t0, imm: 16, word: false });
+        asm.push(Instr::Csr { op: CsrOp::Rw, rd: Reg::X0, csr: Csr::MEPC.addr(), src: CsrSrc::Reg(t0) });
+        asm.push(Instr::System(SystemOp::Mret));
+        // target: low-privilege activity.
+        if to_supervisor {
+            // S-mode: CSR writes, an ecall to M, then drop to U with sret.
+            asm.push(Instr::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::X0,
+                csr: Csr::SSCRATCH.addr(),
+                src: CsrSrc::Reg(base),
+            });
+            asm.push(Instr::System(SystemOp::Ecall)); // cause 9 -> M handler
+            // Return point for the eventual sret: reuse the trap handler's
+            // sepc bump by taking the delegated path later from U.
+            asm.push(Instr::Auipc { rd: t0, imm: 0 });
+            asm.push(Instr::OpImm { op: AluOp::Add, rd: t0, rs1: t0, imm: 16, word: false });
+            asm.push(Instr::Csr { op: CsrOp::Rw, rd: Reg::X0, csr: Csr::SEPC.addr(), src: CsrSrc::Reg(t0) });
+            asm.push(Instr::System(SystemOp::Sret)); // S -> U
+        }
+        // U-mode: memory, atomics and delegated ecalls.
+        let rd = self.fresh_reg(live);
+        asm.push(Instr::Store { width: MemWidth::D, rs2: rd, rs1: base, offset: 32 });
+        asm.push(Instr::Load { width: MemWidth::D, signed: true, rd, rs1: base, offset: 32 });
+        asm.push(Instr::Amo {
+            op: AmoOp::Add,
+            width: MemWidth::D,
+            rd,
+            rs1: base,
+            rs2: rd,
+            aq: false,
+            rl: false,
+        });
+        asm.push(Instr::System(SystemOp::Ecall)); // delegated -> s_handler
+        asm.push(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: 1, word: false });
+        asm.push(Instr::System(SystemOp::Ecall)); // second delegation
+        asm.push(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: 1, word: false });
+    }
+
+    /// Store then reload through scratch memory (dataflow through memory).
+    fn emit_memory_roundtrip(&mut self, asm: &mut Assembler, live: &mut Vec<Reg>, base: Reg) {
+        let src = self.pick_live(live);
+        let dst = self.fresh_reg(live);
+        let widths = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D];
+        let width = *widths.choose(&mut self.rng).expect("non-empty");
+        let offset = self.rng.gen_range(0..8i64) * 8; // aligned for every width
+        asm.push(Instr::Store { width, rs2: src, rs1: base, offset });
+        let signed = width == MemWidth::D || self.rng.gen_bool(0.5);
+        asm.push(Instr::Load { width, signed, rd: dst, rs1: base, offset });
+    }
+
+    /// Forward branch guarding a short then-block.
+    fn emit_guarded_block(&mut self, asm: &mut Assembler, live: &mut Vec<Reg>) {
+        let a = self.pick_live(live);
+        let b = self.pick_live(live);
+        let label = self.fresh_label("skip");
+        let conds = [BranchCond::Eq, BranchCond::Ne, BranchCond::Lt, BranchCond::Geu];
+        let cond = *conds.choose(&mut self.rng).expect("non-empty");
+        asm.branch_to(cond, a, b, &label);
+        let len = self.rng.gen_range(1..=3);
+        for _ in 0..len {
+            let rd = self.fresh_reg(live);
+            let rs1 = self.pick_live(live);
+            asm.push(Instr::OpImm {
+                op: AluOp::Add,
+                rd,
+                rs1,
+                imm: self.rng.gen_range(-64..64),
+                word: false,
+            });
+        }
+        asm.label(&label);
+        asm.nop(); // a landing slot so the label always resolves forward
+    }
+
+    fn emit_muldiv(&mut self, asm: &mut Assembler, live: &mut Vec<Reg>) {
+        let rs1 = self.pick_live(live);
+        let rs2 = self.pick_live(live);
+        let rd = self.fresh_reg(live);
+        let ops = [
+            MulDivOp::Mul,
+            MulDivOp::Mulh,
+            MulDivOp::Mulhu,
+            MulDivOp::Div,
+            MulDivOp::Divu,
+            MulDivOp::Rem,
+            MulDivOp::Remu,
+        ];
+        let op = *ops.choose(&mut self.rng).expect("non-empty");
+        let word = op.has_word_form() && self.rng.gen_bool(0.25);
+        asm.push(Instr::MulDiv { op, rd, rs1, rs2, word });
+    }
+
+    /// LR/SC pair or a read-modify-write AMO on scratch memory.
+    fn emit_atomic(&mut self, asm: &mut Assembler, live: &mut Vec<Reg>, base: Reg) {
+        let width = if self.rng.gen_bool(0.5) { MemWidth::W } else { MemWidth::D };
+        if self.rng.gen_bool(0.4) {
+            let old = self.fresh_reg(live);
+            let flag = self.fresh_reg(live);
+            let val = self.pick_live(live);
+            asm.push(Instr::LoadReserved { width, rd: old, rs1: base, aq: true, rl: false });
+            asm.push(Instr::StoreConditional {
+                width,
+                rd: flag,
+                rs1: base,
+                rs2: val,
+                aq: false,
+                rl: true,
+            });
+        } else {
+            let ops = [
+                AmoOp::Swap,
+                AmoOp::Add,
+                AmoOp::Xor,
+                AmoOp::And,
+                AmoOp::Or,
+                AmoOp::Min,
+                AmoOp::Maxu,
+            ];
+            let op = *ops.choose(&mut self.rng).expect("non-empty");
+            // Sometimes rd = x0: the paper's Finding 2 corner.
+            let rd = if self.rng.gen_bool(0.2) { Reg::X0 } else { self.fresh_reg(live) };
+            let rs2 = self.pick_live(live);
+            asm.push(Instr::Amo {
+                op,
+                width,
+                rd,
+                rs1: base,
+                rs2,
+                aq: self.rng.gen_bool(0.3),
+                rl: self.rng.gen_bool(0.3),
+            });
+        }
+    }
+
+    fn emit_csr_idiom(&mut self, asm: &mut Assembler, live: &mut Vec<Reg>) {
+        let rd = self.fresh_reg(live);
+        let csrs = [
+            Csr::MSCRATCH,
+            Csr::MSTATUS,
+            Csr::MEPC,
+            Csr::MCAUSE,
+            Csr::MTVAL,
+            Csr::MISA,
+            Csr::MHARTID,
+            Csr::MCYCLE,
+            Csr::MEDELEG,
+            Csr::MIE,
+            Csr::SSCRATCH,
+            Csr::STVEC,
+        ];
+        let csr = *csrs.choose(&mut self.rng).expect("non-empty");
+        // Writes are restricted to CSRs whose corruption cannot strand the
+        // run (no mtvec/medeleg garbage); compiled code behaves the same.
+        let write_safe = matches!(
+            csr,
+            Csr::MSCRATCH | Csr::SSCRATCH | Csr::MCAUSE | Csr::MTVAL | Csr::MCYCLE
+        );
+        if !write_safe || self.rng.gen_bool(0.5) {
+            // Read (csrrs rd, csr, x0) — legal even on read-only CSRs.
+            asm.push(Instr::Csr {
+                op: CsrOp::Rs,
+                rd,
+                csr: csr.addr(),
+                src: CsrSrc::Reg(Reg::X0),
+            });
+        } else {
+            let src = if self.rng.gen_bool(0.5) {
+                CsrSrc::Imm(self.rng.gen_range(0..32))
+            } else {
+                CsrSrc::Reg(self.pick_live(live))
+            };
+            let op = if self.rng.gen_bool(0.5) { CsrOp::Rw } else { CsrOp::Rc };
+            asm.push(Instr::Csr { op, rd, csr: csr.addr(), src });
+        }
+    }
+
+    /// Install a trap handler, `ecall` into it, `mret` back — the
+    /// privilege-entanglement template no random generator stumbles into.
+    ///
+    /// Layout (also *executes* correctly when reached):
+    ///
+    /// ```text
+    ///     jal  t1, skip      ; t1 = address of `handler` (pc+4)
+    /// handler:
+    ///     csrrs t0, mepc, x0
+    ///     addi  t0, t0, 4
+    ///     csrrw x0, mepc, t0
+    ///     mret
+    /// skip:
+    ///     csrrw x0, mtvec, t1
+    ///     ecall              ; round-trips through the handler
+    /// ```
+    fn emit_trap_roundtrip(&mut self, asm: &mut Assembler) {
+        let t0 = Reg::new(5).unwrap();
+        let t1 = Reg::new(6).unwrap();
+        let skip = self.fresh_label("skip");
+        asm.jal_to(t1, &skip);
+        // handler body (t1 points here):
+        asm.push(Instr::Csr {
+            op: CsrOp::Rs,
+            rd: t0,
+            csr: Csr::MEPC.addr(),
+            src: CsrSrc::Reg(Reg::X0),
+        });
+        asm.push(Instr::OpImm { op: AluOp::Add, rd: t0, rs1: t0, imm: 4, word: false });
+        asm.push(Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::X0,
+            csr: Csr::MEPC.addr(),
+            src: CsrSrc::Reg(t0),
+        });
+        asm.push(Instr::System(SystemOp::Mret));
+        asm.label(&skip);
+        asm.push(Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::X0,
+            csr: Csr::MTVEC.addr(),
+            src: CsrSrc::Reg(t1),
+        });
+        asm.push(Instr::System(SystemOp::Ecall));
+    }
+
+    /// Self-modifying code: write an instruction word ahead, optionally
+    /// `fence.i`, then fall through to the patched slot (paper §V-B.1).
+    fn emit_smc(&mut self, asm: &mut Assembler, live: &mut Vec<Reg>) {
+        let t0 = Reg::new(5).unwrap();
+        let t1 = Reg::new(6).unwrap();
+        // The patch destination must not collide with the template's own
+        // scratch registers (t0 holds the base address, t1 the patch word).
+        let args: Vec<Reg> = Reg::args().collect();
+        let rd = *args.choose(&mut self.rng).expect("non-empty");
+        if !live.contains(&rd) {
+            live.push(rd);
+        }
+        let patch =
+            encode(&Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: 2, word: false })
+                .expect("encodable patch");
+        asm.push(Instr::Auipc { rd: t0, imm: 0 }); // t0 = this pc
+        let before_li = asm.len();
+        asm.li(t1, i64::from(patch as i32));
+        let li_slots = (asm.len() - before_li) as i64;
+        let with_fence = self.rng.gen_bool(0.5);
+        // Slots after the auipc: li (li_slots), store (1), fence.i (0|1),
+        // then the patch slot.
+        let patch_offset = (1 + li_slots + 1 + i64::from(with_fence)) * 4;
+        asm.push(Instr::Store { width: MemWidth::W, rs2: t1, rs1: t0, offset: patch_offset });
+        if with_fence {
+            asm.push(Instr::FenceI);
+        }
+        asm.push(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: 1, word: false }); // patched
+    }
+}
+
+/// Destroys instruction inter-dependency while preserving the instruction
+/// multiset: shuffles every body with the given seed (ablation A3).
+pub fn shuffle_bodies(corpus: &[Vec<u32>], seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    corpus
+        .iter()
+        .map(|body| {
+            let mut b = body.clone();
+            b.shuffle(&mut rng);
+            b
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatfuzz_isa::decode;
+
+    #[test]
+    fn corpus_is_fully_decodable() {
+        let mut g = CorpusGenerator::new(CorpusConfig::default());
+        for body in g.generate_words(64) {
+            assert!(!body.is_empty());
+            for w in body {
+                decode(w).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_is_reproducible_per_seed() {
+        let mut a = CorpusGenerator::new(CorpusConfig::default());
+        let mut b = CorpusGenerator::new(CorpusConfig::default());
+        assert_eq!(a.generate_words(16), b.generate_words(16));
+        let mut c = CorpusGenerator::new(CorpusConfig { seed: 1, ..Default::default() });
+        assert_ne!(a.generate_words(16), c.generate_words(16));
+    }
+
+    #[test]
+    fn functions_have_prologue_and_control_flow() {
+        let mut g = CorpusGenerator::new(CorpusConfig::default());
+        let bodies = g.generate(64);
+        for body in &bodies {
+            match body[0] {
+                Instr::OpImm { rd, rs1, imm, .. } => {
+                    assert_eq!(rd, Reg::SP);
+                    assert_eq!(rs1, Reg::SP);
+                    assert!(imm < 0);
+                }
+                ref other => panic!("expected prologue, got {other}"),
+            }
+        }
+        let with_branches = bodies
+            .iter()
+            .filter(|b| b.iter().any(|i| matches!(i, Instr::Branch { .. })))
+            .count();
+        assert!(
+            with_branches * 2 > bodies.len(),
+            "{with_branches}/{} have branches",
+            bodies.len()
+        );
+    }
+
+    #[test]
+    fn corpus_instruction_mix_is_diverse() {
+        let mut g = CorpusGenerator::new(CorpusConfig::default());
+        let bodies = g.generate(128);
+        let all: Vec<&Instr> = bodies.iter().flatten().collect();
+        let count = |f: fn(&&&Instr) -> bool| all.iter().filter(f).count();
+        assert!(count(|i| matches!(***i, Instr::Load { .. })) > 0);
+        assert!(count(|i| matches!(***i, Instr::Store { .. })) > 0);
+        assert!(count(|i| matches!(***i, Instr::MulDiv { .. })) > 0);
+        assert!(count(|i| matches!(***i, Instr::Amo { .. })) > 0);
+        assert!(count(|i| matches!(***i, Instr::Csr { .. })) > 0);
+        assert!(count(|i| matches!(***i, Instr::System(SystemOp::Mret))) > 0);
+        assert!(count(|i| matches!(***i, Instr::FenceI)) > 0);
+    }
+
+    /// The trap round-trip template must actually execute cleanly on the
+    /// golden model (handler installed, ecall taken, mret returns).
+    #[test]
+    fn trap_roundtrip_template_executes() {
+        use chatfuzz_softcore::{trace::ExitReason, SoftCore, SoftCoreConfig};
+        let mut g = CorpusGenerator::new(CorpusConfig::default());
+        let mut asm = Assembler::new();
+        g.emit_trap_roundtrip(&mut asm);
+        asm.push(Instr::System(SystemOp::Wfi));
+        let bytes = asm.assemble_bytes().unwrap();
+        let trace = SoftCore::new(SoftCoreConfig::default()).run(&bytes);
+        assert_eq!(trace.exit, ExitReason::Wfi, "template must survive the round trip");
+        assert_eq!(trace.trap_count(), 1, "exactly the ecall trap");
+    }
+
+    /// The SMC template must execute and actually patch the next slot.
+    #[test]
+    fn smc_template_executes_on_golden_model() {
+        use chatfuzz_softcore::{trace::ExitReason, SoftCore, SoftCoreConfig};
+        let mut g = CorpusGenerator::new(CorpusConfig::default());
+        for _ in 0..8 {
+            let mut asm = Assembler::new();
+            let mut live = Vec::new();
+            g.emit_smc(&mut asm, &mut live);
+            asm.push(Instr::System(SystemOp::Wfi));
+            let bytes = asm.assemble_bytes().unwrap();
+            let trace = SoftCore::new(SoftCoreConfig::default()).run(&bytes);
+            assert_eq!(trace.exit, ExitReason::Wfi);
+            // The patched instruction (`addi rd, rd, 2`) must have executed:
+            // its write-back value is 2 (rd starts at 0).
+            let patched = trace
+                .records
+                .iter()
+                .any(|r| r.rd_write.is_some_and(|(_, v)| v == 2));
+            assert!(patched, "golden model executes the patched instruction");
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut g = CorpusGenerator::new(CorpusConfig::default());
+        let corpus = g.generate_words(8);
+        let shuffled = shuffle_bodies(&corpus, 7);
+        assert_eq!(corpus.len(), shuffled.len());
+        for (a, b) in corpus.iter().zip(&shuffled) {
+            let mut a2 = a.clone();
+            let mut b2 = b.clone();
+            a2.sort_unstable();
+            b2.sort_unstable();
+            assert_eq!(a2, b2);
+        }
+        assert!(corpus.iter().zip(&shuffled).any(|(a, b)| a != b));
+    }
+}

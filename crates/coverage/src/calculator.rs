@@ -1,0 +1,188 @@
+//! The paper's Coverage Calculator (§IV-B).
+//!
+//! For each test input the RTL simulator produces a [`CovMap`]; the
+//! calculator derives three values per input:
+//!
+//! * **stand-alone coverage** — bins attained by this input alone;
+//! * **incremental coverage** — bins newly achieved by this input compared
+//!   with the total recorded *at the end of the previous batch*;
+//! * **total coverage** — cumulative bins attained so far.
+//!
+//! These feed the reward function of the model-optimisation RL step and the
+//! input scoring of the fuzzing loop.
+
+use crate::map::CovMap;
+use crate::space::Space;
+use std::sync::Arc;
+
+/// Per-input coverage summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputCoverage {
+    /// Bins attained by this input alone.
+    pub standalone: usize,
+    /// Bins newly attained relative to the previous batch's total.
+    pub incremental: usize,
+    /// Cumulative covered bins after folding this input in.
+    pub total_after: usize,
+    /// The space's fixed bin count (denominator).
+    pub total_bins: usize,
+}
+
+impl InputCoverage {
+    /// Total coverage percentage after this input.
+    pub fn total_percent(&self) -> f64 {
+        if self.total_bins == 0 {
+            return 0.0;
+        }
+        100.0 * self.total_after as f64 / self.total_bins as f64
+    }
+}
+
+/// Summary of one committed batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchScores {
+    /// Per-input coverage values, in batch order.
+    pub inputs: Vec<InputCoverage>,
+    /// Covered bins after the whole batch.
+    pub total_after: usize,
+    /// Bins gained by the batch as a whole.
+    pub batch_gain: usize,
+}
+
+/// Stateful cumulative-coverage tracker.
+#[derive(Debug, Clone)]
+pub struct Calculator {
+    cumulative: CovMap,
+    /// Total frozen at the end of the previous batch; incremental coverage
+    /// for every input of the current batch is measured against this.
+    previous_batch_total: CovMap,
+}
+
+impl Calculator {
+    /// Creates a calculator with empty cumulative coverage.
+    pub fn new(space: &Arc<Space>) -> Calculator {
+        Calculator {
+            cumulative: CovMap::new(space),
+            previous_batch_total: CovMap::new(space),
+        }
+    }
+
+    /// The cumulative coverage map.
+    pub fn total(&self) -> &CovMap {
+        &self.cumulative
+    }
+
+    /// Cumulative covered bins.
+    pub fn total_covered(&self) -> usize {
+        self.cumulative.covered_bins()
+    }
+
+    /// Cumulative coverage percentage.
+    pub fn total_percent(&self) -> f64 {
+        self.cumulative.percent()
+    }
+
+    /// Scores one batch of per-input maps and commits them.
+    ///
+    /// Incremental coverage for *every* input in the batch is measured
+    /// against the total recorded at the end of the previous batch, per the
+    /// paper; the cumulative map is then advanced input by input so
+    /// `total_after` is monotone within the batch.
+    pub fn score_batch(&mut self, batch: &[CovMap]) -> BatchScores {
+        let before = self.cumulative.covered_bins();
+        let mut inputs = Vec::with_capacity(batch.len());
+        for map in batch {
+            let standalone = map.covered_bins();
+            let incremental = map.count_new_vs(&self.previous_batch_total);
+            self.cumulative.merge_from(map);
+            inputs.push(InputCoverage {
+                standalone,
+                incremental,
+                total_after: self.cumulative.covered_bins(),
+                total_bins: self.cumulative.total_bins(),
+            });
+        }
+        self.previous_batch_total = self.cumulative.clone();
+        let total_after = self.cumulative.covered_bins();
+        BatchScores { inputs, total_after, batch_gain: total_after - before }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{CondId, PointKind, SpaceBuilder};
+
+    fn space(n: usize) -> Arc<Space> {
+        let mut b = SpaceBuilder::new("t");
+        for i in 0..n {
+            b.register(format!("c{i}"), PointKind::Condition);
+        }
+        b.build()
+    }
+
+    fn map_with(space: &Arc<Space>, bins: &[(u32, bool)]) -> CovMap {
+        let mut m = CovMap::new(space);
+        for &(i, o) in bins {
+            m.hit(CondId(i), o);
+        }
+        m
+    }
+
+    #[test]
+    fn standalone_and_incremental_within_one_batch() {
+        let s = space(4);
+        let mut calc = Calculator::new(&s);
+        let m1 = map_with(&s, &[(0, true), (1, true)]);
+        let m2 = map_with(&s, &[(0, true), (2, false)]);
+        let scores = calc.score_batch(&[m1, m2]);
+        assert_eq!(scores.inputs[0].standalone, 2);
+        assert_eq!(scores.inputs[0].incremental, 2);
+        // m2's (0,true) is NOT subtracted: incremental is vs the previous
+        // batch (empty), not vs earlier inputs of the same batch.
+        assert_eq!(scores.inputs[1].standalone, 2);
+        assert_eq!(scores.inputs[1].incremental, 2);
+        assert_eq!(scores.total_after, 3);
+        assert_eq!(scores.batch_gain, 3);
+    }
+
+    #[test]
+    fn incremental_resets_only_at_batch_boundary() {
+        let s = space(4);
+        let mut calc = Calculator::new(&s);
+        calc.score_batch(&[map_with(&s, &[(0, true)])]);
+        let scores = calc.score_batch(&[map_with(&s, &[(0, true), (1, false)])]);
+        assert_eq!(scores.inputs[0].standalone, 2);
+        assert_eq!(scores.inputs[0].incremental, 1); // only (1,false) is new
+        assert_eq!(scores.total_after, 2);
+    }
+
+    #[test]
+    fn totals_are_monotone() {
+        let s = space(8);
+        let mut calc = Calculator::new(&s);
+        let mut last = 0;
+        for i in 0..8u32 {
+            let scores = calc.score_batch(&[map_with(&s, &[(i, true)])]);
+            assert!(scores.total_after >= last);
+            last = scores.total_after;
+        }
+        assert_eq!(calc.total_covered(), 8);
+        assert!((calc.total_percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let s = space(2);
+        let mut calc = Calculator::new(&s);
+        let scores = calc.score_batch(&[]);
+        assert!(scores.inputs.is_empty());
+        assert_eq!(scores.batch_gain, 0);
+    }
+
+    #[test]
+    fn input_percent() {
+        let ic = InputCoverage { standalone: 1, incremental: 1, total_after: 5, total_bins: 10 };
+        assert!((ic.total_percent() - 50.0).abs() < 1e-12);
+    }
+}

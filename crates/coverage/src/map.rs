@@ -1,0 +1,230 @@
+//! Per-run coverage bitmaps.
+
+use std::sync::Arc;
+
+use crate::space::{CondId, PointKind, Space};
+
+/// A bitmap over one space's coverage bins (two bins per condition:
+/// observed-true and observed-false).
+///
+/// Maps are cheap to clone and merge; parallel fuzzing workers each fill a
+/// private map per input and the coordinator merges them into the campaign
+/// total.
+#[derive(Debug, Clone)]
+pub struct CovMap {
+    space: Arc<Space>,
+    words: Vec<u64>,
+}
+
+impl CovMap {
+    /// Creates an empty map over `space`.
+    pub fn new(space: &Arc<Space>) -> CovMap {
+        let bins = space.total_bins();
+        CovMap { space: Arc::clone(space), words: vec![0; bins.div_ceil(64)] }
+    }
+
+    /// The space this map covers.
+    pub fn space(&self) -> &Arc<Space> {
+        &self.space
+    }
+
+    #[inline]
+    fn bin_index(id: CondId, outcome: bool) -> usize {
+        id.index() * 2 + usize::from(outcome)
+    }
+
+    /// Records one observation of the condition with the given outcome.
+    #[inline]
+    pub fn hit(&mut self, id: CondId, outcome: bool) {
+        let bin = Self::bin_index(id, outcome);
+        self.words[bin / 64] |= 1 << (bin % 64);
+    }
+
+    /// Whether a given `(condition, outcome)` bin has been observed.
+    pub fn is_covered(&self, id: CondId, outcome: bool) -> bool {
+        let bin = Self::bin_index(id, outcome);
+        self.words[bin / 64] & (1 << (bin % 64)) != 0
+    }
+
+    /// Number of covered bins.
+    pub fn covered_bins(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Total bins in the space (the fixed denominator).
+    pub fn total_bins(&self) -> usize {
+        self.space.total_bins()
+    }
+
+    /// Covered percentage in `0.0..=100.0`.
+    pub fn percent(&self) -> f64 {
+        if self.space.total_bins() == 0 {
+            return 0.0;
+        }
+        100.0 * self.covered_bins() as f64 / self.space.total_bins() as f64
+    }
+
+    /// Number of covered bins restricted to points of `kind`
+    /// (the DifuzzRTL-style control-register subset uses
+    /// [`PointKind::MuxSelect`]).
+    pub fn covered_bins_of_kind(&self, kind: PointKind) -> usize {
+        self.space
+            .iter()
+            .filter(|(_, _, k)| *k == kind)
+            .map(|(id, _, _)| {
+                usize::from(self.is_covered(id, false)) + usize::from(self.is_covered(id, true))
+            })
+            .sum()
+    }
+
+    /// Merges another worker's map into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps were built over structurally different spaces
+    /// (different [`Space::fingerprint`]), which would silently corrupt
+    /// coverage accounting.
+    pub fn merge_from(&mut self, other: &CovMap) {
+        assert_eq!(
+            self.space.fingerprint(),
+            other.space.fingerprint(),
+            "merging coverage maps from different spaces"
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of bins covered by `self` that `base` has not covered.
+    pub fn count_new_vs(&self, base: &CovMap) -> usize {
+        assert_eq!(
+            self.space.fingerprint(),
+            base.space.fingerprint(),
+            "comparing coverage maps from different spaces"
+        );
+        self.words
+            .iter()
+            .zip(&base.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Clears all observations (map reuse between inputs).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over the names of conditions with at least one uncovered
+    /// bin — the "coverage holes" report.
+    pub fn holes(&self) -> impl Iterator<Item = &str> {
+        self.space
+            .iter()
+            .filter(|(id, _, _)| !self.is_covered(*id, false) || !self.is_covered(*id, true))
+            .map(|(_, name, _)| name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceBuilder;
+
+    fn space3() -> Arc<Space> {
+        let mut b = SpaceBuilder::new("t");
+        b.register("a", PointKind::Condition);
+        b.register("b", PointKind::MuxSelect);
+        b.register("c", PointKind::Condition);
+        b.build()
+    }
+
+    #[test]
+    fn hits_accumulate_idempotently() {
+        let space = space3();
+        let mut m = CovMap::new(&space);
+        let a = CondId(0);
+        m.hit(a, true);
+        m.hit(a, true);
+        assert_eq!(m.covered_bins(), 1);
+        assert!(m.is_covered(a, true));
+        assert!(!m.is_covered(a, false));
+    }
+
+    #[test]
+    fn percent_uses_fixed_denominator() {
+        let space = space3();
+        let mut m = CovMap::new(&space);
+        assert_eq!(m.total_bins(), 6);
+        m.hit(CondId(0), true);
+        m.hit(CondId(0), false);
+        m.hit(CondId(1), true);
+        assert!((m.percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let space = space3();
+        let mut m1 = CovMap::new(&space);
+        let mut m2 = CovMap::new(&space);
+        m1.hit(CondId(0), true);
+        m2.hit(CondId(2), false);
+        m1.merge_from(&m2);
+        assert_eq!(m1.covered_bins(), 2);
+        // Merging again changes nothing.
+        m1.merge_from(&m2);
+        assert_eq!(m1.covered_bins(), 2);
+    }
+
+    #[test]
+    fn count_new_vs_counts_only_novel_bins() {
+        let space = space3();
+        let mut base = CovMap::new(&space);
+        let mut m = CovMap::new(&space);
+        base.hit(CondId(0), true);
+        m.hit(CondId(0), true); // already known
+        m.hit(CondId(1), false); // new
+        assert_eq!(m.count_new_vs(&base), 1);
+        assert_eq!(base.count_new_vs(&m), 0); // base has nothing new wrt m? it has (0,true) which m also has
+    }
+
+    #[test]
+    #[should_panic(expected = "different spaces")]
+    fn merge_rejects_foreign_space() {
+        let mut b = SpaceBuilder::new("x");
+        b.register("only", PointKind::Condition);
+        let other = b.build();
+        let mut m1 = CovMap::new(&space3());
+        let m2 = CovMap::new(&other);
+        m1.merge_from(&m2);
+    }
+
+    #[test]
+    fn kind_filtered_counts() {
+        let space = space3();
+        let mut m = CovMap::new(&space);
+        m.hit(CondId(1), true);
+        m.hit(CondId(1), false);
+        m.hit(CondId(0), true);
+        assert_eq!(m.covered_bins_of_kind(PointKind::MuxSelect), 2);
+        assert_eq!(m.covered_bins_of_kind(PointKind::Condition), 1);
+    }
+
+    #[test]
+    fn holes_lists_partially_covered_points() {
+        let space = space3();
+        let mut m = CovMap::new(&space);
+        m.hit(CondId(0), true);
+        m.hit(CondId(1), true);
+        m.hit(CondId(1), false);
+        let holes: Vec<_> = m.holes().collect();
+        assert_eq!(holes, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let space = space3();
+        let mut m = CovMap::new(&space);
+        m.hit(CondId(0), true);
+        m.clear();
+        assert_eq!(m.covered_bins(), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the coverage substrate: merge algebra, calculator
+//! monotonicity, and batch-order invariance.
+
+use chatfuzz_coverage::{Calculator, CondId, CovMap, PointKind, Space, SpaceBuilder};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn space(n: usize) -> (Arc<Space>, Vec<CondId>) {
+    let mut b = SpaceBuilder::new("prop");
+    let ids = (0..n)
+        .map(|i| {
+            let kind = if i % 3 == 0 { PointKind::MuxSelect } else { PointKind::Condition };
+            b.register(format!("c{i}"), kind)
+        })
+        .collect();
+    (b.build(), ids)
+}
+
+fn map_from(space: &Arc<Space>, ids: &[CondId], hits: &[(u8, bool)]) -> CovMap {
+    let mut m = CovMap::new(space);
+    for &(i, o) in hits {
+        m.hit(ids[usize::from(i) % ids.len()], o);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Merge is commutative, associative and idempotent (a bin union).
+    #[test]
+    fn merge_is_a_semilattice(
+        a in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..32),
+        b in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..32),
+        c in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..32),
+    ) {
+        let (s, ids) = space(24);
+        let (ma, mb, mc) =
+            (map_from(&s, &ids, &a), map_from(&s, &ids, &b), map_from(&s, &ids, &c));
+
+        // commutative
+        let mut ab = ma.clone();
+        ab.merge_from(&mb);
+        let mut ba = mb.clone();
+        ba.merge_from(&ma);
+        prop_assert_eq!(ab.covered_bins(), ba.covered_bins());
+
+        // associative
+        let mut ab_c = ab.clone();
+        ab_c.merge_from(&mc);
+        let mut bc = mb.clone();
+        bc.merge_from(&mc);
+        let mut a_bc = ma.clone();
+        a_bc.merge_from(&bc);
+        prop_assert_eq!(ab_c.covered_bins(), a_bc.covered_bins());
+
+        // idempotent
+        let before = ab.covered_bins();
+        let snapshot = ab.clone();
+        ab.merge_from(&snapshot);
+        prop_assert_eq!(ab.covered_bins(), before);
+    }
+
+    /// count_new_vs is exactly the union-gain: |A ∪ B| = |B| + new(A vs B).
+    #[test]
+    fn new_vs_equals_union_gain(
+        a in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..32),
+        b in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..32),
+    ) {
+        let (s, ids) = space(24);
+        let (ma, mb) = (map_from(&s, &ids, &a), map_from(&s, &ids, &b));
+        let mut union = mb.clone();
+        union.merge_from(&ma);
+        prop_assert_eq!(union.covered_bins(), mb.covered_bins() + ma.count_new_vs(&mb));
+    }
+
+    /// The calculator's total is invariant to input order within a batch,
+    /// and monotone across batches.
+    #[test]
+    fn calculator_total_is_order_invariant_and_monotone(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec((any::<u8>(), any::<bool>()), 0..16),
+                1..5
+            ),
+            1..4
+        ),
+    ) {
+        let (s, ids) = space(16);
+        let mut forward = Calculator::new(&s);
+        let mut reversed = Calculator::new(&s);
+        let mut last_total = 0;
+        for batch in &batches {
+            let maps: Vec<CovMap> = batch.iter().map(|h| map_from(&s, &ids, h)).collect();
+            let mut rev = maps.clone();
+            rev.reverse();
+            let f = forward.score_batch(&maps);
+            let r = reversed.score_batch(&rev);
+            prop_assert_eq!(f.total_after, r.total_after, "batch total is order-invariant");
+            prop_assert!(f.total_after >= last_total, "totals are monotone");
+            // Stand-alone and incremental per input are permutation-mapped.
+            let mut fs: Vec<_> = f.inputs.iter().map(|i| (i.standalone, i.incremental)).collect();
+            let mut rs: Vec<_> = r.inputs.iter().map(|i| (i.standalone, i.incremental)).collect();
+            fs.sort_unstable();
+            rs.sort_unstable();
+            prop_assert_eq!(fs, rs);
+            last_total = f.total_after;
+        }
+    }
+
+    /// Kind-filtered counts always partition the full count.
+    #[test]
+    fn kind_counts_partition(
+        hits in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..64),
+    ) {
+        let (s, ids) = space(24);
+        let m = map_from(&s, &ids, &hits);
+        let total = m.covered_bins();
+        let mux = m.covered_bins_of_kind(PointKind::MuxSelect);
+        let cond = m.covered_bins_of_kind(PointKind::Condition);
+        prop_assert_eq!(total, mux + cond);
+    }
+}

@@ -1,0 +1,336 @@
+//! A small program builder with labels and `li` expansion.
+//!
+//! The corpus generator and the directed regression tests build programs
+//! through [`Assembler`] rather than computing branch offsets by hand.
+//!
+//! # Examples
+//!
+//! ```
+//! use chatfuzz_isa::asm::Assembler;
+//! use chatfuzz_isa::{AluOp, BranchCond, Instr, Reg};
+//!
+//! let mut asm = Assembler::new();
+//! let a0 = Reg::new(10).unwrap();
+//! asm.li(a0, 3);
+//! asm.label("loop");
+//! asm.push(Instr::OpImm { op: AluOp::Add, rd: a0, rs1: a0, imm: -1, word: false });
+//! asm.branch_to(BranchCond::Ne, a0, Reg::X0, "loop");
+//! let program = asm.assemble()?;
+//! assert!(program.len() >= 3);
+//! # Ok::<(), chatfuzz_isa::asm::AsmError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::encode::{encode_program, EncodeError};
+use crate::instr::{AluOp, BranchCond, Instr};
+use crate::reg::Reg;
+
+/// Error produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A resolved instruction could not be encoded (offset out of range, …).
+    Encode(EncodeError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(name) => write!(f, "undefined label `{name}`"),
+            AsmError::DuplicateLabel(name) => write!(f, "duplicate label `{name}`"),
+            AsmError::Encode(e) => write!(f, "encoding failed: {e}"),
+        }
+    }
+}
+
+impl Error for AsmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AsmError::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> Self {
+        AsmError::Encode(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Fixed(Instr),
+    BranchTo { cond: BranchCond, rs1: Reg, rs2: Reg, label: String },
+    JalTo { rd: Reg, label: String },
+}
+
+/// Incremental program builder with forward-referencing labels.
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Number of instruction slots emitted so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Appends a fixed instruction.
+    pub fn push(&mut self, instr: Instr) -> &mut Assembler {
+        self.items.push(Item::Fixed(instr));
+        self
+    }
+
+    /// Appends a `nop`.
+    pub fn nop(&mut self) -> &mut Assembler {
+        self.push(Instr::NOP)
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; duplicate definitions surface as
+    /// [`AsmError::DuplicateLabel`] from [`Assembler::assemble`].
+    pub fn label(&mut self, name: &str) -> &mut Assembler {
+        // Record duplicates with a sentinel so assemble() can report them.
+        if self.labels.insert(name.to_string(), self.items.len()).is_some() {
+            self.labels.insert(format!("__dup__{name}"), usize::MAX);
+        }
+        self
+    }
+
+    /// Appends a conditional branch to `label`.
+    pub fn branch_to(
+        &mut self,
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: &str,
+    ) -> &mut Assembler {
+        self.items.push(Item::BranchTo { cond, rs1, rs2, label: label.to_string() });
+        self
+    }
+
+    /// Appends a `jal` to `label`.
+    pub fn jal_to(&mut self, rd: Reg, label: &str) -> &mut Assembler {
+        self.items.push(Item::JalTo { rd, label: label.to_string() });
+        self
+    }
+
+    /// Appends a load-immediate sequence materialising `value` into `rd`.
+    ///
+    /// Expands to 1–8 instructions depending on the magnitude, following the
+    /// standard RV64 `li` recipe (upper build + shift/add chunks).
+    pub fn li(&mut self, rd: Reg, value: i64) -> &mut Assembler {
+        for instr in expand_li(rd, value) {
+            self.push(instr);
+        }
+        self
+    }
+
+    /// Resolves labels and returns the final instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] / [`AsmError::DuplicateLabel`]
+    /// for label problems and [`AsmError::Encode`] if a resolved offset does
+    /// not fit its field.
+    pub fn assemble(&self) -> Result<Vec<Instr>, AsmError> {
+        if let Some(name) = self.labels.keys().find_map(|k| k.strip_prefix("__dup__")) {
+            return Err(AsmError::DuplicateLabel(name.to_string()));
+        }
+        let mut out = Vec::with_capacity(self.items.len());
+        for (idx, item) in self.items.iter().enumerate() {
+            let instr = match item {
+                Item::Fixed(i) => *i,
+                Item::BranchTo { cond, rs1, rs2, label } => {
+                    let offset = self.offset_to(idx, label)?;
+                    Instr::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, offset }
+                }
+                Item::JalTo { rd, label } => {
+                    let offset = self.offset_to(idx, label)?;
+                    Instr::Jal { rd: *rd, offset }
+                }
+            };
+            // Validate eagerly so the caller gets the failing slot's error.
+            crate::encode(&instr)?;
+            out.push(instr);
+        }
+        Ok(out)
+    }
+
+    /// Assembles directly to the little-endian byte image.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Assembler::assemble`].
+    pub fn assemble_bytes(&self) -> Result<Vec<u8>, AsmError> {
+        Ok(encode_program(&self.assemble()?)?)
+    }
+
+    fn offset_to(&self, from: usize, label: &str) -> Result<i64, AsmError> {
+        let target = self
+            .labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| AsmError::UndefinedLabel(label.to_string()))?;
+        Ok((target as i64 - from as i64) * crate::INSTR_BYTES as i64)
+    }
+}
+
+/// Expands an RV64 `li rd, value` into real instructions.
+fn expand_li(rd: Reg, value: i64) -> Vec<Instr> {
+    let mut out = Vec::new();
+    push_li(&mut out, rd, value);
+    out
+}
+
+fn push_li(out: &mut Vec<Instr>, rd: Reg, value: i64) {
+    if (-2048..=2047).contains(&value) {
+        out.push(Instr::OpImm { op: AluOp::Add, rd, rs1: Reg::X0, imm: value, word: false });
+        return;
+    }
+    if i64::from(value as i32) == value {
+        // lui + addiw pair covering any signed 32-bit value.
+        let hi = ((value.wrapping_add(0x800)) >> 12) << 12;
+        let lo = value - hi;
+        let hi = i64::from(hi as i32);
+        out.push(Instr::Lui { rd, imm: hi });
+        if lo != 0 {
+            out.push(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: lo, word: true });
+        }
+        return;
+    }
+    // General 64-bit case: build the upper part, then shift in 12-bit chunks.
+    let low12 = (value << 52) >> 52;
+    let rest = value.wrapping_sub(low12) >> 12;
+    push_li(out, rd, rest);
+    out.push(Instr::OpImm { op: AluOp::Sll, rd, rs1: rd, imm: 12, word: false });
+    if low12 != 0 {
+        out.push(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: low12, word: false });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatfuzz_isa_test_eval::eval_li;
+
+    /// A tiny straight-line evaluator sufficient to check `li` expansions.
+    mod chatfuzz_isa_test_eval {
+        use crate::instr::Instr;
+        use crate::semantics::alu;
+
+        pub fn eval_li(instrs: &[Instr], rd: crate::Reg) -> i64 {
+            let mut regs = [0u64; 32];
+            for i in instrs {
+                match *i {
+                    Instr::Lui { rd, imm } => regs[rd.index()] = imm as u64,
+                    Instr::OpImm { op, rd, rs1, imm, word } => {
+                        regs[rd.index()] = alu(op, regs[rs1.index()], imm as u64, word);
+                    }
+                    _ => panic!("unexpected instruction in li expansion: {i}"),
+                }
+                regs[0] = 0;
+            }
+            regs[rd.index()] as i64
+        }
+    }
+
+    #[test]
+    fn li_materialises_exact_values() {
+        let rd = Reg::new(10).unwrap();
+        for value in [
+            0i64,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            -2049,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0x1234_5678,
+            0xdead_beef_u32 as i64,
+            0x1234_5678_9abc_def0,
+            i64::MAX,
+            i64::MIN,
+            0x8000_0000_0000_0000_u64 as i64,
+            -0x1234_5678_9abc,
+        ] {
+            let instrs = expand_li(rd, value);
+            assert!(!instrs.is_empty());
+            assert!(instrs.len() <= 8, "li {value:#x} took {} instrs", instrs.len());
+            assert_eq!(eval_li(&instrs, rd), value, "li {value:#x}");
+            // Every expansion instruction must encode.
+            for i in &instrs {
+                crate::encode(i).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn labels_resolve_backward_and_forward() {
+        let mut asm = Assembler::new();
+        let a0 = Reg::new(10).unwrap();
+        asm.label("start");
+        asm.nop();
+        asm.branch_to(BranchCond::Eq, Reg::X0, Reg::X0, "end");
+        asm.jal_to(Reg::X0, "start");
+        asm.label("end");
+        asm.nop();
+        let program = asm.assemble().unwrap();
+        match program[1] {
+            Instr::Branch { offset, .. } => assert_eq!(offset, 8),
+            ref other => panic!("expected branch, got {other}"),
+        }
+        match program[2] {
+            Instr::Jal { offset, .. } => assert_eq!(offset, -8),
+            ref other => panic!("expected jal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let mut asm = Assembler::new();
+        asm.jal_to(Reg::X0, "nowhere");
+        assert_eq!(asm.assemble(), Err(AsmError::UndefinedLabel("nowhere".to_string())));
+    }
+
+    #[test]
+    fn duplicate_label_reported() {
+        let mut asm = Assembler::new();
+        asm.label("x").nop();
+        asm.label("x").nop();
+        assert_eq!(asm.assemble(), Err(AsmError::DuplicateLabel("x".to_string())));
+    }
+
+    #[test]
+    fn assemble_bytes_matches_encode_program() {
+        let mut asm = Assembler::new();
+        asm.nop().nop();
+        let bytes = asm.assemble_bytes().unwrap();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(&bytes[0..4], &0x0000_0013u32.to_le_bytes());
+    }
+}

@@ -1,0 +1,203 @@
+//! Control and status register (CSR) address space.
+
+use std::fmt;
+
+/// A named CSR address.
+///
+/// Only the CSRs implemented by the simulators are listed; the decoder
+/// accepts any 12-bit address (accessing an unimplemented CSR raises an
+/// illegal-instruction exception at runtime, exactly as on hardware).
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_isa::Csr;
+///
+/// assert_eq!(Csr::MSCRATCH.addr(), 0x340);
+/// assert_eq!(Csr::from_addr(0x340), Some(Csr::MSCRATCH));
+/// assert_eq!(Csr::MSCRATCH.to_string(), "mscratch");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Csr(u16);
+
+macro_rules! csrs {
+    ($(($name:ident, $addr:expr, $text:expr),)*) => {
+        impl Csr {
+            $(
+                #[doc = concat!("The `", $text, "` CSR.")]
+                pub const $name: Csr = Csr($addr);
+            )*
+        }
+
+        /// Every CSR implemented by the simulators, in address order.
+        pub const CSR_LIST: &[Csr] = &[$(Csr::$name),*];
+
+        impl Csr {
+            /// The CSR's assembler name, or `None` for unlisted addresses.
+            pub fn name(self) -> Option<&'static str> {
+                match self.0 {
+                    $($addr => Some($text),)*
+                    _ => None,
+                }
+            }
+
+            /// Looks an address up among the implemented CSRs.
+            pub fn from_addr(addr: u16) -> Option<Csr> {
+                match addr {
+                    $($addr => Some(Csr($addr)),)*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+csrs! {
+    (FFLAGS, 0x001, "fflags"),
+    (FRM, 0x002, "frm"),
+    (FCSR, 0x003, "fcsr"),
+    (CYCLE, 0xc00, "cycle"),
+    (TIME, 0xc01, "time"),
+    (INSTRET, 0xc02, "instret"),
+    (SSTATUS, 0x100, "sstatus"),
+    (SIE, 0x104, "sie"),
+    (STVEC, 0x105, "stvec"),
+    (SCOUNTEREN, 0x106, "scounteren"),
+    (SSCRATCH, 0x140, "sscratch"),
+    (SEPC, 0x141, "sepc"),
+    (SCAUSE, 0x142, "scause"),
+    (STVAL, 0x143, "stval"),
+    (SIP, 0x144, "sip"),
+    (SATP, 0x180, "satp"),
+    (MSTATUS, 0x300, "mstatus"),
+    (MISA, 0x301, "misa"),
+    (MEDELEG, 0x302, "medeleg"),
+    (MIDELEG, 0x303, "mideleg"),
+    (MIE, 0x304, "mie"),
+    (MTVEC, 0x305, "mtvec"),
+    (MCOUNTEREN, 0x306, "mcounteren"),
+    (MSCRATCH, 0x340, "mscratch"),
+    (MEPC, 0x341, "mepc"),
+    (MCAUSE, 0x342, "mcause"),
+    (MTVAL, 0x343, "mtval"),
+    (MIP, 0x344, "mip"),
+    (MCYCLE, 0xb00, "mcycle"),
+    (MINSTRET, 0xb02, "minstret"),
+    (MVENDORID, 0xf11, "mvendorid"),
+    (MARCHID, 0xf12, "marchid"),
+    (MIMPID, 0xf13, "mimpid"),
+    (MHARTID, 0xf14, "mhartid"),
+}
+
+impl Csr {
+    /// Creates a CSR handle from a raw 12-bit address.
+    ///
+    /// Unlike [`Csr::from_addr`] this does not require the address to be in
+    /// [`CSR_LIST`]; use it when modelling accesses to arbitrary addresses.
+    pub fn from_raw(addr: u16) -> Csr {
+        Csr(addr & 0xfff)
+    }
+
+    /// The 12-bit CSR address.
+    pub fn addr(self) -> u16 {
+        self.0
+    }
+
+    /// The minimum privilege level required to access this CSR
+    /// (bits 9:8 of the address, per the privileged spec).
+    pub fn required_priv(self) -> u8 {
+        ((self.0 >> 8) & 0b11) as u8
+    }
+
+    /// Whether the CSR is read-only (address bits 11:10 are `0b11`).
+    pub fn is_read_only(self) -> bool {
+        (self.0 >> 10) & 0b11 == 0b11
+    }
+}
+
+impl fmt::Display for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(name) => f.write_str(name),
+            None => write!(f, "csr{:#x}", self.0),
+        }
+    }
+}
+
+/// Field masks and offsets of `mstatus`/`sstatus` used by the simulators.
+pub mod mstatus {
+    /// Supervisor interrupt enable.
+    pub const SIE: u64 = 1 << 1;
+    /// Machine interrupt enable.
+    pub const MIE: u64 = 1 << 3;
+    /// Supervisor previous interrupt enable.
+    pub const SPIE: u64 = 1 << 5;
+    /// Machine previous interrupt enable.
+    pub const MPIE: u64 = 1 << 7;
+    /// Supervisor previous privilege (1 bit).
+    pub const SPP: u64 = 1 << 8;
+    /// Machine previous privilege (2 bits).
+    pub const MPP_MASK: u64 = 0b11 << 11;
+    /// Shift of the MPP field.
+    pub const MPP_SHIFT: u32 = 11;
+    /// Modify-privilege (loads/stores use MPP privilege when set).
+    pub const MPRV: u64 = 1 << 17;
+    /// Make supervisor-user-memory accessible.
+    pub const SUM: u64 = 1 << 18;
+    /// Make executable pages readable.
+    pub const MXR: u64 = 1 << 19;
+    /// Trap virtual memory operations.
+    pub const TVM: u64 = 1 << 20;
+    /// Timeout wait (trap WFI in S-mode).
+    pub const TW: u64 = 1 << 21;
+    /// Trap SRET in S-mode.
+    pub const TSR: u64 = 1 << 22;
+    /// Bits of `mstatus` visible through `sstatus`.
+    pub const SSTATUS_MASK: u64 = SIE | SPIE | SPP | SUM | MXR;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_match_privileged_spec() {
+        assert_eq!(Csr::MSTATUS.addr(), 0x300);
+        assert_eq!(Csr::MEPC.addr(), 0x341);
+        assert_eq!(Csr::MCAUSE.addr(), 0x342);
+        assert_eq!(Csr::SATP.addr(), 0x180);
+        assert_eq!(Csr::MHARTID.addr(), 0xf14);
+    }
+
+    #[test]
+    fn privilege_field_from_address() {
+        assert_eq!(Csr::MSTATUS.required_priv(), 3);
+        assert_eq!(Csr::SSTATUS.required_priv(), 1);
+        assert_eq!(Csr::CYCLE.required_priv(), 0);
+    }
+
+    #[test]
+    fn read_only_detection() {
+        assert!(Csr::MHARTID.is_read_only());
+        assert!(Csr::CYCLE.is_read_only());
+        assert!(!Csr::MSTATUS.is_read_only());
+    }
+
+    #[test]
+    fn list_is_sorted_and_unique_by_address() {
+        for pair in CSR_LIST.windows(2) {
+            // Not strictly sorted (we group by function), but must be unique.
+            assert_ne!(pair[0].addr(), pair[1].addr());
+        }
+        let mut addrs: Vec<_> = CSR_LIST.iter().map(|c| c.addr()).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), CSR_LIST.len());
+    }
+
+    #[test]
+    fn unknown_addresses_display_raw() {
+        assert_eq!(Csr::from_raw(0x123).to_string(), "csr0x123");
+        assert_eq!(Csr::from_addr(0x123), None);
+    }
+}

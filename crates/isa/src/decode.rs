@@ -1,0 +1,515 @@
+//! Binary instruction decoder (RV64IMA+Zicsr+Zifencei).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{
+    AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, SystemOp,
+};
+use crate::reg::Reg;
+
+/// Error produced when a 32-bit word is not a valid instruction.
+///
+/// The decoder is the "ISA disassembler" reward agent of the paper: a word
+/// either decodes to exactly one [`Instr`] or is rejected with the reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The major opcode (bits 6:0) is not implemented/defined.
+    UnknownOpcode {
+        /// The offending word.
+        word: u32,
+    },
+    /// Opcode is known but a funct/width field selects a reserved encoding.
+    ReservedFunct {
+        /// The offending word.
+        word: u32,
+    },
+    /// A SYSTEM encoding that is not a recognised privileged instruction.
+    BadSystem {
+        /// The offending word.
+        word: u32,
+    },
+    /// The all-zeros or all-ones word, defined illegal by the ISA.
+    DefinedIllegal {
+        /// The offending word.
+        word: u32,
+    },
+}
+
+impl DecodeError {
+    /// The word that failed to decode.
+    pub fn word(&self) -> u32 {
+        match *self {
+            DecodeError::UnknownOpcode { word }
+            | DecodeError::ReservedFunct { word }
+            | DecodeError::BadSystem { word }
+            | DecodeError::DefinedIllegal { word } => word,
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { word } => {
+                write!(f, "unknown opcode in word {word:#010x}")
+            }
+            DecodeError::ReservedFunct { word } => {
+                write!(f, "reserved funct field in word {word:#010x}")
+            }
+            DecodeError::BadSystem { word } => {
+                write!(f, "unrecognised SYSTEM encoding {word:#010x}")
+            }
+            DecodeError::DefinedIllegal { word } => {
+                write!(f, "defined-illegal word {word:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[inline]
+fn rd(word: u32) -> Reg {
+    Reg::from_field(word >> 7)
+}
+
+#[inline]
+fn rs1(word: u32) -> Reg {
+    Reg::from_field(word >> 15)
+}
+
+#[inline]
+fn rs2(word: u32) -> Reg {
+    Reg::from_field(word >> 20)
+}
+
+#[inline]
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+#[inline]
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+/// Sign-extended 12-bit I-type immediate.
+#[inline]
+fn imm_i(word: u32) -> i64 {
+    i64::from((word as i32) >> 20)
+}
+
+/// Sign-extended 12-bit S-type immediate.
+#[inline]
+fn imm_s(word: u32) -> i64 {
+    let hi = (word as i32) >> 25; // imm[11:5], sign-extended
+    let lo = (word >> 7) & 0x1f; // imm[4:0]
+    i64::from((hi << 5) | lo as i32)
+}
+
+/// Sign-extended 13-bit B-type immediate (bit 0 is zero).
+#[inline]
+fn imm_b(word: u32) -> i64 {
+    let sign = (word as i32) >> 31; // imm[12]
+    let b11 = (word >> 7) & 0x1; // imm[11]
+    let b10_5 = (word >> 25) & 0x3f; // imm[10:5]
+    let b4_1 = (word >> 8) & 0xf; // imm[4:1]
+    let value = ((sign as u32 & 0x1) << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1);
+    // Re-sign-extend from bit 12.
+    i64::from(((value << 19) as i32) >> 19)
+}
+
+/// Sign-extended U-type immediate (`imm[31:12] << 12`).
+#[inline]
+fn imm_u(word: u32) -> i64 {
+    i64::from((word & 0xffff_f000) as i32)
+}
+
+/// Sign-extended 21-bit J-type immediate (bit 0 is zero).
+#[inline]
+fn imm_j(word: u32) -> i64 {
+    let sign = (word >> 31) & 0x1; // imm[20]
+    let b19_12 = (word >> 12) & 0xff; // imm[19:12]
+    let b11 = (word >> 20) & 0x1; // imm[11]
+    let b10_1 = (word >> 21) & 0x3ff; // imm[10:1]
+    let value = (sign << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1);
+    i64::from(((value << 11) as i32) >> 11)
+}
+
+/// Decodes a single 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] describing why the word is not a valid
+/// RV64IMA+Zicsr+Zifencei instruction.
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_isa::{decode, Instr, Reg};
+///
+/// let instr = decode(0x0000_0533).unwrap(); // add a0, zero, zero
+/// assert_eq!(instr.rd(), Some(Reg::new(10).unwrap()));
+/// assert!(decode(0xffff_ffff).is_err());
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    if word == 0 || word == u32::MAX {
+        return Err(DecodeError::DefinedIllegal { word });
+    }
+    match word & 0x7f {
+        0x37 => Ok(Instr::Lui { rd: rd(word), imm: imm_u(word) }),
+        0x17 => Ok(Instr::Auipc { rd: rd(word), imm: imm_u(word) }),
+        0x6f => Ok(Instr::Jal { rd: rd(word), offset: imm_j(word) }),
+        0x67 => match funct3(word) {
+            0 => Ok(Instr::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }),
+            _ => Err(DecodeError::ReservedFunct { word }),
+        },
+        0x63 => {
+            let cond = match funct3(word) {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return Err(DecodeError::ReservedFunct { word }),
+            };
+            Ok(Instr::Branch { cond, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) })
+        }
+        0x03 => {
+            let (width, signed) = match funct3(word) {
+                0b000 => (MemWidth::B, true),
+                0b001 => (MemWidth::H, true),
+                0b010 => (MemWidth::W, true),
+                0b011 => (MemWidth::D, true),
+                0b100 => (MemWidth::B, false),
+                0b101 => (MemWidth::H, false),
+                0b110 => (MemWidth::W, false),
+                _ => return Err(DecodeError::ReservedFunct { word }),
+            };
+            Ok(Instr::Load { width, signed, rd: rd(word), rs1: rs1(word), offset: imm_i(word) })
+        }
+        0x23 => {
+            let width = match funct3(word) {
+                0b000 => MemWidth::B,
+                0b001 => MemWidth::H,
+                0b010 => MemWidth::W,
+                0b011 => MemWidth::D,
+                _ => return Err(DecodeError::ReservedFunct { word }),
+            };
+            Ok(Instr::Store { width, rs2: rs2(word), rs1: rs1(word), offset: imm_s(word) })
+        }
+        0x13 => decode_op_imm(word, false),
+        0x1b => decode_op_imm(word, true),
+        0x33 => decode_op(word, false),
+        0x3b => decode_op(word, true),
+        0x2f => decode_amo(word),
+        0x0f => match funct3(word) {
+            0b000 => Ok(Instr::Fence {
+                pred: ((word >> 24) & 0xf) as u8,
+                succ: ((word >> 20) & 0xf) as u8,
+            }),
+            0b001 => Ok(Instr::FenceI),
+            _ => Err(DecodeError::ReservedFunct { word }),
+        },
+        0x73 => decode_system(word),
+        _ => Err(DecodeError::UnknownOpcode { word }),
+    }
+}
+
+fn decode_op_imm(word: u32, wide: bool) -> Result<Instr, DecodeError> {
+    let f3 = funct3(word);
+    let (op, imm) = match f3 {
+        0b000 => (AluOp::Add, imm_i(word)),
+        0b010 if !wide => (AluOp::Slt, imm_i(word)),
+        0b011 if !wide => (AluOp::Sltu, imm_i(word)),
+        0b100 if !wide => (AluOp::Xor, imm_i(word)),
+        0b110 if !wide => (AluOp::Or, imm_i(word)),
+        0b111 if !wide => (AluOp::And, imm_i(word)),
+        0b001 => {
+            // SLLI: RV64 shamt is 6 bits; the W form keeps 5.
+            let (top, shamt) = shift_fields(word, wide);
+            if top != 0 {
+                return Err(DecodeError::ReservedFunct { word });
+            }
+            (AluOp::Sll, shamt)
+        }
+        0b101 => {
+            let (top, shamt) = shift_fields(word, wide);
+            match top {
+                0b000000 => (AluOp::Srl, shamt),
+                0b010000 => (AluOp::Sra, shamt),
+                _ => return Err(DecodeError::ReservedFunct { word }),
+            }
+        }
+        _ => return Err(DecodeError::ReservedFunct { word }),
+    };
+    Ok(Instr::OpImm { op, rd: rd(word), rs1: rs1(word), imm, word: wide })
+}
+
+/// Returns `(discriminator, shamt)` for immediate shifts.
+///
+/// For RV64 shifts the discriminator is bits 31:26; for `*W` shifts it is
+/// bits 31:25 shifted so that `SRAIW`'s bit 30 still lands on `0b010000`.
+fn shift_fields(word: u32, wide: bool) -> (u32, i64) {
+    if wide {
+        // The W-form shamt is 5 bits; funct7's LSB (shamt bit 5 on RV64) is
+        // reserved here, so fold it into the discriminator to reject it.
+        let f7 = funct7(word);
+        (((f7 & 1) << 5) | (f7 >> 1), i64::from((word >> 20) & 0x1f))
+    } else {
+        (word >> 26, i64::from((word >> 20) & 0x3f))
+    }
+}
+
+fn decode_op(word: u32, wide: bool) -> Result<Instr, DecodeError> {
+    let f3 = funct3(word);
+    let f7 = funct7(word);
+    if f7 == 0b000_0001 {
+        let op = match f3 {
+            0b000 => MulDivOp::Mul,
+            0b001 if !wide => MulDivOp::Mulh,
+            0b010 if !wide => MulDivOp::Mulhsu,
+            0b011 if !wide => MulDivOp::Mulhu,
+            0b100 => MulDivOp::Div,
+            0b101 => MulDivOp::Divu,
+            0b110 => MulDivOp::Rem,
+            0b111 => MulDivOp::Remu,
+            _ => return Err(DecodeError::ReservedFunct { word }),
+        };
+        return Ok(Instr::MulDiv { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word), word: wide });
+    }
+    let op = match (f3, f7) {
+        (0b000, 0b000_0000) => AluOp::Add,
+        (0b000, 0b010_0000) => AluOp::Sub,
+        (0b001, 0b000_0000) => AluOp::Sll,
+        (0b010, 0b000_0000) if !wide => AluOp::Slt,
+        (0b011, 0b000_0000) if !wide => AluOp::Sltu,
+        (0b100, 0b000_0000) if !wide => AluOp::Xor,
+        (0b101, 0b000_0000) => AluOp::Srl,
+        (0b101, 0b010_0000) => AluOp::Sra,
+        (0b110, 0b000_0000) if !wide => AluOp::Or,
+        (0b111, 0b000_0000) if !wide => AluOp::And,
+        _ => return Err(DecodeError::ReservedFunct { word }),
+    };
+    Ok(Instr::Op { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word), word: wide })
+}
+
+fn decode_amo(word: u32) -> Result<Instr, DecodeError> {
+    let width = match funct3(word) {
+        0b010 => MemWidth::W,
+        0b011 => MemWidth::D,
+        _ => return Err(DecodeError::ReservedFunct { word }),
+    };
+    let f7 = funct7(word);
+    let funct5 = f7 >> 2;
+    let aq = (f7 >> 1) & 1 == 1;
+    let rl = f7 & 1 == 1;
+    match funct5 {
+        0b00010 => {
+            if rs2(word) != Reg::X0 {
+                return Err(DecodeError::ReservedFunct { word });
+            }
+            Ok(Instr::LoadReserved { width, rd: rd(word), rs1: rs1(word), aq, rl })
+        }
+        0b00011 => Ok(Instr::StoreConditional {
+            width,
+            rd: rd(word),
+            rs1: rs1(word),
+            rs2: rs2(word),
+            aq,
+            rl,
+        }),
+        _ => {
+            let op = match funct5 {
+                0b00001 => AmoOp::Swap,
+                0b00000 => AmoOp::Add,
+                0b00100 => AmoOp::Xor,
+                0b01100 => AmoOp::And,
+                0b01000 => AmoOp::Or,
+                0b10000 => AmoOp::Min,
+                0b10100 => AmoOp::Max,
+                0b11000 => AmoOp::Minu,
+                0b11100 => AmoOp::Maxu,
+                _ => return Err(DecodeError::ReservedFunct { word }),
+            };
+            Ok(Instr::Amo { op, width, rd: rd(word), rs1: rs1(word), rs2: rs2(word), aq, rl })
+        }
+    }
+}
+
+fn decode_system(word: u32) -> Result<Instr, DecodeError> {
+    match funct3(word) {
+        0b000 => match word {
+            0x0000_0073 => Ok(Instr::System(SystemOp::Ecall)),
+            0x0010_0073 => Ok(Instr::System(SystemOp::Ebreak)),
+            0x1020_0073 => Ok(Instr::System(SystemOp::Sret)),
+            0x3020_0073 => Ok(Instr::System(SystemOp::Mret)),
+            0x1050_0073 => Ok(Instr::System(SystemOp::Wfi)),
+            _ if funct7(word) == 0b000_1001 && rd(word) == Reg::X0 => {
+                Ok(Instr::SfenceVma { rs1: rs1(word), rs2: rs2(word) })
+            }
+            _ => Err(DecodeError::BadSystem { word }),
+        },
+        f3 @ (0b001 | 0b010 | 0b011) => {
+            let op = csr_op(f3);
+            Ok(Instr::Csr {
+                op,
+                rd: rd(word),
+                csr: (word >> 20) as u16,
+                src: CsrSrc::Reg(rs1(word)),
+            })
+        }
+        f3 @ (0b101 | 0b110 | 0b111) => {
+            let op = csr_op(f3 - 0b100);
+            Ok(Instr::Csr {
+                op,
+                rd: rd(word),
+                csr: (word >> 20) as u16,
+                src: CsrSrc::Imm(((word >> 15) & 0x1f) as u8),
+            })
+        }
+        _ => Err(DecodeError::BadSystem { word }),
+    }
+}
+
+fn csr_op(f3: u32) -> CsrOp {
+    match f3 {
+        0b001 => CsrOp::Rw,
+        0b010 => CsrOp::Rs,
+        _ => CsrOp::Rc,
+    }
+}
+
+/// Decodes a little-endian byte stream into instructions.
+///
+/// Each 4-byte word yields either a decoded instruction or the error for
+/// that slot, preserving positions (used by the mismatch reports and the
+/// disassembler reward).
+pub fn decode_program(bytes: &[u8]) -> Vec<Result<Instr, DecodeError>> {
+    bytes
+        .chunks_exact(crate::INSTR_BYTES)
+        .map(|c| decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden vectors checked against `riscv64-unknown-elf-objdump` output.
+    #[test]
+    fn golden_decode_vectors() {
+        let cases: &[(u32, &str)] = &[
+            (0x0010_0093, "addi ra, zero, 1"),
+            (0xfff0_0213, "addi tp, zero, -1"),
+            (0x0000_0533, "add a0, zero, zero"),
+            (0x4060_0633, "sub a2, zero, t1"),
+            (0x0020_9463, "bne ra, sp, 8"),
+            (0xfe20_8ee3, "beq ra, sp, -4"),
+            (0x0000_a103, "lw sp, 0(ra)"),
+            (0x0020_b023, "sd sp, 0(ra)"),
+            (0x0040_00ef, "jal ra, 4"),
+            (0x0000_80e7, "jalr ra, 0(ra)"),
+            (0x1234_5537, "lui a0, 0x12345"),
+            (0x0000_0517, "auipc a0, 0x0"),
+            (0x02b5_0533, "mul a0, a0, a1"),
+            (0x02b5_4533, "div a0, a0, a1"),
+            (0x02b5_053b, "mulw a0, a0, a1"),
+            (0x1005_2537, "lui a0, 0x10052"),
+            (0x0005_3027, "unknown"), // LOAD-FP opcode region: reserved here
+            (0x0330_000f, "fence rw, rw"),
+            (0x0000_100f, "fence.i"),
+            (0x0000_0073, "ecall"),
+            (0x0010_0073, "ebreak"),
+            (0x3020_0073, "mret"),
+            (0x1020_0073, "sret"),
+            (0x1050_0073, "wfi"),
+            (0x3400_1573, "csrrw a0, 0x340, zero"),
+            (0x3400_2573, "csrrs a0, 0x340, zero"),
+            (0x3400_5573, "csrrwi a0, 0x340, 0"),
+            (0x1005_252f, "lr.w a0, (a0)"),
+            (0x18b5_252f, "sc.w a0, a1, (a0)"),
+            (0x40b5_362f, "amoor.d a2, a1, (a0)"),
+            (0x0015_1513, "slli a0, a0, 1"),
+            (0x4015_5513, "srai a0, a0, 1"),
+            (0x03f5_5513, "srli a0, a0, 63"),
+            (0x0015_151b, "slliw a0, a0, 1"),
+        ];
+        for &(word, expect) in cases {
+            match decode(word) {
+                Ok(instr) => {
+                    assert_eq!(instr.to_string(), expect, "word {word:#010x}");
+                }
+                Err(_) => assert_eq!(expect, "unknown", "word {word:#010x} failed to decode"),
+            }
+        }
+    }
+
+    #[test]
+    fn defined_illegal_words() {
+        assert!(matches!(decode(0), Err(DecodeError::DefinedIllegal { .. })));
+        assert!(matches!(decode(u32::MAX), Err(DecodeError::DefinedIllegal { .. })));
+    }
+
+    #[test]
+    fn rv64_shamt_bit_accepted_rv32_reserved_for_w() {
+        // slli a0, a0, 32 is legal on RV64.
+        assert!(decode(0x0205_1513).is_ok());
+        // slliw with shamt bit 5 set (funct7 LSB) is reserved.
+        assert!(decode(0x0205_151b).is_err());
+    }
+
+    #[test]
+    fn lr_with_nonzero_rs2_rejected() {
+        // lr.w with rs2 = a1 encoded.
+        assert!(decode(0x10b5_252f).is_err());
+    }
+
+    #[test]
+    fn sfence_vma_decodes() {
+        // sfence.vma zero, zero = 0x12000073
+        assert_eq!(
+            decode(0x1200_0073).unwrap(),
+            Instr::SfenceVma { rs1: Reg::X0, rs2: Reg::X0 }
+        );
+        // with rd != 0 it is reserved
+        assert!(decode(0x1200_00f3).is_err());
+    }
+
+    #[test]
+    fn branch_offset_sign() {
+        if let Instr::Branch { offset, .. } = decode(0xfe20_8ee3).unwrap() {
+            assert_eq!(offset, -4);
+        } else {
+            panic!("expected branch");
+        }
+    }
+
+    #[test]
+    fn jal_offset_ranges() {
+        if let Instr::Jal { offset, .. } = decode(0x7fff_f06f).unwrap() {
+            assert!(offset > 0);
+        } else {
+            panic!("expected jal");
+        }
+        // Negative J immediate.
+        if let Instr::Jal { offset, .. } = decode(0xffdf_f06f).unwrap() {
+            assert_eq!(offset, -4);
+        } else {
+            panic!("expected jal");
+        }
+    }
+
+    #[test]
+    fn decode_program_preserves_positions() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x0010_0093u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let decoded = decode_program(&bytes);
+        assert_eq!(decoded.len(), 2);
+        assert!(decoded[0].is_ok());
+        assert!(decoded[1].is_err());
+    }
+}

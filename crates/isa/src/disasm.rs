@@ -1,0 +1,264 @@
+//! Textual disassembly (`Display` for [`Instr`]).
+
+use std::fmt;
+
+use crate::instr::{
+    AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, SystemOp,
+};
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+    }
+}
+
+fn alu_imm_name(op: AluOp, word: bool) -> String {
+    let base = match op {
+        AluOp::Slt => "slti".to_string(),
+        AluOp::Sltu => "sltiu".to_string(),
+        other => format!("{}i", alu_name(other)),
+    };
+    if word {
+        format!("{base}w")
+    } else {
+        base
+    }
+}
+
+fn muldiv_name(op: MulDivOp) -> &'static str {
+    match op {
+        MulDivOp::Mul => "mul",
+        MulDivOp::Mulh => "mulh",
+        MulDivOp::Mulhsu => "mulhsu",
+        MulDivOp::Mulhu => "mulhu",
+        MulDivOp::Div => "div",
+        MulDivOp::Divu => "divu",
+        MulDivOp::Rem => "rem",
+        MulDivOp::Remu => "remu",
+    }
+}
+
+fn branch_name(cond: BranchCond) -> &'static str {
+    match cond {
+        BranchCond::Eq => "beq",
+        BranchCond::Ne => "bne",
+        BranchCond::Lt => "blt",
+        BranchCond::Ge => "bge",
+        BranchCond::Ltu => "bltu",
+        BranchCond::Geu => "bgeu",
+    }
+}
+
+fn amo_name(op: AmoOp) -> &'static str {
+    match op {
+        AmoOp::Swap => "amoswap",
+        AmoOp::Add => "amoadd",
+        AmoOp::Xor => "amoxor",
+        AmoOp::And => "amoand",
+        AmoOp::Or => "amoor",
+        AmoOp::Min => "amomin",
+        AmoOp::Max => "amomax",
+        AmoOp::Minu => "amominu",
+        AmoOp::Maxu => "amomaxu",
+    }
+}
+
+fn width_suffix(width: MemWidth) -> &'static str {
+    match width {
+        MemWidth::B => "b",
+        MemWidth::H => "h",
+        MemWidth::W => "w",
+        MemWidth::D => "d",
+    }
+}
+
+fn aqrl_suffix(aq: bool, rl: bool) -> &'static str {
+    match (aq, rl) {
+        (false, false) => "",
+        (true, false) => ".aq",
+        (false, true) => ".rl",
+        (true, true) => ".aqrl",
+    }
+}
+
+fn fence_set(set: u8) -> String {
+    if set == 0 {
+        return "0".to_string();
+    }
+    let mut s = String::new();
+    if set & 0b1000 != 0 {
+        s.push('i');
+    }
+    if set & 0b0100 != 0 {
+        s.push('o');
+    }
+    if set & 0b0010 != 0 {
+        s.push('r');
+    }
+    if set & 0b0001 != 0 {
+        s.push('w');
+    }
+    s
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Lui { rd, imm } => {
+                write!(f, "lui {rd}, {:#x}", (imm as u64 >> 12) & 0xf_ffff)
+            }
+            Instr::Auipc { rd, imm } => {
+                write!(f, "auipc {rd}, {:#x}", (imm as u64 >> 12) & 0xf_ffff)
+            }
+            Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instr::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Instr::Branch { cond, rs1, rs2, offset } => {
+                write!(f, "{} {rs1}, {rs2}, {offset}", branch_name(cond))
+            }
+            Instr::Load { width, signed, rd, rs1, offset } => {
+                let u = if signed { "" } else { "u" };
+                write!(f, "l{}{u} {rd}, {offset}({rs1})", width_suffix(width))
+            }
+            Instr::Store { width, rs2, rs1, offset } => {
+                write!(f, "s{} {rs2}, {offset}({rs1})", width_suffix(width))
+            }
+            Instr::OpImm { op, rd, rs1, imm, word } => {
+                write!(f, "{} {rd}, {rs1}, {imm}", alu_imm_name(op, word))
+            }
+            Instr::Op { op, rd, rs1, rs2, word } => {
+                let w = if word { "w" } else { "" };
+                write!(f, "{}{w} {rd}, {rs1}, {rs2}", alu_name(op))
+            }
+            Instr::MulDiv { op, rd, rs1, rs2, word } => {
+                let w = if word { "w" } else { "" };
+                write!(f, "{}{w} {rd}, {rs1}, {rs2}", muldiv_name(op))
+            }
+            Instr::Amo { op, width, rd, rs1, rs2, aq, rl } => {
+                write!(
+                    f,
+                    "{}.{}{} {rd}, {rs2}, ({rs1})",
+                    amo_name(op),
+                    width_suffix(width),
+                    aqrl_suffix(aq, rl)
+                )
+            }
+            Instr::LoadReserved { width, rd, rs1, aq, rl } => {
+                write!(f, "lr.{}{} {rd}, ({rs1})", width_suffix(width), aqrl_suffix(aq, rl))
+            }
+            Instr::StoreConditional { width, rd, rs1, rs2, aq, rl } => {
+                write!(
+                    f,
+                    "sc.{}{} {rd}, {rs2}, ({rs1})",
+                    width_suffix(width),
+                    aqrl_suffix(aq, rl)
+                )
+            }
+            Instr::Csr { op, rd, csr, src } => {
+                let base = match op {
+                    CsrOp::Rw => "csrrw",
+                    CsrOp::Rs => "csrrs",
+                    CsrOp::Rc => "csrrc",
+                };
+                match src {
+                    CsrSrc::Reg(rs1) => write!(f, "{base} {rd}, {csr:#x}, {rs1}"),
+                    CsrSrc::Imm(imm) => write!(f, "{base}i {rd}, {csr:#x}, {imm}"),
+                }
+            }
+            Instr::Fence { pred, succ } => {
+                write!(f, "fence {}, {}", fence_set(pred), fence_set(succ))
+            }
+            Instr::FenceI => write!(f, "fence.i"),
+            Instr::System(op) => f.write_str(match op {
+                SystemOp::Ecall => "ecall",
+                SystemOp::Ebreak => "ebreak",
+                SystemOp::Mret => "mret",
+                SystemOp::Sret => "sret",
+                SystemOp::Wfi => "wfi",
+            }),
+            Instr::SfenceVma { rs1, rs2 } => write!(f, "sfence.vma {rs1}, {rs2}"),
+        }
+    }
+}
+
+/// Disassembles a byte stream into one line per instruction slot.
+///
+/// Undecodable words render as `.word 0x????????`, mirroring how binutils
+/// prints unknown encodings; this output feeds the human-readable mismatch
+/// reports.
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_isa::disasm::disassemble;
+///
+/// let bytes = 0x0010_0093u32.to_le_bytes();
+/// assert_eq!(disassemble(&bytes), vec!["addi ra, zero, 1".to_string()]);
+/// ```
+pub fn disassemble(bytes: &[u8]) -> Vec<String> {
+    crate::decode_program(bytes)
+        .into_iter()
+        .map(|r| match r {
+            Ok(instr) => instr.to_string(),
+            Err(e) => format!(".word {:#010x}", e.word()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn slti_and_sltiu_spellings() {
+        let slti =
+            Instr::OpImm { op: AluOp::Slt, rd: Reg::RA, rs1: Reg::SP, imm: -3, word: false };
+        assert_eq!(slti.to_string(), "slti ra, sp, -3");
+        let sltiu =
+            Instr::OpImm { op: AluOp::Sltu, rd: Reg::RA, rs1: Reg::SP, imm: 3, word: false };
+        assert_eq!(sltiu.to_string(), "sltiu ra, sp, 3");
+    }
+
+    #[test]
+    fn aqrl_suffixes() {
+        let amo = Instr::Amo {
+            op: AmoOp::Add,
+            width: MemWidth::W,
+            rd: Reg::RA,
+            rs1: Reg::SP,
+            rs2: Reg::GP,
+            aq: true,
+            rl: true,
+        };
+        assert_eq!(amo.to_string(), "amoadd.w.aqrl ra, gp, (sp)");
+    }
+
+    #[test]
+    fn fence_sets() {
+        let fence = Instr::Fence { pred: 0xf, succ: 0x3 };
+        assert_eq!(fence.to_string(), "fence iorw, rw");
+        let none = Instr::Fence { pred: 0, succ: 0 };
+        assert_eq!(none.to_string(), "fence 0, 0");
+    }
+
+    #[test]
+    fn unknown_words_render_as_word_directive() {
+        let bytes = 0u32.to_le_bytes();
+        assert_eq!(disassemble(&bytes), vec![".word 0x00000000".to_string()]);
+    }
+
+    #[test]
+    fn negative_lui_prints_20_bit_field() {
+        let lui = Instr::Lui { rd: Reg::RA, imm: -4096 };
+        assert_eq!(lui.to_string(), "lui ra, 0xfffff");
+    }
+}

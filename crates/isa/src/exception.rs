@@ -1,0 +1,259 @@
+//! Synchronous exceptions, interrupts and privilege levels.
+
+use std::fmt;
+
+/// Machine privilege level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum PrivLevel {
+    /// User mode (encoded 0).
+    User = 0,
+    /// Supervisor mode (encoded 1).
+    Supervisor = 1,
+    /// Machine mode (encoded 3).
+    #[default]
+    Machine = 3,
+}
+
+impl PrivLevel {
+    /// Decodes a 2-bit privilege encoding; `0b10` (hypervisor) maps to
+    /// `None`.
+    pub fn from_bits(bits: u64) -> Option<PrivLevel> {
+        match bits & 0b11 {
+            0 => Some(PrivLevel::User),
+            1 => Some(PrivLevel::Supervisor),
+            3 => Some(PrivLevel::Machine),
+            _ => None,
+        }
+    }
+
+    /// The 2-bit encoding of this level.
+    pub fn bits(self) -> u64 {
+        self as u64
+    }
+}
+
+impl fmt::Display for PrivLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PrivLevel::User => "U",
+            PrivLevel::Supervisor => "S",
+            PrivLevel::Machine => "M",
+        })
+    }
+}
+
+/// A synchronous exception, with its `mcause` encoding and `mtval` value.
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_isa::Exception;
+///
+/// let e = Exception::LoadAddrMisaligned { addr: 0x8000_0001 };
+/// assert_eq!(e.cause(), 4);
+/// assert_eq!(e.tval(), 0x8000_0001);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exception {
+    /// Instruction address misaligned (cause 0).
+    InstrAddrMisaligned {
+        /// The misaligned target PC.
+        addr: u64,
+    },
+    /// Instruction access fault (cause 1).
+    InstrAccessFault {
+        /// The faulting PC.
+        addr: u64,
+    },
+    /// Illegal instruction (cause 2); `mtval` holds the instruction word.
+    IllegalInstr {
+        /// The offending instruction word.
+        word: u32,
+    },
+    /// Breakpoint / `ebreak` (cause 3).
+    Breakpoint {
+        /// PC of the breakpoint.
+        addr: u64,
+    },
+    /// Load address misaligned (cause 4).
+    LoadAddrMisaligned {
+        /// The misaligned address.
+        addr: u64,
+    },
+    /// Load access fault (cause 5).
+    LoadAccessFault {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Store/AMO address misaligned (cause 6).
+    StoreAddrMisaligned {
+        /// The misaligned address.
+        addr: u64,
+    },
+    /// Store/AMO access fault (cause 7).
+    StoreAccessFault {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Environment call from U-mode (cause 8), S-mode (9) or M-mode (11).
+    Ecall {
+        /// Privilege level the call was made from.
+        from: PrivLevel,
+    },
+}
+
+impl Exception {
+    /// The `mcause` code for this exception.
+    pub fn cause(&self) -> u64 {
+        match self {
+            Exception::InstrAddrMisaligned { .. } => 0,
+            Exception::InstrAccessFault { .. } => 1,
+            Exception::IllegalInstr { .. } => 2,
+            Exception::Breakpoint { .. } => 3,
+            Exception::LoadAddrMisaligned { .. } => 4,
+            Exception::LoadAccessFault { .. } => 5,
+            Exception::StoreAddrMisaligned { .. } => 6,
+            Exception::StoreAccessFault { .. } => 7,
+            Exception::Ecall { from } => match from {
+                PrivLevel::User => 8,
+                PrivLevel::Supervisor => 9,
+                PrivLevel::Machine => 11,
+            },
+        }
+    }
+
+    /// The `mtval` value written when this exception traps.
+    pub fn tval(&self) -> u64 {
+        match *self {
+            Exception::InstrAddrMisaligned { addr }
+            | Exception::InstrAccessFault { addr }
+            | Exception::Breakpoint { addr }
+            | Exception::LoadAddrMisaligned { addr }
+            | Exception::LoadAccessFault { addr }
+            | Exception::StoreAddrMisaligned { addr }
+            | Exception::StoreAccessFault { addr } => addr,
+            Exception::IllegalInstr { word } => u64::from(word),
+            Exception::Ecall { .. } => 0,
+        }
+    }
+
+    /// Priority rank among *simultaneously raised* synchronous exceptions;
+    /// lower ranks trap first.
+    ///
+    /// Follows Table 3.7 of the privileged spec. In particular, for a memory
+    /// access that is both misaligned and out of the accessible region, the
+    /// misaligned exception ranks higher — the exact corner the paper's
+    /// Finding 1 shows RocketCore getting wrong.
+    pub fn priority_rank(&self) -> u8 {
+        match self {
+            Exception::Breakpoint { .. } => 0,
+            Exception::InstrAccessFault { .. } => 1,
+            Exception::IllegalInstr { .. } => 2,
+            Exception::InstrAddrMisaligned { .. } => 3,
+            Exception::Ecall { .. } => 4,
+            Exception::LoadAddrMisaligned { .. } | Exception::StoreAddrMisaligned { .. } => 5,
+            Exception::LoadAccessFault { .. } | Exception::StoreAccessFault { .. } => 6,
+        }
+    }
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exception::InstrAddrMisaligned { addr } => {
+                write!(f, "instruction address misaligned @{addr:#x}")
+            }
+            Exception::InstrAccessFault { addr } => {
+                write!(f, "instruction access fault @{addr:#x}")
+            }
+            Exception::IllegalInstr { word } => write!(f, "illegal instruction {word:#010x}"),
+            Exception::Breakpoint { addr } => write!(f, "breakpoint @{addr:#x}"),
+            Exception::LoadAddrMisaligned { addr } => {
+                write!(f, "load address misaligned @{addr:#x}")
+            }
+            Exception::LoadAccessFault { addr } => write!(f, "load access fault @{addr:#x}"),
+            Exception::StoreAddrMisaligned { addr } => {
+                write!(f, "store address misaligned @{addr:#x}")
+            }
+            Exception::StoreAccessFault { addr } => write!(f, "store access fault @{addr:#x}"),
+            Exception::Ecall { from } => write!(f, "environment call from {from}-mode"),
+        }
+    }
+}
+
+impl std::error::Error for Exception {}
+
+/// An asynchronous interrupt cause (modelled but not raised by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interrupt {
+    /// Supervisor software interrupt (cause 1).
+    SupervisorSoftware,
+    /// Machine software interrupt (cause 3).
+    MachineSoftware,
+    /// Supervisor timer interrupt (cause 5).
+    SupervisorTimer,
+    /// Machine timer interrupt (cause 7).
+    MachineTimer,
+    /// Supervisor external interrupt (cause 9).
+    SupervisorExternal,
+    /// Machine external interrupt (cause 11).
+    MachineExternal,
+}
+
+impl Interrupt {
+    /// The low bits of the `mcause` code (the interrupt bit excluded).
+    pub fn cause(&self) -> u64 {
+        match self {
+            Interrupt::SupervisorSoftware => 1,
+            Interrupt::MachineSoftware => 3,
+            Interrupt::SupervisorTimer => 5,
+            Interrupt::MachineTimer => 7,
+            Interrupt::SupervisorExternal => 9,
+            Interrupt::MachineExternal => 11,
+        }
+    }
+
+    /// The full `mcause` value (interrupt bit set).
+    pub fn mcause(&self) -> u64 {
+        (1 << 63) | self.cause()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_codes_match_spec() {
+        assert_eq!(Exception::InstrAddrMisaligned { addr: 0 }.cause(), 0);
+        assert_eq!(Exception::IllegalInstr { word: 0 }.cause(), 2);
+        assert_eq!(Exception::LoadAddrMisaligned { addr: 0 }.cause(), 4);
+        assert_eq!(Exception::StoreAccessFault { addr: 0 }.cause(), 7);
+        assert_eq!(Exception::Ecall { from: PrivLevel::User }.cause(), 8);
+        assert_eq!(Exception::Ecall { from: PrivLevel::Machine }.cause(), 11);
+    }
+
+    #[test]
+    fn misaligned_outranks_access_fault() {
+        // The spec priority at the heart of the paper's Finding 1.
+        let mis = Exception::LoadAddrMisaligned { addr: 1 };
+        let fault = Exception::LoadAccessFault { addr: 1 };
+        assert!(mis.priority_rank() < fault.priority_rank());
+        let mis = Exception::StoreAddrMisaligned { addr: 1 };
+        let fault = Exception::StoreAccessFault { addr: 1 };
+        assert!(mis.priority_rank() < fault.priority_rank());
+    }
+
+    #[test]
+    fn priv_level_round_trip() {
+        for p in [PrivLevel::User, PrivLevel::Supervisor, PrivLevel::Machine] {
+            assert_eq!(PrivLevel::from_bits(p.bits()), Some(p));
+        }
+        assert_eq!(PrivLevel::from_bits(2), None);
+    }
+
+    #[test]
+    fn interrupt_mcause_sets_top_bit() {
+        assert_eq!(Interrupt::MachineTimer.mcause(), (1 << 63) | 7);
+    }
+}

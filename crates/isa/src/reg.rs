@@ -1,0 +1,137 @@
+//! Integer register file names.
+
+use std::fmt;
+
+/// One of the 32 RISC-V integer registers.
+///
+/// The wrapper guarantees the index is in `0..32`, so downstream register
+/// files can index arrays without bounds checks failing.
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_isa::Reg;
+///
+/// let sp = Reg::new(2).unwrap();
+/// assert_eq!(sp.to_string(), "sp");
+/// assert_eq!(sp.index(), 2);
+/// assert!(Reg::new(32).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register `x0`/`zero`.
+    pub const X0: Reg = Reg(0);
+    /// Return address register `x1`/`ra`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2`/`sp`.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer `x3`/`gp`.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer `x4`/`tp`.
+    pub const TP: Reg = Reg(4);
+
+    /// Creates a register from its index, returning `None` if out of range.
+    pub fn new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// Creates a register from the low five bits of an encoded field.
+    pub fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0x1f) as u8)
+    }
+
+    /// The register index in `0..32`.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Whether this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// ABI mnemonic (e.g. `a0`, `s3`, `zero`).
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.index()]
+    }
+
+    /// All 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+
+    /// Argument registers `a0..=a7` (`x10..=x17`).
+    pub fn args() -> impl Iterator<Item = Reg> {
+        (10..18).map(Reg)
+    }
+
+    /// Saved registers `s0..=s11`.
+    pub fn saved() -> impl Iterator<Item = Reg> {
+        [8u8, 9].into_iter().chain(18..28).map(Reg)
+    }
+
+    /// Temporary registers `t0..=t6`.
+    pub fn temps() -> impl Iterator<Item = Reg> {
+        [5u8, 6, 7].into_iter().chain(28..32).map(Reg)
+    }
+}
+
+const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl From<Reg> for u32 {
+    fn from(reg: Reg) -> u32 {
+        u32::from(reg.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_abi() {
+        assert_eq!(Reg::X0.to_string(), "zero");
+        assert_eq!(Reg::new(10).unwrap().to_string(), "a0");
+        assert_eq!(Reg::new(31).unwrap().to_string(), "t6");
+        assert_eq!(Reg::new(8).unwrap().to_string(), "s0");
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Reg::new(32).is_none());
+        assert!(Reg::new(255).is_none());
+    }
+
+    #[test]
+    fn from_field_masks() {
+        assert_eq!(Reg::from_field(0xffff_ffe3), Reg::new(3).unwrap());
+    }
+
+    #[test]
+    fn register_classes_are_disjoint_and_cover() {
+        let mut seen = [0u8; 32];
+        for r in Reg::args().chain(Reg::saved()).chain(Reg::temps()) {
+            seen[r.index()] += 1;
+        }
+        // zero, ra, sp, gp, tp are in no class.
+        assert!(seen.iter().all(|&c| c <= 1));
+        assert_eq!(seen.iter().map(|&c| usize::from(c)).sum::<usize>(), 27);
+    }
+
+    #[test]
+    fn all_yields_32() {
+        assert_eq!(Reg::all().count(), 32);
+    }
+}

@@ -1,0 +1,303 @@
+//! Pure architectural semantics shared by every simulator in the workspace.
+//!
+//! Both the golden-model interpreter (`chatfuzz-softcore`) and the
+//! microarchitectural cores (`chatfuzz-rtl`) compute results through these
+//! functions. Because there is exactly one implementation of each operation,
+//! any trace divergence observed by the mismatch detector must come from the
+//! *deliberately injected* RocketCore bugs, never from accidental semantic
+//! drift between two hand-written interpreters.
+
+use crate::instr::{AluOp, AmoOp, BranchCond, MemWidth, MulDivOp};
+
+/// Evaluates a register/immediate ALU operation.
+///
+/// When `word` is set the operation is performed on the low 32 bits and the
+/// 32-bit result is sign-extended, matching the `*W` instructions.
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_isa::{semantics::alu, AluOp};
+///
+/// assert_eq!(alu(AluOp::Add, 1, 2, false), 3);
+/// // addw wraps at 32 bits and sign-extends.
+/// assert_eq!(alu(AluOp::Add, 0x7fff_ffff, 1, true), 0xffff_ffff_8000_0000);
+/// ```
+pub fn alu(op: AluOp, a: u64, b: u64, word: bool) -> u64 {
+    if word {
+        let a32 = a as u32;
+        let b32 = b as u32;
+        let r32: u32 = match op {
+            AluOp::Add => a32.wrapping_add(b32),
+            AluOp::Sub => a32.wrapping_sub(b32),
+            AluOp::Sll => a32.wrapping_shl(b32 & 0x1f),
+            AluOp::Srl => a32.wrapping_shr(b32 & 0x1f),
+            AluOp::Sra => ((a32 as i32).wrapping_shr(b32 & 0x1f)) as u32,
+            // No *W forms exist for these; fall back to the 64-bit result
+            // truncated, which the encoder prevents ever being reachable.
+            AluOp::Slt | AluOp::Sltu | AluOp::Xor | AluOp::Or | AluOp::And => {
+                return alu(op, a, b, false)
+            }
+        };
+        i64::from(r32 as i32) as u64
+    } else {
+        match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a.wrapping_shl((b & 0x3f) as u32),
+            AluOp::Slt => u64::from((a as i64) < (b as i64)),
+            AluOp::Sltu => u64::from(a < b),
+            AluOp::Xor => a ^ b,
+            AluOp::Srl => a.wrapping_shr((b & 0x3f) as u32),
+            AluOp::Sra => ((a as i64).wrapping_shr((b & 0x3f) as u32)) as u64,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+        }
+    }
+}
+
+/// Evaluates an M-extension multiply/divide.
+///
+/// Implements the spec's division-by-zero and signed-overflow conventions
+/// (`div x, MIN, -1 = MIN`, `rem x, MIN, -1 = 0`, `div x, y, 0 = -1`,
+/// `rem x, y, 0 = x`).
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_isa::{semantics::muldiv, MulDivOp};
+///
+/// assert_eq!(muldiv(MulDivOp::Div, 7, 0, false), u64::MAX); // div by zero = -1
+/// assert_eq!(muldiv(MulDivOp::Rem, 7, 0, false), 7);
+/// ```
+pub fn muldiv(op: MulDivOp, a: u64, b: u64, word: bool) -> u64 {
+    if word {
+        let a32 = a as i32;
+        let b32 = b as i32;
+        let r32: i32 = match op {
+            MulDivOp::Mul => a32.wrapping_mul(b32),
+            MulDivOp::Div => {
+                if b32 == 0 {
+                    -1
+                } else {
+                    a32.wrapping_div(b32)
+                }
+            }
+            MulDivOp::Divu => {
+                if b32 == 0 {
+                    -1
+                } else {
+                    ((a32 as u32) / (b32 as u32)) as i32
+                }
+            }
+            MulDivOp::Rem => {
+                if b32 == 0 {
+                    a32
+                } else {
+                    a32.wrapping_rem(b32)
+                }
+            }
+            MulDivOp::Remu => {
+                if b32 == 0 {
+                    a32
+                } else {
+                    ((a32 as u32) % (b32 as u32)) as i32
+                }
+            }
+            // No *W forms; unreachable through the encoder.
+            MulDivOp::Mulh | MulDivOp::Mulhsu | MulDivOp::Mulhu => {
+                return muldiv(op, a, b, false)
+            }
+        };
+        i64::from(r32) as u64
+    } else {
+        match op {
+            MulDivOp::Mul => a.wrapping_mul(b),
+            MulDivOp::Mulh => {
+                let wide = i128::from(a as i64) * i128::from(b as i64);
+                (wide >> 64) as u64
+            }
+            MulDivOp::Mulhsu => {
+                let wide = i128::from(a as i64) * i128::from(u128::from(b) as i128);
+                (wide >> 64) as u64
+            }
+            MulDivOp::Mulhu => {
+                let wide = u128::from(a) * u128::from(b);
+                (wide >> 64) as u64
+            }
+            MulDivOp::Div => {
+                let (a, b) = (a as i64, b as i64);
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a.wrapping_div(b) as u64
+                }
+            }
+            MulDivOp::Divu => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a / b
+                }
+            }
+            MulDivOp::Rem => {
+                let (a, b) = (a as i64, b as i64);
+                if b == 0 {
+                    a as u64
+                } else {
+                    a.wrapping_rem(b) as u64
+                }
+            }
+            MulDivOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a conditional-branch comparison.
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_isa::{semantics::branch_taken, BranchCond};
+///
+/// assert!(branch_taken(BranchCond::Ltu, 1, u64::MAX));
+/// assert!(!branch_taken(BranchCond::Lt, 1, u64::MAX)); // -1 signed
+/// ```
+pub fn branch_taken(cond: BranchCond, a: u64, b: u64) -> bool {
+    match cond {
+        BranchCond::Eq => a == b,
+        BranchCond::Ne => a != b,
+        BranchCond::Lt => (a as i64) < (b as i64),
+        BranchCond::Ge => (a as i64) >= (b as i64),
+        BranchCond::Ltu => a < b,
+        BranchCond::Geu => a >= b,
+    }
+}
+
+/// Computes the new memory value of an AMO, given the old memory value and
+/// the register operand. For `W`-width AMOs both operands are interpreted as
+/// 32-bit values and the result is truncated by the caller's store.
+pub fn amo(op: AmoOp, old: u64, operand: u64, width: MemWidth) -> u64 {
+    match width {
+        MemWidth::W => {
+            let old32 = old as i32;
+            let src32 = operand as i32;
+            let r = match op {
+                AmoOp::Swap => src32,
+                AmoOp::Add => old32.wrapping_add(src32),
+                AmoOp::Xor => old32 ^ src32,
+                AmoOp::And => old32 & src32,
+                AmoOp::Or => old32 | src32,
+                AmoOp::Min => old32.min(src32),
+                AmoOp::Max => old32.max(src32),
+                AmoOp::Minu => ((old32 as u32).min(src32 as u32)) as i32,
+                AmoOp::Maxu => ((old32 as u32).max(src32 as u32)) as i32,
+            };
+            r as u32 as u64
+        }
+        _ => match op {
+            AmoOp::Swap => operand,
+            AmoOp::Add => old.wrapping_add(operand),
+            AmoOp::Xor => old ^ operand,
+            AmoOp::And => old & operand,
+            AmoOp::Or => old | operand,
+            AmoOp::Min => (old as i64).min(operand as i64) as u64,
+            AmoOp::Max => (old as i64).max(operand as i64) as u64,
+            AmoOp::Minu => old.min(operand),
+            AmoOp::Maxu => old.max(operand),
+        },
+    }
+}
+
+/// Sign- or zero-extends a loaded value of the given width to 64 bits.
+pub fn extend_loaded(raw: u64, width: MemWidth, signed: bool) -> u64 {
+    match (width, signed) {
+        (MemWidth::B, true) => i64::from(raw as u8 as i8) as u64,
+        (MemWidth::B, false) => u64::from(raw as u8),
+        (MemWidth::H, true) => i64::from(raw as u16 as i16) as u64,
+        (MemWidth::H, false) => u64::from(raw as u16),
+        (MemWidth::W, true) => i64::from(raw as u32 as i32) as u64,
+        (MemWidth::W, false) => u64::from(raw as u32),
+        (MemWidth::D, _) => raw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_reference_values() {
+        assert_eq!(alu(AluOp::Sub, 0, 1, false), u64::MAX);
+        assert_eq!(alu(AluOp::Slt, u64::MAX, 0, false), 1); // -1 < 0 signed
+        assert_eq!(alu(AluOp::Sltu, u64::MAX, 0, false), 0);
+        assert_eq!(alu(AluOp::Sra, 0x8000_0000_0000_0000, 63, false), u64::MAX);
+        assert_eq!(alu(AluOp::Srl, 0x8000_0000_0000_0000, 63, false), 1);
+        // Shift amounts are masked to 6 bits.
+        assert_eq!(alu(AluOp::Sll, 1, 64, false), 1);
+    }
+
+    #[test]
+    fn alu_word_sign_extension() {
+        assert_eq!(alu(AluOp::Add, 0xffff_ffff, 1, true), 0);
+        assert_eq!(alu(AluOp::Sll, 1, 31, true), 0xffff_ffff_8000_0000);
+        assert_eq!(alu(AluOp::Sra, 0x8000_0000, 31, true), u64::MAX);
+        // Word shifts mask to 5 bits.
+        assert_eq!(alu(AluOp::Sll, 1, 32, true), 1);
+    }
+
+    #[test]
+    fn division_conventions() {
+        assert_eq!(muldiv(MulDivOp::Div, 1, 0, false), u64::MAX);
+        assert_eq!(muldiv(MulDivOp::Divu, 1, 0, false), u64::MAX);
+        assert_eq!(muldiv(MulDivOp::Rem, 5, 0, false), 5);
+        assert_eq!(muldiv(MulDivOp::Remu, 5, 0, false), 5);
+        // Signed overflow: MIN / -1 = MIN, MIN % -1 = 0.
+        let min = i64::MIN as u64;
+        assert_eq!(muldiv(MulDivOp::Div, min, u64::MAX, false), min);
+        assert_eq!(muldiv(MulDivOp::Rem, min, u64::MAX, false), 0);
+    }
+
+    #[test]
+    fn word_division_conventions() {
+        let min32 = i64::from(i32::MIN) as u64;
+        assert_eq!(muldiv(MulDivOp::Div, min32, u64::MAX, true), min32);
+        assert_eq!(muldiv(MulDivOp::Rem, min32, u64::MAX, true), 0);
+        assert_eq!(muldiv(MulDivOp::Div, 7, 0, true), u64::MAX);
+    }
+
+    #[test]
+    fn mulh_variants() {
+        assert_eq!(muldiv(MulDivOp::Mulhu, u64::MAX, u64::MAX, false), u64::MAX - 1);
+        assert_eq!(muldiv(MulDivOp::Mulh, u64::MAX, u64::MAX, false), 0); // (-1)*(-1)=1
+        assert_eq!(muldiv(MulDivOp::Mulhsu, u64::MAX, u64::MAX, false), u64::MAX);
+    }
+
+    #[test]
+    fn amo_min_max_signedness() {
+        assert_eq!(amo(AmoOp::Min, u64::MAX, 1, MemWidth::D), u64::MAX); // -1 < 1
+        assert_eq!(amo(AmoOp::Minu, u64::MAX, 1, MemWidth::D), 1);
+        assert_eq!(amo(AmoOp::Max, u64::MAX, 1, MemWidth::D), 1);
+        assert_eq!(amo(AmoOp::Maxu, u64::MAX, 1, MemWidth::D), u64::MAX);
+    }
+
+    #[test]
+    fn amo_word_truncation() {
+        assert_eq!(amo(AmoOp::Add, 0xffff_ffff, 1, MemWidth::W), 0);
+        assert_eq!(amo(AmoOp::Swap, 0, 0x1_2345_6789, MemWidth::W), 0x2345_6789);
+    }
+
+    #[test]
+    fn load_extension() {
+        assert_eq!(extend_loaded(0x80, MemWidth::B, true), 0xffff_ffff_ffff_ff80);
+        assert_eq!(extend_loaded(0x80, MemWidth::B, false), 0x80);
+        assert_eq!(extend_loaded(0x8000_0000, MemWidth::W, true), 0xffff_ffff_8000_0000);
+        assert_eq!(extend_loaded(0x8000_0000, MemWidth::W, false), 0x8000_0000);
+    }
+}

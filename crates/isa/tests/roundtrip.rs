@@ -1,0 +1,225 @@
+//! Property tests: every constructible instruction encodes, decodes back to
+//! itself, and survives a disassembly round through `decode`.
+
+use chatfuzz_isa::{
+    decode, encode, AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, Reg,
+    SystemOp,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::new(i).unwrap())
+}
+
+fn arb_mem_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::B),
+        Just(MemWidth::H),
+        Just(MemWidth::W),
+        Just(MemWidth::D)
+    ]
+}
+
+fn arb_amo_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![Just(MemWidth::W), Just(MemWidth::D)]
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+    ]
+}
+
+fn arb_muldiv_op() -> impl Strategy<Value = MulDivOp> {
+    prop_oneof![
+        Just(MulDivOp::Mul),
+        Just(MulDivOp::Mulh),
+        Just(MulDivOp::Mulhsu),
+        Just(MulDivOp::Mulhu),
+        Just(MulDivOp::Div),
+        Just(MulDivOp::Divu),
+        Just(MulDivOp::Rem),
+        Just(MulDivOp::Remu),
+    ]
+}
+
+fn arb_branch_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ]
+}
+
+fn arb_amo_op() -> impl Strategy<Value = AmoOp> {
+    prop_oneof![
+        Just(AmoOp::Swap),
+        Just(AmoOp::Add),
+        Just(AmoOp::Xor),
+        Just(AmoOp::And),
+        Just(AmoOp::Or),
+        Just(AmoOp::Min),
+        Just(AmoOp::Max),
+        Just(AmoOp::Minu),
+        Just(AmoOp::Maxu),
+    ]
+}
+
+fn arb_csr_op() -> impl Strategy<Value = CsrOp> {
+    prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)]
+}
+
+/// Generates only encodable instructions (field constraints respected).
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_reg(), -0x8_0000i64..0x8_0000).prop_map(|(rd, v)| Instr::Lui { rd, imm: v << 12 }),
+        (arb_reg(), -0x8_0000i64..0x8_0000)
+            .prop_map(|(rd, v)| Instr::Auipc { rd, imm: v << 12 }),
+        (arb_reg(), -0x10_0000i64 / 2..0x10_0000 / 2)
+            .prop_map(|(rd, v)| Instr::Jal { rd, offset: v * 2 }),
+        (arb_reg(), arb_reg(), -2048i64..=2047)
+            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (arb_branch_cond(), arb_reg(), arb_reg(), -2048i64..2048)
+            .prop_map(|(cond, rs1, rs2, v)| Instr::Branch { cond, rs1, rs2, offset: v * 2 }),
+        (arb_mem_width(), any::<bool>(), arb_reg(), arb_reg(), -2048i64..=2047).prop_map(
+            |(width, signed, rd, rs1, offset)| {
+                let signed = signed || width == MemWidth::D; // ldu doesn't exist
+                Instr::Load { width, signed, rd, rs1, offset }
+            }
+        ),
+        (arb_mem_width(), arb_reg(), arb_reg(), -2048i64..=2047)
+            .prop_map(|(width, rs2, rs1, offset)| Instr::Store { width, rs2, rs1, offset }),
+        (arb_alu_op(), arb_reg(), arb_reg(), -2048i64..=2047, any::<bool>()).prop_filter_map(
+            "valid op-imm",
+            |(op, rd, rs1, imm, word)| {
+                if !op.has_imm_form() || (word && !op.has_word_form()) {
+                    return None;
+                }
+                let imm = if op.is_shift() {
+                    imm.rem_euclid(if word { 32 } else { 64 })
+                } else {
+                    imm
+                };
+                Some(Instr::OpImm { op, rd, rs1, imm, word })
+            }
+        ),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg(), any::<bool>()).prop_filter_map(
+            "valid op",
+            |(op, rd, rs1, rs2, word)| {
+                if word && !op.has_word_form() {
+                    return None;
+                }
+                Some(Instr::Op { op, rd, rs1, rs2, word })
+            }
+        ),
+        (arb_muldiv_op(), arb_reg(), arb_reg(), arb_reg(), any::<bool>()).prop_filter_map(
+            "valid muldiv",
+            |(op, rd, rs1, rs2, word)| {
+                if word && !op.has_word_form() {
+                    return None;
+                }
+                Some(Instr::MulDiv { op, rd, rs1, rs2, word })
+            }
+        ),
+        (
+            arb_amo_op(),
+            arb_amo_width(),
+            arb_reg(),
+            arb_reg(),
+            arb_reg(),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(|(op, width, rd, rs1, rs2, aq, rl)| Instr::Amo {
+                op,
+                width,
+                rd,
+                rs1,
+                rs2,
+                aq,
+                rl
+            }),
+        (arb_amo_width(), arb_reg(), arb_reg(), any::<bool>(), any::<bool>())
+            .prop_map(|(width, rd, rs1, aq, rl)| Instr::LoadReserved { width, rd, rs1, aq, rl }),
+        (arb_amo_width(), arb_reg(), arb_reg(), arb_reg(), any::<bool>(), any::<bool>()).prop_map(
+            |(width, rd, rs1, rs2, aq, rl)| Instr::StoreConditional {
+                width,
+                rd,
+                rs1,
+                rs2,
+                aq,
+                rl
+            }
+        ),
+        (arb_csr_op(), arb_reg(), 0u16..0x1000, arb_reg())
+            .prop_map(|(op, rd, csr, rs1)| Instr::Csr { op, rd, csr, src: CsrSrc::Reg(rs1) }),
+        (arb_csr_op(), arb_reg(), 0u16..0x1000, 0u8..32)
+            .prop_map(|(op, rd, csr, imm)| Instr::Csr { op, rd, csr, src: CsrSrc::Imm(imm) }),
+        (0u8..16, 0u8..16).prop_map(|(pred, succ)| Instr::Fence { pred, succ }),
+        Just(Instr::FenceI),
+        prop_oneof![
+            Just(SystemOp::Ecall),
+            Just(SystemOp::Ebreak),
+            Just(SystemOp::Mret),
+            Just(SystemOp::Sret),
+            Just(SystemOp::Wfi),
+        ]
+        .prop_map(Instr::System),
+        (arb_reg(), arb_reg()).prop_map(|(rs1, rs2)| Instr::SfenceVma { rs1, rs2 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// encode -> decode is the identity on constructible instructions.
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instr()) {
+        let word = encode(&instr).expect("arb_instr must be encodable");
+        let back = decode(word).expect("encoded word must decode");
+        prop_assert_eq!(back, instr);
+    }
+
+    /// Decoding any word either fails or yields an instruction that
+    /// re-encodes to a word that decodes to the same instruction
+    /// (idempotence over the canonicalising round).
+    #[test]
+    fn decode_encode_stabilises(word in any::<u32>()) {
+        if let Ok(instr) = decode(word) {
+            let canon = encode(&instr).expect("decoded instruction must encode");
+            let again = decode(canon).expect("canonical word must decode");
+            prop_assert_eq!(again, instr);
+        }
+    }
+
+    /// Display output is non-empty and stable for valid instructions.
+    #[test]
+    fn display_never_empty(instr in arb_instr()) {
+        prop_assert!(!instr.to_string().is_empty());
+    }
+
+    /// The disassembler reward agent agrees with `decode` word by word.
+    #[test]
+    fn count_valid_invalid_matches_decode(words in proptest::collection::vec(any::<u32>(), 0..64)) {
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let (valid, invalid) = chatfuzz_isa::count_valid_invalid(&bytes);
+        let expect_valid = words.iter().filter(|w| decode(**w).is_ok()).count();
+        prop_assert_eq!(valid, expect_valid);
+        prop_assert_eq!(invalid, words.len() - expect_valid);
+    }
+}

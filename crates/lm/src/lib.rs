@@ -1,0 +1,38 @@
+//! The language-model half of ChatFuzz: machine-code tokenizer, mini-GPT,
+//! unsupervised training, and an n-gram ablation baseline.
+//!
+//! The paper (§III-B, §IV-C) trains a GPT-2-family model on ~500 K test
+//! vectors extracted from a compiled Linux kernel, using a tokenizer
+//! trained over the ISA. This crate reproduces that stack at laptop scale:
+//!
+//! * [`tokenizer::Tokenizer`] — BPE over instruction hex nibbles with an
+//!   instruction separator; malformed decodes map to illegal words so the
+//!   cleanup-RL reward can penalise them;
+//! * [`model::Gpt`] — a decoder-only transformer with a PPO value head,
+//!   built on `chatfuzz-autograd`;
+//! * [`train`] — the unsupervised "Initial Training" step;
+//! * [`ngram::NgramLm`] — the generator ablation (A1 in DESIGN.md).
+//!
+//! # Examples
+//!
+//! ```
+//! use chatfuzz_lm::{Gpt, GptConfig, Tokenizer};
+//! use rand::SeedableRng;
+//!
+//! let corpus = vec![vec![0x0010_0093u32, 0x0000_0533]];
+//! let tok = Tokenizer::train(&corpus, 64);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let model = Gpt::new(GptConfig::tiny(tok.vocab_size() as usize), &mut rng);
+//! let tokens = model.generate(&[chatfuzz_lm::tokenizer::BOS], 8, 1.0, 8, &mut rng);
+//! let _program_bytes = tok.decode_to_bytes(&tokens);
+//! ```
+
+pub mod model;
+pub mod ngram;
+pub mod tokenizer;
+pub mod train;
+
+pub use model::{sample_row, Forward, Gpt, GptConfig};
+pub use ngram::NgramLm;
+pub use tokenizer::Tokenizer;
+pub use train::{evaluate_lm, train_lm, TrainConfig, TrainStep};

@@ -1,0 +1,400 @@
+//! Decoder-only transformer (mini-GPT-2) over machine-code tokens.
+//!
+//! The paper fine-tunes a GPT-2-family model; at reproduction scale a
+//! 2-layer, 64-dim decoder trained on-CPU captures the same pipeline. The
+//! model carries a scalar value head used by the PPO phases (paper
+//! §III-B.2/3) and ties its output embedding to `wte` like GPT-2.
+
+use chatfuzz_autograd::{Tape, Tensor, Value};
+use rand::Rng;
+
+use crate::tokenizer::EOS;
+
+/// Transformer hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GptConfig {
+    /// Vocabulary size (from the tokenizer).
+    pub vocab: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Number of transformer blocks.
+    pub n_layer: usize,
+    /// Attention heads (`d_model % n_head == 0`).
+    pub n_head: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Maximum sequence length (positional-table size).
+    pub max_seq: usize,
+}
+
+impl GptConfig {
+    /// The small configuration used throughout the experiments.
+    pub fn small(vocab: usize) -> GptConfig {
+        GptConfig { vocab, d_model: 64, n_layer: 2, n_head: 4, d_ff: 128, max_seq: 96 }
+    }
+
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny(vocab: usize) -> GptConfig {
+        GptConfig { vocab, d_model: 16, n_layer: 1, n_head: 2, d_ff: 32, max_seq: 64 }
+    }
+
+    /// A compact configuration that still learns byte-position structure:
+    /// used by the quick experiment scale.
+    pub fn compact(vocab: usize) -> GptConfig {
+        GptConfig { vocab, d_model: 32, n_layer: 2, n_head: 2, d_ff: 64, max_seq: 80 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    ln1_g: Tensor,
+    ln1_b: Tensor,
+    wq: Tensor,
+    wk: Tensor,
+    wv: Tensor,
+    wo: Tensor,
+    ln2_g: Tensor,
+    ln2_b: Tensor,
+    w1: Tensor,
+    b1: Tensor,
+    w2: Tensor,
+    b2: Tensor,
+}
+
+/// The model: owned parameter tensors.
+#[derive(Debug, Clone)]
+pub struct Gpt {
+    cfg: GptConfig,
+    wte: Tensor,
+    wpe: Tensor,
+    blocks: Vec<Block>,
+    lnf_g: Tensor,
+    lnf_b: Tensor,
+    vhead_w: Tensor,
+    vhead_b: Tensor,
+}
+
+/// One forward pass's graph handles.
+#[derive(Debug)]
+pub struct Forward {
+    /// Next-token logits `[T, vocab]`.
+    pub logits: Value,
+    /// Value-head estimates `[T, 1]` (PPO critic).
+    pub values: Value,
+    /// Parameter nodes in [`Gpt::param_count`] order, for gradient readout.
+    pub params: Vec<Value>,
+}
+
+impl Gpt {
+    /// Initialises a model with small Gaussian weights.
+    pub fn new<R: Rng>(cfg: GptConfig, rng: &mut R) -> Gpt {
+        assert!(cfg.d_model % cfg.n_head == 0, "d_model must divide into heads");
+        let std = 0.08;
+        let block = |rng: &mut R| Block {
+            ln1_g: Tensor::full(1, cfg.d_model, 1.0),
+            ln1_b: Tensor::zeros(1, cfg.d_model),
+            wq: Tensor::randn(cfg.d_model, cfg.d_model, std, rng),
+            wk: Tensor::randn(cfg.d_model, cfg.d_model, std, rng),
+            wv: Tensor::randn(cfg.d_model, cfg.d_model, std, rng),
+            wo: Tensor::randn(cfg.d_model, cfg.d_model, std, rng),
+            ln2_g: Tensor::full(1, cfg.d_model, 1.0),
+            ln2_b: Tensor::zeros(1, cfg.d_model),
+            w1: Tensor::randn(cfg.d_model, cfg.d_ff, std, rng),
+            b1: Tensor::zeros(1, cfg.d_ff),
+            w2: Tensor::randn(cfg.d_ff, cfg.d_model, std, rng),
+            b2: Tensor::zeros(1, cfg.d_model),
+        };
+        Gpt {
+            cfg,
+            wte: Tensor::randn(cfg.vocab, cfg.d_model, std, rng),
+            wpe: Tensor::randn(cfg.max_seq, cfg.d_model, std, rng),
+            blocks: (0..cfg.n_layer).map(|_| block(rng)).collect(),
+            lnf_g: Tensor::full(1, cfg.d_model, 1.0),
+            lnf_b: Tensor::zeros(1, cfg.d_model),
+            vhead_w: Tensor::randn(cfg.d_model, 1, std, rng),
+            vhead_b: Tensor::zeros(1, 1),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GptConfig {
+        &self.cfg
+    }
+
+    /// Number of parameter tensors (not scalars).
+    pub fn param_count(&self) -> usize {
+        4 + 12 * self.blocks.len() + 2
+    }
+
+    /// Total scalar parameter count.
+    pub fn scalar_params(&self) -> usize {
+        self.params().iter().map(|t| t.len()).sum()
+    }
+
+    /// Parameter tensors in canonical order.
+    pub fn params(&self) -> Vec<&Tensor> {
+        let mut v: Vec<&Tensor> = vec![&self.wte, &self.wpe];
+        for b in &self.blocks {
+            v.extend([
+                &b.ln1_g, &b.ln1_b, &b.wq, &b.wk, &b.wv, &b.wo, &b.ln2_g, &b.ln2_b, &b.w1,
+                &b.b1, &b.w2, &b.b2,
+            ]);
+        }
+        v.extend([&self.lnf_g, &self.lnf_b, &self.vhead_w, &self.vhead_b]);
+        v
+    }
+
+    /// Mutable parameter tensors in the same canonical order.
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut v: Vec<&mut Tensor> = vec![&mut self.wte, &mut self.wpe];
+        for b in &mut self.blocks {
+            v.extend([
+                &mut b.ln1_g,
+                &mut b.ln1_b,
+                &mut b.wq,
+                &mut b.wk,
+                &mut b.wv,
+                &mut b.wo,
+                &mut b.ln2_g,
+                &mut b.ln2_b,
+                &mut b.w1,
+                &mut b.b1,
+                &mut b.w2,
+                &mut b.b2,
+            ]);
+        }
+        v.extend([&mut self.lnf_g, &mut self.lnf_b, &mut self.vhead_w, &mut self.vhead_b]);
+        v
+    }
+
+    /// Builds the forward graph for a token sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty, longer than `max_seq`, or contains ids
+    /// outside the vocabulary.
+    pub fn forward(&self, tape: &mut Tape, tokens: &[u32]) -> Forward {
+        assert!(!tokens.is_empty(), "empty sequence");
+        assert!(tokens.len() <= self.cfg.max_seq, "sequence too long");
+        let ids: Vec<usize> = tokens
+            .iter()
+            .map(|&t| {
+                assert!((t as usize) < self.cfg.vocab, "token {t} out of vocab");
+                t as usize
+            })
+            .collect();
+        let positions: Vec<usize> = (0..ids.len()).collect();
+        let hd = self.cfg.d_model / self.cfg.n_head;
+
+        let mut params = Vec::with_capacity(self.param_count());
+        let mut reg = |tape: &mut Tape, t: &Tensor| {
+            let v = tape.param(t.clone());
+            params.push(v);
+            v
+        };
+
+        let wte = reg(tape, &self.wte);
+        let wpe = reg(tape, &self.wpe);
+        let tok_emb = tape.gather_rows(wte, &ids);
+        let pos_emb = tape.gather_rows(wpe, &positions);
+        let mut x = tape.add(tok_emb, pos_emb);
+
+        for b in &self.blocks {
+            let ln1_g = reg(tape, &b.ln1_g);
+            let ln1_b = reg(tape, &b.ln1_b);
+            let wq = reg(tape, &b.wq);
+            let wk = reg(tape, &b.wk);
+            let wv = reg(tape, &b.wv);
+            let wo = reg(tape, &b.wo);
+            let ln2_g = reg(tape, &b.ln2_g);
+            let ln2_b = reg(tape, &b.ln2_b);
+            let w1 = reg(tape, &b.w1);
+            let b1 = reg(tape, &b.b1);
+            let w2 = reg(tape, &b.w2);
+            let b2 = reg(tape, &b.b2);
+
+            let h = tape.layer_norm(x, ln1_g, ln1_b);
+            let q = tape.matmul(h, wq);
+            let k = tape.matmul(h, wk);
+            let v = tape.matmul(h, wv);
+            let mut heads = Vec::with_capacity(self.cfg.n_head);
+            for head in 0..self.cfg.n_head {
+                let qh = tape.slice_cols(q, head * hd, hd);
+                let kh = tape.slice_cols(k, head * hd, hd);
+                let vh = tape.slice_cols(v, head * hd, hd);
+                let scores = tape.matmul_nt(qh, kh);
+                let scaled = tape.scale(scores, 1.0 / (hd as f32).sqrt());
+                let att = tape.causal_softmax(scaled);
+                heads.push(tape.matmul(att, vh));
+            }
+            let ctx = tape.concat_cols(&heads);
+            let proj = tape.matmul(ctx, wo);
+            x = tape.add(x, proj);
+
+            let h2 = tape.layer_norm(x, ln2_g, ln2_b);
+            let a1 = tape.matmul(h2, w1);
+            let a1b = tape.add_row(a1, b1);
+            let act = tape.gelu(a1b);
+            let a2 = tape.matmul(act, w2);
+            let a2b = tape.add_row(a2, b2);
+            x = tape.add(x, a2b);
+        }
+
+        let lnf_g = reg(tape, &self.lnf_g);
+        let lnf_b = reg(tape, &self.lnf_b);
+        let vhead_w = reg(tape, &self.vhead_w);
+        let vhead_b = reg(tape, &self.vhead_b);
+        let hfinal = tape.layer_norm(x, lnf_g, lnf_b);
+        let logits = tape.matmul_nt(hfinal, wte); // weight tying
+        let vraw = tape.matmul(hfinal, vhead_w);
+        let values = tape.add_row(vraw, vhead_b);
+        Forward { logits, values, params }
+    }
+
+    /// Builds `forward` + cross-entropy next-token loss for one sequence.
+    pub fn lm_loss(&self, tape: &mut Tape, tokens: &[u32]) -> (Value, Forward) {
+        assert!(tokens.len() >= 2, "need at least two tokens for LM loss");
+        let fwd = self.forward(tape, &tokens[..tokens.len() - 1]);
+        let targets: Vec<usize> = tokens[1..].iter().map(|&t| t as usize).collect();
+        let loss = tape.cross_entropy(fwd.logits, &targets);
+        (loss, fwd)
+    }
+
+    /// Samples a continuation of `prompt` (temperature + top-k).
+    ///
+    /// Stops at `EOS` or after `max_new` tokens. The prompt is truncated
+    /// from the left to fit the context window.
+    pub fn generate<R: Rng>(
+        &self,
+        prompt: &[u32],
+        max_new: usize,
+        temperature: f32,
+        top_k: usize,
+        rng: &mut R,
+    ) -> Vec<u32> {
+        let mut tokens: Vec<u32> = prompt.to_vec();
+        if tokens.is_empty() {
+            tokens.push(crate::tokenizer::BOS);
+        }
+        for _ in 0..max_new {
+            let start = tokens.len().saturating_sub(self.cfg.max_seq);
+            let window = &tokens[start..];
+            let mut tape = Tape::new();
+            let fwd = self.forward(&mut tape, window);
+            let logits = tape.value(fwd.logits);
+            let last = logits.row(logits.rows() - 1);
+            let next = sample_row(last, temperature, top_k, rng);
+            tokens.push(next);
+            if next == EOS {
+                break;
+            }
+        }
+        tokens
+    }
+}
+
+/// Temperature + top-k sampling from a logit row.
+pub fn sample_row<R: Rng>(logits: &[f32], temperature: f32, top_k: usize, rng: &mut R) -> u32 {
+    let temp = temperature.max(1e-4);
+    let mut indexed: Vec<(usize, f32)> =
+        logits.iter().enumerate().map(|(i, &l)| (i, l / temp)).collect();
+    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let k = top_k.clamp(1, indexed.len());
+    let shortlist = &indexed[..k];
+    let max = shortlist[0].1;
+    let weights: Vec<f32> = shortlist.iter().map(|(_, l)| (l - max).exp()).collect();
+    let total: f32 = weights.iter().sum();
+    let mut draw = rng.gen_range(0.0..total.max(f32::MIN_POSITIVE));
+    for ((idx, _), w) in shortlist.iter().zip(&weights) {
+        if draw < *w {
+            return *idx as u32;
+        }
+        draw -= w;
+    }
+    shortlist[k - 1].0 as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let model = Gpt::new(GptConfig::tiny(24), &mut rng());
+        let mut tape = Tape::new();
+        let fwd = model.forward(&mut tape, &[1, 5, 9, 2]);
+        assert_eq!(tape.value(fwd.logits).rows(), 4);
+        assert_eq!(tape.value(fwd.logits).cols(), 24);
+        assert_eq!(tape.value(fwd.values).rows(), 4);
+        assert_eq!(tape.value(fwd.values).cols(), 1);
+        assert_eq!(fwd.params.len(), model.param_count());
+    }
+
+    #[test]
+    fn loss_decreases_under_training_steps() {
+        use chatfuzz_autograd::{Adam, AdamConfig};
+        let mut r = rng();
+        let mut model = Gpt::new(GptConfig::tiny(12), &mut r);
+        let seq: Vec<u32> = vec![1, 4, 5, 4, 5, 4, 5, 2];
+        let mut adam = Adam::new(AdamConfig { lr: 3e-3, ..Default::default() });
+        let loss_at = |model: &Gpt| {
+            let mut tape = Tape::new();
+            let (loss, _) = model.lm_loss(&mut tape, &seq);
+            tape.value(loss).get(0, 0)
+        };
+        let initial = loss_at(&model);
+        for _ in 0..60 {
+            let mut tape = Tape::new();
+            let (loss, fwd) = model.lm_loss(&mut tape, &seq);
+            tape.backward(loss);
+            let grads: Vec<_> = fwd
+                .params
+                .iter()
+                .map(|p| {
+                    tape.grad(*p).cloned().unwrap_or_else(|| {
+                        let t = tape.value(*p);
+                        chatfuzz_autograd::Tensor::zeros(t.rows(), t.cols())
+                    })
+                })
+                .collect();
+            let mut params = model.params_mut();
+            adam.step(&mut params, &grads);
+        }
+        let trained = loss_at(&model);
+        assert!(
+            trained < initial * 0.5,
+            "loss should halve: {initial} -> {trained}"
+        );
+    }
+
+    #[test]
+    fn generation_is_bounded_and_in_vocab() {
+        let model = Gpt::new(GptConfig::tiny(20), &mut rng());
+        let out = model.generate(&[1], 16, 1.0, 8, &mut rng());
+        assert!(out.len() <= 17);
+        assert!(out.iter().all(|&t| t < 20));
+    }
+
+    #[test]
+    fn sampling_respects_top_1() {
+        let logits = [0.0f32, 5.0, 1.0];
+        for _ in 0..8 {
+            assert_eq!(sample_row(&logits, 1.0, 1, &mut rng()), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence too long")]
+    fn overlong_sequences_rejected() {
+        let model = Gpt::new(GptConfig::tiny(8), &mut rng());
+        let seq: Vec<u32> = (0..100).map(|i| i % 8).collect();
+        let mut tape = Tape::new();
+        model.forward(&mut tape, &seq);
+    }
+}

@@ -1,0 +1,148 @@
+//! Back-off n-gram language model — the ablation baseline for the GPT
+//! generator (experiment A1 in DESIGN.md).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::tokenizer::{BOS, EOS};
+
+/// Trigram model with bigram/unigram back-off and additive smoothing.
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_lm::ngram::NgramLm;
+/// use rand::SeedableRng;
+///
+/// let data = vec![vec![1u32, 4, 5, 4, 5, 2]];
+/// let lm = NgramLm::train(&data, 8);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let out = lm.generate(&[1], 16, &mut rng);
+/// assert!(out.len() <= 17);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NgramLm {
+    vocab: u32,
+    unigram: HashMap<u32, u32>,
+    bigram: HashMap<u32, HashMap<u32, u32>>,
+    trigram: HashMap<(u32, u32), HashMap<u32, u32>>,
+    total: u32,
+}
+
+impl NgramLm {
+    /// Counts n-grams over the token corpus.
+    pub fn train(data: &[Vec<u32>], vocab: u32) -> NgramLm {
+        let mut lm = NgramLm {
+            vocab,
+            unigram: HashMap::new(),
+            bigram: HashMap::new(),
+            trigram: HashMap::new(),
+            total: 0,
+        };
+        for seq in data {
+            for (i, &t) in seq.iter().enumerate() {
+                *lm.unigram.entry(t).or_insert(0) += 1;
+                lm.total += 1;
+                if i >= 1 {
+                    *lm.bigram.entry(seq[i - 1]).or_default().entry(t).or_insert(0) += 1;
+                }
+                if i >= 2 {
+                    *lm.trigram
+                        .entry((seq[i - 2], seq[i - 1]))
+                        .or_default()
+                        .entry(t)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        lm
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> u32 {
+        self.vocab
+    }
+
+    fn sample_from<R: Rng>(&self, counts: &HashMap<u32, u32>, rng: &mut R) -> u32 {
+        let total: u32 = counts.values().sum();
+        let mut draw = rng.gen_range(0..total.max(1));
+        let mut items: Vec<(&u32, &u32)> = counts.iter().collect();
+        items.sort_by_key(|(t, _)| **t); // determinism per seed
+        for (t, c) in items {
+            if draw < *c {
+                return *t;
+            }
+            draw -= c;
+        }
+        EOS
+    }
+
+    /// Samples the next token given the last two.
+    pub fn next_token<R: Rng>(&self, context: &[u32], rng: &mut R) -> u32 {
+        if context.len() >= 2 {
+            let key = (context[context.len() - 2], context[context.len() - 1]);
+            if let Some(counts) = self.trigram.get(&key) {
+                return self.sample_from(counts, rng);
+            }
+        }
+        if let Some(&last) = context.last() {
+            if let Some(counts) = self.bigram.get(&last) {
+                return self.sample_from(counts, rng);
+            }
+        }
+        if self.total > 0 {
+            return self.sample_from(&self.unigram, rng);
+        }
+        rng.gen_range(0..self.vocab.max(1))
+    }
+
+    /// Generates a continuation, stopping at `EOS` or `max_new` tokens.
+    pub fn generate<R: Rng>(&self, prompt: &[u32], max_new: usize, rng: &mut R) -> Vec<u32> {
+        let mut tokens = if prompt.is_empty() { vec![BOS] } else { prompt.to_vec() };
+        for _ in 0..max_new {
+            let next = self.next_token(&tokens, rng);
+            tokens.push(next);
+            if next == EOS {
+                break;
+            }
+        }
+        tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_a_deterministic_chain() {
+        // Language: 1 -> 7 -> 8 -> 9 -> 2, always.
+        let data = vec![vec![1u32, 7, 8, 9, 2]; 5];
+        let lm = NgramLm::train(&data, 16);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = lm.generate(&[1], 8, &mut rng);
+        assert_eq!(out, vec![1, 7, 8, 9, 2]);
+    }
+
+    #[test]
+    fn backs_off_when_context_is_unseen() {
+        let data = vec![vec![1u32, 7, 8, 2]];
+        let lm = NgramLm::train(&data, 16);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Context (14, 15) never seen: falls back to bigram/unigram, still
+        // produces an in-vocab token.
+        let t = lm.next_token(&[14, 15], &mut rng);
+        assert!(t < 16);
+    }
+
+    #[test]
+    fn untrained_model_still_generates() {
+        let lm = NgramLm::train(&[], 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = lm.generate(&[], 4, &mut rng);
+        assert!(!out.is_empty());
+    }
+}

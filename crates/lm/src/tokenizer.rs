@@ -1,0 +1,395 @@
+//! Machine-language tokenizer (paper §III-B.1 / §IV-C.1).
+//!
+//! The paper "trains a tokenizer on the full ISA" and feeds hex machine
+//! code (e.g. `4118,419c,…`) to a GPT-2-style model. We reproduce that
+//! with a byte-pair-encoding tokenizer over the **hex nibbles** of each
+//! 32-bit instruction word:
+//!
+//! * base alphabet: the 16 nibbles + `BOS`/`EOS`/`SEP`/`PAD` specials;
+//! * merges are learned from a corpus and never cross an instruction
+//!   boundary (the `SEP` token separates instructions);
+//! * decoding maps token sequences back to instruction words; slots whose
+//!   nibble count is not exactly 8 are *malformed* — the disassembler
+//!   reward of the cleanup-RL phase penalises exactly these.
+
+use std::collections::HashMap;
+
+/// Padding token id.
+pub const PAD: u32 = 0;
+/// Begin-of-sequence token id.
+pub const BOS: u32 = 1;
+/// End-of-sequence token id.
+pub const EOS: u32 = 2;
+/// Instruction-separator token id.
+pub const SEP: u32 = 3;
+/// First nibble token id (`0x0`); nibble `n` is `NIBBLE0 + n`.
+pub const NIBBLE0: u32 = 4;
+/// Number of reserved (non-learned) tokens.
+pub const BASE_VOCAB: u32 = NIBBLE0 + 16;
+
+/// Token-stream framing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenizerKind {
+    /// Learned BPE over nibbles with `SEP`-delimited instructions.
+    /// Compact, but the model must learn to emit exactly 8 nibbles of
+    /// expansion per slot — slot malformation is possible.
+    Bpe,
+    /// Fixed-width byte parcels: every instruction is exactly 4 tokens
+    /// (big-endian bytes), mirroring the paper's fixed hex-parcel stream
+    /// (`4118,419c,…`). Slot framing is positional, so generated streams
+    /// are malformed only at a truncated tail.
+    FixedByte,
+}
+
+/// A machine-code tokenizer (learned BPE or fixed byte parcels).
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_lm::tokenizer::Tokenizer;
+///
+/// let corpus = vec![vec![0x0010_0093u32, 0x0000_0533], vec![0x0010_0093]];
+/// let tok = Tokenizer::train(&corpus, 64);
+/// let ids = tok.encode(&[0x0010_0093]);
+/// let back = tok.decode(&ids);
+/// assert_eq!(back, vec![Some(0x0010_0093)]);
+///
+/// let fixed = Tokenizer::fixed_byte();
+/// let ids = fixed.encode(&[0xdead_beef]);
+/// assert_eq!(fixed.decode(&ids), vec![Some(0xdead_beef)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    kind: TokenizerKind,
+    /// Learned merges in application order: `(left, right) -> new_id`.
+    merges: Vec<(u32, u32)>,
+    merge_map: HashMap<(u32, u32), u32>,
+    /// Expansion of every token to its nibble string.
+    expansions: Vec<Vec<u8>>,
+}
+
+impl Tokenizer {
+    /// Trains BPE merges on a corpus of instruction-word sequences until
+    /// the vocabulary reaches `vocab_size` (or no pair repeats).
+    pub fn train(corpus: &[Vec<u32>], vocab_size: u32) -> Tokenizer {
+        assert!(vocab_size >= BASE_VOCAB, "vocab must include the base alphabet");
+        let mut expansions: Vec<Vec<u8>> = (0..BASE_VOCAB)
+            .map(|id| if id >= NIBBLE0 { vec![(id - NIBBLE0) as u8] } else { Vec::new() })
+            .collect();
+        // Working corpus: one token sequence per *instruction*.
+        let mut work: Vec<Vec<u32>> = corpus
+            .iter()
+            .flat_map(|prog| prog.iter().map(|w| word_nibble_tokens(*w)))
+            .collect();
+        let mut merges = Vec::new();
+        let mut merge_map = HashMap::new();
+        while BASE_VOCAB + (merges.len() as u32) < vocab_size {
+            let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+            for seq in &work {
+                for pair in seq.windows(2) {
+                    *counts.entry((pair[0], pair[1])).or_insert(0) += 1;
+                }
+            }
+            // Deterministic tie-break: highest count, then smallest pair.
+            let Some((&pair, &count)) = counts
+                .iter()
+                .max_by_key(|(pair, count)| (**count, std::cmp::Reverse(**pair)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break;
+            }
+            let new_id = BASE_VOCAB + merges.len() as u32;
+            merges.push(pair);
+            merge_map.insert(pair, new_id);
+            let mut expansion = expansions[pair.0 as usize].clone();
+            expansion.extend_from_slice(&expansions[pair.1 as usize]);
+            expansions.push(expansion);
+            for seq in &mut work {
+                apply_merge(seq, pair, new_id);
+            }
+        }
+        Tokenizer { kind: TokenizerKind::Bpe, merges, merge_map, expansions }
+    }
+
+    /// Builds the fixed-width byte-parcel tokenizer: 256 byte tokens after
+    /// the specials/nibbles, each expanding to two nibbles; every
+    /// instruction encodes as exactly 4 byte tokens (big-endian).
+    pub fn fixed_byte() -> Tokenizer {
+        let mut expansions: Vec<Vec<u8>> = (0..BASE_VOCAB)
+            .map(|id| if id >= NIBBLE0 { vec![(id - NIBBLE0) as u8] } else { Vec::new() })
+            .collect();
+        let mut merges = Vec::new();
+        let mut merge_map = HashMap::new();
+        for byte in 0u32..256 {
+            let pair = (NIBBLE0 + (byte >> 4), NIBBLE0 + (byte & 0xf));
+            let new_id = BASE_VOCAB + merges.len() as u32;
+            merges.push(pair);
+            merge_map.insert(pair, new_id);
+            expansions.push(vec![(byte >> 4) as u8, (byte & 0xf) as u8]);
+        }
+        Tokenizer { kind: TokenizerKind::FixedByte, merges, merge_map, expansions }
+    }
+
+    /// The framing mode of this tokenizer.
+    pub fn kind(&self) -> TokenizerKind {
+        self.kind
+    }
+
+    /// Total vocabulary size (base + learned).
+    pub fn vocab_size(&self) -> u32 {
+        BASE_VOCAB + self.merges.len() as u32
+    }
+
+    /// Encodes a program: `BOS instr (SEP instr)* EOS` (BPE) or
+    /// `BOS byte* EOS` (fixed-byte framing needs no separators).
+    pub fn encode(&self, words: &[u32]) -> Vec<u32> {
+        let mut out = vec![BOS];
+        for (i, w) in words.iter().enumerate() {
+            if i > 0 && self.kind == TokenizerKind::Bpe {
+                out.push(SEP);
+            }
+            out.extend(self.encode_word(*w));
+        }
+        out.push(EOS);
+        out
+    }
+
+    /// Encodes a prompt prefix: like [`Tokenizer::encode`] but without the
+    /// closing `EOS`, and with a trailing `SEP` in BPE mode so the model
+    /// continues at an instruction boundary.
+    pub fn encode_prompt(&self, words: &[u32]) -> Vec<u32> {
+        let mut out = vec![BOS];
+        for w in words {
+            out.extend(self.encode_word(*w));
+            if self.kind == TokenizerKind::Bpe {
+                out.push(SEP);
+            }
+        }
+        out
+    }
+
+    /// Encodes one instruction word (no specials).
+    pub fn encode_word(&self, word: u32) -> Vec<u32> {
+        if self.kind == TokenizerKind::FixedByte {
+            return (0..4)
+                .rev()
+                .map(|i| BASE_VOCAB + ((word >> (i * 8)) & 0xff))
+                .collect();
+        }
+        let mut seq = word_nibble_tokens(word);
+        loop {
+            let mut best: Option<(usize, u32)> = None;
+            for (i, pair) in seq.windows(2).enumerate() {
+                if let Some(&id) = self.merge_map.get(&(pair[0], pair[1])) {
+                    // Apply merges in learned order (smallest id first).
+                    if best.is_none() || id < best.unwrap().1 {
+                        best = Some((i, id));
+                    }
+                }
+            }
+            let Some((i, id)) = best else { break };
+            seq[i] = id;
+            seq.remove(i + 1);
+        }
+        seq
+    }
+
+    /// Decodes a token stream back to instruction slots.
+    ///
+    /// Specials delimit instructions; any slot that does not expand to
+    /// exactly 8 nibbles decodes as `None` (a malformed instruction the
+    /// disassembler reward will penalise). Unknown ids also poison a slot.
+    pub fn decode(&self, tokens: &[u32]) -> Vec<Option<u32>> {
+        if self.kind == TokenizerKind::FixedByte {
+            return self.decode_fixed(tokens);
+        }
+        let mut out = Vec::new();
+        let mut nibbles: Vec<u8> = Vec::new();
+        let mut poisoned = false;
+        let mut saw_any = false;
+        let flush =
+            |nibbles: &mut Vec<u8>, poisoned: &mut bool, saw: &mut bool, out: &mut Vec<Option<u32>>| {
+                if !*saw {
+                    return;
+                }
+                if *poisoned || nibbles.len() != 8 {
+                    out.push(None);
+                } else {
+                    let mut w = 0u32;
+                    for n in nibbles.iter() {
+                        w = (w << 4) | u32::from(*n);
+                    }
+                    out.push(Some(w));
+                }
+                nibbles.clear();
+                *poisoned = false;
+                *saw = false;
+            };
+        for &t in tokens {
+            match t {
+                PAD => {}
+                BOS => {}
+                EOS => flush(&mut nibbles, &mut poisoned, &mut saw_any, &mut out),
+                SEP => flush(&mut nibbles, &mut poisoned, &mut saw_any, &mut out),
+                id if id < self.vocab_size() => {
+                    saw_any = true;
+                    nibbles.extend_from_slice(&self.expansions[id as usize]);
+                }
+                _ => {
+                    saw_any = true;
+                    poisoned = true;
+                }
+            }
+        }
+        flush(&mut nibbles, &mut poisoned, &mut saw_any, &mut out);
+        out
+    }
+
+    /// Positional decoding for the fixed-byte framing: specials are
+    /// skipped, every 4 byte tokens form one instruction; a truncated tail
+    /// or an out-of-range id yields one malformed slot.
+    fn decode_fixed(&self, tokens: &[u32]) -> Vec<Option<u32>> {
+        let mut out = Vec::new();
+        let mut word: u32 = 0;
+        let mut have = 0usize;
+        let mut poisoned = false;
+        for &t in tokens {
+            match t {
+                PAD | BOS | EOS | SEP => {}
+                id if (BASE_VOCAB..self.vocab_size()).contains(&id) => {
+                    word = (word << 8) | (id - BASE_VOCAB);
+                    have += 1;
+                    if have == 4 {
+                        out.push((!poisoned).then_some(word));
+                        word = 0;
+                        have = 0;
+                        poisoned = false;
+                    }
+                }
+                _ => {
+                    // Raw nibble tokens or unknown ids poison the slot.
+                    word <<= 8;
+                    have += 1;
+                    poisoned = true;
+                    if have == 4 {
+                        out.push(None);
+                        word = 0;
+                        have = 0;
+                        poisoned = false;
+                    }
+                }
+            }
+        }
+        if have > 0 {
+            out.push(None);
+        }
+        out
+    }
+
+    /// Decodes into a flat byte image (malformed slots become the
+    /// defined-illegal all-zero word so they still occupy an instruction
+    /// slot and draw the disassembler penalty).
+    pub fn decode_to_bytes(&self, tokens: &[u32]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for slot in self.decode(tokens) {
+            bytes.extend_from_slice(&slot.unwrap_or(0).to_le_bytes());
+        }
+        bytes
+    }
+}
+
+/// The 8 big-endian hex nibbles of a word, as base tokens.
+fn word_nibble_tokens(word: u32) -> Vec<u32> {
+    (0..8).rev().map(|i| NIBBLE0 + ((word >> (i * 4)) & 0xf)).collect()
+}
+
+fn apply_merge(seq: &mut Vec<u32>, pair: (u32, u32), new_id: u32) {
+    let mut i = 0;
+    while i + 1 < seq.len() {
+        if seq[i] == pair.0 && seq[i + 1] == pair.1 {
+            seq[i] = new_id;
+            seq.remove(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<u32>> {
+        vec![
+            vec![0x0010_0093, 0x0000_0533, 0x0010_0093],
+            vec![0x0010_0093, 0x0040_00ef],
+            vec![0x0000_0533, 0x0010_0093],
+        ]
+    }
+
+    #[test]
+    fn base_alphabet_roundtrips_without_training() {
+        let tok = Tokenizer::train(&[], BASE_VOCAB);
+        assert_eq!(tok.vocab_size(), BASE_VOCAB);
+        let ids = tok.encode(&[0xdead_beef, 0x0000_0013]);
+        assert_eq!(tok.decode(&ids), vec![Some(0xdead_beef), Some(0x0000_0013)]);
+    }
+
+    #[test]
+    fn merges_shrink_encodings() {
+        let tok = Tokenizer::train(&corpus(), 96);
+        assert!(tok.vocab_size() > BASE_VOCAB, "some merges learned");
+        let enc = tok.encode_word(0x0010_0093);
+        assert!(enc.len() < 8, "frequent word compresses below 8 nibbles, got {}", enc.len());
+        // Round-trip still exact.
+        let ids = tok.encode(&[0x0010_0093, 0x0000_0533]);
+        assert_eq!(tok.decode(&ids), vec![Some(0x0010_0093), Some(0x0000_0533)]);
+    }
+
+    #[test]
+    fn unseen_words_still_roundtrip() {
+        let tok = Tokenizer::train(&corpus(), 96);
+        for w in [0u32, u32::MAX, 0x1234_5678, 0x8000_0000] {
+            let ids = tok.encode(&[w]);
+            assert_eq!(tok.decode(&ids), vec![Some(w)], "word {w:#x}");
+        }
+    }
+
+    #[test]
+    fn malformed_slots_decode_to_none() {
+        let tok = Tokenizer::train(&corpus(), 96);
+        // 7 nibbles then SEP: wrong length.
+        let mut ids: Vec<u32> = (0..7).map(|_| NIBBLE0).collect();
+        ids.push(SEP);
+        ids.extend(tok.encode_word(0x0010_0093));
+        ids.push(EOS);
+        let decoded = tok.decode(&ids);
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0], None);
+        assert_eq!(decoded[1], Some(0x0010_0093));
+    }
+
+    #[test]
+    fn decode_to_bytes_fills_malformed_with_illegal_word() {
+        let tok = Tokenizer::train(&[], BASE_VOCAB);
+        let ids = vec![NIBBLE0, SEP]; // 1-nibble slot -> malformed
+        let bytes = tok.decode_to_bytes(&ids);
+        assert_eq!(bytes, 0u32.to_le_bytes());
+    }
+
+    #[test]
+    fn empty_token_stream_decodes_empty() {
+        let tok = Tokenizer::train(&[], BASE_VOCAB);
+        assert!(tok.decode(&[BOS, EOS]).is_empty());
+        assert!(tok.decode(&[]).is_empty());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let t1 = Tokenizer::train(&corpus(), 128);
+        let t2 = Tokenizer::train(&corpus(), 128);
+        assert_eq!(t1.merges, t2.merges);
+    }
+}

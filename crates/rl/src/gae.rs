@@ -1,0 +1,110 @@
+//! Generalised advantage estimation (GAE-λ).
+
+/// Computes per-step advantages and returns for one trajectory.
+///
+/// `rewards[t]` is the reward received after action `t`; `values[t]` is the
+/// critic's estimate at the state action `t` was taken from. The episode is
+/// assumed to terminate after the last step (bootstrap value 0).
+///
+/// Returns `(advantages, returns)` where `returns[t] = advantages[t] +
+/// values[t]` (the value-function regression target).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_rl::gae::gae;
+///
+/// let (adv, ret) = gae(&[0.0, 1.0], &[0.5, 0.5], 1.0, 1.0);
+/// // delta_1 = 1 - 0.5 = 0.5 ; delta_0 = 0 + 0.5 - 0.5 = 0
+/// assert_eq!(adv, vec![0.5, 0.5]);
+/// assert_eq!(ret, vec![1.0, 1.0]);
+/// ```
+pub fn gae(rewards: &[f32], values: &[f32], gamma: f32, lam: f32) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(rewards.len(), values.len(), "one value per reward");
+    let n = rewards.len();
+    let mut advantages = vec![0.0f32; n];
+    let mut acc = 0.0f32;
+    for t in (0..n).rev() {
+        let next_value = if t + 1 < n { values[t + 1] } else { 0.0 };
+        let delta = rewards[t] + gamma * next_value - values[t];
+        acc = delta + gamma * lam * acc;
+        advantages[t] = acc;
+    }
+    let returns = advantages.iter().zip(values).map(|(a, v)| a + v).collect();
+    (advantages, returns)
+}
+
+/// Normalises advantages to zero mean / unit variance (no-op for fewer
+/// than two elements or zero variance).
+pub fn normalize(advantages: &mut [f32]) {
+    if advantages.len() < 2 {
+        return;
+    }
+    let n = advantages.len() as f32;
+    let mean: f32 = advantages.iter().sum::<f32>() / n;
+    let var: f32 = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n;
+    if var <= 1e-12 {
+        return;
+    }
+    let rstd = 1.0 / var.sqrt();
+    for a in advantages {
+        *a = (*a - mean) * rstd;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_step_is_reward_minus_value() {
+        let (adv, ret) = gae(&[2.0], &[0.5], 0.99, 0.95);
+        assert!((adv[0] - 1.5).abs() < 1e-6);
+        assert!((ret[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hand_computed_three_steps() {
+        // gamma = lam = 1: advantage_t = sum of future deltas.
+        let rewards = [0.0, 0.0, 1.0];
+        let values = [0.2, 0.4, 0.6];
+        let (adv, _) = gae(&rewards, &values, 1.0, 1.0);
+        // deltas: d0 = 0 + 0.4 - 0.2 = 0.2; d1 = 0 + 0.6 - 0.4 = 0.2; d2 = 1 - 0.6 = 0.4
+        assert!((adv[2] - 0.4).abs() < 1e-6);
+        assert!((adv[1] - 0.6).abs() < 1e-6);
+        assert!((adv[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lam_zero_is_one_step_td() {
+        let rewards = [0.0, 1.0];
+        let values = [0.5, 0.25];
+        let (adv, _) = gae(&rewards, &values, 1.0, 0.0);
+        assert!((adv[0] - (-0.25)).abs() < 1e-6); // 0 + 0.25 - 0.5
+        assert!((adv[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_means_unit_var() {
+        let mut a = vec![1.0, 2.0, 3.0, 4.0];
+        normalize(&mut a);
+        let mean: f32 = a.iter().sum::<f32>() / 4.0;
+        let var: f32 = a.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normalize_handles_degenerate_inputs() {
+        let mut one = vec![5.0];
+        normalize(&mut one);
+        assert_eq!(one, vec![5.0]);
+        let mut flat = vec![2.0, 2.0, 2.0];
+        normalize(&mut flat);
+        assert_eq!(flat, vec![2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,461 @@
+//! The architectural datapath shared by the Rocket-like and BOOM-like cores.
+//!
+//! [`ArchExec`] executes one decoded instruction against the architectural
+//! state (registers, CSR file, memory, LR/SC reservation) using the same
+//! [`chatfuzz_isa::semantics`] helpers as the golden model. The only
+//! architectural deviation it can introduce is the configurable
+//! PMA-before-alignment check order (the paper's Finding 1); everything
+//! else that differs from the golden model (stale instruction fetch, tracer
+//! omissions) is injected by the wrapping core models, not here.
+
+use chatfuzz_isa::semantics::{alu, amo, branch_taken, extend_loaded, muldiv};
+use chatfuzz_isa::{CsrSrc, Exception, Instr, MemWidth, Reg, SystemOp};
+use chatfuzz_softcore::csr::CsrFile;
+use chatfuzz_softcore::mem::{Memory, StoreEffect};
+use chatfuzz_softcore::trace::{CommitRecord, ExitReason, MemEffect};
+
+/// Result of executing one decoded instruction architecturally.
+#[derive(Debug, Clone)]
+pub enum ArchOutcome {
+    /// Fall through to `pc + 4`.
+    Next(CommitRecord),
+    /// Control transfer to `target` (branch taken, jump, xret).
+    Jump {
+        /// The new PC.
+        target: u64,
+        /// The commit record.
+        record: CommitRecord,
+    },
+    /// The instruction raised a synchronous exception (not yet taken).
+    Trap(Exception),
+    /// The run must halt after committing this record.
+    Halt(ExitReason, CommitRecord),
+}
+
+/// Architectural core state (no microarchitecture).
+#[derive(Debug, Clone)]
+pub struct ArchExec {
+    /// Integer register file.
+    pub regs: [u64; 32],
+    /// CSR file (shared implementation with the golden model).
+    pub csrs: CsrFile,
+    /// Physical memory.
+    pub mem: Memory,
+    /// LR/SC reservation.
+    pub reservation: Option<u64>,
+    /// Finding 1 injection: check PMA *before* alignment in the mem stage,
+    /// so an access that is both misaligned and out of range reports an
+    /// access fault (RocketCore behaviour) instead of misaligned (spec).
+    pub pma_before_align: bool,
+}
+
+impl ArchExec {
+    /// Creates the architectural state around `mem`.
+    pub fn new(mem: Memory, pma_before_align: bool) -> ArchExec {
+        ArchExec {
+            regs: [0; 32],
+            csrs: CsrFile::new(),
+            mem,
+            reservation: None,
+            pma_before_align,
+        }
+    }
+
+    /// Reads a register.
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (x0 writes discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    fn check_data_addr(
+        &self,
+        addr: u64,
+        width: MemWidth,
+        is_store: bool,
+    ) -> Result<(), Exception> {
+        let len = width.bytes();
+        let misaligned = addr % len != 0;
+        // `tohost` is a valid store target outside RAM.
+        let pma_ok =
+            self.mem.in_ram(addr, len) || (is_store && !misaligned && self.mem.is_tohost(addr));
+        let mis_exc = if is_store {
+            Exception::StoreAddrMisaligned { addr }
+        } else {
+            Exception::LoadAddrMisaligned { addr }
+        };
+        let acc_exc = if is_store {
+            Exception::StoreAccessFault { addr }
+        } else {
+            Exception::LoadAccessFault { addr }
+        };
+        if self.pma_before_align {
+            // RocketCore (Finding 1): PMA first.
+            if !pma_ok {
+                return Err(acc_exc);
+            }
+            if misaligned {
+                return Err(mis_exc);
+            }
+        } else {
+            if misaligned {
+                return Err(mis_exc);
+            }
+            if !pma_ok {
+                return Err(acc_exc);
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one decoded instruction fetched from `pc` as `word`.
+    ///
+    /// The caller (the core model) is responsible for the fetch itself —
+    /// including any stale-instruction-cache behaviour — and for taking the
+    /// trap if `ArchOutcome::Trap` is returned.
+    pub fn execute(&mut self, instr: Instr, pc: u64, word: u32) -> ArchOutcome {
+        let priv_level = self.csrs.priv_level;
+        let record = |rd_write, mem| CommitRecord {
+            pc,
+            word,
+            priv_level,
+            rd_write,
+            mem,
+            trap: None,
+        };
+        let vis = |rd: Reg, v: u64| (!rd.is_zero()).then_some((rd, v));
+        match instr {
+            Instr::Lui { rd, imm } => {
+                self.set_reg(rd, imm as u64);
+                ArchOutcome::Next(record(vis(rd, imm as u64), None))
+            }
+            Instr::Auipc { rd, imm } => {
+                let v = pc.wrapping_add(imm as u64);
+                self.set_reg(rd, v);
+                ArchOutcome::Next(record(vis(rd, v), None))
+            }
+            Instr::Jal { rd, offset } => {
+                let target = pc.wrapping_add(offset as u64);
+                if target % 4 != 0 {
+                    return ArchOutcome::Trap(Exception::InstrAddrMisaligned { addr: target });
+                }
+                let link = pc.wrapping_add(4);
+                self.set_reg(rd, link);
+                ArchOutcome::Jump { target, record: record(vis(rd, link), None) }
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u64) & !1;
+                if target % 4 != 0 {
+                    return ArchOutcome::Trap(Exception::InstrAddrMisaligned { addr: target });
+                }
+                let link = pc.wrapping_add(4);
+                self.set_reg(rd, link);
+                ArchOutcome::Jump { target, record: record(vis(rd, link), None) }
+            }
+            Instr::Branch { cond, rs1, rs2, offset } => {
+                if branch_taken(cond, self.reg(rs1), self.reg(rs2)) {
+                    let target = pc.wrapping_add(offset as u64);
+                    if target % 4 != 0 {
+                        return ArchOutcome::Trap(Exception::InstrAddrMisaligned {
+                            addr: target,
+                        });
+                    }
+                    ArchOutcome::Jump { target, record: record(None, None) }
+                } else {
+                    ArchOutcome::Next(record(None, None))
+                }
+            }
+            Instr::Load { width, signed, rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u64);
+                if let Err(e) = self.check_data_addr(addr, width, false) {
+                    return ArchOutcome::Trap(e);
+                }
+                if !self.mem.in_ram(addr, width.bytes()) {
+                    return ArchOutcome::Trap(Exception::LoadAccessFault { addr });
+                }
+                let raw = self.mem.read_raw(addr, width.bytes());
+                let v = extend_loaded(raw, width, signed);
+                self.set_reg(rd, v);
+                let mem =
+                    MemEffect { addr, bytes: width.bytes() as u8, is_store: false, value: v };
+                ArchOutcome::Next(record(vis(rd, v), Some(mem)))
+            }
+            Instr::Store { width, rs2, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u64);
+                if let Err(e) = self.check_data_addr(addr, width, true) {
+                    return ArchOutcome::Trap(e);
+                }
+                let value = self.reg(rs2);
+                match self.mem.store(addr, width, value) {
+                    Ok(effect) => {
+                        self.reservation = None;
+                        let mem = MemEffect {
+                            addr,
+                            bytes: width.bytes() as u8,
+                            is_store: true,
+                            value,
+                        };
+                        match effect {
+                            StoreEffect::Ram => ArchOutcome::Next(record(None, Some(mem))),
+                            StoreEffect::ToHost(v) => ArchOutcome::Halt(
+                                ExitReason::ToHost(v),
+                                record(None, Some(mem)),
+                            ),
+                        }
+                    }
+                    Err(e) => ArchOutcome::Trap(e),
+                }
+            }
+            Instr::OpImm { op, rd, rs1, imm, word: w } => {
+                let v = alu(op, self.reg(rs1), imm as u64, w);
+                self.set_reg(rd, v);
+                ArchOutcome::Next(record(vis(rd, v), None))
+            }
+            Instr::Op { op, rd, rs1, rs2, word: w } => {
+                let v = alu(op, self.reg(rs1), self.reg(rs2), w);
+                self.set_reg(rd, v);
+                ArchOutcome::Next(record(vis(rd, v), None))
+            }
+            Instr::MulDiv { op, rd, rs1, rs2, word: w } => {
+                let v = muldiv(op, self.reg(rs1), self.reg(rs2), w);
+                self.set_reg(rd, v);
+                ArchOutcome::Next(record(vis(rd, v), None))
+            }
+            Instr::Amo { op, width, rd, rs1, rs2, .. } => {
+                let addr = self.reg(rs1);
+                if let Err(e) = self.check_data_addr_amo(addr, width) {
+                    return ArchOutcome::Trap(e);
+                }
+                let old_raw = self.mem.read_raw(addr, width.bytes());
+                let old = extend_loaded(old_raw, width, true);
+                let new = amo(op, old_raw, self.reg(rs2), width);
+                self.mem.write_raw(addr, width.bytes(), new);
+                self.reservation = None;
+                self.set_reg(rd, old);
+                let mem =
+                    MemEffect { addr, bytes: width.bytes() as u8, is_store: true, value: new };
+                ArchOutcome::Next(record(vis(rd, old), Some(mem)))
+            }
+            Instr::LoadReserved { width, rd, rs1, .. } => {
+                let addr = self.reg(rs1);
+                if let Err(e) = self.check_lr_addr(addr, width) {
+                    return ArchOutcome::Trap(e);
+                }
+                let raw = self.mem.read_raw(addr, width.bytes());
+                let v = extend_loaded(raw, width, true);
+                self.reservation = Some(addr);
+                self.set_reg(rd, v);
+                let mem =
+                    MemEffect { addr, bytes: width.bytes() as u8, is_store: false, value: v };
+                ArchOutcome::Next(record(vis(rd, v), Some(mem)))
+            }
+            Instr::StoreConditional { width, rd, rs1, rs2, .. } => {
+                let addr = self.reg(rs1);
+                if let Err(e) = self.check_data_addr_amo(addr, width) {
+                    return ArchOutcome::Trap(e);
+                }
+                let success = self.reservation == Some(addr);
+                self.reservation = None;
+                let result = u64::from(!success);
+                self.set_reg(rd, result);
+                let mem = if success {
+                    let value = self.reg(rs2);
+                    let stored = match width {
+                        MemWidth::W => value & 0xffff_ffff,
+                        _ => value,
+                    };
+                    self.mem.write_raw(addr, width.bytes(), stored);
+                    Some(MemEffect {
+                        addr,
+                        bytes: width.bytes() as u8,
+                        is_store: true,
+                        value,
+                    })
+                } else {
+                    None
+                };
+                ArchOutcome::Next(record(vis(rd, result), mem))
+            }
+            Instr::Csr { op, rd, csr, src } => {
+                let (src_value, src_is_zero_arg) = match src {
+                    CsrSrc::Reg(rs1) => (self.reg(rs1), rs1.is_zero()),
+                    CsrSrc::Imm(imm) => (u64::from(imm), imm == 0),
+                };
+                match self.csrs.execute(op, csr, src_value, src_is_zero_arg) {
+                    Ok(old) => {
+                        self.set_reg(rd, old);
+                        ArchOutcome::Next(record(vis(rd, old), None))
+                    }
+                    Err(_) => ArchOutcome::Trap(Exception::IllegalInstr { word }),
+                }
+            }
+            Instr::Fence { .. } => ArchOutcome::Next(record(None, None)),
+            Instr::FenceI => {
+                self.reservation = None;
+                ArchOutcome::Next(record(None, None))
+            }
+            Instr::System(SystemOp::Ecall) => {
+                ArchOutcome::Trap(Exception::Ecall { from: self.csrs.priv_level })
+            }
+            Instr::System(SystemOp::Ebreak) => {
+                ArchOutcome::Trap(Exception::Breakpoint { addr: pc })
+            }
+            Instr::System(SystemOp::Mret) => match self.csrs.mret() {
+                Ok(target) => {
+                    self.reservation = None;
+                    ArchOutcome::Jump { target, record: record(None, None) }
+                }
+                Err(_) => ArchOutcome::Trap(Exception::IllegalInstr { word }),
+            },
+            Instr::System(SystemOp::Sret) => match self.csrs.sret() {
+                Ok(target) => {
+                    self.reservation = None;
+                    ArchOutcome::Jump { target, record: record(None, None) }
+                }
+                Err(_) => ArchOutcome::Trap(Exception::IllegalInstr { word }),
+            },
+            Instr::System(SystemOp::Wfi) => {
+                if self.csrs.wfi_is_illegal() {
+                    ArchOutcome::Trap(Exception::IllegalInstr { word })
+                } else {
+                    ArchOutcome::Halt(ExitReason::Wfi, record(None, None))
+                }
+            }
+            Instr::SfenceVma { .. } => {
+                if self.csrs.sfence_is_illegal() {
+                    ArchOutcome::Trap(Exception::IllegalInstr { word })
+                } else {
+                    ArchOutcome::Next(record(None, None))
+                }
+            }
+        }
+    }
+
+    /// AMO/SC address check: both misaligned and faulting accesses raise
+    /// *store* exceptions. Subject to the same Finding-1 ordering flag.
+    fn check_data_addr_amo(&self, addr: u64, width: MemWidth) -> Result<(), Exception> {
+        let len = width.bytes();
+        let misaligned = addr % len != 0;
+        let pma_ok = self.mem.in_ram(addr, len);
+        self.order_checks(
+            misaligned,
+            pma_ok,
+            Exception::StoreAddrMisaligned { addr },
+            Exception::StoreAccessFault { addr },
+        )
+    }
+
+    /// LR address check (load exception flavour).
+    fn check_lr_addr(&self, addr: u64, width: MemWidth) -> Result<(), Exception> {
+        let len = width.bytes();
+        let misaligned = addr % len != 0;
+        let pma_ok = self.mem.in_ram(addr, len);
+        self.order_checks(
+            misaligned,
+            pma_ok,
+            Exception::LoadAddrMisaligned { addr },
+            Exception::LoadAccessFault { addr },
+        )
+    }
+
+    fn order_checks(
+        &self,
+        misaligned: bool,
+        pma_ok: bool,
+        mis: Exception,
+        acc: Exception,
+    ) -> Result<(), Exception> {
+        if self.pma_before_align {
+            if !pma_ok {
+                return Err(acc);
+            }
+            if misaligned {
+                return Err(mis);
+            }
+        } else {
+            if misaligned {
+                return Err(mis);
+            }
+            if !pma_ok {
+                return Err(acc);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatfuzz_softcore::mem::DEFAULT_RAM_BASE;
+
+    fn exec(pma_first: bool) -> ArchExec {
+        ArchExec::new(Memory::new(DEFAULT_RAM_BASE, 4096), pma_first)
+    }
+
+    #[test]
+    fn finding1_flag_flips_exception_priority() {
+        let t0 = Reg::new(5).unwrap();
+        let a0 = Reg::new(10).unwrap();
+        let load = Instr::Load { width: MemWidth::W, signed: true, rd: a0, rs1: t0, offset: 0 };
+
+        // Address 0x3: misaligned AND outside RAM.
+        let mut spec = exec(false);
+        spec.set_reg(t0, 3);
+        match spec.execute(load, DEFAULT_RAM_BASE, 0) {
+            ArchOutcome::Trap(Exception::LoadAddrMisaligned { addr: 3 }) => {}
+            other => panic!("spec order: expected misaligned, got {other:?}"),
+        }
+
+        let mut rocket = exec(true);
+        rocket.set_reg(t0, 3);
+        match rocket.execute(load, DEFAULT_RAM_BASE, 0) {
+            ArchOutcome::Trap(Exception::LoadAccessFault { addr: 3 }) => {}
+            other => panic!("rocket order: expected access fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finding1_no_effect_when_only_one_condition_holds() {
+        let t0 = Reg::new(5).unwrap();
+        let a0 = Reg::new(10).unwrap();
+        let load = Instr::Load { width: MemWidth::W, signed: true, rd: a0, rs1: t0, offset: 0 };
+        // Misaligned but inside RAM: both orders report misaligned.
+        for pma_first in [false, true] {
+            let mut e = exec(pma_first);
+            e.set_reg(t0, (DEFAULT_RAM_BASE + 1) as u64);
+            match e.execute(load, DEFAULT_RAM_BASE, 0) {
+                ArchOutcome::Trap(Exception::LoadAddrMisaligned { .. }) => {}
+                other => panic!("expected misaligned, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn store_exception_flavours_for_amo() {
+        let t0 = Reg::new(5).unwrap();
+        let a0 = Reg::new(10).unwrap();
+        let amo_instr = Instr::Amo {
+            op: chatfuzz_isa::AmoOp::Add,
+            width: MemWidth::D,
+            rd: a0,
+            rs1: t0,
+            rs2: a0,
+            aq: false,
+            rl: false,
+        };
+        let mut e = exec(false);
+        e.set_reg(t0, (DEFAULT_RAM_BASE + 4) as u64); // aligned to 4, not 8
+        match e.execute(amo_instr, DEFAULT_RAM_BASE, 0) {
+            ArchOutcome::Trap(Exception::StoreAddrMisaligned { .. }) => {}
+            other => panic!("expected store-misaligned, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! Condition points common to both core models, plus their instrumentation.
+//!
+//! These mirror the kinds of conditions VCS extracts from the RocketCore /
+//! BOOM RTL: instruction-class decodes, operand specials, hazard detects,
+//! ALU result properties, memory-stage checks, CSR access legality, trap
+//! cause/delegation logic, and privilege transitions. A block of
+//! structurally unreachable conditions (ECC, bus errors, debug, external
+//! interrupts, PMP) models the RTL logic a bare-metal fuzzer can never
+//! reach — the reason real designs saturate well below 100 %.
+
+use chatfuzz_coverage::{cover, CondId, CovMap, PointKind, SpaceBuilder};
+use chatfuzz_isa::{AluOp, CsrSrc, Exception, Instr, PrivLevel, SystemOp};
+use chatfuzz_softcore::trace::CommitRecord;
+
+/// Decode instruction-class conditions.
+#[derive(Debug)]
+pub struct ClassIds {
+    lui: CondId,
+    auipc: CondId,
+    jal: CondId,
+    jalr: CondId,
+    branch: CondId,
+    load: CondId,
+    store: CondId,
+    op_imm: CondId,
+    op: CondId,
+    muldiv: CondId,
+    amo: CondId,
+    lr: CondId,
+    sc: CondId,
+    csr: CondId,
+    fence: CondId,
+    fence_i: CondId,
+    system: CondId,
+    sfence: CondId,
+    word_form: CondId,
+    illegal: CondId,
+}
+
+/// All shared core conditions.
+#[derive(Debug)]
+pub struct CoreIds {
+    /// Decode classes.
+    pub class: ClassIds,
+    // Operand specials.
+    rd_x0: CondId,
+    rs1_x0: CondId,
+    rs2_x0: CondId,
+    rd_eq_rs1: CondId,
+    imm_negative: CondId,
+    // ALU result properties.
+    alu_zero: CondId,
+    alu_negative: CondId,
+    shift_ge_32: CondId,
+    slt_outcome: CondId,
+    // Branch resolution.
+    br_taken: CondId,
+    br_backward: CondId,
+    // Memory stage.
+    mem_misaligned: CondId,
+    mem_fault: CondId,
+    tohost_write: CondId,
+    amo_ordered: CondId,
+    sc_success: CondId,
+    lr_armed: CondId,
+    // CSR unit.
+    csr_trap: CondId,
+    csr_writes: CondId,
+    csr_machine_level: CondId,
+    csr_imm_form: CondId,
+    // Trap unit.
+    cause: Vec<CondId>,
+    trap_delegated: CondId,
+    trap_from_u: CondId,
+    trap_from_s: CondId,
+    tvec_unset_halt: CondId,
+    // xret / privilege.
+    xret_drops_priv: CondId,
+    xret_illegal: CondId,
+    wfi_retired: CondId,
+    priv_is_u: CondId,
+    priv_is_s: CondId,
+    // Structurally unreachable logic (never fires on this testbench).
+    dead: Vec<CondId>,
+}
+
+impl CoreIds {
+    /// Registers the shared conditions under `prefix`. `dead_conds` sizes
+    /// the unreachable block (larger for Rocket, smaller for BOOM, matching
+    /// each design's share of fuzzer-unreachable RTL).
+    pub fn register(prefix: &str, dead_conds: usize, b: &mut SpaceBuilder) -> CoreIds {
+        let c = |b: &mut SpaceBuilder, n: &str| b.register(format!("{prefix}.{n}"), PointKind::Condition);
+        let m = |b: &mut SpaceBuilder, n: &str| b.register(format!("{prefix}.{n}"), PointKind::MuxSelect);
+        let class = ClassIds {
+            lui: m(b, "dec.is_lui"),
+            auipc: m(b, "dec.is_auipc"),
+            jal: m(b, "dec.is_jal"),
+            jalr: m(b, "dec.is_jalr"),
+            branch: m(b, "dec.is_branch"),
+            load: m(b, "dec.is_load"),
+            store: m(b, "dec.is_store"),
+            op_imm: m(b, "dec.is_op_imm"),
+            op: m(b, "dec.is_op"),
+            muldiv: m(b, "dec.is_muldiv"),
+            amo: m(b, "dec.is_amo"),
+            lr: m(b, "dec.is_lr"),
+            sc: m(b, "dec.is_sc"),
+            csr: m(b, "dec.is_csr"),
+            fence: m(b, "dec.is_fence"),
+            fence_i: m(b, "dec.is_fence_i"),
+            system: m(b, "dec.is_system"),
+            sfence: m(b, "dec.is_sfence"),
+            word_form: m(b, "dec.word_form"),
+            illegal: c(b, "dec.illegal"),
+        };
+        let cause = (0..12)
+            .map(|i| b.register(format!("{prefix}.trap.cause{i}"), PointKind::Condition))
+            .collect();
+        let dead = b.register_array(&format!("{prefix}.unreachable"), dead_conds, PointKind::Condition);
+        CoreIds {
+            class,
+            rd_x0: c(b, "dec.rd_is_x0"),
+            rs1_x0: c(b, "dec.rs1_is_x0"),
+            rs2_x0: c(b, "dec.rs2_is_x0"),
+            rd_eq_rs1: c(b, "dec.rd_eq_rs1"),
+            imm_negative: c(b, "dec.imm_negative"),
+            alu_zero: c(b, "ex.alu_result_zero"),
+            alu_negative: c(b, "ex.alu_result_negative"),
+            shift_ge_32: c(b, "ex.shift_amount_ge_32"),
+            slt_outcome: c(b, "ex.slt_outcome"),
+            br_taken: c(b, "ex.branch_taken"),
+            br_backward: c(b, "ex.branch_backward"),
+            mem_misaligned: c(b, "mem.misaligned"),
+            mem_fault: c(b, "mem.access_fault"),
+            tohost_write: c(b, "mem.tohost_write"),
+            amo_ordered: c(b, "mem.amo_aq_or_rl"),
+            sc_success: c(b, "mem.sc_success"),
+            lr_armed: c(b, "mem.lr_armed"),
+            csr_trap: c(b, "csr.access_trap"),
+            csr_writes: c(b, "csr.write_performed"),
+            csr_machine_level: c(b, "csr.machine_level_addr"),
+            csr_imm_form: m(b, "csr.imm_form"),
+            cause,
+            trap_delegated: c(b, "trap.delegated_to_s"),
+            trap_from_u: c(b, "trap.from_user"),
+            trap_from_s: c(b, "trap.from_supervisor"),
+            tvec_unset_halt: c(b, "trap.tvec_unset_halt"),
+            xret_drops_priv: c(b, "priv.xret_drops_priv"),
+            xret_illegal: c(b, "priv.xret_illegal"),
+            wfi_retired: c(b, "priv.wfi_retired"),
+            priv_is_u: c(b, "priv.is_user"),
+            priv_is_s: c(b, "priv.is_supervisor"),
+            dead,
+        }
+    }
+
+    /// Covers the decode-stage conditions for a fetched word.
+    pub fn cover_decode(&self, decoded: Result<&Instr, ()>, cov: &mut CovMap) {
+        let i = match decoded {
+            Ok(i) => {
+                cov.hit(self.class.illegal, false);
+                i
+            }
+            Err(()) => {
+                cov.hit(self.class.illegal, true);
+                return;
+            }
+        };
+        cover!(cov, self.class.lui, matches!(i, Instr::Lui { .. }));
+        cover!(cov, self.class.auipc, matches!(i, Instr::Auipc { .. }));
+        cover!(cov, self.class.jal, matches!(i, Instr::Jal { .. }));
+        cover!(cov, self.class.jalr, matches!(i, Instr::Jalr { .. }));
+        cover!(cov, self.class.branch, matches!(i, Instr::Branch { .. }));
+        cover!(cov, self.class.load, matches!(i, Instr::Load { .. }));
+        cover!(cov, self.class.store, matches!(i, Instr::Store { .. }));
+        cover!(cov, self.class.op_imm, matches!(i, Instr::OpImm { .. }));
+        cover!(cov, self.class.op, matches!(i, Instr::Op { .. }));
+        cover!(cov, self.class.muldiv, matches!(i, Instr::MulDiv { .. }));
+        cover!(cov, self.class.amo, matches!(i, Instr::Amo { .. }));
+        cover!(cov, self.class.lr, matches!(i, Instr::LoadReserved { .. }));
+        cover!(cov, self.class.sc, matches!(i, Instr::StoreConditional { .. }));
+        cover!(cov, self.class.csr, matches!(i, Instr::Csr { .. }));
+        cover!(cov, self.class.fence, matches!(i, Instr::Fence { .. }));
+        cover!(cov, self.class.fence_i, matches!(i, Instr::FenceI));
+        cover!(cov, self.class.system, matches!(i, Instr::System(_)));
+        cover!(cov, self.class.sfence, matches!(i, Instr::SfenceVma { .. }));
+        let word_form = matches!(
+            i,
+            Instr::OpImm { word: true, .. }
+                | Instr::Op { word: true, .. }
+                | Instr::MulDiv { word: true, .. }
+        );
+        cover!(cov, self.class.word_form, word_form);
+
+        let rd = i.rd();
+        cover!(cov, self.rd_x0, rd.is_none());
+        let sources = i.sources();
+        cover!(cov, self.rs1_x0, sources.first().is_some_and(|r| r.is_zero()));
+        cover!(cov, self.rs2_x0, sources.get(1).is_some_and(|r| r.is_zero()));
+        cover!(cov, self.rd_eq_rs1, rd.is_some() && sources.first() == rd.as_ref());
+        let imm_neg = match *i {
+            Instr::OpImm { imm, .. } => imm < 0,
+            Instr::Load { offset, .. }
+            | Instr::Store { offset, .. }
+            | Instr::Jalr { offset, .. } => offset < 0,
+            Instr::Lui { imm, .. } | Instr::Auipc { imm, .. } => imm < 0,
+            _ => false,
+        };
+        cover!(cov, self.imm_negative, imm_neg);
+        if let Instr::Csr { src, csr, .. } = *i {
+            cover!(cov, self.csr_imm_form, matches!(src, CsrSrc::Imm(_)));
+            cover!(cov, self.csr_machine_level, (csr >> 8) & 0b11 == 0b11);
+        }
+    }
+
+    /// Covers execute/memory-stage conditions for a committed record.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cover_retire(
+        &self,
+        instr: &Instr,
+        record: &CommitRecord,
+        next_pc: u64,
+        reservation_armed: bool,
+        cov: &mut CovMap,
+    ) {
+        match *instr {
+            Instr::Op { op, .. } | Instr::OpImm { op, .. } => {
+                if let Some((_, v)) = record.rd_write {
+                    cover!(cov, self.alu_zero, v == 0);
+                    cover!(cov, self.alu_negative, (v as i64) < 0);
+                }
+                if op.is_shift() {
+                    let amount = match *instr {
+                        Instr::OpImm { imm, .. } => imm as u64,
+                        Instr::Op { .. } => 0, // covered via register value below
+                        _ => 0,
+                    };
+                    cover!(cov, self.shift_ge_32, amount >= 32);
+                }
+                if matches!(op, AluOp::Slt | AluOp::Sltu) {
+                    if let Some((_, v)) = record.rd_write {
+                        cover!(cov, self.slt_outcome, v == 1);
+                    }
+                }
+            }
+            Instr::Branch { offset, .. } => {
+                let taken = next_pc != record.pc.wrapping_add(4);
+                cover!(cov, self.br_taken, taken);
+                cover!(cov, self.br_backward, offset < 0);
+            }
+            Instr::LoadReserved { .. } => {
+                cover!(cov, self.lr_armed, reservation_armed);
+            }
+            Instr::StoreConditional { .. } => {
+                if let Some((_, v)) = record.rd_write {
+                    cover!(cov, self.sc_success, v == 0);
+                }
+            }
+            Instr::Amo { aq, rl, .. } => {
+                cover!(cov, self.amo_ordered, aq || rl);
+            }
+            Instr::Csr { .. } => {
+                cov.hit(self.csr_trap, false);
+                cover!(cov, self.csr_writes, record.rd_write.is_some());
+            }
+            Instr::System(SystemOp::Wfi) => {
+                cov.hit(self.wfi_retired, true);
+            }
+            Instr::System(SystemOp::Mret | SystemOp::Sret) => {
+                cov.hit(self.xret_illegal, false);
+            }
+            _ => {}
+        }
+        if let Some(mem) = record.mem {
+            cover!(cov, self.mem_misaligned, false);
+            cover!(cov, self.mem_fault, false);
+            cover!(cov, self.tohost_write, mem.is_store && !mem_in_ram_hint(record));
+        }
+        cover!(cov, self.priv_is_u, record.priv_level == PrivLevel::User);
+        cover!(cov, self.priv_is_s, record.priv_level == PrivLevel::Supervisor);
+    }
+
+    /// Covers the trap-unit conditions for a raised exception.
+    pub fn cover_trap(
+        &self,
+        e: &Exception,
+        from: PrivLevel,
+        delegated: bool,
+        unset_halt: bool,
+        cov: &mut CovMap,
+    ) {
+        let cause = e.cause() as usize;
+        for (i, id) in self.cause.iter().enumerate() {
+            cover!(cov, *id, i == cause);
+        }
+        cover!(cov, self.trap_delegated, delegated);
+        cover!(cov, self.trap_from_u, from == PrivLevel::User);
+        cover!(cov, self.trap_from_s, from == PrivLevel::Supervisor);
+        cover!(cov, self.tvec_unset_halt, unset_halt);
+        match e {
+            Exception::LoadAddrMisaligned { .. } | Exception::StoreAddrMisaligned { .. } => {
+                cov.hit(self.mem_misaligned, true);
+            }
+            Exception::LoadAccessFault { .. } | Exception::StoreAccessFault { .. } => {
+                cov.hit(self.mem_fault, true);
+            }
+            _ => {}
+        }
+    }
+
+    /// Covers an illegal xret / CSR-trap style event.
+    pub fn cover_illegal_system(&self, is_csr: bool, cov: &mut CovMap) {
+        if is_csr {
+            cov.hit(self.csr_trap, true);
+        } else {
+            cov.hit(self.xret_illegal, true);
+        }
+    }
+
+    /// Covers a successful privilege-dropping xret.
+    pub fn cover_xret(&self, from: PrivLevel, to: PrivLevel, cov: &mut CovMap) {
+        cover!(cov, self.xret_drops_priv, to < from);
+    }
+
+    /// Touches the "false" bins of the structurally unreachable block (the
+    /// logic is simulated every cycle but its conditions never fire).
+    pub fn tick_dead(&self, cov: &mut CovMap) {
+        for id in &self.dead {
+            cov.hit(*id, false);
+        }
+    }
+}
+
+/// Conditions that only *sustained, well-formed* execution can reach:
+/// long trap-free retire streaks, hot loops, working-set growth, and
+/// lower-privilege activity. These model the deep sequential RTL state
+/// (replay queues, prefetch streams, performance counters, PMP/priv
+/// datapaths) that random and mutational inputs rarely energise — the
+/// structural reason the paper's entangled inputs win.
+#[derive(Debug)]
+pub struct DeepIds {
+    streak_16: CondId,
+    streak_64: CondId,
+    hot_loop_8: CondId,
+    lines_16: CondId,
+    user_mem_access: CondId,
+    user_amo: CondId,
+    super_csr_write: CondId,
+    sret_from_s: CondId,
+    deleg_taken_twice: CondId,
+    muldiv_pair: CondId,
+}
+
+impl DeepIds {
+    /// Registers the deep-state conditions.
+    pub fn register(prefix: &str, b: &mut SpaceBuilder) -> DeepIds {
+        let c = |b: &mut SpaceBuilder, n: &str| {
+            b.register(format!("{prefix}.deep.{n}"), PointKind::Condition)
+        };
+        DeepIds {
+            streak_16: c(b, "retire_streak_16"),
+            streak_64: c(b, "retire_streak_64"),
+            hot_loop_8: c(b, "hot_loop_8_iters"),
+            lines_16: c(b, "dlines_working_set_16"),
+            user_mem_access: c(b, "user_mode_mem_access"),
+            user_amo: c(b, "user_mode_amo"),
+            super_csr_write: c(b, "supervisor_csr_write"),
+            sret_from_s: c(b, "sret_from_supervisor"),
+            deleg_taken_twice: c(b, "delegated_twice"),
+            muldiv_pair: c(b, "muldiv_back_to_back"),
+        }
+    }
+}
+
+/// Per-run state backing the [`DeepIds`] conditions.
+#[derive(Debug, Default)]
+pub struct DeepState {
+    streak: u32,
+    branch_hits: std::collections::BTreeMap<u64, u32>,
+    lines: std::collections::BTreeSet<u64>,
+    delegations: u32,
+    last_was_muldiv: bool,
+}
+
+impl DeepState {
+    /// Fresh per-run state.
+    pub fn new() -> DeepState {
+        DeepState::default()
+    }
+
+    /// Observes one committed (non-trap) retire.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_retire(
+        &mut self,
+        ids: &DeepIds,
+        instr: &Instr,
+        priv_level: PrivLevel,
+        taken_backward_branch_pc: Option<u64>,
+        mem_line: Option<u64>,
+        cov: &mut CovMap,
+    ) {
+        self.streak += 1;
+        cover!(cov, ids.streak_16, self.streak >= 16);
+        cover!(cov, ids.streak_64, self.streak >= 64);
+        if let Some(pc) = taken_backward_branch_pc {
+            let hits = self.branch_hits.entry(pc).or_insert(0);
+            *hits += 1;
+            cover!(cov, ids.hot_loop_8, *hits >= 8);
+        } else {
+            cov.hit(ids.hot_loop_8, false);
+        }
+        if let Some(line) = mem_line {
+            if self.lines.len() < 64 {
+                self.lines.insert(line);
+            }
+        }
+        cover!(cov, ids.lines_16, self.lines.len() >= 16);
+        let is_user = priv_level == PrivLevel::User;
+        cover!(cov, ids.user_mem_access, is_user && instr.is_mem());
+        cover!(cov, ids.user_amo, is_user && matches!(instr, Instr::Amo { .. }));
+        cover!(
+            cov,
+            ids.super_csr_write,
+            priv_level == PrivLevel::Supervisor && matches!(instr, Instr::Csr { .. })
+        );
+        cover!(
+            cov,
+            ids.sret_from_s,
+            priv_level == PrivLevel::Supervisor
+                && matches!(instr, Instr::System(SystemOp::Sret))
+        );
+        let is_muldiv = matches!(instr, Instr::MulDiv { .. });
+        cover!(cov, ids.muldiv_pair, is_muldiv && self.last_was_muldiv);
+        self.last_was_muldiv = is_muldiv;
+        cov.hit(ids.deleg_taken_twice, self.delegations >= 2);
+    }
+
+    /// Observes a taken trap (resets the streak; counts delegations).
+    pub fn on_trap(&mut self, ids: &DeepIds, delegated: bool, cov: &mut CovMap) {
+        self.streak = 0;
+        self.last_was_muldiv = false;
+        if delegated {
+            self.delegations += 1;
+        }
+        cover!(cov, ids.deleg_taken_twice, self.delegations >= 2);
+    }
+}
+
+/// Whether a memory effect targeted RAM (vs the tohost device); trace
+/// records do not carry the region, so use the address range convention.
+fn mem_in_ram_hint(record: &CommitRecord) -> bool {
+    record
+        .mem
+        .map(|m| m.addr >= 0x8000_0000)
+        .unwrap_or(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatfuzz_coverage::CovMap;
+    use chatfuzz_isa::Reg;
+
+    fn setup() -> (CoreIds, CovMap) {
+        let mut b = SpaceBuilder::new("coreids-test");
+        let ids = CoreIds::register("c", 4, &mut b);
+        (ids, CovMap::new(&b.build()))
+    }
+
+    #[test]
+    fn decode_covers_class_both_ways() {
+        let (ids, mut cov) = setup();
+        let nop = Instr::NOP;
+        ids.cover_decode(Ok(&nop), &mut cov);
+        assert!(cov.is_covered(ids.class.op_imm, true));
+        assert!(cov.is_covered(ids.class.lui, false));
+        assert!(!cov.is_covered(ids.class.lui, true));
+        ids.cover_decode(Err(()), &mut cov);
+        assert!(cov.is_covered(ids.class.illegal, true));
+    }
+
+    #[test]
+    fn trap_covers_exactly_one_cause_true() {
+        let (ids, mut cov) = setup();
+        ids.cover_trap(
+            &Exception::IllegalInstr { word: 0 },
+            PrivLevel::Machine,
+            false,
+            false,
+            &mut cov,
+        );
+        assert!(cov.is_covered(ids.cause[2], true));
+        for (i, id) in ids.cause.iter().enumerate() {
+            if i != 2 {
+                assert!(!cov.is_covered(*id, true), "cause {i} wrongly covered");
+            }
+            assert!(cov.is_covered(*id, false) || i == 2);
+        }
+    }
+
+    #[test]
+    fn dead_block_only_covers_false() {
+        let (ids, mut cov) = setup();
+        ids.tick_dead(&mut cov);
+        for id in &ids.dead {
+            assert!(cov.is_covered(*id, false));
+            assert!(!cov.is_covered(*id, true));
+        }
+    }
+
+    #[test]
+    fn retire_covers_branch_direction() {
+        let (ids, mut cov) = setup();
+        let br = Instr::Branch {
+            cond: chatfuzz_isa::BranchCond::Eq,
+            rs1: Reg::X0,
+            rs2: Reg::X0,
+            offset: -8,
+        };
+        let rec = CommitRecord {
+            pc: 0x8000_0010,
+            word: 0,
+            priv_level: PrivLevel::Machine,
+            rd_write: None,
+            mem: None,
+            trap: None,
+        };
+        ids.cover_retire(&br, &rec, 0x8000_0008, false, &mut cov);
+        assert!(cov.is_covered(ids.br_taken, true));
+        assert!(cov.is_covered(ids.br_backward, true));
+    }
+}

@@ -1,0 +1,33 @@
+//! The device-under-test interface consumed by the fuzzing loop.
+
+use std::sync::Arc;
+
+use chatfuzz_coverage::{CovMap, Space};
+use chatfuzz_softcore::trace::Trace;
+
+/// Result of simulating one test input on a DUT.
+#[derive(Debug, Clone)]
+pub struct DutRun {
+    /// Architectural commit trace (possibly perturbed by injected bugs).
+    pub trace: Trace,
+    /// Condition coverage observed during the run.
+    pub coverage: CovMap,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+}
+
+/// A simulatable design under test.
+///
+/// Implemented by the Rocket-like and BOOM-like cores; the fuzzing loop
+/// holds DUTs as trait objects so campaigns are generic over the target.
+pub trait Dut: Send {
+    /// Human-readable design name (`"rocket"`, `"boom"`).
+    fn name(&self) -> &str;
+
+    /// The design's elaborated coverage space.
+    fn space(&self) -> &Arc<Space>;
+
+    /// Resets the design and runs one program image (loaded at the RAM
+    /// base), returning trace + coverage + timing.
+    fn run(&mut self, program: &[u8]) -> DutRun;
+}

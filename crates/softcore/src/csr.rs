@@ -1,0 +1,609 @@
+//! Architectural CSR file with M/S/U privilege, traps and delegation.
+//!
+//! Both the golden model and the RTL-style cores embed this type, so
+//! privilege semantics cannot drift between them; the RTL cores add their
+//! own coverage instrumentation *around* it.
+
+use chatfuzz_isa::csr::mstatus;
+use chatfuzz_isa::{Csr, CsrOp, Exception, PrivLevel};
+
+/// Error for CSR accesses that must raise an illegal-instruction exception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrIllegal;
+
+/// The counter-enable bits of `mcounteren`/`scounteren`.
+const COUNTEREN_MASK: u64 = 0b111;
+/// Delegatable synchronous causes (ecall-from-M, cause 11, is never
+/// delegatable; causes 10/14 are reserved).
+const MEDELEG_MASK: u64 = 0xb3ff;
+/// Supervisor interrupt bits (SSIP/STIP/SEIP).
+const MIDELEG_MASK: u64 = (1 << 1) | (1 << 5) | (1 << 9);
+/// Implemented interrupt-enable/pending bits.
+const MIE_MASK: u64 = (1 << 1) | (1 << 3) | (1 << 5) | (1 << 7) | (1 << 9) | (1 << 11);
+/// Writable `mstatus` bits.
+const MSTATUS_WMASK: u64 = mstatus::SIE
+    | mstatus::MIE
+    | mstatus::SPIE
+    | mstatus::MPIE
+    | mstatus::SPP
+    | mstatus::MPP_MASK
+    | mstatus::MPRV
+    | mstatus::SUM
+    | mstatus::MXR
+    | mstatus::TVM
+    | mstatus::TW
+    | mstatus::TSR;
+/// UXL/SXL read as 2 (XLEN=64) in `mstatus` bits 32–35.
+const MSTATUS_XL_FIELDS: u64 = (2 << 32) | (2 << 34);
+
+/// `misa` for RV64IMA with S and U modes.
+const MISA_VALUE: u64 =
+    (2 << 62) | (1 << 0) /* A */ | (1 << 8) /* I */ | (1 << 12) /* M */ | (1 << 18) /* S */
+        | (1 << 20) /* U */;
+
+/// The architectural CSR state of one hart.
+#[derive(Debug, Clone)]
+pub struct CsrFile {
+    /// Current privilege level.
+    pub priv_level: PrivLevel,
+    mstatus: u64,
+    mtvec: u64,
+    mepc: u64,
+    mcause: u64,
+    mtval: u64,
+    mscratch: u64,
+    medeleg: u64,
+    mideleg: u64,
+    mie: u64,
+    mip: u64,
+    mcounteren: u64,
+    stvec: u64,
+    sepc: u64,
+    scause: u64,
+    stval: u64,
+    sscratch: u64,
+    scounteren: u64,
+    satp: u64,
+    mcycle: u64,
+    minstret: u64,
+}
+
+impl Default for CsrFile {
+    fn default() -> Self {
+        CsrFile::new()
+    }
+}
+
+impl CsrFile {
+    /// Reset state: M-mode, all trap state zero.
+    pub fn new() -> CsrFile {
+        CsrFile {
+            priv_level: PrivLevel::Machine,
+            mstatus: 0,
+            mtvec: 0,
+            mepc: 0,
+            mcause: 0,
+            mtval: 0,
+            mscratch: 0,
+            medeleg: 0,
+            mideleg: 0,
+            mie: 0,
+            mip: 0,
+            mcounteren: 0,
+            stvec: 0,
+            sepc: 0,
+            scause: 0,
+            stval: 0,
+            sscratch: 0,
+            scounteren: 0,
+            satp: 0,
+            mcycle: 0,
+            minstret: 0,
+        }
+    }
+
+    /// Advances the cycle counter (the golden model counts one per step;
+    /// the RTL cores count real simulated cycles).
+    pub fn tick_cycle(&mut self, cycles: u64) {
+        self.mcycle = self.mcycle.wrapping_add(cycles);
+    }
+
+    /// Advances the retired-instruction counter.
+    pub fn tick_instret(&mut self) {
+        self.minstret = self.minstret.wrapping_add(1);
+    }
+
+    /// Current `mstatus` (with the hardwired XL fields).
+    pub fn mstatus(&self) -> u64 {
+        self.mstatus | MSTATUS_XL_FIELDS
+    }
+
+    /// Current `mtvec`.
+    pub fn mtvec(&self) -> u64 {
+        self.mtvec
+    }
+
+    /// Current `stvec`.
+    pub fn stvec(&self) -> u64 {
+        self.stvec
+    }
+
+    /// Raw read with privilege checking.
+    ///
+    /// # Errors
+    ///
+    /// [`CsrIllegal`] if the CSR is unimplemented or requires higher
+    /// privilege; the caller raises the illegal-instruction exception.
+    pub fn read(&self, addr: u16) -> Result<u64, CsrIllegal> {
+        self.check_priv(addr)?;
+        let csr = Csr::from_raw(addr);
+        let value = match csr {
+            Csr::MSTATUS => self.mstatus(),
+            Csr::MISA => MISA_VALUE,
+            Csr::MEDELEG => self.medeleg,
+            Csr::MIDELEG => self.mideleg,
+            Csr::MIE => self.mie,
+            Csr::MTVEC => self.mtvec,
+            Csr::MCOUNTEREN => self.mcounteren,
+            Csr::MSCRATCH => self.mscratch,
+            Csr::MEPC => self.mepc,
+            Csr::MCAUSE => self.mcause,
+            Csr::MTVAL => self.mtval,
+            Csr::MIP => self.mip,
+            Csr::MCYCLE => self.mcycle,
+            Csr::MINSTRET => self.minstret,
+            Csr::MVENDORID => 0,
+            Csr::MARCHID => 0x23,
+            Csr::MIMPID => 1,
+            Csr::MHARTID => 0,
+            Csr::SSTATUS => (self.mstatus & mstatus::SSTATUS_MASK) | MSTATUS_XL_FIELDS,
+            Csr::SIE => self.mie & self.mideleg,
+            Csr::STVEC => self.stvec,
+            Csr::SCOUNTEREN => self.scounteren,
+            Csr::SSCRATCH => self.sscratch,
+            Csr::SEPC => self.sepc,
+            Csr::SCAUSE => self.scause,
+            Csr::STVAL => self.stval,
+            Csr::SIP => self.mip & self.mideleg,
+            Csr::SATP => {
+                self.check_satp_access()?;
+                self.satp
+            }
+            Csr::CYCLE => {
+                self.check_counter(0)?;
+                self.mcycle
+            }
+            Csr::TIME => {
+                self.check_counter(1)?;
+                self.mcycle
+            }
+            Csr::INSTRET => {
+                self.check_counter(2)?;
+                self.minstret
+            }
+            _ => return Err(CsrIllegal),
+        };
+        Ok(value)
+    }
+
+    /// Raw write with privilege and read-only checking.
+    ///
+    /// # Errors
+    ///
+    /// [`CsrIllegal`] under the same conditions as [`CsrFile::read`], plus
+    /// writes to read-only CSRs.
+    pub fn write(&mut self, addr: u16, value: u64) -> Result<(), CsrIllegal> {
+        self.check_priv(addr)?;
+        let csr = Csr::from_raw(addr);
+        if csr.is_read_only() {
+            return Err(CsrIllegal);
+        }
+        match csr {
+            Csr::MSTATUS => self.write_mstatus(value, MSTATUS_WMASK),
+            Csr::MISA => {} // WARL: writes ignored, extensions are fixed
+            Csr::MEDELEG => self.medeleg = value & MEDELEG_MASK,
+            Csr::MIDELEG => self.mideleg = value & MIDELEG_MASK,
+            Csr::MIE => self.mie = value & MIE_MASK,
+            Csr::MTVEC => self.mtvec = value & !0b11, // direct mode only
+            Csr::MCOUNTEREN => self.mcounteren = value & COUNTEREN_MASK,
+            Csr::MSCRATCH => self.mscratch = value,
+            Csr::MEPC => self.mepc = value & !0b11, // IALIGN=32
+            Csr::MCAUSE => self.mcause = value,
+            Csr::MTVAL => self.mtval = value,
+            Csr::MIP => self.mip = value & MIDELEG_MASK, // only S bits writable
+            Csr::MCYCLE => self.mcycle = value,
+            Csr::MINSTRET => self.minstret = value,
+            Csr::SSTATUS => self.write_mstatus(value, mstatus::SSTATUS_MASK),
+            Csr::SIE => {
+                let mask = MIE_MASK & self.mideleg;
+                self.mie = (self.mie & !mask) | (value & mask);
+            }
+            Csr::STVEC => self.stvec = value & !0b11,
+            Csr::SCOUNTEREN => self.scounteren = value & COUNTEREN_MASK,
+            Csr::SSCRATCH => self.sscratch = value,
+            Csr::SEPC => self.sepc = value & !0b11,
+            Csr::SCAUSE => self.scause = value,
+            Csr::STVAL => self.stval = value,
+            Csr::SIP => {
+                let mask = (1 << 1) & self.mideleg; // only SSIP writable from S
+                self.mip = (self.mip & !mask) | (value & mask);
+            }
+            Csr::SATP => {
+                self.check_satp_access()?;
+                // Only bare mode is implemented: writes selecting a paging
+                // mode are ignored wholesale (a legal WARL behaviour).
+                if value >> 60 == 0 {
+                    self.satp = value;
+                }
+            }
+            _ => return Err(CsrIllegal),
+        }
+        Ok(())
+    }
+
+    fn write_mstatus(&mut self, value: u64, mask: u64) {
+        let mut next = (self.mstatus & !mask) | (value & mask);
+        // MPP is WARL over {U, S, M}; normalise the reserved encoding.
+        if (next & mstatus::MPP_MASK) >> mstatus::MPP_SHIFT == 0b10 {
+            next &= !mstatus::MPP_MASK;
+        }
+        self.mstatus = next;
+    }
+
+    fn check_priv(&self, addr: u16) -> Result<(), CsrIllegal> {
+        let required = (addr >> 8) & 0b11;
+        if (self.priv_level.bits() as u16) < required {
+            return Err(CsrIllegal);
+        }
+        Ok(())
+    }
+
+    fn check_satp_access(&self) -> Result<(), CsrIllegal> {
+        if self.priv_level == PrivLevel::Supervisor && self.mstatus & mstatus::TVM != 0 {
+            return Err(CsrIllegal);
+        }
+        Ok(())
+    }
+
+    fn check_counter(&self, bit: u32) -> Result<(), CsrIllegal> {
+        match self.priv_level {
+            PrivLevel::Machine => Ok(()),
+            PrivLevel::Supervisor => {
+                if self.mcounteren & (1 << bit) == 0 {
+                    Err(CsrIllegal)
+                } else {
+                    Ok(())
+                }
+            }
+            PrivLevel::User => {
+                if self.mcounteren & (1 << bit) == 0 || self.scounteren & (1 << bit) == 0 {
+                    Err(CsrIllegal)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Executes a whole Zicsr instruction: returns the old value to write
+    /// back to `rd`. `src` is the register value or zero-extended immediate;
+    /// `src_is_zero_arg` is true when the source *designator* is `x0`/imm 0,
+    /// which suppresses the write for `csrrs`/`csrrc` (making reads of
+    /// read-only CSRs legal).
+    ///
+    /// # Errors
+    ///
+    /// [`CsrIllegal`] per the access rules above.
+    pub fn execute(
+        &mut self,
+        op: CsrOp,
+        addr: u16,
+        src: u64,
+        src_is_zero_arg: bool,
+    ) -> Result<u64, CsrIllegal> {
+        match op {
+            CsrOp::Rw => {
+                // csrrw always writes; the read is unconditional here since
+                // none of our CSRs have read side effects.
+                let old = self.read(addr)?;
+                self.write(addr, src)?;
+                Ok(old)
+            }
+            CsrOp::Rs => {
+                let old = self.read(addr)?;
+                if !src_is_zero_arg {
+                    self.write(addr, old | src)?;
+                }
+                Ok(old)
+            }
+            CsrOp::Rc => {
+                let old = self.read(addr)?;
+                if !src_is_zero_arg {
+                    self.write(addr, old & !src)?;
+                }
+                Ok(old)
+            }
+        }
+    }
+
+    /// Whether a trap for `cause` (synchronous) from the current privilege
+    /// would be delegated to S-mode.
+    pub fn delegated_to_s(&self, cause: u64) -> bool {
+        self.priv_level != PrivLevel::Machine && self.medeleg & (1u64 << cause) != 0
+    }
+
+    /// Takes a synchronous trap: updates all trap CSRs and the privilege
+    /// level, and returns `(target_priv, handler_pc)`.
+    pub fn take_trap(&mut self, e: &Exception, pc: u64) -> (PrivLevel, u64) {
+        let cause = e.cause();
+        let from = self.priv_level;
+        if self.delegated_to_s(cause) {
+            self.scause = cause;
+            self.sepc = pc & !0b11;
+            self.stval = e.tval();
+            // SPIE <- SIE; SIE <- 0; SPP <- (from == S)
+            let sie = (self.mstatus & mstatus::SIE) != 0;
+            self.mstatus &= !(mstatus::SPIE | mstatus::SIE | mstatus::SPP);
+            if sie {
+                self.mstatus |= mstatus::SPIE;
+            }
+            if from == PrivLevel::Supervisor {
+                self.mstatus |= mstatus::SPP;
+            }
+            self.priv_level = PrivLevel::Supervisor;
+            (PrivLevel::Supervisor, self.stvec)
+        } else {
+            self.mcause = cause;
+            self.mepc = pc & !0b11;
+            self.mtval = e.tval();
+            let mie = (self.mstatus & mstatus::MIE) != 0;
+            self.mstatus &= !(mstatus::MPIE | mstatus::MIE | mstatus::MPP_MASK);
+            if mie {
+                self.mstatus |= mstatus::MPIE;
+            }
+            self.mstatus |= from.bits() << mstatus::MPP_SHIFT;
+            self.priv_level = PrivLevel::Machine;
+            (PrivLevel::Machine, self.mtvec)
+        }
+    }
+
+    /// Executes `mret`.
+    ///
+    /// # Errors
+    ///
+    /// [`CsrIllegal`] if not currently in M-mode.
+    pub fn mret(&mut self) -> Result<u64, CsrIllegal> {
+        if self.priv_level != PrivLevel::Machine {
+            return Err(CsrIllegal);
+        }
+        let mpp = (self.mstatus & mstatus::MPP_MASK) >> mstatus::MPP_SHIFT;
+        let new_priv = PrivLevel::from_bits(mpp).unwrap_or(PrivLevel::User);
+        let mpie = self.mstatus & mstatus::MPIE != 0;
+        self.mstatus &= !(mstatus::MIE | mstatus::MPP_MASK);
+        if mpie {
+            self.mstatus |= mstatus::MIE;
+        }
+        self.mstatus |= mstatus::MPIE;
+        if new_priv != PrivLevel::Machine {
+            self.mstatus &= !mstatus::MPRV;
+        }
+        self.priv_level = new_priv;
+        Ok(self.mepc)
+    }
+
+    /// Executes `sret`.
+    ///
+    /// # Errors
+    ///
+    /// [`CsrIllegal`] from U-mode, or from S-mode when `mstatus.TSR` is set.
+    pub fn sret(&mut self) -> Result<u64, CsrIllegal> {
+        match self.priv_level {
+            PrivLevel::User => return Err(CsrIllegal),
+            PrivLevel::Supervisor if self.mstatus & mstatus::TSR != 0 => {
+                return Err(CsrIllegal)
+            }
+            _ => {}
+        }
+        let new_priv = if self.mstatus & mstatus::SPP != 0 {
+            PrivLevel::Supervisor
+        } else {
+            PrivLevel::User
+        };
+        let spie = self.mstatus & mstatus::SPIE != 0;
+        self.mstatus &= !(mstatus::SIE | mstatus::SPP);
+        if spie {
+            self.mstatus |= mstatus::SIE;
+        }
+        self.mstatus |= mstatus::SPIE;
+        if new_priv != PrivLevel::Machine {
+            self.mstatus &= !mstatus::MPRV;
+        }
+        self.priv_level = new_priv;
+        Ok(self.sepc)
+    }
+
+    /// Whether `wfi` is illegal at the current privilege (timeout-wait).
+    pub fn wfi_is_illegal(&self) -> bool {
+        self.priv_level != PrivLevel::Machine && self.mstatus & mstatus::TW != 0
+    }
+
+    /// Whether `sfence.vma` is illegal at the current privilege.
+    pub fn sfence_is_illegal(&self) -> bool {
+        match self.priv_level {
+            PrivLevel::User => true,
+            PrivLevel::Supervisor => self.mstatus & mstatus::TVM != 0,
+            PrivLevel::Machine => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_state_is_machine_mode() {
+        let c = CsrFile::new();
+        assert_eq!(c.priv_level, PrivLevel::Machine);
+        assert_eq!(c.read(Csr::MTVEC.addr()).unwrap(), 0);
+    }
+
+    #[test]
+    fn mtvec_forces_direct_mode() {
+        let mut c = CsrFile::new();
+        c.write(Csr::MTVEC.addr(), 0x8000_0041).unwrap();
+        assert_eq!(c.read(Csr::MTVEC.addr()).unwrap(), 0x8000_0040);
+    }
+
+    #[test]
+    fn read_only_csrs_reject_writes() {
+        let mut c = CsrFile::new();
+        assert_eq!(c.write(Csr::MHARTID.addr(), 1), Err(CsrIllegal));
+        assert!(c.read(Csr::MHARTID.addr()).is_ok());
+    }
+
+    #[test]
+    fn privilege_gates_access() {
+        let mut c = CsrFile::new();
+        c.priv_level = PrivLevel::User;
+        assert_eq!(c.read(Csr::MSTATUS.addr()), Err(CsrIllegal));
+        assert_eq!(c.read(Csr::SSTATUS.addr()), Err(CsrIllegal));
+        c.priv_level = PrivLevel::Supervisor;
+        assert!(c.read(Csr::SSTATUS.addr()).is_ok());
+        assert_eq!(c.read(Csr::MSTATUS.addr()), Err(CsrIllegal));
+    }
+
+    #[test]
+    fn counter_enable_chain() {
+        let mut c = CsrFile::new();
+        c.priv_level = PrivLevel::User;
+        assert_eq!(c.read(Csr::CYCLE.addr()), Err(CsrIllegal));
+        c.priv_level = PrivLevel::Machine;
+        c.write(Csr::MCOUNTEREN.addr(), 0b1).unwrap();
+        c.priv_level = PrivLevel::Supervisor;
+        assert!(c.read(Csr::CYCLE.addr()).is_ok());
+        c.priv_level = PrivLevel::User;
+        assert_eq!(c.read(Csr::CYCLE.addr()), Err(CsrIllegal)); // scounteren still 0
+        c.priv_level = PrivLevel::Machine;
+        c.write(Csr::SCOUNTEREN.addr() , 0b1).unwrap();
+        c.priv_level = PrivLevel::User;
+        assert!(c.read(Csr::CYCLE.addr()).is_ok());
+    }
+
+    #[test]
+    fn trap_to_machine_saves_state() {
+        let mut c = CsrFile::new();
+        c.write(Csr::MTVEC.addr(), 0x8000_0100).unwrap();
+        c.write(Csr::MSTATUS.addr(), mstatus::MIE).unwrap();
+        let (to, vec) = c.take_trap(&Exception::IllegalInstr { word: 0xdead }, 0x8000_0004);
+        assert_eq!(to, PrivLevel::Machine);
+        assert_eq!(vec, 0x8000_0100);
+        assert_eq!(c.read(Csr::MEPC.addr()).unwrap(), 0x8000_0004);
+        assert_eq!(c.read(Csr::MCAUSE.addr()).unwrap(), 2);
+        assert_eq!(c.read(Csr::MTVAL.addr()).unwrap(), 0xdead);
+        let ms = c.mstatus();
+        assert_eq!(ms & mstatus::MIE, 0);
+        assert_ne!(ms & mstatus::MPIE, 0);
+        assert_eq!((ms & mstatus::MPP_MASK) >> mstatus::MPP_SHIFT, 3);
+    }
+
+    #[test]
+    fn delegation_routes_user_trap_to_supervisor() {
+        let mut c = CsrFile::new();
+        c.write(Csr::MEDELEG.addr(), 1 << 8).unwrap(); // ecall from U
+        c.write(Csr::STVEC.addr(), 0x8000_0200).unwrap();
+        c.priv_level = PrivLevel::User;
+        let (to, vec) = c.take_trap(&Exception::Ecall { from: PrivLevel::User }, 0x8000_0010);
+        assert_eq!(to, PrivLevel::Supervisor);
+        assert_eq!(vec, 0x8000_0200);
+        assert_eq!(c.priv_level, PrivLevel::Supervisor);
+        c.priv_level = PrivLevel::Machine;
+        assert_eq!(c.read(Csr::SCAUSE.addr()).unwrap(), 8);
+        assert_eq!(c.read(Csr::SEPC.addr()).unwrap(), 0x8000_0010);
+    }
+
+    #[test]
+    fn ecall_from_m_never_delegates() {
+        let mut c = CsrFile::new();
+        c.write(Csr::MEDELEG.addr(), u64::MAX).unwrap();
+        assert_eq!(c.read(Csr::MEDELEG.addr()).unwrap() & (1 << 11), 0);
+        let (to, _) = c.take_trap(&Exception::Ecall { from: PrivLevel::Machine }, 0x8000_0000);
+        assert_eq!(to, PrivLevel::Machine);
+    }
+
+    #[test]
+    fn mret_restores_privilege() {
+        let mut c = CsrFile::new();
+        c.write(Csr::MEPC.addr(), 0x8000_0020).unwrap();
+        c.write(Csr::MSTATUS.addr(), 0).unwrap(); // MPP = U
+        let pc = c.mret().unwrap();
+        assert_eq!(pc, 0x8000_0020);
+        assert_eq!(c.priv_level, PrivLevel::User);
+        assert_eq!(c.mret(), Err(CsrIllegal)); // now illegal from U
+    }
+
+    #[test]
+    fn sret_respects_tsr() {
+        let mut c = CsrFile::new();
+        c.write(Csr::MSTATUS.addr(), mstatus::TSR | mstatus::SPP).unwrap();
+        c.priv_level = PrivLevel::Supervisor;
+        assert_eq!(c.sret(), Err(CsrIllegal));
+        c.priv_level = PrivLevel::Machine;
+        c.write(Csr::MSTATUS.addr(), mstatus::SPP).unwrap();
+        c.priv_level = PrivLevel::Supervisor;
+        let _ = c.sret().unwrap();
+        assert_eq!(c.priv_level, PrivLevel::Supervisor); // SPP was S
+    }
+
+    #[test]
+    fn csrrs_with_x0_reads_read_only() {
+        let mut c = CsrFile::new();
+        assert!(c.execute(CsrOp::Rs, Csr::MHARTID.addr(), 0, true).is_ok());
+        assert_eq!(c.execute(CsrOp::Rs, Csr::MHARTID.addr(), 1, false), Err(CsrIllegal));
+    }
+
+    #[test]
+    fn csrrw_swaps() {
+        let mut c = CsrFile::new();
+        let old = c.execute(CsrOp::Rw, Csr::MSCRATCH.addr(), 0x55, false).unwrap();
+        assert_eq!(old, 0);
+        let old = c.execute(CsrOp::Rw, Csr::MSCRATCH.addr(), 0xaa, false).unwrap();
+        assert_eq!(old, 0x55);
+    }
+
+    #[test]
+    fn csrrc_clears_bits() {
+        let mut c = CsrFile::new();
+        c.write(Csr::MSCRATCH.addr(), 0xff).unwrap();
+        c.execute(CsrOp::Rc, Csr::MSCRATCH.addr(), 0x0f, false).unwrap();
+        assert_eq!(c.read(Csr::MSCRATCH.addr()).unwrap(), 0xf0);
+    }
+
+    #[test]
+    fn mpp_warl_normalisation() {
+        let mut c = CsrFile::new();
+        c.write(Csr::MSTATUS.addr(), 0b10 << mstatus::MPP_SHIFT).unwrap();
+        assert_eq!(c.mstatus() & mstatus::MPP_MASK, 0);
+    }
+
+    #[test]
+    fn satp_bare_only() {
+        let mut c = CsrFile::new();
+        c.write(Csr::SATP.addr(), (8 << 60) | 0x1234).unwrap(); // Sv39: ignored
+        assert_eq!(c.read(Csr::SATP.addr()).unwrap(), 0);
+        c.write(Csr::SATP.addr(), 0x1234).unwrap();
+        assert_eq!(c.read(Csr::SATP.addr()).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn wfi_and_sfence_legality() {
+        let mut c = CsrFile::new();
+        assert!(!c.wfi_is_illegal());
+        c.write(Csr::MSTATUS.addr(), mstatus::TW | mstatus::TVM).unwrap();
+        c.priv_level = PrivLevel::Supervisor;
+        assert!(c.wfi_is_illegal());
+        assert!(c.sfence_is_illegal());
+        c.priv_level = PrivLevel::User;
+        assert!(c.sfence_is_illegal());
+    }
+}

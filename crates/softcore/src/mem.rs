@@ -1,0 +1,269 @@
+//! Flat physical memory with PMA (physical memory attribute) checking.
+
+use chatfuzz_isa::{Exception, MemWidth};
+
+/// Default RAM base address (matches the usual RISC-V reset vector region).
+pub const DEFAULT_RAM_BASE: u64 = 0x8000_0000;
+/// Default RAM size.
+pub const DEFAULT_RAM_SIZE: u64 = 1 << 20;
+/// Address of the `tohost` MMIO doubleword; a store here ends the program,
+/// mirroring the riscv-tests/Spike convention.
+pub const TOHOST_ADDR: u64 = 0x4000_0000;
+
+/// Kind of access, used to pick the right exception flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Instruction fetch.
+    Fetch,
+    /// Data load.
+    Load,
+    /// Data store or AMO.
+    Store,
+}
+
+/// Result of a store: either a plain memory write happened, or the magic
+/// `tohost` device was written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreEffect {
+    /// Normal RAM write.
+    Ram,
+    /// `tohost` write with the stored value; the simulation should halt.
+    ToHost(u64),
+}
+
+/// Byte-addressed physical memory: one RAM region plus the `tohost` device.
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_softcore::mem::{Memory, DEFAULT_RAM_BASE};
+/// use chatfuzz_isa::MemWidth;
+///
+/// let mut mem = Memory::new(DEFAULT_RAM_BASE, 4096);
+/// mem.store(DEFAULT_RAM_BASE, MemWidth::D, 0xdead_beef).unwrap();
+/// assert_eq!(mem.load(DEFAULT_RAM_BASE, MemWidth::D).unwrap(), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory {
+    base: u64,
+    ram: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates zeroed RAM of `size` bytes at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0 or `base + size` overflows.
+    pub fn new(base: u64, size: u64) -> Memory {
+        assert!(size > 0, "RAM size must be positive");
+        assert!(base.checked_add(size).is_some(), "RAM range overflows");
+        Memory { base, ram: vec![0; size as usize] }
+    }
+
+    /// RAM base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// RAM size in bytes.
+    pub fn size(&self) -> u64 {
+        self.ram.len() as u64
+    }
+
+    /// Whether `[addr, addr+len)` lies entirely inside RAM.
+    pub fn in_ram(&self, addr: u64, len: u64) -> bool {
+        addr >= self.base
+            && addr.checked_add(len).is_some_and(|end| end <= self.base + self.size())
+    }
+
+    /// Whether the access hits the `tohost` device.
+    pub fn is_tohost(&self, addr: u64) -> bool {
+        (TOHOST_ADDR..TOHOST_ADDR + 8).contains(&addr)
+    }
+
+    /// Copies a program image into RAM at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit in RAM.
+    pub fn load_image(&mut self, addr: u64, image: &[u8]) {
+        assert!(self.in_ram(addr, image.len() as u64), "image outside RAM");
+        let off = (addr - self.base) as usize;
+        self.ram[off..off + image.len()].copy_from_slice(image);
+    }
+
+    /// Raw little-endian read without PMA/alignment checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM; callers must check first.
+    pub fn read_raw(&self, addr: u64, len: u64) -> u64 {
+        let off = (addr - self.base) as usize;
+        let mut value = 0u64;
+        for i in (0..len as usize).rev() {
+            value = (value << 8) | u64::from(self.ram[off + i]);
+        }
+        value
+    }
+
+    /// Raw little-endian write without PMA/alignment checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside RAM; callers must check first.
+    pub fn write_raw(&mut self, addr: u64, len: u64, value: u64) {
+        let off = (addr - self.base) as usize;
+        for i in 0..len as usize {
+            self.ram[off + i] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    /// Checked load: alignment first, then PMA — the spec priority order
+    /// (misaligned outranks access fault for the same access).
+    ///
+    /// # Errors
+    ///
+    /// Returns the appropriate misaligned/access-fault exception.
+    pub fn load(&self, addr: u64, width: MemWidth) -> Result<u64, Exception> {
+        let len = width.bytes();
+        if addr % len != 0 {
+            return Err(Exception::LoadAddrMisaligned { addr });
+        }
+        if !self.in_ram(addr, len) {
+            return Err(Exception::LoadAccessFault { addr });
+        }
+        Ok(self.read_raw(addr, len))
+    }
+
+    /// Checked store (same priority order as [`Memory::load`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the appropriate misaligned/access-fault exception.
+    pub fn store(&mut self, addr: u64, width: MemWidth, value: u64) -> Result<StoreEffect, Exception> {
+        let len = width.bytes();
+        if addr % len != 0 {
+            return Err(Exception::StoreAddrMisaligned { addr });
+        }
+        if self.is_tohost(addr) {
+            return Ok(StoreEffect::ToHost(value));
+        }
+        if !self.in_ram(addr, len) {
+            return Err(Exception::StoreAccessFault { addr });
+        }
+        let masked = match width {
+            MemWidth::B => value & 0xff,
+            MemWidth::H => value & 0xffff,
+            MemWidth::W => value & 0xffff_ffff,
+            MemWidth::D => value,
+        };
+        self.write_raw(addr, len, masked);
+        Ok(StoreEffect::Ram)
+    }
+
+    /// Checked instruction fetch of one 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Misaligned PCs raise `InstrAddrMisaligned`; PCs outside RAM raise
+    /// `InstrAccessFault`.
+    pub fn fetch(&self, pc: u64) -> Result<u32, Exception> {
+        if pc % 4 != 0 {
+            return Err(Exception::InstrAddrMisaligned { addr: pc });
+        }
+        if !self.in_ram(pc, 4) {
+            return Err(Exception::InstrAccessFault { addr: pc });
+        }
+        Ok(self.read_raw(pc, 4) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(DEFAULT_RAM_BASE, 4096)
+    }
+
+    #[test]
+    fn store_load_all_widths() {
+        let mut m = mem();
+        let a = DEFAULT_RAM_BASE + 64;
+        m.store(a, MemWidth::D, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.load(a, MemWidth::D).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.load(a, MemWidth::W).unwrap(), 0x5566_7788);
+        assert_eq!(m.load(a, MemWidth::H).unwrap(), 0x7788);
+        assert_eq!(m.load(a, MemWidth::B).unwrap(), 0x88);
+        assert_eq!(m.load(a + 4, MemWidth::W).unwrap(), 0x1122_3344);
+    }
+
+    #[test]
+    fn narrow_store_preserves_neighbours() {
+        let mut m = mem();
+        let a = DEFAULT_RAM_BASE + 8;
+        m.store(a, MemWidth::D, u64::MAX).unwrap();
+        m.store(a + 2, MemWidth::H, 0).unwrap();
+        assert_eq!(m.load(a, MemWidth::D).unwrap(), 0xffff_ffff_0000_ffff);
+    }
+
+    #[test]
+    fn misaligned_checked_before_pma() {
+        let m = mem();
+        // Address both misaligned and outside RAM: misaligned must win —
+        // this is the exact priority of the paper's Finding 1.
+        let e = m.load(0x3, MemWidth::W).unwrap_err();
+        assert_eq!(e, Exception::LoadAddrMisaligned { addr: 0x3 });
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = mem();
+        assert_eq!(
+            m.load(0x0, MemWidth::W).unwrap_err(),
+            Exception::LoadAccessFault { addr: 0 }
+        );
+        assert_eq!(
+            m.store(DEFAULT_RAM_BASE + 4096, MemWidth::B, 0).unwrap_err(),
+            Exception::StoreAccessFault { addr: DEFAULT_RAM_BASE + 4096 }
+        );
+        // End-of-RAM straddle.
+        assert!(m.load(DEFAULT_RAM_BASE + 4092, MemWidth::W).is_ok());
+        assert!(m.load(DEFAULT_RAM_BASE + 4096 - 2, MemWidth::H).is_ok());
+        assert!(m.load(DEFAULT_RAM_BASE + 4096 - 4, MemWidth::D).is_err());
+    }
+
+    #[test]
+    fn tohost_store_halts_loads_fault() {
+        let mut m = mem();
+        assert_eq!(
+            m.store(TOHOST_ADDR, MemWidth::D, 42).unwrap(),
+            StoreEffect::ToHost(42)
+        );
+        // Loads from the device region are not readable PMAs.
+        assert!(m.load(TOHOST_ADDR, MemWidth::D).is_err());
+    }
+
+    #[test]
+    fn fetch_checks() {
+        let mut m = mem();
+        m.load_image(DEFAULT_RAM_BASE, &0x0010_0093u32.to_le_bytes());
+        assert_eq!(m.fetch(DEFAULT_RAM_BASE).unwrap(), 0x0010_0093);
+        assert_eq!(
+            m.fetch(DEFAULT_RAM_BASE + 2).unwrap_err(),
+            Exception::InstrAddrMisaligned { addr: DEFAULT_RAM_BASE + 2 }
+        );
+        assert_eq!(
+            m.fetch(0x1000).unwrap_err(),
+            Exception::InstrAccessFault { addr: 0x1000 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "image outside RAM")]
+    fn image_must_fit() {
+        let mut m = mem();
+        m.load_image(DEFAULT_RAM_BASE + 4090, &[0; 16]);
+    }
+}

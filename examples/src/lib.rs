@@ -1,0 +1,7 @@
+//! Shared helpers for the ChatFuzz examples (run with
+//! `cargo run -p chatfuzz-examples --release --example <name>`).
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}

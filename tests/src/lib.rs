@@ -1,0 +1,8 @@
+//! Shared helpers for the ChatFuzz integration tests.
+
+use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
+
+/// A standard buggy-Rocket factory for campaign tests.
+pub fn rocket_factory() -> impl Fn() -> Box<dyn Dut> + Sync {
+    || Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>
+}

@@ -1,0 +1,79 @@
+//! Integration: end-to-end determinism — identical seeds give identical
+//! campaigns, traces, coverage and mismatch counts across the whole stack.
+
+use chatfuzz::fuzz::{run_campaign, CampaignConfig};
+use chatfuzz::harness::{wrap, HarnessConfig};
+use chatfuzz_baselines::{MutatorConfig, TheHuzz};
+use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
+use chatfuzz_isa::encode_program;
+use chatfuzz_rtl::{Boom, BoomConfig, Dut, Rocket, RocketConfig};
+use chatfuzz_softcore::{SoftCore, SoftCoreConfig};
+use chatfuzz_tests::rocket_factory;
+use proptest::prelude::*;
+
+#[test]
+fn campaigns_replay_bit_identically() {
+    let run = |workers: usize| {
+        let mut generator = TheHuzz::new(MutatorConfig { seed: 77, ..Default::default() });
+        let cfg = CampaignConfig {
+            total_tests: 96,
+            batch_size: 32,
+            workers,
+            history_every: 32,
+            ..Default::default()
+        };
+        run_campaign(&mut generator, &rocket_factory(), &cfg)
+    };
+    let a = run(2);
+    let b = run(6);
+    assert_eq!(a.final_coverage_pct, b.final_coverage_pct);
+    assert_eq!(a.raw_mismatches, b.raw_mismatches);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(
+        a.history.iter().map(|p| p.covered_bins).collect::<Vec<_>>(),
+        b.history.iter().map(|p| p.covered_bins).collect::<Vec<_>>()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any corpus program, wrapped, produces identical traces on repeated
+    /// runs of every simulator (golden, Rocket, BOOM).
+    #[test]
+    fn simulators_are_deterministic_on_corpus_programs(seed in 0u64..500) {
+        let mut corpus = CorpusGenerator::new(CorpusConfig { seed, ..Default::default() });
+        let body = encode_program(&corpus.generate_function()).unwrap();
+        let image = wrap(&body, HarnessConfig::default());
+
+        let golden = SoftCore::new(SoftCoreConfig::default());
+        prop_assert_eq!(golden.run(&image), golden.run(&image));
+
+        let mut rocket = Rocket::new(RocketConfig::default());
+        let r1 = rocket.run(&image);
+        let r2 = rocket.run(&image);
+        prop_assert_eq!(r1.trace, r2.trace);
+        prop_assert_eq!(r1.cycles, r2.cycles);
+        prop_assert_eq!(r1.coverage.covered_bins(), r2.coverage.covered_bins());
+
+        let mut boom = Boom::new(BoomConfig::default());
+        let b1 = boom.run(&image);
+        let b2 = boom.run(&image);
+        prop_assert_eq!(b1.trace, b2.trace);
+        prop_assert_eq!(b1.cycles, b2.cycles);
+    }
+
+    /// Corpus programs never desync the wrapped golden/BOOM pair (BOOM is
+    /// bug-free, so the *entire corpus surface* must be divergence-free).
+    #[test]
+    fn boom_never_diverges_on_corpus(seed in 0u64..300) {
+        let mut corpus = CorpusGenerator::new(CorpusConfig { seed, ..Default::default() });
+        let body = encode_program(&corpus.generate_function()).unwrap();
+        let image = wrap(&body, HarnessConfig::default());
+        let golden = SoftCore::new(SoftCoreConfig::default()).run(&image);
+        let mut boom = Boom::new(BoomConfig::default());
+        let run = boom.run(&image);
+        let mismatches = chatfuzz::mismatch::diff_traces(&golden, &run.trace);
+        prop_assert!(mismatches.is_empty(), "unexpected divergence: {:?}", mismatches);
+    }
+}
