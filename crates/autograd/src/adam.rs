@@ -74,17 +74,14 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.cfg.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.cfg.beta2.powi(self.t as i32);
-        for ((p, g), (m, v)) in params
-            .iter_mut()
-            .zip(grads)
-            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        for ((p, g), (m, v)) in
+            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
             assert_eq!((p.rows(), p.cols()), (g.rows(), g.cols()), "shape drift");
             for i in 0..p.len() {
                 let gi = g.data()[i] * clip_scale;
                 m.data_mut()[i] = self.cfg.beta1 * m.data()[i] + (1.0 - self.cfg.beta1) * gi;
-                v.data_mut()[i] =
-                    self.cfg.beta2 * v.data()[i] + (1.0 - self.cfg.beta2) * gi * gi;
+                v.data_mut()[i] = self.cfg.beta2 * v.data()[i] + (1.0 - self.cfg.beta2) * gi * gi;
                 let mhat = m.data()[i] / bc1;
                 let vhat = v.data()[i] / bc2;
                 p.data_mut()[i] -= self.cfg.lr * mhat / (vhat.sqrt() + self.cfg.eps);

@@ -212,6 +212,7 @@ impl Tape {
     }
 
     /// Row-wise layer norm with learned gain/bias (`[1, n]` each).
+    #[allow(clippy::needless_range_loop)] // lock-stepped row/param indexing
     pub fn layer_norm(&mut self, a: Value, gain: Value, bias: Value) -> Value {
         const EPS: f32 = 1e-5;
         let av = &self.nodes[a.0].value;
@@ -237,6 +238,7 @@ impl Tape {
 
     /// Causal row softmax for attention scores `[T, T]`: row `i` is a
     /// softmax over columns `0..=i`; masked entries are exactly 0.
+    #[allow(clippy::needless_range_loop)] // triangular 0..=i indexing
     pub fn causal_softmax(&mut self, a: Value) -> Value {
         let av = &self.nodes[a.0].value;
         assert_eq!(av.rows(), av.cols(), "attention scores must be square");
@@ -257,6 +259,7 @@ impl Tape {
     }
 
     /// Row-wise log-softmax.
+    #[allow(clippy::needless_range_loop)] // lock-stepped row indexing
     pub fn log_softmax(&mut self, a: Value) -> Value {
         let av = &self.nodes[a.0].value;
         let mut out = Tensor::zeros(av.rows(), av.cols());
@@ -334,8 +337,7 @@ impl Tape {
         assert!(start + len <= av.cols(), "slice out of range");
         let mut out = Tensor::zeros(av.rows(), len);
         for r in 0..av.rows() {
-            out.data_mut()[r * len..(r + 1) * len]
-                .copy_from_slice(&av.row(r)[start..start + len]);
+            out.data_mut()[r * len..(r + 1) * len].copy_from_slice(&av.row(r)[start..start + len]);
         }
         self.push(out, Op::SliceCols { a: a.0, start })
     }
@@ -379,6 +381,7 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if `loss` is not `[1, 1]`.
+    #[allow(clippy::needless_range_loop)] // lock-stepped probability/target rows
     pub fn backward(&mut self, loss: Value) {
         {
             let l = &self.nodes[loss.0].value;
@@ -487,8 +490,8 @@ impl Tape {
                         for c in 0..n {
                             let xhat = aux.get(r, c);
                             let gdy = g.get(r, c) * gv.get(0, c);
-                            let v = rstd
-                                * (gdy - sum_gdy / n as f32 - xhat * sum_gdy_xhat / n as f32);
+                            let v =
+                                rstd * (gdy - sum_gdy / n as f32 - xhat * sum_gdy_xhat / n as f32);
                             da.set(r, c, v);
                         }
                     }
@@ -524,8 +527,7 @@ impl Tape {
                 }
                 Op::GatherRows { table, ids } => {
                     let cols = g.cols();
-                    let mut dt =
-                        Tensor::zeros(self.nodes[table].value.rows(), cols);
+                    let mut dt = Tensor::zeros(self.nodes[table].value.rows(), cols);
                     for (r, &id) in ids.iter().enumerate() {
                         for c in 0..cols {
                             dt.set(id, c, dt.get(id, c) + g.get(r, c));
@@ -617,19 +619,9 @@ fn elementwise(g: &Tensor, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tenso
     Tensor::new(g.rows(), g.cols(), data)
 }
 
-fn elementwise3(
-    g: &Tensor,
-    x: &Tensor,
-    y: &Tensor,
-    f: impl Fn(f32, f32, f32) -> f32,
-) -> Tensor {
-    let data = g
-        .data()
-        .iter()
-        .zip(x.data())
-        .zip(y.data())
-        .map(|((a, b), c)| f(*a, *b, *c))
-        .collect();
+fn elementwise3(g: &Tensor, x: &Tensor, y: &Tensor, f: impl Fn(f32, f32, f32) -> f32) -> Tensor {
+    let data =
+        g.data().iter().zip(x.data()).zip(y.data()).map(|((a, b), c)| f(*a, *b, *c)).collect();
     Tensor::new(g.rows(), g.cols(), data)
 }
 

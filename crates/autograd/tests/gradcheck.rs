@@ -22,10 +22,12 @@ fn gradcheck(name: &str, inputs: &[Tensor], build: &Builder) {
     tape.backward(loss);
     let analytic: Vec<Tensor> = vals
         .iter()
-        .map(|v| tape.grad(*v).cloned().unwrap_or_else(|| {
-            let t = tape.value(*v);
-            Tensor::zeros(t.rows(), t.cols())
-        }))
+        .map(|v| {
+            tape.grad(*v).cloned().unwrap_or_else(|| {
+                let t = tape.value(*v);
+                Tensor::zeros(t.rows(), t.cols())
+            })
+        })
         .collect();
 
     // Numeric gradients.
@@ -120,15 +122,15 @@ fn gradcheck_add_row() {
 fn gradcheck_activations() {
     let mut r = rng();
     let a = Tensor::randn(2, 4, 1.0, &mut r);
-    gradcheck("gelu", &[a.clone()], &|t, v| {
+    gradcheck("gelu", std::slice::from_ref(&a), &|t, v| {
         let c = t.gelu(v[0]);
         t.sum_all(c)
     });
-    gradcheck("tanh", &[a.clone()], &|t, v| {
+    gradcheck("tanh", std::slice::from_ref(&a), &|t, v| {
         let c = t.tanh(v[0]);
         t.sum_all(c)
     });
-    gradcheck("exp", &[a.clone()], &|t, v| {
+    gradcheck("exp", std::slice::from_ref(&a), &|t, v| {
         let c = t.exp(v[0]);
         t.sum_all(c)
     });
@@ -144,7 +146,7 @@ fn gradcheck_clamp_and_min() {
     // discontinuous and finite differences are unreliable.
     let a = Tensor::from_rows(&[&[-2.0, -0.5, 0.4, 1.9]]);
     let b = Tensor::from_rows(&[&[0.6, -1.5, 1.4, 0.2]]);
-    gradcheck("clamp", &[a.clone()], &|t, v| {
+    gradcheck("clamp", std::slice::from_ref(&a), &|t, v| {
         let c = t.clamp(v[0], -1.0, 1.0);
         t.sum_all(c)
     });
@@ -219,11 +221,11 @@ fn gradcheck_cross_entropy() {
 fn gradcheck_reductions_and_shapes() {
     let mut r = rng();
     let a = Tensor::randn(3, 8, 1.0, &mut r);
-    gradcheck("mean_all", &[a.clone()], &|t, v| {
+    gradcheck("mean_all", std::slice::from_ref(&a), &|t, v| {
         let m = t.mean_all(v[0]);
         t.sum_all(m)
     });
-    gradcheck("slice_concat", &[a.clone()], &|t, v| {
+    gradcheck("slice_concat", std::slice::from_ref(&a), &|t, v| {
         let left = t.slice_cols(v[0], 0, 4);
         let right = t.slice_cols(v[0], 4, 4);
         let swapped = t.concat_cols(&[right, left]);
@@ -252,22 +254,18 @@ fn gradcheck_transformer_block_composite() {
     let ids = [1usize, 3, 0];
     let targets = [3usize, 0, 2];
     let _ = tcount;
-    gradcheck(
-        "transformer_block",
-        &[wte, wq, wk, wv, gain, bias],
-        &move |t, v| {
-            let x = t.gather_rows(v[0], &ids);
-            let xn = t.layer_norm(x, v[4], v[5]);
-            let q = t.matmul(xn, v[1]);
-            let k = t.matmul(xn, v[2]);
-            let val = t.matmul(xn, v[3]);
-            let scores = t.matmul_nt(q, k);
-            let scaled = t.scale(scores, 0.5);
-            let att = t.causal_softmax(scaled);
-            let ctx = t.matmul(att, val);
-            let res = t.add(x, ctx);
-            let logits = t.matmul_nt(res, v[0]);
-            t.cross_entropy(logits, &targets)
-        },
-    );
+    gradcheck("transformer_block", &[wte, wq, wk, wv, gain, bias], &move |t, v| {
+        let x = t.gather_rows(v[0], &ids);
+        let xn = t.layer_norm(x, v[4], v[5]);
+        let q = t.matmul(xn, v[1]);
+        let k = t.matmul(xn, v[2]);
+        let val = t.matmul(xn, v[3]);
+        let scores = t.matmul_nt(q, k);
+        let scaled = t.scale(scores, 0.5);
+        let att = t.causal_softmax(scaled);
+        let ctx = t.matmul(att, val);
+        let res = t.add(x, ctx);
+        let logits = t.matmul_nt(res, v[0]);
+        t.cross_entropy(logits, &targets)
+    });
 }

@@ -2,7 +2,7 @@
 
 /// Per-input coverage feedback handed back to a generator after its batch
 /// was simulated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Feedback {
     /// Coverage bins attained by this input alone.
     pub standalone: usize,
@@ -11,6 +11,20 @@ pub struct Feedback {
     /// Control-register (mux-select) bins attained by this input alone —
     /// the DifuzzRTL-style signal.
     pub mux_covered: usize,
+    /// Cumulative campaign bins covered after folding this input in.
+    /// Gives generators (and schedulers) global-progress context without a
+    /// side channel; `0` when the caller does not track campaign totals.
+    pub total_after: usize,
+    /// The coverage space's fixed bin count (denominator for
+    /// [`Feedback::total_after`]); `0` when unknown.
+    pub total_bins: usize,
+}
+
+impl Feedback {
+    /// Campaign coverage percentage after this input, when known.
+    pub fn total_percent(&self) -> Option<f64> {
+        (self.total_bins > 0).then(|| 100.0 * self.total_after as f64 / self.total_bins as f64)
+    }
 }
 
 /// A source of fuzzing inputs with coverage feedback.
@@ -28,4 +42,32 @@ pub trait InputGenerator: Send {
     /// Receives per-input coverage feedback for the batch most recently
     /// returned by [`InputGenerator::next_batch`].
     fn observe(&mut self, batch: &[Vec<u8>], feedback: &[Feedback]);
+}
+
+impl<G: InputGenerator + ?Sized> InputGenerator for &mut G {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn next_batch(&mut self, n: usize) -> Vec<Vec<u8>> {
+        (**self).next_batch(n)
+    }
+
+    fn observe(&mut self, batch: &[Vec<u8>], feedback: &[Feedback]) {
+        (**self).observe(batch, feedback)
+    }
+}
+
+impl<G: InputGenerator + ?Sized> InputGenerator for Box<G> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn next_batch(&mut self, n: usize) -> Vec<Vec<u8>> {
+        (**self).next_batch(n)
+    }
+
+    fn observe(&mut self, batch: &[Vec<u8>], feedback: &[Feedback]) {
+        (**self).observe(batch, feedback)
+    }
 }

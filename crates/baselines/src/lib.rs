@@ -15,9 +15,11 @@
 
 pub mod gen;
 pub mod random_instr;
+pub mod schedule;
 
 pub use gen::{Feedback, InputGenerator};
 pub use random_instr::random_instr;
+pub use schedule::{EpsilonGreedy, RoundRobin, Scheduler};
 
 use chatfuzz_isa::{decode, encode, INSTR_BYTES};
 use rand::{Rng, SeedableRng};
@@ -128,8 +130,7 @@ impl TheHuzz {
             }
             // Replace with a fresh valid instruction.
             _ => {
-                let word =
-                    encode(&random_instr(&mut self.rng)).expect("random_instr is encodable");
+                let word = encode(&random_instr(&mut self.rng)).expect("random_instr is encodable");
                 bytes[slot..slot + INSTR_BYTES].copy_from_slice(&word.to_le_bytes());
             }
         }
@@ -168,7 +169,7 @@ impl InputGenerator for TheHuzz {
                 self.pool.push(PoolEntry { bytes: bytes.clone(), score: fb.incremental });
             }
         }
-        self.pool.sort_by(|a, b| b.score.cmp(&a.score));
+        self.pool.sort_by_key(|e| std::cmp::Reverse(e.score));
         self.pool.truncate(self.cfg.pool_size);
     }
 }
@@ -239,11 +240,7 @@ impl InputGenerator for DifuzzLite {
             .map(|fb| {
                 let interesting = fb.mux_covered > self.best_mux;
                 self.best_mux = self.best_mux.max(fb.mux_covered);
-                Feedback {
-                    standalone: fb.standalone,
-                    incremental: usize::from(interesting),
-                    mux_covered: fb.mux_covered,
-                }
+                Feedback { incremental: usize::from(interesting), ..*fb }
             })
             .collect();
         self.inner.observe(batch, &rescored);
@@ -279,8 +276,7 @@ mod tests {
     fn random_regression_is_mostly_invalid() {
         let mut generator = RandomRegression::new(1, 64);
         let batch = generator.next_batch(8);
-        let avg: f64 =
-            batch.iter().map(|b| valid_fraction(b)).sum::<f64>() / batch.len() as f64;
+        let avg: f64 = batch.iter().map(|b| valid_fraction(b)).sum::<f64>() / batch.len() as f64;
         assert!(avg < 0.5, "uniform random words are mostly illegal ({avg:.2})");
     }
 
@@ -290,7 +286,7 @@ mod tests {
         let mut fuzzer = TheHuzz::new(cfg);
         let batch = fuzzer.next_batch(8);
         let feedback: Vec<Feedback> = (0..8)
-            .map(|i| Feedback { standalone: 10, incremental: i, mux_covered: 0 })
+            .map(|i| Feedback { standalone: 10, incremental: i, ..Default::default() })
             .collect();
         fuzzer.observe(&batch, &feedback);
         // i=0 gives incremental 0 -> not pooled; 7 pooled, truncated to 4.
@@ -305,8 +301,8 @@ mod tests {
         let mut fuzzer = TheHuzz::new(cfg);
         let seed = fuzzer.random_seed();
         fuzzer.observe(
-            &[seed.clone()],
-            &[Feedback { standalone: 1, incremental: 1, mux_covered: 0 }],
+            std::slice::from_ref(&seed),
+            &[Feedback { standalone: 1, incremental: 1, ..Default::default() }],
         );
         let mutants = fuzzer.next_batch(4);
         for m in &mutants {
@@ -333,9 +329,10 @@ mod tests {
         let mut fuzzer = DifuzzLite::new(cfg);
         let batch = fuzzer.next_batch(3);
         let feedback = vec![
-            Feedback { standalone: 5, incremental: 100, mux_covered: 2 },
-            Feedback { standalone: 5, incremental: 100, mux_covered: 2 }, // no advance
-            Feedback { standalone: 5, incremental: 0, mux_covered: 9 },
+            Feedback { standalone: 5, incremental: 100, mux_covered: 2, ..Default::default() },
+            // no advance:
+            Feedback { standalone: 5, incremental: 100, mux_covered: 2, ..Default::default() },
+            Feedback { standalone: 5, incremental: 0, mux_covered: 9, ..Default::default() },
         ];
         fuzzer.observe(&batch, &feedback);
         assert_eq!(fuzzer.inner.pool_len(), 2, "first and third advance the frontier");

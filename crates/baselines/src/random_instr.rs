@@ -98,15 +98,8 @@ pub fn random_instr<R: Rng>(rng: &mut R) -> Instr {
                 offset: i64::from(rng.gen_range(-64i32..64)) * 2,
             }
         }
-        73..=76 => Instr::Jal {
-            rd: reg(rng),
-            offset: i64::from(rng.gen_range(-128i32..128)) * 2,
-        },
-        77..=79 => Instr::Jalr {
-            rd: reg(rng),
-            rs1: reg(rng),
-            offset: rng.gen_range(-2048..=2047),
-        },
+        73..=76 => Instr::Jal { rd: reg(rng), offset: i64::from(rng.gen_range(-128i32..128)) * 2 },
+        77..=79 => Instr::Jalr { rd: reg(rng), rs1: reg(rng), offset: rng.gen_range(-2048..=2047) },
         80..=85 => {
             let ops = [
                 MulDivOp::Mul,
@@ -179,10 +172,9 @@ pub fn random_instr<R: Rng>(rng: &mut R) -> Instr {
             };
             Instr::Csr { op, rd: reg(rng), csr, src }
         }
-        94..=95 => Instr::Lui {
-            rd: reg(rng),
-            imm: i64::from(rng.gen_range(-0x8_0000i32..0x8_0000)) << 12,
-        },
+        94..=95 => {
+            Instr::Lui { rd: reg(rng), imm: i64::from(rng.gen_range(-0x8_0000i32..0x8_0000)) << 12 }
+        }
         96 => Instr::Auipc {
             rd: reg(rng),
             imm: i64::from(rng.gen_range(-0x8_0000i32..0x8_0000)) << 12,
@@ -195,13 +187,8 @@ pub fn random_instr<R: Rng>(rng: &mut R) -> Instr {
             }
         }
         _ => {
-            let ops = [
-                SystemOp::Ecall,
-                SystemOp::Ebreak,
-                SystemOp::Mret,
-                SystemOp::Sret,
-                SystemOp::Wfi,
-            ];
+            let ops =
+                [SystemOp::Ecall, SystemOp::Ebreak, SystemOp::Mret, SystemOp::Sret, SystemOp::Wfi];
             Instr::System(*ops.choose(rng).expect("non-empty"))
         }
     }

@@ -1,0 +1,237 @@
+//! Generator scheduling for multi-generator campaigns.
+//!
+//! MABFuzz (Gohil et al., 2023) frames the choice of *which* input
+//! generator runs the next batch as a multi-armed bandit over an
+//! incremental-coverage reward, and shows the bandit beats any fixed
+//! generator. The campaign layer drives a [`Scheduler`] once per batch:
+//! [`Scheduler::pick`] selects the generator, then [`Scheduler::update`]
+//! reports the new-bins-per-test reward the batch earned.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Picks which generator produces each batch of a campaign.
+///
+/// Implementations must be deterministic given their construction
+/// parameters and the observed reward sequence; campaign replays rely on
+/// it.
+pub trait Scheduler: Send {
+    /// Short scheduler name for reports.
+    fn name(&self) -> &str;
+
+    /// Chooses the generator (in `0..arms`) for the next batch.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `arms == 0`.
+    fn pick(&mut self, arms: usize) -> usize;
+
+    /// Reports the reward (newly covered bins per test) earned by the
+    /// batch the chosen `arm` just produced.
+    fn update(&mut self, arm: usize, reward: f64);
+}
+
+/// Cycles through the generators in order — the fair baseline, and a
+/// no-op for single-generator campaigns.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates the scheduler starting at generator 0.
+    pub fn new() -> RoundRobin {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, arms: usize) -> usize {
+        assert!(arms > 0, "no generators to schedule");
+        let pick = self.next % arms;
+        self.next = (pick + 1) % arms;
+        pick
+    }
+
+    fn update(&mut self, _arm: usize, _reward: f64) {}
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ArmStats {
+    pulls: usize,
+    total_reward: f64,
+}
+
+impl ArmStats {
+    fn mean(&self) -> f64 {
+        if self.pulls == 0 {
+            f64::INFINITY // force one exploratory pull of every arm
+        } else {
+            self.total_reward / self.pulls as f64
+        }
+    }
+}
+
+/// Epsilon-greedy bandit over the incremental-coverage reward, à la
+/// MABFuzz: with probability `epsilon` explore a uniformly random
+/// generator, otherwise exploit the best observed mean reward. Epsilon
+/// decays multiplicatively so late batches concentrate on the winner
+/// while coverage-frontier shifts can still be picked up.
+#[derive(Debug)]
+pub struct EpsilonGreedy {
+    epsilon: f64,
+    decay: f64,
+    floor: f64,
+    rng: ChaCha8Rng,
+    arms: Vec<ArmStats>,
+}
+
+impl EpsilonGreedy {
+    /// Creates the bandit with a fixed exploration rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is outside `0.0..=1.0`.
+    pub fn new(seed: u64, epsilon: f64) -> EpsilonGreedy {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon out of range: {epsilon}");
+        EpsilonGreedy {
+            epsilon,
+            decay: 1.0,
+            floor: 0.0,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            arms: Vec::new(),
+        }
+    }
+
+    /// Multiplies epsilon by `decay` after every pick, never dropping
+    /// below `floor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` or `floor` is outside `0.0..=1.0`.
+    pub fn with_decay(mut self, decay: f64, floor: f64) -> EpsilonGreedy {
+        assert!((0.0..=1.0).contains(&decay), "decay out of range: {decay}");
+        assert!((0.0..=1.0).contains(&floor), "floor out of range: {floor}");
+        self.decay = decay;
+        self.floor = floor;
+        self
+    }
+
+    /// Mean observed reward per arm (diagnostics).
+    pub fn means(&self) -> Vec<f64> {
+        self.arms.iter().map(|a| if a.pulls == 0 { 0.0 } else { a.mean() }).collect()
+    }
+}
+
+impl Scheduler for EpsilonGreedy {
+    fn name(&self) -> &str {
+        "epsilon-greedy"
+    }
+
+    fn pick(&mut self, arms: usize) -> usize {
+        assert!(arms > 0, "no generators to schedule");
+        if self.arms.len() < arms {
+            self.arms.resize(arms, ArmStats::default());
+        }
+        let explore = self.rng.gen_bool(self.epsilon);
+        self.epsilon = (self.epsilon * self.decay).max(self.floor);
+        if explore {
+            return self.rng.gen_range(0..arms);
+        }
+        // Exploit: best mean, unpulled arms first (mean = +inf), lowest
+        // index breaking ties for determinism.
+        (0..arms)
+            .max_by(|&a, &b| {
+                self.arms[a]
+                    .mean()
+                    .partial_cmp(&self.arms[b].mean())
+                    .expect("rewards are never NaN")
+                    .then(b.cmp(&a)) // prefer the lower index on ties
+            })
+            .expect("arms > 0")
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        assert!(!reward.is_nan(), "NaN reward");
+        if self.arms.len() <= arm {
+            self.arms.resize(arm + 1, ArmStats::default());
+        }
+        self.arms[arm].pulls += 1;
+        self.arms[arm].total_reward += reward;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..7).map(|_| rr.pick(3)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(rr.pick(1), 0, "single generator always picks 0");
+    }
+
+    #[test]
+    fn epsilon_greedy_tries_every_arm_then_exploits() {
+        let mut eg = EpsilonGreedy::new(1, 0.0); // pure exploitation
+        let first: Vec<usize> = (0..3)
+            .map(|_| {
+                let arm = eg.pick(3);
+                // Arm 1 pays, the others do not.
+                eg.update(arm, if arm == 1 { 2.0 } else { 0.0 });
+                arm
+            })
+            .collect();
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "every arm explored once: {first:?}");
+        for _ in 0..10 {
+            let arm = eg.pick(3);
+            assert_eq!(arm, 1, "exploits the rewarded arm");
+            eg.update(arm, 2.0);
+        }
+    }
+
+    #[test]
+    fn epsilon_greedy_explores_at_positive_epsilon() {
+        let mut eg = EpsilonGreedy::new(7, 0.5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let arm = eg.pick(4);
+            seen[arm] = true;
+            eg.update(arm, if arm == 0 { 1.0 } else { 0.0 });
+        }
+        assert!(seen.iter().all(|&s| s), "exploration reaches every arm: {seen:?}");
+    }
+
+    #[test]
+    fn epsilon_decay_reaches_floor() {
+        let mut eg = EpsilonGreedy::new(3, 1.0).with_decay(0.5, 0.1);
+        for _ in 0..10 {
+            let arm = eg.pick(2);
+            eg.update(arm, 0.0);
+        }
+        assert!((eg.epsilon - 0.1).abs() < 1e-12, "epsilon settled at the floor");
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_rewards() {
+        let run = || {
+            let mut eg = EpsilonGreedy::new(11, 0.3);
+            (0..50)
+                .map(|i| {
+                    let arm = eg.pick(3);
+                    eg.update(arm, (i % 3) as f64);
+                    arm
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -4,12 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use chatfuzz::fuzz::{run_campaign, CampaignConfig};
+use chatfuzz::campaign::{CampaignBuilder, StopCondition};
 use chatfuzz::harness::{wrap, HarnessConfig};
 use chatfuzz::mismatch::diff_traces;
 use chatfuzz_baselines::{MutatorConfig, TheHuzz};
-use chatfuzz_coverage::Calculator;
 use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
+use chatfuzz_coverage::Calculator;
 use chatfuzz_isa::encode_program;
 use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 use chatfuzz_softcore::{SoftCore, SoftCoreConfig};
@@ -53,20 +53,29 @@ fn bench_coverage_calculator(c: &mut Criterion) {
 }
 
 fn bench_fuzz_round(c: &mut Criterion) {
-    let cfg = CampaignConfig {
-        total_tests: 32,
-        batch_size: 16,
-        workers: 4,
-        history_every: 32,
-        ..Default::default()
-    };
     c.bench_function("campaign_32_tests_thehuzz", |b| {
         b.iter(|| {
-            let mut generator = TheHuzz::new(MutatorConfig::default());
-            let factory =
-                || Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>;
-            run_campaign(&mut generator, &factory, std::hint::black_box(&cfg))
+            let mut campaign = CampaignBuilder::new(|| {
+                Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>
+            })
+            .batch_size(16)
+            .workers(4)
+            .generator(TheHuzz::new(MutatorConfig::default()))
+            .build();
+            campaign.run_until(std::hint::black_box(&[StopCondition::Tests(32)]))
         })
+    });
+
+    // The session amortises worker/DUT spawn-up across batches; measure a
+    // pre-built session stepping one batch at a time.
+    let mut campaign =
+        CampaignBuilder::new(|| Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>)
+            .batch_size(16)
+            .workers(4)
+            .generator(TheHuzz::new(MutatorConfig::default()))
+            .build();
+    c.bench_function("campaign_step_batch_16", |b| {
+        b.iter(|| std::hint::black_box(campaign.step_batch()))
     });
 }
 

@@ -43,9 +43,8 @@ fn bench_transformer(c: &mut Criterion) {
     let (tokenizer, programs) = setup();
     let mut rng = StdRng::seed_from_u64(0);
     let model = Gpt::new(GptConfig::small(tokenizer.vocab_size() as usize), &mut rng);
-    let seq: Vec<u32> = tokenizer.encode(&programs[0])
-        [..48.min(tokenizer.encode(&programs[0]).len())]
-        .to_vec();
+    let seq: Vec<u32> =
+        tokenizer.encode(&programs[0])[..48.min(tokenizer.encode(&programs[0]).len())].to_vec();
 
     let mut group = c.benchmark_group("transformer");
     group.bench_function("forward_48tok", |b| {
@@ -71,10 +70,8 @@ fn bench_ppo(c: &mut Criterion) {
     let (tokenizer, _) = setup();
     let mut rng = StdRng::seed_from_u64(0);
     let model = Gpt::new(GptConfig::tiny(tokenizer.vocab_size() as usize), &mut rng);
-    let mut trainer = PpoTrainer::new(
-        model,
-        PpoConfig { max_new_tokens: 24, epochs: 1, ..Default::default() },
-    );
+    let mut trainer =
+        PpoTrainer::new(model, PpoConfig { max_new_tokens: 24, epochs: 1, ..Default::default() });
     let rollouts: Vec<_> = (0..4)
         .map(|i| {
             let tokens = trainer.sample(&[1], &mut rng);

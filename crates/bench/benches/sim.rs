@@ -59,8 +59,7 @@ fn bench_simulators(c: &mut Criterion) {
     let mut rocket = Rocket::new(RocketConfig::default());
     group.bench_function("rocket_buggy", |b| b.iter(|| rocket.run(std::hint::black_box(&image))));
 
-    let mut fixed =
-        Rocket::new(RocketConfig { bugs: BugConfig::all_off(), ..Default::default() });
+    let mut fixed = Rocket::new(RocketConfig { bugs: BugConfig::all_off(), ..Default::default() });
     group.bench_function("rocket_bugfree", |b| b.iter(|| fixed.run(std::hint::black_box(&image))));
 
     let mut boom = Boom::new(BoomConfig::default());

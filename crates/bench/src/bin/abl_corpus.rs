@@ -4,22 +4,21 @@
 //! that interdependent data/control-flow training data is what lets the
 //! model reach deep states; shuffling should cost coverage.
 
-use chatfuzz::fuzz::run_campaign;
 use chatfuzz::generator::{LmGenerator, LmGeneratorConfig};
-use chatfuzz_bench::{campaign, print_table, rocket_factory, write_csv, Scale};
+use chatfuzz_bench::{
+    print_table, rocket_factory, run_budget, write_csv, write_report_json, Scale, TRAIN_SEED,
+};
 use chatfuzz_corpus::{shuffle_bodies, CorpusConfig, CorpusGenerator};
 use chatfuzz_lm::{train_lm, Gpt, GptConfig, Tokenizer};
 use chatfuzz_rl::PpoConfig;
-use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let scale = Scale::from_env();
     let tests = scale.campaign_tests();
-    let cfg = campaign(tests);
     let factory = rocket_factory();
-    let pcfg = scale.pipeline(42);
+    let pcfg = scale.pipeline(TRAIN_SEED);
 
     let mut corpus = CorpusGenerator::new(CorpusConfig { seed: 42, ..Default::default() });
     let entangled = corpus.generate_words(pcfg.corpus_functions);
@@ -35,8 +34,7 @@ fn main() {
             Scale::Full => Gpt::new(GptConfig::small(tokenizer.vocab_size() as usize), &mut rng),
         };
         train_lm(&mut policy, &token_seqs, pcfg.lm_train, &mut rng);
-        let dut = Rocket::new(RocketConfig::default());
-        let total_bins = dut.space().total_bins();
+        let total_bins = factory().space().total_bins();
         let ppo = PpoConfig {
             max_new_tokens: 56,
             lr: 3e-4,
@@ -45,21 +43,25 @@ fn main() {
             ..Default::default()
         };
         let gcfg = LmGeneratorConfig { seed: 42, total_bins, ..Default::default() };
-        let mut generator =
-            LmGenerator::new(tokenizer, policy, ppo, programs.to_vec(), gcfg);
+        let generator = LmGenerator::new(tokenizer, policy, ppo, programs.to_vec(), gcfg);
         println!("[{label}] fuzzing…");
-        run_campaign(&mut generator, &factory, &cfg)
+        run_budget(&factory, generator, tests)
     };
 
     let with_structure = run_with(&entangled, "entangled corpus");
     let without = run_with(&shuffled, "shuffled corpus");
 
     let rows = vec![
-        vec!["function-shaped (entangled)".into(), format!("{:.2}", with_structure.final_coverage_pct)],
+        vec![
+            "function-shaped (entangled)".into(),
+            format!("{:.2}", with_structure.final_coverage_pct),
+        ],
         vec!["shuffled (same multiset)".into(), format!("{:.2}", without.final_coverage_pct)],
     ];
     print_table("A3 — corpus-entanglement ablation (RocketCore)", &["corpus", "coverage %"], &rows);
     write_csv("abl_corpus", &["corpus", "coverage_pct"], &rows);
+    write_report_json("abl_corpus_entangled", &with_structure);
+    write_report_json("abl_corpus_shuffled", &without);
     println!(
         "\ndelta: {:+.2} points for interdependent training data",
         with_structure.final_coverage_pct - without.final_coverage_pct

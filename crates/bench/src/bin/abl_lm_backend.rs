@@ -2,31 +2,32 @@
 //! n-gram model trained on the same corpus tokens. Tests whether the
 //! transformer + RL stack earns its keep over cheap sequence statistics.
 
-use chatfuzz::fuzz::run_campaign;
 use chatfuzz::generator::NgramGenerator;
-use chatfuzz_bench::{campaign, print_table, rocket_factory, trained_chatfuzz_generator, write_csv, Scale};
+use chatfuzz_bench::{
+    print_table, rocket_factory, run_budget, trained_chatfuzz_generator, write_csv,
+    write_report_json, Scale, TRAIN_SEED,
+};
 use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
 use chatfuzz_lm::{NgramLm, Tokenizer};
 
 fn main() {
     let scale = Scale::from_env();
     let tests = scale.campaign_tests();
-    let cfg = campaign(tests);
     let factory = rocket_factory();
 
     println!("== Ablation A1: GPT+PPO vs n-gram generator ({tests} tests) ==");
     println!("[1/2] GPT backend…");
-    let (mut gpt_gen, _) = trained_chatfuzz_generator(scale, 42);
-    let gpt = run_campaign(&mut gpt_gen, &factory, &cfg);
+    let (mut gpt_gen, _) = trained_chatfuzz_generator(scale, TRAIN_SEED);
+    let gpt = run_budget(&factory, &mut gpt_gen, tests);
 
     println!("[2/2] n-gram backend…");
     let mut corpus = CorpusGenerator::new(CorpusConfig { seed: 42, ..Default::default() });
-    let programs = corpus.generate_words(scale.pipeline(42).corpus_functions);
-    let tokenizer = Tokenizer::train(&programs, scale.pipeline(42).vocab_size);
+    let programs = corpus.generate_words(scale.pipeline(TRAIN_SEED).corpus_functions);
+    let tokenizer = Tokenizer::train(&programs, scale.pipeline(TRAIN_SEED).vocab_size);
     let token_seqs: Vec<Vec<u32>> = programs.iter().map(|p| tokenizer.encode(p)).collect();
     let ngram = NgramLm::train(&token_seqs, tokenizer.vocab_size());
-    let mut ngram_gen = NgramGenerator::new(tokenizer, ngram, programs, 42, 40);
-    let ng = run_campaign(&mut ngram_gen, &factory, &cfg);
+    let ngram_gen = NgramGenerator::new(tokenizer, ngram, programs, 42, 40);
+    let ng = run_budget(&factory, ngram_gen, tests);
 
     let rows = vec![
         vec!["GPT + PPO (ChatFuzz)".into(), format!("{:.2}", gpt.final_coverage_pct)],
@@ -34,6 +35,8 @@ fn main() {
     ];
     print_table("A1 — generator backend ablation (RocketCore)", &["backend", "coverage %"], &rows);
     write_csv("abl_lm_backend", &["backend", "coverage_pct"], &rows);
+    write_report_json("abl_lm_backend_gpt", &gpt);
+    write_report_json("abl_lm_backend_ngram", &ng);
     println!(
         "\ndelta: {:+.2} points for the transformer+RL stack",
         gpt.final_coverage_pct - ng.final_coverage_pct

@@ -3,25 +3,23 @@
 //! ablation removes those terms (leaving only the stand-alone term) and
 //! compares campaign coverage with online training enabled.
 
-use chatfuzz::fuzz::run_campaign;
 use chatfuzz::generator::{CoverageReward, LmGenerator, LmGeneratorConfig};
 use chatfuzz::pipeline::train_chatfuzz;
-use chatfuzz_bench::{campaign, print_table, rocket_factory, write_csv, Scale};
+use chatfuzz_bench::{
+    print_table, rocket_factory, run_budget, write_csv, write_report_json, Scale, TRAIN_SEED,
+};
 use chatfuzz_rl::PpoConfig;
-use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 
 fn main() {
     let scale = Scale::from_env();
     let tests = scale.campaign_tests();
-    let cfg = campaign(tests);
     let factory = rocket_factory();
 
     let run_with = |reward: CoverageReward, label: &str| {
         println!("[{label}] training pipeline…");
-        let mut dut = Rocket::new(RocketConfig::default());
-        let pcfg = scale.pipeline(42);
-        let (model, _) = train_chatfuzz(&pcfg, &mut dut);
-        let total_bins = dut.space().total_bins();
+        let pcfg = scale.pipeline(TRAIN_SEED);
+        let (model, _) = train_chatfuzz(&pcfg, &factory);
+        let total_bins = factory().space().total_bins();
         let ppo = PpoConfig {
             max_new_tokens: 56,
             lr: 3e-4,
@@ -30,10 +28,10 @@ fn main() {
             ..Default::default()
         };
         let gcfg = LmGeneratorConfig { seed: 42, total_bins, reward, ..Default::default() };
-        let mut generator =
+        let generator =
             LmGenerator::new(model.tokenizer, model.policy, ppo, model.prompt_pool, gcfg);
         println!("[{label}] fuzzing…");
-        run_campaign(&mut generator, &factory, &cfg)
+        run_budget(&factory, generator, tests)
     };
 
     let full = run_with(CoverageReward::default(), "full reward");
@@ -43,11 +41,16 @@ fn main() {
     );
 
     let rows = vec![
-        vec!["incremental bonus + penalty (paper)".into(), format!("{:.2}", full.final_coverage_pct)],
+        vec![
+            "incremental bonus + penalty (paper)".into(),
+            format!("{:.2}", full.final_coverage_pct),
+        ],
         vec!["stand-alone term only".into(), format!("{:.2}", no_shaping.final_coverage_pct)],
     ];
     print_table("A2 — reward-shaping ablation (RocketCore)", &["reward", "coverage %"], &rows);
     write_csv("abl_reward", &["reward", "coverage_pct"], &rows);
+    write_report_json("abl_reward_full", &full);
+    write_report_json("abl_reward_standalone", &no_shaping);
     println!(
         "\ndelta: {:+.2} points for the paper's shaping",
         full.final_coverage_pct - no_shaping.final_coverage_pct

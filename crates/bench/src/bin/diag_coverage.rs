@@ -4,9 +4,9 @@
 //! target), (b) TheHuzz, (c) random regression — and prints the condition
 //! holes each leaves, to calibrate the coverage space.
 
-use chatfuzz::fuzz::{run_campaign, CampaignConfig};
+use chatfuzz::campaign::{DutFactory, StopCondition};
 use chatfuzz_baselines::{Feedback, InputGenerator, MutatorConfig, RandomRegression, TheHuzz};
-use chatfuzz_bench::rocket_factory;
+use chatfuzz_bench::{rocket_factory, session};
 use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
 use chatfuzz_coverage::CovMap;
 use chatfuzz_isa::encode_program;
@@ -32,33 +32,27 @@ impl InputGenerator for CorpusReplay {
     fn observe(&mut self, _b: &[Vec<u8>], _f: &[Feedback]) {}
 }
 
-fn holes(factory: &(dyn Fn() -> Box<dyn Dut> + Sync), gen: &mut dyn InputGenerator, tests: usize) -> (f64, Vec<String>) {
-    let cfg = CampaignConfig {
-        total_tests: tests,
-        batch_size: 32,
-        workers: 8,
-        detect_mismatches: false,
-        history_every: tests,
-        ..Default::default()
-    };
-    // Re-run to collect the final map: use a fresh campaign and recompute
-    // the union map by replaying coverage through a single DUT.
-    let report = run_campaign(gen, factory, &cfg);
-    (report.final_coverage_pct, Vec::new())
+/// A pure coverage race: no mismatch detection, 8 workers.
+fn ceiling(factory: &DutFactory, generator: impl InputGenerator, tests: usize) -> f64 {
+    session(factory)
+        .workers(8)
+        .detect_mismatches(false)
+        .generator(generator)
+        .build()
+        .run_until(&[StopCondition::Tests(tests)])
+        .final_coverage_pct
 }
 
 fn main() {
     let tests = 1024;
     let factory = rocket_factory();
 
-    let mut corpus = CorpusReplay {
+    let corpus = CorpusReplay {
         generator: CorpusGenerator::new(CorpusConfig { seed: 1, ..Default::default() }),
     };
-    let (corpus_pct, _) = holes(&factory, &mut corpus, tests);
-    let mut thehuzz = TheHuzz::new(MutatorConfig::default());
-    let (thehuzz_pct, _) = holes(&factory, &mut thehuzz, tests);
-    let mut random = RandomRegression::new(3, 24);
-    let (random_pct, _) = holes(&factory, &mut random, tests);
+    let corpus_pct = ceiling(&factory, corpus, tests);
+    let thehuzz_pct = ceiling(&factory, TheHuzz::new(MutatorConfig::default()), tests);
+    let random_pct = ceiling(&factory, RandomRegression::new(3, 24), tests);
 
     println!("corpus-replay ceiling: {corpus_pct:.2}%");
     println!("thehuzz:               {thehuzz_pct:.2}%");
@@ -67,10 +61,10 @@ fn main() {
     // Union-map hole dump for corpus replay and TheHuzz.
     let mut dut = Rocket::new(RocketConfig::default());
     let space = dut.space().clone();
-    let dump = |label: &str, gen: &mut dyn InputGenerator, dut: &mut Rocket| {
+    let dump = |label: &str, generator: &mut dyn InputGenerator, dut: &mut Rocket| {
         let mut union = CovMap::new(&space);
         for _ in 0..8 {
-            for body in gen.next_batch(32) {
+            for body in generator.next_batch(32) {
                 let image = chatfuzz::harness::wrap(&body, Default::default());
                 union.merge_from(&dut.run(&image).coverage);
             }

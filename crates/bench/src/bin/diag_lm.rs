@@ -1,24 +1,31 @@
 //! Diagnostic: what does the trained quick-scale model generate?
 
+use chatfuzz::campaign::DutFactory;
 use chatfuzz::pipeline::{train_chatfuzz, PipelineConfig};
 use chatfuzz_baselines::valid_fraction;
 use chatfuzz_isa::disasm::disassemble;
 use chatfuzz_lm::tokenizer::{BOS, SEP};
-use chatfuzz_rtl::{Rocket, RocketConfig};
+use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
-    let mut dut = Rocket::new(RocketConfig::default());
+    let factory: DutFactory =
+        std::sync::Arc::new(|| Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>);
     let cfg = PipelineConfig::quick(42);
-    let (model, report) = train_chatfuzz(&cfg, &mut dut);
+    let (model, report) = train_chatfuzz(&cfg, &factory);
     println!(
         "LM loss: {:.3} -> {:.3}",
         report.lm_curve.first().unwrap().loss,
         report.lm_curve.last().unwrap().loss
     );
     for p in &report.cleanup_curve {
-        println!("cleanup iter {}: reward {:.3} valid {:.1}%", p.iter, p.mean_reward, p.valid_fraction * 100.0);
+        println!(
+            "cleanup iter {}: reward {:.3} valid {:.1}%",
+            p.iter,
+            p.mean_reward,
+            p.valid_fraction * 100.0
+        );
     }
     let mut rng = ChaCha8Rng::seed_from_u64(9);
     for i in 0..6 {

@@ -1,58 +1,53 @@
 //! **Experiment E1 (paper Fig. 2)** — condition coverage over time for
 //! ChatFuzz vs TheHuzz (plus random regression) fuzzing the RocketCore
-//! model. Writes one CSV per generator under `results/` and prints the
-//! curves as a combined table.
+//! model. Writes one CSV + JSON per generator under `results/` and prints
+//! the curves as a combined table.
 //!
 //! Paper shape to reproduce: ChatFuzz's curve dominates TheHuzz's from the
 //! start and reaches TheHuzz's late-run coverage with a fraction of the
 //! effort (34.6× in the paper's wall-clock terms).
 
-use chatfuzz::fuzz::run_campaign;
+use chatfuzz::campaign::CampaignReport;
 use chatfuzz_baselines::{MutatorConfig, RandomRegression, TheHuzz};
 use chatfuzz_bench::{
-    campaign, history_rows, print_table, rocket_factory, trained_chatfuzz_generator, write_csv,
-    Scale,
+    history_rows, print_table, rocket_factory, run_budget, trained_chatfuzz_generator, write_csv,
+    write_report_json, Scale, TRAIN_SEED,
 };
 
 fn main() {
     let scale = Scale::from_env();
     let tests = scale.campaign_tests();
-    let cfg = campaign(tests);
     let factory = rocket_factory();
 
     println!("== Fig. 2: coverage over time on RocketCore ({tests} tests/generator) ==");
 
     println!("[1/3] training ChatFuzz pipeline…");
-    let (mut chatfuzz_gen, _) = trained_chatfuzz_generator(scale, 42);
+    let (mut chatfuzz_gen, _) = trained_chatfuzz_generator(scale, TRAIN_SEED);
     println!("[1/3] fuzzing with ChatFuzz…");
-    let chatfuzz = run_campaign(&mut chatfuzz_gen, &factory, &cfg);
+    let chatfuzz = run_budget(&factory, &mut chatfuzz_gen, tests);
 
     println!("[2/3] fuzzing with TheHuzz…");
-    let mut thehuzz_gen = TheHuzz::new(MutatorConfig::default());
-    let thehuzz = run_campaign(&mut thehuzz_gen, &factory, &cfg);
+    let thehuzz = run_budget(&factory, TheHuzz::new(MutatorConfig::default()), tests);
 
     println!("[3/3] fuzzing with random regression…");
-    let mut random_gen = RandomRegression::new(7, 24);
-    let random = run_campaign(&mut random_gen, &factory, &cfg);
+    let random = run_budget(&factory, RandomRegression::new(7, 24), tests);
 
-    for (name, report) in
-        [("chatfuzz", &chatfuzz), ("thehuzz", &thehuzz), ("random", &random)]
-    {
+    for (name, report) in [("chatfuzz", &chatfuzz), ("thehuzz", &thehuzz), ("random", &random)] {
         write_csv(
             &format!("fig2_{name}"),
             &["tests", "coverage_pct", "sim_cycles", "wall_s"],
             &history_rows(report),
         );
+        write_report_json(&format!("fig2_{name}"), report);
     }
 
     // Combined table at shared checkpoints.
     let mut rows = Vec::new();
     for point in &chatfuzz.history {
-        let at = |r: &chatfuzz::fuzz::CampaignReport| {
+        let at = |r: &CampaignReport| {
             r.history
                 .iter()
-                .filter(|p| p.tests <= point.tests)
-                .next_back()
+                .rfind(|p| p.tests <= point.tests)
                 .map(|p| format!("{:.2}", p.coverage_pct))
                 .unwrap_or_else(|| "-".into())
         };

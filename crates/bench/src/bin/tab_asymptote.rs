@@ -3,25 +3,23 @@
 //! 76.7 %. We run a scaled budget (the simulator saturates earlier than a
 //! full VCS testbed) and check the same ordering with a narrowing gap.
 
-use chatfuzz::fuzz::run_campaign;
 use chatfuzz_baselines::{MutatorConfig, TheHuzz};
 use chatfuzz_bench::{
-    campaign, print_table, rocket_factory, trained_chatfuzz_generator, write_csv, Scale,
+    print_table, rocket_factory, run_budget, trained_chatfuzz_generator, write_csv,
+    write_report_json, Scale, TRAIN_SEED,
 };
 
 fn main() {
     let scale = Scale::from_env();
     let tests = scale.campaign_tests() * 2; // the long-run budget
-    let cfg = campaign(tests);
     let factory = rocket_factory();
 
     println!("== Asymptotic coverage on RocketCore ({tests} tests/generator) ==");
     println!("[1/2] training + fuzzing ChatFuzz…");
-    let (mut chatfuzz_gen, _) = trained_chatfuzz_generator(scale, 42);
-    let chatfuzz = run_campaign(&mut chatfuzz_gen, &factory, &cfg);
+    let (mut chatfuzz_gen, _) = trained_chatfuzz_generator(scale, TRAIN_SEED);
+    let chatfuzz = run_budget(&factory, &mut chatfuzz_gen, tests);
     println!("[2/2] fuzzing TheHuzz…");
-    let mut thehuzz_gen = TheHuzz::new(MutatorConfig::default());
-    let thehuzz = run_campaign(&mut thehuzz_gen, &factory, &cfg);
+    let thehuzz = run_budget(&factory, TheHuzz::new(MutatorConfig::default()), tests);
 
     let rows = vec![
         vec!["paper (199K tests)".into(), "79.14".into(), "76.7".into()],
@@ -36,11 +34,17 @@ fn main() {
         &["row", "ChatFuzz %", "TheHuzz %"],
         &rows,
     );
-    write_csv("tab_asymptote", &["tests", "chatfuzz_pct", "thehuzz_pct"], &[vec![
-        tests.to_string(),
-        format!("{:.2}", chatfuzz.final_coverage_pct),
-        format!("{:.2}", thehuzz.final_coverage_pct),
-    ]]);
+    write_csv(
+        "tab_asymptote",
+        &["tests", "chatfuzz_pct", "thehuzz_pct"],
+        &[vec![
+            tests.to_string(),
+            format!("{:.2}", chatfuzz.final_coverage_pct),
+            format!("{:.2}", thehuzz.final_coverage_pct),
+        ]],
+    );
+    write_report_json("tab_asymptote_chatfuzz", &chatfuzz);
+    write_report_json("tab_asymptote_thehuzz", &thehuzz);
     assert!(
         chatfuzz.final_coverage_pct >= thehuzz.final_coverage_pct,
         "paper shape violated: ChatFuzz keeps the asymptotic lead"

@@ -4,28 +4,27 @@
 //! coverage saturates much higher — the same structural reason as on the
 //! real designs.
 
-use chatfuzz::fuzz::run_campaign;
 use chatfuzz_bench::{
-    boom_factory, campaign, history_rows, print_table, rocket_factory,
-    trained_chatfuzz_generator, write_csv, Scale,
+    boom_factory, history_rows, print_table, rocket_factory, run_budget,
+    trained_chatfuzz_generator, write_csv, write_report_json, Scale, TRAIN_SEED,
 };
 
 fn main() {
     let scale = Scale::from_env();
     let tests = scale.campaign_tests();
-    let cfg = campaign(tests);
 
     println!("== ChatFuzz on BOOM ({tests} tests) ==");
     println!("[1/2] training ChatFuzz pipeline (against Rocket, as in the paper)…");
-    let (mut generator, _) = trained_chatfuzz_generator(scale, 42);
+    let (mut generator, _) = trained_chatfuzz_generator(scale, TRAIN_SEED);
     println!("[2/2] fuzzing BOOM…");
-    let boom = run_campaign(&mut generator, &boom_factory(), &cfg);
+    let boom = run_budget(&boom_factory(), &mut generator, tests);
 
     // For context: the same generator's coverage on Rocket.
-    let (mut generator2, _) = trained_chatfuzz_generator(scale, 42);
-    let rocket = run_campaign(&mut generator2, &rocket_factory(), &cfg);
+    let (mut generator2, _) = trained_chatfuzz_generator(scale, TRAIN_SEED);
+    let rocket = run_budget(&rocket_factory(), &mut generator2, tests);
 
     write_csv("tab_boom", &["tests", "coverage_pct", "sim_cycles", "wall_s"], &history_rows(&boom));
+    write_report_json("tab_boom", &boom);
     let rows = vec![
         vec!["paper BOOM (49 min)".into(), "97.02".into()],
         vec![format!("measured BOOM ({tests} tests)"), format!("{:.2}", boom.final_coverage_pct)],

@@ -4,12 +4,12 @@
 //! PPO iterations (the paper monitors exactly this along with the KL and
 //! mean rewards).
 
-use chatfuzz_bench::{print_table, trained_chatfuzz_generator, write_csv, Scale};
+use chatfuzz_bench::{print_table, trained_chatfuzz_generator, write_csv, Scale, TRAIN_SEED};
 
 fn main() {
     let scale = Scale::from_env();
     println!("== Cleanup-RL training curve ==");
-    let (_, report) = trained_chatfuzz_generator(scale, 42);
+    let (_, report) = trained_chatfuzz_generator(scale, TRAIN_SEED);
 
     let rows: Vec<Vec<String>> = report
         .cleanup_curve

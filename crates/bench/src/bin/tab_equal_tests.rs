@@ -2,34 +2,27 @@
 //! number of generated tests. Paper: at 1.8 K tests ChatFuzz reaches
 //! 74.96 % vs TheHuzz 67.4 % on RocketCore.
 
-use chatfuzz::fuzz::run_campaign;
 use chatfuzz_baselines::{MutatorConfig, TheHuzz};
 use chatfuzz_bench::{
-    campaign, print_table, rocket_factory, trained_chatfuzz_generator, write_csv, Scale,
+    print_table, rocket_factory, run_budget, trained_chatfuzz_generator, write_csv,
+    write_report_json, Scale, TRAIN_SEED,
 };
 
 fn main() {
     let scale = Scale::from_env();
     // The paper's equal-tests point is 1.8 K; we keep that budget exactly.
     let tests = 1800;
-    let cfg = campaign(tests);
     let factory = rocket_factory();
 
     println!("== Equal-tests comparison on RocketCore ({tests} tests) ==");
     println!("[1/2] training + fuzzing ChatFuzz…");
-    let (mut chatfuzz_gen, _) = trained_chatfuzz_generator(scale, 42);
-    let chatfuzz = run_campaign(&mut chatfuzz_gen, &factory, &cfg);
+    let (mut chatfuzz_gen, _) = trained_chatfuzz_generator(scale, TRAIN_SEED);
+    let chatfuzz = run_budget(&factory, &mut chatfuzz_gen, tests);
     println!("[2/2] fuzzing TheHuzz…");
-    let mut thehuzz_gen = TheHuzz::new(MutatorConfig::default());
-    let thehuzz = run_campaign(&mut thehuzz_gen, &factory, &cfg);
+    let thehuzz = run_budget(&factory, TheHuzz::new(MutatorConfig::default()), tests);
 
     let rows = vec![
-        vec![
-            "paper (1.8K tests)".into(),
-            "74.96".into(),
-            "67.4".into(),
-            "+7.56".into(),
-        ],
+        vec!["paper (1.8K tests)".into(), "74.96".into(), "67.4".into(), "+7.56".into()],
         vec![
             format!("measured ({tests} tests)"),
             format!("{:.2}", chatfuzz.final_coverage_pct),
@@ -42,13 +35,17 @@ fn main() {
         &["row", "ChatFuzz %", "TheHuzz %", "delta"],
         &rows,
     );
-    write_csv("tab_equal_tests", &["row", "chatfuzz_pct", "thehuzz_pct"], &[
-        vec![
+    write_csv(
+        "tab_equal_tests",
+        &["row", "chatfuzz_pct", "thehuzz_pct"],
+        &[vec![
             tests.to_string(),
             format!("{:.2}", chatfuzz.final_coverage_pct),
             format!("{:.2}", thehuzz.final_coverage_pct),
-        ],
-    ]);
+        ]],
+    );
+    write_report_json("tab_equal_tests_chatfuzz", &chatfuzz);
+    write_report_json("tab_equal_tests_thehuzz", &thehuzz);
     assert!(
         chatfuzz.final_coverage_pct > thehuzz.final_coverage_pct,
         "paper shape violated: ChatFuzz must lead at equal tests"

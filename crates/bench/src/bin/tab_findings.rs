@@ -4,35 +4,38 @@
 //! ISA-deviation findings. All five defects are injected in the Rocket
 //! model; this experiment checks the fuzzer rediscovers them.
 
-use chatfuzz::fuzz::run_campaign;
 use chatfuzz::mismatch::KnownBug;
 use chatfuzz_bench::{
-    campaign, print_table, rocket_factory, trained_chatfuzz_generator, write_csv, Scale,
+    print_table, rocket_factory, run_budget, trained_chatfuzz_generator, write_csv,
+    write_report_json, Scale, TRAIN_SEED,
 };
 
 fn main() {
     let scale = Scale::from_env();
     let tests = scale.campaign_tests() * 2;
-    let cfg = campaign(tests);
 
     println!("== Findings on RocketCore ({tests} tests) ==");
     println!("[1/1] training + fuzzing ChatFuzz…");
-    let (mut generator, _) = trained_chatfuzz_generator(scale, 42);
-    let report = run_campaign(&mut generator, &rocket_factory(), &cfg);
+    let (mut generator, _) = trained_chatfuzz_generator(scale, TRAIN_SEED);
+    let report = run_budget(&rocket_factory(), &mut generator, tests);
 
     let mut rows = vec![
         vec!["raw mismatches".into(), "5866".into(), report.raw_mismatches.to_string()],
+        vec!["unique mismatches".into(), ">100".into(), report.unique_mismatches.len().to_string()],
         vec![
-            "unique mismatches".into(),
-            ">100".into(),
-            report.unique_mismatches.len().to_string(),
+            "distinct defects".into(),
+            "5 (2 bugs + 3 findings)".into(),
+            report.bugs.len().to_string(),
         ],
-        vec!["distinct defects".into(), "5 (2 bugs + 3 findings)".into(), report.bugs.len().to_string()],
     ];
     for bug in &report.bugs {
         rows.push(vec!["found".into(), "-".into(), bug.to_string()]);
     }
-    print_table("E6 — mismatch findings (paper vs measured)", &["metric", "paper", "measured"], &rows);
+    print_table(
+        "E6 — mismatch findings (paper vs measured)",
+        &["metric", "paper", "measured"],
+        &rows,
+    );
 
     let unique_rows: Vec<Vec<String>> = report
         .unique_mismatches
@@ -45,14 +48,16 @@ fn main() {
             ]
         })
         .collect();
-    print_table("E6 — unique mismatch clusters", &["signature", "count", "classified"], &unique_rows);
+    print_table(
+        "E6 — unique mismatch clusters",
+        &["signature", "count", "classified"],
+        &unique_rows,
+    );
     write_csv("tab_findings", &["signature", "count", "bug"], &unique_rows);
+    write_report_json("tab_findings", &report);
 
     assert!(report.raw_mismatches > 0, "the buggy Rocket must produce mismatches");
-    for expected in [
-        KnownBug::Bug2TracerMulDiv,
-        KnownBug::Finding3X0Bypass,
-    ] {
+    for expected in [KnownBug::Bug2TracerMulDiv, KnownBug::Finding3X0Bypass] {
         assert!(
             report.bugs.contains(&expected),
             "paper shape violated: {expected} must be rediscovered within the budget"

@@ -1,0 +1,1085 @@
+//! Campaign sessions (paper Fig. 1a, as an owned, steppable object).
+//!
+//! The original entry point was one blocking free function that wired
+//! batching, history sampling, and the stop check by hand. This module
+//! replaces it with a session API:
+//!
+//! * [`CampaignBuilder`] assembles generators, the DUT factory, harness,
+//!   golden model, a [`Scheduler`](chatfuzz_baselines::Scheduler) and any
+//!   [`CampaignObserver`]s, then [`CampaignBuilder::build`] spawns the
+//!   worker pool (the paper's "ten instances of VCS") once for the whole
+//!   session;
+//! * [`Campaign::step_batch`] advances the loop one batch at a time and
+//!   returns the [`BatchOutcome`];
+//! * [`Campaign::run_until`] drives batches until any [`StopCondition`]
+//!   triggers — test budget, simulated-cycle budget, wall-clock deadline,
+//!   target coverage, or a coverage plateau;
+//! * [`Campaign::snapshot`] / [`CampaignBuilder::resume`] checkpoint and
+//!   continue long runs;
+//! * multiple generators are multiplexed by a pluggable scheduler
+//!   (round-robin, or the MABFuzz-style epsilon-greedy bandit rewarded
+//!   with incremental coverage per test).
+//!
+//! The legacy [`run_campaign`](crate::fuzz::run_campaign) survives as a
+//! thin wrapper over `run_until(&[StopCondition::Tests(..)])`.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use chatfuzz_baselines::{Feedback, InputGenerator, RoundRobin, Scheduler};
+use chatfuzz_coverage::{Calculator, CovMap, PointKind};
+use chatfuzz_rtl::{Dut, DutRun};
+use chatfuzz_softcore::trace::Trace;
+use chatfuzz_softcore::{SoftCore, SoftCoreConfig};
+use crossbeam::channel::{self, Receiver, Sender};
+
+use crate::harness::{wrap, HarnessConfig};
+use crate::mismatch::{diff_traces, KnownBug, MismatchLog, UniqueMismatch};
+
+/// A shared, thread-safe DUT constructor: one DUT is built per worker and
+/// lives for the whole session. All instances must elaborate identical
+/// coverage spaces (guaranteed for the deterministic cores in
+/// `chatfuzz-rtl`).
+pub type DutFactory = Arc<dyn Fn() -> Box<dyn Dut> + Send + Sync>;
+
+/// Campaign parameters (everything except *when to stop*, which
+/// [`Campaign::run_until`] takes per call).
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Total test inputs to run. Only consulted by the legacy
+    /// [`run_campaign`](crate::fuzz::run_campaign) wrapper, which maps it
+    /// to [`StopCondition::Tests`]; session users pass stop conditions
+    /// directly.
+    pub total_tests: usize,
+    /// Inputs per batch (one Coverage-Calculator batch).
+    pub batch_size: usize,
+    /// Parallel simulation workers (the paper's "ten instances of VCS").
+    pub workers: usize,
+    /// Harness wrapped around each input.
+    pub harness: HarnessConfig,
+    /// Golden-model configuration (budgets must match the DUT's).
+    pub golden: SoftCoreConfig,
+    /// Run the golden model + mismatch detector.
+    pub detect_mismatches: bool,
+    /// Retained for compatibility with the legacy config shape; the
+    /// session records exact history (every coverage-advancing input plus
+    /// the endpoint), so sub-sampling no longer exists. Use a
+    /// [`CampaignObserver`] for custom progress sampling.
+    pub history_every: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            total_tests: 512,
+            batch_size: 32,
+            workers: 10,
+            harness: HarnessConfig::default(),
+            golden: SoftCoreConfig::default(),
+            detect_mismatches: true,
+            history_every: 64,
+        }
+    }
+}
+
+/// When a campaign should stop (checked before every batch, in the order
+/// given to [`Campaign::run_until`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCondition {
+    /// Total tests executed reach the budget. The final batch is clamped
+    /// so the budget is hit exactly.
+    Tests(usize),
+    /// Total simulated DUT cycles reach the budget.
+    SimCycles(u64),
+    /// Wall-clock since the session started (including time accumulated
+    /// before a [`CampaignSnapshot`]) reaches the deadline.
+    WallClock(Duration),
+    /// Cumulative condition coverage reaches the given percentage.
+    CoveragePct(f64),
+    /// No new coverage bins for this many consecutive batches.
+    Plateau(usize),
+}
+
+/// One coverage-over-time sample.
+///
+/// History is exact: a point is recorded for every input that advanced
+/// cumulative coverage (so `tests_to_reach`/`cycles_to_reach` report the
+/// true first crossing), plus one endpoint per `run_until`.
+#[derive(Debug, Clone, Copy)]
+pub struct CoveragePoint {
+    /// Tests executed up to and including the advancing input.
+    pub tests: usize,
+    /// Cumulative covered bins.
+    pub covered_bins: usize,
+    /// Cumulative condition coverage percentage.
+    pub coverage_pct: f64,
+    /// Total simulated DUT cycles so far.
+    pub sim_cycles: u64,
+    /// Wall-clock since campaign start.
+    pub wall: Duration,
+}
+
+/// Per-generator session statistics (fed by the scheduler loop).
+#[derive(Debug, Clone)]
+pub struct GeneratorStats {
+    /// Generator name.
+    pub name: String,
+    /// Batches this generator produced.
+    pub batches: usize,
+    /// Tests this generator produced.
+    pub tests: usize,
+    /// Coverage bins first reached by this generator's batches.
+    pub new_bins: usize,
+    /// Simulated cycles spent on this generator's tests.
+    pub cycles: u64,
+}
+
+impl GeneratorStats {
+    /// The scheduler's reward view: new bins per test.
+    pub fn reward_rate(&self) -> f64 {
+        if self.tests == 0 {
+            0.0
+        } else {
+            self.new_bins as f64 / self.tests as f64
+        }
+    }
+}
+
+/// Everything one batch produced; handed to every [`CampaignObserver`]
+/// and returned by [`Campaign::step_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// 0-based batch number within the session.
+    pub batch_index: usize,
+    /// Which generator produced the batch.
+    pub generator_index: usize,
+    /// That generator's name.
+    pub generator: String,
+    /// Tests in this batch.
+    pub tests: usize,
+    /// Cumulative tests after this batch.
+    pub tests_total: usize,
+    /// Coverage bins first reached by this batch.
+    pub new_bins: usize,
+    /// Cumulative covered bins after this batch.
+    pub covered_bins: usize,
+    /// Cumulative coverage percentage after this batch.
+    pub coverage_pct: f64,
+    /// Simulated cycles consumed by this batch.
+    pub batch_cycles: u64,
+    /// Cumulative simulated cycles after this batch.
+    pub total_cycles: u64,
+    /// Raw mismatches recorded by this batch.
+    pub new_mismatches: usize,
+    /// Cumulative raw mismatches after this batch.
+    pub total_mismatches: usize,
+    /// Per-input coverage feedback (what the generator observed).
+    pub feedback: Vec<Feedback>,
+    /// Wall-clock since campaign start.
+    pub wall: Duration,
+}
+
+/// Receives per-batch progress events — the replacement for the old
+/// hard-coded `history_every` sampling. Attach with
+/// [`CampaignBuilder::observer`].
+pub trait CampaignObserver: Send {
+    /// Called after every batch, in attachment order.
+    fn on_batch(&mut self, outcome: &BatchOutcome);
+}
+
+impl<F: FnMut(&BatchOutcome) + Send> CampaignObserver for F {
+    fn on_batch(&mut self, outcome: &BatchOutcome) {
+        self(outcome)
+    }
+}
+
+/// Campaign results.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Generator name (names joined with `+` for multi-generator
+    /// sessions).
+    pub generator: String,
+    /// DUT name.
+    pub dut: String,
+    /// Coverage-over-time history (exact crossings; ends with the final
+    /// point).
+    pub history: Vec<CoveragePoint>,
+    /// Final cumulative coverage percentage.
+    pub final_coverage_pct: f64,
+    /// Tests executed.
+    pub tests_run: usize,
+    /// Batches executed.
+    pub batches_run: usize,
+    /// Raw mismatch count (before clustering).
+    pub raw_mismatches: usize,
+    /// Unique mismatch clusters.
+    pub unique_mismatches: Vec<UniqueMismatch>,
+    /// Known defects evidenced.
+    pub bugs: Vec<KnownBug>,
+    /// Total simulated DUT cycles.
+    pub total_cycles: u64,
+    /// Total wall-clock time.
+    pub wall: Duration,
+    /// Per-generator scheduling statistics.
+    pub generator_stats: Vec<GeneratorStats>,
+    /// Which stop condition ended the last `run_until`, if one has run.
+    pub stopped_by: Option<StopCondition>,
+}
+
+impl CampaignReport {
+    /// Tests needed to first reach `pct` coverage, if ever reached.
+    ///
+    /// Exact to the input: the session records a history point for every
+    /// coverage-advancing test, so a crossing can no longer hide between
+    /// sampling intervals.
+    pub fn tests_to_reach(&self, pct: f64) -> Option<usize> {
+        self.history.iter().find(|p| p.coverage_pct >= pct).map(|p| p.tests)
+    }
+
+    /// Simulated cycles needed to first reach `pct` coverage.
+    pub fn cycles_to_reach(&self, pct: f64) -> Option<u64> {
+        self.history.iter().find(|p| p.coverage_pct >= pct).map(|p| p.sim_cycles)
+    }
+}
+
+/// A resumable checkpoint of everything the campaign accumulated:
+/// coverage state, mismatch clusters, history, per-generator statistics,
+/// and counters.
+///
+/// Generator and scheduler *internal* state is not captured — trait
+/// objects carry arbitrary state; rebuild them (deterministic generators
+/// replay from their seed) and hand the snapshot to
+/// [`CampaignBuilder::resume`]. The rebuilt generator line-up must match
+/// the snapshot's (same names, same order).
+#[derive(Debug, Clone)]
+pub struct CampaignSnapshot {
+    dut: String,
+    calculator: Calculator,
+    log: MismatchLog,
+    history: Vec<CoveragePoint>,
+    gen_stats: Vec<GeneratorStats>,
+    tests_run: usize,
+    batches_run: usize,
+    total_cycles: u64,
+    batches_since_gain: usize,
+    wall: Duration,
+}
+
+impl CampaignSnapshot {
+    /// Tests executed up to the checkpoint.
+    pub fn tests_run(&self) -> usize {
+        self.tests_run
+    }
+
+    /// Cumulative coverage percentage at the checkpoint.
+    pub fn coverage_pct(&self) -> f64 {
+        self.calculator.total_percent()
+    }
+
+    /// Cumulative coverage map at the checkpoint.
+    pub fn coverage(&self) -> &CovMap {
+        self.calculator.total()
+    }
+}
+
+struct Job {
+    index: usize,
+    image: Vec<u8>,
+}
+
+struct JobResult {
+    index: usize,
+    run: DutRun,
+    golden: Option<Trace>,
+}
+
+/// Assembles a [`Campaign`].
+///
+/// Minimal use:
+///
+/// ```
+/// use chatfuzz::campaign::{CampaignBuilder, StopCondition};
+/// use chatfuzz_baselines::{MutatorConfig, TheHuzz};
+/// use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
+///
+/// let mut campaign = CampaignBuilder::new(|| {
+///     Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>
+/// })
+/// .generator(TheHuzz::new(MutatorConfig::default()))
+/// .workers(2)
+/// .build();
+/// let report = campaign.run_until(&[StopCondition::Tests(32)]);
+/// assert_eq!(report.tests_run, 32);
+/// ```
+pub struct CampaignBuilder<'g> {
+    factory: DutFactory,
+    cfg: CampaignConfig,
+    generators: Vec<Box<dyn InputGenerator + 'g>>,
+    scheduler: Box<dyn Scheduler + 'g>,
+    observers: Vec<Box<dyn CampaignObserver + 'g>>,
+    resume_from: Option<CampaignSnapshot>,
+}
+
+impl<'g> CampaignBuilder<'g> {
+    /// Starts a builder around a DUT constructor.
+    pub fn new(factory: impl Fn() -> Box<dyn Dut> + Send + Sync + 'static) -> CampaignBuilder<'g> {
+        CampaignBuilder::from_factory(Arc::new(factory))
+    }
+
+    /// Starts a builder around an already-shared DUT factory.
+    pub fn from_factory(factory: DutFactory) -> CampaignBuilder<'g> {
+        CampaignBuilder {
+            factory,
+            cfg: CampaignConfig::default(),
+            generators: Vec::new(),
+            scheduler: Box::new(RoundRobin::new()),
+            observers: Vec::new(),
+            resume_from: None,
+        }
+    }
+
+    /// Replaces the whole parameter block at once.
+    pub fn config(mut self, cfg: CampaignConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Inputs per batch.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.cfg.batch_size = n;
+        self
+    }
+
+    /// Parallel simulation workers.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    /// Enables or disables the golden model + mismatch detector.
+    pub fn detect_mismatches(mut self, on: bool) -> Self {
+        self.cfg.detect_mismatches = on;
+        self
+    }
+
+    /// Harness wrapped around every input.
+    pub fn harness(mut self, harness: HarnessConfig) -> Self {
+        self.cfg.harness = harness;
+        self
+    }
+
+    /// Golden-model configuration.
+    pub fn golden(mut self, golden: SoftCoreConfig) -> Self {
+        self.cfg.golden = golden;
+        self
+    }
+
+    /// Adds an input generator (repeatable; batches are multiplexed by
+    /// the scheduler).
+    pub fn generator(mut self, generator: impl InputGenerator + 'g) -> Self {
+        self.generators.push(Box::new(generator));
+        self
+    }
+
+    /// Adds an already-boxed generator.
+    pub fn generator_boxed(mut self, generator: Box<dyn InputGenerator + 'g>) -> Self {
+        self.generators.push(generator);
+        self
+    }
+
+    /// Sets the generator scheduler (default: round-robin).
+    pub fn scheduler(mut self, scheduler: impl Scheduler + 'g) -> Self {
+        self.scheduler = Box::new(scheduler);
+        self
+    }
+
+    /// Attaches a per-batch observer (repeatable). Plain
+    /// `FnMut(&BatchOutcome)` closures qualify.
+    pub fn observer(mut self, observer: impl CampaignObserver + 'g) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Continues from a checkpoint instead of a fresh state. The factory
+    /// must elaborate the same coverage space the snapshot was taken
+    /// from.
+    pub fn resume(mut self, snapshot: CampaignSnapshot) -> Self {
+        self.resume_from = Some(snapshot);
+        self
+    }
+
+    /// Probes the DUT, restores or initialises state, and spawns the
+    /// worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no generator was added, if `workers == 0` or
+    /// `batch_size == 0`, or if a resume snapshot's coverage space does
+    /// not match the DUT's.
+    pub fn build(self) -> Campaign<'g> {
+        assert!(!self.generators.is_empty(), "campaign needs at least one generator");
+        assert!(self.cfg.workers > 0 && self.cfg.batch_size > 0, "degenerate campaign config");
+
+        let probe = (self.factory)();
+        let space = probe.space().clone();
+        let dut_name = probe.name().to_string();
+        drop(probe);
+
+        let fresh_stats = || {
+            self.generators
+                .iter()
+                .map(|g| GeneratorStats {
+                    name: g.name().to_string(),
+                    batches: 0,
+                    tests: 0,
+                    new_bins: 0,
+                    cycles: 0,
+                })
+                .collect::<Vec<_>>()
+        };
+        let (
+            calculator,
+            log,
+            history,
+            gen_stats,
+            tests_run,
+            batches_run,
+            total_cycles,
+            since_gain,
+            wall,
+        ) = match self.resume_from {
+            Some(snapshot) => {
+                assert_eq!(
+                    snapshot.calculator.total().space().fingerprint(),
+                    space.fingerprint(),
+                    "resume snapshot was taken on a different coverage space"
+                );
+                assert_eq!(snapshot.dut, dut_name, "resume snapshot was taken on a different DUT");
+                let names: Vec<&str> = self.generators.iter().map(|g| g.name()).collect();
+                let snapshot_names: Vec<&str> =
+                    snapshot.gen_stats.iter().map(|s| s.name.as_str()).collect();
+                assert_eq!(
+                    names, snapshot_names,
+                    "resume snapshot was taken with a different generator line-up"
+                );
+                (
+                    snapshot.calculator,
+                    snapshot.log,
+                    snapshot.history,
+                    snapshot.gen_stats,
+                    snapshot.tests_run,
+                    snapshot.batches_run,
+                    snapshot.total_cycles,
+                    snapshot.batches_since_gain,
+                    snapshot.wall,
+                )
+            }
+            None => (
+                Calculator::new(&space),
+                MismatchLog::new(),
+                Vec::new(),
+                fresh_stats(),
+                0,
+                0,
+                0,
+                0,
+                Duration::ZERO,
+            ),
+        };
+
+        let (job_tx, job_rx) = channel::unbounded::<Job>();
+        let (result_tx, result_rx) = channel::unbounded::<JobResult>();
+        let workers = (0..self.cfg.workers)
+            .map(|_| {
+                let factory = Arc::clone(&self.factory);
+                let job_rx = job_rx.clone();
+                let result_tx = result_tx.clone();
+                let golden_cfg = self.cfg.golden;
+                let detect = self.cfg.detect_mismatches;
+                std::thread::spawn(move || {
+                    let mut dut = factory();
+                    let golden = SoftCore::new(golden_cfg);
+                    while let Ok(job) = job_rx.recv() {
+                        let run = dut.run(&job.image);
+                        let golden_trace = detect.then(|| golden.run(&job.image));
+                        let result = JobResult { index: job.index, run, golden: golden_trace };
+                        if result_tx.send(result).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        // The workers own their clones; dropping ours means a dead pool
+        // surfaces as a recv error instead of a deadlock.
+        drop(result_tx);
+        drop(job_rx);
+
+        let covered_last = calculator.total_covered();
+
+        Campaign {
+            cfg: self.cfg,
+            dut_name,
+            generators: self.generators,
+            gen_stats,
+            scheduler: self.scheduler,
+            observers: self.observers,
+            calculator,
+            log,
+            history,
+            covered_last,
+            tests_run,
+            batches_run,
+            total_cycles,
+            batches_since_gain: since_gain,
+            wall_offset: wall,
+            started: Instant::now(),
+            stopped_by: None,
+            job_tx: Some(job_tx),
+            result_rx,
+            workers,
+        }
+    }
+}
+
+/// A live fuzzing session: owned worker pool, accumulated coverage and
+/// mismatch state, steppable batch by batch. Built by [`CampaignBuilder`];
+/// workers shut down on drop.
+pub struct Campaign<'g> {
+    cfg: CampaignConfig,
+    dut_name: String,
+    generators: Vec<Box<dyn InputGenerator + 'g>>,
+    gen_stats: Vec<GeneratorStats>,
+    scheduler: Box<dyn Scheduler + 'g>,
+    observers: Vec<Box<dyn CampaignObserver + 'g>>,
+    calculator: Calculator,
+    log: MismatchLog,
+    history: Vec<CoveragePoint>,
+    /// Covered bins at the last recorded history point.
+    covered_last: usize,
+    tests_run: usize,
+    batches_run: usize,
+    total_cycles: u64,
+    batches_since_gain: usize,
+    /// Wall time accumulated before this session (resume).
+    wall_offset: Duration,
+    started: Instant,
+    stopped_by: Option<StopCondition>,
+    job_tx: Option<Sender<Job>>,
+    result_rx: Receiver<JobResult>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<'g> Campaign<'g> {
+    /// Tests executed so far.
+    pub fn tests_run(&self) -> usize {
+        self.tests_run
+    }
+
+    /// Batches executed so far.
+    pub fn batches_run(&self) -> usize {
+        self.batches_run
+    }
+
+    /// Cumulative coverage percentage.
+    pub fn coverage_pct(&self) -> f64 {
+        self.calculator.total_percent()
+    }
+
+    /// Total simulated DUT cycles so far.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Wall-clock for the whole session, resume-aware.
+    pub fn wall(&self) -> Duration {
+        self.wall_offset + self.started.elapsed()
+    }
+
+    /// Per-generator statistics.
+    pub fn generator_stats(&self) -> &[GeneratorStats] {
+        &self.gen_stats
+    }
+
+    /// Runs one batch of `config.batch_size` tests.
+    pub fn step_batch(&mut self) -> BatchOutcome {
+        self.step_batch_of(self.cfg.batch_size)
+    }
+
+    /// Runs one batch of exactly `n` tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the worker pool died.
+    pub fn step_batch_of(&mut self, n: usize) -> BatchOutcome {
+        assert!(n > 0, "empty batch");
+        let arm = self.scheduler.pick(self.generators.len());
+        assert!(
+            arm < self.generators.len(),
+            "scheduler picked generator {arm} of {}",
+            self.generators.len()
+        );
+
+        let batch = self.generators[arm].next_batch(n);
+        assert_eq!(batch.len(), n, "generator returned a short batch");
+        let job_tx = self.job_tx.as_ref().expect("worker pool alive");
+        for (index, body) in batch.iter().enumerate() {
+            let image = wrap(body, self.cfg.harness);
+            job_tx.send(Job { index, image }).expect("workers alive");
+        }
+
+        // Collect once, then restore submission order; worker scheduling
+        // cannot influence results after this point.
+        let mut results: Vec<JobResult> =
+            (0..n).map(|_| self.result_rx.recv().expect("workers alive")).collect();
+        results.sort_unstable_by_key(|r| r.index);
+
+        let cycles_before = self.total_cycles;
+        let raw_before = self.log.raw_count();
+        let mut covs: Vec<CovMap> = Vec::with_capacity(n);
+        let mut mux: Vec<usize> = Vec::with_capacity(n);
+        let mut cycles_at: Vec<u64> = Vec::with_capacity(n);
+        for JobResult { run, golden, .. } in results {
+            let DutRun { trace, coverage, cycles } = run;
+            self.total_cycles += cycles;
+            cycles_at.push(self.total_cycles);
+            mux.push(coverage.covered_bins_of_kind(PointKind::MuxSelect));
+            if let Some(golden_trace) = &golden {
+                self.log.record(diff_traces(golden_trace, &trace));
+            }
+            covs.push(coverage);
+        }
+
+        let scores = self.calculator.score_batch(&covs);
+        let feedback: Vec<Feedback> = scores
+            .inputs
+            .iter()
+            .zip(&mux)
+            .map(|(s, m)| Feedback {
+                standalone: s.standalone,
+                incremental: s.incremental,
+                mux_covered: *m,
+                total_after: s.total_after,
+                total_bins: s.total_bins,
+            })
+            .collect();
+        self.generators[arm].observe(&batch, &feedback);
+
+        // Exact history: one point per coverage-advancing input.
+        let wall = self.wall();
+        for (i, (input, &sim_cycles)) in scores.inputs.iter().zip(&cycles_at).enumerate() {
+            if input.total_after > self.covered_last {
+                self.covered_last = input.total_after;
+                self.history.push(CoveragePoint {
+                    tests: self.tests_run + i + 1,
+                    covered_bins: input.total_after,
+                    coverage_pct: input.total_percent(),
+                    sim_cycles,
+                    wall,
+                });
+            }
+        }
+
+        self.tests_run += n;
+        let batch_index = self.batches_run;
+        self.batches_run += 1;
+        if scores.batch_gain > 0 {
+            self.batches_since_gain = 0;
+        } else {
+            self.batches_since_gain += 1;
+        }
+        // MABFuzz-style reward: incremental coverage per test.
+        self.scheduler.update(arm, scores.batch_gain as f64 / n as f64);
+        let stats = &mut self.gen_stats[arm];
+        stats.batches += 1;
+        stats.tests += n;
+        stats.new_bins += scores.batch_gain;
+        stats.cycles += self.total_cycles - cycles_before;
+
+        let outcome = BatchOutcome {
+            batch_index,
+            generator_index: arm,
+            generator: self.gen_stats[arm].name.clone(),
+            tests: n,
+            tests_total: self.tests_run,
+            new_bins: scores.batch_gain,
+            covered_bins: scores.total_after,
+            coverage_pct: self.calculator.total_percent(),
+            batch_cycles: self.total_cycles - cycles_before,
+            total_cycles: self.total_cycles,
+            new_mismatches: self.log.raw_count() - raw_before,
+            total_mismatches: self.log.raw_count(),
+            feedback,
+            wall,
+        };
+        for observer in &mut self.observers {
+            observer.on_batch(&outcome);
+        }
+        outcome
+    }
+
+    /// Runs batches until any stop condition triggers, then returns the
+    /// report. Resumable: call again with new conditions to continue the
+    /// same session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stops` is empty or contains the unsatisfiable
+    /// `Plateau(0)` (either way the campaign could never return).
+    pub fn run_until(&mut self, stops: &[StopCondition]) -> CampaignReport {
+        assert!(!stops.is_empty(), "no stop condition — the campaign would never end");
+        assert!(
+            !stops.contains(&StopCondition::Plateau(0)),
+            "Plateau(0) never triggers — use Plateau(1) to stop after the first \
+             gainless batch"
+        );
+        loop {
+            if let Some(reason) = self.stop_reason(stops) {
+                self.stopped_by = Some(reason);
+                break;
+            }
+            let n = self.next_batch_size(stops);
+            self.step_batch_of(n);
+        }
+        self.push_endpoint();
+        self.report()
+    }
+
+    /// The first stop condition currently satisfied, if any.
+    pub fn stop_reason(&self, stops: &[StopCondition]) -> Option<StopCondition> {
+        stops.iter().copied().find(|stop| match *stop {
+            StopCondition::Tests(budget) => self.tests_run >= budget,
+            StopCondition::SimCycles(budget) => self.total_cycles >= budget,
+            StopCondition::WallClock(deadline) => self.wall() >= deadline,
+            StopCondition::CoveragePct(pct) => self.calculator.total_percent() >= pct,
+            StopCondition::Plateau(batches) => batches > 0 && self.batches_since_gain >= batches,
+        })
+    }
+
+    /// Batch size for the next step, clamped so a test budget is hit
+    /// exactly.
+    fn next_batch_size(&self, stops: &[StopCondition]) -> usize {
+        let mut n = self.cfg.batch_size;
+        for stop in stops {
+            if let StopCondition::Tests(budget) = stop {
+                n = n.min(budget.saturating_sub(self.tests_run));
+            }
+        }
+        n.max(1)
+    }
+
+    /// Records the session endpoint in the history (idempotent per test
+    /// count; keeps `tests` strictly increasing).
+    fn push_endpoint(&mut self) {
+        if self.tests_run == 0 {
+            return;
+        }
+        if self.history.last().map(|p| p.tests) == Some(self.tests_run) {
+            return;
+        }
+        self.history.push(CoveragePoint {
+            tests: self.tests_run,
+            covered_bins: self.calculator.total_covered(),
+            coverage_pct: self.calculator.total_percent(),
+            sim_cycles: self.total_cycles,
+            wall: self.wall(),
+        });
+    }
+
+    /// The report for everything accumulated so far (callable at any
+    /// point of the session).
+    pub fn report(&self) -> CampaignReport {
+        let generator =
+            self.gen_stats.iter().map(|s| s.name.as_str()).collect::<Vec<_>>().join("+");
+        CampaignReport {
+            generator,
+            dut: self.dut_name.clone(),
+            history: self.history.clone(),
+            final_coverage_pct: self.calculator.total_percent(),
+            tests_run: self.tests_run,
+            batches_run: self.batches_run,
+            raw_mismatches: self.log.raw_count(),
+            unique_mismatches: self.log.unique().into_iter().cloned().collect(),
+            bugs: self.log.bugs_found(),
+            total_cycles: self.total_cycles,
+            wall: self.wall(),
+            generator_stats: self.gen_stats.clone(),
+            stopped_by: self.stopped_by,
+        }
+    }
+
+    /// Checkpoints the campaign's accumulated state. Pair with
+    /// [`CampaignBuilder::resume`] to continue in a later session.
+    pub fn snapshot(&self) -> CampaignSnapshot {
+        CampaignSnapshot {
+            dut: self.dut_name.clone(),
+            calculator: self.calculator.clone(),
+            log: self.log.clone(),
+            history: self.history.clone(),
+            gen_stats: self.gen_stats.clone(),
+            tests_run: self.tests_run,
+            batches_run: self.batches_run,
+            total_cycles: self.total_cycles,
+            batches_since_gain: self.batches_since_gain,
+            wall: self.wall(),
+        }
+    }
+}
+
+impl Drop for Campaign<'_> {
+    fn drop(&mut self) {
+        // Closing the job channel releases the workers.
+        drop(self.job_tx.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chatfuzz_baselines::{EpsilonGreedy, MutatorConfig, RandomRegression, TheHuzz};
+    use chatfuzz_rtl::{BugConfig, Rocket, RocketConfig};
+
+    fn rocket_factory(bugs: BugConfig) -> DutFactory {
+        Arc::new(move || {
+            Box::new(Rocket::new(RocketConfig { bugs, ..Default::default() })) as Box<dyn Dut>
+        })
+    }
+
+    fn small_builder<'g>() -> CampaignBuilder<'g> {
+        CampaignBuilder::from_factory(rocket_factory(BugConfig::all_on())).batch_size(16).workers(4)
+    }
+
+    #[test]
+    fn step_batch_accumulates_and_reports() {
+        let mut campaign =
+            small_builder().generator(TheHuzz::new(MutatorConfig::default())).build();
+        let first = campaign.step_batch();
+        assert_eq!(first.tests, 16);
+        assert_eq!(first.tests_total, 16);
+        assert!(first.new_bins > 0, "a first batch always finds bins");
+        assert_eq!(first.generator, "thehuzz");
+        let second = campaign.step_batch();
+        assert_eq!(second.tests_total, 32);
+        assert!(second.covered_bins >= first.covered_bins);
+        assert_eq!(campaign.tests_run(), 32);
+        assert_eq!(campaign.batches_run(), 2);
+    }
+
+    #[test]
+    fn run_until_tests_budget_is_exact_even_off_batch() {
+        let mut campaign =
+            small_builder().generator(TheHuzz::new(MutatorConfig::default())).build();
+        let report = campaign.run_until(&[StopCondition::Tests(40)]);
+        assert_eq!(report.tests_run, 40, "16 + 16 + clamped 8");
+        assert_eq!(report.stopped_by, Some(StopCondition::Tests(40)));
+        assert_eq!(report.batches_run, 3);
+    }
+
+    #[test]
+    fn run_until_is_resumable_and_wall_accumulates() {
+        let mut campaign =
+            small_builder().generator(TheHuzz::new(MutatorConfig::default())).build();
+        let first = campaign.run_until(&[StopCondition::Tests(16)]);
+        assert_eq!(first.tests_run, 16);
+        let second = campaign.run_until(&[StopCondition::Tests(48)]);
+        assert_eq!(second.tests_run, 48);
+        assert!(second.final_coverage_pct >= first.final_coverage_pct);
+        assert!(second.wall >= first.wall);
+    }
+
+    #[test]
+    fn history_records_exact_first_crossings() {
+        let mut campaign =
+            small_builder().generator(TheHuzz::new(MutatorConfig::default())).build();
+        let report = campaign.run_until(&[StopCondition::Tests(48)]);
+        // Strictly increasing tests and monotone coverage.
+        for pair in report.history.windows(2) {
+            assert!(pair[1].tests > pair[0].tests);
+            assert!(pair[1].covered_bins >= pair[0].covered_bins);
+        }
+        // The first point is the first *input* that covered anything — in
+        // a 16-test batch that is input #1, not the batch boundary.
+        assert_eq!(report.history[0].tests, 1, "first crossing is input-exact");
+        // Any threshold between two consecutive points resolves to the
+        // exact crossing test, not a later sampling point.
+        let target = report.history[0].coverage_pct;
+        assert_eq!(report.tests_to_reach(target), Some(report.history[0].tests));
+    }
+
+    #[test]
+    fn observers_see_every_batch() {
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&events);
+        let mut campaign = small_builder()
+            .generator(TheHuzz::new(MutatorConfig::default()))
+            .observer(move |outcome: &BatchOutcome| {
+                sink.lock().unwrap().push((outcome.batch_index, outcome.tests_total));
+            })
+            .build();
+        campaign.run_until(&[StopCondition::Tests(48)]);
+        let seen = events.lock().unwrap().clone();
+        assert_eq!(seen, vec![(0, 16), (1, 32), (2, 48)]);
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run() {
+        let factory = rocket_factory(BugConfig::all_on());
+        // Uninterrupted reference.
+        let mut reference = CampaignBuilder::from_factory(Arc::clone(&factory))
+            .batch_size(16)
+            .workers(4)
+            .generator(RandomRegression::new(5, 16))
+            .build();
+        let expected = reference.run_until(&[StopCondition::Tests(64)]);
+
+        // Same campaign, checkpointed halfway. RandomRegression ignores
+        // feedback, so recreating it and skipping the consumed batches
+        // reproduces the second half's inputs.
+        let mut first_half = CampaignBuilder::from_factory(Arc::clone(&factory))
+            .batch_size(16)
+            .workers(4)
+            .generator(RandomRegression::new(5, 16))
+            .build();
+        first_half.run_until(&[StopCondition::Tests(32)]);
+        let snapshot = first_half.snapshot();
+        assert_eq!(snapshot.tests_run(), 32);
+        drop(first_half);
+
+        let mut generator = RandomRegression::new(5, 16);
+        let _skip = generator.next_batch(32); // replay the consumed half
+        let mut resumed = CampaignBuilder::from_factory(factory)
+            .batch_size(16)
+            .workers(4)
+            .generator(generator)
+            .resume(snapshot)
+            .build();
+        let report = resumed.run_until(&[StopCondition::Tests(64)]);
+
+        assert_eq!(report.tests_run, expected.tests_run);
+        assert_eq!(report.final_coverage_pct, expected.final_coverage_pct);
+        assert_eq!(report.raw_mismatches, expected.raw_mismatches);
+        assert_eq!(report.total_cycles, expected.total_cycles);
+        assert_eq!(
+            report.history.iter().map(|p| (p.tests, p.covered_bins)).collect::<Vec<_>>(),
+            expected.history.iter().map(|p| (p.tests, p.covered_bins)).collect::<Vec<_>>(),
+        );
+        // Per-generator stats survive the checkpoint: both halves count.
+        assert_eq!(report.generator_stats[0].tests, 64);
+        assert_eq!(report.generator_stats[0].batches, 4);
+        assert_eq!(report.generator_stats[0].new_bins, expected.generator_stats[0].new_bins);
+    }
+
+    #[test]
+    #[should_panic(expected = "different generator line-up")]
+    fn resume_with_mismatched_generators_panics() {
+        let factory = rocket_factory(BugConfig::all_on());
+        let mut first = CampaignBuilder::from_factory(Arc::clone(&factory))
+            .batch_size(16)
+            .workers(2)
+            .generator(RandomRegression::new(5, 16))
+            .build();
+        first.step_batch();
+        let snapshot = first.snapshot();
+        drop(first);
+        CampaignBuilder::from_factory(factory)
+            .generator(TheHuzz::new(MutatorConfig::default()))
+            .resume(snapshot)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "Plateau(0) never triggers")]
+    fn run_until_rejects_unsatisfiable_plateau() {
+        let mut campaign = small_builder().generator(RandomRegression::new(5, 16)).build();
+        campaign.run_until(&[StopCondition::Plateau(0)]);
+    }
+
+    #[test]
+    fn multi_generator_round_robin_interleaves_and_tracks_stats() {
+        let mut campaign = small_builder()
+            .generator(TheHuzz::new(MutatorConfig::default()))
+            .generator(RandomRegression::new(5, 16))
+            .build();
+        let report = campaign.run_until(&[StopCondition::Tests(64)]);
+        assert_eq!(report.generator, "thehuzz+random");
+        assert_eq!(report.generator_stats.len(), 2);
+        assert_eq!(report.generator_stats[0].batches, 2);
+        assert_eq!(report.generator_stats[1].batches, 2);
+        assert_eq!(report.generator_stats[0].tests, 32);
+        assert!(report.generator_stats[0].new_bins > 0);
+    }
+
+    #[test]
+    fn epsilon_greedy_schedules_toward_the_paying_generator() {
+        let mut campaign = small_builder()
+            .generator(TheHuzz::new(MutatorConfig::default()))
+            .generator(RandomRegression::new(5, 16))
+            .scheduler(EpsilonGreedy::new(3, 0.2))
+            .build();
+        let report = campaign.run_until(&[StopCondition::Tests(12 * 16)]);
+        let stats = &report.generator_stats;
+        assert_eq!(stats.iter().map(|s| s.batches).sum::<usize>(), 12);
+        // Both arms were tried at least once; totals add up.
+        assert!(stats.iter().all(|s| s.batches >= 1));
+        assert_eq!(stats.iter().map(|s| s.tests).sum::<usize>(), report.tests_run);
+    }
+
+    #[test]
+    fn plateau_and_coverage_stops_trigger() {
+        // A bug-free Rocket saturates early with random inputs, so a
+        // plateau stop fires long before a huge test budget.
+        let mut campaign = CampaignBuilder::from_factory(rocket_factory(BugConfig::all_off()))
+            .batch_size(16)
+            .workers(4)
+            .detect_mismatches(false)
+            .generator(RandomRegression::new(5, 16))
+            .build();
+        let report =
+            campaign.run_until(&[StopCondition::Tests(100_000), StopCondition::Plateau(3)]);
+        assert_eq!(report.stopped_by, Some(StopCondition::Plateau(3)));
+        assert!(report.tests_run < 100_000);
+
+        // Coverage stop: ask for a level the first batches exceed.
+        let mut campaign2 = small_builder()
+            .detect_mismatches(false)
+            .generator(TheHuzz::new(MutatorConfig::default()))
+            .build();
+        let report2 =
+            campaign2.run_until(&[StopCondition::Tests(100_000), StopCondition::CoveragePct(10.0)]);
+        assert_eq!(report2.stopped_by, Some(StopCondition::CoveragePct(10.0)));
+        assert!(report2.final_coverage_pct >= 10.0);
+    }
+
+    #[test]
+    fn cycle_budget_stops_the_session() {
+        let mut campaign = small_builder()
+            .detect_mismatches(false)
+            .generator(TheHuzz::new(MutatorConfig::default()))
+            .build();
+        let probe = campaign.step_batch();
+        let budget = probe.total_cycles + probe.batch_cycles; // ~2 more batches
+        let report =
+            campaign.run_until(&[StopCondition::Tests(100_000), StopCondition::SimCycles(budget)]);
+        assert_eq!(report.stopped_by, Some(StopCondition::SimCycles(budget)));
+        assert!(report.total_cycles >= budget);
+        assert!(report.tests_run < 100_000);
+    }
+
+    #[test]
+    fn wall_clock_deadline_stops_the_session() {
+        let mut campaign = small_builder()
+            .detect_mismatches(false)
+            .generator(TheHuzz::new(MutatorConfig::default()))
+            .build();
+        let report = campaign.run_until(&[
+            StopCondition::Tests(100_000_000),
+            StopCondition::WallClock(Duration::from_millis(200)),
+        ]);
+        assert_eq!(report.stopped_by, Some(StopCondition::WallClock(Duration::from_millis(200))));
+        assert!(report.wall >= Duration::from_millis(200));
+    }
+}

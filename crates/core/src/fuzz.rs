@@ -1,243 +1,52 @@
-//! The fuzzing loop (paper Fig. 1a): batched generation, parallel RTL +
-//! ISA simulation (the paper uses ten VCS instances; we use worker
-//! threads), coverage scoring, generator feedback, and mismatch detection.
+//! Legacy entry point for the fuzzing loop (paper Fig. 1a).
+//!
+//! The loop itself lives in [`crate::campaign`] as a resumable session
+//! object; this module keeps the original free-function shape as a thin
+//! wrapper and re-exports the campaign types under their historical
+//! paths. New code should use [`CampaignBuilder`](crate::CampaignBuilder)
+//! directly — it adds multi-generator scheduling, observers, stop
+//! conditions beyond a test budget, and snapshot/resume.
 
-use std::time::{Duration, Instant};
+pub use crate::campaign::{
+    CampaignConfig, CampaignReport, CoveragePoint, DutFactory, StopCondition,
+};
 
-use chatfuzz_baselines::{Feedback, InputGenerator};
-use chatfuzz_coverage::{Calculator, CovMap, PointKind};
-use chatfuzz_rtl::{Dut, DutRun};
-use chatfuzz_softcore::trace::Trace;
-use chatfuzz_softcore::{SoftCore, SoftCoreConfig};
-use crossbeam::channel;
+use chatfuzz_baselines::InputGenerator;
 
-use crate::harness::{wrap, HarnessConfig};
-use crate::mismatch::{diff_traces, KnownBug, MismatchLog, UniqueMismatch};
+use crate::campaign::CampaignBuilder;
 
-/// Campaign parameters.
-#[derive(Debug, Clone, Copy)]
-pub struct CampaignConfig {
-    /// Total test inputs to run.
-    pub total_tests: usize,
-    /// Inputs per batch (one Coverage-Calculator batch).
-    pub batch_size: usize,
-    /// Parallel simulation workers (the paper's "ten instances of VCS").
-    pub workers: usize,
-    /// Harness wrapped around each input.
-    pub harness: HarnessConfig,
-    /// Golden-model configuration (budgets must match the DUT's).
-    pub golden: SoftCoreConfig,
-    /// Run the golden model + mismatch detector.
-    pub detect_mismatches: bool,
-    /// Record a history point at least every N tests.
-    pub history_every: usize,
-}
-
-impl Default for CampaignConfig {
-    fn default() -> Self {
-        CampaignConfig {
-            total_tests: 512,
-            batch_size: 32,
-            workers: 10,
-            harness: HarnessConfig::default(),
-            golden: SoftCoreConfig::default(),
-            detect_mismatches: true,
-            history_every: 64,
-        }
-    }
-}
-
-/// One coverage-over-time sample.
-#[derive(Debug, Clone, Copy)]
-pub struct CoveragePoint {
-    /// Tests executed so far.
-    pub tests: usize,
-    /// Cumulative covered bins.
-    pub covered_bins: usize,
-    /// Cumulative condition coverage percentage.
-    pub coverage_pct: f64,
-    /// Total simulated DUT cycles so far.
-    pub sim_cycles: u64,
-    /// Wall-clock since campaign start.
-    pub wall: Duration,
-}
-
-/// Campaign results.
-#[derive(Debug)]
-pub struct CampaignReport {
-    /// Generator name.
-    pub generator: String,
-    /// DUT name.
-    pub dut: String,
-    /// Coverage-over-time history (ends with the final point).
-    pub history: Vec<CoveragePoint>,
-    /// Final cumulative coverage percentage.
-    pub final_coverage_pct: f64,
-    /// Tests executed.
-    pub tests_run: usize,
-    /// Raw mismatch count (before clustering).
-    pub raw_mismatches: usize,
-    /// Unique mismatch clusters.
-    pub unique_mismatches: Vec<UniqueMismatch>,
-    /// Known defects evidenced.
-    pub bugs: Vec<KnownBug>,
-    /// Total simulated DUT cycles.
-    pub total_cycles: u64,
-    /// Total wall-clock time.
-    pub wall: Duration,
-}
-
-impl CampaignReport {
-    /// Tests needed to first reach `pct` coverage, if ever reached.
-    pub fn tests_to_reach(&self, pct: f64) -> Option<usize> {
-        self.history.iter().find(|p| p.coverage_pct >= pct).map(|p| p.tests)
-    }
-
-    /// Simulated cycles needed to first reach `pct` coverage.
-    pub fn cycles_to_reach(&self, pct: f64) -> Option<u64> {
-        self.history.iter().find(|p| p.coverage_pct >= pct).map(|p| p.sim_cycles)
-    }
-}
-
-struct Job {
-    index: usize,
-    image: Vec<u8>,
-}
-
-struct JobResult {
-    index: usize,
-    run: DutRun,
-    golden: Option<Trace>,
-}
-
-/// Runs one fuzzing campaign.
+/// Runs one fuzzing campaign to its configured test budget.
 ///
-/// `dut_factory` builds one DUT per worker; all instances must elaborate
-/// identical coverage spaces (guaranteed for the deterministic cores in
-/// `chatfuzz-rtl`).
+/// Deprecated shim over [`CampaignBuilder`]; behaviour (batching,
+/// scoring, feedback, mismatch detection) is identical to the session
+/// API with a single generator and a [`StopCondition::Tests`] budget.
 ///
 /// # Panics
 ///
-/// Panics if `workers == 0` or `batch_size == 0`.
+/// Panics if `cfg.workers == 0` or `cfg.batch_size == 0`.
 pub fn run_campaign(
     generator: &mut dyn InputGenerator,
-    dut_factory: &(dyn Fn() -> Box<dyn Dut> + Sync),
+    dut_factory: &DutFactory,
     cfg: &CampaignConfig,
 ) -> CampaignReport {
-    assert!(cfg.workers > 0 && cfg.batch_size > 0, "degenerate campaign config");
-    let start = Instant::now();
-    let probe = dut_factory();
-    let space = probe.space().clone();
-    let dut_name = probe.name().to_string();
-    drop(probe);
-
-    let mut calculator = Calculator::new(&space);
-    let mut log = MismatchLog::new();
-    let mut history: Vec<CoveragePoint> = Vec::new();
-    let mut tests_run = 0usize;
-    let mut total_cycles = 0u64;
-    let mut last_history_at = 0usize;
-
-    let (job_tx, job_rx) = channel::unbounded::<Job>();
-    let (result_tx, result_rx) = channel::unbounded::<JobResult>();
-
-    std::thread::scope(|scope| {
-        for _ in 0..cfg.workers {
-            let job_rx = job_rx.clone();
-            let result_tx = result_tx.clone();
-            let golden_cfg = cfg.golden;
-            let detect = cfg.detect_mismatches;
-            scope.spawn(move || {
-                let mut dut = dut_factory();
-                let golden = SoftCore::new(golden_cfg);
-                while let Ok(job) = job_rx.recv() {
-                    let run = dut.run(&job.image);
-                    let golden_trace = detect.then(|| golden.run(&job.image));
-                    if result_tx
-                        .send(JobResult { index: job.index, run, golden: golden_trace })
-                        .is_err()
-                    {
-                        break;
-                    }
-                }
-            });
-        }
-        // Main loop drives the generator and scores batches.
-        while tests_run < cfg.total_tests {
-            let n = cfg.batch_size.min(cfg.total_tests - tests_run);
-            let batch = generator.next_batch(n);
-            for (index, body) in batch.iter().enumerate() {
-                let image = wrap(body, cfg.harness);
-                job_tx.send(Job { index, image }).expect("workers alive");
-            }
-            let mut results: Vec<Option<JobResult>> = (0..n).map(|_| None).collect();
-            for _ in 0..n {
-                let r = result_rx.recv().expect("workers alive");
-                let idx = r.index;
-                results[idx] = Some(r);
-            }
-            let mut covs: Vec<CovMap> = Vec::with_capacity(n);
-            let mut mux: Vec<usize> = Vec::with_capacity(n);
-            for r in results.iter().flatten() {
-                total_cycles += r.run.cycles;
-                mux.push(r.run.coverage.covered_bins_of_kind(PointKind::MuxSelect));
-                if let Some(golden_trace) = &r.golden {
-                    log.record(diff_traces(golden_trace, &r.run.trace));
-                }
-            }
-            for r in results.into_iter().flatten() {
-                covs.push(r.run.coverage);
-            }
-            let scores = calculator.score_batch(&covs);
-            let feedback: Vec<Feedback> = scores
-                .inputs
-                .iter()
-                .zip(&mux)
-                .map(|(s, m)| Feedback {
-                    standalone: s.standalone,
-                    incremental: s.incremental,
-                    mux_covered: *m,
-                })
-                .collect();
-            generator.observe(&batch, &feedback);
-            tests_run += n;
-            if tests_run - last_history_at >= cfg.history_every || tests_run == cfg.total_tests
-            {
-                last_history_at = tests_run;
-                history.push(CoveragePoint {
-                    tests: tests_run,
-                    covered_bins: calculator.total_covered(),
-                    coverage_pct: calculator.total_percent(),
-                    sim_cycles: total_cycles,
-                    wall: start.elapsed(),
-                });
-            }
-        }
-        drop(job_tx); // release workers
-    });
-
-    CampaignReport {
-        generator: generator.name().to_string(),
-        dut: dut_name,
-        final_coverage_pct: calculator.total_percent(),
-        history,
-        tests_run,
-        raw_mismatches: log.raw_count(),
-        unique_mismatches: log.unique().into_iter().cloned().collect(),
-        bugs: log.bugs_found(),
-        total_cycles,
-        wall: start.elapsed(),
-    }
+    let mut campaign = CampaignBuilder::from_factory(std::sync::Arc::clone(dut_factory))
+        .config(*cfg)
+        .generator(generator)
+        .build();
+    campaign.run_until(&[StopCondition::Tests(cfg.total_tests)])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use chatfuzz_baselines::{MutatorConfig, RandomRegression, TheHuzz};
-    use chatfuzz_rtl::{BugConfig, Rocket, RocketConfig};
+    use chatfuzz_rtl::{BugConfig, Dut, Rocket, RocketConfig};
+    use std::sync::Arc;
 
-    fn rocket_factory(bugs: BugConfig) -> impl Fn() -> Box<dyn Dut> + Sync {
-        move || Box::new(Rocket::new(RocketConfig { bugs, ..Default::default() })) as Box<dyn Dut>
+    fn rocket_factory(bugs: BugConfig) -> DutFactory {
+        Arc::new(move || {
+            Box::new(Rocket::new(RocketConfig { bugs, ..Default::default() })) as Box<dyn Dut>
+        })
     }
 
     fn small_cfg() -> CampaignConfig {

@@ -22,22 +22,15 @@ pub struct CoverageReward {
 
 impl Default for CoverageReward {
     fn default() -> Self {
-        CoverageReward {
-            incremental_weight: 0.5,
-            standalone_weight: 2.0,
-            no_improve_penalty: -0.5,
-        }
+        CoverageReward { incremental_weight: 0.5, standalone_weight: 2.0, no_improve_penalty: -0.5 }
     }
 }
 
 impl CoverageReward {
     /// Scores one input's coverage feedback.
     pub fn reward(&self, feedback: &Feedback, total_bins: usize) -> f32 {
-        let standalone_frac = if total_bins == 0 {
-            0.0
-        } else {
-            feedback.standalone as f32 / total_bins as f32
-        };
+        let standalone_frac =
+            if total_bins == 0 { 0.0 } else { feedback.standalone as f32 / total_bins as f32 };
         let base = self.standalone_weight * standalone_frac;
         if feedback.incremental > 0 {
             base + self.incremental_weight * (1.0 + (feedback.incremental as f32).ln())
@@ -128,14 +121,19 @@ impl LmGenerator {
         self.trainer.policy()
     }
 
+    /// Dismantles the generator back into its trained artefacts
+    /// (tokenizer, policy, prompt pool) — e.g. to package a
+    /// [`ChatFuzzModel`](crate::pipeline::ChatFuzzModel) after an
+    /// online-training campaign.
+    pub fn into_parts(self) -> (Tokenizer, Gpt, Vec<Vec<u32>>) {
+        (self.tokenizer, self.trainer.into_policy(), self.prompt_pool)
+    }
+
     /// Builds a prompt from the first 2–5 instructions of a corpus
     /// function (paper §IV-C.2), framed per the tokenizer's mode.
     fn make_prompt(&mut self) -> Vec<u32> {
         let program = self.prompt_pool.choose(&mut self.rng).expect("non-empty pool");
-        let take = self
-            .rng
-            .gen_range(self.cfg.prompt_min..=self.cfg.prompt_max)
-            .min(program.len());
+        let take = self.rng.gen_range(self.cfg.prompt_min..=self.cfg.prompt_max).min(program.len());
         self.tokenizer.encode_prompt(&program[..take])
     }
 }
@@ -234,8 +232,7 @@ impl InputGenerator for NgramGenerator {
         (0..n)
             .map(|_| {
                 let program = self.prompt_pool.choose(&mut self.rng).expect("non-empty");
-                let take =
-                    self.rng.gen_range(self.prompt_min..=self.prompt_max).min(program.len());
+                let take = self.rng.gen_range(self.prompt_min..=self.prompt_max).min(program.len());
                 let tokens = self.tokenizer.encode_prompt(&program[..take]);
                 let full = self.lm.generate(&tokens, self.max_new, &mut self.rng);
                 self.tokenizer.decode_to_bytes(&full)
@@ -265,8 +262,7 @@ mod tests {
     fn batches_decode_to_word_aligned_images() {
         let (tok, model, pool) = setup();
         let ppo = PpoConfig { max_new_tokens: 12, ..Default::default() };
-        let mut generator =
-            LmGenerator::new(tok, model, ppo, pool, LmGeneratorConfig::default());
+        let mut generator = LmGenerator::new(tok, model, ppo, pool, LmGeneratorConfig::default());
         let batch = generator.next_batch(4);
         assert_eq!(batch.len(), 4);
         for input in &batch {
@@ -279,11 +275,17 @@ mod tests {
     fn online_observe_runs_a_ppo_step() {
         let (tok, model, pool) = setup();
         let ppo = PpoConfig { max_new_tokens: 8, lr: 1e-3, ..Default::default() };
-        let cfg = LmGeneratorConfig { online_training: true, total_bins: 100, ..Default::default() };
+        let cfg =
+            LmGeneratorConfig { online_training: true, total_bins: 100, ..Default::default() };
         let mut generator = LmGenerator::new(tok, model, ppo, pool, cfg);
         let batch = generator.next_batch(3);
         let feedback: Vec<Feedback> = (0..3)
-            .map(|i| Feedback { standalone: 10 + i, incremental: i, mux_covered: 2 })
+            .map(|i| Feedback {
+                standalone: 10 + i,
+                incremental: i,
+                mux_covered: 2,
+                ..Default::default()
+            })
             .collect();
         // Must not panic, and must clear pending state.
         generator.observe(&batch, &feedback);
@@ -296,8 +298,8 @@ mod tests {
     #[test]
     fn reward_shape_matches_paper_semantics() {
         let r = CoverageReward::default();
-        let improving = Feedback { standalone: 50, incremental: 10, mux_covered: 0 };
-        let stagnant = Feedback { standalone: 50, incremental: 0, mux_covered: 0 };
+        let improving = Feedback { standalone: 50, incremental: 10, ..Default::default() };
+        let stagnant = Feedback { standalone: 50, incremental: 0, ..Default::default() };
         let total = 200;
         assert!(r.reward(&improving, total) > 0.0, "improvement earns a bonus");
         assert!(
@@ -305,7 +307,7 @@ mod tests {
             "no improvement is penalised relative to improvement"
         );
         // Penalty dominates a weak standalone term.
-        let weak = Feedback { standalone: 5, incremental: 0, mux_covered: 0 };
+        let weak = Feedback { standalone: 5, incremental: 0, ..Default::default() };
         assert!(r.reward(&weak, total) < 0.0);
     }
 

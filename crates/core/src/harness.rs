@@ -55,7 +55,7 @@ pub fn wrap(body: &[u8], cfg: HarnessConfig) -> Vec<u8> {
     asm.push(Instr::Auipc { rd: t0, imm: 0 });
     // t1 = &handler (fixed offset computed after assembly; use labels).
     asm.jal_to(t1, "install"); // placeholder control flow: see below
-    // handler:
+                               // handler:
     asm.label("handler");
     asm.push(Instr::Csr {
         op: CsrOp::Rs,
@@ -86,7 +86,9 @@ pub fn wrap(body: &[u8], cfg: HarnessConfig) -> Vec<u8> {
     asm.label("body");
     let mut image = asm.assemble_bytes().expect("harness assembles");
     image.extend_from_slice(body);
-    image.extend_from_slice(&chatfuzz_isa::encode(&Instr::System(SystemOp::Wfi)).unwrap().to_le_bytes());
+    image.extend_from_slice(
+        &chatfuzz_isa::encode(&Instr::System(SystemOp::Wfi)).unwrap().to_le_bytes(),
+    );
     image
 }
 
@@ -157,7 +159,7 @@ mod tests {
     #[test]
     fn body_offset_is_stable() {
         let off = body_offset(HarnessConfig::default());
-        assert!(off > 0 && off % 4 == 0);
+        assert!(off > 0 && off.is_multiple_of(4));
         let image = wrap(&0x0000_0013u32.to_le_bytes(), HarnessConfig::default());
         assert_eq!(
             &image[off..off + 4],
@@ -170,12 +172,8 @@ mod tests {
     fn wild_jump_in_body_is_contained() {
         // jalr to a wild address: fetch faults, handler skips (mepc+4 of a
         // wild pc is still wild -> repeated faults -> trap storm), bounded.
-        let body = encode_program(&[Instr::Jalr {
-            rd: Reg::X0,
-            rs1: Reg::X0,
-            offset: 0x40,
-        }])
-        .unwrap();
+        let body =
+            encode_program(&[Instr::Jalr { rd: Reg::X0, rs1: Reg::X0, offset: 0x40 }]).unwrap();
         let trace = run(&body);
         assert!(matches!(trace.exit, ExitReason::TrapStorm | ExitReason::Wfi));
     }

@@ -9,32 +9,64 @@
 //!
 //! The pieces:
 //!
+//! * [`campaign`] — the fuzzing loop as a resumable session:
+//!   [`CampaignBuilder`] → [`Campaign`] with `step_batch`/`run_until`,
+//!   stop conditions, per-batch observers, snapshot/resume, and
+//!   multi-generator scheduling (round-robin or the MABFuzz-style
+//!   epsilon-greedy bandit from `chatfuzz_baselines::schedule`);
 //! * [`pipeline`] — the three-step training pipeline (paper Fig. 1b);
 //! * [`generator`] — the LLM-based Input Generator with online
 //!   coverage-reward training (paper Fig. 1a), plus the n-gram ablation;
-//! * [`fuzz`] — the batched, multi-worker fuzzing loop with the Coverage
-//!   Calculator feedback;
+//! * [`fuzz`] — the legacy `run_campaign` wrapper over [`campaign`];
 //! * [`mismatch`] — the Mismatch Detector: trace diffing, unique-mismatch
 //!   clustering, and classification against the known RocketCore defects;
 //! * [`harness`] — the bare-metal wrapper (trap handler + stack) around
-//!   every generated test.
+//!   every generated test;
+//! * [`report`] — CSV/markdown/JSON renderings of campaign results.
 //!
 //! # Examples
 //!
-//! Fuzz a buggy RocketCore with the TheHuzz baseline for a quick smoke run:
+//! Fuzz a buggy RocketCore with two baseline generators multiplexed by an
+//! epsilon-greedy bandit, stopping at either a test budget or a coverage
+//! plateau, and watch progress per batch:
 //!
 //! ```
-//! use chatfuzz::fuzz::{run_campaign, CampaignConfig};
-//! use chatfuzz_baselines::{MutatorConfig, TheHuzz};
+//! use chatfuzz::campaign::{BatchOutcome, CampaignBuilder, StopCondition};
+//! use chatfuzz_baselines::{EpsilonGreedy, MutatorConfig, RandomRegression, TheHuzz};
 //! use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 //!
-//! let mut generator = TheHuzz::new(MutatorConfig::default());
-//! let factory = || Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>;
-//! let cfg = CampaignConfig { total_tests: 32, batch_size: 16, workers: 2, ..Default::default() };
-//! let report = run_campaign(&mut generator, &factory, &cfg);
+//! let mut campaign = CampaignBuilder::new(|| {
+//!     Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>
+//! })
+//! .batch_size(16)
+//! .workers(2)
+//! .generator(TheHuzz::new(MutatorConfig::default()))
+//! .generator(RandomRegression::new(7, 24))
+//! .scheduler(EpsilonGreedy::new(1, 0.2))
+//! .observer(|outcome: &BatchOutcome| {
+//!     println!(
+//!         "batch {} [{}]: {:.2}% (+{} bins)",
+//!         outcome.batch_index, outcome.generator, outcome.coverage_pct, outcome.new_bins
+//!     );
+//! })
+//! .build();
+//!
+//! let report = campaign.run_until(&[
+//!     StopCondition::Tests(64),
+//!     StopCondition::Plateau(16),
+//! ]);
 //! assert!(report.final_coverage_pct > 0.0);
+//! assert_eq!(report.generator, "thehuzz+random");
+//!
+//! // Sessions are resumable: keep going to a larger budget…
+//! let extended = campaign.run_until(&[StopCondition::Tests(96)]);
+//! assert!(extended.tests_run >= report.tests_run);
+//! // …or checkpoint and continue elsewhere via CampaignBuilder::resume.
+//! let snapshot = campaign.snapshot();
+//! assert_eq!(snapshot.tests_run(), extended.tests_run);
 //! ```
 
+pub mod campaign;
 pub mod fuzz;
 pub mod generator;
 pub mod harness;
@@ -42,7 +74,11 @@ pub mod mismatch;
 pub mod pipeline;
 pub mod report;
 
-pub use fuzz::{run_campaign, CampaignConfig, CampaignReport, CoveragePoint};
+pub use campaign::{
+    BatchOutcome, Campaign, CampaignBuilder, CampaignConfig, CampaignObserver, CampaignReport,
+    CampaignSnapshot, CoveragePoint, DutFactory, GeneratorStats, StopCondition,
+};
+pub use fuzz::run_campaign;
 pub use generator::{CoverageReward, LmGenerator, LmGeneratorConfig, NgramGenerator};
 pub use harness::{wrap, HarnessConfig};
 pub use mismatch::{

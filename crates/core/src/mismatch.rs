@@ -94,9 +94,7 @@ impl Mismatch {
             Mismatch::PcDivergence { .. } => "pc".to_string(),
             Mismatch::WordDivergence { .. } => "word:stale-fetch".to_string(),
             Mismatch::RdWriteDivergence { word, golden, dut, .. } => {
-                let class = decode(*word)
-                    .map(|i| instr_class(&i))
-                    .unwrap_or("unknown");
+                let class = decode(*word).map(|i| instr_class(&i)).unwrap_or("unknown");
                 let shape = match (golden, dut) {
                     (Some(_), None) => "missing",
                     (None, Some((r, _))) if r.is_zero() => "spurious-x0",
@@ -130,10 +128,9 @@ impl fmt::Display for Mismatch {
                 f,
                 "stale fetch @slot {index} pc {pc:#x}: {golden_word:#010x} vs {dut_word:#010x}"
             ),
-            Mismatch::RdWriteDivergence { index, pc, golden, dut, .. } => write!(
-                f,
-                "rd-write divergence @slot {index} pc {pc:#x}: {golden:?} vs {dut:?}"
-            ),
+            Mismatch::RdWriteDivergence { index, pc, golden, dut, .. } => {
+                write!(f, "rd-write divergence @slot {index} pc {pc:#x}: {golden:?} vs {dut:?}")
+            }
             Mismatch::TrapDivergence { index, pc, golden_cause, dut_cause } => write!(
                 f,
                 "trap divergence @slot {index} pc {pc:#x}: cause {golden_cause:?} vs {dut_cause:?}"
@@ -201,9 +198,7 @@ pub fn classify(m: &Mismatch) -> Option<KnownBug> {
                 (Instr::Amo { .. }, None, Some((r, _))) if r.is_zero() => {
                     Some(KnownBug::Finding2AmoX0)
                 }
-                (Instr::Op { .. } | Instr::OpImm { .. }, None, Some((r, _)))
-                    if r.is_zero() =>
-                {
+                (Instr::Op { .. } | Instr::OpImm { .. }, None, Some((r, _))) if r.is_zero() => {
                     Some(KnownBug::Finding3X0Bypass)
                 }
                 _ => None,
@@ -219,8 +214,7 @@ pub fn classify(m: &Mismatch) -> Option<KnownBug> {
         }
         Mismatch::ExitDivergence { golden, dut } => {
             // Unhandled traps carry the diverging causes in the exit reason.
-            if let (ExitReason::UnhandledTrap(g), ExitReason::UnhandledTrap(d)) = (golden, dut)
-            {
+            if let (ExitReason::UnhandledTrap(g), ExitReason::UnhandledTrap(d)) = (golden, dut) {
                 match (g.cause(), d.cause()) {
                     (4, 5) | (6, 7) => Some(KnownBug::Finding1ExceptionPriority),
                     _ => None,
@@ -329,7 +323,8 @@ pub struct UniqueMismatch {
 }
 
 /// Accumulates raw mismatches across a campaign and clusters them.
-#[derive(Debug, Default)]
+/// Cloneable so campaign snapshots can checkpoint it.
+#[derive(Debug, Clone, Default)]
 pub struct MismatchLog {
     raw_count: usize,
     clusters: BTreeMap<String, UniqueMismatch>,
@@ -375,8 +370,7 @@ impl MismatchLog {
 
     /// The set of known defects evidenced so far.
     pub fn bugs_found(&self) -> Vec<KnownBug> {
-        let mut bugs: Vec<KnownBug> =
-            self.clusters.values().filter_map(|u| u.bug).collect();
+        let mut bugs: Vec<KnownBug> = self.clusters.values().filter_map(|u| u.bug).collect();
         bugs.sort_unstable();
         bugs.dedup();
         bugs
@@ -450,9 +444,7 @@ mod tests {
         };
         let d = Trace {
             records: vec![],
-            exit: ExitReason::UnhandledTrap(chatfuzz_isa::Exception::LoadAccessFault {
-                addr: 3,
-            }),
+            exit: ExitReason::UnhandledTrap(chatfuzz_isa::Exception::LoadAccessFault { addr: 3 }),
         };
         let ms = diff_traces(&g, &d);
         assert_eq!(ms.len(), 1);
@@ -503,11 +495,7 @@ mod tests {
                 dut_word: 2,
             }]);
         }
-        log.record(vec![Mismatch::PcDivergence {
-            index: 0,
-            golden_pc: 1,
-            dut_pc: 2,
-        }]);
+        log.record(vec![Mismatch::PcDivergence { index: 0, golden_pc: 1, dut_pc: 2 }]);
         assert_eq!(log.raw_count(), 6);
         assert_eq!(log.unique().len(), 2);
         assert_eq!(log.bugs_found(), vec![KnownBug::Bug1IcacheCoherency]);

@@ -8,18 +8,19 @@
 //!    RTL-simulation feedback (stand-alone / incremental / total values
 //!    from the Coverage Calculator).
 
+use std::sync::{Arc, Mutex};
+
 use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
-use chatfuzz_coverage::Calculator;
 use chatfuzz_isa::count_valid_invalid;
 use chatfuzz_lm::{train_lm, Gpt, GptConfig, Tokenizer, TrainConfig, TrainStep};
 use chatfuzz_rl::{PpoConfig, PpoTrainer};
-use chatfuzz_rtl::Dut;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::generator::CoverageReward;
-use crate::harness::{wrap, HarnessConfig};
+use crate::campaign::{BatchOutcome, CampaignBuilder, DutFactory, StopCondition};
+use crate::generator::{CoverageReward, LmGenerator, LmGeneratorConfig};
+use crate::harness::HarnessConfig;
 
 /// Scale of the transformer used by the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,11 +177,14 @@ pub struct PipelineReport {
     pub optimize_curve: Vec<OptimizePoint>,
 }
 
-/// Runs the full three-step pipeline against the given DUT.
+/// Runs the full three-step pipeline against the DUT the factory builds.
 ///
 /// Returns the trained model plus training telemetry. Deterministic for a
 /// fixed configuration.
-pub fn train_chatfuzz(cfg: &PipelineConfig, dut: &mut dyn Dut) -> (ChatFuzzModel, PipelineReport) {
+pub fn train_chatfuzz(
+    cfg: &PipelineConfig,
+    dut_factory: &DutFactory,
+) -> (ChatFuzzModel, PipelineReport) {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
     // ---- Step 0: static data collection (corpus substitute). ----
@@ -217,11 +221,8 @@ pub fn train_chatfuzz(cfg: &PipelineConfig, dut: &mut dyn Dut) -> (ChatFuzzModel
             // Eq. (1): f(GenText_i) = N_i - 5 * Invalid_i, scaled to keep
             // PPO rewards O(1).
             let reward = (valid as f32 - 5.0 * invalid as f32) / 16.0;
-            valid_sum += if valid + invalid == 0 {
-                0.0
-            } else {
-                valid as f64 / (valid + invalid) as f64
-            };
+            valid_sum +=
+                if valid + invalid == 0 { 0.0 } else { valid as f64 / (valid + invalid) as f64 };
             reward_sum += reward;
             counted += 1;
             rollouts.push(trainer.score(full, prompt_len, reward));
@@ -238,56 +239,65 @@ pub fn train_chatfuzz(cfg: &PipelineConfig, dut: &mut dyn Dut) -> (ChatFuzzModel
     }
 
     // ---- Step 3: optimisation PPO with the coverage reward. ----
-    trainer.refresh_reference();
-    let mut calculator = Calculator::new(dut.space());
-    let total_bins = dut.space().total_bins();
-    let mut optimize_curve = Vec::with_capacity(cfg.optimize_iters);
-    for iter in 0..cfg.optimize_iters {
-        let mut pending = Vec::with_capacity(cfg.optimize_batch);
-        let mut covs = Vec::with_capacity(cfg.optimize_batch);
-        for _ in 0..cfg.optimize_batch {
-            let prompt = sample_prompt(&tokenizer, &programs, cfg.prompt_range, &mut rng);
-            let prompt_len = prompt.len();
-            let full = trainer.sample(&prompt, &mut rng);
-            if full.len() <= prompt_len {
-                continue;
-            }
-            let bytes = tokenizer.decode_to_bytes(&full);
-            let image = wrap(&bytes, cfg.harness);
-            let run = dut.run(&image);
-            covs.push(run.coverage);
-            pending.push((full, prompt_len));
-        }
-        if pending.is_empty() {
-            continue;
-        }
-        let scores = calculator.score_batch(&covs);
-        let mut rollouts = Vec::with_capacity(pending.len());
-        let mut reward_sum = 0.0f32;
-        for ((full, prompt_len), score) in pending.into_iter().zip(&scores.inputs) {
-            let fb = chatfuzz_baselines::Feedback {
-                standalone: score.standalone,
-                incremental: score.incremental,
-                mux_covered: 0,
-            };
-            let reward = cfg.reward.reward(&fb, total_bins);
-            reward_sum += reward;
-            rollouts.push(trainer.score(full, prompt_len, reward));
-        }
-        let n = rollouts.len() as f32;
-        trainer.step(&rollouts);
-        optimize_curve.push(OptimizePoint {
-            iter,
-            mean_reward: reward_sum / n,
-            coverage_pct: calculator.total_percent(),
-        });
-    }
-
-    let model = ChatFuzzModel {
-        tokenizer,
-        policy: trainer.into_policy(),
-        prompt_pool: programs,
+    //
+    // The paper runs this *inside* the fuzzing loop, and so do we: the
+    // cleaned-up policy is wrapped as the online-training LmGenerator and
+    // driven by a single-worker campaign session for
+    // `optimize_iters × optimize_batch` tests; a campaign observer turns
+    // each batch into one telemetry point.
+    let probe = dut_factory();
+    let total_bins = probe.space().total_bins();
+    drop(probe);
+    let reward_cfg = cfg.reward;
+    let generator_cfg = LmGeneratorConfig {
+        seed: cfg.seed ^ 0x0f7_1a17e, // decorrelated from the master stream
+        prompt_min: cfg.prompt_range.0,
+        prompt_max: cfg.prompt_range.1,
+        online_training: true,
+        reward: reward_cfg,
+        total_bins,
+        samples_per_input: 1,
     };
+    let mut generator = LmGenerator::new(
+        tokenizer,
+        trainer.into_policy(),
+        cfg.optimize_ppo,
+        programs,
+        generator_cfg,
+    );
+    let curve: Arc<Mutex<Vec<OptimizePoint>>> =
+        Arc::new(Mutex::new(Vec::with_capacity(cfg.optimize_iters)));
+    {
+        let sink = Arc::clone(&curve);
+        let mut campaign = CampaignBuilder::from_factory(Arc::clone(dut_factory))
+            .batch_size(cfg.optimize_batch)
+            .workers(1) // sequential, like the in-loop PPO of the paper
+            .harness(cfg.harness)
+            .detect_mismatches(false)
+            .generator(&mut generator)
+            .observer(move |outcome: &BatchOutcome| {
+                let mean_reward = outcome
+                    .feedback
+                    .iter()
+                    .map(|fb| reward_cfg.reward(fb, total_bins))
+                    .sum::<f32>()
+                    / outcome.feedback.len().max(1) as f32;
+                sink.lock().expect("observer poisoned").push(OptimizePoint {
+                    iter: outcome.batch_index,
+                    mean_reward,
+                    coverage_pct: outcome.coverage_pct,
+                });
+            })
+            .build();
+        campaign.run_until(&[StopCondition::Tests(cfg.optimize_iters * cfg.optimize_batch)]);
+    }
+    let optimize_curve = Arc::into_inner(curve)
+        .expect("campaign dropped its observer")
+        .into_inner()
+        .expect("observer poisoned");
+
+    let (tokenizer, policy, prompt_pool) = generator.into_parts();
+    let model = ChatFuzzModel { tokenizer, policy, prompt_pool };
     (model, PipelineReport { lm_curve, cleanup_curve, optimize_curve })
 }
 
@@ -307,15 +317,16 @@ fn sample_prompt<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chatfuzz_rtl::{Rocket, RocketConfig};
+    use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 
     /// End-to-end smoke: the quick pipeline trains and produces a model
     /// whose generations are mostly valid instructions.
     #[test]
     fn quick_pipeline_trains_and_improves_validity() {
-        let mut dut = Rocket::new(RocketConfig::default());
+        let factory: DutFactory =
+            Arc::new(|| Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>);
         let cfg = PipelineConfig::quick(42);
-        let (model, report) = train_chatfuzz(&cfg, &mut dut);
+        let (model, report) = train_chatfuzz(&cfg, &factory);
 
         assert_eq!(report.lm_curve.len(), cfg.lm_train.steps);
         assert!(!report.cleanup_curve.is_empty());

@@ -1,13 +1,19 @@
 //! Human- and machine-readable rendering of campaign results.
 //!
 //! The experiment harness and the examples both need the same few views of
-//! a [`CampaignReport`]: a coverage-over-time CSV, a markdown summary, and
-//! a compact one-line digest for logs. Keeping them here (instead of in
-//! each binary) makes report formats part of the library contract.
+//! a [`CampaignReport`]: a coverage-over-time CSV, a markdown summary, a
+//! compact one-line digest for logs, and a machine-readable JSON document
+//! ([`json`]). Keeping them here (instead of in each binary) makes report
+//! formats part of the library contract.
+//!
+//! JSON is emitted by a small writer in this module rather than serde:
+//! the workspace builds offline (see `vendor/README.md`), and the report
+//! shape is small and stable enough that a hand-rolled emitter with
+//! proper string escaping is the lighter dependency.
 
 use std::fmt::Write as _;
 
-use crate::fuzz::CampaignReport;
+use crate::campaign::CampaignReport;
 
 /// Renders the coverage history as CSV
 /// (`tests,covered_bins,coverage_pct,sim_cycles,wall_s`).
@@ -53,6 +59,22 @@ pub fn markdown_summary(report: &CampaignReport) -> String {
     for p in &report.history {
         let _ = writeln!(out, "| {} | {:.2} | {} |", p.tests, p.coverage_pct, p.sim_cycles);
     }
+    if report.generator_stats.len() > 1 {
+        let _ = writeln!(out, "\n## Generator schedule\n");
+        let _ = writeln!(out, "| generator | batches | tests | new bins | bins/test |");
+        let _ = writeln!(out, "|---|---|---|---|---|");
+        for s in &report.generator_stats {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {:.3} |",
+                s.name,
+                s.batches,
+                s.tests,
+                s.new_bins,
+                s.reward_rate()
+            );
+        }
+    }
     if !report.unique_mismatches.is_empty() {
         let _ = writeln!(out, "\n## Unique mismatches\n");
         let _ = writeln!(out, "| signature | count | classified |");
@@ -85,24 +107,199 @@ pub fn digest(report: &CampaignReport) -> String {
     )
 }
 
+/// Serialises the whole report as a JSON document: headline numbers,
+/// exact coverage history, per-generator scheduling stats, and the
+/// clustered mismatch report. The single code path every bench binary
+/// uses for machine-readable output.
+pub fn json(report: &CampaignReport) -> String {
+    let mut w = JsonWriter::new();
+    w.open('{');
+    w.field_str("generator", &report.generator);
+    w.field_str("dut", &report.dut);
+    w.field_f64("final_coverage_pct", report.final_coverage_pct);
+    w.field_u64("tests_run", report.tests_run as u64);
+    w.field_u64("batches_run", report.batches_run as u64);
+    w.field_u64("total_cycles", report.total_cycles);
+    w.field_f64("wall_s", report.wall.as_secs_f64());
+    w.field_u64("raw_mismatches", report.raw_mismatches as u64);
+    match &report.stopped_by {
+        Some(stop) => w.field_str("stopped_by", &format!("{stop:?}")),
+        None => w.field_raw("stopped_by", "null"),
+    }
+
+    w.key("history");
+    w.open('[');
+    for p in &report.history {
+        w.open('{');
+        w.field_u64("tests", p.tests as u64);
+        w.field_u64("covered_bins", p.covered_bins as u64);
+        w.field_f64("coverage_pct", p.coverage_pct);
+        w.field_u64("sim_cycles", p.sim_cycles);
+        w.field_f64("wall_s", p.wall.as_secs_f64());
+        w.close('}');
+    }
+    w.close(']');
+
+    w.key("generator_stats");
+    w.open('[');
+    for s in &report.generator_stats {
+        w.open('{');
+        w.field_str("name", &s.name);
+        w.field_u64("batches", s.batches as u64);
+        w.field_u64("tests", s.tests as u64);
+        w.field_u64("new_bins", s.new_bins as u64);
+        w.field_u64("cycles", s.cycles);
+        w.field_f64("bins_per_test", s.reward_rate());
+        w.close('}');
+    }
+    w.close(']');
+
+    w.key("unique_mismatches");
+    w.open('[');
+    for u in &report.unique_mismatches {
+        w.open('{');
+        w.field_str("signature", &u.signature);
+        w.field_u64("count", u.count as u64);
+        match u.bug {
+            Some(bug) => w.field_str("bug", &bug.to_string()),
+            None => w.field_raw("bug", "null"),
+        }
+        w.close('}');
+    }
+    w.close(']');
+
+    w.key("bugs");
+    w.open('[');
+    for b in &report.bugs {
+        w.value_str(&b.to_string());
+    }
+    w.close(']');
+
+    w.close('}');
+    w.finish()
+}
+
+/// Minimal JSON emitter: tracks comma placement, escapes strings, and
+/// renders floats round-trippably.
+struct JsonWriter {
+    out: String,
+    /// Whether the current aggregate already has an element.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new() -> JsonWriter {
+        JsonWriter { out: String::new(), needs_comma: vec![false] }
+    }
+
+    fn elem(&mut self) {
+        if let Some(flag) = self.needs_comma.last_mut() {
+            if *flag {
+                self.out.push(',');
+            }
+            *flag = true;
+        }
+    }
+
+    fn open(&mut self, bracket: char) {
+        self.elem();
+        self.out.push(bracket);
+        self.needs_comma.push(false);
+    }
+
+    fn close(&mut self, bracket: char) {
+        self.needs_comma.pop();
+        self.out.push(bracket);
+    }
+
+    fn key(&mut self, key: &str) {
+        self.elem();
+        self.push_escaped(key);
+        self.out.push(':');
+        // The upcoming value belongs to this key, not a new element.
+        if let Some(flag) = self.needs_comma.last_mut() {
+            *flag = false;
+        }
+    }
+
+    fn field_str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.value_str(value);
+        self.mark_elem();
+    }
+
+    fn field_u64(&mut self, key: &str, value: u64) {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self.mark_elem();
+    }
+
+    fn field_f64(&mut self, key: &str, value: f64) {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.out, "{value}");
+        } else {
+            self.out.push_str("null");
+        }
+        self.mark_elem();
+    }
+
+    fn field_raw(&mut self, key: &str, raw: &str) {
+        self.key(key);
+        self.out.push_str(raw);
+        self.mark_elem();
+    }
+
+    fn value_str(&mut self, value: &str) {
+        self.elem();
+        self.push_escaped(value);
+    }
+
+    fn mark_elem(&mut self) {
+        if let Some(flag) = self.needs_comma.last_mut() {
+            *flag = true;
+        }
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn finish(self) -> String {
+        debug_assert_eq!(self.needs_comma.len(), 1, "unbalanced JSON aggregates");
+        self.out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fuzz::{run_campaign, CampaignConfig};
-    use chatfuzz_baselines::{MutatorConfig, TheHuzz};
+    use crate::campaign::{CampaignBuilder, StopCondition};
+    use chatfuzz_baselines::{MutatorConfig, RandomRegression, TheHuzz};
     use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 
     fn small_report() -> CampaignReport {
-        let mut generator = TheHuzz::new(MutatorConfig::default());
-        let factory = || Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>;
-        let cfg = CampaignConfig {
-            total_tests: 32,
-            batch_size: 16,
-            workers: 2,
-            history_every: 16,
-            ..Default::default()
-        };
-        run_campaign(&mut generator, &factory, &cfg)
+        let mut campaign =
+            CampaignBuilder::new(|| Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>)
+                .batch_size(16)
+                .workers(2)
+                .generator(TheHuzz::new(MutatorConfig::default()))
+                .build();
+        campaign.run_until(&[StopCondition::Tests(32)])
     }
 
     #[test]
@@ -138,5 +335,75 @@ mod tests {
         let d = digest(&report);
         assert!(!d.contains('\n'));
         assert!(d.contains("thehuzz@rocket"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let report = small_report();
+        let doc = json(&report);
+        // Structural sanity without a parser: balanced brackets outside
+        // strings, expected keys present.
+        let mut depth = 0i32;
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in doc.chars() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' if in_string => escaped = true,
+                '"' => in_string = !in_string,
+                '{' | '[' if !in_string => depth += 1,
+                '}' | ']' if !in_string => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced JSON: {doc}");
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {doc}");
+        assert!(!in_string, "unterminated string: {doc}");
+        for key in [
+            "\"generator\"",
+            "\"dut\"",
+            "\"final_coverage_pct\"",
+            "\"history\"",
+            "\"generator_stats\"",
+            "\"unique_mismatches\"",
+            "\"bugs\"",
+            "\"stopped_by\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+        assert!(doc.contains(&format!("\"tests_run\":{}", report.tests_run)));
+        // History array has one object per point.
+        assert_eq!(doc.matches("\"covered_bins\":").count(), report.history.len());
+        // No trailing commas.
+        assert!(!doc.contains(",}") && !doc.contains(",]"), "trailing comma: {doc}");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut report = small_report();
+        report.generator = "we\"ird\\name\nwith\tctrl\u{1}".into();
+        let doc = json(&report);
+        assert!(doc.contains(r#""we\"ird\\name\nwith\tctrl\u0001""#), "{doc}");
+    }
+
+    #[test]
+    fn multi_generator_json_lists_all_stats() {
+        let mut campaign =
+            CampaignBuilder::new(|| Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>)
+                .batch_size(8)
+                .workers(2)
+                .detect_mismatches(false)
+                .generator(TheHuzz::new(MutatorConfig::default()))
+                .generator(RandomRegression::new(3, 16))
+                .build();
+        let report = campaign.run_until(&[StopCondition::Tests(32)]);
+        let doc = json(&report);
+        assert!(doc.contains("\"name\":\"thehuzz\""));
+        assert!(doc.contains("\"name\":\"random\""));
+        let md = markdown_summary(&report);
+        assert!(md.contains("## Generator schedule"));
     }
 }

@@ -33,8 +33,7 @@
 
 use chatfuzz_isa::asm::Assembler;
 use chatfuzz_isa::{
-    encode, AluOp, AmoOp, BranchCond, Csr, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, Reg,
-    SystemOp,
+    encode, AluOp, AmoOp, BranchCond, Csr, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, Reg, SystemOp,
 };
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -55,12 +54,7 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        CorpusConfig {
-            seed: 0xC0FFEE,
-            min_body: 8,
-            max_body: 28,
-            scratch_base: 0x8008_0000,
-        }
+        CorpusConfig { seed: 0xC0FFEE, min_body: 8, max_body: 28, scratch_base: 0x8008_0000 }
     }
 }
 
@@ -413,23 +407,58 @@ impl CorpusGenerator {
         let skip = self.fresh_label("sskip");
         asm.jal_to(t1, &skip);
         // s_handler:
-        asm.push(Instr::Csr { op: CsrOp::Rs, rd: t0, csr: Csr::SEPC.addr(), src: CsrSrc::Reg(Reg::X0) });
+        asm.push(Instr::Csr {
+            op: CsrOp::Rs,
+            rd: t0,
+            csr: Csr::SEPC.addr(),
+            src: CsrSrc::Reg(Reg::X0),
+        });
         asm.push(Instr::OpImm { op: AluOp::Add, rd: t0, rs1: t0, imm: 4, word: false });
-        asm.push(Instr::Csr { op: CsrOp::Rw, rd: Reg::X0, csr: Csr::SEPC.addr(), src: CsrSrc::Reg(t0) });
+        asm.push(Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::X0,
+            csr: Csr::SEPC.addr(),
+            src: CsrSrc::Reg(t0),
+        });
         asm.push(Instr::System(SystemOp::Sret));
         asm.label(&skip);
-        asm.push(Instr::Csr { op: CsrOp::Rw, rd: Reg::X0, csr: Csr::STVEC.addr(), src: CsrSrc::Reg(t1) });
+        asm.push(Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::X0,
+            csr: Csr::STVEC.addr(),
+            src: CsrSrc::Reg(t1),
+        });
         asm.li(t2, 0x100); // ecall-from-U delegatable
-        asm.push(Instr::Csr { op: CsrOp::Rw, rd: Reg::X0, csr: Csr::MEDELEG.addr(), src: CsrSrc::Reg(t2) });
+        asm.push(Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::X0,
+            csr: Csr::MEDELEG.addr(),
+            src: CsrSrc::Reg(t2),
+        });
         asm.li(t2, 0x1800);
-        asm.push(Instr::Csr { op: CsrOp::Rc, rd: Reg::X0, csr: Csr::MSTATUS.addr(), src: CsrSrc::Reg(t2) });
+        asm.push(Instr::Csr {
+            op: CsrOp::Rc,
+            rd: Reg::X0,
+            csr: Csr::MSTATUS.addr(),
+            src: CsrSrc::Reg(t2),
+        });
         if to_supervisor {
             asm.li(t2, 0x800);
-            asm.push(Instr::Csr { op: CsrOp::Rs, rd: Reg::X0, csr: Csr::MSTATUS.addr(), src: CsrSrc::Reg(t2) });
+            asm.push(Instr::Csr {
+                op: CsrOp::Rs,
+                rd: Reg::X0,
+                csr: Csr::MSTATUS.addr(),
+                src: CsrSrc::Reg(t2),
+            });
         }
         asm.push(Instr::Auipc { rd: t0, imm: 0 });
         asm.push(Instr::OpImm { op: AluOp::Add, rd: t0, rs1: t0, imm: 16, word: false });
-        asm.push(Instr::Csr { op: CsrOp::Rw, rd: Reg::X0, csr: Csr::MEPC.addr(), src: CsrSrc::Reg(t0) });
+        asm.push(Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::X0,
+            csr: Csr::MEPC.addr(),
+            src: CsrSrc::Reg(t0),
+        });
         asm.push(Instr::System(SystemOp::Mret));
         // target: low-privilege activity.
         if to_supervisor {
@@ -441,11 +470,16 @@ impl CorpusGenerator {
                 src: CsrSrc::Reg(base),
             });
             asm.push(Instr::System(SystemOp::Ecall)); // cause 9 -> M handler
-            // Return point for the eventual sret: reuse the trap handler's
-            // sepc bump by taking the delegated path later from U.
+                                                      // Return point for the eventual sret: reuse the trap handler's
+                                                      // sepc bump by taking the delegated path later from U.
             asm.push(Instr::Auipc { rd: t0, imm: 0 });
             asm.push(Instr::OpImm { op: AluOp::Add, rd: t0, rs1: t0, imm: 16, word: false });
-            asm.push(Instr::Csr { op: CsrOp::Rw, rd: Reg::X0, csr: Csr::SEPC.addr(), src: CsrSrc::Reg(t0) });
+            asm.push(Instr::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::X0,
+                csr: Csr::SEPC.addr(),
+                src: CsrSrc::Reg(t0),
+            });
             asm.push(Instr::System(SystemOp::Sret)); // S -> U
         }
         // U-mode: memory, atomics and delegated ecalls.
@@ -582,18 +616,11 @@ impl CorpusGenerator {
         let csr = *csrs.choose(&mut self.rng).expect("non-empty");
         // Writes are restricted to CSRs whose corruption cannot strand the
         // run (no mtvec/medeleg garbage); compiled code behaves the same.
-        let write_safe = matches!(
-            csr,
-            Csr::MSCRATCH | Csr::SSCRATCH | Csr::MCAUSE | Csr::MTVAL | Csr::MCYCLE
-        );
+        let write_safe =
+            matches!(csr, Csr::MSCRATCH | Csr::SSCRATCH | Csr::MCAUSE | Csr::MTVAL | Csr::MCYCLE);
         if !write_safe || self.rng.gen_bool(0.5) {
             // Read (csrrs rd, csr, x0) — legal even on read-only CSRs.
-            asm.push(Instr::Csr {
-                op: CsrOp::Rs,
-                rd,
-                csr: csr.addr(),
-                src: CsrSrc::Reg(Reg::X0),
-            });
+            asm.push(Instr::Csr { op: CsrOp::Rs, rd, csr: csr.addr(), src: CsrSrc::Reg(Reg::X0) });
         } else {
             let src = if self.rng.gen_bool(0.5) {
                 CsrSrc::Imm(self.rng.gen_range(0..32))
@@ -663,9 +690,8 @@ impl CorpusGenerator {
         if !live.contains(&rd) {
             live.push(rd);
         }
-        let patch =
-            encode(&Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: 2, word: false })
-                .expect("encodable patch");
+        let patch = encode(&Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: 2, word: false })
+            .expect("encodable patch");
         asm.push(Instr::Auipc { rd: t0, imm: 0 }); // t0 = this pc
         let before_li = asm.len();
         asm.li(t1, i64::from(patch as i32));
@@ -678,7 +704,8 @@ impl CorpusGenerator {
         if with_fence {
             asm.push(Instr::FenceI);
         }
-        asm.push(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: 1, word: false }); // patched
+        asm.push(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: 1, word: false });
+        // patched
     }
 }
 
@@ -735,15 +762,9 @@ mod tests {
                 ref other => panic!("expected prologue, got {other}"),
             }
         }
-        let with_branches = bodies
-            .iter()
-            .filter(|b| b.iter().any(|i| matches!(i, Instr::Branch { .. })))
-            .count();
-        assert!(
-            with_branches * 2 > bodies.len(),
-            "{with_branches}/{} have branches",
-            bodies.len()
-        );
+        let with_branches =
+            bodies.iter().filter(|b| b.iter().any(|i| matches!(i, Instr::Branch { .. }))).count();
+        assert!(with_branches * 2 > bodies.len(), "{with_branches}/{} have branches", bodies.len());
     }
 
     #[test]
@@ -791,10 +812,7 @@ mod tests {
             assert_eq!(trace.exit, ExitReason::Wfi);
             // The patched instruction (`addi rd, rd, 2`) must have executed:
             // its write-back value is 2 (rd starts at 0).
-            let patched = trace
-                .records
-                .iter()
-                .any(|r| r.rd_write.is_some_and(|(_, v)| v == 2));
+            let patched = trace.records.iter().any(|r| r.rd_write.is_some_and(|(_, v)| v == 2));
             assert!(patched, "golden model executes the patched instruction");
         }
     }

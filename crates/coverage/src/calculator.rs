@@ -61,10 +61,7 @@ pub struct Calculator {
 impl Calculator {
     /// Creates a calculator with empty cumulative coverage.
     pub fn new(space: &Arc<Space>) -> Calculator {
-        Calculator {
-            cumulative: CovMap::new(space),
-            previous_batch_total: CovMap::new(space),
-        }
+        Calculator { cumulative: CovMap::new(space), previous_batch_total: CovMap::new(space) }
     }
 
     /// The cumulative coverage map.

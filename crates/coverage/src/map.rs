@@ -102,11 +102,7 @@ impl CovMap {
             base.space.fingerprint(),
             "comparing coverage maps from different spaces"
         );
-        self.words
-            .iter()
-            .zip(&base.words)
-            .map(|(a, b)| (a & !b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&base.words).map(|(a, b)| (a & !b).count_ones() as usize).sum()
     }
 
     /// Clears all observations (map reuse between inputs).

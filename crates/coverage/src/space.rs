@@ -86,10 +86,7 @@ impl Space {
 
     /// Iterates over `(id, name, kind)` for all points.
     pub fn iter(&self) -> impl Iterator<Item = (CondId, &str, PointKind)> {
-        self.points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (CondId(i as u32), p.name.as_str(), p.kind))
+        self.points.iter().enumerate().map(|(i, p)| (CondId(i as u32), p.name.as_str(), p.kind))
     }
 
     /// A structural hash of the space (names + kinds, order-sensitive).
@@ -134,12 +131,7 @@ impl SpaceBuilder {
     }
 
     /// Registers a family of points `prefix[0] .. prefix[n-1]`.
-    pub fn register_array(
-        &mut self,
-        prefix: &str,
-        n: usize,
-        kind: PointKind,
-    ) -> Vec<CondId> {
+    pub fn register_array(&mut self, prefix: &str, n: usize, kind: PointKind) -> Vec<CondId> {
         (0..n).map(|i| self.register(format!("{prefix}[{i}]"), kind)).collect()
     }
 

@@ -292,7 +292,7 @@ mod tests {
     #[test]
     fn labels_resolve_backward_and_forward() {
         let mut asm = Assembler::new();
-        let a0 = Reg::new(10).unwrap();
+        let _a0 = Reg::new(10).unwrap();
         asm.label("start");
         asm.nop();
         asm.branch_to(BranchCond::Eq, Reg::X0, Reg::X0, "end");

@@ -3,9 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::instr::{
-    AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, SystemOp,
-};
+use crate::instr::{AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, SystemOp};
 use crate::reg::Reg;
 
 /// Error produced when a 32-bit word is not a valid instruction.
@@ -352,7 +350,7 @@ fn decode_system(word: u32) -> Result<Instr, DecodeError> {
             }
             _ => Err(DecodeError::BadSystem { word }),
         },
-        f3 @ (0b001 | 0b010 | 0b011) => {
+        f3 @ (0b001..=0b011) => {
             let op = csr_op(f3);
             Ok(Instr::Csr {
                 op,
@@ -361,7 +359,7 @@ fn decode_system(word: u32) -> Result<Instr, DecodeError> {
                 src: CsrSrc::Reg(rs1(word)),
             })
         }
-        f3 @ (0b101 | 0b110 | 0b111) => {
+        f3 @ (0b101..=0b111) => {
             let op = csr_op(f3 - 0b100);
             Ok(Instr::Csr {
                 op,
@@ -470,10 +468,7 @@ mod tests {
     #[test]
     fn sfence_vma_decodes() {
         // sfence.vma zero, zero = 0x12000073
-        assert_eq!(
-            decode(0x1200_0073).unwrap(),
-            Instr::SfenceVma { rs1: Reg::X0, rs2: Reg::X0 }
-        );
+        assert_eq!(decode(0x1200_0073).unwrap(), Instr::SfenceVma { rs1: Reg::X0, rs2: Reg::X0 });
         // with rd != 0 it is reserved
         assert!(decode(0x1200_00f3).is_err());
     }

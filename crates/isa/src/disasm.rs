@@ -2,9 +2,7 @@
 
 use std::fmt;
 
-use crate::instr::{
-    AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, SystemOp,
-};
+use crate::instr::{AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, SystemOp};
 
 fn alu_name(op: AluOp) -> &'static str {
     match op {
@@ -155,12 +153,7 @@ impl fmt::Display for Instr {
                 write!(f, "lr.{}{} {rd}, ({rs1})", width_suffix(width), aqrl_suffix(aq, rl))
             }
             Instr::StoreConditional { width, rd, rs1, rs2, aq, rl } => {
-                write!(
-                    f,
-                    "sc.{}{} {rd}, {rs2}, ({rs1})",
-                    width_suffix(width),
-                    aqrl_suffix(aq, rl)
-                )
+                write!(f, "sc.{}{} {rd}, {rs2}, ({rs1})", width_suffix(width), aqrl_suffix(aq, rl))
             }
             Instr::Csr { op, rd, csr, src } => {
                 let base = match op {
@@ -220,8 +213,7 @@ mod tests {
 
     #[test]
     fn slti_and_sltiu_spellings() {
-        let slti =
-            Instr::OpImm { op: AluOp::Slt, rd: Reg::RA, rs1: Reg::SP, imm: -3, word: false };
+        let slti = Instr::OpImm { op: AluOp::Slt, rd: Reg::RA, rs1: Reg::SP, imm: -3, word: false };
         assert_eq!(slti.to_string(), "slti ra, sp, -3");
         let sltiu =
             Instr::OpImm { op: AluOp::Sltu, rd: Reg::RA, rs1: Reg::SP, imm: 3, word: false };

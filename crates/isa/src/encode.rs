@@ -276,7 +276,7 @@ fn encode_op_imm(op: AluOp, rd: Reg, rs1: Reg, imm: i64, word: bool) -> Result<u
         if !(0..=max).contains(&imm) {
             return Err(EncodeError::ImmOutOfRange { what: "shift amount", value: imm });
         }
-        let top: u32 = if op == AluOp::Sra { 0b0100_00 } else { 0 };
+        let top: u32 = if op == AluOp::Sra { 0b01_0000 } else { 0 };
         // For RV64 the discriminator occupies bits 31:26; the W form keeps a
         // full funct7 with the shamt below it. Both are covered by placing
         // `top << 26`.
@@ -333,12 +333,7 @@ mod tests {
             ),
             (Instr::NOP, 0x0000_0013),
             (
-                Instr::Branch {
-                    cond: BranchCond::Eq,
-                    rs1: Reg::RA,
-                    rs2: Reg::SP,
-                    offset: -4,
-                },
+                Instr::Branch { cond: BranchCond::Eq, rs1: Reg::RA, rs2: Reg::SP, offset: -4 },
                 0xfe20_8ee3,
             ),
             (Instr::Jal { rd: Reg::RA, offset: 4 }, 0x0040_00ef),
@@ -384,24 +379,13 @@ mod tests {
 
     #[test]
     fn rejects_invalid_combinations() {
-        let subi =
-            Instr::OpImm { op: AluOp::Sub, rd: Reg::RA, rs1: Reg::X0, imm: 0, word: false };
+        let subi = Instr::OpImm { op: AluOp::Sub, rd: Reg::RA, rs1: Reg::X0, imm: 0, word: false };
         assert!(matches!(encode(&subi), Err(EncodeError::InvalidCombination(_))));
-        let andw = Instr::Op {
-            op: AluOp::And,
-            rd: Reg::RA,
-            rs1: Reg::X0,
-            rs2: Reg::X0,
-            word: true,
-        };
+        let andw =
+            Instr::Op { op: AluOp::And, rd: Reg::RA, rs1: Reg::X0, rs2: Reg::X0, word: true };
         assert!(matches!(encode(&andw), Err(EncodeError::InvalidCombination(_))));
-        let ldu = Instr::Load {
-            width: MemWidth::D,
-            signed: false,
-            rd: Reg::RA,
-            rs1: Reg::X0,
-            offset: 0,
-        };
+        let ldu =
+            Instr::Load { width: MemWidth::D, signed: false, rd: Reg::RA, rs1: Reg::X0, offset: 0 };
         assert!(matches!(encode(&ldu), Err(EncodeError::InvalidCombination(_))));
     }
 

@@ -79,10 +79,7 @@ impl AluOp {
 
     /// Whether a 32-bit (`*W`) form of the operation exists.
     pub fn has_word_form(self) -> bool {
-        matches!(
-            self,
-            AluOp::Add | AluOp::Sub | AluOp::Sll | AluOp::Srl | AluOp::Sra
-        )
+        matches!(self, AluOp::Add | AluOp::Sub | AluOp::Sll | AluOp::Srl | AluOp::Sra)
     }
 
     /// Whether an immediate form of the operation exists.
@@ -139,10 +136,7 @@ impl MulDivOp {
 
     /// Whether the operation is a divide or remainder (multi-cycle in cores).
     pub fn is_div_rem(self) -> bool {
-        matches!(
-            self,
-            MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu
-        )
+        matches!(self, MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu)
     }
 }
 
@@ -451,13 +445,8 @@ pub enum Instr {
 
 impl Instr {
     /// The canonical `nop` (`addi zero, zero, 0`).
-    pub const NOP: Instr = Instr::OpImm {
-        op: AluOp::Add,
-        rd: Reg::X0,
-        rs1: Reg::X0,
-        imm: 0,
-        word: false,
-    };
+    pub const NOP: Instr =
+        Instr::OpImm { op: AluOp::Add, rd: Reg::X0, rs1: Reg::X0, imm: 0, word: false };
 
     /// The destination register written by this instruction, if any.
     ///
@@ -569,13 +558,8 @@ mod tests {
 
     #[test]
     fn mem_classification() {
-        let ld = Instr::Load {
-            width: MemWidth::D,
-            signed: true,
-            rd: Reg::RA,
-            rs1: Reg::SP,
-            offset: 0,
-        };
+        let ld =
+            Instr::Load { width: MemWidth::D, signed: true, rd: Reg::RA, rs1: Reg::SP, offset: 0 };
         assert!(ld.is_mem());
         assert!(!Instr::NOP.is_mem());
     }

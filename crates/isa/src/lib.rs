@@ -35,9 +35,7 @@ pub use csr::{Csr, CSR_LIST};
 pub use decode::{decode, decode_program, DecodeError};
 pub use encode::{encode, encode_program, EncodeError};
 pub use exception::{Exception, Interrupt, PrivLevel};
-pub use instr::{
-    AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, SystemOp,
-};
+pub use instr::{AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Instr, MemWidth, MulDivOp, SystemOp};
 pub use reg::Reg;
 
 /// Number of bytes in one (uncompressed) RISC-V instruction word.

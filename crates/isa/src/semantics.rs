@@ -105,9 +105,7 @@ pub fn muldiv(op: MulDivOp, a: u64, b: u64, word: bool) -> u64 {
                 }
             }
             // No *W forms; unreachable through the encoder.
-            MulDivOp::Mulh | MulDivOp::Mulhsu | MulDivOp::Mulhu => {
-                return muldiv(op, a, b, false)
-            }
+            MulDivOp::Mulh | MulDivOp::Mulhsu | MulDivOp::Mulhu => return muldiv(op, a, b, false),
         };
         i64::from(r32) as u64
     } else {
@@ -118,7 +116,7 @@ pub fn muldiv(op: MulDivOp, a: u64, b: u64, word: bool) -> u64 {
                 (wide >> 64) as u64
             }
             MulDivOp::Mulhsu => {
-                let wide = i128::from(a as i64) * i128::from(u128::from(b) as i128);
+                let wide = i128::from(a as i64) * (u128::from(b) as i128);
                 (wide >> 64) as u64
             }
             MulDivOp::Mulhu => {
@@ -133,13 +131,7 @@ pub fn muldiv(op: MulDivOp, a: u64, b: u64, word: bool) -> u64 {
                     a.wrapping_div(b) as u64
                 }
             }
-            MulDivOp::Divu => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            MulDivOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
             MulDivOp::Rem => {
                 let (a, b) = (a as i64, b as i64);
                 if b == 0 {

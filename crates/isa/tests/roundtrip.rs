@@ -12,12 +12,7 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 }
 
 fn arb_mem_width() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![
-        Just(MemWidth::B),
-        Just(MemWidth::H),
-        Just(MemWidth::W),
-        Just(MemWidth::D)
-    ]
+    prop_oneof![Just(MemWidth::B), Just(MemWidth::H), Just(MemWidth::W), Just(MemWidth::D)]
 }
 
 fn arb_amo_width() -> impl Strategy<Value = MemWidth> {
@@ -85,12 +80,14 @@ fn arb_csr_op() -> impl Strategy<Value = CsrOp> {
 fn arb_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
         (arb_reg(), -0x8_0000i64..0x8_0000).prop_map(|(rd, v)| Instr::Lui { rd, imm: v << 12 }),
-        (arb_reg(), -0x8_0000i64..0x8_0000)
-            .prop_map(|(rd, v)| Instr::Auipc { rd, imm: v << 12 }),
+        (arb_reg(), -0x8_0000i64..0x8_0000).prop_map(|(rd, v)| Instr::Auipc { rd, imm: v << 12 }),
         (arb_reg(), -0x10_0000i64 / 2..0x10_0000 / 2)
             .prop_map(|(rd, v)| Instr::Jal { rd, offset: v * 2 }),
-        (arb_reg(), arb_reg(), -2048i64..=2047)
-            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (arb_reg(), arb_reg(), -2048i64..=2047).prop_map(|(rd, rs1, offset)| Instr::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
         (arb_branch_cond(), arb_reg(), arb_reg(), -2048i64..2048)
             .prop_map(|(cond, rs1, rs2, v)| Instr::Branch { cond, rs1, rs2, offset: v * 2 }),
         (arb_mem_width(), any::<bool>(), arb_reg(), arb_reg(), -2048i64..=2047).prop_map(
@@ -107,11 +104,8 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
                 if !op.has_imm_form() || (word && !op.has_word_form()) {
                     return None;
                 }
-                let imm = if op.is_shift() {
-                    imm.rem_euclid(if word { 32 } else { 64 })
-                } else {
-                    imm
-                };
+                let imm =
+                    if op.is_shift() { imm.rem_euclid(if word { 32 } else { 64 }) } else { imm };
                 Some(Instr::OpImm { op, rd, rs1, imm, word })
             }
         ),
@@ -154,14 +148,7 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         (arb_amo_width(), arb_reg(), arb_reg(), any::<bool>(), any::<bool>())
             .prop_map(|(width, rd, rs1, aq, rl)| Instr::LoadReserved { width, rd, rs1, aq, rl }),
         (arb_amo_width(), arb_reg(), arb_reg(), arb_reg(), any::<bool>(), any::<bool>()).prop_map(
-            |(width, rd, rs1, rs2, aq, rl)| Instr::StoreConditional {
-                width,
-                rd,
-                rs1,
-                rs2,
-                aq,
-                rl
-            }
+            |(width, rd, rs1, rs2, aq, rl)| Instr::StoreConditional { width, rd, rs1, rs2, aq, rl }
         ),
         (arb_csr_op(), arb_reg(), 0u16..0x1000, arb_reg())
             .prop_map(|(op, rd, csr, rs1)| Instr::Csr { op, rd, csr, src: CsrSrc::Reg(rs1) }),

@@ -88,7 +88,7 @@ pub struct Forward {
 impl Gpt {
     /// Initialises a model with small Gaussian weights.
     pub fn new<R: Rng>(cfg: GptConfig, rng: &mut R) -> Gpt {
-        assert!(cfg.d_model % cfg.n_head == 0, "d_model must divide into heads");
+        assert!(cfg.d_model.is_multiple_of(cfg.n_head), "d_model must divide into heads");
         let std = 0.08;
         let block = |rng: &mut R| Block {
             ln1_g: Tensor::full(1, cfg.d_model, 1.0),
@@ -136,8 +136,8 @@ impl Gpt {
         let mut v: Vec<&Tensor> = vec![&self.wte, &self.wpe];
         for b in &self.blocks {
             v.extend([
-                &b.ln1_g, &b.ln1_b, &b.wq, &b.wk, &b.wv, &b.wo, &b.ln2_g, &b.ln2_b, &b.w1,
-                &b.b1, &b.w2, &b.b2,
+                &b.ln1_g, &b.ln1_b, &b.wq, &b.wk, &b.wv, &b.wo, &b.ln2_g, &b.ln2_b, &b.w1, &b.b1,
+                &b.w2, &b.b2,
             ]);
         }
         v.extend([&self.lnf_g, &self.lnf_b, &self.vhead_w, &self.vhead_b]);
@@ -367,10 +367,7 @@ mod tests {
             adam.step(&mut params, &grads);
         }
         let trained = loss_at(&model);
-        assert!(
-            trained < initial * 0.5,
-            "loss should halve: {initial} -> {trained}"
-        );
+        assert!(trained < initial * 0.5, "loss should halve: {initial} -> {trained}");
     }
 
     #[test]

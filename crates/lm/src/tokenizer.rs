@@ -77,10 +77,8 @@ impl Tokenizer {
             .map(|id| if id >= NIBBLE0 { vec![(id - NIBBLE0) as u8] } else { Vec::new() })
             .collect();
         // Working corpus: one token sequence per *instruction*.
-        let mut work: Vec<Vec<u32>> = corpus
-            .iter()
-            .flat_map(|prog| prog.iter().map(|w| word_nibble_tokens(*w)))
-            .collect();
+        let mut work: Vec<Vec<u32>> =
+            corpus.iter().flat_map(|prog| prog.iter().map(|w| word_nibble_tokens(*w))).collect();
         let mut merges = Vec::new();
         let mut merge_map = HashMap::new();
         while BASE_VOCAB + (merges.len() as u32) < vocab_size {
@@ -91,9 +89,8 @@ impl Tokenizer {
                 }
             }
             // Deterministic tie-break: highest count, then smallest pair.
-            let Some((&pair, &count)) = counts
-                .iter()
-                .max_by_key(|(pair, count)| (**count, std::cmp::Reverse(**pair)))
+            let Some((&pair, &count)) =
+                counts.iter().max_by_key(|(pair, count)| (**count, std::cmp::Reverse(**pair)))
             else {
                 break;
             };
@@ -173,10 +170,7 @@ impl Tokenizer {
     /// Encodes one instruction word (no specials).
     pub fn encode_word(&self, word: u32) -> Vec<u32> {
         if self.kind == TokenizerKind::FixedByte {
-            return (0..4)
-                .rev()
-                .map(|i| BASE_VOCAB + ((word >> (i * 8)) & 0xff))
-                .collect();
+            return (0..4).rev().map(|i| BASE_VOCAB + ((word >> (i * 8)) & 0xff)).collect();
         }
         let mut seq = word_nibble_tokens(word);
         loop {
@@ -209,24 +203,26 @@ impl Tokenizer {
         let mut nibbles: Vec<u8> = Vec::new();
         let mut poisoned = false;
         let mut saw_any = false;
-        let flush =
-            |nibbles: &mut Vec<u8>, poisoned: &mut bool, saw: &mut bool, out: &mut Vec<Option<u32>>| {
-                if !*saw {
-                    return;
+        let flush = |nibbles: &mut Vec<u8>,
+                     poisoned: &mut bool,
+                     saw: &mut bool,
+                     out: &mut Vec<Option<u32>>| {
+            if !*saw {
+                return;
+            }
+            if *poisoned || nibbles.len() != 8 {
+                out.push(None);
+            } else {
+                let mut w = 0u32;
+                for n in nibbles.iter() {
+                    w = (w << 4) | u32::from(*n);
                 }
-                if *poisoned || nibbles.len() != 8 {
-                    out.push(None);
-                } else {
-                    let mut w = 0u32;
-                    for n in nibbles.iter() {
-                        w = (w << 4) | u32::from(*n);
-                    }
-                    out.push(Some(w));
-                }
-                nibbles.clear();
-                *poisoned = false;
-                *saw = false;
-            };
+                out.push(Some(w));
+            }
+            nibbles.clear();
+            *poisoned = false;
+            *saw = false;
+        };
         for &t in tokens {
             match t {
                 PAD => {}

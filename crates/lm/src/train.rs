@@ -92,11 +92,7 @@ pub fn train_lm<R: Rng>(
         }
         let mut params = model.params_mut();
         let grad_norm = adam.step(&mut params, &grads);
-        curve.push(TrainStep {
-            step,
-            loss: batch_loss / cfg.batch_size as f32,
-            grad_norm,
-        });
+        curve.push(TrainStep { step, loss: batch_loss / cfg.batch_size as f32, grad_norm });
     }
     curve
 }

@@ -52,13 +52,7 @@ pub struct ArchExec {
 impl ArchExec {
     /// Creates the architectural state around `mem`.
     pub fn new(mem: Memory, pma_before_align: bool) -> ArchExec {
-        ArchExec {
-            regs: [0; 32],
-            csrs: CsrFile::new(),
-            mem,
-            reservation: None,
-            pma_before_align,
-        }
+        ArchExec { regs: [0; 32], csrs: CsrFile::new(), mem, reservation: None, pma_before_align }
     }
 
     /// Reads a register.
@@ -75,14 +69,9 @@ impl ArchExec {
         }
     }
 
-    fn check_data_addr(
-        &self,
-        addr: u64,
-        width: MemWidth,
-        is_store: bool,
-    ) -> Result<(), Exception> {
+    fn check_data_addr(&self, addr: u64, width: MemWidth, is_store: bool) -> Result<(), Exception> {
         let len = width.bytes();
-        let misaligned = addr % len != 0;
+        let misaligned = !addr.is_multiple_of(len);
         // `tohost` is a valid store target outside RAM.
         let pma_ok =
             self.mem.in_ram(addr, len) || (is_store && !misaligned && self.mem.is_tohost(addr));
@@ -122,14 +111,8 @@ impl ArchExec {
     /// trap if `ArchOutcome::Trap` is returned.
     pub fn execute(&mut self, instr: Instr, pc: u64, word: u32) -> ArchOutcome {
         let priv_level = self.csrs.priv_level;
-        let record = |rd_write, mem| CommitRecord {
-            pc,
-            word,
-            priv_level,
-            rd_write,
-            mem,
-            trap: None,
-        };
+        let record =
+            |rd_write, mem| CommitRecord { pc, word, priv_level, rd_write, mem, trap: None };
         let vis = |rd: Reg, v: u64| (!rd.is_zero()).then_some((rd, v));
         match instr {
             Instr::Lui { rd, imm } => {
@@ -143,7 +126,7 @@ impl ArchExec {
             }
             Instr::Jal { rd, offset } => {
                 let target = pc.wrapping_add(offset as u64);
-                if target % 4 != 0 {
+                if !target.is_multiple_of(4) {
                     return ArchOutcome::Trap(Exception::InstrAddrMisaligned { addr: target });
                 }
                 let link = pc.wrapping_add(4);
@@ -152,7 +135,7 @@ impl ArchExec {
             }
             Instr::Jalr { rd, rs1, offset } => {
                 let target = self.reg(rs1).wrapping_add(offset as u64) & !1;
-                if target % 4 != 0 {
+                if !target.is_multiple_of(4) {
                     return ArchOutcome::Trap(Exception::InstrAddrMisaligned { addr: target });
                 }
                 let link = pc.wrapping_add(4);
@@ -162,10 +145,8 @@ impl ArchExec {
             Instr::Branch { cond, rs1, rs2, offset } => {
                 if branch_taken(cond, self.reg(rs1), self.reg(rs2)) {
                     let target = pc.wrapping_add(offset as u64);
-                    if target % 4 != 0 {
-                        return ArchOutcome::Trap(Exception::InstrAddrMisaligned {
-                            addr: target,
-                        });
+                    if !target.is_multiple_of(4) {
+                        return ArchOutcome::Trap(Exception::InstrAddrMisaligned { addr: target });
                     }
                     ArchOutcome::Jump { target, record: record(None, None) }
                 } else {
@@ -183,8 +164,7 @@ impl ArchExec {
                 let raw = self.mem.read_raw(addr, width.bytes());
                 let v = extend_loaded(raw, width, signed);
                 self.set_reg(rd, v);
-                let mem =
-                    MemEffect { addr, bytes: width.bytes() as u8, is_store: false, value: v };
+                let mem = MemEffect { addr, bytes: width.bytes() as u8, is_store: false, value: v };
                 ArchOutcome::Next(record(vis(rd, v), Some(mem)))
             }
             Instr::Store { width, rs2, rs1, offset } => {
@@ -196,18 +176,13 @@ impl ArchExec {
                 match self.mem.store(addr, width, value) {
                     Ok(effect) => {
                         self.reservation = None;
-                        let mem = MemEffect {
-                            addr,
-                            bytes: width.bytes() as u8,
-                            is_store: true,
-                            value,
-                        };
+                        let mem =
+                            MemEffect { addr, bytes: width.bytes() as u8, is_store: true, value };
                         match effect {
                             StoreEffect::Ram => ArchOutcome::Next(record(None, Some(mem))),
-                            StoreEffect::ToHost(v) => ArchOutcome::Halt(
-                                ExitReason::ToHost(v),
-                                record(None, Some(mem)),
-                            ),
+                            StoreEffect::ToHost(v) => {
+                                ArchOutcome::Halt(ExitReason::ToHost(v), record(None, Some(mem)))
+                            }
                         }
                     }
                     Err(e) => ArchOutcome::Trap(e),
@@ -252,8 +227,7 @@ impl ArchExec {
                 let v = extend_loaded(raw, width, true);
                 self.reservation = Some(addr);
                 self.set_reg(rd, v);
-                let mem =
-                    MemEffect { addr, bytes: width.bytes() as u8, is_store: false, value: v };
+                let mem = MemEffect { addr, bytes: width.bytes() as u8, is_store: false, value: v };
                 ArchOutcome::Next(record(vis(rd, v), Some(mem)))
             }
             Instr::StoreConditional { width, rd, rs1, rs2, .. } => {
@@ -272,12 +246,7 @@ impl ArchExec {
                         _ => value,
                     };
                     self.mem.write_raw(addr, width.bytes(), stored);
-                    Some(MemEffect {
-                        addr,
-                        bytes: width.bytes() as u8,
-                        is_store: true,
-                        value,
-                    })
+                    Some(MemEffect { addr, bytes: width.bytes() as u8, is_store: true, value })
                 } else {
                     None
                 };
@@ -342,7 +311,7 @@ impl ArchExec {
     /// *store* exceptions. Subject to the same Finding-1 ordering flag.
     fn check_data_addr_amo(&self, addr: u64, width: MemWidth) -> Result<(), Exception> {
         let len = width.bytes();
-        let misaligned = addr % len != 0;
+        let misaligned = !addr.is_multiple_of(len);
         let pma_ok = self.mem.in_ram(addr, len);
         self.order_checks(
             misaligned,
@@ -355,7 +324,7 @@ impl ArchExec {
     /// LR address check (load exception flavour).
     fn check_lr_addr(&self, addr: u64, width: MemWidth) -> Result<(), Exception> {
         let len = width.bytes();
-        let misaligned = addr % len != 0;
+        let misaligned = !addr.is_multiple_of(len);
         let pma_ok = self.mem.in_ram(addr, len);
         self.order_checks(
             misaligned,
@@ -430,7 +399,7 @@ mod tests {
         // Misaligned but inside RAM: both orders report misaligned.
         for pma_first in [false, true] {
             let mut e = exec(pma_first);
-            e.set_reg(t0, (DEFAULT_RAM_BASE + 1) as u64);
+            e.set_reg(t0, DEFAULT_RAM_BASE + 1);
             match e.execute(load, DEFAULT_RAM_BASE, 0) {
                 ArchOutcome::Trap(Exception::LoadAddrMisaligned { .. }) => {}
                 other => panic!("expected misaligned, got {other:?}"),
@@ -452,7 +421,7 @@ mod tests {
             rl: false,
         };
         let mut e = exec(false);
-        e.set_reg(t0, (DEFAULT_RAM_BASE + 4) as u64); // aligned to 4, not 8
+        e.set_reg(t0, DEFAULT_RAM_BASE + 4); // aligned to 4, not 8
         match e.execute(amo_instr, DEFAULT_RAM_BASE, 0) {
             ArchOutcome::Trap(Exception::StoreAddrMisaligned { .. }) => {}
             other => panic!("expected store-misaligned, got {other:?}"),

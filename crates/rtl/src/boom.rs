@@ -116,14 +116,17 @@ impl Boom {
     /// Elaborates the design and its coverage space.
     pub fn new(cfg: BoomConfig) -> Boom {
         let mut b = SpaceBuilder::new("boom");
-        let icache = ICache::new(ICacheConfig { coherent: true, ..cfg.icache }, "boom.icache", &mut b);
+        let icache =
+            ICache::new(ICacheConfig { coherent: true, ..cfg.icache }, "boom.icache", &mut b);
         let dcache = DCache::new(cfg.dcache, "boom.dcache", &mut b);
         let predictor = Predictor::new(cfg.predictor, "boom.bpu", &mut b);
         let muldiv = MulDiv::new(cfg.muldiv, "boom.muldiv", &mut b);
         let tracer = Tracer::new(TracerBugs::all_off(), "boom.tracer", &mut b);
         let ids = CoreIds::register("boom", cfg.dead_conds, &mut b);
         let deep = DeepIds::register("boom", &mut b);
-        let c = |b: &mut SpaceBuilder, n: &str| b.register(format!("boom.ooo.{n}"), PointKind::Condition);
+        let c = |b: &mut SpaceBuilder, n: &str| {
+            b.register(format!("boom.ooo.{n}"), PointKind::Condition)
+        };
         let ooo = OooIds {
             dual_issue: c(&mut b, "dual_issue"),
             issue_dep_stall: c(&mut b, "issue_dep_stall"),
@@ -185,7 +188,7 @@ impl Dut for Boom {
             self.ids.tick_dead(&mut cov);
             arch.csrs.tick_cycle(1);
 
-            let fetch_exc = if pc % 4 != 0 {
+            let fetch_exc = if !pc.is_multiple_of(4) {
                 Some(chatfuzz_isa::Exception::InstrAddrMisaligned { addr: pc })
             } else if !arch.mem.in_ram(pc, 4) {
                 Some(chatfuzz_isa::Exception::InstrAccessFault { addr: pc })
@@ -198,8 +201,7 @@ impl Dut for Boom {
                     let e = $e;
                     let from = arch.csrs.priv_level;
                     let delegated = arch.csrs.delegated_to_s(e.cause());
-                    let vec =
-                        if delegated { arch.csrs.stvec() } else { arch.csrs.mtvec() };
+                    let vec = if delegated { arch.csrs.stvec() } else { arch.csrs.mtvec() };
                     if vec == 0 {
                         self.ids.cover_trap(&e, from, delegated, true, &mut cov);
                         return DutRun {
@@ -263,7 +265,8 @@ impl Dut for Boom {
             let sources = instr.sources();
             let dep_on_last = last_rd.is_some_and(|r| sources.contains(&r));
             cover!(cov, self.ooo.issue_dep_stall, dep_on_last);
-            let pair = !dep_on_last && !last_was_paired && !instr.is_mem() && !instr.is_control_flow();
+            let pair =
+                !dep_on_last && !last_was_paired && !instr.is_mem() && !instr.is_control_flow();
             if cover!(cov, self.ooo.dual_issue, pair) {
                 // Second slot of a pair issues for free.
             } else {
@@ -328,7 +331,8 @@ impl Dut for Boom {
             if let Some(mem_eff) = record.mem {
                 if arch.mem.in_ram(mem_eff.addr, u64::from(mem_eff.bytes)) {
                     let is_amo = matches!(instr, Instr::Amo { .. });
-                    let access = self.dcache.access(mem_eff.addr, mem_eff.is_store, is_amo, &mut cov);
+                    let access =
+                        self.dcache.access(mem_eff.addr, mem_eff.is_store, is_amo, &mut cov);
                     cycles += access.cycles / 2; // partially hidden by OoO
                     if !access.hit {
                         rob_occ = (rob_occ + 3).min(self.cfg.rob_entries);
@@ -359,7 +363,8 @@ impl Dut for Boom {
             match instr {
                 Instr::Branch { .. } => {
                     let taken = next_pc != pc.wrapping_add(4);
-                    let res = self.predictor.resolve_branch(pc, taken, next_pc, predicted, &mut cov);
+                    let res =
+                        self.predictor.resolve_branch(pc, taken, next_pc, predicted, &mut cov);
                     if res.mispredicted {
                         cover!(cov, self.ooo.flush_recovery, true);
                         rob_occ = 0;
@@ -367,12 +372,26 @@ impl Dut for Boom {
                     cycles += res.cycles;
                 }
                 Instr::Jal { rd, .. } => {
-                    let res = self.predictor.resolve_jump(pc, next_pc, rd == Reg::RA, false, predicted, &mut cov);
+                    let res = self.predictor.resolve_jump(
+                        pc,
+                        next_pc,
+                        rd == Reg::RA,
+                        false,
+                        predicted,
+                        &mut cov,
+                    );
                     cycles += res.cycles;
                 }
                 Instr::Jalr { rd, rs1, .. } => {
                     let is_ret = rs1 == Reg::RA && rd == Reg::X0;
-                    let res = self.predictor.resolve_jump(pc, next_pc, rd == Reg::RA, is_ret, predicted, &mut cov);
+                    let res = self.predictor.resolve_jump(
+                        pc,
+                        next_pc,
+                        rd == Reg::RA,
+                        is_ret,
+                        predicted,
+                        &mut cov,
+                    );
                     if res.mispredicted {
                         cover!(cov, self.ooo.flush_recovery, true);
                         rob_occ = 0;
@@ -388,12 +407,9 @@ impl Dut for Boom {
                 _ => {}
             }
 
-            self.ids
-                .cover_retire(&instr, &record, next_pc, arch.reservation.is_some(), &mut cov);
+            self.ids.cover_retire(&instr, &record, next_pc, arch.reservation.is_some(), &mut cov);
             let taken_backward = match instr {
-                Instr::Branch { offset, .. }
-                    if offset < 0 && next_pc != pc.wrapping_add(4) =>
-                {
+                Instr::Branch { offset, .. } if offset < 0 && next_pc != pc.wrapping_add(4) => {
                     Some(pc)
                 }
                 _ => None,
@@ -475,12 +491,7 @@ mod tests {
         })
         .unwrap();
         asm.li(t1, i64::from(new_word as i32));
-        asm.push(Instr::Store {
-            width: chatfuzz_isa::MemWidth::W,
-            rs2: t1,
-            rs1: t0,
-            offset: 16,
-        });
+        asm.push(Instr::Store { width: chatfuzz_isa::MemWidth::W, rs2: t1, rs1: t0, offset: 16 });
         asm.push(Instr::OpImm { op: AluOp::Add, rd: a(10), rs1: a(10), imm: 1, word: false });
         asm.push(Instr::System(SystemOp::Wfi));
         let bytes = asm.assemble_bytes().unwrap();

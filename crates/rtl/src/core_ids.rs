@@ -89,8 +89,12 @@ impl CoreIds {
     /// the unreachable block (larger for Rocket, smaller for BOOM, matching
     /// each design's share of fuzzer-unreachable RTL).
     pub fn register(prefix: &str, dead_conds: usize, b: &mut SpaceBuilder) -> CoreIds {
-        let c = |b: &mut SpaceBuilder, n: &str| b.register(format!("{prefix}.{n}"), PointKind::Condition);
-        let m = |b: &mut SpaceBuilder, n: &str| b.register(format!("{prefix}.{n}"), PointKind::MuxSelect);
+        let c = |b: &mut SpaceBuilder, n: &str| {
+            b.register(format!("{prefix}.{n}"), PointKind::Condition)
+        };
+        let m = |b: &mut SpaceBuilder, n: &str| {
+            b.register(format!("{prefix}.{n}"), PointKind::MuxSelect)
+        };
         let class = ClassIds {
             lui: m(b, "dec.is_lui"),
             auipc: m(b, "dec.is_auipc"),
@@ -116,7 +120,8 @@ impl CoreIds {
         let cause = (0..12)
             .map(|i| b.register(format!("{prefix}.trap.cause{i}"), PointKind::Condition))
             .collect();
-        let dead = b.register_array(&format!("{prefix}.unreachable"), dead_conds, PointKind::Condition);
+        let dead =
+            b.register_array(&format!("{prefix}.unreachable"), dead_conds, PointKind::Condition);
         CoreIds {
             class,
             rd_x0: c(b, "dec.rd_is_x0"),
@@ -426,8 +431,7 @@ impl DeepState {
         cover!(
             cov,
             ids.sret_from_s,
-            priv_level == PrivLevel::Supervisor
-                && matches!(instr, Instr::System(SystemOp::Sret))
+            priv_level == PrivLevel::Supervisor && matches!(instr, Instr::System(SystemOp::Sret))
         );
         let is_muldiv = matches!(instr, Instr::MulDiv { .. });
         cover!(cov, ids.muldiv_pair, is_muldiv && self.last_was_muldiv);
@@ -449,10 +453,7 @@ impl DeepState {
 /// Whether a memory effect targeted RAM (vs the tohost device); trace
 /// records do not carry the region, so use the address range convention.
 fn mem_in_ram_hint(record: &CommitRecord) -> bool {
-    record
-        .mem
-        .map(|m| m.addr >= 0x8000_0000)
-        .unwrap_or(true)
+    record.mem.map(|m| m.addr >= 0x8000_0000).unwrap_or(true)
 }
 
 #[cfg(test)]

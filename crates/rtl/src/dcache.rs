@@ -83,7 +83,8 @@ impl DCache {
             hit_way: b.register_array(&format!("{prefix}.hit_way"), cfg.ways, PointKind::Condition),
             miss: b.register(format!("{prefix}.miss"), PointKind::Condition),
             writeback_dirty: b.register(format!("{prefix}.writeback_dirty"), PointKind::Condition),
-            store_marks_dirty: b.register(format!("{prefix}.store_marks_dirty"), PointKind::Condition),
+            store_marks_dirty: b
+                .register(format!("{prefix}.store_marks_dirty"), PointKind::Condition),
             sb_forward: b.register(format!("{prefix}.sb_forward"), PointKind::Condition),
             sb_full_stall: b.register(format!("{prefix}.sb_full"), PointKind::Condition),
             amo_path: b.register(format!("{prefix}.amo_path"), PointKind::MuxSelect),
@@ -152,9 +153,8 @@ impl DCache {
         if let Some(way) = hit_way {
             cov.hit(self.ids.miss, false);
             let line = &mut self.meta[set * self.cfg.ways + way];
-            if cover!(cov, self.ids.store_marks_dirty, is_store && !line.dirty) {
-                line.dirty = true;
-            } else if is_store {
+            cover!(cov, self.ids.store_marks_dirty, is_store && !line.dirty);
+            if is_store {
                 line.dirty = true;
             }
             self.lru[set] = way as u8;
@@ -210,7 +210,7 @@ mod tests {
     fn dirty_victim_costs_writeback() {
         let (mut dc, mut cov) = setup();
         let stride = 16 * 64; // same set
-        // Fill all 4 ways with dirty lines.
+                              // Fill all 4 ways with dirty lines.
         for i in 0..4u64 {
             dc.access(0x8000_0000 + i * stride, true, false, &mut cov);
         }

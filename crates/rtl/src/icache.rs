@@ -68,7 +68,8 @@ impl ICache {
             miss_refill: b.register(format!("{prefix}.miss_refill"), PointKind::Condition),
             evict_valid: b.register(format!("{prefix}.evict_valid"), PointKind::Condition),
             flush_had_lines: b.register(format!("{prefix}.flush_had_lines"), PointKind::Condition),
-            snoop_invalidate: b.register(format!("{prefix}.snoop_invalidate"), PointKind::Condition),
+            snoop_invalidate: b
+                .register(format!("{prefix}.snoop_invalidate"), PointKind::Condition),
             stale_fetch: b.register(format!("{prefix}.stale_vs_ram"), PointKind::Condition),
             lru_way: b.register(format!("{prefix}.replace_way1"), PointKind::MuxSelect),
         };
@@ -117,11 +118,8 @@ impl ICache {
         cov.hit(self.ids.miss_refill, true);
         // Refill: pick the non-LRU way (pseudo-LRU for 2 ways; round-robin
         // beyond).
-        let victim = if self.cfg.ways == 1 {
-            0
-        } else {
-            (self.lru[set] as usize + 1) % self.cfg.ways
-        };
+        let victim =
+            if self.cfg.ways == 1 { 0 } else { (self.lru[set] as usize + 1) % self.cfg.ways };
         cover!(cov, self.ids.lru_way, victim == 1);
         let line_base = pc - (pc % self.cfg.line_bytes);
         {

@@ -17,12 +17,7 @@ pub struct PredictorConfig {
 
 impl Default for PredictorConfig {
     fn default() -> Self {
-        PredictorConfig {
-            btb_entries: 16,
-            bht_entries: 64,
-            ras_depth: 2,
-            mispredict_penalty: 3,
-        }
+        PredictorConfig { btb_entries: 16, bht_entries: 64, ras_depth: 2, mispredict_penalty: 3 }
     }
 }
 
@@ -66,11 +61,15 @@ impl Predictor {
         let ids = Ids {
             btb_hit: b.register(format!("{prefix}.btb_hit"), PointKind::Condition),
             btb_evict: b.register(format!("{prefix}.btb_evict"), PointKind::Condition),
-            bht_predict_taken: b.register(format!("{prefix}.bht_predict_taken"), PointKind::MuxSelect),
+            bht_predict_taken: b
+                .register(format!("{prefix}.bht_predict_taken"), PointKind::MuxSelect),
             bht_sat_hi: b.register(format!("{prefix}.bht_saturated_taken"), PointKind::Condition),
-            bht_sat_lo: b.register(format!("{prefix}.bht_saturated_not_taken"), PointKind::Condition),
-            mispredict_dir: b.register(format!("{prefix}.mispredict_direction"), PointKind::Condition),
-            mispredict_target: b.register(format!("{prefix}.mispredict_target"), PointKind::Condition),
+            bht_sat_lo: b
+                .register(format!("{prefix}.bht_saturated_not_taken"), PointKind::Condition),
+            mispredict_dir: b
+                .register(format!("{prefix}.mispredict_direction"), PointKind::Condition),
+            mispredict_target: b
+                .register(format!("{prefix}.mispredict_target"), PointKind::Condition),
             ras_push_overflow: b.register(format!("{prefix}.ras_overflow"), PointKind::Condition),
             ras_pop_empty: b.register(format!("{prefix}.ras_pop_empty"), PointKind::Condition),
             ras_correct: b.register(format!("{prefix}.ras_correct"), PointKind::Condition),

@@ -138,8 +138,7 @@ impl Rocket {
     /// Elaborates the design: builds every unit and the coverage space.
     pub fn new(cfg: RocketConfig) -> Rocket {
         let mut b = SpaceBuilder::new("rocket");
-        let icache_cfg =
-            ICacheConfig { coherent: !cfg.bugs.bug1_incoherent_icache, ..cfg.icache };
+        let icache_cfg = ICacheConfig { coherent: !cfg.bugs.bug1_incoherent_icache, ..cfg.icache };
         let icache = ICache::new(icache_cfg, "rocket.icache", &mut b);
         let dcache = DCache::new(cfg.dcache, "rocket.dcache", &mut b);
         let predictor = Predictor::new(cfg.predictor, "rocket.bpu", &mut b);
@@ -204,7 +203,7 @@ impl Dut for Rocket {
             cycles += 1;
 
             // ---- Fetch ----
-            let fetch_exc = if pc % 4 != 0 {
+            let fetch_exc = if !pc.is_multiple_of(4) {
                 Some(chatfuzz_isa::Exception::InstrAddrMisaligned { addr: pc })
             } else if !arch.mem.in_ram(pc, 4) {
                 Some(chatfuzz_isa::Exception::InstrAccessFault { addr: pc })
@@ -213,7 +212,14 @@ impl Dut for Rocket {
             };
             if let Some(e) = fetch_exc {
                 match take_trap(
-                    &mut arch, &self.ids, &mut self.tracer, e, pc, 0, None, &mut cov,
+                    &mut arch,
+                    &self.ids,
+                    &mut self.tracer,
+                    e,
+                    pc,
+                    0,
+                    None,
+                    &mut cov,
                     self.cfg.trap_penalty,
                 ) {
                     TrapTaken::Handled { record, handler_pc, cost } => {
@@ -245,7 +251,14 @@ impl Dut for Rocket {
                     self.ids.cover_decode(Err(()), &mut cov);
                     let e = chatfuzz_isa::Exception::IllegalInstr { word };
                     match take_trap(
-                        &mut arch, &self.ids, &mut self.tracer, e, pc, word, None, &mut cov,
+                        &mut arch,
+                        &self.ids,
+                        &mut self.tracer,
+                        e,
+                        pc,
+                        word,
+                        None,
+                        &mut cov,
                         self.cfg.trap_penalty,
                     ) {
                         TrapTaken::Handled { record, handler_pc, cost } => {
@@ -269,11 +282,7 @@ impl Dut for Rocket {
             if cover!(cov, self.pipe.load_use_stall, load_use) {
                 cycles += 1;
             }
-            cover!(
-                cov,
-                self.pipe.bypass_ex_ex,
-                prev_alu_rd.is_some_and(|r| sources.contains(&r))
-            );
+            cover!(cov, self.pipe.bypass_ex_ex, prev_alu_rd.is_some_and(|r| sources.contains(&r)));
             cover!(
                 cov,
                 self.pipe.bypass_mem_ex,
@@ -293,7 +302,7 @@ impl Dut for Rocket {
             let amo_x0_old = match instr {
                 Instr::Amo { rd, rs1, width, .. } if rd.is_zero() => {
                     let addr = arch.reg(rs1);
-                    (addr % width.bytes() == 0 && arch.mem.in_ram(addr, width.bytes()))
+                    (addr.is_multiple_of(width.bytes()) && arch.mem.in_ram(addr, width.bytes()))
                         .then(|| {
                             let raw = arch.mem.read_raw(addr, width.bytes());
                             (Reg::X0, extend_loaded(raw, width, true))
@@ -356,7 +365,8 @@ impl Dut for Rocket {
             if let Some(mem_eff) = record.mem {
                 if arch.mem.in_ram(mem_eff.addr, u64::from(mem_eff.bytes)) {
                     let is_amo = matches!(instr, Instr::Amo { .. });
-                    let access = self.dcache.access(mem_eff.addr, mem_eff.is_store, is_amo, &mut cov);
+                    let access =
+                        self.dcache.access(mem_eff.addr, mem_eff.is_store, is_amo, &mut cov);
                     cycles += access.cycles;
                 }
                 if mem_eff.is_store {
@@ -369,7 +379,8 @@ impl Dut for Rocket {
             match instr {
                 Instr::Branch { .. } => {
                     let taken = next_pc != pc.wrapping_add(4);
-                    let res = self.predictor.resolve_branch(pc, taken, next_pc, predicted, &mut cov);
+                    let res =
+                        self.predictor.resolve_branch(pc, taken, next_pc, predicted, &mut cov);
                     cycles += res.cycles;
                 }
                 Instr::Jal { rd, .. } => {
@@ -406,12 +417,9 @@ impl Dut for Rocket {
             }
 
             // ---- Retire ----
-            self.ids
-                .cover_retire(&instr, &record, next_pc, arch.reservation.is_some(), &mut cov);
+            self.ids.cover_retire(&instr, &record, next_pc, arch.reservation.is_some(), &mut cov);
             let taken_backward = match instr {
-                Instr::Branch { offset, .. }
-                    if offset < 0 && next_pc != pc.wrapping_add(4) =>
-                {
+                Instr::Branch { offset, .. } if offset < 0 && next_pc != pc.wrapping_add(4) => {
                     Some(pc)
                 }
                 _ => None,
@@ -461,10 +469,7 @@ impl Dut for Rocket {
 
 /// Whether the just-taken trap record landed in S-mode (delegated).
 fn delegated_hint(_arch: &ArchExec, record: &CommitRecord) -> bool {
-    record
-        .trap
-        .map(|t| t.to == chatfuzz_isa::PrivLevel::Supervisor)
-        .unwrap_or(false)
+    record.trap.map(|t| t.to == chatfuzz_isa::PrivLevel::Supervisor).unwrap_or(false)
 }
 
 enum TrapTaken {
@@ -554,7 +559,7 @@ mod tests {
         let t1 = a(6);
         let mut asm = Assembler::new();
         asm.push(Instr::Auipc { rd: t0, imm: 0 }); // t0 = base
-        // t1 = new instruction word for "addi a0, a0, 64"
+                                                   // t1 = new instruction word for "addi a0, a0, 64"
         let new_word = chatfuzz_isa::encode(&Instr::OpImm {
             op: AluOp::Add,
             rd: a(10),
@@ -631,7 +636,13 @@ mod tests {
         let mut asm = Assembler::new();
         asm.li(a(10), 6);
         asm.li(a(11), 7);
-        asm.push(Instr::MulDiv { op: MulDivOp::Mul, rd: a(12), rs1: a(10), rs2: a(11), word: false });
+        asm.push(Instr::MulDiv {
+            op: MulDivOp::Mul,
+            rd: a(12),
+            rs1: a(10),
+            rs2: a(11),
+            word: false,
+        });
         asm.push(Instr::System(SystemOp::Wfi));
         let bytes = asm.assemble_bytes().unwrap();
         let golden_trace = golden(&bytes);

@@ -138,8 +138,8 @@ impl Tracer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chatfuzz_isa::{AluOp, AmoOp, MemWidth, MulDivOp, PrivLevel};
     use chatfuzz_coverage::CovMap;
+    use chatfuzz_isa::{AluOp, AmoOp, MemWidth, MulDivOp, PrivLevel};
 
     fn setup(bugs: TracerBugs) -> (Tracer, CovMap) {
         let mut b = SpaceBuilder::new("tracer-test");
@@ -162,8 +162,7 @@ mod tests {
     fn bug2_suppresses_muldiv_writeback() {
         let (mut t, mut cov) = setup(TracerBugs::all_on());
         let a0 = Reg::new(10).unwrap();
-        let instr =
-            Instr::MulDiv { op: MulDivOp::Mul, rd: a0, rs1: a0, rs2: a0, word: false };
+        let instr = Instr::MulDiv { op: MulDivOp::Mul, rd: a0, rs1: a0, rs2: a0, word: false };
         let out = t.emit(record(Some((a0, 42))), Some(&instr), Some((a0, 42)), &mut cov);
         assert_eq!(out.rd_write, None);
 

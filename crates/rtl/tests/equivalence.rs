@@ -21,13 +21,7 @@ fn interesting_instr() -> impl Strategy<Value = Instr> {
         (reg(), -0x800i64..0x800).prop_map(|(rd, v)| Instr::Lui { rd, imm: v << 12 }),
         (reg(), reg(), -64i64..=63, any::<bool>()).prop_filter_map(
             "imm alu",
-            |(rd, rs1, imm, word)| Some(Instr::OpImm {
-                op: AluOp::Add,
-                rd,
-                rs1,
-                imm,
-                word
-            })
+            |(rd, rs1, imm, word)| Some(Instr::OpImm { op: AluOp::Add, rd, rs1, imm, word })
         ),
         (reg(), reg(), reg()).prop_map(|(rd, rs1, rs2)| Instr::Op {
             op: AluOp::Xor,

@@ -399,16 +399,11 @@ impl CsrFile {
     pub fn sret(&mut self) -> Result<u64, CsrIllegal> {
         match self.priv_level {
             PrivLevel::User => return Err(CsrIllegal),
-            PrivLevel::Supervisor if self.mstatus & mstatus::TSR != 0 => {
-                return Err(CsrIllegal)
-            }
+            PrivLevel::Supervisor if self.mstatus & mstatus::TSR != 0 => return Err(CsrIllegal),
             _ => {}
         }
-        let new_priv = if self.mstatus & mstatus::SPP != 0 {
-            PrivLevel::Supervisor
-        } else {
-            PrivLevel::User
-        };
+        let new_priv =
+            if self.mstatus & mstatus::SPP != 0 { PrivLevel::Supervisor } else { PrivLevel::User };
         let spie = self.mstatus & mstatus::SPIE != 0;
         self.mstatus &= !(mstatus::SIE | mstatus::SPP);
         if spie {
@@ -485,7 +480,7 @@ mod tests {
         c.priv_level = PrivLevel::User;
         assert_eq!(c.read(Csr::CYCLE.addr()), Err(CsrIllegal)); // scounteren still 0
         c.priv_level = PrivLevel::Machine;
-        c.write(Csr::SCOUNTEREN.addr() , 0b1).unwrap();
+        c.write(Csr::SCOUNTEREN.addr(), 0b1).unwrap();
         c.priv_level = PrivLevel::User;
         assert!(c.read(Csr::CYCLE.addr()).is_ok());
     }

@@ -86,11 +86,8 @@ impl Hart {
     fn trap(&mut self, e: Exception, pc: u64, word: u32) -> StepResult {
         self.reservation = None;
         let from = self.csrs.priv_level;
-        let vec = if self.csrs.delegated_to_s(e.cause()) {
-            self.csrs.stvec()
-        } else {
-            self.csrs.mtvec()
-        };
+        let vec =
+            if self.csrs.delegated_to_s(e.cause()) { self.csrs.stvec() } else { self.csrs.mtvec() };
         if vec == 0 {
             return StepResult::Halt(ExitReason::UnhandledTrap(e), None);
         }
@@ -108,14 +105,8 @@ impl Hart {
 
     fn execute(&mut self, instr: Instr, pc: u64, word: u32) -> Exec {
         let priv_level = self.csrs.priv_level;
-        let record = |rd_write, mem| CommitRecord {
-            pc,
-            word,
-            priv_level,
-            rd_write,
-            mem,
-            trap: None,
-        };
+        let record =
+            |rd_write, mem| CommitRecord { pc, word, priv_level, rd_write, mem, trap: None };
         // The golden tracer never reports x0 as a destination.
         let vis = |rd: Reg, v: u64| (!rd.is_zero()).then_some((rd, v));
         match instr {
@@ -130,7 +121,7 @@ impl Hart {
             }
             Instr::Jal { rd, offset } => {
                 let target = pc.wrapping_add(offset as u64);
-                if target % 4 != 0 {
+                if !target.is_multiple_of(4) {
                     return Exec::Trap(Exception::InstrAddrMisaligned { addr: target });
                 }
                 let link = pc.wrapping_add(4);
@@ -139,7 +130,7 @@ impl Hart {
             }
             Instr::Jalr { rd, rs1, offset } => {
                 let target = self.reg(rs1).wrapping_add(offset as u64) & !1;
-                if target % 4 != 0 {
+                if !target.is_multiple_of(4) {
                     return Exec::Trap(Exception::InstrAddrMisaligned { addr: target });
                 }
                 let link = pc.wrapping_add(4);
@@ -149,7 +140,7 @@ impl Hart {
             Instr::Branch { cond, rs1, rs2, offset } => {
                 if branch_taken(cond, self.reg(rs1), self.reg(rs2)) {
                     let target = pc.wrapping_add(offset as u64);
-                    if target % 4 != 0 {
+                    if !target.is_multiple_of(4) {
                         return Exec::Trap(Exception::InstrAddrMisaligned { addr: target });
                     }
                     Exec::Jump(target, record(None, None))
@@ -180,18 +171,13 @@ impl Hart {
                 match self.mem.store(addr, width, value) {
                     Ok(effect) => {
                         self.reservation = None;
-                        let mem = MemEffect {
-                            addr,
-                            bytes: width.bytes() as u8,
-                            is_store: true,
-                            value,
-                        };
+                        let mem =
+                            MemEffect { addr, bytes: width.bytes() as u8, is_store: true, value };
                         match effect {
                             StoreEffect::Ram => Exec::Next(record(None, Some(mem))),
-                            StoreEffect::ToHost(v) => Exec::Halt(
-                                ExitReason::ToHost(v),
-                                record(None, Some(mem)),
-                            ),
+                            StoreEffect::ToHost(v) => {
+                                Exec::Halt(ExitReason::ToHost(v), record(None, Some(mem)))
+                            }
                         }
                     }
                     Err(e) => Exec::Trap(e),
@@ -216,7 +202,7 @@ impl Hart {
                 let addr = self.reg(rs1);
                 // AMOs require natural alignment; both the misaligned and the
                 // PMA case report as *store* exceptions per the spec.
-                if addr % width.bytes() != 0 {
+                if !addr.is_multiple_of(width.bytes()) {
                     return Exec::Trap(Exception::StoreAddrMisaligned { addr });
                 }
                 if !self.mem.in_ram(addr, width.bytes()) {
@@ -228,17 +214,13 @@ impl Hart {
                 self.mem.write_raw(addr, width.bytes(), new);
                 self.reservation = None;
                 self.set_reg(rd, old);
-                let mem = MemEffect {
-                    addr,
-                    bytes: width.bytes() as u8,
-                    is_store: true,
-                    value: new,
-                };
+                let mem =
+                    MemEffect { addr, bytes: width.bytes() as u8, is_store: true, value: new };
                 Exec::Next(record(vis(rd, old), Some(mem)))
             }
             Instr::LoadReserved { width, rd, rs1, .. } => {
                 let addr = self.reg(rs1);
-                if addr % width.bytes() != 0 {
+                if !addr.is_multiple_of(width.bytes()) {
                     return Exec::Trap(Exception::LoadAddrMisaligned { addr });
                 }
                 if !self.mem.in_ram(addr, width.bytes()) {
@@ -248,13 +230,12 @@ impl Hart {
                 let v = extend_loaded(raw, width, true);
                 self.reservation = Some(addr);
                 self.set_reg(rd, v);
-                let mem =
-                    MemEffect { addr, bytes: width.bytes() as u8, is_store: false, value: v };
+                let mem = MemEffect { addr, bytes: width.bytes() as u8, is_store: false, value: v };
                 Exec::Next(record(vis(rd, v), Some(mem)))
             }
             Instr::StoreConditional { width, rd, rs1, rs2, .. } => {
                 let addr = self.reg(rs1);
-                if addr % width.bytes() != 0 {
+                if !addr.is_multiple_of(width.bytes()) {
                     return Exec::Trap(Exception::StoreAddrMisaligned { addr });
                 }
                 if !self.mem.in_ram(addr, width.bytes()) {
@@ -266,16 +247,15 @@ impl Hart {
                 self.set_reg(rd, result);
                 let mem = if success {
                     let value = self.reg(rs2);
-                    self.mem.write_raw(addr, width.bytes(), match width {
-                        MemWidth::W => value & 0xffff_ffff,
-                        _ => value,
-                    });
-                    Some(MemEffect {
+                    self.mem.write_raw(
                         addr,
-                        bytes: width.bytes() as u8,
-                        is_store: true,
-                        value,
-                    })
+                        width.bytes(),
+                        match width {
+                            MemWidth::W => value & 0xffff_ffff,
+                            _ => value,
+                        },
+                    );
+                    Some(MemEffect { addr, bytes: width.bytes() as u8, is_store: true, value })
                 } else {
                     None
                 };
@@ -437,7 +417,7 @@ mod tests {
         let mut asm = Assembler::new();
         let t0 = Reg::new(5).unwrap();
         asm.li(t0, (DEFAULT_RAM_BASE + handler_off) as i64); // 2 instrs (lui+addiw)? use li len check below
-        // Re-do deterministically: write program manually with known slots.
+                                                             // Re-do deterministically: write program manually with known slots.
         let _ = asm;
         let mut asm = Assembler::new();
         asm.push(Instr::Auipc { rd: t0, imm: 0 }); // t0 = base
@@ -451,7 +431,7 @@ mod tests {
         asm.push(Instr::System(SystemOp::Ecall)); // slot 3, pc base+12
         asm.push(Instr::System(SystemOp::Wfi)); // return lands at mepc (base+12)&!3 -> need mepc bump
         asm.nop(); // pad to +24
-        // handler: advance mepc by 4 then mret
+                   // handler: advance mepc by 4 then mret
         asm.push(Instr::Csr {
             op: chatfuzz_isa::CsrOp::Rs,
             rd: t0,
@@ -489,7 +469,13 @@ mod tests {
         let t1 = Reg::new(6).unwrap();
         let mut asm = Assembler::new();
         asm.li(t0, addr as i64);
-        asm.push(Instr::LoadReserved { width: MemWidth::D, rd: a0(), rs1: t0, aq: false, rl: false });
+        asm.push(Instr::LoadReserved {
+            width: MemWidth::D,
+            rd: a0(),
+            rs1: t0,
+            aq: false,
+            rl: false,
+        });
         asm.push(Instr::StoreConditional {
             width: MemWidth::D,
             rd: t1,

@@ -73,8 +73,7 @@ impl Memory {
 
     /// Whether `[addr, addr+len)` lies entirely inside RAM.
     pub fn in_ram(&self, addr: u64, len: u64) -> bool {
-        addr >= self.base
-            && addr.checked_add(len).is_some_and(|end| end <= self.base + self.size())
+        addr >= self.base && addr.checked_add(len).is_some_and(|end| end <= self.base + self.size())
     }
 
     /// Whether the access hits the `tohost` device.
@@ -127,7 +126,7 @@ impl Memory {
     /// Returns the appropriate misaligned/access-fault exception.
     pub fn load(&self, addr: u64, width: MemWidth) -> Result<u64, Exception> {
         let len = width.bytes();
-        if addr % len != 0 {
+        if !addr.is_multiple_of(len) {
             return Err(Exception::LoadAddrMisaligned { addr });
         }
         if !self.in_ram(addr, len) {
@@ -141,9 +140,14 @@ impl Memory {
     /// # Errors
     ///
     /// Returns the appropriate misaligned/access-fault exception.
-    pub fn store(&mut self, addr: u64, width: MemWidth, value: u64) -> Result<StoreEffect, Exception> {
+    pub fn store(
+        &mut self,
+        addr: u64,
+        width: MemWidth,
+        value: u64,
+    ) -> Result<StoreEffect, Exception> {
         let len = width.bytes();
-        if addr % len != 0 {
+        if !addr.is_multiple_of(len) {
             return Err(Exception::StoreAddrMisaligned { addr });
         }
         if self.is_tohost(addr) {
@@ -169,7 +173,7 @@ impl Memory {
     /// Misaligned PCs raise `InstrAddrMisaligned`; PCs outside RAM raise
     /// `InstrAccessFault`.
     pub fn fetch(&self, pc: u64) -> Result<u32, Exception> {
-        if pc % 4 != 0 {
+        if !pc.is_multiple_of(4) {
             return Err(Exception::InstrAddrMisaligned { addr: pc });
         }
         if !self.in_ram(pc, 4) {
@@ -220,10 +224,7 @@ mod tests {
     #[test]
     fn out_of_range_faults() {
         let mut m = mem();
-        assert_eq!(
-            m.load(0x0, MemWidth::W).unwrap_err(),
-            Exception::LoadAccessFault { addr: 0 }
-        );
+        assert_eq!(m.load(0x0, MemWidth::W).unwrap_err(), Exception::LoadAccessFault { addr: 0 });
         assert_eq!(
             m.store(DEFAULT_RAM_BASE + 4096, MemWidth::B, 0).unwrap_err(),
             Exception::StoreAccessFault { addr: DEFAULT_RAM_BASE + 4096 }
@@ -237,10 +238,7 @@ mod tests {
     #[test]
     fn tohost_store_halts_loads_fault() {
         let mut m = mem();
-        assert_eq!(
-            m.store(TOHOST_ADDR, MemWidth::D, 42).unwrap(),
-            StoreEffect::ToHost(42)
-        );
+        assert_eq!(m.store(TOHOST_ADDR, MemWidth::D, 42).unwrap(), StoreEffect::ToHost(42));
         // Loads from the device region are not readable PMAs.
         assert!(m.load(TOHOST_ADDR, MemWidth::D).is_err());
     }
@@ -254,10 +252,7 @@ mod tests {
             m.fetch(DEFAULT_RAM_BASE + 2).unwrap_err(),
             Exception::InstrAddrMisaligned { addr: DEFAULT_RAM_BASE + 2 }
         );
-        assert_eq!(
-            m.fetch(0x1000).unwrap_err(),
-            Exception::InstrAccessFault { addr: 0x1000 }
-        );
+        assert_eq!(m.fetch(0x1000).unwrap_err(), Exception::InstrAccessFault { addr: 0x1000 });
     }
 
     #[test]

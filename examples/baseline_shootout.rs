@@ -5,22 +5,12 @@
 //! cargo run -p chatfuzz-examples --release --example baseline_shootout
 //! ```
 
-use chatfuzz::fuzz::{run_campaign, CampaignConfig};
+use chatfuzz::campaign::{CampaignBuilder, StopCondition};
 use chatfuzz_baselines::{DifuzzLite, InputGenerator, MutatorConfig, RandomRegression, TheHuzz};
 use chatfuzz_examples::banner;
 use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 
 fn main() {
-    let factory = || Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>;
-    let cfg = CampaignConfig {
-        total_tests: 600,
-        batch_size: 32,
-        workers: 8,
-        history_every: 150,
-        detect_mismatches: false, // pure coverage race
-        ..Default::default()
-    };
-
     banner("Coverage race on RocketCore (600 tests each)");
     let mut results: Vec<(String, f64, u64)> = Vec::new();
     let generators: Vec<Box<dyn InputGenerator>> = vec![
@@ -28,8 +18,15 @@ fn main() {
         Box::new(DifuzzLite::new(MutatorConfig::default())),
         Box::new(TheHuzz::new(MutatorConfig::default())),
     ];
-    for mut generator in generators {
-        let report = run_campaign(generator.as_mut(), &factory, &cfg);
+    for generator in generators {
+        let mut campaign =
+            CampaignBuilder::new(|| Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>)
+                .batch_size(32)
+                .workers(8)
+                .detect_mismatches(false) // pure coverage race
+                .generator_boxed(generator)
+                .build();
+        let report = campaign.run_until(&[StopCondition::Tests(600)]);
         println!(
             "  {:<12} {:>6.2}%  ({} sim-cycles)",
             report.generator, report.final_coverage_pct, report.total_cycles

@@ -1,34 +1,39 @@
 //! Bug hunt: fuzz the buggy RocketCore with the TheHuzz baseline and watch
-//! the Mismatch Detector rediscover the injected paper findings.
+//! the Mismatch Detector rediscover the injected paper findings — with
+//! live per-batch progress from a campaign observer, and a coverage
+//! plateau as the stop condition.
 //!
 //! ```sh
 //! cargo run -p chatfuzz-examples --release --example bug_hunt
 //! ```
 
-use chatfuzz::fuzz::{run_campaign, CampaignConfig};
+use chatfuzz::campaign::{BatchOutcome, CampaignBuilder, StopCondition};
 use chatfuzz_baselines::{MutatorConfig, TheHuzz};
 use chatfuzz_examples::banner;
 use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 
 fn main() {
     banner("Differential fuzzing campaign: TheHuzz vs buggy RocketCore");
-    let mut generator = TheHuzz::new(MutatorConfig::default());
-    let factory = || Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>;
-    let cfg = CampaignConfig {
-        total_tests: 800,
-        batch_size: 32,
-        workers: 8,
-        history_every: 100,
-        ..Default::default()
-    };
-    let report = run_campaign(&mut generator, &factory, &cfg);
-
-    banner("Coverage over time");
-    for p in &report.history {
-        println!(
-            "  {:>5} tests  {:>6.2}%  ({} sim-cycles)",
-            p.tests, p.coverage_pct, p.sim_cycles
-        );
+    let mut campaign =
+        CampaignBuilder::new(|| Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>)
+            .batch_size(32)
+            .workers(8)
+            .generator(TheHuzz::new(MutatorConfig::default()))
+            .observer(|outcome: &BatchOutcome| {
+                println!(
+                    "  batch {:>3}: {:>5} tests  {:>6.2}%  (+{} bins, {} mismatches)",
+                    outcome.batch_index,
+                    outcome.tests_total,
+                    outcome.coverage_pct,
+                    outcome.new_bins,
+                    outcome.total_mismatches
+                );
+            })
+            .build();
+    // Stop at 800 tests — or earlier if coverage stalls for 8 batches.
+    let report = campaign.run_until(&[StopCondition::Tests(800), StopCondition::Plateau(8)]);
+    if let Some(stop) = &report.stopped_by {
+        println!("  stopped by {stop:?}");
     }
 
     banner("Mismatch report");
@@ -46,10 +51,6 @@ fn main() {
     for bug in &report.bugs {
         println!("  FOUND: {bug}");
     }
-    println!(
-        "\n{}/5 injected defects found with {} tests.",
-        report.bugs.len(),
-        report.tests_run
-    );
+    println!("\n{}/5 injected defects found with {} tests.", report.bugs.len(), report.tests_run);
     println!("The ChatFuzz generator finds the deep ones faster — see `train_pipeline`.");
 }

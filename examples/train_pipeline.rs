@@ -5,7 +5,7 @@
 //! cargo run -p chatfuzz-examples --release --example train_pipeline
 //! ```
 
-use chatfuzz::fuzz::{run_campaign, CampaignConfig};
+use chatfuzz::campaign::{CampaignBuilder, DutFactory, StopCondition};
 use chatfuzz::generator::{LmGenerator, LmGeneratorConfig};
 use chatfuzz::pipeline::{train_chatfuzz, PipelineConfig};
 use chatfuzz_examples::banner;
@@ -14,14 +14,20 @@ use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 
 fn main() {
     banner("Step 0-3: corpus -> tokenizer -> LM -> cleanup RL -> coverage RL");
-    let mut dut = Rocket::new(RocketConfig::default());
+    let factory: DutFactory =
+        std::sync::Arc::new(|| Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>);
     let cfg = PipelineConfig::quick(42);
-    let (model, report) = train_chatfuzz(&cfg, &mut dut);
+    let (model, report) = train_chatfuzz(&cfg, &factory);
 
     println!("\nUnsupervised LM training (step 1):");
     let first = report.lm_curve.first().unwrap();
     let last = report.lm_curve.last().unwrap();
-    println!("  cross-entropy {:.3} -> {:.3} over {} steps", first.loss, last.loss, report.lm_curve.len());
+    println!(
+        "  cross-entropy {:.3} -> {:.3} over {} steps",
+        first.loss,
+        last.loss,
+        report.lm_curve.len()
+    );
 
     println!("\nCleanup RL with the disassembler reward, Eq. (1) (step 2):");
     for p in &report.cleanup_curve {
@@ -42,7 +48,7 @@ fn main() {
     }
 
     banner("Fuzzing with the trained generator (online PPO enabled)");
-    let total_bins = dut.space().total_bins();
+    let total_bins = factory().space().total_bins();
     let ppo = PpoConfig {
         max_new_tokens: 56,
         lr: 3e-4,
@@ -53,15 +59,12 @@ fn main() {
     let gcfg = LmGeneratorConfig { seed: 42, total_bins, ..Default::default() };
     let mut generator =
         LmGenerator::new(model.tokenizer, model.policy, ppo, model.prompt_pool, gcfg);
-    let factory = || Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>;
-    let campaign = CampaignConfig {
-        total_tests: 320,
-        batch_size: 32,
-        workers: 8,
-        history_every: 64,
-        ..Default::default()
-    };
-    let result = run_campaign(&mut generator, &factory, &campaign);
+    let mut campaign = CampaignBuilder::from_factory(factory)
+        .batch_size(32)
+        .workers(8)
+        .generator(&mut generator)
+        .build();
+    let result = campaign.run_until(&[StopCondition::Tests(320)]);
     for p in &result.history {
         println!("  {:>4} tests  {:>6.2}%", p.tests, p.coverage_pct);
     }

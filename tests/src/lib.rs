@@ -1,8 +1,16 @@
 //! Shared helpers for the ChatFuzz integration tests.
 
-use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
+use std::sync::Arc;
+
+use chatfuzz::campaign::DutFactory;
+use chatfuzz_rtl::{Boom, BoomConfig, Dut, Rocket, RocketConfig};
 
 /// A standard buggy-Rocket factory for campaign tests.
-pub fn rocket_factory() -> impl Fn() -> Box<dyn Dut> + Sync {
-    || Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>
+pub fn rocket_factory() -> DutFactory {
+    Arc::new(|| Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>)
+}
+
+/// A standard BOOM factory for campaign tests.
+pub fn boom_factory() -> DutFactory {
+    Arc::new(|| Box::new(Boom::new(BoomConfig::default())) as Box<dyn Dut>)
 }

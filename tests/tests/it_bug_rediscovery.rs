@@ -71,8 +71,7 @@ fn thehuzz_campaign_finds_tracer_bugs() {
 fn fixed_rocket_is_clean_on_the_same_inputs() {
     use chatfuzz_rtl::BugConfig;
     let mut corpus = CorpusGenerator::new(CorpusConfig { seed: 11, ..Default::default() });
-    let mut rocket =
-        Rocket::new(RocketConfig { bugs: BugConfig::all_off(), ..Default::default() });
+    let mut rocket = Rocket::new(RocketConfig { bugs: BugConfig::all_off(), ..Default::default() });
     let golden = SoftCore::new(SoftCoreConfig::default());
     for body in corpus.generate(120) {
         let image = wrap(&encode_program(&body).unwrap(), HarnessConfig::default());

@@ -7,8 +7,8 @@ use chatfuzz::harness::{wrap, HarnessConfig};
 use chatfuzz_baselines::{Feedback, InputGenerator, MutatorConfig, RandomRegression, TheHuzz};
 use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
 use chatfuzz_isa::encode_program;
-use chatfuzz_rtl::{Boom, BoomConfig, Dut, Rocket, RocketConfig};
-use chatfuzz_tests::rocket_factory;
+use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
+use chatfuzz_tests::{boom_factory, rocket_factory};
 
 struct CorpusReplay(CorpusGenerator);
 
@@ -66,8 +66,7 @@ fn boom_saturates_higher_than_rocket() {
     let mut corpus_b =
         CorpusReplay(CorpusGenerator::new(CorpusConfig { seed: 6, ..Default::default() }));
     let cfg = campaign(320);
-    let boom_factory = || Box::new(Boom::new(BoomConfig::default())) as Box<dyn Dut>;
-    let boom = run_campaign(&mut corpus_a, &boom_factory, &cfg);
+    let boom = run_campaign(&mut corpus_a, &boom_factory(), &cfg);
     let rocket = run_campaign(&mut corpus_b, &rocket_factory(), &cfg);
     assert!(
         boom.final_coverage_pct > rocket.final_coverage_pct + 5.0,
@@ -84,7 +83,8 @@ fn boom_saturates_higher_than_rocket() {
 fn garbage_inputs_are_contained() {
     let mut rocket = Rocket::new(RocketConfig::default());
     for seed in 0..8u8 {
-        let body: Vec<u8> = (0..256).map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed)) .collect();
+        let body: Vec<u8> =
+            (0..256).map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed)).collect();
         let image = wrap(&body, HarnessConfig::default());
         let run = rocket.run(&image);
         assert!(run.trace.len() <= 4096);

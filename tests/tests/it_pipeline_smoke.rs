@@ -6,7 +6,6 @@ use chatfuzz::generator::{LmGenerator, LmGeneratorConfig};
 use chatfuzz::pipeline::{train_chatfuzz, ModelScale, PipelineConfig};
 use chatfuzz_baselines::{InputGenerator, RandomRegression};
 use chatfuzz_rl::PpoConfig;
-use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 use chatfuzz_tests::rocket_factory;
 
 fn smoke_config(seed: u64) -> PipelineConfig {
@@ -24,8 +23,8 @@ fn smoke_config(seed: u64) -> PipelineConfig {
 
 #[test]
 fn pipeline_then_campaign_end_to_end() {
-    let mut dut = Rocket::new(RocketConfig::default());
-    let (model, report) = train_chatfuzz(&smoke_config(7), &mut dut);
+    let factory = rocket_factory();
+    let (model, report) = train_chatfuzz(&smoke_config(7), &factory);
     assert!(!report.lm_curve.is_empty());
     assert!(!report.cleanup_curve.is_empty());
     assert!(!report.optimize_curve.is_empty());
@@ -33,7 +32,7 @@ fn pipeline_then_campaign_end_to_end() {
     let ppo = PpoConfig { max_new_tokens: 24, temperature: 0.9, top_k: 24, ..Default::default() };
     let gcfg = LmGeneratorConfig {
         seed: 7,
-        total_bins: dut.space().total_bins(),
+        total_bins: factory().space().total_bins(),
         samples_per_input: 2,
         ..Default::default()
     };

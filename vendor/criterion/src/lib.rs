@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`): a
+//! wall-clock micro-benchmark harness exposing the Criterion macro and
+//! builder surface this workspace uses.
+//!
+//! Behaviour:
+//!
+//! * run via `cargo bench` (argv contains `--bench`): each benchmark is
+//!   calibrated to ~`measurement_time / sample_size` and timed, printing a
+//!   mean-per-iteration line;
+//! * run via `cargo test` (no `--bench` flag): each closure executes once
+//!   as a smoke test, so benches stay compiled and correct without
+//!   slowing the test suite.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation; recorded and echoed, not used for statistics.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying only the parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// A `function/parameter` id.
+    pub fn new<S: Into<String>, P: fmt::Display>(function: S, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// (iterations, elapsed) of the measured pass, if any.
+    measured: Option<(u64, Duration)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Smoke: run the closure once.
+    Test,
+    /// Measure: calibrate then time.
+    Bench { target: Duration },
+}
+
+impl Bencher {
+    /// Runs `f` under the harness, timing it in bench mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Test => {
+                std::hint::black_box(f());
+            }
+            Mode::Bench { target } => {
+                // Calibration pass: estimate per-iteration cost.
+                let start = Instant::now();
+                std::hint::black_box(f());
+                let once = start.elapsed().max(Duration::from_nanos(1));
+                let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                self.measured = Some((iters, start.elapsed()));
+            }
+        }
+    }
+}
+
+/// The top-level harness state.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().collect();
+        let bench_mode = args.iter().any(|a| a == "--bench");
+        // `cargo bench -- <filter>`: first free arg filters benchmark ids.
+        let filter =
+            args.iter().skip(1).find(|a| !a.starts_with('-') && !a.ends_with("criterion")).cloned();
+        Criterion {
+            mode: if bench_mode {
+                Mode::Bench { target: Duration::from_millis(200) }
+            } else {
+                Mode::Test
+            },
+            sample_size: 100,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (scales the per-bench time budget).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, throughput: Option<Throughput>, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { mode: self.mode, measured: None };
+        f(&mut bencher);
+        if let Mode::Bench { .. } = self.mode {
+            match bencher.measured {
+                Some((iters, elapsed)) => {
+                    let per_iter = elapsed.as_secs_f64() / iters as f64;
+                    let rate = throughput
+                        .map(|t| match t {
+                            Throughput::Elements(n) => {
+                                format!("  ({:.3} Melem/s)", n as f64 / per_iter / 1e6)
+                            }
+                            Throughput::Bytes(n) => {
+                                format!("  ({:.3} MiB/s)", n as f64 / per_iter / (1 << 20) as f64)
+                            }
+                        })
+                        .unwrap_or_default();
+                    println!(
+                        "bench {id:<40} {:>12.3} µs/iter  [{iters} iters]{rate}",
+                        per_iter * 1e6
+                    );
+                }
+                None => println!("bench {id:<40} (no measurement: closure never called iter)"),
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion.run(&id, throughput, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &P),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_closure_once() {
+        let mut criterion = Criterion { mode: Mode::Test, sample_size: 10, filter: None };
+        let mut calls = 0;
+        criterion.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_mode_measures() {
+        let mut criterion = Criterion {
+            mode: Mode::Bench { target: Duration::from_millis(5) },
+            sample_size: 10,
+            filter: None,
+        };
+        let mut group = criterion.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("work", |b| b.iter(|| std::hint::black_box(3u64 * 7)));
+        group.bench_with_input(BenchmarkId::from_parameter(16), &16usize, |b, n| {
+            b.iter(|| (0..*n).sum::<usize>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut criterion =
+            Criterion { mode: Mode::Test, sample_size: 10, filter: Some("keep".into()) };
+        let mut calls = 0;
+        criterion.bench_function("skip_this", |b| b.iter(|| calls += 1));
+        criterion.bench_function("keep_this", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`):
+//! only the multi-producer multi-consumer unbounded channel is provided,
+//! built on `Mutex<VecDeque>` + `Condvar`. Disconnect semantics match
+//! crossbeam's: `send` fails once every receiver is gone, `recv` fails
+//! once the queue is drained and every sender is gone.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned when all receivers have disconnected; carries the
+    /// unsent message back.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            // Like upstream: the payload may not be Debug.
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when the channel is empty and all senders have
+    /// disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, failing if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            queue.push_back(value);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.shared.ready.wait(queue).expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive; `None` when currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.queue.lock().expect("channel poisoned").pop_front()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake all blocked receivers so they observe
+                // the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_single_thread() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        }
+
+        #[test]
+        fn recv_errors_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_all_receivers_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn work_queue_across_threads() {
+            let (job_tx, job_rx) = unbounded::<u32>();
+            let (res_tx, res_rx) = unbounded::<u32>();
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = job_rx.clone();
+                    let tx = res_tx.clone();
+                    std::thread::spawn(move || {
+                        while let Ok(v) = rx.recv() {
+                            tx.send(v * 2).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for i in 0..100 {
+                job_tx.send(i).unwrap();
+            }
+            let mut results: Vec<u32> = (0..100).map(|_| res_rx.recv().unwrap()).collect();
+            results.sort_unstable();
+            assert_eq!(results, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+            drop(job_tx);
+            for w in workers {
+                w.join().unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the strategy combinators and the `proptest!` runner macro
+//! this workspace uses. Cases are generated from a deterministic RNG
+//! seeded from the test name, so failures replay identically; there is no
+//! shrinking — a failing case reports its inputs via `Debug` where
+//! available and otherwise by case number.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::distributions::{Distribution, SampleUniform, Standard};
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test values.
+    ///
+    /// `sample` returns `None` when the drawn value was rejected by a
+    /// filter; the runner retries (bounded) without consuming a case.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one (possibly rejected) value.
+        fn sample(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Maps through a partial function; `None` rejects the draw.
+        /// The `reason` is carried for diagnostics parity with upstream.
+        fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap { inner: self, f, reason }
+        }
+
+        /// Keeps only values satisfying `f`.
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f, reason }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> Option<V> {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// The `any::<T>()` strategy over a type's whole domain.
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    /// Uniform values over the full domain of `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Standard: Distribution<T>,
+    {
+        Any { _marker: PhantomData }
+    }
+
+    impl<T> Strategy for Any<T>
+    where
+        Standard: Distribution<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> Option<T> {
+            Some(rng.gen())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> Option<O> {
+            self.inner.sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+        #[allow(dead_code)]
+        reason: &'static str,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> Option<O> {
+            self.inner.sample(rng).and_then(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+        #[allow(dead_code)]
+        reason: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            self.inner.sample(rng).filter(|v| (self.f)(v))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        variants: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds the union; panics if `variants` is empty.
+        pub fn new(variants: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+            Union { variants }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> Option<V> {
+            let pick = rng.gen_range(0..self.variants.len());
+            self.variants[pick].sample(rng)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> Option<T> {
+            Some(rng.gen_range(self.clone()))
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> Option<T> {
+            Some(rng.gen_range(self.clone()))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.sample(rng)?,)+))
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// A size specification for [`crate::collection::vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        pub(crate) min: usize,
+        /// Inclusive upper bound.
+        pub(crate) max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// See [`crate::collection::vec`].
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod test_runner {
+    //! Case-count configuration and the failure type.
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+        /// Maximum rejected draws tolerated across the whole run.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases, ..Default::default() }
+        }
+    }
+
+    /// A failed property (from `prop_assert!`-family macros).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test's name so every run
+/// and every machine replays the same cases.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Supports the upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u8..32, v in proptest::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x < 32);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            let __strategies = ($($strat,)+);
+            let mut __rejects: u32 = 0;
+            let mut __case: u32 = 0;
+            while __case < __config.cases {
+                let __drawn =
+                    $crate::strategy::Strategy::sample(&__strategies, &mut __rng);
+                let ($($arg,)+) = match __drawn {
+                    Some(v) => v,
+                    None => {
+                        __rejects += 1;
+                        assert!(
+                            __rejects <= __config.max_global_rejects,
+                            "proptest {}: too many rejected draws ({})",
+                            stringify!($name),
+                            __rejects
+                        );
+                        continue;
+                    }
+                };
+                let __outcome: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest {} failed at case #{}: {}",
+                        stringify!($name),
+                        __case,
+                        e
+                    );
+                }
+                __case += 1;
+            }
+        }
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        match (&$lhs, &$rhs) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}` ({:?} vs {:?})",
+                    stringify!($lhs),
+                    stringify!($rhs),
+                    l,
+                    r
+                );
+            }
+        }
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        match (&$lhs, &$rhs) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}` ({:?} vs {:?}): {}",
+                    stringify!($lhs),
+                    stringify!($rhs),
+                    l,
+                    r,
+                    format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        match (&$lhs, &$rhs) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}` (both {:?})",
+                    stringify!($lhs),
+                    stringify!($rhs),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Kind {
+        A,
+        B(u8),
+    }
+
+    fn kind() -> impl Strategy<Value = Kind> {
+        prop_oneof![
+            Just(Kind::A),
+            (0u8..16).prop_map(Kind::B),
+            (0u8..32).prop_filter_map("small only", |v| (v < 8).then_some(Kind::B(v))),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u8..32, (lo, hi) in (0i64..50, 50i64..100)) {
+            prop_assert!(x < 32);
+            prop_assert!(lo < hi);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(any::<bool>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()), "len {}", v.len());
+        }
+
+        #[test]
+        fn oneof_and_filter_map(k in kind()) {
+            if let Kind::B(v) = k {
+                prop_assert!(v < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        use rand::RngCore as _;
+        let mut a = crate::rng_for("x");
+        let mut b = crate::rng_for("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::rng_for("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the rand 0.8 API this workspace uses:
+//! [`Rng`], [`RngCore`], [`SeedableRng`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom`]. Streams are deterministic per seed but do not
+//! match upstream `rand` bit-for-bit.
+
+/// A low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (expanded with SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64: used to expand small seeds into full generator state.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution as _;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `0.0..=1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    // 53 mantissa bits -> uniform in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn unit_f32(bits: u64) -> f32 {
+    ((bits >> 40) as u32) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+pub mod distributions {
+    //! The standard distribution and uniform range sampling.
+
+    use super::{unit_f32, unit_f64, Rng, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A distribution over `T`.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution over the whole domain of a type.
+    pub struct Standard;
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            unit_f32(rng.next_u64())
+        }
+    }
+
+    /// A range that can be sampled uniformly.
+    ///
+    /// Blanket-implemented for `Range<T>`/`RangeInclusive<T>` over one
+    /// generic impl each (like upstream rand) so the element type of an
+    /// unsuffixed literal range is inferred from the call site.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Types `gen_range` can sample.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Uniform draw from `lo..hi` (exclusive) or `lo..=hi`.
+        fn sample_between<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    /// Lemire-style unbiased sampling of `0..span` over u64.
+    fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // Rejection zone keeps the draw unbiased.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: $t,
+                    hi: $t,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> $t {
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    let draw = if inclusive {
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        below(rng, span + 1)
+                    } else {
+                        assert!(span > 0, "cannot sample empty range");
+                        below(rng, span)
+                    };
+                    (lo as $wide).wrapping_add(draw as $wide) as $t
+                }
+            }
+        )*};
+    }
+    impl_uniform_int!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    macro_rules! impl_uniform_float {
+        ($($t:ty => $unit:path),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: $t,
+                    hi: $t,
+                    _inclusive: bool,
+                    rng: &mut R,
+                ) -> $t {
+                    assert!(lo < hi, "cannot sample empty range");
+                    lo + (hi - lo) * $unit(rng.next_u64())
+                }
+            }
+        )*};
+    }
+    impl_uniform_float!(f32 => unit_f32, f64 => unit_f64);
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_between(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "cannot sample empty range");
+            T::sample_between(lo, hi, true, rng)
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++ (fast, high-quality, and — in
+    /// this offline stand-in — deliberately implementation-defined, like
+    /// upstream `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(mut seed: u64) -> StdRng {
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut seed);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            StdRng::from_state(state)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extensions.
+
+    use super::Rng;
+
+    /// Random selection and shuffling over slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if the slice is empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                // UFCS with `Self = &mut R`, which is Sized as `gen_range`
+                // requires even when `R` itself is not.
+                let mut rng = rng;
+                self.get(Rng::gen_range(&mut rng, 0..self.len()))
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            let mut rng = rng;
+            for i in (1..self.len()).rev() {
+                self.swap(i, Rng::gen_range(&mut rng, 0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-64i64..64);
+            assert!((-64..64).contains(&v));
+            let w = rng.gen_range(3u8..=9);
+            assert!((3..=9).contains(&w));
+            let f = rng.gen_range(0.25f32..1.0);
+            assert!((0.25..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_sampling_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.2)).count();
+        assert!((1500..2500).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let xs = [1, 2, 3, 4];
+        assert!(xs.choose(&mut rng).is_some());
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut ys = (0..50).collect::<Vec<_>>();
+        let orig = ys.clone();
+        ys.shuffle(&mut rng);
+        assert_ne!(ys, orig);
+        ys.sort_unstable();
+        assert_eq!(ys, orig);
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline stand-in for `rand_chacha` (see `vendor/README.md`): a genuine
+//! ChaCha stream cipher core with 8 double-rounds behind the
+//! [`ChaCha8Rng`] name. Seeding expands the `u64` with SplitMix64, so the
+//! stream is deterministic per seed but does not match upstream
+//! `rand_chacha` bit-for-bit.
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha8 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + counter + nonce state (words 4..16 of the ChaCha matrix).
+    state: [u32; 16],
+    /// Buffered output block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    cursor: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds (column + diagonal).
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.block.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.cursor = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> ChaCha8Rng {
+        let mut sm = seed;
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        for i in 0..4 {
+            let x = splitmix(&mut sm);
+            state[4 + i * 2] = x as u32;
+            state[5 + i * 2] = (x >> 32) as u32;
+        }
+        // Counter = 0, nonce from one more SplitMix draw.
+        let nonce = splitmix(&mut sm);
+        state[12] = 0;
+        state[13] = 0;
+        state[14] = nonce as u32;
+        state[15] = (nonce >> 32) as u32;
+        ChaCha8Rng { state, block: [0; 16], cursor: 16 }
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(0x7E_117A);
+        let mut b = ChaCha8Rng::seed_from_u64(0x7E_117A);
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(0x7E_117B);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn words_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut ones = 0u32;
+        for _ in 0..1024 {
+            ones += rng.next_u32().count_ones();
+        }
+        // 1024 * 32 / 2 = 16384 expected set bits; allow wide slack.
+        assert!((15000..18000).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    fn usable_through_rand_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let v = rng.gen_range(0..10usize);
+        assert!(v < 10);
+        let _: bool = rng.gen();
+    }
+}
