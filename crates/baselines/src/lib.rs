@@ -19,7 +19,7 @@ pub mod schedule;
 
 pub use gen::{Feedback, InputGenerator};
 pub use random_instr::random_instr;
-pub use schedule::{EpsilonGreedy, RoundRobin, Scheduler};
+pub use schedule::{ArmState, EpsilonGreedy, RoundRobin, Scheduler, SchedulerState};
 
 use chatfuzz_isa::{decode, encode, INSTR_BYTES};
 use rand::{Rng, SeedableRng};

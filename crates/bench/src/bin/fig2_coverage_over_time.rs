@@ -10,27 +10,41 @@
 use chatfuzz::campaign::CampaignReport;
 use chatfuzz_baselines::{MutatorConfig, RandomRegression, TheHuzz};
 use chatfuzz_bench::{
-    history_rows, print_table, rocket_factory, run_budget, trained_chatfuzz_generator, write_csv,
-    write_report_json, Scale, TRAIN_SEED,
+    completed_report, history_rows, print_table, rocket_factory, run_budget_durable,
+    trained_chatfuzz_generator, write_csv, write_report_json, Scale, SnapshotArgs, TRAIN_SEED,
 };
 
 fn main() {
     let scale = Scale::from_env();
     let tests = scale.campaign_tests();
     let factory = rocket_factory();
+    // `--snapshot-path results/fig2.json` checkpoints each generator's
+    // campaign (as fig2-<generator>.json); `--resume` continues them.
+    let snapshots = SnapshotArgs::from_env_args();
 
     println!("== Fig. 2: coverage over time on RocketCore ({tests} tests/generator) ==");
 
-    println!("[1/3] training ChatFuzz pipeline…");
-    let (mut chatfuzz_gen, _) = trained_chatfuzz_generator(scale, TRAIN_SEED);
-    println!("[1/3] fuzzing with ChatFuzz…");
-    let chatfuzz = run_budget(&factory, &mut chatfuzz_gen, tests);
+    // A complete `--resume` snapshot short-circuits the expensive LM
+    // pipeline training — the campaign would run zero batches anyway.
+    let chatfuzz = completed_report(&factory, "chatfuzz", tests, &snapshots).unwrap_or_else(|| {
+        println!("[1/3] training ChatFuzz pipeline…");
+        let (mut chatfuzz_gen, _) = trained_chatfuzz_generator(scale, TRAIN_SEED);
+        println!("[1/3] fuzzing with ChatFuzz…");
+        run_budget_durable(&factory, &mut chatfuzz_gen, tests, "chatfuzz", &snapshots)
+    });
 
     println!("[2/3] fuzzing with TheHuzz…");
-    let thehuzz = run_budget(&factory, TheHuzz::new(MutatorConfig::default()), tests);
+    let thehuzz = run_budget_durable(
+        &factory,
+        TheHuzz::new(MutatorConfig::default()),
+        tests,
+        "thehuzz",
+        &snapshots,
+    );
 
     println!("[3/3] fuzzing with random regression…");
-    let random = run_budget(&factory, RandomRegression::new(7, 24), tests);
+    let random =
+        run_budget_durable(&factory, RandomRegression::new(7, 24), tests, "random", &snapshots);
 
     for (name, report) in [("chatfuzz", &chatfuzz), ("thehuzz", &thehuzz), ("random", &random)] {
         write_csv(

@@ -1,0 +1,154 @@
+//! Sharded campaign driver — the horizontal-scaling half of the
+//! "fast as the hardware allows" roadmap item.
+//!
+//! Splits one RocketCore fuzzing campaign into N shards with disjoint
+//! RNG streams (`chatfuzz::shard_seed`), runs them in parallel, and
+//! merges coverage, history, and mismatch clusters into one report under
+//! `results/shard_campaign.{csv,json}`.
+//!
+//! ```text
+//! shard_campaign [--shards N] [--tests-per-shard T] [--seed S] [--process]
+//!                [--snapshot-path <file>]
+//! ```
+//!
+//! * default: shards run as in-process [`Campaign`]s on threads;
+//! * `--process`: each shard is a spawned copy of this binary
+//!   (`ProcessShardRunner`), exercising the cross-process protocol —
+//!   the worker role is selected by the `CHATFUZZ_SHARD_*` environment
+//!   variables the parent sets, and the worker writes its snapshot where
+//!   `CHATFUZZ_SHARD_OUT` points;
+//! * `--snapshot-path`: additionally persists the merged, resume-ready
+//!   snapshot.
+
+use std::path::PathBuf;
+
+use chatfuzz::campaign::{Campaign, CampaignBuilder, StopCondition};
+use chatfuzz::persist;
+use chatfuzz::report;
+use chatfuzz::shard::{
+    InProcessRunner, ProcessShardRunner, ShardSpec, ShardedCampaign, ShardedOutcome, WorkerRequest,
+};
+use chatfuzz_baselines::{MutatorConfig, TheHuzz};
+use chatfuzz_bench::{history_rows, print_table, rocket_factory, write_csv, write_report_json};
+
+struct Args {
+    shards: usize,
+    tests_per_shard: usize,
+    seed: u64,
+    process: bool,
+    snapshot_path: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut out =
+        Args { shards: 4, tests_per_shard: 256, seed: 1, process: false, snapshot_path: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match arg.as_str() {
+            "--shards" => out.shards = value("--shards").parse().expect("bad --shards"),
+            "--tests-per-shard" => {
+                out.tests_per_shard =
+                    value("--tests-per-shard").parse().expect("bad --tests-per-shard")
+            }
+            "--seed" => out.seed = value("--seed").parse().expect("bad --seed"),
+            "--process" => out.process = true,
+            "--snapshot-path" => out.snapshot_path = Some(PathBuf::from(value("--snapshot-path"))),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    out
+}
+
+/// One shard's campaign: TheHuzz seeded from the shard's derived stream.
+fn build_shard(spec: ShardSpec, tests: usize) -> (Campaign<'static>, Vec<StopCondition>) {
+    let campaign = CampaignBuilder::from_factory(rocket_factory())
+        .batch_size(32)
+        .workers(4)
+        .generator(TheHuzz::new(MutatorConfig { seed: spec.seed, ..Default::default() }))
+        .build();
+    (campaign, vec![StopCondition::Tests(tests)])
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Worker role: the parent (this same binary with --process) points us
+    // at a shard via the environment.
+    if let Some(request) = WorkerRequest::from_env() {
+        let (mut campaign, stops) = build_shard(request.spec, args.tests_per_shard);
+        campaign.run_until(&stops);
+        request.fulfil(&campaign.snapshot()).expect("write shard snapshot");
+        return;
+    }
+
+    println!(
+        "== Sharded campaign: {} shards × {} tests ({}) ==",
+        args.shards,
+        args.tests_per_shard,
+        if args.process { "sub-processes" } else { "in-process" }
+    );
+
+    let tests = args.tests_per_shard;
+    let mut scratch = None;
+    let outcome: ShardedOutcome = if args.process {
+        let exe = std::env::current_exe().expect("own path");
+        // Per-invocation scratch dir: concurrent runs on one machine must
+        // never load each other's shard snapshots (the merge validation
+        // cannot tell same-lineup shards of a different run apart).
+        let out_dir =
+            std::env::temp_dir().join(format!("chatfuzz-shard-campaign-{}", std::process::id()));
+        scratch = Some(out_dir.clone());
+        let space = rocket_factory()().space().clone();
+        let runner = ProcessShardRunner::new(exe, out_dir, space)
+            .arg("--tests-per-shard")
+            .arg(tests.to_string());
+        ShardedCampaign::new(runner, args.shards, args.seed).run()
+    } else {
+        let runner = InProcessRunner::new(move |spec| build_shard(spec, tests));
+        ShardedCampaign::new(runner, args.shards, args.seed).run()
+    }
+    .unwrap_or_else(|e| panic!("sharded run failed: {e}"));
+    if let Some(dir) = scratch {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    let merged = outcome.merged_report();
+    let rows: Vec<Vec<String>> = outcome
+        .shard_snapshots()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            vec![
+                i.to_string(),
+                s.tests_run().to_string(),
+                format!("{:.2}", s.coverage_pct()),
+                s.coverage().covered_bins().to_string(),
+            ]
+        })
+        .chain(std::iter::once(vec![
+            "merged".to_string(),
+            merged.tests_run.to_string(),
+            format!("{:.2}", merged.final_coverage_pct),
+            outcome.merged_coverage().covered_bins().to_string(),
+        ]))
+        .collect();
+    print_table(
+        "Sharded campaign — per-shard and merged coverage",
+        &["shard", "tests", "coverage %", "covered bins"],
+        &rows,
+    );
+
+    write_csv(
+        "shard_campaign",
+        &["tests", "coverage_pct", "sim_cycles", "wall_s"],
+        &history_rows(&merged),
+    );
+    write_report_json("shard_campaign", &merged);
+    if let Some(path) = &args.snapshot_path {
+        persist::save_snapshot(path, &outcome.merged_snapshot())
+            .unwrap_or_else(|e| panic!("cannot write snapshot {}: {e}", path.display()));
+        println!("[snapshot] {}", path.display());
+    }
+    println!("\n{}", report::digest(&merged));
+}

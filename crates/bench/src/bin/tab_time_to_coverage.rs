@@ -9,21 +9,30 @@
 
 use chatfuzz_baselines::{MutatorConfig, TheHuzz};
 use chatfuzz_bench::{
-    print_table, rocket_factory, run_budget, trained_chatfuzz_generator, write_csv,
-    write_report_json, Scale, TRAIN_SEED,
+    completed_report, print_table, rocket_factory, run_budget_durable, trained_chatfuzz_generator,
+    write_csv, write_report_json, Scale, SnapshotArgs, TRAIN_SEED,
 };
 
 fn main() {
     let scale = Scale::from_env();
     let tests = scale.campaign_tests();
     let factory = rocket_factory();
+    let snapshots = SnapshotArgs::from_env_args();
 
     println!("== Time-to-coverage on RocketCore ({tests} tests/generator) ==");
-    println!("[1/2] training + fuzzing ChatFuzz…");
-    let (mut chatfuzz_gen, _) = trained_chatfuzz_generator(scale, TRAIN_SEED);
-    let chatfuzz = run_budget(&factory, &mut chatfuzz_gen, tests);
+    let chatfuzz = completed_report(&factory, "chatfuzz", tests, &snapshots).unwrap_or_else(|| {
+        println!("[1/2] training + fuzzing ChatFuzz…");
+        let (mut chatfuzz_gen, _) = trained_chatfuzz_generator(scale, TRAIN_SEED);
+        run_budget_durable(&factory, &mut chatfuzz_gen, tests, "chatfuzz", &snapshots)
+    });
     println!("[2/2] fuzzing TheHuzz…");
-    let thehuzz = run_budget(&factory, TheHuzz::new(MutatorConfig::default()), tests);
+    let thehuzz = run_budget_durable(
+        &factory,
+        TheHuzz::new(MutatorConfig::default()),
+        tests,
+        "thehuzz",
+        &snapshots,
+    );
     write_report_json("tab_time_to_coverage_chatfuzz", &chatfuzz);
     write_report_json("tab_time_to_coverage_thehuzz", &thehuzz);
 

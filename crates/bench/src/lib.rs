@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use chatfuzz::campaign::{CampaignBuilder, CampaignReport, DutFactory, StopCondition};
 use chatfuzz::generator::{LmGenerator, LmGeneratorConfig};
+use chatfuzz::persist;
 use chatfuzz::pipeline::{train_chatfuzz, ChatFuzzModel, PipelineConfig, PipelineReport};
 use chatfuzz::report;
 use chatfuzz_baselines::InputGenerator;
@@ -94,6 +95,161 @@ pub fn run_budget<'g>(
     tests: usize,
 ) -> CampaignReport {
     session(factory).generator(generator).build().run_until(&[StopCondition::Tests(tests)])
+}
+
+/// The `--snapshot-path <file>` / `--resume` flags every campaign
+/// experiment binary accepts (see [`run_budget_durable`]).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotArgs {
+    /// Where to persist the campaign snapshot (and look for one when
+    /// resuming). `None` disables persistence.
+    pub path: Option<PathBuf>,
+    /// Resume from the snapshot at `path` if it exists.
+    pub resume: bool,
+}
+
+impl SnapshotArgs {
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--snapshot-path` has no value, `--resume` was given
+    /// without `--snapshot-path`, or an unrecognised flag appears — a
+    /// typo like `-resume` must fail loudly rather than silently run
+    /// without resuming (and overwrite the checkpoint it was meant to
+    /// continue).
+    pub fn from_env_args() -> SnapshotArgs {
+        let mut out = SnapshotArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--snapshot-path" => {
+                    let value = args.next().expect("--snapshot-path needs a file argument");
+                    out.path = Some(PathBuf::from(value));
+                }
+                "--resume" => out.resume = true,
+                other => panic!("unknown argument `{other}` (expected --snapshot-path/--resume)"),
+            }
+        }
+        assert!(
+            !out.resume || out.path.is_some(),
+            "--resume needs --snapshot-path to know where the snapshot lives"
+        );
+        out
+    }
+
+    /// The snapshot path for one named campaign of a multi-campaign
+    /// binary: `--snapshot-path results/fig2.json` plus name `thehuzz`
+    /// gives `results/fig2-thehuzz.json`.
+    pub fn path_for(&self, name: &str) -> Option<PathBuf> {
+        let path = self.path.as_ref()?;
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("snapshot");
+        let ext = path.extension().and_then(|s| s.to_str()).unwrap_or("json");
+        Some(path.with_file_name(format!("{stem}-{name}.{ext}")))
+    }
+}
+
+/// The finished report of an already-complete snapshot: `Some` when
+/// `--resume` was given and the snapshot for `name` has reached the
+/// budget, so the caller can skip expensive campaign setup (notably the
+/// ~minutes of LM pipeline training) whose run would execute zero
+/// batches anyway.
+pub fn completed_report(
+    factory: &DutFactory,
+    name: &str,
+    tests: usize,
+    args: &SnapshotArgs,
+) -> Option<CampaignReport> {
+    if !args.resume {
+        return None;
+    }
+    let path = args.path_for(name)?;
+    if !path.exists() {
+        return None;
+    }
+    let space = factory().space().clone();
+    let snapshot = persist::load_snapshot(&path, &space)
+        .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", path.display()));
+    if snapshot.tests_run() < tests {
+        return None;
+    }
+    println!(
+        "[resume] {}: already complete at {} tests, {:.2}% coverage",
+        path.display(),
+        snapshot.tests_run(),
+        snapshot.coverage_pct()
+    );
+    Some(snapshot.report())
+}
+
+/// [`run_budget`] with durable snapshots: with `--resume` and an existing
+/// snapshot the campaign continues where the file left off (coverage,
+/// history, mismatch clusters, scheduler state), and with
+/// `--snapshot-path` the final state is persisted for the next
+/// invocation.
+///
+/// On a mid-budget resume the rebuilt generator is fast-forwarded past
+/// the `snapshot.tests_run()` inputs the interrupted run already
+/// consumed. For feedback-free generators (random regression, corpus
+/// replay) that continues the exact input stream. Feedback-*driven*
+/// generators (TheHuzz's mutation pool, the ChatFuzz LM's online
+/// training) cannot be restored this way — their `observe` history died
+/// with the process — so their resumed tail explores from a reset
+/// feedback state: accumulated coverage is exact, the remaining inputs
+/// are a fresh exploration rather than a replay of the lost run's.
+pub fn run_budget_durable<'g>(
+    factory: &DutFactory,
+    mut generator: impl InputGenerator + 'g,
+    tests: usize,
+    name: &str,
+    args: &SnapshotArgs,
+) -> CampaignReport {
+    let path = args.path_for(name);
+    let mut resume_from = None;
+    if args.resume {
+        let path = path.as_ref().expect("resume implies a snapshot path");
+        if path.exists() {
+            let space = factory().space().clone();
+            let snapshot = persist::load_snapshot(path, &space)
+                .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", path.display()));
+            println!(
+                "[resume] {}: {} tests, {:.2}% coverage",
+                path.display(),
+                snapshot.tests_run(),
+                snapshot.coverage_pct()
+            );
+            // Skip the (possibly expensive) fast-forward when the budget
+            // is already met and no batch will run anyway.
+            if snapshot.tests_run() > 0 && snapshot.tests_run() < tests {
+                let _ = generator.next_batch(snapshot.tests_run());
+            }
+            resume_from = Some(snapshot);
+        }
+    }
+    let mut builder = session(factory).generator(generator);
+    if let Some(snapshot) = resume_from {
+        builder = builder.resume(snapshot);
+    }
+    let mut campaign = builder.build();
+    let save = |campaign: &chatfuzz::campaign::Campaign<'_>, path: &PathBuf| {
+        persist::save_snapshot(path, &campaign.snapshot())
+            .unwrap_or_else(|e| panic!("cannot write snapshot {}: {e}", path.display()));
+    };
+    if let Some(path) = &path {
+        // Probe the destination before fuzzing — an unwritable path must
+        // surface in milliseconds, not after the whole budget ran. The
+        // probe writes a sibling file so an existing checkpoint is never
+        // touched before the campaign has produced something newer.
+        let probe = path.with_extension("probe");
+        save(&campaign, &probe);
+        let _ = std::fs::remove_file(&probe);
+    }
+    let report = campaign.run_until(&[StopCondition::Tests(tests)]);
+    if let Some(path) = &path {
+        save(&campaign, path);
+        println!("[snapshot] {}", path.display());
+    }
+    report
 }
 
 /// Trains the full ChatFuzz pipeline against a fresh Rocket and wraps the

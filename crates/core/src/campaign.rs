@@ -20,14 +20,15 @@
 //!   (round-robin, or the MABFuzz-style epsilon-greedy bandit rewarded
 //!   with incremental coverage per test).
 //!
-//! The legacy [`run_campaign`](crate::fuzz::run_campaign) survives as a
-//! thin wrapper over `run_until(&[StopCondition::Tests(..)])`.
+//! Snapshots capture scheduler state ([`SchedulerState`]) alongside
+//! coverage and mismatch state, persist to disk via [`crate::persist`],
+//! and scale horizontally via [`crate::shard`].
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use chatfuzz_baselines::{Feedback, InputGenerator, RoundRobin, Scheduler};
+use chatfuzz_baselines::{Feedback, InputGenerator, RoundRobin, Scheduler, SchedulerState};
 use chatfuzz_coverage::{Calculator, CovMap, PointKind};
 use chatfuzz_rtl::{Dut, DutRun};
 use chatfuzz_softcore::trace::Trace;
@@ -47,11 +48,6 @@ pub type DutFactory = Arc<dyn Fn() -> Box<dyn Dut> + Send + Sync>;
 /// [`Campaign::run_until`] takes per call).
 #[derive(Debug, Clone, Copy)]
 pub struct CampaignConfig {
-    /// Total test inputs to run. Only consulted by the legacy
-    /// [`run_campaign`](crate::fuzz::run_campaign) wrapper, which maps it
-    /// to [`StopCondition::Tests`]; session users pass stop conditions
-    /// directly.
-    pub total_tests: usize,
     /// Inputs per batch (one Coverage-Calculator batch).
     pub batch_size: usize,
     /// Parallel simulation workers (the paper's "ten instances of VCS").
@@ -62,23 +58,16 @@ pub struct CampaignConfig {
     pub golden: SoftCoreConfig,
     /// Run the golden model + mismatch detector.
     pub detect_mismatches: bool,
-    /// Retained for compatibility with the legacy config shape; the
-    /// session records exact history (every coverage-advancing input plus
-    /// the endpoint), so sub-sampling no longer exists. Use a
-    /// [`CampaignObserver`] for custom progress sampling.
-    pub history_every: usize,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
-            total_tests: 512,
             batch_size: 32,
             workers: 10,
             harness: HarnessConfig::default(),
             golden: SoftCoreConfig::default(),
             detect_mismatches: true,
-            history_every: 64,
         }
     }
 }
@@ -245,31 +234,47 @@ impl CampaignReport {
 
 /// A resumable checkpoint of everything the campaign accumulated:
 /// coverage state, mismatch clusters, history, per-generator statistics,
-/// and counters.
+/// scheduler state, and counters. Persist to disk with [`crate::persist`]
+/// for cross-process resume.
 ///
-/// Generator and scheduler *internal* state is not captured — trait
-/// objects carry arbitrary state; rebuild them (deterministic generators
-/// replay from their seed) and hand the snapshot to
-/// [`CampaignBuilder::resume`]. The rebuilt generator line-up must match
-/// the snapshot's (same names, same order).
+/// Scheduler state *is* captured ([`SchedulerState`]) and restored by
+/// [`CampaignBuilder::resume`], so bandit arm statistics survive a
+/// checkpoint. Generator internal state is not — trait objects carry
+/// arbitrary state; rebuild the generators (deterministic ones replay
+/// from their seed) and hand the snapshot to the builder. The rebuilt
+/// generator line-up must match the snapshot's (same names, same order),
+/// and the rebuilt scheduler must be the same kind constructed with the
+/// same parameters.
 #[derive(Debug, Clone)]
 pub struct CampaignSnapshot {
-    dut: String,
-    calculator: Calculator,
-    log: MismatchLog,
-    history: Vec<CoveragePoint>,
-    gen_stats: Vec<GeneratorStats>,
-    tests_run: usize,
-    batches_run: usize,
-    total_cycles: u64,
-    batches_since_gain: usize,
-    wall: Duration,
+    pub(crate) dut: String,
+    pub(crate) calculator: Calculator,
+    pub(crate) log: MismatchLog,
+    pub(crate) history: Vec<CoveragePoint>,
+    pub(crate) gen_stats: Vec<GeneratorStats>,
+    pub(crate) scheduler: SchedulerState,
+    pub(crate) tests_run: usize,
+    pub(crate) batches_run: usize,
+    pub(crate) total_cycles: u64,
+    pub(crate) batches_since_gain: usize,
+    pub(crate) wall: Duration,
+    pub(crate) stopped_by: Option<StopCondition>,
 }
 
 impl CampaignSnapshot {
     /// Tests executed up to the checkpoint.
     pub fn tests_run(&self) -> usize {
         self.tests_run
+    }
+
+    /// Batches executed up to the checkpoint.
+    pub fn batches_run(&self) -> usize {
+        self.batches_run
+    }
+
+    /// Simulated DUT cycles up to the checkpoint.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
     }
 
     /// Cumulative coverage percentage at the checkpoint.
@@ -280,6 +285,39 @@ impl CampaignSnapshot {
     /// Cumulative coverage map at the checkpoint.
     pub fn coverage(&self) -> &CovMap {
         self.calculator.total()
+    }
+
+    /// DUT name the checkpoint was taken on.
+    pub fn dut(&self) -> &str {
+        &self.dut
+    }
+
+    /// Scheduler state at the checkpoint.
+    pub fn scheduler_state(&self) -> &SchedulerState {
+        &self.scheduler
+    }
+
+    /// Renders the checkpoint as a [`CampaignReport`] — the same view
+    /// [`Campaign::report`] produces for a live session, so persisted or
+    /// merged snapshots feed the existing CSV/markdown/JSON renderers.
+    pub fn report(&self) -> CampaignReport {
+        let generator =
+            self.gen_stats.iter().map(|s| s.name.as_str()).collect::<Vec<_>>().join("+");
+        CampaignReport {
+            generator,
+            dut: self.dut.clone(),
+            history: self.history.clone(),
+            final_coverage_pct: self.calculator.total_percent(),
+            tests_run: self.tests_run,
+            batches_run: self.batches_run,
+            raw_mismatches: self.log.raw_count(),
+            unique_mismatches: self.log.unique().into_iter().cloned().collect(),
+            bugs: self.log.bugs_found(),
+            total_cycles: self.total_cycles,
+            wall: self.wall,
+            generator_stats: self.gen_stats.clone(),
+            stopped_by: self.stopped_by,
+        }
     }
 }
 
@@ -415,9 +453,11 @@ impl<'g> CampaignBuilder<'g> {
     /// # Panics
     ///
     /// Panics if no generator was added, if `workers == 0` or
-    /// `batch_size == 0`, or if a resume snapshot's coverage space does
-    /// not match the DUT's.
-    pub fn build(self) -> Campaign<'g> {
+    /// `batch_size == 0`, or if a resume snapshot does not match the
+    /// session being built: different coverage space, different DUT,
+    /// different generator line-up, a different scheduler kind, or
+    /// scheduler arm statistics for more arms than there are generators.
+    pub fn build(mut self) -> Campaign<'g> {
         assert!(!self.generators.is_empty(), "campaign needs at least one generator");
         assert!(self.cfg.workers > 0 && self.cfg.batch_size > 0, "degenerate campaign config");
 
@@ -448,6 +488,7 @@ impl<'g> CampaignBuilder<'g> {
             total_cycles,
             since_gain,
             wall,
+            stopped_by,
         ) = match self.resume_from {
             Some(snapshot) => {
                 assert_eq!(
@@ -463,6 +504,19 @@ impl<'g> CampaignBuilder<'g> {
                     names, snapshot_names,
                     "resume snapshot was taken with a different generator line-up"
                 );
+                // Restore scheduler state so arm statistics (and the
+                // explore/exploit RNG stream) continue instead of
+                // resetting to zero. Arms are recorded lazily, so a
+                // snapshot may carry fewer arms than generators — never
+                // more.
+                assert!(
+                    snapshot.scheduler.arms.len() <= self.generators.len(),
+                    "resume snapshot has scheduler statistics for {} arms but the \
+                     line-up has {} generators",
+                    snapshot.scheduler.arms.len(),
+                    self.generators.len()
+                );
+                self.scheduler.import_state(&snapshot.scheduler);
                 (
                     snapshot.calculator,
                     snapshot.log,
@@ -473,6 +527,7 @@ impl<'g> CampaignBuilder<'g> {
                     snapshot.total_cycles,
                     snapshot.batches_since_gain,
                     snapshot.wall,
+                    snapshot.stopped_by,
                 )
             }
             None => (
@@ -485,6 +540,7 @@ impl<'g> CampaignBuilder<'g> {
                 0,
                 0,
                 Duration::ZERO,
+                None,
             ),
         };
 
@@ -535,7 +591,7 @@ impl<'g> CampaignBuilder<'g> {
             batches_since_gain: since_gain,
             wall_offset: wall,
             started: Instant::now(),
-            stopped_by: None,
+            stopped_by,
             job_tx: Some(job_tx),
             result_rx,
             workers,
@@ -818,11 +874,13 @@ impl<'g> Campaign<'g> {
             log: self.log.clone(),
             history: self.history.clone(),
             gen_stats: self.gen_stats.clone(),
+            scheduler: self.scheduler.export_state(),
             tests_run: self.tests_run,
             batches_run: self.batches_run,
             total_cycles: self.total_cycles,
             batches_since_gain: self.batches_since_gain,
             wall: self.wall(),
+            stopped_by: self.stopped_by,
         }
     }
 }
@@ -851,6 +909,68 @@ mod tests {
 
     fn small_builder<'g>() -> CampaignBuilder<'g> {
         CampaignBuilder::from_factory(rocket_factory(BugConfig::all_on())).batch_size(16).workers(4)
+    }
+
+    /// One builder-API campaign to a test budget (the shape the removed
+    /// `run_campaign` wrapper provided).
+    fn budget_report(
+        generator: impl InputGenerator + 'static,
+        bugs: BugConfig,
+        tests: usize,
+    ) -> CampaignReport {
+        CampaignBuilder::from_factory(rocket_factory(bugs))
+            .batch_size(16)
+            .workers(4)
+            .generator(generator)
+            .build()
+            .run_until(&[StopCondition::Tests(tests)])
+    }
+
+    #[test]
+    fn campaign_accumulates_monotone_coverage() {
+        let report = budget_report(TheHuzz::new(MutatorConfig::default()), BugConfig::all_on(), 48);
+        assert_eq!(report.tests_run, 48);
+        assert!(report.final_coverage_pct > 20.0, "got {}", report.final_coverage_pct);
+        assert!(!report.history.is_empty());
+        for pair in report.history.windows(2) {
+            assert!(pair[1].coverage_pct >= pair[0].coverage_pct, "monotone");
+            assert!(pair[1].tests > pair[0].tests);
+        }
+        assert!(report.total_cycles > 0);
+    }
+
+    #[test]
+    fn bug_free_rocket_yields_zero_mismatches() {
+        let report =
+            budget_report(TheHuzz::new(MutatorConfig::default()), BugConfig::all_off(), 48);
+        assert_eq!(report.raw_mismatches, 0, "no injected bugs, no mismatches");
+        assert!(report.bugs.is_empty());
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let run = || budget_report(RandomRegression::new(5, 16), BugConfig::all_on(), 48);
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_coverage_pct, b.final_coverage_pct);
+        assert_eq!(a.raw_mismatches, b.raw_mismatches);
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+
+    #[test]
+    fn single_worker_matches_parallel_results() {
+        let run = |workers| {
+            CampaignBuilder::from_factory(rocket_factory(BugConfig::all_on()))
+                .batch_size(16)
+                .workers(workers)
+                .generator(RandomRegression::new(5, 16))
+                .build()
+                .run_until(&[StopCondition::Tests(48)])
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a.final_coverage_pct, b.final_coverage_pct);
+        assert_eq!(a.raw_mismatches, b.raw_mismatches);
     }
 
     #[test]
@@ -971,6 +1091,61 @@ mod tests {
         assert_eq!(report.generator_stats[0].tests, 64);
         assert_eq!(report.generator_stats[0].batches, 4);
         assert_eq!(report.generator_stats[0].new_bins, expected.generator_stats[0].new_bins);
+    }
+
+    #[test]
+    fn resume_restores_scheduler_arm_statistics() {
+        let factory = rocket_factory(BugConfig::all_on());
+        let build = |resume: Option<CampaignSnapshot>, skip: (usize, usize)| {
+            let mut g0 = RandomRegression::new(3, 16);
+            let mut g1 = RandomRegression::new(9, 16);
+            // Fast-forward each generator past the tests it produced
+            // before the checkpoint (RandomRegression ignores feedback,
+            // so replaying the consumed inputs restores its stream).
+            if skip.0 > 0 {
+                let _ = g0.next_batch(skip.0);
+            }
+            if skip.1 > 0 {
+                let _ = g1.next_batch(skip.1);
+            }
+            let mut b = CampaignBuilder::from_factory(Arc::clone(&factory))
+                .batch_size(16)
+                .workers(4)
+                .generator(g0)
+                .generator(g1)
+                .scheduler(EpsilonGreedy::new(7, 0.3));
+            if let Some(snapshot) = resume {
+                b = b.resume(snapshot);
+            }
+            b.build()
+        };
+
+        let expected = build(None, (0, 0)).run_until(&[StopCondition::Tests(8 * 16)]);
+
+        let mut first_half = build(None, (0, 0));
+        first_half.run_until(&[StopCondition::Tests(4 * 16)]);
+        let snapshot = first_half.snapshot();
+        // The checkpoint carries non-zero arm statistics…
+        assert_eq!(
+            snapshot.scheduler_state().arms.iter().map(|a| a.pulls).sum::<u64>(),
+            4,
+            "one pull per batch recorded"
+        );
+        // …and resume replays them: rebuild the generators fast-forwarded
+        // by what each consumed, then the second half schedules exactly
+        // like the uninterrupted run (same bandit decisions, same RNG
+        // stream) — impossible if arm statistics reset to zero.
+        let consumed = (snapshot.gen_stats[0].tests, snapshot.gen_stats[1].tests);
+        drop(first_half);
+        let report = build(Some(snapshot), consumed).run_until(&[StopCondition::Tests(8 * 16)]);
+
+        assert_eq!(report.final_coverage_pct, expected.final_coverage_pct);
+        assert_eq!(report.total_cycles, expected.total_cycles);
+        for (got, want) in report.generator_stats.iter().zip(&expected.generator_stats) {
+            assert_eq!(got.batches, want.batches, "per-arm batch counts diverged");
+            assert_eq!(got.tests, want.tests);
+            assert_eq!(got.new_bins, want.new_bins);
+        }
     }
 
     #[test]

@@ -14,10 +14,15 @@
 //!   stop conditions, per-batch observers, snapshot/resume, and
 //!   multi-generator scheduling (round-robin or the MABFuzz-style
 //!   epsilon-greedy bandit from `chatfuzz_baselines::schedule`);
+//! * [`persist`] — versioned on-disk JSON serialisation of
+//!   [`CampaignSnapshot`], so long campaigns survive their process and
+//!   resume elsewhere;
+//! * [`shard`] — horizontal scaling: split one campaign into N shard
+//!   sub-campaigns with disjoint RNG streams (in-process or spawned
+//!   sub-processes) and merge the results;
 //! * [`pipeline`] — the three-step training pipeline (paper Fig. 1b);
 //! * [`generator`] — the LLM-based Input Generator with online
 //!   coverage-reward training (paper Fig. 1a), plus the n-gram ablation;
-//! * [`fuzz`] — the legacy `run_campaign` wrapper over [`campaign`];
 //! * [`mismatch`] — the Mismatch Detector: trace diffing, unique-mismatch
 //!   clustering, and classification against the known RocketCore defects;
 //! * [`harness`] — the bare-metal wrapper (trap handler + stack) around
@@ -67,24 +72,29 @@
 //! ```
 
 pub mod campaign;
-pub mod fuzz;
 pub mod generator;
 pub mod harness;
 pub mod mismatch;
+pub mod persist;
 pub mod pipeline;
 pub mod report;
+pub mod shard;
 
 pub use campaign::{
     BatchOutcome, Campaign, CampaignBuilder, CampaignConfig, CampaignObserver, CampaignReport,
     CampaignSnapshot, CoveragePoint, DutFactory, GeneratorStats, StopCondition,
 };
-pub use fuzz::run_campaign;
 pub use generator::{CoverageReward, LmGenerator, LmGeneratorConfig, NgramGenerator};
 pub use harness::{wrap, HarnessConfig};
 pub use mismatch::{
     classify, diff_traces, KnownBug, Mismatch, MismatchFilter, MismatchLog, UniqueMismatch,
 };
+pub use persist::{load_snapshot, parse_snapshot, save_snapshot, snapshot_json, PersistError};
 pub use pipeline::{
     train_chatfuzz, ChatFuzzModel, CleanupPoint, ModelScale, OptimizePoint, PipelineConfig,
     PipelineReport,
+};
+pub use shard::{
+    shard_seed, InProcessRunner, ProcessShardRunner, ShardError, ShardRunner, ShardSpec,
+    ShardedCampaign, ShardedOutcome, WorkerRequest,
 };

@@ -363,6 +363,49 @@ impl MismatchLog {
         self.raw_count
     }
 
+    /// The installed suppression filter.
+    pub fn filter(&self) -> &MismatchFilter {
+        &self.filter
+    }
+
+    /// Rebuilds a log from persisted parts (see [`crate::persist`]):
+    /// clusters keyed by their signatures, with the raw count restored
+    /// independently because filters may have suppressed records that
+    /// never clustered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster's stored signature disagrees with its
+    /// example's, which indicates a corrupt or hand-edited snapshot.
+    pub fn from_parts(
+        raw_count: usize,
+        clusters: Vec<UniqueMismatch>,
+        filter: MismatchFilter,
+    ) -> MismatchLog {
+        let clusters = clusters
+            .into_iter()
+            .map(|u| {
+                assert_eq!(u.signature, u.example.signature(), "cluster signature mismatch");
+                (u.signature.clone(), u)
+            })
+            .collect();
+        MismatchLog { raw_count, clusters, filter }
+    }
+
+    /// Folds another log's clusters and raw count into this one — the
+    /// merge operation sharded campaigns use. Counts add; the first
+    /// (lowest-shard) example of each signature is kept; this log's
+    /// filter wins (both sides already applied their own at record time).
+    pub fn merge_from(&mut self, other: &MismatchLog) {
+        self.raw_count += other.raw_count;
+        for (sig, theirs) in &other.clusters {
+            self.clusters
+                .entry(sig.clone())
+                .and_modify(|u| u.count += theirs.count)
+                .or_insert_with(|| theirs.clone());
+        }
+    }
+
     /// Unique mismatch clusters, in signature order.
     pub fn unique(&self) -> Vec<&UniqueMismatch> {
         self.clusters.values().collect()
@@ -499,6 +542,45 @@ mod tests {
         assert_eq!(log.raw_count(), 6);
         assert_eq!(log.unique().len(), 2);
         assert_eq!(log.bugs_found(), vec![KnownBug::Bug1IcacheCoherency]);
+    }
+
+    #[test]
+    fn merge_from_sums_counts_and_unions_clusters() {
+        let mut a = MismatchLog::new();
+        let mut b = MismatchLog::new();
+        a.record(vec![Mismatch::PcDivergence { index: 0, golden_pc: 1, dut_pc: 2 }]);
+        b.record(vec![
+            Mismatch::PcDivergence { index: 5, golden_pc: 3, dut_pc: 4 },
+            Mismatch::MemDivergence { index: 1, pc: 0x80 },
+        ]);
+        a.merge_from(&b);
+        assert_eq!(a.raw_count(), 3);
+        let unique = a.unique();
+        assert_eq!(unique.len(), 2);
+        // a's own example survives the merge for the shared signature.
+        assert_eq!(
+            unique.iter().find(|u| u.signature == "pc").unwrap().example,
+            Mismatch::PcDivergence { index: 0, golden_pc: 1, dut_pc: 2 }
+        );
+        assert_eq!(unique.iter().find(|u| u.signature == "pc").unwrap().count, 2);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_log() {
+        let mut log = MismatchLog::new();
+        log.record(vec![
+            Mismatch::PcDivergence { index: 0, golden_pc: 1, dut_pc: 2 },
+            Mismatch::MemDivergence { index: 1, pc: 0x80 },
+        ]);
+        log.record(vec![Mismatch::MemDivergence { index: 2, pc: 0x84 }]);
+        let rebuilt = MismatchLog::from_parts(
+            log.raw_count(),
+            log.unique().into_iter().cloned().collect(),
+            log.filter().clone(),
+        );
+        assert_eq!(rebuilt.raw_count(), log.raw_count());
+        assert_eq!(rebuilt.unique().len(), log.unique().len());
+        assert_eq!(rebuilt.bugs_found(), log.bugs_found());
     }
 
     #[test]

@@ -1,0 +1,1184 @@
+//! Durable campaign snapshots: versioned JSON on disk.
+//!
+//! A [`CampaignSnapshot`] lives only as long as its process; this module
+//! gives it a disk form so the paper's long coverage-over-time campaigns
+//! (Fig. 2, time-to-coverage) survive crashes, pre-emption, and planned
+//! hand-offs between machines. The serialisation rides the same
+//! hand-rolled JSON writer `crate::report` uses (the workspace builds
+//! offline — no serde), plus a minimal recursive-descent parser that
+//! preserves `u64` precision by keeping number tokens textual until a
+//! consumer asks for an integer or a float.
+//!
+//! # Schema (version [`SCHEMA_VERSION`])
+//!
+//! One JSON object:
+//!
+//! | key | contents |
+//! |---|---|
+//! | `schema_version` | integer; readers reject versions they don't know |
+//! | `dut` | DUT name the snapshot was taken on |
+//! | `space_fingerprint` | structural hash of the coverage space |
+//! | `tests_run`, `batches_run`, `total_cycles`, `batches_since_gain` | session counters |
+//! | `wall_nanos` | accumulated wall clock |
+//! | `stopped_by` | `null` or `{kind, value}` (the last stop condition) |
+//! | `coverage` | cumulative + previous-batch bitmap words as hex blobs |
+//! | `history` | exact coverage-over-time points |
+//! | `generator_stats` | per-generator scheduling statistics |
+//! | `scheduler` | [`SchedulerState`]: kind, cursor, epsilon, RNG words, arms |
+//! | `mismatch_log` | raw count, suppression filter, clusters with full examples |
+//!
+//! Coverage bitmaps are stored as lowercase hex, 16 characters per
+//! `u64` word, alongside the space fingerprint; the loader takes the
+//! re-elaborated [`Space`] from a freshly probed DUT and refuses blobs
+//! whose fingerprint or word count disagree. Mismatch cluster examples
+//! round-trip the full [`Mismatch`] enum (tagged objects), and cluster
+//! signatures/classifications are *recomputed* from the examples on load
+//! so they can never desynchronise from the code that defines them.
+//!
+//! Writes are atomic (temp file + rename), so a process polling for a
+//! snapshot — the cross-process resume tests, a monitoring dashboard —
+//! never observes a half-written document.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chatfuzz_baselines::{ArmState, SchedulerState};
+use chatfuzz_coverage::{Calculator, CovMap, Space};
+use chatfuzz_isa::{Exception, PrivLevel, Reg};
+use chatfuzz_softcore::trace::ExitReason;
+
+use crate::campaign::{CampaignSnapshot, CoveragePoint, GeneratorStats, StopCondition};
+use crate::mismatch::{classify, Mismatch, MismatchFilter, MismatchLog, UniqueMismatch};
+use crate::report::JsonWriter;
+
+/// Version stamped into every snapshot document. Bump on any incompatible
+/// schema change; [`parse_snapshot`] rejects unknown versions with
+/// [`PersistError::SchemaVersion`] instead of misreading them.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Why a snapshot could not be loaded.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Reading or writing the file failed.
+    Io(io::Error),
+    /// The document is not valid JSON or not a valid snapshot.
+    Parse(String),
+    /// The document's schema version is not supported by this build.
+    SchemaVersion {
+        /// Version found in the document.
+        found: u64,
+        /// Version this build reads and writes.
+        supported: u64,
+    },
+    /// The snapshot was taken on a different coverage space than the one
+    /// supplied for loading (different design or elaboration).
+    SpaceMismatch {
+        /// Fingerprint recorded in the document.
+        found: u64,
+        /// Fingerprint of the supplied space.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot io error: {e}"),
+            PersistError::Parse(msg) => write!(f, "snapshot parse error: {msg}"),
+            PersistError::SchemaVersion { found, supported } => {
+                write!(f, "snapshot schema version {found} (this build supports {supported})")
+            }
+            PersistError::SpaceMismatch { found, expected } => write!(
+                f,
+                "snapshot was taken on coverage space {found:#018x}, \
+                 expected {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> PersistError {
+        PersistError::Io(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, PersistError>;
+
+fn err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(PersistError::Parse(msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------------
+
+/// Renders a snapshot as one schema-versioned JSON document.
+pub fn snapshot_json(snapshot: &CampaignSnapshot) -> String {
+    let mut w = JsonWriter::new();
+    w.open('{');
+    w.field_u64("schema_version", SCHEMA_VERSION);
+    w.field_str("dut", &snapshot.dut);
+    w.field_u64("space_fingerprint", snapshot.coverage().space().fingerprint());
+    w.field_u64("tests_run", snapshot.tests_run as u64);
+    w.field_u64("batches_run", snapshot.batches_run as u64);
+    w.field_u64("total_cycles", snapshot.total_cycles);
+    w.field_u64("batches_since_gain", snapshot.batches_since_gain as u64);
+    w.field_u64("wall_nanos", snapshot.wall.as_nanos() as u64);
+    write_stop(&mut w, "stopped_by", snapshot.stopped_by);
+
+    w.key("coverage");
+    w.open('{');
+    w.field_str("cumulative", &words_to_hex(snapshot.calculator.total().words()));
+    w.field_str(
+        "previous_batch_total",
+        &words_to_hex(snapshot.calculator.previous_batch_total().words()),
+    );
+    w.close('}');
+
+    w.key("history");
+    w.open('[');
+    for p in &snapshot.history {
+        w.open('{');
+        w.field_u64("tests", p.tests as u64);
+        w.field_u64("covered_bins", p.covered_bins as u64);
+        w.field_f64("coverage_pct", p.coverage_pct);
+        w.field_u64("sim_cycles", p.sim_cycles);
+        w.field_u64("wall_nanos", p.wall.as_nanos() as u64);
+        w.close('}');
+    }
+    w.close(']');
+
+    w.key("generator_stats");
+    w.open('[');
+    for s in &snapshot.gen_stats {
+        w.open('{');
+        w.field_str("name", &s.name);
+        w.field_u64("batches", s.batches as u64);
+        w.field_u64("tests", s.tests as u64);
+        w.field_u64("new_bins", s.new_bins as u64);
+        w.field_u64("cycles", s.cycles);
+        w.close('}');
+    }
+    w.close(']');
+
+    w.key("scheduler");
+    w.open('{');
+    w.field_str("name", &snapshot.scheduler.scheduler);
+    w.field_u64("cursor", snapshot.scheduler.cursor);
+    w.field_f64("epsilon", snapshot.scheduler.epsilon);
+    w.key("rng_words");
+    w.open('[');
+    for &word in &snapshot.scheduler.rng_words {
+        w.value_u64(u64::from(word));
+    }
+    w.close(']');
+    w.key("arms");
+    w.open('[');
+    for arm in &snapshot.scheduler.arms {
+        w.open('{');
+        w.field_u64("pulls", arm.pulls);
+        w.field_f64("total_reward", arm.total_reward);
+        w.close('}');
+    }
+    w.close(']');
+    w.close('}');
+
+    w.key("mismatch_log");
+    w.open('{');
+    w.field_u64("raw_count", snapshot.log.raw_count() as u64);
+    let filter = snapshot.log.filter();
+    w.key("filter");
+    w.open('{');
+    w.field_raw("ignore_length", if filter.ignore_length { "true" } else { "false" });
+    w.key("ignore_regs");
+    w.open('[');
+    for reg in &filter.ignore_regs {
+        w.value_u64(reg.index() as u64);
+    }
+    w.close(']');
+    w.close('}');
+    w.key("clusters");
+    w.open('[');
+    for u in snapshot.log.unique() {
+        w.open('{');
+        w.field_u64("count", u.count as u64);
+        w.key("example");
+        write_mismatch(&mut w, &u.example);
+        w.close('}');
+    }
+    w.close(']');
+    w.close('}');
+
+    w.close('}');
+    w.finish()
+}
+
+fn write_stop(w: &mut JsonWriter, key: &str, stop: Option<StopCondition>) {
+    let Some(stop) = stop else {
+        w.field_raw(key, "null");
+        return;
+    };
+    w.key(key);
+    w.open('{');
+    match stop {
+        StopCondition::Tests(n) => {
+            w.field_str("kind", "tests");
+            w.field_u64("value", n as u64);
+        }
+        StopCondition::SimCycles(n) => {
+            w.field_str("kind", "sim_cycles");
+            w.field_u64("value", n);
+        }
+        StopCondition::WallClock(d) => {
+            w.field_str("kind", "wall_clock");
+            w.field_u64("value", d.as_nanos() as u64);
+        }
+        StopCondition::CoveragePct(pct) => {
+            w.field_str("kind", "coverage_pct");
+            w.field_f64("value", pct);
+        }
+        StopCondition::Plateau(n) => {
+            w.field_str("kind", "plateau");
+            w.field_u64("value", n as u64);
+        }
+    }
+    w.close('}');
+}
+
+fn write_mismatch(w: &mut JsonWriter, m: &Mismatch) {
+    w.open('{');
+    match m {
+        Mismatch::ExitDivergence { golden, dut } => {
+            w.field_str("kind", "exit");
+            w.key("golden");
+            write_exit(w, golden);
+            w.key("dut");
+            write_exit(w, dut);
+        }
+        Mismatch::LengthDivergence { golden, dut } => {
+            w.field_str("kind", "length");
+            w.field_u64("golden", *golden as u64);
+            w.field_u64("dut", *dut as u64);
+        }
+        Mismatch::PcDivergence { index, golden_pc, dut_pc } => {
+            w.field_str("kind", "pc");
+            w.field_u64("index", *index as u64);
+            w.field_u64("golden_pc", *golden_pc);
+            w.field_u64("dut_pc", *dut_pc);
+        }
+        Mismatch::WordDivergence { index, pc, golden_word, dut_word } => {
+            w.field_str("kind", "word");
+            w.field_u64("index", *index as u64);
+            w.field_u64("pc", *pc);
+            w.field_u64("golden_word", u64::from(*golden_word));
+            w.field_u64("dut_word", u64::from(*dut_word));
+        }
+        Mismatch::RdWriteDivergence { index, pc, word, golden, dut } => {
+            w.field_str("kind", "rd");
+            w.field_u64("index", *index as u64);
+            w.field_u64("pc", *pc);
+            w.field_u64("word", u64::from(*word));
+            write_rd_write(w, "golden", *golden);
+            write_rd_write(w, "dut", *dut);
+        }
+        Mismatch::TrapDivergence { index, pc, golden_cause, dut_cause } => {
+            w.field_str("kind", "trap");
+            w.field_u64("index", *index as u64);
+            w.field_u64("pc", *pc);
+            match golden_cause {
+                Some(c) => w.field_u64("golden_cause", *c),
+                None => w.field_raw("golden_cause", "null"),
+            }
+            match dut_cause {
+                Some(c) => w.field_u64("dut_cause", *c),
+                None => w.field_raw("dut_cause", "null"),
+            }
+        }
+        Mismatch::MemDivergence { index, pc } => {
+            w.field_str("kind", "mem");
+            w.field_u64("index", *index as u64);
+            w.field_u64("pc", *pc);
+        }
+    }
+    w.close('}');
+}
+
+fn write_rd_write(w: &mut JsonWriter, key: &str, rd: Option<(Reg, u64)>) {
+    match rd {
+        None => w.field_raw(key, "null"),
+        Some((reg, value)) => {
+            w.key(key);
+            w.open('{');
+            w.field_u64("reg", reg.index() as u64);
+            w.field_u64("value", value);
+            w.close('}');
+        }
+    }
+}
+
+fn write_exit(w: &mut JsonWriter, exit: &ExitReason) {
+    w.open('{');
+    match exit {
+        ExitReason::Wfi => w.field_str("kind", "wfi"),
+        ExitReason::ToHost(v) => {
+            w.field_str("kind", "tohost");
+            w.field_u64("value", *v);
+        }
+        ExitReason::BudgetExhausted => w.field_str("kind", "budget_exhausted"),
+        ExitReason::TrapStorm => w.field_str("kind", "trap_storm"),
+        ExitReason::UnhandledTrap(e) => {
+            w.field_str("kind", "unhandled_trap");
+            w.key("exception");
+            write_exception(w, e);
+        }
+    }
+    w.close('}');
+}
+
+fn write_exception(w: &mut JsonWriter, e: &Exception) {
+    w.open('{');
+    let tagged_addr = |w: &mut JsonWriter, kind: &str, addr: u64| {
+        w.field_str("kind", kind);
+        w.field_u64("addr", addr);
+    };
+    match e {
+        Exception::InstrAddrMisaligned { addr } => tagged_addr(w, "instr_addr_misaligned", *addr),
+        Exception::InstrAccessFault { addr } => tagged_addr(w, "instr_access_fault", *addr),
+        Exception::Breakpoint { addr } => tagged_addr(w, "breakpoint", *addr),
+        Exception::LoadAddrMisaligned { addr } => tagged_addr(w, "load_addr_misaligned", *addr),
+        Exception::LoadAccessFault { addr } => tagged_addr(w, "load_access_fault", *addr),
+        Exception::StoreAddrMisaligned { addr } => tagged_addr(w, "store_addr_misaligned", *addr),
+        Exception::StoreAccessFault { addr } => tagged_addr(w, "store_access_fault", *addr),
+        Exception::IllegalInstr { word } => {
+            w.field_str("kind", "illegal_instr");
+            w.field_u64("word", u64::from(*word));
+        }
+        Exception::Ecall { from } => {
+            w.field_str("kind", "ecall");
+            w.field_u64("from", *from as u64);
+        }
+    }
+    w.close('}');
+}
+
+fn words_to_hex(words: &[u64]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(words.len() * 16);
+    for w in words {
+        let _ = write!(out, "{w:016x}");
+    }
+    out
+}
+
+fn hex_to_words(hex: &str) -> Result<Vec<u64>> {
+    if !hex.len().is_multiple_of(16) {
+        return err(format!("coverage hex blob length {} is not a multiple of 16", hex.len()));
+    }
+    hex.as_bytes()
+        .chunks(16)
+        .map(|chunk| {
+            let s = std::str::from_utf8(chunk)
+                .map_err(|_| PersistError::Parse("coverage hex blob is not ASCII".to_string()))?;
+            u64::from_str_radix(s, 16)
+                .map_err(|_| PersistError::Parse(format!("bad coverage hex word `{s}`")))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON value + parser
+// ---------------------------------------------------------------------------
+
+/// Parsed JSON. Numbers stay textual so `u64` counters round-trip without
+/// passing through `f64` (which only holds 53 bits of integer precision).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    fn get(&self, key: &str) -> Result<&Json> {
+        match self.opt(key) {
+            Some(v) => Ok(v),
+            None => err(format!("missing key `{key}`")),
+        }
+    }
+
+    fn opt(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64> {
+        match self {
+            Json::Num(s) => match s.parse::<u64>() {
+                Ok(v) => Ok(v),
+                Err(_) => err(format!("{what}: `{s}` is not a u64")),
+            },
+            other => err(format!("{what}: expected number, got {}", other.type_name())),
+        }
+    }
+
+    fn as_usize(&self, what: &str) -> Result<usize> {
+        Ok(self.as_u64(what)? as usize)
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64> {
+        match self {
+            Json::Num(s) => match s.parse::<f64>() {
+                Ok(v) => Ok(v),
+                Err(_) => err(format!("{what}: `{s}` is not a number")),
+            },
+            Json::Null => Ok(f64::NAN), // the writer emits null for non-finite floats
+            other => err(format!("{what}: expected number, got {}", other.type_name())),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => err(format!("{what}: expected bool, got {}", other.type_name())),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => err(format!("{what}: expected string, got {}", other.type_name())),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => err(format!("{what}: expected array, got {}", other.type_name())),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn fail<T>(&self, msg: &str) -> Result<T> {
+        err(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.fail(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        match self.peek() {
+            None => self.fail("unexpected end of document"),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => self.fail(&format!("unexpected byte `{}`", b as char)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return self.fail("expected `,` or `}`"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.fail("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return self.fail("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return self.fail("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            let Some(hex) = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                            else {
+                                return self.fail("truncated \\u escape");
+                            };
+                            let Ok(code) = u32::from_str_radix(hex, 16) else {
+                                return self.fail("bad \\u escape");
+                            };
+                            self.pos = end;
+                            // The writer only escapes control characters,
+                            // which are never surrogates.
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return self.fail("\\u escape is not a scalar value"),
+                            }
+                        }
+                        _ => return self.fail("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-sync to the char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let Some(chunk) =
+                        self.bytes.get(start..end).and_then(|c| std::str::from_utf8(c).ok())
+                    else {
+                        return self.fail("invalid UTF-8 in string");
+                    };
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if token.parse::<f64>().is_err() {
+            return self.fail(&format!("bad number token `{token}`"));
+        }
+        Ok(Json::Num(token.to_string()))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json> {
+    let mut p = Parser::new(text);
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.fail("trailing garbage after document");
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialisation
+// ---------------------------------------------------------------------------
+
+/// Parses a snapshot document produced by [`snapshot_json`].
+///
+/// The caller supplies the coverage [`Space`] of a freshly probed DUT
+/// (resume builds the DUT anyway); the document's recorded fingerprint
+/// must match, which catches resuming against the wrong design long
+/// before the campaign asserts.
+pub fn parse_snapshot(text: &str, space: &Arc<Space>) -> Result<CampaignSnapshot> {
+    let doc = parse_json(text)?;
+    let version = doc.get("schema_version")?.as_u64("schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(PersistError::SchemaVersion { found: version, supported: SCHEMA_VERSION });
+    }
+    let found = doc.get("space_fingerprint")?.as_u64("space_fingerprint")?;
+    if found != space.fingerprint() {
+        return Err(PersistError::SpaceMismatch { found, expected: space.fingerprint() });
+    }
+
+    let coverage = doc.get("coverage")?;
+    let cumulative = read_map(coverage.get("cumulative")?, "coverage.cumulative", space)?;
+    let previous =
+        read_map(coverage.get("previous_batch_total")?, "coverage.previous_batch_total", space)?;
+    if !previous.is_subset_of(&cumulative) {
+        return err("previous-batch total covers bins the cumulative map does not");
+    }
+
+    let history = doc
+        .get("history")?
+        .as_arr("history")?
+        .iter()
+        .map(|p| {
+            Ok(CoveragePoint {
+                tests: p.get("tests")?.as_usize("history.tests")?,
+                covered_bins: p.get("covered_bins")?.as_usize("history.covered_bins")?,
+                coverage_pct: p.get("coverage_pct")?.as_f64("history.coverage_pct")?,
+                sim_cycles: p.get("sim_cycles")?.as_u64("history.sim_cycles")?,
+                wall: Duration::from_nanos(p.get("wall_nanos")?.as_u64("history.wall_nanos")?),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    let gen_stats = doc
+        .get("generator_stats")?
+        .as_arr("generator_stats")?
+        .iter()
+        .map(|s| {
+            Ok(GeneratorStats {
+                name: s.get("name")?.as_str("generator_stats.name")?.to_string(),
+                batches: s.get("batches")?.as_usize("generator_stats.batches")?,
+                tests: s.get("tests")?.as_usize("generator_stats.tests")?,
+                new_bins: s.get("new_bins")?.as_usize("generator_stats.new_bins")?,
+                cycles: s.get("cycles")?.as_u64("generator_stats.cycles")?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    let sched = doc.get("scheduler")?;
+    let rng_words = sched
+        .get("rng_words")?
+        .as_arr("scheduler.rng_words")?
+        .iter()
+        .map(|wrd| {
+            let v = wrd.as_u64("scheduler.rng_words")?;
+            u32::try_from(v)
+                .map_err(|_| PersistError::Parse(format!("scheduler.rng_words: {v} exceeds u32")))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let arms = sched
+        .get("arms")?
+        .as_arr("scheduler.arms")?
+        .iter()
+        .map(|a| {
+            Ok(ArmState {
+                pulls: a.get("pulls")?.as_u64("scheduler.arms.pulls")?,
+                total_reward: a.get("total_reward")?.as_f64("scheduler.arms.total_reward")?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let scheduler = SchedulerState {
+        scheduler: sched.get("name")?.as_str("scheduler.name")?.to_string(),
+        cursor: sched.get("cursor")?.as_u64("scheduler.cursor")?,
+        epsilon: sched.get("epsilon")?.as_f64("scheduler.epsilon")?,
+        rng_words,
+        arms,
+    };
+
+    let log_doc = doc.get("mismatch_log")?;
+    let filter_doc = log_doc.get("filter")?;
+    let ignore_regs = filter_doc
+        .get("ignore_regs")?
+        .as_arr("mismatch_log.filter.ignore_regs")?
+        .iter()
+        .map(|r| {
+            let index = r.as_u64("ignore_regs")?;
+            u8::try_from(index)
+                .ok()
+                .and_then(Reg::new)
+                .ok_or_else(|| PersistError::Parse(format!("bad register index {index}")))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let filter = MismatchFilter {
+        ignore_length: filter_doc.get("ignore_length")?.as_bool("filter.ignore_length")?,
+        ignore_regs,
+    };
+    let clusters = log_doc
+        .get("clusters")?
+        .as_arr("mismatch_log.clusters")?
+        .iter()
+        .map(|c| {
+            let example = read_mismatch(c.get("example")?)?;
+            Ok(UniqueMismatch {
+                signature: example.signature(),
+                bug: classify(&example),
+                example,
+                count: c.get("count")?.as_usize("clusters.count")?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let raw_count = log_doc.get("raw_count")?.as_usize("mismatch_log.raw_count")?;
+    let clustered: usize = clusters.iter().map(|c| c.count).sum();
+    if raw_count < clustered {
+        return err(format!("raw_count {raw_count} is below the {clustered} clustered mismatches"));
+    }
+    let log = MismatchLog::from_parts(raw_count, clusters, filter);
+
+    Ok(CampaignSnapshot {
+        dut: doc.get("dut")?.as_str("dut")?.to_string(),
+        calculator: Calculator::from_parts(cumulative, previous),
+        log,
+        history,
+        gen_stats,
+        scheduler,
+        tests_run: doc.get("tests_run")?.as_usize("tests_run")?,
+        batches_run: doc.get("batches_run")?.as_usize("batches_run")?,
+        total_cycles: doc.get("total_cycles")?.as_u64("total_cycles")?,
+        batches_since_gain: doc.get("batches_since_gain")?.as_usize("batches_since_gain")?,
+        wall: Duration::from_nanos(doc.get("wall_nanos")?.as_u64("wall_nanos")?),
+        stopped_by: read_stop(doc.get("stopped_by")?)?,
+    })
+}
+
+fn read_map(value: &Json, what: &str, space: &Arc<Space>) -> Result<CovMap> {
+    let words = hex_to_words(value.as_str(what)?)?;
+    match CovMap::from_words(space, words) {
+        Some(map) => Ok(map),
+        None => err(format!("{what}: bitmap does not fit the supplied coverage space")),
+    }
+}
+
+fn read_stop(value: &Json) -> Result<Option<StopCondition>> {
+    if *value == Json::Null {
+        return Ok(None);
+    }
+    let kind = value.get("kind")?.as_str("stopped_by.kind")?;
+    let v = value.get("value")?;
+    let stop = match kind {
+        "tests" => StopCondition::Tests(v.as_usize("stopped_by.value")?),
+        "sim_cycles" => StopCondition::SimCycles(v.as_u64("stopped_by.value")?),
+        "wall_clock" => {
+            StopCondition::WallClock(Duration::from_nanos(v.as_u64("stopped_by.value")?))
+        }
+        "coverage_pct" => StopCondition::CoveragePct(v.as_f64("stopped_by.value")?),
+        "plateau" => StopCondition::Plateau(v.as_usize("stopped_by.value")?),
+        other => return err(format!("unknown stop condition kind `{other}`")),
+    };
+    Ok(Some(stop))
+}
+
+fn read_mismatch(value: &Json) -> Result<Mismatch> {
+    let kind = value.get("kind")?.as_str("example.kind")?;
+    let m = match kind {
+        "exit" => Mismatch::ExitDivergence {
+            golden: read_exit(value.get("golden")?)?,
+            dut: read_exit(value.get("dut")?)?,
+        },
+        "length" => Mismatch::LengthDivergence {
+            golden: value.get("golden")?.as_usize("length.golden")?,
+            dut: value.get("dut")?.as_usize("length.dut")?,
+        },
+        "pc" => Mismatch::PcDivergence {
+            index: value.get("index")?.as_usize("pc.index")?,
+            golden_pc: value.get("golden_pc")?.as_u64("pc.golden_pc")?,
+            dut_pc: value.get("dut_pc")?.as_u64("pc.dut_pc")?,
+        },
+        "word" => Mismatch::WordDivergence {
+            index: value.get("index")?.as_usize("word.index")?,
+            pc: value.get("pc")?.as_u64("word.pc")?,
+            golden_word: read_u32(value.get("golden_word")?, "word.golden_word")?,
+            dut_word: read_u32(value.get("dut_word")?, "word.dut_word")?,
+        },
+        "rd" => Mismatch::RdWriteDivergence {
+            index: value.get("index")?.as_usize("rd.index")?,
+            pc: value.get("pc")?.as_u64("rd.pc")?,
+            word: read_u32(value.get("word")?, "rd.word")?,
+            golden: read_rd_write(value.get("golden")?)?,
+            dut: read_rd_write(value.get("dut")?)?,
+        },
+        "trap" => Mismatch::TrapDivergence {
+            index: value.get("index")?.as_usize("trap.index")?,
+            pc: value.get("pc")?.as_u64("trap.pc")?,
+            golden_cause: read_opt_u64(value.get("golden_cause")?, "trap.golden_cause")?,
+            dut_cause: read_opt_u64(value.get("dut_cause")?, "trap.dut_cause")?,
+        },
+        "mem" => Mismatch::MemDivergence {
+            index: value.get("index")?.as_usize("mem.index")?,
+            pc: value.get("pc")?.as_u64("mem.pc")?,
+        },
+        other => return err(format!("unknown mismatch kind `{other}`")),
+    };
+    Ok(m)
+}
+
+fn read_u32(value: &Json, what: &str) -> Result<u32> {
+    let v = value.as_u64(what)?;
+    u32::try_from(v).map_err(|_| PersistError::Parse(format!("{what}: {v} exceeds u32")))
+}
+
+fn read_opt_u64(value: &Json, what: &str) -> Result<Option<u64>> {
+    if *value == Json::Null {
+        Ok(None)
+    } else {
+        Ok(Some(value.as_u64(what)?))
+    }
+}
+
+fn read_rd_write(value: &Json) -> Result<Option<(Reg, u64)>> {
+    if *value == Json::Null {
+        return Ok(None);
+    }
+    let index = value.get("reg")?.as_u64("rd.reg")?;
+    let reg = u8::try_from(index)
+        .ok()
+        .and_then(Reg::new)
+        .ok_or_else(|| PersistError::Parse(format!("bad register index {index}")))?;
+    Ok(Some((reg, value.get("value")?.as_u64("rd.value")?)))
+}
+
+fn read_exit(value: &Json) -> Result<ExitReason> {
+    let kind = value.get("kind")?.as_str("exit.kind")?;
+    let exit = match kind {
+        "wfi" => ExitReason::Wfi,
+        "tohost" => ExitReason::ToHost(value.get("value")?.as_u64("tohost.value")?),
+        "budget_exhausted" => ExitReason::BudgetExhausted,
+        "trap_storm" => ExitReason::TrapStorm,
+        "unhandled_trap" => ExitReason::UnhandledTrap(read_exception(value.get("exception")?)?),
+        other => return err(format!("unknown exit kind `{other}`")),
+    };
+    Ok(exit)
+}
+
+fn read_exception(value: &Json) -> Result<Exception> {
+    let kind = value.get("kind")?.as_str("exception.kind")?;
+    let addr = |what: &str| -> Result<u64> { value.get("addr")?.as_u64(what) };
+    let e = match kind {
+        "instr_addr_misaligned" => Exception::InstrAddrMisaligned { addr: addr(kind)? },
+        "instr_access_fault" => Exception::InstrAccessFault { addr: addr(kind)? },
+        "breakpoint" => Exception::Breakpoint { addr: addr(kind)? },
+        "load_addr_misaligned" => Exception::LoadAddrMisaligned { addr: addr(kind)? },
+        "load_access_fault" => Exception::LoadAccessFault { addr: addr(kind)? },
+        "store_addr_misaligned" => Exception::StoreAddrMisaligned { addr: addr(kind)? },
+        "store_access_fault" => Exception::StoreAccessFault { addr: addr(kind)? },
+        "illegal_instr" => {
+            Exception::IllegalInstr { word: read_u32(value.get("word")?, "illegal_instr.word")? }
+        }
+        "ecall" => {
+            let from = match value.get("from")?.as_u64("ecall.from")? {
+                0 => PrivLevel::User,
+                1 => PrivLevel::Supervisor,
+                3 => PrivLevel::Machine,
+                other => return err(format!("bad privilege level {other}")),
+            };
+            Exception::Ecall { from }
+        }
+        other => return err(format!("unknown exception kind `{other}`")),
+    };
+    Ok(e)
+}
+
+// ---------------------------------------------------------------------------
+// Disk I/O
+// ---------------------------------------------------------------------------
+
+/// Writes a snapshot to `path` atomically: the document lands in a
+/// sibling temp file first and is renamed into place, so concurrent
+/// readers (and pollers waiting for a checkpoint to appear) never see a
+/// partial document. Parent directories are created as needed.
+pub fn save_snapshot(path: &Path, snapshot: &CampaignSnapshot) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, snapshot_json(snapshot))?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads and parses a snapshot written by [`save_snapshot`]. See
+/// [`parse_snapshot`] for the `space` argument and failure modes.
+pub fn load_snapshot(path: &Path, space: &Arc<Space>) -> Result<CampaignSnapshot> {
+    let text = std::fs::read_to_string(path)?;
+    parse_snapshot(&text, space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{CampaignBuilder, DutFactory, StopCondition};
+    use chatfuzz_baselines::{EpsilonGreedy, MutatorConfig, RandomRegression, TheHuzz};
+    use chatfuzz_rtl::{BugConfig, Dut, Rocket, RocketConfig};
+
+    fn factory() -> DutFactory {
+        Arc::new(|| {
+            Box::new(Rocket::new(RocketConfig { bugs: BugConfig::all_on(), ..Default::default() }))
+                as Box<dyn Dut>
+        })
+    }
+
+    fn sample_snapshot() -> CampaignSnapshot {
+        let mut campaign = CampaignBuilder::from_factory(factory())
+            .batch_size(16)
+            .workers(4)
+            .generator(TheHuzz::new(MutatorConfig::default()))
+            .generator(RandomRegression::new(5, 16))
+            .scheduler(EpsilonGreedy::new(3, 0.25))
+            .build();
+        campaign.run_until(&[StopCondition::Tests(64)]);
+        campaign.snapshot()
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_exactly() {
+        let snapshot = sample_snapshot();
+        let space = factory()().space().clone();
+        let doc = snapshot_json(&snapshot);
+        let parsed = parse_snapshot(&doc, &space).expect("parses");
+        // Serialising the parsed snapshot reproduces the document byte
+        // for byte — nothing was lost or reformatted.
+        assert_eq!(snapshot_json(&parsed), doc);
+        assert_eq!(parsed.tests_run(), snapshot.tests_run());
+        assert_eq!(parsed.coverage_pct(), snapshot.coverage_pct());
+        assert_eq!(parsed.scheduler_state(), snapshot.scheduler_state());
+        assert_eq!(parsed.coverage().covered_bins(), snapshot.coverage().covered_bins());
+    }
+
+    #[test]
+    fn parse_rejects_future_schema_versions() {
+        let snapshot = sample_snapshot();
+        let space = factory()().space().clone();
+        let doc =
+            snapshot_json(&snapshot).replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+        match parse_snapshot(&doc, &space) {
+            Err(PersistError::SchemaVersion { found: 999, supported }) => {
+                assert_eq!(supported, SCHEMA_VERSION);
+            }
+            other => panic!("expected schema-version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_wrong_space() {
+        let snapshot = sample_snapshot();
+        let boom = Arc::new(|| {
+            Box::new(chatfuzz_rtl::Boom::new(chatfuzz_rtl::BoomConfig::default())) as Box<dyn Dut>
+        });
+        let space = boom().space().clone();
+        match parse_snapshot(&snapshot_json(&snapshot), &space) {
+            Err(PersistError::SpaceMismatch { .. }) => {}
+            other => panic!("expected space-mismatch error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_documents() {
+        let space = factory()().space().clone();
+        for bad in
+            ["", "{", "[1,2", "{\"schema_version\":1}", "{\"schema_version\":\"one\"}", "nullnull"]
+        {
+            assert!(parse_snapshot(bad, &space).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn saved_snapshot_loads_and_resumes() {
+        let dir = std::env::temp_dir().join("chatfuzz-persist-unit");
+        let path = dir.join("deep/nested/snapshot.json");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let snapshot = sample_snapshot();
+        save_snapshot(&path, &snapshot).expect("save");
+        let space = factory()().space().clone();
+        let loaded = load_snapshot(&path, &space).expect("load");
+        assert_eq!(snapshot_json(&loaded), snapshot_json(&snapshot));
+
+        // The loaded snapshot is accepted by the builder's resume path.
+        let mut campaign = CampaignBuilder::from_factory(factory())
+            .batch_size(16)
+            .workers(2)
+            .generator(TheHuzz::new(MutatorConfig::default()))
+            .generator(RandomRegression::new(5, 16))
+            .scheduler(EpsilonGreedy::new(3, 0.25))
+            .resume(loaded)
+            .build();
+        assert_eq!(campaign.tests_run(), 64);
+        let report = campaign.run_until(&[StopCondition::Tests(96)]);
+        assert_eq!(report.tests_run, 96);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatch_examples_round_trip_every_variant() {
+        use chatfuzz_softcore::trace::ExitReason;
+        let samples = vec![
+            Mismatch::ExitDivergence {
+                golden: ExitReason::Wfi,
+                dut: ExitReason::UnhandledTrap(Exception::Ecall { from: PrivLevel::Supervisor }),
+            },
+            Mismatch::ExitDivergence {
+                golden: ExitReason::ToHost(u64::MAX),
+                dut: ExitReason::TrapStorm,
+            },
+            Mismatch::ExitDivergence {
+                golden: ExitReason::BudgetExhausted,
+                dut: ExitReason::UnhandledTrap(Exception::IllegalInstr { word: 0xdead_beef }),
+            },
+            Mismatch::LengthDivergence { golden: 1, dut: 2 },
+            Mismatch::PcDivergence { index: 3, golden_pc: u64::MAX, dut_pc: 0 },
+            Mismatch::WordDivergence { index: 1, pc: 0x8000_0000, golden_word: 1, dut_word: 2 },
+            Mismatch::RdWriteDivergence {
+                index: 0,
+                pc: 0x8000_0004,
+                word: 0x13,
+                golden: Some((Reg::X0, u64::MAX)),
+                dut: None,
+            },
+            Mismatch::TrapDivergence {
+                index: 9,
+                pc: 0x8000_0008,
+                golden_cause: Some(4),
+                dut_cause: None,
+            },
+            Mismatch::MemDivergence { index: 7, pc: 0x8000_000c },
+        ];
+        for m in samples {
+            let mut w = JsonWriter::new();
+            write_mismatch(&mut w, &m);
+            let doc = w.finish();
+            let parsed = read_mismatch(&parse_json(&doc).unwrap()).unwrap();
+            assert_eq!(parsed, m, "round trip of {doc}");
+        }
+    }
+
+    #[test]
+    fn stop_conditions_round_trip() {
+        for stop in [
+            None,
+            Some(StopCondition::Tests(7)),
+            Some(StopCondition::SimCycles(u64::MAX)),
+            Some(StopCondition::WallClock(Duration::from_millis(1500))),
+            Some(StopCondition::CoveragePct(33.25)),
+            Some(StopCondition::Plateau(4)),
+        ] {
+            let mut w = JsonWriter::new();
+            w.open('{');
+            write_stop(&mut w, "stopped_by", stop);
+            w.close('}');
+            let doc = w.finish();
+            let parsed = read_stop(parse_json(&doc).unwrap().get("stopped_by").unwrap()).unwrap();
+            assert_eq!(parsed, stop, "round trip of {doc}");
+        }
+    }
+
+    #[test]
+    fn hex_blobs_round_trip() {
+        let words = vec![0, u64::MAX, 0x0123_4567_89ab_cdef];
+        assert_eq!(hex_to_words(&words_to_hex(&words)).unwrap(), words);
+        assert!(hex_to_words("123").is_err(), "odd length");
+        assert!(hex_to_words("zzzzzzzzzzzzzzzz").is_err(), "non-hex");
+    }
+
+    #[test]
+    fn u64_precision_survives_the_number_path() {
+        // 2^63 + 1 is not representable as f64; the textual number path
+        // must still round-trip it exactly.
+        let doc = format!("{{\"v\":{}}}", (1u64 << 63) + 1);
+        let parsed = parse_json(&doc).unwrap();
+        assert_eq!(parsed.get("v").unwrap().as_u64("v").unwrap(), (1u64 << 63) + 1);
+    }
+}

@@ -112,6 +112,18 @@ pub fn digest(report: &CampaignReport) -> String {
 /// clustered mismatch report. The single code path every bench binary
 /// uses for machine-readable output.
 pub fn json(report: &CampaignReport) -> String {
+    render_json(report, true)
+}
+
+/// [`json`] minus every wall-clock field — a canonical digest that is
+/// byte-identical across runs that did the same *work*, regardless of
+/// machine speed or scheduling. The cross-process resume and sharding
+/// tests compare campaigns with this.
+pub fn json_canonical(report: &CampaignReport) -> String {
+    render_json(report, false)
+}
+
+fn render_json(report: &CampaignReport, include_wall: bool) -> String {
     let mut w = JsonWriter::new();
     w.open('{');
     w.field_str("generator", &report.generator);
@@ -120,7 +132,9 @@ pub fn json(report: &CampaignReport) -> String {
     w.field_u64("tests_run", report.tests_run as u64);
     w.field_u64("batches_run", report.batches_run as u64);
     w.field_u64("total_cycles", report.total_cycles);
-    w.field_f64("wall_s", report.wall.as_secs_f64());
+    if include_wall {
+        w.field_f64("wall_s", report.wall.as_secs_f64());
+    }
     w.field_u64("raw_mismatches", report.raw_mismatches as u64);
     match &report.stopped_by {
         Some(stop) => w.field_str("stopped_by", &format!("{stop:?}")),
@@ -135,7 +149,9 @@ pub fn json(report: &CampaignReport) -> String {
         w.field_u64("covered_bins", p.covered_bins as u64);
         w.field_f64("coverage_pct", p.coverage_pct);
         w.field_u64("sim_cycles", p.sim_cycles);
-        w.field_f64("wall_s", p.wall.as_secs_f64());
+        if include_wall {
+            w.field_f64("wall_s", p.wall.as_secs_f64());
+        }
         w.close('}');
     }
     w.close(']');
@@ -180,19 +196,20 @@ pub fn json(report: &CampaignReport) -> String {
 }
 
 /// Minimal JSON emitter: tracks comma placement, escapes strings, and
-/// renders floats round-trippably.
-struct JsonWriter {
+/// renders floats round-trippably. Shared with [`crate::persist`], which
+/// serialises campaign snapshots through the same seam.
+pub(crate) struct JsonWriter {
     out: String,
     /// Whether the current aggregate already has an element.
     needs_comma: Vec<bool>,
 }
 
 impl JsonWriter {
-    fn new() -> JsonWriter {
+    pub(crate) fn new() -> JsonWriter {
         JsonWriter { out: String::new(), needs_comma: vec![false] }
     }
 
-    fn elem(&mut self) {
+    pub(crate) fn elem(&mut self) {
         if let Some(flag) = self.needs_comma.last_mut() {
             if *flag {
                 self.out.push(',');
@@ -201,18 +218,18 @@ impl JsonWriter {
         }
     }
 
-    fn open(&mut self, bracket: char) {
+    pub(crate) fn open(&mut self, bracket: char) {
         self.elem();
         self.out.push(bracket);
         self.needs_comma.push(false);
     }
 
-    fn close(&mut self, bracket: char) {
+    pub(crate) fn close(&mut self, bracket: char) {
         self.needs_comma.pop();
         self.out.push(bracket);
     }
 
-    fn key(&mut self, key: &str) {
+    pub(crate) fn key(&mut self, key: &str) {
         self.elem();
         self.push_escaped(key);
         self.out.push(':');
@@ -222,19 +239,19 @@ impl JsonWriter {
         }
     }
 
-    fn field_str(&mut self, key: &str, value: &str) {
+    pub(crate) fn field_str(&mut self, key: &str, value: &str) {
         self.key(key);
         self.value_str(value);
         self.mark_elem();
     }
 
-    fn field_u64(&mut self, key: &str, value: u64) {
+    pub(crate) fn field_u64(&mut self, key: &str, value: u64) {
         self.key(key);
         let _ = write!(self.out, "{value}");
         self.mark_elem();
     }
 
-    fn field_f64(&mut self, key: &str, value: f64) {
+    pub(crate) fn field_f64(&mut self, key: &str, value: f64) {
         self.key(key);
         if value.is_finite() {
             let _ = write!(self.out, "{value}");
@@ -244,24 +261,29 @@ impl JsonWriter {
         self.mark_elem();
     }
 
-    fn field_raw(&mut self, key: &str, raw: &str) {
+    pub(crate) fn field_raw(&mut self, key: &str, raw: &str) {
         self.key(key);
         self.out.push_str(raw);
         self.mark_elem();
     }
 
-    fn value_str(&mut self, value: &str) {
+    pub(crate) fn value_str(&mut self, value: &str) {
         self.elem();
         self.push_escaped(value);
     }
 
-    fn mark_elem(&mut self) {
+    pub(crate) fn value_u64(&mut self, value: u64) {
+        self.elem();
+        let _ = write!(self.out, "{value}");
+    }
+
+    pub(crate) fn mark_elem(&mut self) {
         if let Some(flag) = self.needs_comma.last_mut() {
             *flag = true;
         }
     }
 
-    fn push_escaped(&mut self, s: &str) {
+    pub(crate) fn push_escaped(&mut self, s: &str) {
         self.out.push('"');
         for c in s.chars() {
             match c {
@@ -279,7 +301,7 @@ impl JsonWriter {
         self.out.push('"');
     }
 
-    fn finish(self) -> String {
+    pub(crate) fn finish(self) -> String {
         debug_assert_eq!(self.needs_comma.len(), 1, "unbalanced JSON aggregates");
         self.out
     }

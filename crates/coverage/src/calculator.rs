@@ -69,6 +69,30 @@ impl Calculator {
         &self.cumulative
     }
 
+    /// The total frozen at the previous batch boundary (the incremental
+    /// baseline). Exposed so snapshots can persist the calculator's full
+    /// state, not just the cumulative map.
+    pub fn previous_batch_total(&self) -> &CovMap {
+        &self.previous_batch_total
+    }
+
+    /// Rebuilds a calculator from persisted maps (the deserialisation
+    /// path; pair with [`Calculator::total`] and
+    /// [`Calculator::previous_batch_total`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps span different spaces or the previous-batch
+    /// baseline covers bins the cumulative map does not — states no real
+    /// calculator can reach.
+    pub fn from_parts(cumulative: CovMap, previous_batch_total: CovMap) -> Calculator {
+        assert!(
+            previous_batch_total.is_subset_of(&cumulative),
+            "previous-batch total exceeds the cumulative map"
+        );
+        Calculator { cumulative, previous_batch_total }
+    }
+
     /// Cumulative covered bins.
     pub fn total_covered(&self) -> usize {
         self.cumulative.covered_bins()
@@ -175,6 +199,28 @@ mod tests {
         let scores = calc.score_batch(&[]);
         assert!(scores.inputs.is_empty());
         assert_eq!(scores.batch_gain, 0);
+    }
+
+    #[test]
+    fn from_parts_restores_incremental_baseline() {
+        let s = space(4);
+        let mut calc = Calculator::new(&s);
+        calc.score_batch(&[map_with(&s, &[(0, true)])]);
+        let restored =
+            Calculator::from_parts(calc.total().clone(), calc.previous_batch_total().clone());
+        // The restored calculator scores the next batch identically.
+        let mut a = calc.clone();
+        let mut b = restored;
+        let batch = [map_with(&s, &[(0, true), (1, false)])];
+        assert_eq!(a.score_batch(&batch), b.score_batch(&batch));
+    }
+
+    #[test]
+    #[should_panic(expected = "previous-batch total exceeds")]
+    fn from_parts_rejects_impossible_state() {
+        let s = space(2);
+        let baseline = map_with(&s, &[(0, true)]);
+        Calculator::from_parts(CovMap::new(&s), baseline);
     }
 
     #[test]

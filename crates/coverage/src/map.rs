@@ -95,6 +95,61 @@ impl CovMap {
         }
     }
 
+    /// The bin-set union of any number of maps over the same space — the
+    /// merge operation sharded campaigns use to combine per-shard
+    /// cumulative coverage. Returns `None` for an empty iterator (there is
+    /// no space to build the result over).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps span different spaces (see
+    /// [`CovMap::merge_from`]).
+    pub fn union<'a>(maps: impl IntoIterator<Item = &'a CovMap>) -> Option<CovMap> {
+        let mut maps = maps.into_iter();
+        let mut out = maps.next()?.clone();
+        for map in maps {
+            out.merge_from(map);
+        }
+        Some(out)
+    }
+
+    /// Whether every bin covered here is also covered by `other`.
+    pub fn is_subset_of(&self, other: &CovMap) -> bool {
+        assert_eq!(
+            self.space.fingerprint(),
+            other.space.fingerprint(),
+            "comparing coverage maps from different spaces"
+        );
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// The raw bitmap words (64 bins per word, bin `i` at word `i / 64`
+    /// bit `i % 64`). The serialisation view campaign snapshots persist.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a map from [`CovMap::words`] output over the given space
+    /// (the deserialisation path; snapshots store words plus the space
+    /// fingerprint, and the loader supplies the re-elaborated space).
+    ///
+    /// Returns `None` if the word count does not match the space or if
+    /// bits beyond the space's last bin are set — both indicate the blob
+    /// belongs to a different design.
+    pub fn from_words(space: &Arc<Space>, words: Vec<u64>) -> Option<CovMap> {
+        let bins = space.total_bins();
+        if words.len() != bins.div_ceil(64) {
+            return None;
+        }
+        if let Some(last) = words.last() {
+            let used = bins % 64;
+            if used != 0 && *last >> used != 0 {
+                return None;
+            }
+        }
+        Some(CovMap { space: Arc::clone(space), words })
+    }
+
     /// Number of bins covered by `self` that `base` has not covered.
     pub fn count_new_vs(&self, base: &CovMap) -> usize {
         assert_eq!(
@@ -180,6 +235,43 @@ mod tests {
         m.hit(CondId(1), false); // new
         assert_eq!(m.count_new_vs(&base), 1);
         assert_eq!(base.count_new_vs(&m), 0); // base has nothing new wrt m? it has (0,true) which m also has
+    }
+
+    #[test]
+    fn union_merges_all_maps() {
+        let space = space3();
+        let mut m1 = CovMap::new(&space);
+        let mut m2 = CovMap::new(&space);
+        let mut m3 = CovMap::new(&space);
+        m1.hit(CondId(0), true);
+        m2.hit(CondId(1), false);
+        m3.hit(CondId(2), true);
+        let u = CovMap::union([&m1, &m2, &m3]).unwrap();
+        assert_eq!(u.covered_bins(), 3);
+        assert!(m1.is_subset_of(&u) && m2.is_subset_of(&u) && m3.is_subset_of(&u));
+        assert!(!u.is_subset_of(&m1));
+        assert!(CovMap::union([]).is_none());
+    }
+
+    #[test]
+    fn words_round_trip_through_from_words() {
+        let space = space3();
+        let mut m = CovMap::new(&space);
+        m.hit(CondId(0), true);
+        m.hit(CondId(2), false);
+        let words = m.words().to_vec();
+        let rebuilt = CovMap::from_words(&space, words).unwrap();
+        assert_eq!(rebuilt.covered_bins(), m.covered_bins());
+        assert!(rebuilt.is_subset_of(&m) && m.is_subset_of(&rebuilt));
+    }
+
+    #[test]
+    fn from_words_rejects_malformed_blobs() {
+        let space = space3(); // 6 bins → 1 word, bits 0..6 valid
+        assert!(CovMap::from_words(&space, vec![]).is_none(), "wrong length");
+        assert!(CovMap::from_words(&space, vec![0, 0]).is_none(), "wrong length");
+        assert!(CovMap::from_words(&space, vec![1 << 6]).is_none(), "stray bit");
+        assert!(CovMap::from_words(&space, vec![0x3f]).is_some(), "all valid bits");
     }
 
     #[test]

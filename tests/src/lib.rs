@@ -2,7 +2,8 @@
 
 use std::sync::Arc;
 
-use chatfuzz::campaign::DutFactory;
+use chatfuzz::campaign::{CampaignBuilder, CampaignReport, DutFactory, StopCondition};
+use chatfuzz_baselines::InputGenerator;
 use chatfuzz_rtl::{Boom, BoomConfig, Dut, Rocket, RocketConfig};
 
 /// A standard buggy-Rocket factory for campaign tests.
@@ -13,4 +14,21 @@ pub fn rocket_factory() -> DutFactory {
 /// A standard BOOM factory for campaign tests.
 pub fn boom_factory() -> DutFactory {
     Arc::new(|| Box::new(Boom::new(BoomConfig::default())) as Box<dyn Dut>)
+}
+
+/// Runs one generator against a factory to a test budget — the one-liner
+/// campaign most integration tests need.
+pub fn run_budget(
+    factory: &DutFactory,
+    generator: impl InputGenerator + 'static,
+    tests: usize,
+    batch_size: usize,
+    workers: usize,
+) -> CampaignReport {
+    CampaignBuilder::from_factory(Arc::clone(factory))
+        .batch_size(batch_size)
+        .workers(workers)
+        .generator(generator)
+        .build()
+        .run_until(&[StopCondition::Tests(tests)])
 }

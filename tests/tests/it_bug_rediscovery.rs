@@ -1,7 +1,6 @@
 //! Integration: every injected RocketCore defect is rediscoverable by the
 //! differential fuzzing loop — the end-to-end claim of paper §V-B.
 
-use chatfuzz::fuzz::{run_campaign, CampaignConfig};
 use chatfuzz::harness::{wrap, HarnessConfig};
 use chatfuzz::mismatch::{classify, diff_traces, KnownBug};
 use chatfuzz_baselines::{MutatorConfig, TheHuzz};
@@ -9,7 +8,7 @@ use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
 use chatfuzz_isa::encode_program;
 use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 use chatfuzz_softcore::{SoftCore, SoftCoreConfig};
-use chatfuzz_tests::rocket_factory;
+use chatfuzz_tests::{rocket_factory, run_budget};
 
 /// Replaying the corpus against the buggy Rocket rediscovers BUG1, BUG2
 /// and the tracer findings (the corpus contains SMC, mul/div, AMO-x0 and
@@ -48,15 +47,7 @@ fn corpus_replay_rediscovers_injected_defects() {
 /// but the wide mutation surface hits the tracer bugs quickly).
 #[test]
 fn thehuzz_campaign_finds_tracer_bugs() {
-    let mut generator = TheHuzz::new(MutatorConfig::default());
-    let cfg = CampaignConfig {
-        total_tests: 256,
-        batch_size: 32,
-        workers: 4,
-        history_every: 128,
-        ..Default::default()
-    };
-    let report = run_campaign(&mut generator, &rocket_factory(), &cfg);
+    let report = run_budget(&rocket_factory(), TheHuzz::new(MutatorConfig::default()), 256, 32, 4);
     assert!(report.raw_mismatches > 0);
     assert!(
         report.bugs.contains(&KnownBug::Bug2TracerMulDiv),

@@ -2,8 +2,7 @@
 //! counts and entry points, budget stops, and multi-generator scheduling
 //! beating (or matching) the best single generator.
 
-use chatfuzz::campaign::{CampaignBuilder, StopCondition};
-use chatfuzz::fuzz::{run_campaign, CampaignConfig};
+use chatfuzz::campaign::{CampaignBuilder, CampaignConfig, StopCondition};
 use chatfuzz::generator::{LmGenerator, LmGeneratorConfig};
 use chatfuzz_baselines::{EpsilonGreedy, MutatorConfig, RandomRegression, TheHuzz};
 use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
@@ -24,19 +23,21 @@ fn session_report(workers: usize) -> chatfuzz::campaign::CampaignReport {
     campaign.run_until(&[StopCondition::Tests(TESTS)])
 }
 
-/// `run_until` with 1 worker == 8 workers == the legacy `run_campaign`
-/// wrapper, bit-for-bit on every campaign-level number.
+/// `run_until` with 1 worker == 8 workers == a builder fed a whole
+/// [`CampaignConfig`] block, bit-for-bit on every campaign-level number.
 #[test]
 fn session_is_deterministic_across_workers_and_entry_points() {
     let one = session_report(1);
     let eight = session_report(8);
 
-    let mut generator = TheHuzz::new(MutatorConfig { seed: 123, ..Default::default() });
-    let cfg =
-        CampaignConfig { total_tests: TESTS, batch_size: 32, workers: 4, ..Default::default() };
-    let legacy = run_campaign(&mut generator, &rocket_factory(), &cfg);
+    let cfg = CampaignConfig { batch_size: 32, workers: 4, ..Default::default() };
+    let config_block = CampaignBuilder::from_factory(rocket_factory())
+        .config(cfg)
+        .generator(TheHuzz::new(MutatorConfig { seed: 123, ..Default::default() }))
+        .build()
+        .run_until(&[StopCondition::Tests(TESTS)]);
 
-    for report in [&eight, &legacy] {
+    for report in [&eight, &config_block] {
         assert_eq!(one.tests_run, report.tests_run);
         assert_eq!(one.final_coverage_pct, report.final_coverage_pct);
         assert_eq!(one.total_cycles, report.total_cycles);

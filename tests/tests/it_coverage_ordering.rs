@@ -2,13 +2,14 @@
 //! on a fixed budget (the structural claim behind paper Fig. 2), and the
 //! BOOM-vs-Rocket saturation gap is present.
 
-use chatfuzz::fuzz::{run_campaign, CampaignConfig};
+use chatfuzz::campaign::{CampaignBuilder, StopCondition};
 use chatfuzz::harness::{wrap, HarnessConfig};
 use chatfuzz_baselines::{Feedback, InputGenerator, MutatorConfig, RandomRegression, TheHuzz};
 use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
 use chatfuzz_isa::encode_program;
 use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
 use chatfuzz_tests::{boom_factory, rocket_factory};
+use std::sync::Arc;
 
 struct CorpusReplay(CorpusGenerator);
 
@@ -22,15 +23,18 @@ impl InputGenerator for CorpusReplay {
     fn observe(&mut self, _b: &[Vec<u8>], _f: &[Feedback]) {}
 }
 
-fn campaign(tests: usize) -> CampaignConfig {
-    CampaignConfig {
-        total_tests: tests,
-        batch_size: 32,
-        workers: 4,
-        detect_mismatches: false,
-        history_every: tests,
-        ..Default::default()
-    }
+fn run_quiet(
+    factory: &chatfuzz::campaign::DutFactory,
+    generator: impl chatfuzz_baselines::InputGenerator + 'static,
+    tests: usize,
+) -> chatfuzz::campaign::CampaignReport {
+    CampaignBuilder::from_factory(Arc::clone(factory))
+        .batch_size(32)
+        .workers(4)
+        .detect_mismatches(false)
+        .generator(generator)
+        .build()
+        .run_until(&[StopCondition::Tests(tests)])
 }
 
 /// Entangled corpus inputs > coverage-guided mutation > pure random, on
@@ -38,14 +42,11 @@ fn campaign(tests: usize) -> CampaignConfig {
 #[test]
 fn input_quality_ordering_on_rocket() {
     let factory = rocket_factory();
-    let cfg = campaign(320);
-    let mut corpus =
-        CorpusReplay(CorpusGenerator::new(CorpusConfig { seed: 5, ..Default::default() }));
-    let corpus_pct = run_campaign(&mut corpus, &factory, &cfg).final_coverage_pct;
-    let mut thehuzz = TheHuzz::new(MutatorConfig::default());
-    let thehuzz_pct = run_campaign(&mut thehuzz, &factory, &cfg).final_coverage_pct;
-    let mut random = RandomRegression::new(5, 24);
-    let random_pct = run_campaign(&mut random, &factory, &cfg).final_coverage_pct;
+    let corpus = CorpusReplay(CorpusGenerator::new(CorpusConfig { seed: 5, ..Default::default() }));
+    let corpus_pct = run_quiet(&factory, corpus, 320).final_coverage_pct;
+    let thehuzz_pct =
+        run_quiet(&factory, TheHuzz::new(MutatorConfig::default()), 320).final_coverage_pct;
+    let random_pct = run_quiet(&factory, RandomRegression::new(5, 24), 320).final_coverage_pct;
 
     assert!(
         corpus_pct > thehuzz_pct,
@@ -61,13 +62,12 @@ fn input_quality_ordering_on_rocket() {
 /// paper's 97 % vs 79 % structural gap.
 #[test]
 fn boom_saturates_higher_than_rocket() {
-    let mut corpus_a =
+    let corpus_a =
         CorpusReplay(CorpusGenerator::new(CorpusConfig { seed: 6, ..Default::default() }));
-    let mut corpus_b =
+    let corpus_b =
         CorpusReplay(CorpusGenerator::new(CorpusConfig { seed: 6, ..Default::default() }));
-    let cfg = campaign(320);
-    let boom = run_campaign(&mut corpus_a, &boom_factory(), &cfg);
-    let rocket = run_campaign(&mut corpus_b, &rocket_factory(), &cfg);
+    let boom = run_quiet(&boom_factory(), corpus_a, 320);
+    let rocket = run_quiet(&rocket_factory(), corpus_b, 320);
     assert!(
         boom.final_coverage_pct > rocket.final_coverage_pct + 5.0,
         "BOOM {:.1}% should clear Rocket {:.1}% by a margin",

@@ -1,28 +1,20 @@
 //! Integration: end-to-end determinism — identical seeds give identical
 //! campaigns, traces, coverage and mismatch counts across the whole stack.
 
-use chatfuzz::fuzz::{run_campaign, CampaignConfig};
 use chatfuzz::harness::{wrap, HarnessConfig};
 use chatfuzz_baselines::{MutatorConfig, TheHuzz};
 use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
 use chatfuzz_isa::encode_program;
 use chatfuzz_rtl::{Boom, BoomConfig, Dut, Rocket, RocketConfig};
 use chatfuzz_softcore::{SoftCore, SoftCoreConfig};
-use chatfuzz_tests::rocket_factory;
+use chatfuzz_tests::{rocket_factory, run_budget};
 use proptest::prelude::*;
 
 #[test]
 fn campaigns_replay_bit_identically() {
     let run = |workers: usize| {
-        let mut generator = TheHuzz::new(MutatorConfig { seed: 77, ..Default::default() });
-        let cfg = CampaignConfig {
-            total_tests: 96,
-            batch_size: 32,
-            workers,
-            history_every: 32,
-            ..Default::default()
-        };
-        run_campaign(&mut generator, &rocket_factory(), &cfg)
+        let generator = TheHuzz::new(MutatorConfig { seed: 77, ..Default::default() });
+        run_budget(&rocket_factory(), generator, 96, 32, workers)
     };
     let a = run(2);
     let b = run(6);

@@ -1,12 +1,11 @@
 //! Integration: the full three-step pipeline trains end-to-end and the
 //! resulting generator fuzzes productively.
 
-use chatfuzz::fuzz::{run_campaign, CampaignConfig};
 use chatfuzz::generator::{LmGenerator, LmGeneratorConfig};
 use chatfuzz::pipeline::{train_chatfuzz, ModelScale, PipelineConfig};
 use chatfuzz_baselines::{InputGenerator, RandomRegression};
 use chatfuzz_rl::PpoConfig;
-use chatfuzz_tests::rocket_factory;
+use chatfuzz_tests::{rocket_factory, run_budget};
 
 fn smoke_config(seed: u64) -> PipelineConfig {
     // Down-scaled from `quick` so the whole integration test stays fast.
@@ -36,16 +35,8 @@ fn pipeline_then_campaign_end_to_end() {
         samples_per_input: 2,
         ..Default::default()
     };
-    let mut generator =
-        LmGenerator::new(model.tokenizer, model.policy, ppo, model.prompt_pool, gcfg);
-    let cfg = CampaignConfig {
-        total_tests: 64,
-        batch_size: 16,
-        workers: 4,
-        history_every: 32,
-        ..Default::default()
-    };
-    let report = run_campaign(&mut generator, &rocket_factory(), &cfg);
+    let generator = LmGenerator::new(model.tokenizer, model.policy, ppo, model.prompt_pool, gcfg);
+    let report = run_budget(&rocket_factory(), generator, 64, 16, 4);
     assert_eq!(report.tests_run, 64);
     assert!(
         report.final_coverage_pct > 30.0,
@@ -58,37 +49,29 @@ fn pipeline_then_campaign_end_to_end() {
 /// drives a baseline and the LM generator.
 #[test]
 fn generators_are_interchangeable() {
-    let cfg = CampaignConfig {
-        total_tests: 32,
-        batch_size: 16,
-        workers: 2,
-        detect_mismatches: false,
-        history_every: 32,
-        ..Default::default()
-    };
-    let mut random = RandomRegression::new(1, 16);
-    let a = run_campaign(&mut random, &rocket_factory(), &cfg);
+    let a = run_budget(&rocket_factory(), RandomRegression::new(1, 16), 32, 16, 2);
     assert_eq!(a.generator, "random");
     assert_eq!(a.tests_run, 32);
 
-    // Feedback plumbing: the generator sees exactly one Feedback per input.
-    struct Counting(usize, usize);
+    // Feedback plumbing: the generator sees exactly one Feedback per
+    // input. The campaign owns its generator, so the counters live behind
+    // a shared handle.
+    let counting = std::sync::Arc::new(std::sync::Mutex::new((0usize, 0usize)));
+    struct Counting(std::sync::Arc<std::sync::Mutex<(usize, usize)>>);
     impl InputGenerator for Counting {
         fn name(&self) -> &str {
             "counting"
         }
         fn next_batch(&mut self, n: usize) -> Vec<Vec<u8>> {
-            self.0 += n;
+            self.0.lock().unwrap().0 += n;
             (0..n).map(|_| 0x0000_0013u32.to_le_bytes().to_vec()).collect()
         }
         fn observe(&mut self, batch: &[Vec<u8>], feedback: &[chatfuzz_baselines::Feedback]) {
             assert_eq!(batch.len(), feedback.len());
-            self.1 += feedback.len();
+            self.0.lock().unwrap().1 += feedback.len();
         }
     }
-    let mut counting = Counting(0, 0);
-    let b = run_campaign(&mut counting, &rocket_factory(), &cfg);
+    let b = run_budget(&rocket_factory(), Counting(std::sync::Arc::clone(&counting)), 32, 16, 2);
     assert_eq!(b.tests_run, 32);
-    assert_eq!(counting.0, 32);
-    assert_eq!(counting.1, 32);
+    assert_eq!(*counting.lock().unwrap(), (32, 32));
 }

@@ -1,0 +1,139 @@
+//! Integration: sharded campaigns — union semantics, monotonicity in the
+//! shard count, 1-shard equivalence with a plain campaign, and the
+//! cross-process worker protocol (8-shard smoke run spawning this very
+//! test binary as the worker).
+
+use std::sync::Arc;
+
+use chatfuzz::campaign::{Campaign, CampaignBuilder, StopCondition};
+use chatfuzz::report;
+use chatfuzz::shard::{
+    shard_seed, InProcessRunner, ProcessShardRunner, ShardSpec, ShardedCampaign, WorkerRequest,
+};
+use chatfuzz_baselines::RandomRegression;
+use chatfuzz_coverage::CovMap;
+use chatfuzz_tests::rocket_factory;
+
+const SHARD_TESTS: usize = 64;
+const BATCH: usize = 16;
+
+/// The canonical shard campaign both the in-process runner and the
+/// cross-process worker build: every comparison in this file relies on
+/// them being the same function.
+fn build_shard(spec: ShardSpec) -> (Campaign<'static>, Vec<StopCondition>) {
+    let campaign = CampaignBuilder::from_factory(rocket_factory())
+        .batch_size(BATCH)
+        .workers(2)
+        .generator(RandomRegression::new(spec.seed, 16))
+        .build();
+    (campaign, vec![StopCondition::Tests(SHARD_TESTS)])
+}
+
+fn in_process(shards: usize, base_seed: u64) -> ShardedCampaign<impl chatfuzz::ShardRunner> {
+    ShardedCampaign::new(InProcessRunner::new(build_shard), shards, base_seed)
+}
+
+/// Worker role for the cross-process test: a no-op under plain
+/// `cargo test`, a shard worker when spawned with the `CHATFUZZ_SHARD_*`
+/// environment.
+#[test]
+fn role_shard_worker() {
+    let Some(request) = WorkerRequest::from_env() else {
+        return;
+    };
+    let (mut campaign, stops) = build_shard(request.spec);
+    campaign.run_until(&stops);
+    request.fulfil(&campaign.snapshot()).expect("write shard snapshot");
+}
+
+/// The merged coverage map is exactly the union of the shard maps.
+#[test]
+fn merged_map_is_the_union_of_shard_maps() {
+    let outcome = in_process(3, 17).run().expect("shards run");
+    let merged = outcome.merged_coverage();
+    let explicit =
+        CovMap::union(outcome.shard_snapshots().iter().map(|s| s.coverage())).expect("non-empty");
+    assert!(merged.is_subset_of(&explicit) && explicit.is_subset_of(&merged));
+    assert_eq!(merged.covered_bins(), explicit.covered_bins());
+    // Every shard is contained; no shard alone reaches the union unless
+    // the shards fully overlap (they don't at these budgets).
+    for s in outcome.shard_snapshots() {
+        assert!(s.coverage().is_subset_of(&merged));
+    }
+    // The merged snapshot's calculator carries the same union.
+    assert_eq!(outcome.merged_snapshot().coverage().covered_bins(), merged.covered_bins());
+}
+
+/// Adding shards never loses coverage: shard seeds are independent of
+/// the shard count, so the N-shard union is a subset of the M-shard
+/// union for N ≤ M.
+#[test]
+fn merged_coverage_is_monotone_in_shard_count() {
+    let base_seed = 23;
+    let mut last_bins = 0usize;
+    let mut last_map: Option<CovMap> = None;
+    for shards in [1usize, 2, 4] {
+        let outcome = in_process(shards, base_seed).run().expect("shards run");
+        let map = outcome.merged_coverage();
+        assert!(
+            map.covered_bins() >= last_bins,
+            "{shards} shards covered {} bins, fewer than the previous count's {last_bins}",
+            map.covered_bins()
+        );
+        if let Some(previous) = &last_map {
+            assert!(
+                previous.is_subset_of(&map),
+                "coverage of {shards} shards must contain the smaller run's"
+            );
+        }
+        last_bins = map.covered_bins();
+        last_map = Some(map);
+    }
+}
+
+/// A 1-shard sharded campaign reports exactly what a plain campaign
+/// with the same (derived) seed reports — sharding adds no accounting
+/// noise. Canonical form: wall clock excluded.
+#[test]
+fn one_shard_equals_a_plain_campaign() {
+    let base_seed = 9;
+    let outcome = in_process(1, base_seed).run().expect("shard runs");
+    let sharded = report::json_canonical(&outcome.merged_report());
+
+    let (mut plain, stops) =
+        build_shard(ShardSpec { index: 0, shards: 1, seed: shard_seed(base_seed, 0) });
+    let plain_report = plain.run_until(&stops);
+    assert_eq!(sharded, report::json_canonical(&plain_report));
+}
+
+/// Acceptance smoke: an 8-shard run through real worker sub-processes
+/// (this test binary re-spawned per shard) merges to the same coverage
+/// set — and the same canonical report — as the equivalent in-process
+/// run.
+#[test]
+fn eight_shard_cross_process_matches_in_process() {
+    let base_seed = 5;
+
+    let reference = in_process(8, base_seed).run().expect("in-process shards");
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let dir = std::env::temp_dir().join(format!("chatfuzz-it-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let space = rocket_factory()().space().clone();
+    let runner = ProcessShardRunner::new(exe, &dir, Arc::clone(&space))
+        .arg("role_shard_worker")
+        .arg("--exact")
+        .arg("--nocapture");
+    let outcome = ShardedCampaign::new(runner, 8, base_seed).run().expect("cross-process shards");
+
+    assert_eq!(outcome.shards(), 8);
+    let ours = outcome.merged_coverage();
+    let theirs = reference.merged_coverage();
+    assert!(ours.is_subset_of(&theirs) && theirs.is_subset_of(&ours), "coverage sets differ");
+    assert_eq!(
+        report::json_canonical(&outcome.merged_report()),
+        report::json_canonical(&reference.merged_report()),
+        "cross-process merge diverged from the in-process merge"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
