@@ -1,0 +1,284 @@
+//! Tracked throughput benchmark for the execution hot path.
+//!
+//! Measures tests/sec and simulated-cycles/sec on the Rocket and BOOM
+//! models at three levels:
+//!
+//! 1. **per-test hot path** — the PR-3 optimised path (precompiled
+//!    harness, `Dut::run_into` + `SoftCoreRunner` arenas, decode cache)
+//!    against the naive allocating path (`wrap` + `Dut::run` +
+//!    `SoftCore::run` per test), which is the pre-PR-3 hot path kept
+//!    alive exactly so this comparison stays honest;
+//! 2. **campaign** — the full worker-pool loop, single worker and
+//!    multi-worker;
+//! 3. **sharded** — in-process sharding over the campaign loop.
+//!
+//! Writes `BENCH_throughput.json` (repo root by default) so every PR
+//! carries a perf trajectory. `--smoke` shrinks budgets for CI; `--check`
+//! fails the run if the optimised per-test path on Rocket is not at least
+//! 2× the naive baseline (the PR-3 acceptance bar).
+//!
+//! ```text
+//! throughput [--smoke] [--check] [--out PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use chatfuzz::campaign::{CampaignBuilder, StopCondition};
+use chatfuzz::harness::{wrap, HarnessConfig, PrecompiledHarness};
+use chatfuzz::shard::{InProcessRunner, ShardedCampaign};
+use chatfuzz_baselines::{InputGenerator, RandomRegression};
+use chatfuzz_bench::{boom_factory, print_table, rocket_factory};
+use chatfuzz_rtl::{Dut, DutRun};
+use chatfuzz_softcore::trace::Trace;
+use chatfuzz_softcore::{Hart, Memory, SoftCore, SoftCoreConfig, SoftCoreRunner};
+
+struct Args {
+    smoke: bool,
+    check: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args { smoke: false, check: false, out: "BENCH_throughput.json".into() };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => out.smoke = true,
+            "--check" => out.check = true,
+            "--out" => out.out = args.next().expect("--out needs a value"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measure {
+    tests_per_sec: f64,
+    cycles_per_sec: f64,
+    /// Checksums folded over the run, used to pin naive == optimised.
+    total_cycles: u64,
+    covered_bins: usize,
+}
+
+/// Best-of-`reps` timing of `work`, which runs the whole body list once
+/// and returns (simulated cycles, covered bins).
+fn time_best(tests: usize, reps: usize, mut work: impl FnMut() -> (u64, usize)) -> Measure {
+    let mut best = f64::INFINITY;
+    let mut sums = (0u64, 0usize);
+    for _ in 0..reps {
+        let start = Instant::now();
+        sums = work();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    Measure {
+        tests_per_sec: tests as f64 / best,
+        cycles_per_sec: sums.0 as f64 / best,
+        total_cycles: sums.0,
+        covered_bins: sums.1,
+    }
+}
+
+/// The pre-PR-3 per-test hot path: assemble the harness, allocate a fresh
+/// result, and allocate a fresh golden-model arena, for every input.
+/// `Dut::run` skips the DUT decode cache, and the golden hart is built by
+/// hand with its decode cache disabled, so both halves decode-from-scratch
+/// and allocate exactly as the pre-PR-3 code did.
+fn naive_path(dut: &mut dyn Dut, bodies: &[Vec<u8>], reps: usize) -> Measure {
+    let golden_cfg = SoftCoreConfig::default();
+    let golden = SoftCore::new(golden_cfg);
+    time_best(bodies.len(), reps, || {
+        let mut cycles = 0u64;
+        let mut bins = 0usize;
+        for body in bodies {
+            let image = wrap(body, HarnessConfig::default());
+            let run = dut.run(&image);
+            let mut mem = Memory::new(golden_cfg.ram_base, golden_cfg.ram_size);
+            let image_len = image.len().min(golden_cfg.ram_size as usize);
+            mem.load_image(golden_cfg.ram_base, &image[..image_len]);
+            let mut hart = Hart::new(mem, golden_cfg.ram_base);
+            hart.disable_decode_cache();
+            let golden_trace = golden.run_hart(&mut hart);
+            cycles += run.cycles;
+            bins += run.coverage.covered_bins();
+            std::hint::black_box(&golden_trace);
+        }
+        (cycles, bins)
+    })
+}
+
+/// The PR-3 per-test hot path: precompiled harness into a reused image
+/// buffer, `run_into` into a reused scratch, reused golden arena.
+fn optimized_path(dut: &mut dyn Dut, bodies: &[Vec<u8>], reps: usize) -> Measure {
+    let harness = PrecompiledHarness::new(HarnessConfig::default());
+    let mut golden = SoftCoreRunner::new(SoftCoreConfig::default());
+    let mut image = Vec::new();
+    let mut scratch = DutRun::scratch(dut.space());
+    let mut golden_trace = Trace::scratch();
+    time_best(bodies.len(), reps, || {
+        let mut cycles = 0u64;
+        let mut bins = 0usize;
+        for body in bodies {
+            harness.build_into(body, &mut image);
+            dut.run_into(&image, &mut scratch);
+            golden.run_into(&image, &mut golden_trace);
+            cycles += scratch.cycles;
+            bins += scratch.coverage.covered_bins();
+            std::hint::black_box(&golden_trace);
+        }
+        (cycles, bins)
+    })
+}
+
+/// Campaign throughput: the full scheduler → workers → calculator loop.
+fn campaign_throughput(
+    factory: &chatfuzz::campaign::DutFactory,
+    workers: usize,
+    tests: usize,
+) -> Measure {
+    let mut campaign = CampaignBuilder::from_factory(std::sync::Arc::clone(factory))
+        .batch_size(32)
+        .workers(workers)
+        .generator(RandomRegression::new(5, 16))
+        .build();
+    let start = Instant::now();
+    let report = campaign.run_until(&[StopCondition::Tests(tests)]);
+    let dt = start.elapsed().as_secs_f64();
+    Measure {
+        tests_per_sec: tests as f64 / dt,
+        cycles_per_sec: report.total_cycles as f64 / dt,
+        total_cycles: report.total_cycles,
+        covered_bins: 0,
+    }
+}
+
+/// Sharded campaign throughput (in-process shards, 2 workers each).
+fn sharded_throughput(shards: usize, tests_per_shard: usize) -> Measure {
+    let runner = InProcessRunner::new(move |spec: chatfuzz::shard::ShardSpec| {
+        let campaign = CampaignBuilder::from_factory(rocket_factory())
+            .batch_size(32)
+            .workers(2)
+            .generator(RandomRegression::new(spec.seed, 16))
+            .build();
+        (campaign, vec![StopCondition::Tests(tests_per_shard)])
+    });
+    let start = Instant::now();
+    let outcome = ShardedCampaign::new(runner, shards, 5).run().expect("sharded run");
+    let dt = start.elapsed().as_secs_f64();
+    let merged = outcome.merged_report();
+    Measure {
+        tests_per_sec: (shards * tests_per_shard) as f64 / dt,
+        cycles_per_sec: merged.total_cycles as f64 / dt,
+        total_cycles: merged.total_cycles,
+        covered_bins: 0,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (hot_tests, reps, campaign_tests, shard_tests) =
+        if args.smoke { (600, 3, 1024, 256) } else { (4000, 5, 8192, 2048) };
+
+    let mut generator = RandomRegression::new(5, 16);
+    let bodies = generator.next_batch(hot_tests);
+
+    println!(
+        "== Execution hot-path throughput ({} mode) ==",
+        if args.smoke { "smoke" } else { "full" }
+    );
+
+    let mut rocket = rocket_factory()();
+    let rocket_naive = naive_path(rocket.as_mut(), &bodies, reps);
+    let rocket_hot = optimized_path(rocket.as_mut(), &bodies, reps);
+    assert_eq!(
+        rocket_naive.total_cycles, rocket_hot.total_cycles,
+        "naive and optimised Rocket paths must simulate identical work"
+    );
+    assert_eq!(rocket_naive.covered_bins, rocket_hot.covered_bins);
+
+    let mut boom = boom_factory()();
+    let boom_naive = naive_path(boom.as_mut(), &bodies, reps);
+    let boom_hot = optimized_path(boom.as_mut(), &bodies, reps);
+    assert_eq!(
+        boom_naive.total_cycles, boom_hot.total_cycles,
+        "naive and optimised BOOM paths must simulate identical work"
+    );
+    assert_eq!(boom_naive.covered_bins, boom_hot.covered_bins);
+
+    let rocket_w1 = campaign_throughput(&rocket_factory(), 1, campaign_tests);
+    let rocket_w4 = campaign_throughput(&rocket_factory(), 4, campaign_tests);
+    let boom_w4 = campaign_throughput(&boom_factory(), 4, campaign_tests);
+    let sharded = sharded_throughput(4, shard_tests);
+
+    let rocket_speedup = rocket_hot.tests_per_sec / rocket_naive.tests_per_sec;
+    let boom_speedup = boom_hot.tests_per_sec / boom_naive.tests_per_sec;
+
+    let fmt_row = |name: &str, m: &Measure| {
+        vec![
+            name.to_string(),
+            format!("{:.0}", m.tests_per_sec),
+            format!("{:.3e}", m.cycles_per_sec),
+        ]
+    };
+    print_table(
+        "Throughput (tests/sec, sim-cycles/sec)",
+        &["workload", "tests/s", "cycles/s"],
+        &[
+            fmt_row("rocket per-test naive (pre-PR3)", &rocket_naive),
+            fmt_row("rocket per-test optimised", &rocket_hot),
+            fmt_row("boom per-test naive (pre-PR3)", &boom_naive),
+            fmt_row("boom per-test optimised", &boom_hot),
+            fmt_row("rocket campaign w=1", &rocket_w1),
+            fmt_row("rocket campaign w=4", &rocket_w4),
+            fmt_row("boom campaign w=4", &boom_w4),
+            fmt_row("rocket sharded 4×(w=2)", &sharded),
+        ],
+    );
+    println!("rocket per-test speedup: {rocket_speedup:.2}x, boom: {boom_speedup:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if args.smoke { "smoke" } else { "full" });
+    let _ = writeln!(json, "  \"per_test_hot_path\": {{");
+    let pair =
+        |json: &mut String, dut: &str, naive: &Measure, hot: &Measure, speedup: f64, last: bool| {
+            let _ = writeln!(json, "    \"{dut}\": {{");
+            let _ = writeln!(json, "      \"tests\": {hot_tests},");
+            let _ = writeln!(json, "      \"before_tests_per_sec\": {:.1},", naive.tests_per_sec);
+            let _ = writeln!(json, "      \"after_tests_per_sec\": {:.1},", hot.tests_per_sec);
+            let _ = writeln!(json, "      \"before_cycles_per_sec\": {:.1},", naive.cycles_per_sec);
+            let _ = writeln!(json, "      \"after_cycles_per_sec\": {:.1},", hot.cycles_per_sec);
+            let _ = writeln!(json, "      \"speedup\": {speedup:.3}");
+            let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
+        };
+    pair(&mut json, "rocket", &rocket_naive, &rocket_hot, rocket_speedup, false);
+    pair(&mut json, "boom", &boom_naive, &boom_hot, boom_speedup, true);
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"campaign\": {{");
+    let camp = |json: &mut String, name: &str, tests: usize, m: &Measure, last: bool| {
+        let _ = writeln!(json, "    \"{name}\": {{");
+        let _ = writeln!(json, "      \"tests\": {tests},");
+        let _ = writeln!(json, "      \"tests_per_sec\": {:.1},", m.tests_per_sec);
+        let _ = writeln!(json, "      \"cycles_per_sec\": {:.1},", m.cycles_per_sec);
+        let _ = writeln!(json, "      \"total_cycles\": {}", m.total_cycles);
+        let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
+    };
+    camp(&mut json, "rocket_workers_1", campaign_tests, &rocket_w1, false);
+    camp(&mut json, "rocket_workers_4", campaign_tests, &rocket_w4, false);
+    camp(&mut json, "boom_workers_4", campaign_tests, &boom_w4, false);
+    camp(&mut json, "rocket_sharded_4x2", 4 * shard_tests, &sharded, true);
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&args.out, &json).expect("write BENCH_throughput.json");
+    println!("wrote {}", args.out);
+
+    if args.check {
+        assert!(
+            rocket_speedup >= 2.0,
+            "PR-3 acceptance: optimised Rocket hot path must be ≥ 2× the naive \
+             baseline (got {rocket_speedup:.2}x)"
+        );
+    }
+}

@@ -29,13 +29,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use chatfuzz_baselines::{Feedback, InputGenerator, RoundRobin, Scheduler, SchedulerState};
-use chatfuzz_coverage::{Calculator, CovMap, PointKind};
+use chatfuzz_coverage::{Calculator, CovMap, PointKind, Space};
 use chatfuzz_rtl::{Dut, DutRun};
 use chatfuzz_softcore::trace::Trace;
-use chatfuzz_softcore::{SoftCore, SoftCoreConfig};
+use chatfuzz_softcore::{SoftCoreConfig, SoftCoreRunner};
 use crossbeam::channel::{self, Receiver, Sender};
 
-use crate::harness::{wrap, HarnessConfig};
+use crate::harness::{HarnessConfig, PrecompiledHarness};
 use crate::mismatch::{diff_traces, KnownBug, MismatchLog, UniqueMismatch};
 
 /// A shared, thread-safe DUT constructor: one DUT is built per worker and
@@ -321,15 +321,35 @@ impl CampaignSnapshot {
     }
 }
 
+/// Reusable per-test result buffers. Scratches travel with jobs to the
+/// workers, come back filled inside [`JobResult`], and are recycled into
+/// the next batch — in steady state the whole execute-and-collect loop
+/// allocates nothing per test.
+struct Scratch {
+    run: DutRun,
+    golden: Trace,
+}
+
+impl Scratch {
+    fn new(space: &Arc<Space>) -> Scratch {
+        Scratch { run: DutRun::scratch(space), golden: Trace::scratch() }
+    }
+}
+
 struct Job {
     index: usize,
     image: Vec<u8>,
+    scratch: Scratch,
 }
 
 struct JobResult {
     index: usize,
+    /// The job's image buffer, returned for recycling.
+    image: Vec<u8>,
     run: DutRun,
-    golden: Option<Trace>,
+    /// The golden trace buffer (only meaningful when `ran_golden`).
+    golden: Trace,
+    ran_golden: bool,
 }
 
 /// Assembles a [`Campaign`].
@@ -555,11 +575,20 @@ impl<'g> CampaignBuilder<'g> {
                 let detect = self.cfg.detect_mismatches;
                 std::thread::spawn(move || {
                     let mut dut = factory();
-                    let golden = SoftCore::new(golden_cfg);
-                    while let Ok(job) = job_rx.recv() {
-                        let run = dut.run(&job.image);
-                        let golden_trace = detect.then(|| golden.run(&job.image));
-                        let result = JobResult { index: job.index, run, golden: golden_trace };
+                    let mut golden = SoftCoreRunner::new(golden_cfg);
+                    while let Ok(Job { index, image, scratch }) = job_rx.recv() {
+                        let Scratch { mut run, golden: mut golden_trace } = scratch;
+                        dut.run_into(&image, &mut run);
+                        if detect {
+                            golden.run_into(&image, &mut golden_trace);
+                        }
+                        let result = JobResult {
+                            index,
+                            image,
+                            run,
+                            golden: golden_trace,
+                            ran_golden: detect,
+                        };
                         if result_tx.send(result).is_err() {
                             break;
                         }
@@ -575,6 +604,10 @@ impl<'g> CampaignBuilder<'g> {
         let covered_last = calculator.total_covered();
 
         Campaign {
+            harness: PrecompiledHarness::new(self.cfg.harness),
+            space,
+            image_pool: Vec::new(),
+            scratch_pool: Vec::new(),
             cfg: self.cfg,
             dut_name,
             generators: self.generators,
@@ -604,6 +637,14 @@ impl<'g> CampaignBuilder<'g> {
 /// workers shut down on drop.
 pub struct Campaign<'g> {
     cfg: CampaignConfig,
+    /// Prologue/epilogue assembled once for the whole session.
+    harness: PrecompiledHarness,
+    /// The probed coverage space (scratch coverage maps are built over it).
+    space: Arc<Space>,
+    /// Recycled image buffers (filled by `PrecompiledHarness::build_into`).
+    image_pool: Vec<Vec<u8>>,
+    /// Recycled per-test result buffers.
+    scratch_pool: Vec<Scratch>,
     dut_name: String,
     generators: Vec<Box<dyn InputGenerator + 'g>>,
     gen_stats: Vec<GeneratorStats>,
@@ -681,8 +722,12 @@ impl<'g> Campaign<'g> {
         assert_eq!(batch.len(), n, "generator returned a short batch");
         let job_tx = self.job_tx.as_ref().expect("worker pool alive");
         for (index, body) in batch.iter().enumerate() {
-            let image = wrap(body, self.cfg.harness);
-            job_tx.send(Job { index, image }).expect("workers alive");
+            // Recycled buffers: the image is rebuilt from the precompiled
+            // prologue, the scratch is fully overwritten by the worker.
+            let mut image = self.image_pool.pop().unwrap_or_default();
+            self.harness.build_into(body, &mut image);
+            let scratch = self.scratch_pool.pop().unwrap_or_else(|| Scratch::new(&self.space));
+            job_tx.send(Job { index, image, scratch }).expect("workers alive");
         }
 
         // Collect once, then restore submission order; worker scheduling
@@ -693,21 +738,23 @@ impl<'g> Campaign<'g> {
 
         let cycles_before = self.total_cycles;
         let raw_before = self.log.raw_count();
-        let mut covs: Vec<CovMap> = Vec::with_capacity(n);
         let mut mux: Vec<usize> = Vec::with_capacity(n);
         let mut cycles_at: Vec<u64> = Vec::with_capacity(n);
-        for JobResult { run, golden, .. } in results {
-            let DutRun { trace, coverage, cycles } = run;
-            self.total_cycles += cycles;
+        for JobResult { run, golden, ran_golden, .. } in &results {
+            self.total_cycles += run.cycles;
             cycles_at.push(self.total_cycles);
-            mux.push(coverage.covered_bins_of_kind(PointKind::MuxSelect));
-            if let Some(golden_trace) = &golden {
-                self.log.record(diff_traces(golden_trace, &trace));
+            mux.push(run.coverage.covered_bins_of_kind(PointKind::MuxSelect));
+            if *ran_golden {
+                self.log.record(diff_traces(golden, &run.trace));
             }
-            covs.push(coverage);
         }
 
-        let scores = self.calculator.score_batch(&covs);
+        let scores = self.calculator.score_batch_iter(results.iter().map(|r| &r.run.coverage));
+        // Everything is scored and diffed: recycle every buffer.
+        for JobResult { image, run, golden, .. } in results {
+            self.image_pool.push(image);
+            self.scratch_pool.push(Scratch { run, golden });
+        }
         let feedback: Vec<Feedback> = scores
             .inputs
             .iter()

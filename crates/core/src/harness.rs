@@ -26,6 +26,106 @@ impl Default for HarnessConfig {
     }
 }
 
+/// A harness whose prologue/epilogue bytes are assembled **once** per
+/// [`HarnessConfig`], then reused for every test image — the assembler no
+/// longer runs on the per-test hot path.
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz::harness::{wrap, HarnessConfig, PrecompiledHarness};
+///
+/// let cfg = HarnessConfig::default();
+/// let harness = PrecompiledHarness::new(cfg);
+/// let body = 0x0000_0013u32.to_le_bytes(); // nop
+/// // Identical to the one-shot `wrap`, without re-assembling.
+/// assert_eq!(harness.wrap(&body), wrap(&body, cfg));
+/// // Zero-allocation reuse of an image buffer:
+/// let mut image = Vec::new();
+/// harness.build_into(&body, &mut image);
+/// assert_eq!(image, wrap(&body, cfg));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrecompiledHarness {
+    cfg: HarnessConfig,
+    prologue: Vec<u8>,
+    epilogue: [u8; chatfuzz_isa::INSTR_BYTES],
+}
+
+impl PrecompiledHarness {
+    /// Assembles the prologue + trap handler for `cfg` (the only time the
+    /// assembler runs for this harness).
+    pub fn new(cfg: HarnessConfig) -> PrecompiledHarness {
+        let t0 = Reg::new(5).unwrap();
+        let t1 = Reg::new(6).unwrap();
+        let mut asm = Assembler::new();
+        // t0 = pc of this auipc = ram_base.
+        asm.push(Instr::Auipc { rd: t0, imm: 0 });
+        // t1 = &handler (fixed offset computed after assembly; use labels).
+        asm.jal_to(t1, "install"); // placeholder control flow: see below
+                                   // handler:
+        asm.label("handler");
+        asm.push(Instr::Csr {
+            op: CsrOp::Rs,
+            rd: t1,
+            csr: Csr::MEPC.addr(),
+            src: CsrSrc::Reg(Reg::X0),
+        });
+        asm.push(Instr::OpImm { op: AluOp::Add, rd: t1, rs1: t1, imm: 4, word: false });
+        asm.push(Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::X0,
+            csr: Csr::MEPC.addr(),
+            src: CsrSrc::Reg(t1),
+        });
+        asm.push(Instr::System(SystemOp::Mret));
+        // install: (t1 = address of the instruction after the jal = handler)
+        asm.label("install");
+        asm.push(Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::X0,
+            csr: Csr::MTVEC.addr(),
+            src: CsrSrc::Reg(t1),
+        });
+        // sp = ram_base + ram_size - 64.
+        let sp_target = (cfg.ram_base + cfg.ram_size - 64) as i64;
+        asm.li(Reg::SP, sp_target);
+        asm.jal_to(Reg::X0, "body");
+        asm.label("body");
+        let prologue = asm.assemble_bytes().expect("harness assembles");
+        let epilogue = chatfuzz_isa::encode(&Instr::System(SystemOp::Wfi)).unwrap().to_le_bytes();
+        PrecompiledHarness { cfg, prologue, epilogue }
+    }
+
+    /// The layout this harness was compiled for.
+    pub fn config(&self) -> HarnessConfig {
+        self.cfg
+    }
+
+    /// Byte offset of the body within a built image (prologue size).
+    pub fn body_offset(&self) -> usize {
+        self.prologue.len()
+    }
+
+    /// Builds `prologue + body + wfi` into a caller-owned buffer
+    /// (cleared first, capacity kept) — the zero-allocation hot path.
+    pub fn build_into(&self, body: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.prologue.len() + body.len() + self.epilogue.len());
+        out.extend_from_slice(&self.prologue);
+        out.extend_from_slice(body);
+        out.extend_from_slice(&self.epilogue);
+    }
+
+    /// Builds an owned image (convenience wrapper over
+    /// [`PrecompiledHarness::build_into`]).
+    pub fn wrap(&self, body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.build_into(body, &mut out);
+        out
+    }
+}
+
 /// Builds the full test image: prologue + handler + body + `wfi` epilogue.
 ///
 /// The prologue:
@@ -33,6 +133,9 @@ impl Default for HarnessConfig {
 /// 2. installs it in `mtvec`,
 /// 3. points `sp` at the top of RAM,
 /// 4. jumps over the handler into the body.
+///
+/// One-shot convenience around [`PrecompiledHarness`]; batch callers
+/// should precompile once and reuse.
 ///
 /// # Examples
 ///
@@ -48,53 +151,15 @@ impl Default for HarnessConfig {
 /// assert_eq!(trace.trap_count(), 1);
 /// ```
 pub fn wrap(body: &[u8], cfg: HarnessConfig) -> Vec<u8> {
-    let t0 = Reg::new(5).unwrap();
-    let t1 = Reg::new(6).unwrap();
-    let mut asm = Assembler::new();
-    // t0 = pc of this auipc = ram_base.
-    asm.push(Instr::Auipc { rd: t0, imm: 0 });
-    // t1 = &handler (fixed offset computed after assembly; use labels).
-    asm.jal_to(t1, "install"); // placeholder control flow: see below
-                               // handler:
-    asm.label("handler");
-    asm.push(Instr::Csr {
-        op: CsrOp::Rs,
-        rd: t1,
-        csr: Csr::MEPC.addr(),
-        src: CsrSrc::Reg(Reg::X0),
-    });
-    asm.push(Instr::OpImm { op: AluOp::Add, rd: t1, rs1: t1, imm: 4, word: false });
-    asm.push(Instr::Csr {
-        op: CsrOp::Rw,
-        rd: Reg::X0,
-        csr: Csr::MEPC.addr(),
-        src: CsrSrc::Reg(t1),
-    });
-    asm.push(Instr::System(SystemOp::Mret));
-    // install: (t1 = address of the instruction after the jal = handler)
-    asm.label("install");
-    asm.push(Instr::Csr {
-        op: CsrOp::Rw,
-        rd: Reg::X0,
-        csr: Csr::MTVEC.addr(),
-        src: CsrSrc::Reg(t1),
-    });
-    // sp = ram_base + ram_size - 64.
-    let sp_target = (cfg.ram_base + cfg.ram_size - 64) as i64;
-    asm.li(Reg::SP, sp_target);
-    asm.jal_to(Reg::X0, "body");
-    asm.label("body");
-    let mut image = asm.assemble_bytes().expect("harness assembles");
-    image.extend_from_slice(body);
-    image.extend_from_slice(
-        &chatfuzz_isa::encode(&Instr::System(SystemOp::Wfi)).unwrap().to_le_bytes(),
-    );
-    image
+    PrecompiledHarness::new(cfg).wrap(body)
 }
 
 /// Byte offset of the body within a wrapped image (prologue size).
+///
+/// Computed from the precompiled prologue directly — this no longer
+/// assembles (and throws away) a whole empty image per call.
 pub fn body_offset(cfg: HarnessConfig) -> usize {
-    wrap(&[], cfg).len() - chatfuzz_isa::INSTR_BYTES
+    PrecompiledHarness::new(cfg).body_offset()
 }
 
 #[cfg(test)]

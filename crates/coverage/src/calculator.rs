@@ -110,8 +110,19 @@ impl Calculator {
     /// paper; the cumulative map is then advanced input by input so
     /// `total_after` is monotone within the batch.
     pub fn score_batch(&mut self, batch: &[CovMap]) -> BatchScores {
+        self.score_batch_iter(batch)
+    }
+
+    /// [`Calculator::score_batch`] over borrowed maps — lets the fuzzing
+    /// loop score worker-owned scratch buffers without collecting them
+    /// into an owned slice first.
+    pub fn score_batch_iter<'a>(
+        &mut self,
+        batch: impl IntoIterator<Item = &'a CovMap>,
+    ) -> BatchScores {
         let before = self.cumulative.covered_bins();
-        let mut inputs = Vec::with_capacity(batch.len());
+        let batch = batch.into_iter();
+        let mut inputs = Vec::with_capacity(batch.size_hint().0);
         for map in batch {
             let standalone = map.covered_bins();
             let incremental = map.count_new_vs(&self.previous_batch_total);
@@ -123,7 +134,9 @@ impl Calculator {
                 total_bins: self.cumulative.total_bins(),
             });
         }
-        self.previous_batch_total = self.cumulative.clone();
+        // Freeze the batch boundary by copying words into the existing
+        // baseline buffer (allocation-free) instead of cloning the map.
+        self.previous_batch_total.clone_from(&self.cumulative);
         let total_after = self.cumulative.covered_bins();
         BatchScores { inputs, total_after, batch_gain: total_after - before }
     }

@@ -10,10 +10,29 @@ use crate::space::{CondId, PointKind, Space};
 /// Maps are cheap to clone and merge; parallel fuzzing workers each fill a
 /// private map per input and the coordinator merges them into the campaign
 /// total.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CovMap {
     space: Arc<Space>,
     words: Vec<u64>,
+}
+
+impl Clone for CovMap {
+    fn clone(&self) -> CovMap {
+        CovMap { space: Arc::clone(&self.space), words: self.words.clone() }
+    }
+
+    /// Allocation-free when the word counts match (same-space maps always
+    /// do) — the batch-boundary copy in `Calculator::score_batch` relies
+    /// on this to avoid cloning the full cumulative map every batch.
+    fn clone_from(&mut self, source: &CovMap) {
+        if self.words.len() == source.words.len() {
+            self.words.copy_from_slice(&source.words);
+        } else {
+            self.words.clear();
+            self.words.extend_from_slice(&source.words);
+        }
+        self.space = Arc::clone(&source.space);
+    }
 }
 
 impl CovMap {

@@ -22,6 +22,7 @@
 //! ```
 
 pub mod asm;
+pub mod cache;
 pub mod csr;
 pub mod decode;
 pub mod disasm;
@@ -31,6 +32,7 @@ pub mod instr;
 pub mod reg;
 pub mod semantics;
 
+pub use cache::{DecodeCache, DEFAULT_DECODE_CACHE_ENTRIES};
 pub use csr::{Csr, CSR_LIST};
 pub use decode::{decode, decode_program, DecodeError};
 pub use encode::{encode, encode_program, EncodeError};

@@ -55,6 +55,15 @@ impl ArchExec {
         ArchExec { regs: [0; 32], csrs: CsrFile::new(), mem, reservation: None, pma_before_align }
     }
 
+    /// Power-on reset of the architectural state (registers, CSRs, LR/SC
+    /// reservation). Memory and the Finding-1 flag are kept — pair with
+    /// [`Memory::reset_with_image`] to recycle the whole arena per test.
+    pub fn reset(&mut self) {
+        self.regs = [0; 32];
+        self.csrs = CsrFile::new();
+        self.reservation = None;
+    }
+
     /// Reads a register.
     #[inline]
     pub fn reg(&self, r: Reg) -> u64 {

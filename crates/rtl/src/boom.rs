@@ -13,8 +13,8 @@
 
 use std::sync::Arc;
 
-use chatfuzz_coverage::{cover, CondId, CovMap, PointKind, Space, SpaceBuilder};
-use chatfuzz_isa::{decode, Instr, Reg, SystemOp};
+use chatfuzz_coverage::{cover, CondId, PointKind, Space, SpaceBuilder};
+use chatfuzz_isa::{decode, DecodeCache, Instr, Reg, SystemOp};
 use chatfuzz_softcore::mem::{Memory, DEFAULT_RAM_BASE, DEFAULT_RAM_SIZE};
 use chatfuzz_softcore::trace::{CommitRecord, ExitReason, Trace, TrapRecord};
 
@@ -110,6 +110,11 @@ pub struct Boom {
     predictor: Predictor,
     muldiv: MulDiv,
     tracer: Tracer,
+    /// Word-validated decode cache for the hot path (hits bit-identical
+    /// to re-decoding; `run` skips it to stay the pre-PR-3 baseline).
+    decode_cache: DecodeCache,
+    /// Reusable architectural arena for [`Dut::run_into`].
+    arena: Option<ArchExec>,
 }
 
 impl Boom {
@@ -140,7 +145,20 @@ impl Boom {
             long_latency_shadow: c(&mut b, "long_latency_shadow"),
         };
         let space = b.build();
-        Boom { cfg, space, ids, deep, ooo, icache, dcache, predictor, muldiv, tracer }
+        Boom {
+            cfg,
+            space,
+            ids,
+            deep,
+            ooo,
+            icache,
+            dcache,
+            predictor,
+            muldiv,
+            tracer,
+            decode_cache: DecodeCache::default(),
+            arena: None,
+        }
     }
 
     /// The configuration this core was elaborated with.
@@ -159,33 +177,58 @@ impl Dut for Boom {
     }
 
     fn run(&mut self, program: &[u8]) -> DutRun {
+        // One-shot path: fresh arena + result per call (the benchmark
+        // baseline); `run_into` is the recycled hot path.
+        let mut out = DutRun::scratch(&self.space);
+        let mut mem = Memory::new(self.cfg.ram_base, self.cfg.ram_size);
+        let image_len = program.len().min(self.cfg.ram_size as usize);
+        mem.load_image(self.cfg.ram_base, &program[..image_len]);
+        let mut arch = ArchExec::new(mem, false);
+        self.run_inner(&mut arch, &mut out, false);
+        out
+    }
+
+    fn run_into(&mut self, program: &[u8], out: &mut DutRun) {
+        out.reset_for(&self.space);
+        let mut arch = self.arena.take().unwrap_or_else(|| {
+            ArchExec::new(Memory::new(self.cfg.ram_base, self.cfg.ram_size), false)
+        });
+        let image_len = program.len().min(self.cfg.ram_size as usize);
+        arch.mem.reset_with_image(self.cfg.ram_base, &program[..image_len]);
+        arch.reset();
+        self.run_inner(&mut arch, out, true);
+        self.arena = Some(arch);
+    }
+}
+
+impl Boom {
+    /// The shared execution loop. `arch` must be reset with the program
+    /// image loaded; `out` must be empty (scratch or `reset_for`).
+    fn run_inner(&mut self, arch: &mut ArchExec, out: &mut DutRun, use_decode_cache: bool) {
         self.icache.reset();
         self.dcache.reset();
         self.predictor.reset();
         self.muldiv.reset();
         self.tracer.reset();
-        let mut cov = CovMap::new(&self.space);
-        let mut mem = Memory::new(self.cfg.ram_base, self.cfg.ram_size);
-        let image_len = program.len().min(self.cfg.ram_size as usize);
-        mem.load_image(self.cfg.ram_base, &program[..image_len]);
-        let mut arch = ArchExec::new(mem, false);
+        let DutRun { trace, coverage: cov, cycles: out_cycles } = out;
+        let Trace { records, exit: out_exit } = trace;
 
         let mut pc = self.cfg.ram_base;
         let mut cycles: u64 = 0;
-        let mut records: Vec<CommitRecord> = Vec::new();
         let mut traps = 0usize;
         // OoO bookkeeping.
         let mut rob_occ: u32 = 0;
         let mut last_rd: Option<Reg> = None;
         let mut last_was_paired = false;
         let mut rename_epoch: [u8; 32] = [0; 32];
-        let mut recent_stores: Vec<u64> = Vec::new();
+        let mut recent_stores = [0u64; 4];
+        let mut recent_len = 0usize;
         let mut lsq_occ: usize = 0;
         let mut shadow_until: u64 = 0;
         let mut deep = DeepState::new();
 
         for _ in 0..self.cfg.max_steps {
-            self.ids.tick_dead(&mut cov);
+            self.ids.tick_dead(cov);
             arch.csrs.tick_cycle(1);
 
             let fetch_exc = if !pc.is_multiple_of(4) {
@@ -203,18 +246,16 @@ impl Dut for Boom {
                     let delegated = arch.csrs.delegated_to_s(e.cause());
                     let vec = if delegated { arch.csrs.stvec() } else { arch.csrs.mtvec() };
                     if vec == 0 {
-                        self.ids.cover_trap(&e, from, delegated, true, &mut cov);
-                        return DutRun {
-                            trace: Trace { records, exit: ExitReason::UnhandledTrap(e) },
-                            coverage: cov,
-                            cycles,
-                        };
+                        self.ids.cover_trap(&e, from, delegated, true, cov);
+                        *out_exit = ExitReason::UnhandledTrap(e);
+                        *out_cycles = cycles;
+                        return;
                     }
-                    self.ids.cover_trap(&e, from, delegated, false, &mut cov);
+                    self.ids.cover_trap(&e, from, delegated, false, cov);
                     arch.reservation = None;
                     let (to, handler_pc) = arch.csrs.take_trap(&e, pc);
                     cover!(cov, self.ooo.flush_recovery, true);
-                    deep.on_trap(&self.deep, to == chatfuzz_isa::PrivLevel::Supervisor, &mut cov);
+                    deep.on_trap(&self.deep, to == chatfuzz_isa::PrivLevel::Supervisor, cov);
                     rob_occ = 0;
                     lsq_occ = 0;
                     cycles += self.cfg.flush_penalty;
@@ -226,15 +267,13 @@ impl Dut for Boom {
                         mem: None,
                         trap: Some(TrapRecord { exception: e, from, to, handler_pc }),
                     };
-                    let record = self.tracer.emit(record, $instr, None, &mut cov);
+                    let record = self.tracer.emit(record, $instr, None, cov);
                     records.push(record);
                     traps += 1;
                     if traps > self.cfg.max_traps {
-                        return DutRun {
-                            trace: Trace { records, exit: ExitReason::TrapStorm },
-                            coverage: cov,
-                            cycles,
-                        };
+                        *out_exit = ExitReason::TrapStorm;
+                        *out_cycles = cycles;
+                        return;
                     }
                     last_rd = None;
                     pc = handler_pc;
@@ -246,17 +285,19 @@ impl Dut for Boom {
                 trap_path!(e, 0u32, None);
             }
 
-            let predicted = self.predictor.predict(pc, &mut cov);
-            let (word, ic_cycles) = self.icache.fetch(pc, &arch.mem, &mut cov);
+            let predicted = self.predictor.predict(pc, cov);
+            let (word, ic_cycles) = self.icache.fetch(pc, &arch.mem, cov);
             cycles += ic_cycles;
 
-            let instr = match decode(word) {
+            let decoded =
+                if use_decode_cache { self.decode_cache.decode(pc, word) } else { decode(word) };
+            let instr = match decoded {
                 Ok(i) => {
-                    self.ids.cover_decode(Ok(&i), &mut cov);
+                    self.ids.cover_decode(Ok(&i), cov);
                     i
                 }
                 Err(_) => {
-                    self.ids.cover_decode(Err(()), &mut cov);
+                    self.ids.cover_decode(Err(()), cov);
                     trap_path!(chatfuzz_isa::Exception::IllegalInstr { word }, word, None);
                 }
             };
@@ -308,9 +349,9 @@ impl Dut for Boom {
                 ArchOutcome::Trap(e) => {
                     if matches!(e, chatfuzz_isa::Exception::IllegalInstr { .. }) {
                         match instr {
-                            Instr::Csr { .. } => self.ids.cover_illegal_system(true, &mut cov),
+                            Instr::Csr { .. } => self.ids.cover_illegal_system(true, cov),
                             Instr::System(SystemOp::Mret | SystemOp::Sret) => {
-                                self.ids.cover_illegal_system(false, &mut cov)
+                                self.ids.cover_illegal_system(false, cov)
                             }
                             _ => {}
                         }
@@ -321,7 +362,7 @@ impl Dut for Boom {
             arch.csrs.tick_instret();
 
             if let Some((op, w, a, b_)) = muldiv_ops {
-                let lat = self.muldiv.issue(op, w, a, b_, cycles, &mut cov);
+                let lat = self.muldiv.issue(op, w, a, b_, cycles, cov);
                 // OoO hides part of the latency; younger ops pile up in
                 // the ROB behind the long-latency op.
                 shadow_until = cycles + lat;
@@ -331,8 +372,7 @@ impl Dut for Boom {
             if let Some(mem_eff) = record.mem {
                 if arch.mem.in_ram(mem_eff.addr, u64::from(mem_eff.bytes)) {
                     let is_amo = matches!(instr, Instr::Amo { .. });
-                    let access =
-                        self.dcache.access(mem_eff.addr, mem_eff.is_store, is_amo, &mut cov);
+                    let access = self.dcache.access(mem_eff.addr, mem_eff.is_store, is_amo, cov);
                     cycles += access.cycles / 2; // partially hidden by OoO
                     if !access.hit {
                         rob_occ = (rob_occ + 3).min(self.cfg.rob_entries);
@@ -343,28 +383,34 @@ impl Dut for Boom {
                         lsq_occ = self.cfg.lsq_entries / 2;
                     }
                     if mem_eff.is_store {
-                        recent_stores.push(mem_eff.addr);
-                        if recent_stores.len() > 4 {
-                            recent_stores.remove(0);
+                        if recent_len == recent_stores.len() {
+                            recent_stores.rotate_left(1);
+                            recent_stores[recent_len - 1] = mem_eff.addr;
+                        } else {
+                            recent_stores[recent_len] = mem_eff.addr;
+                            recent_len += 1;
                         }
-                        self.icache.on_store(mem_eff.addr, u64::from(mem_eff.bytes), &mut cov);
+                        self.icache.on_store(mem_eff.addr, u64::from(mem_eff.bytes), cov);
                     } else {
-                        cover!(cov, self.ooo.lsq_forward, recent_stores.contains(&mem_eff.addr));
+                        cover!(
+                            cov,
+                            self.ooo.lsq_forward,
+                            recent_stores[..recent_len].contains(&mem_eff.addr)
+                        );
                     }
                 } else if mem_eff.is_store {
-                    self.icache.on_store(mem_eff.addr, u64::from(mem_eff.bytes), &mut cov);
+                    self.icache.on_store(mem_eff.addr, u64::from(mem_eff.bytes), cov);
                 }
             } else {
                 lsq_occ = lsq_occ.saturating_sub(1);
             }
             if matches!(instr, Instr::FenceI) {
-                cycles += self.icache.flush(&mut cov);
+                cycles += self.icache.flush(cov);
             }
             match instr {
                 Instr::Branch { .. } => {
                     let taken = next_pc != pc.wrapping_add(4);
-                    let res =
-                        self.predictor.resolve_branch(pc, taken, next_pc, predicted, &mut cov);
+                    let res = self.predictor.resolve_branch(pc, taken, next_pc, predicted, cov);
                     if res.mispredicted {
                         cover!(cov, self.ooo.flush_recovery, true);
                         rob_occ = 0;
@@ -378,7 +424,7 @@ impl Dut for Boom {
                         rd == Reg::RA,
                         false,
                         predicted,
-                        &mut cov,
+                        cov,
                     );
                     cycles += res.cycles;
                 }
@@ -390,7 +436,7 @@ impl Dut for Boom {
                         rd == Reg::RA,
                         is_ret,
                         predicted,
-                        &mut cov,
+                        cov,
                     );
                     if res.mispredicted {
                         cover!(cov, self.ooo.flush_recovery, true);
@@ -399,7 +445,7 @@ impl Dut for Boom {
                     cycles += res.cycles;
                 }
                 Instr::System(SystemOp::Mret | SystemOp::Sret) => {
-                    self.ids.cover_xret(from_priv, arch.csrs.priv_level, &mut cov);
+                    self.ids.cover_xret(from_priv, arch.csrs.priv_level, cov);
                     cover!(cov, self.ooo.flush_recovery, true);
                     rob_occ = 0;
                     cycles += self.cfg.flush_penalty;
@@ -407,7 +453,7 @@ impl Dut for Boom {
                 _ => {}
             }
 
-            self.ids.cover_retire(&instr, &record, next_pc, arch.reservation.is_some(), &mut cov);
+            self.ids.cover_retire(&instr, &record, next_pc, arch.reservation.is_some(), cov);
             let taken_backward = match instr {
                 Instr::Branch { offset, .. } if offset < 0 && next_pc != pc.wrapping_add(4) => {
                     Some(pc)
@@ -415,29 +461,21 @@ impl Dut for Boom {
                 _ => None,
             };
             let mem_line = record.mem.map(|m| m.addr / 64);
-            deep.on_retire(
-                &self.deep,
-                &instr,
-                record.priv_level,
-                taken_backward,
-                mem_line,
-                &mut cov,
-            );
-            let final_record = self.tracer.emit(record, Some(&instr), None, &mut cov);
+            deep.on_retire(&self.deep, &instr, record.priv_level, taken_backward, mem_line, cov);
+            let final_record = self.tracer.emit(record, Some(&instr), None, cov);
             records.push(final_record);
             rob_occ = rob_occ.saturating_sub(1);
             last_rd = instr.rd();
 
             if let Some(reason) = halt {
-                return DutRun { trace: Trace { records, exit: reason }, coverage: cov, cycles };
+                *out_exit = reason;
+                *out_cycles = cycles;
+                return;
             }
             pc = next_pc;
         }
-        DutRun {
-            trace: Trace { records, exit: ExitReason::BudgetExhausted },
-            coverage: cov,
-            cycles,
-        }
+        *out_exit = ExitReason::BudgetExhausted;
+        *out_cycles = cycles;
     }
 }
 

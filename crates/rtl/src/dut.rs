@@ -16,6 +16,27 @@ pub struct DutRun {
     pub cycles: u64,
 }
 
+impl DutRun {
+    /// An empty result buffer over `space`, for the [`Dut::run_into`]
+    /// reuse API. Every field is fully overwritten by a run.
+    pub fn scratch(space: &Arc<Space>) -> DutRun {
+        DutRun { trace: Trace::scratch(), coverage: CovMap::new(space), cycles: 0 }
+    }
+
+    /// Prepares this buffer for reuse by a run over `space`: clears the
+    /// trace records (keeping capacity), clears or — on a space change —
+    /// rebuilds the coverage map, and zeroes the cycle count.
+    pub fn reset_for(&mut self, space: &Arc<Space>) {
+        self.trace.records.clear();
+        if self.coverage.space().fingerprint() == space.fingerprint() {
+            self.coverage.clear();
+        } else {
+            self.coverage = CovMap::new(space);
+        }
+        self.cycles = 0;
+    }
+}
+
 /// A simulatable design under test.
 ///
 /// Implemented by the Rocket-like and BOOM-like cores; the fuzzing loop
@@ -30,4 +51,14 @@ pub trait Dut: Send {
     /// Resets the design and runs one program image (loaded at the RAM
     /// base), returning trace + coverage + timing.
     fn run(&mut self, program: &[u8]) -> DutRun;
+
+    /// [`Dut::run`] into a caller-owned scratch buffer — the
+    /// allocation-free hot path. Implementations must leave `out` exactly
+    /// as [`Dut::run`] would have returned it; the in-tree cores recycle
+    /// their internal execution arena as well and are property-tested
+    /// bit-identical to [`Dut::run`]. The default just delegates, so
+    /// third-party DUTs stay correct without opting in.
+    fn run_into(&mut self, program: &[u8], out: &mut DutRun) {
+        *out = self.run(program);
+    }
 }

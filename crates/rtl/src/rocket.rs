@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use chatfuzz_coverage::{cover, CondId, CovMap, PointKind, Space, SpaceBuilder};
 use chatfuzz_isa::semantics::extend_loaded;
-use chatfuzz_isa::{decode, Instr, Reg, SystemOp};
+use chatfuzz_isa::{decode, DecodeCache, Instr, Reg, SystemOp};
 use chatfuzz_softcore::mem::{Memory, DEFAULT_RAM_BASE, DEFAULT_RAM_SIZE};
 use chatfuzz_softcore::trace::{CommitRecord, ExitReason, Trace, TrapRecord};
 
@@ -132,6 +132,15 @@ pub struct Rocket {
     predictor: Predictor,
     muldiv: MulDiv,
     tracer: Tracer,
+    /// Word-validated decode cache for the hot path; hits are
+    /// bit-identical to re-decoding the fetched word, including BUG1's
+    /// stale-fetch words (the cache keys on whatever the I-cache served).
+    /// `run` skips it so the one-shot path stays the honest pre-PR-3
+    /// benchmark baseline.
+    decode_cache: DecodeCache,
+    /// Reusable architectural arena for [`Dut::run_into`] (registers,
+    /// CSRs, RAM); `None` until the first hot-path run.
+    arena: Option<ArchExec>,
 }
 
 impl Rocket {
@@ -154,7 +163,20 @@ impl Rocket {
             flush_on_xret: b.register("rocket.pipe.flush_on_xret", PointKind::Condition),
         };
         let space = b.build();
-        Rocket { cfg, space, ids, deep, pipe, icache, dcache, predictor, muldiv, tracer }
+        Rocket {
+            cfg,
+            space,
+            ids,
+            deep,
+            pipe,
+            icache,
+            dcache,
+            predictor,
+            muldiv,
+            tracer,
+            decode_cache: DecodeCache::default(),
+            arena: None,
+        }
     }
 
     /// The configuration this core was elaborated with.
@@ -181,16 +203,47 @@ impl Dut for Rocket {
     }
 
     fn run(&mut self, program: &[u8]) -> DutRun {
-        self.reset_units();
-        let mut cov = CovMap::new(&self.space);
+        // The one-shot path: a fresh arena and result per call, and no
+        // decode cache. Kept exactly as allocating (and as decode-heavy)
+        // as before PR 3, both for casual use and as the measurable
+        // baseline the `throughput` bench compares `run_into` against.
+        let mut out = DutRun::scratch(&self.space);
         let mut mem = Memory::new(self.cfg.ram_base, self.cfg.ram_size);
         let image_len = program.len().min(self.cfg.ram_size as usize);
         mem.load_image(self.cfg.ram_base, &program[..image_len]);
         let mut arch = ArchExec::new(mem, self.cfg.bugs.f1_pma_before_align);
+        self.run_inner(&mut arch, &mut out, false);
+        out
+    }
+
+    fn run_into(&mut self, program: &[u8], out: &mut DutRun) {
+        out.reset_for(&self.space);
+        let mut arch = self.arena.take().unwrap_or_else(|| {
+            ArchExec::new(
+                Memory::new(self.cfg.ram_base, self.cfg.ram_size),
+                self.cfg.bugs.f1_pma_before_align,
+            )
+        });
+        let image_len = program.len().min(self.cfg.ram_size as usize);
+        arch.mem.reset_with_image(self.cfg.ram_base, &program[..image_len]);
+        arch.reset();
+        self.run_inner(&mut arch, out, true);
+        self.arena = Some(arch);
+    }
+}
+
+impl Rocket {
+    /// The shared execution loop. `arch` must be reset with the program
+    /// image loaded; `out` must be empty (scratch or `reset_for`). The
+    /// decode cache is observationally transparent, so the flag only
+    /// selects which *performance* profile runs.
+    fn run_inner(&mut self, arch: &mut ArchExec, out: &mut DutRun, use_decode_cache: bool) {
+        self.reset_units();
+        let DutRun { trace, coverage: cov, cycles: out_cycles } = out;
+        let Trace { records, exit: out_exit } = trace;
 
         let mut pc = self.cfg.ram_base;
         let mut cycles: u64 = 0;
-        let mut records: Vec<CommitRecord> = Vec::new();
         let mut traps = 0usize;
         let mut prev_alu_rd: Option<Reg> = None;
         let mut prev_prev_rd: Option<Reg> = None;
@@ -198,7 +251,7 @@ impl Dut for Rocket {
         let mut deep = DeepState::new();
 
         for _ in 0..self.cfg.max_steps {
-            self.ids.tick_dead(&mut cov);
+            self.ids.tick_dead(cov);
             arch.csrs.tick_cycle(1);
             cycles += 1;
 
@@ -212,53 +265,61 @@ impl Dut for Rocket {
             };
             if let Some(e) = fetch_exc {
                 match take_trap(
-                    &mut arch,
+                    arch,
                     &self.ids,
                     &mut self.tracer,
                     e,
                     pc,
                     0,
                     None,
-                    &mut cov,
+                    cov,
                     self.cfg.trap_penalty,
                 ) {
                     TrapTaken::Handled { record, handler_pc, cost } => {
                         cycles += cost;
-                        deep.on_trap(&self.deep, delegated_hint(&arch, &record), &mut cov);
+                        deep.on_trap(&self.deep, delegated_hint(arch, &record), cov);
                         records.push(record);
                         traps += 1;
                         if traps > self.cfg.max_traps {
-                            return done(records, ExitReason::TrapStorm, cov, cycles);
+                            *out_exit = ExitReason::TrapStorm;
+                            *out_cycles = cycles;
+                            return;
                         }
                         pc = handler_pc;
                         continue;
                     }
-                    TrapTaken::Unhandled(exit) => return done(records, exit, cov, cycles),
+                    TrapTaken::Unhandled(reason) => {
+                        *out_exit = reason;
+                        *out_cycles = cycles;
+                        return;
+                    }
                 }
             }
 
-            let predicted = self.predictor.predict(pc, &mut cov);
-            let (word, ic_cycles) = self.icache.fetch(pc, &arch.mem, &mut cov);
+            let predicted = self.predictor.predict(pc, cov);
+            let (word, ic_cycles) = self.icache.fetch(pc, &arch.mem, cov);
             cycles += ic_cycles;
 
             // ---- Decode ----
-            let instr = match decode(word) {
+            let decoded =
+                if use_decode_cache { self.decode_cache.decode(pc, word) } else { decode(word) };
+            let instr = match decoded {
                 Ok(i) => {
-                    self.ids.cover_decode(Ok(&i), &mut cov);
+                    self.ids.cover_decode(Ok(&i), cov);
                     i
                 }
                 Err(_) => {
-                    self.ids.cover_decode(Err(()), &mut cov);
+                    self.ids.cover_decode(Err(()), cov);
                     let e = chatfuzz_isa::Exception::IllegalInstr { word };
                     match take_trap(
-                        &mut arch,
+                        arch,
                         &self.ids,
                         &mut self.tracer,
                         e,
                         pc,
                         word,
                         None,
-                        &mut cov,
+                        cov,
                         self.cfg.trap_penalty,
                     ) {
                         TrapTaken::Handled { record, handler_pc, cost } => {
@@ -266,12 +327,18 @@ impl Dut for Rocket {
                             records.push(record);
                             traps += 1;
                             if traps > self.cfg.max_traps {
-                                return done(records, ExitReason::TrapStorm, cov, cycles);
+                                *out_exit = ExitReason::TrapStorm;
+                                *out_cycles = cycles;
+                                return;
                             }
                             pc = handler_pc;
                             continue;
                         }
-                        TrapTaken::Unhandled(exit) => return done(records, exit, cov, cycles),
+                        TrapTaken::Unhandled(reason) => {
+                            *out_exit = reason;
+                            *out_cycles = cycles;
+                            return;
+                        }
                     }
                 }
             };
@@ -322,22 +389,22 @@ impl Dut for Rocket {
                     // CSR/xret illegality conditions.
                     if matches!(e, chatfuzz_isa::Exception::IllegalInstr { .. }) {
                         match instr {
-                            Instr::Csr { .. } => self.ids.cover_illegal_system(true, &mut cov),
+                            Instr::Csr { .. } => self.ids.cover_illegal_system(true, cov),
                             Instr::System(SystemOp::Mret | SystemOp::Sret) => {
-                                self.ids.cover_illegal_system(false, &mut cov)
+                                self.ids.cover_illegal_system(false, cov)
                             }
                             _ => {}
                         }
                     }
                     match take_trap(
-                        &mut arch,
+                        arch,
                         &self.ids,
                         &mut self.tracer,
                         e,
                         pc,
                         word,
                         Some(&instr),
-                        &mut cov,
+                        cov,
                         self.cfg.trap_penalty,
                     ) {
                         TrapTaken::Handled { record, handler_pc, cost } => {
@@ -345,14 +412,20 @@ impl Dut for Rocket {
                             records.push(record);
                             traps += 1;
                             if traps > self.cfg.max_traps {
-                                return done(records, ExitReason::TrapStorm, cov, cycles);
+                                *out_exit = ExitReason::TrapStorm;
+                                *out_cycles = cycles;
+                                return;
                             }
                             pc = handler_pc;
                             prev_alu_rd = None;
                             prev_load_rd = None;
                             continue;
                         }
-                        TrapTaken::Unhandled(exit) => return done(records, exit, cov, cycles),
+                        TrapTaken::Unhandled(reason) => {
+                            *out_exit = reason;
+                            *out_cycles = cycles;
+                            return;
+                        }
                     }
                 }
             };
@@ -360,27 +433,25 @@ impl Dut for Rocket {
 
             // ---- Unit timing + frontend resolution ----
             if let Some((op, w, a, b_)) = muldiv_ops {
-                cycles += self.muldiv.issue(op, w, a, b_, cycles, &mut cov);
+                cycles += self.muldiv.issue(op, w, a, b_, cycles, cov);
             }
             if let Some(mem_eff) = record.mem {
                 if arch.mem.in_ram(mem_eff.addr, u64::from(mem_eff.bytes)) {
                     let is_amo = matches!(instr, Instr::Amo { .. });
-                    let access =
-                        self.dcache.access(mem_eff.addr, mem_eff.is_store, is_amo, &mut cov);
+                    let access = self.dcache.access(mem_eff.addr, mem_eff.is_store, is_amo, cov);
                     cycles += access.cycles;
                 }
                 if mem_eff.is_store {
-                    self.icache.on_store(mem_eff.addr, u64::from(mem_eff.bytes), &mut cov);
+                    self.icache.on_store(mem_eff.addr, u64::from(mem_eff.bytes), cov);
                 }
             }
             if matches!(instr, Instr::FenceI) {
-                cycles += self.icache.flush(&mut cov);
+                cycles += self.icache.flush(cov);
             }
             match instr {
                 Instr::Branch { .. } => {
                     let taken = next_pc != pc.wrapping_add(4);
-                    let res =
-                        self.predictor.resolve_branch(pc, taken, next_pc, predicted, &mut cov);
+                    let res = self.predictor.resolve_branch(pc, taken, next_pc, predicted, cov);
                     cycles += res.cycles;
                 }
                 Instr::Jal { rd, .. } => {
@@ -390,7 +461,7 @@ impl Dut for Rocket {
                         rd == Reg::RA,
                         false,
                         predicted,
-                        &mut cov,
+                        cov,
                     );
                     cycles += res.cycles;
                 }
@@ -402,13 +473,13 @@ impl Dut for Rocket {
                         rd == Reg::RA,
                         is_ret,
                         predicted,
-                        &mut cov,
+                        cov,
                     );
                     cycles += res.cycles;
                 }
                 Instr::System(SystemOp::Mret | SystemOp::Sret) => {
                     cover!(cov, self.pipe.flush_on_xret, true);
-                    self.ids.cover_xret(from_priv, arch.csrs.priv_level, &mut cov);
+                    self.ids.cover_xret(from_priv, arch.csrs.priv_level, cov);
                     cycles += self.cfg.trap_penalty;
                 }
                 _ => {
@@ -417,7 +488,7 @@ impl Dut for Rocket {
             }
 
             // ---- Retire ----
-            self.ids.cover_retire(&instr, &record, next_pc, arch.reservation.is_some(), &mut cov);
+            self.ids.cover_retire(&instr, &record, next_pc, arch.reservation.is_some(), cov);
             let taken_backward = match instr {
                 Instr::Branch { offset, .. } if offset < 0 && next_pc != pc.wrapping_add(4) => {
                     Some(pc)
@@ -425,14 +496,7 @@ impl Dut for Rocket {
                 _ => None,
             };
             let mem_line = record.mem.map(|m| m.addr / 64);
-            deep.on_retire(
-                &self.deep,
-                &instr,
-                record.priv_level,
-                taken_backward,
-                mem_line,
-                &mut cov,
-            );
+            deep.on_retire(&self.deep, &instr, record.priv_level, taken_backward, mem_line, cov);
             let raw_wb = record.rd_write.or(amo_x0_old).or_else(|| {
                 // Recompute ALU results discarded into x0 for the tracer's
                 // Finding-3 port (registers are unchanged when rd = x0).
@@ -448,7 +512,7 @@ impl Dut for Rocket {
                     _ => None,
                 }
             });
-            let final_record = self.tracer.emit(record, Some(&instr), raw_wb, &mut cov);
+            let final_record = self.tracer.emit(record, Some(&instr), raw_wb, cov);
             records.push(final_record);
 
             prev_prev_rd = prev_alu_rd;
@@ -459,11 +523,14 @@ impl Dut for Rocket {
             };
 
             if let Some(reason) = halt {
-                return done(records, reason, cov, cycles);
+                *out_exit = reason;
+                *out_cycles = cycles;
+                return;
             }
             pc = next_pc;
         }
-        done(records, ExitReason::BudgetExhausted, cov, cycles)
+        *out_exit = ExitReason::BudgetExhausted;
+        *out_cycles = cycles;
     }
 }
 
@@ -510,10 +577,6 @@ fn take_trap(
     };
     let record = tracer.emit(record, instr, None, cov);
     TrapTaken::Handled { record, handler_pc, cost: trap_penalty }
-}
-
-fn done(records: Vec<CommitRecord>, exit: ExitReason, cov: CovMap, cycles: u64) -> DutRun {
-    DutRun { trace: Trace { records, exit }, coverage: cov, cycles }
 }
 
 #[cfg(test)]

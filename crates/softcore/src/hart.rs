@@ -1,7 +1,7 @@
 //! The golden-model interpreter hart (one instruction per step).
 
 use chatfuzz_isa::semantics::{alu, amo, branch_taken, extend_loaded, muldiv};
-use chatfuzz_isa::{decode, CsrSrc, Exception, Instr, MemWidth, Reg, SystemOp};
+use chatfuzz_isa::{CsrSrc, DecodeCache, Exception, Instr, MemWidth, Reg, SystemOp};
 
 use crate::csr::CsrFile;
 use crate::mem::{Memory, StoreEffect};
@@ -29,12 +29,43 @@ pub struct Hart {
     pub mem: Memory,
     /// LR/SC reservation address, if armed.
     reservation: Option<u64>,
+    /// Word-validated decode cache (see [`DecodeCache`]); hits are
+    /// bit-identical to decoding the fetched word, so it survives resets
+    /// and self-modifying stores without any flush protocol.
+    decode: DecodeCache,
 }
 
 impl Hart {
     /// Creates a hart with zeroed registers at the given reset PC.
     pub fn new(mem: Memory, reset_pc: u64) -> Hart {
-        Hart { regs: [0; 32], pc: reset_pc, csrs: CsrFile::new(), mem, reservation: None }
+        Hart {
+            regs: [0; 32],
+            pc: reset_pc,
+            csrs: CsrFile::new(),
+            mem,
+            reservation: None,
+            decode: DecodeCache::default(),
+        }
+    }
+
+    /// Power-on reset of the architectural state (registers, CSRs, PC,
+    /// LR/SC reservation). Memory is *not* touched — pair with
+    /// [`Memory::reset_with_image`] to recycle the whole hart between
+    /// tests. The decode cache is kept: entries are word-validated, so
+    /// stale entries can never change what executes.
+    pub fn reset(&mut self, reset_pc: u64) {
+        self.regs = [0; 32];
+        self.pc = reset_pc;
+        self.csrs = CsrFile::new();
+        self.reservation = None;
+    }
+
+    /// Turns the decode cache off, making every step decode the fetched
+    /// word from scratch — the exact pre-cache behaviour. Used by the
+    /// throughput benchmark's naive baseline; results are identical
+    /// either way (the cache is word-validated).
+    pub fn disable_decode_cache(&mut self) {
+        self.decode.set_enabled(false);
     }
 
     /// Reads a register (x0 reads as zero).
@@ -59,7 +90,7 @@ impl Hart {
             Ok(w) => w,
             Err(e) => return self.trap(e, pc, 0),
         };
-        let instr = match decode(word) {
+        let instr = match self.decode.decode(pc, word) {
             Ok(i) => i,
             Err(_) => return self.trap(Exception::IllegalInstr { word }, pc, word),
         };

@@ -36,5 +36,5 @@ pub mod trace;
 pub use csr::CsrFile;
 pub use hart::{Hart, StepResult};
 pub use mem::Memory;
-pub use sim::{SoftCore, SoftCoreConfig};
+pub use sim::{SoftCore, SoftCoreConfig, SoftCoreRunner};
 pub use trace::{CommitRecord, ExitReason, MemEffect, Trace, TrapRecord};

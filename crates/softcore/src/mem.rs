@@ -47,6 +47,14 @@ pub enum StoreEffect {
 pub struct Memory {
     base: u64,
     ram: Vec<u8>,
+    /// Up to two dirty windows `[lo, hi)` of byte offsets written since
+    /// the last reset (`hi == 0` marks an empty window).
+    /// [`Memory::reset_with_image`] zeroes only these spans, so recycling
+    /// a 1 MiB arena costs what the test actually touched. Two windows
+    /// (not one) because the typical test dirties the program image at
+    /// the *bottom* of RAM and the stack at the *top* — a single merged
+    /// window would degenerate to re-zeroing the whole arena.
+    dirty: [(usize, usize); 2],
 }
 
 impl Memory {
@@ -58,7 +66,48 @@ impl Memory {
     pub fn new(base: u64, size: u64) -> Memory {
         assert!(size > 0, "RAM size must be positive");
         assert!(base.checked_add(size).is_some(), "RAM range overflows");
-        Memory { base, ram: vec![0; size as usize] }
+        Memory { base, ram: vec![0; size as usize], dirty: [(0, 0); 2] }
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let (lo, hi) = (off, off + len);
+        // Extend whichever window grows the least (an empty window costs
+        // exactly `len`), keeping far-apart writes in separate windows.
+        let growth = |w: (usize, usize)| {
+            if w.1 == 0 {
+                len
+            } else {
+                (w.1.max(hi) - w.0.min(lo)) - (w.1 - w.0)
+            }
+        };
+        let i = usize::from(growth(self.dirty[1]) < growth(self.dirty[0]));
+        let w = &mut self.dirty[i];
+        if w.1 == 0 {
+            *w = (lo, hi);
+        } else {
+            *w = (w.0.min(lo), w.1.max(hi));
+        }
+    }
+
+    /// Re-zeroes everything written since construction (or the previous
+    /// reset) and loads a fresh program image at `addr` — the arena-reuse
+    /// replacement for building a new `Memory` per test. Only the dirty
+    /// window is zeroed, so the cost scales with what the last run touched,
+    /// not with the RAM size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit in RAM (same as
+    /// [`Memory::load_image`]).
+    pub fn reset_with_image(&mut self, addr: u64, image: &[u8]) {
+        for (lo, hi) in std::mem::take(&mut self.dirty) {
+            self.ram[lo..hi].fill(0);
+        }
+        self.load_image(addr, image);
     }
 
     /// RAM base address.
@@ -90,6 +139,7 @@ impl Memory {
         assert!(self.in_ram(addr, image.len() as u64), "image outside RAM");
         let off = (addr - self.base) as usize;
         self.ram[off..off + image.len()].copy_from_slice(image);
+        self.mark_dirty(off, image.len());
     }
 
     /// Raw little-endian read without PMA/alignment checks.
@@ -116,6 +166,7 @@ impl Memory {
         for i in 0..len as usize {
             self.ram[off + i] = (value >> (8 * i)) as u8;
         }
+        self.mark_dirty(off, len as usize);
     }
 
     /// Checked load: alignment first, then PMA — the spec priority order
@@ -260,5 +311,42 @@ mod tests {
     fn image_must_fit() {
         let mut m = mem();
         m.load_image(DEFAULT_RAM_BASE + 4090, &[0; 16]);
+    }
+
+    #[test]
+    fn reset_with_image_matches_fresh_memory() {
+        // Dirty the arena all over, reset, and compare byte-for-byte
+        // against a brand-new Memory loaded with the same image.
+        let mut reused = mem();
+        reused.load_image(DEFAULT_RAM_BASE, &[0xde; 64]);
+        reused.store(DEFAULT_RAM_BASE + 1024, MemWidth::D, u64::MAX).unwrap();
+        reused.write_raw(DEFAULT_RAM_BASE + 4000, 4, 0xdead_beef);
+        // Stack-style write at the very top of RAM (second dirty window).
+        reused.store(DEFAULT_RAM_BASE + 4088, MemWidth::D, 0x5a5a_5a5a).unwrap();
+        let image = [0x13u8, 0x00, 0x10, 0x00, 0x93, 0x01, 0x20, 0x00];
+        reused.reset_with_image(DEFAULT_RAM_BASE, &image);
+
+        let mut fresh = mem();
+        fresh.load_image(DEFAULT_RAM_BASE, &image);
+        for off in (0..4096).step_by(8) {
+            assert_eq!(
+                reused.read_raw(DEFAULT_RAM_BASE + off, 8),
+                fresh.read_raw(DEFAULT_RAM_BASE + off, 8),
+                "mismatch at offset {off}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_with_image_clears_repeatedly() {
+        let mut m = mem();
+        for round in 0..3u64 {
+            m.reset_with_image(DEFAULT_RAM_BASE, &round.to_le_bytes());
+            assert_eq!(m.read_raw(DEFAULT_RAM_BASE, 8), round);
+            assert_eq!(m.read_raw(DEFAULT_RAM_BASE + 8, 8), 0, "tail is clean");
+            m.store(DEFAULT_RAM_BASE + 512, MemWidth::D, 0xffff).unwrap();
+        }
+        m.reset_with_image(DEFAULT_RAM_BASE, &[]);
+        assert_eq!(m.read_raw(DEFAULT_RAM_BASE + 512, 8), 0);
     }
 }

@@ -64,6 +64,9 @@ impl SoftCore {
 
     /// Runs `program` (a little-endian instruction image loaded at the RAM
     /// base) from reset to completion and returns the architectural trace.
+    ///
+    /// Allocates a fresh memory arena per call; batch workloads should use
+    /// a [`SoftCoreRunner`], which recycles the hart and trace buffers.
     pub fn run(&self, program: &[u8]) -> Trace {
         let mut mem = Memory::new(self.config.ram_base, self.config.ram_size);
         let image_len = program.len().min(self.config.ram_size as usize);
@@ -75,7 +78,15 @@ impl SoftCore {
     /// Runs an already-prepared hart to completion (programs loaded at
     /// arbitrary addresses, pre-seeded register state, …).
     pub fn run_hart(&self, hart: &mut Hart) -> Trace {
-        let mut records = Vec::new();
+        let mut trace = Trace::scratch();
+        self.run_hart_into(hart, &mut trace);
+        trace
+    }
+
+    /// [`SoftCore::run_hart`] into a caller-owned trace buffer (records are
+    /// cleared first, capacity is kept).
+    pub fn run_hart_into(&self, hart: &mut Hart, trace: &mut Trace) {
+        trace.records.clear();
         let mut traps = 0usize;
         for _ in 0..self.config.max_steps {
             match hart.step() {
@@ -83,18 +94,82 @@ impl SoftCore {
                     if record.trap.is_some() {
                         traps += 1;
                     }
-                    records.push(record);
+                    trace.records.push(record);
                     if traps > self.config.max_traps {
-                        return Trace { records, exit: ExitReason::TrapStorm };
+                        trace.exit = ExitReason::TrapStorm;
+                        return;
                     }
                 }
                 StepResult::Halt(exit, record) => {
-                    records.extend(record);
-                    return Trace { records, exit };
+                    trace.records.extend(record);
+                    trace.exit = exit;
+                    return;
                 }
             }
         }
-        Trace { records, exit: ExitReason::BudgetExhausted }
+        trace.exit = ExitReason::BudgetExhausted;
+    }
+}
+
+/// A reusable golden-model execution arena: one hart (registers, CSRs,
+/// memory, decode cache) recycled across an unbounded stream of programs.
+///
+/// [`SoftCoreRunner::run_into`] is bit-identical to [`SoftCore::run`] for
+/// the same program (property-tested), but performs zero allocations in
+/// steady state: RAM is re-zeroed only over the span the previous test
+/// dirtied, the decode cache persists (word-validated), and trace records
+/// go into a caller-owned buffer.
+///
+/// # Examples
+///
+/// ```
+/// use chatfuzz_softcore::{SoftCore, SoftCoreConfig, SoftCoreRunner};
+/// use chatfuzz_isa::asm::Assembler;
+/// use chatfuzz_isa::{Instr, SystemOp};
+///
+/// let mut asm = Assembler::new();
+/// asm.nop();
+/// asm.push(Instr::System(SystemOp::Wfi));
+/// let program = asm.assemble_bytes().unwrap();
+///
+/// let mut runner = SoftCoreRunner::new(SoftCoreConfig::default());
+/// let one_shot = SoftCore::new(SoftCoreConfig::default()).run(&program);
+/// assert_eq!(runner.run(&program), one_shot);
+/// assert_eq!(runner.run(&program), one_shot); // arena reuse, same trace
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoftCoreRunner {
+    sim: SoftCore,
+    hart: Hart,
+}
+
+impl SoftCoreRunner {
+    /// Builds the arena (the only allocation of the runner's lifetime).
+    pub fn new(config: SoftCoreConfig) -> SoftCoreRunner {
+        let mem = Memory::new(config.ram_base, config.ram_size);
+        let hart = Hart::new(mem, config.ram_base);
+        SoftCoreRunner { sim: SoftCore::new(config), hart }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SoftCoreConfig {
+        self.sim.config()
+    }
+
+    /// Runs `program` from reset into a caller-owned trace buffer.
+    pub fn run_into(&mut self, program: &[u8], trace: &mut Trace) {
+        let config = self.sim.config();
+        let image_len = program.len().min(config.ram_size as usize);
+        self.hart.mem.reset_with_image(config.ram_base, &program[..image_len]);
+        self.hart.reset(config.ram_base);
+        self.sim.run_hart_into(&mut self.hart, trace);
+    }
+
+    /// Runs `program` from reset, returning an owned trace.
+    pub fn run(&mut self, program: &[u8]) -> Trace {
+        let mut trace = Trace::scratch();
+        self.run_into(program, &mut trace);
+        trace
     }
 }
 

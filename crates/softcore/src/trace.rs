@@ -113,6 +113,12 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// An empty trace buffer for the `*_into` reuse APIs. The placeholder
+    /// exit reason is always overwritten by a run.
+    pub fn scratch() -> Trace {
+        Trace { records: Vec::new(), exit: ExitReason::BudgetExhausted }
+    }
+
     /// Number of committed slots.
     pub fn len(&self) -> usize {
         self.records.len()

@@ -1,0 +1,223 @@
+//! Integration: the zero-allocation execution hot path is bit-identical
+//! to the naive allocating path.
+//!
+//! PR 3 introduced three hot-path optimisations — a word-validated decode
+//! cache, reusable execution arenas (`Dut::run_into`, `SoftCoreRunner`,
+//! `Memory::reset_with_image`), and a precompiled harness. Each keeps an
+//! allocating one-shot twin (`Dut::run`, `SoftCore::run`, `wrap`); these
+//! tests pin the two paths together bit-for-bit, across buffer reuse,
+//! self-modifying code, and whole campaigns.
+
+use chatfuzz::campaign::{CampaignBuilder, StopCondition};
+use chatfuzz::harness::{body_offset, wrap, HarnessConfig, PrecompiledHarness};
+use chatfuzz::mismatch::diff_traces;
+use chatfuzz_baselines::{InputGenerator, RandomRegression};
+use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
+use chatfuzz_coverage::Calculator;
+use chatfuzz_isa::asm::Assembler;
+use chatfuzz_isa::{encode, encode_program, AluOp, BranchCond, Instr, MemWidth, Reg, SystemOp};
+use chatfuzz_rtl::{Boom, BoomConfig, BugConfig, Dut, DutRun, Rocket, RocketConfig};
+use chatfuzz_softcore::trace::Trace;
+use chatfuzz_softcore::{SoftCore, SoftCoreConfig, SoftCoreRunner};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn corpus_image(seed: u64) -> Vec<u8> {
+    let mut corpus = CorpusGenerator::new(CorpusConfig { seed, ..Default::default() });
+    let body = encode_program(&corpus.generate_function()).unwrap();
+    wrap(&body, HarnessConfig::default())
+}
+
+fn assert_runs_equal(naive: &DutRun, hot: &DutRun, what: &str) {
+    assert_eq!(naive.trace, hot.trace, "{what}: trace diverged");
+    assert_eq!(naive.cycles, hot.cycles, "{what}: cycles diverged");
+    assert_eq!(naive.coverage.words(), hot.coverage.words(), "{what}: coverage bitmap diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `run_into` with a recycled arena + scratch buffer produces exactly
+    /// what a fresh-DUT `run` produces, for a *sequence* of different
+    /// programs through the same buffers (so cross-test contamination
+    /// would be caught).
+    #[test]
+    fn rocket_run_into_matches_run_across_reuse(seed in 0u64..400) {
+        let mut reused = Rocket::new(RocketConfig::default());
+        let mut scratch = DutRun::scratch(reused.space());
+        for s in [seed, seed + 1000, seed + 2000] {
+            let image = corpus_image(s);
+            let naive = Rocket::new(RocketConfig::default()).run(&image);
+            reused.run_into(&image, &mut scratch);
+            assert_runs_equal(&naive, &scratch, "rocket");
+        }
+    }
+
+    #[test]
+    fn boom_run_into_matches_run_across_reuse(seed in 0u64..400) {
+        let mut reused = Boom::new(BoomConfig::default());
+        let mut scratch = DutRun::scratch(reused.space());
+        for s in [seed, seed + 1000, seed + 2000] {
+            let image = corpus_image(s);
+            let naive = Boom::new(BoomConfig::default()).run(&image);
+            reused.run_into(&image, &mut scratch);
+            assert_runs_equal(&naive, &scratch, "boom");
+        }
+    }
+
+    /// The reusable golden-model arena matches the one-shot simulator.
+    #[test]
+    fn softcore_runner_matches_one_shot(seed in 0u64..400) {
+        let one_shot = SoftCore::new(SoftCoreConfig::default());
+        let mut runner = SoftCoreRunner::new(SoftCoreConfig::default());
+        let mut trace = Trace::scratch();
+        for s in [seed, seed + 1000, seed + 2000] {
+            let image = corpus_image(s);
+            runner.run_into(&image, &mut trace);
+            prop_assert_eq!(&trace, &one_shot.run(&image));
+        }
+    }
+
+    /// The precompiled harness builds byte-identical images to `wrap`,
+    /// including through buffer reuse across differently-sized bodies.
+    #[test]
+    fn precompiled_harness_matches_wrap(seed in 0u64..500, len in 0usize..48) {
+        let mut corpus = CorpusGenerator::new(CorpusConfig { seed, ..Default::default() });
+        let mut body = encode_program(&corpus.generate_function()).unwrap();
+        body.truncate(len * 4);
+        let cfg = HarnessConfig::default();
+        let harness = PrecompiledHarness::new(cfg);
+        let mut buffer = vec![0xa5; 256]; // dirty buffer: build_into must clear
+        harness.build_into(&body, &mut buffer);
+        prop_assert_eq!(&buffer, &wrap(&body, cfg));
+        prop_assert_eq!(harness.body_offset(), body_offset(cfg));
+    }
+
+    /// Mixing the two paths on one DUT instance: a `run` between
+    /// `run_into`s must neither disturb nor be disturbed by the arena.
+    #[test]
+    fn interleaved_run_and_run_into_agree(seed in 0u64..200) {
+        let mut dut = Rocket::new(RocketConfig::default());
+        let mut scratch = DutRun::scratch(dut.space());
+        let a = corpus_image(seed);
+        let b = corpus_image(seed + 5000);
+        dut.run_into(&a, &mut scratch);
+        let first = scratch.clone();
+        let one_shot = dut.run(&b);
+        assert_runs_equal(&Rocket::new(RocketConfig::default()).run(&b), &one_shot, "mixed run");
+        dut.run_into(&a, &mut scratch);
+        assert_runs_equal(&first, &scratch, "arena after interleaved run");
+    }
+}
+
+/// Directed BUG1 regression with the decode cache on the reused arena:
+/// the program *executes* an instruction, then stores a new word over it
+/// and loops back. The incoherent Rocket I-cache must keep serving the
+/// stale instruction (and the decode cache must keep decoding the stale
+/// word), while the golden model and the bug-free Rocket execute the
+/// patched one.
+#[test]
+fn bug1_store_over_executed_code_still_reproduces_with_decode_cache() {
+    let t0 = Reg::new(5).unwrap();
+    let t1 = Reg::new(6).unwrap();
+    let t2 = Reg::new(7).unwrap();
+    let a0 = Reg::new(10).unwrap();
+    let patched =
+        encode(&Instr::OpImm { op: AluOp::Add, rd: a0, rs1: a0, imm: 64, word: false }).unwrap();
+
+    let mut asm = Assembler::new();
+    asm.push(Instr::Auipc { rd: t0, imm: 0 }); // t0 = base
+    asm.label("patch"); // base + 4
+    asm.push(Instr::OpImm { op: AluOp::Add, rd: a0, rs1: a0, imm: 1, word: false });
+    asm.branch_to(BranchCond::Ne, t2, Reg::X0, "done"); // second pass exits
+    asm.push(Instr::OpImm { op: AluOp::Add, rd: t2, rs1: Reg::X0, imm: 1, word: false });
+    asm.li(t1, i64::from(patched as i32));
+    asm.push(Instr::Store { width: MemWidth::W, rs2: t1, rs1: t0, offset: 4 });
+    asm.jal_to(Reg::X0, "patch"); // re-execute the (now patched) slot
+    asm.label("done");
+    asm.push(Instr::System(SystemOp::Wfi));
+    let bytes = asm.assemble_bytes().unwrap();
+
+    let last_a0 = |trace: &Trace| {
+        trace
+            .records
+            .iter()
+            .rev()
+            .find_map(|r| r.rd_write.filter(|(rd, _)| *rd == a0))
+            .map(|(_, v)| v)
+    };
+
+    // Golden: second pass executes the patched +64 → a0 = 65.
+    let golden = SoftCore::new(SoftCoreConfig::default()).run(&bytes);
+    assert_eq!(golden.exit, chatfuzz_softcore::trace::ExitReason::Wfi);
+    assert_eq!(last_a0(&golden), Some(65), "golden executes the patched word");
+
+    // Buggy Rocket via the recycled hot path (run a decoy first so the
+    // arena and decode cache are warm from an unrelated program).
+    let mut buggy = Rocket::new(RocketConfig::default());
+    let mut scratch = DutRun::scratch(buggy.space());
+    buggy.run_into(&corpus_image(7), &mut scratch);
+    buggy.run_into(&bytes, &mut scratch);
+    assert_eq!(last_a0(&scratch.trace), Some(2), "BUG1: stale instruction re-executed");
+    assert!(
+        !diff_traces(&golden, &scratch.trace).is_empty(),
+        "BUG1 must still surface as a mismatch"
+    );
+
+    // And the hot path agrees with the naive path on the buggy core…
+    let naive = Rocket::new(RocketConfig::default()).run(&bytes);
+    assert_runs_equal(&naive, &scratch, "bug1 program");
+
+    // …while a fixed Rocket on the hot path matches the golden model.
+    let mut fixed = Rocket::new(RocketConfig { bugs: BugConfig::all_off(), ..Default::default() });
+    let mut fixed_scratch = DutRun::scratch(fixed.space());
+    fixed.run_into(&bytes, &mut fixed_scratch);
+    assert_eq!(fixed_scratch.trace, golden, "coherent fetch executes the patched word");
+}
+
+/// A whole campaign through the recycling worker loop produces exactly
+/// the coverage map, cycle count, and mismatch tally of a hand-rolled
+/// naive loop (fresh `wrap` + `Dut::run` + `SoftCore::run` per test) over
+/// the same inputs.
+#[test]
+fn campaign_matches_hand_rolled_naive_loop() {
+    const TESTS: usize = 48;
+    const BATCH: usize = 16;
+
+    let factory = || Rocket::new(RocketConfig::default());
+    let mut campaign = CampaignBuilder::new(move || Box::new(factory()) as Box<dyn Dut>)
+        .batch_size(BATCH)
+        .workers(3)
+        .generator(RandomRegression::new(5, 16))
+        .build();
+    campaign.run_until(&[StopCondition::Tests(TESTS)]);
+    let snapshot = campaign.snapshot();
+    let report = campaign.report();
+    drop(campaign);
+
+    // Naive replication: same generator stream, allocating paths only.
+    let mut generator = RandomRegression::new(5, 16);
+    let mut dut = factory();
+    let golden = SoftCore::new(SoftCoreConfig::default());
+    let mut calculator = Calculator::new(&Arc::clone(dut.space()));
+    let mut cycles = 0u64;
+    let mut mismatches = 0usize;
+    for _ in 0..TESTS / BATCH {
+        let batch = generator.next_batch(BATCH);
+        let mut covs = Vec::new();
+        for body in &batch {
+            let image = wrap(body, HarnessConfig::default());
+            let run = dut.run(&image);
+            let golden_trace = golden.run(&image);
+            cycles += run.cycles;
+            mismatches += diff_traces(&golden_trace, &run.trace).len();
+            covs.push(run.coverage);
+        }
+        calculator.score_batch(&covs);
+    }
+
+    assert_eq!(report.total_cycles, cycles);
+    assert_eq!(report.raw_mismatches, mismatches);
+    assert_eq!(snapshot.coverage().words(), calculator.total().words());
+    assert_eq!(report.final_coverage_pct, calculator.total_percent());
+}
