@@ -18,6 +18,14 @@ pub struct Feedback {
     /// The coverage space's fixed bin count (denominator for
     /// [`Feedback::total_after`]); `0` when unknown.
     pub total_bins: usize,
+    /// Content hash of this input's standalone coverage set
+    /// (`CovMap::content_hash`); `0` when the caller does not compute it.
+    /// The evolutionary corpus dedupes retained seeds on this value.
+    pub cov_fingerprint: u64,
+    /// Whether the mismatch detector recorded at least one golden/DUT
+    /// divergence for this input. Mismatch-triggering inputs are corpus
+    /// keepers even when they add no coverage.
+    pub mismatched: bool,
 }
 
 impl Feedback {
@@ -27,10 +35,53 @@ impl Feedback {
     }
 }
 
+/// One retained corpus seed in serialisable form: the encoded instruction
+/// words plus the statistics the scheduling/energy model needs. All
+/// fields are integers so snapshots round-trip bit-exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CorpusSeedState {
+    /// Encoded instruction words (always individually decodable).
+    pub words: Vec<u32>,
+    /// Coverage fingerprint the seed was retained under
+    /// ([`Feedback::cov_fingerprint`], or a byte hash when unknown).
+    pub fingerprint: u64,
+    /// Coverage bins this seed first reached when discovered.
+    pub new_bins: u64,
+    /// Mux-select bins the seed attained standalone.
+    pub mux_bins: u64,
+    /// Whether the seed triggered a golden/DUT mismatch.
+    pub mismatch: bool,
+    /// Times the seed has been picked as a mutation parent.
+    pub picks: u64,
+    /// Discovery counter (monotone per corpus) for deterministic
+    /// tie-breaking.
+    pub found_at: u64,
+}
+
+/// The serialisable state of a corpus-carrying generator, produced by
+/// [`InputGenerator::export_corpus`] and restored by
+/// [`InputGenerator::import_corpus`]. Like `SchedulerState`, construction
+/// *parameters* are not part of the state — resume rebuilds the generator
+/// with the same constructor arguments and imports the accumulated state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CorpusState {
+    /// [`InputGenerator::name`] of the exporting generator; import
+    /// asserts it matches so corpora never cross generator kinds.
+    pub generator: String,
+    /// Exact RNG stream state (`ChaCha8Rng::export_words`), so seed
+    /// selection and mutation continue bit-for-bit after a resume.
+    pub rng_words: Vec<u32>,
+    /// Next discovery counter ([`CorpusSeedState::found_at`] source).
+    pub next_found_at: u64,
+    /// Retained seeds, in insertion order.
+    pub seeds: Vec<CorpusSeedState>,
+}
+
 /// A source of fuzzing inputs with coverage feedback.
 ///
-/// Implemented by the baselines in this crate and by the ChatFuzz LM
-/// generator in the `chatfuzz` crate.
+/// Implemented by the baselines in this crate, the evolutionary corpus
+/// generator in `chatfuzz_evolve`, and the ChatFuzz LM generator in the
+/// `chatfuzz` crate.
 pub trait InputGenerator: Send {
     /// Short generator name for reports.
     fn name(&self) -> &str;
@@ -42,6 +93,27 @@ pub trait InputGenerator: Send {
     /// Receives per-input coverage feedback for the batch most recently
     /// returned by [`InputGenerator::next_batch`].
     fn observe(&mut self, batch: &[Vec<u8>], feedback: &[Feedback]);
+
+    /// Exports the generator's evolutionary corpus (plus its RNG stream)
+    /// for a campaign snapshot. Returns `None` for generators that keep
+    /// no corpus — the default.
+    fn export_corpus(&self) -> Option<CorpusState> {
+        None
+    }
+
+    /// Restores state previously produced by
+    /// [`InputGenerator::export_corpus`], so retained seeds (and the
+    /// mutation RNG stream) survive a checkpoint/resume cycle. The
+    /// default ignores the state (corpus-free generators have nothing to
+    /// restore).
+    ///
+    /// # Panics
+    ///
+    /// Corpus-carrying implementations panic if the state was exported by
+    /// a different generator kind.
+    fn import_corpus(&mut self, state: &CorpusState) {
+        let _ = state;
+    }
 }
 
 impl<G: InputGenerator + ?Sized> InputGenerator for &mut G {
@@ -56,6 +128,14 @@ impl<G: InputGenerator + ?Sized> InputGenerator for &mut G {
     fn observe(&mut self, batch: &[Vec<u8>], feedback: &[Feedback]) {
         (**self).observe(batch, feedback)
     }
+
+    fn export_corpus(&self) -> Option<CorpusState> {
+        (**self).export_corpus()
+    }
+
+    fn import_corpus(&mut self, state: &CorpusState) {
+        (**self).import_corpus(state)
+    }
 }
 
 impl<G: InputGenerator + ?Sized> InputGenerator for Box<G> {
@@ -69,5 +149,13 @@ impl<G: InputGenerator + ?Sized> InputGenerator for Box<G> {
 
     fn observe(&mut self, batch: &[Vec<u8>], feedback: &[Feedback]) {
         (**self).observe(batch, feedback)
+    }
+
+    fn export_corpus(&self) -> Option<CorpusState> {
+        (**self).export_corpus()
+    }
+
+    fn import_corpus(&mut self, state: &CorpusState) {
+        (**self).import_corpus(state)
     }
 }

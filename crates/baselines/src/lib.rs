@@ -17,9 +17,9 @@ pub mod gen;
 pub mod random_instr;
 pub mod schedule;
 
-pub use gen::{Feedback, InputGenerator};
+pub use gen::{CorpusSeedState, CorpusState, Feedback, InputGenerator};
 pub use random_instr::random_instr;
-pub use schedule::{ArmState, EpsilonGreedy, RoundRobin, Scheduler, SchedulerState};
+pub use schedule::{ArmState, EpsilonGreedy, RoundRobin, Scheduler, SchedulerState, Ucb1};
 
 use chatfuzz_isa::{decode, encode, INSTR_BYTES};
 use rand::{Rng, SeedableRng};

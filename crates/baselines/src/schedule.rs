@@ -17,6 +17,9 @@ pub struct ArmState {
     pub pulls: u64,
     /// Sum of observed rewards.
     pub total_reward: f64,
+    /// Simulated DUT cycles this arm's batches consumed (the cost signal
+    /// cost-normalising schedulers divide by).
+    pub cycles: u64,
 }
 
 /// The serialisable state of a [`Scheduler`], produced by
@@ -65,6 +68,15 @@ pub trait Scheduler: Send {
     /// Reports the reward (newly covered bins per test) earned by the
     /// batch the chosen `arm` just produced.
     fn update(&mut self, arm: usize, reward: f64);
+
+    /// Like [`Scheduler::update`], with the batch's simulated-cycle cost
+    /// attached. Cost-aware schedulers ([`Ucb1`] with cost normalisation)
+    /// override this; the default forwards to `update` and drops the
+    /// cost. The campaign loop always calls this variant.
+    fn update_costed(&mut self, arm: usize, reward: f64, cycles: u64) {
+        let _ = cycles;
+        self.update(arm, reward);
+    }
 
     /// Exports the scheduler's accumulated state for a campaign snapshot.
     fn export_state(&self) -> SchedulerState;
@@ -126,6 +138,7 @@ impl Scheduler for RoundRobin {
 struct ArmStats {
     pulls: usize,
     total_reward: f64,
+    cycles: u64,
 }
 
 impl ArmStats {
@@ -218,12 +231,17 @@ impl Scheduler for EpsilonGreedy {
     }
 
     fn update(&mut self, arm: usize, reward: f64) {
+        self.update_costed(arm, reward, 0);
+    }
+
+    fn update_costed(&mut self, arm: usize, reward: f64, cycles: u64) {
         assert!(!reward.is_nan(), "NaN reward");
         if self.arms.len() <= arm {
             self.arms.resize(arm + 1, ArmStats::default());
         }
         self.arms[arm].pulls += 1;
         self.arms[arm].total_reward += reward;
+        self.arms[arm].cycles += cycles;
     }
 
     fn export_state(&self) -> SchedulerState {
@@ -235,7 +253,11 @@ impl Scheduler for EpsilonGreedy {
             arms: self
                 .arms
                 .iter()
-                .map(|a| ArmState { pulls: a.pulls as u64, total_reward: a.total_reward })
+                .map(|a| ArmState {
+                    pulls: a.pulls as u64,
+                    total_reward: a.total_reward,
+                    cycles: a.cycles,
+                })
                 .collect(),
         }
     }
@@ -248,7 +270,159 @@ impl Scheduler for EpsilonGreedy {
         self.arms = state
             .arms
             .iter()
-            .map(|a| ArmStats { pulls: a.pulls as usize, total_reward: a.total_reward })
+            .map(|a| ArmStats {
+                pulls: a.pulls as usize,
+                total_reward: a.total_reward,
+                cycles: a.cycles,
+            })
+            .collect();
+    }
+}
+
+/// UCB1 bandit: deterministic optimism-under-uncertainty over the
+/// incremental-coverage reward. Each pick maximises
+/// `mean + c·sqrt(ln(total_pulls) / pulls)`, with every arm pulled once
+/// first (lowest index first). Needs no RNG, so resume-exactness reduces
+/// to restoring the arm statistics.
+///
+/// With [`Ucb1::cost_normalised`], the exploitation term becomes reward
+/// *per simulated kilocycle* instead of per batch — a generator whose
+/// long-running tests buy the same coverage as a cheap generator's short
+/// tests loses the comparison, which is the right call when the budget
+/// is simulator time rather than test count (the cycle costs arrive via
+/// [`Scheduler::update_costed`]).
+#[derive(Debug)]
+pub struct Ucb1 {
+    c: f64,
+    cost_normalised: bool,
+    total_pulls: u64,
+    arms: Vec<ArmStats>,
+}
+
+/// Cycles per cost unit for [`Ucb1::cost_normalised`] (rewards become
+/// "new bins per test per kilocycle", keeping the magnitudes near the
+/// plain per-test rewards).
+const UCB_COST_UNIT: f64 = 1000.0;
+
+impl Ucb1 {
+    /// Creates the bandit with exploration constant `c` (the classic
+    /// UCB1 uses `sqrt(2)`; larger explores more).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is negative or not finite.
+    pub fn new(c: f64) -> Ucb1 {
+        assert!(c.is_finite() && c >= 0.0, "UCB exploration constant out of range: {c}");
+        Ucb1 { c, cost_normalised: false, total_pulls: 0, arms: Vec::new() }
+    }
+
+    /// Normalises each arm's exploitation term by its simulated-cycle
+    /// cost (reward per kilocycle) instead of per batch.
+    pub fn cost_normalised(mut self) -> Ucb1 {
+        self.cost_normalised = true;
+        self
+    }
+
+    /// The exploitation (mean) term of one arm.
+    fn exploit(&self, a: &ArmStats) -> f64 {
+        if a.pulls == 0 {
+            return f64::INFINITY;
+        }
+        if self.cost_normalised {
+            // Reward per kilocycle; an arm that somehow reported zero
+            // cost falls back to the per-pull mean rather than dividing
+            // by zero.
+            if a.cycles == 0 {
+                a.total_reward / a.pulls as f64
+            } else {
+                a.total_reward * UCB_COST_UNIT / a.cycles as f64
+            }
+        } else {
+            a.total_reward / a.pulls as f64
+        }
+    }
+
+    /// The full UCB score of one arm.
+    fn score(&self, a: &ArmStats) -> f64 {
+        if a.pulls == 0 {
+            return f64::INFINITY;
+        }
+        let bonus = self.c * ((self.total_pulls.max(1) as f64).ln() / a.pulls as f64).sqrt();
+        self.exploit(a) + bonus
+    }
+}
+
+impl Scheduler for Ucb1 {
+    fn name(&self) -> &str {
+        if self.cost_normalised {
+            "ucb1-cost"
+        } else {
+            "ucb1"
+        }
+    }
+
+    fn pick(&mut self, arms: usize) -> usize {
+        assert!(arms > 0, "no generators to schedule");
+        if self.arms.len() < arms {
+            self.arms.resize(arms, ArmStats::default());
+        }
+        // Highest score wins; unpulled arms score +inf; the lowest index
+        // breaks ties so the decision sequence is fully deterministic.
+        (0..arms)
+            .max_by(|&a, &b| {
+                self.score(&self.arms[a])
+                    .partial_cmp(&self.score(&self.arms[b]))
+                    .expect("UCB scores are never NaN")
+                    .then(b.cmp(&a))
+            })
+            .expect("arms > 0")
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        self.update_costed(arm, reward, 0);
+    }
+
+    fn update_costed(&mut self, arm: usize, reward: f64, cycles: u64) {
+        assert!(!reward.is_nan(), "NaN reward");
+        if self.arms.len() <= arm {
+            self.arms.resize(arm + 1, ArmStats::default());
+        }
+        self.total_pulls += 1;
+        self.arms[arm].pulls += 1;
+        self.arms[arm].total_reward += reward;
+        self.arms[arm].cycles += cycles;
+    }
+
+    fn export_state(&self) -> SchedulerState {
+        SchedulerState {
+            scheduler: self.name().to_string(),
+            // UCB1 keeps no RNG and no epsilon; the total pull count
+            // rides in `cursor`.
+            cursor: self.total_pulls,
+            arms: self
+                .arms
+                .iter()
+                .map(|a| ArmState {
+                    pulls: a.pulls as u64,
+                    total_reward: a.total_reward,
+                    cycles: a.cycles,
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    fn import_state(&mut self, state: &SchedulerState) {
+        assert_eq!(state.scheduler, self.name(), "scheduler state kind mismatch");
+        self.total_pulls = state.cursor;
+        self.arms = state
+            .arms
+            .iter()
+            .map(|a| ArmStats {
+                pulls: a.pulls as usize,
+                total_reward: a.total_reward,
+                cycles: a.cycles,
+            })
             .collect();
     }
 }
@@ -343,6 +517,118 @@ mod tests {
             restored.update(b, (i % 5) as f64);
         }
         assert_eq!(eg.export_state(), restored.export_state());
+    }
+
+    #[test]
+    fn ucb1_tries_every_arm_then_exploits_the_payer() {
+        let mut ucb = Ucb1::new(0.1);
+        let first: Vec<usize> = (0..3)
+            .map(|_| {
+                let arm = ucb.pick(3);
+                ucb.update(arm, if arm == 2 { 3.0 } else { 0.0 });
+                arm
+            })
+            .collect();
+        assert_eq!(first, vec![0, 1, 2], "one exploratory pull per arm, in index order");
+        let mut wins = 0;
+        for _ in 0..20 {
+            let arm = ucb.pick(3);
+            if arm == 2 {
+                wins += 1;
+            }
+            ucb.update(arm, if arm == 2 { 3.0 } else { 0.0 });
+        }
+        assert!(wins >= 15, "UCB1 concentrates on the paying arm (got {wins}/20)");
+    }
+
+    #[test]
+    fn ucb1_optimism_revisits_starved_arms() {
+        // A large exploration constant forces periodic revisits even of a
+        // zero-reward arm.
+        let mut ucb = Ucb1::new(10.0);
+        let mut seen = [false; 3];
+        for _ in 0..30 {
+            let arm = ucb.pick(3);
+            seen[arm] = true;
+            ucb.update(arm, if arm == 0 { 1.0 } else { 0.0 });
+        }
+        assert!(seen.iter().all(|&s| s), "exploration bonus reaches every arm: {seen:?}");
+    }
+
+    #[test]
+    fn ucb1_cost_normalisation_prefers_the_cheap_arm() {
+        // Equal reward per batch, but arm 0 spends 10× the cycles; the
+        // cost-normalised bandit must concentrate on arm 1.
+        let mut ucb = Ucb1::new(0.05).cost_normalised();
+        for _ in 0..4 {
+            let arm = ucb.pick(2);
+            ucb.update_costed(arm, 1.0, if arm == 0 { 10_000 } else { 1_000 });
+        }
+        let mut cheap = 0;
+        for _ in 0..20 {
+            let arm = ucb.pick(2);
+            if arm == 1 {
+                cheap += 1;
+            }
+            ucb.update_costed(arm, 1.0, if arm == 0 { 10_000 } else { 1_000 });
+        }
+        assert!(cheap >= 15, "cost normalisation favours the cheap arm (got {cheap}/20)");
+
+        // The plain bandit sees the two arms as identical and (with ties
+        // broken by index) keeps pulling arm 0.
+        let mut plain = Ucb1::new(0.0);
+        for _ in 0..2 {
+            let arm = plain.pick(2);
+            plain.update_costed(arm, 1.0, if arm == 0 { 10_000 } else { 1_000 });
+        }
+        assert_eq!(plain.pick(2), 0, "without cost normalisation the tie goes to index order");
+    }
+
+    #[test]
+    fn ucb1_state_round_trips_mid_stream() {
+        let mut ucb = Ucb1::new(1.5).cost_normalised();
+        for i in 0..20 {
+            let arm = ucb.pick(3);
+            ucb.update_costed(arm, (i % 4) as f64, 100 + i);
+        }
+        let state = ucb.export_state();
+        assert_eq!(state.scheduler, "ucb1-cost");
+        assert_eq!(state.cursor, 20, "total pulls ride in cursor");
+        assert_eq!(state.arms.iter().map(|a| a.pulls).sum::<u64>(), 20);
+        assert!(state.arms.iter().any(|a| a.cycles > 0), "cycle costs exported");
+
+        // Rebuild with the same constructor parameters, import, and the
+        // (deterministic) decision stream must continue identically.
+        let mut restored = Ucb1::new(1.5).cost_normalised();
+        restored.import_state(&state);
+        for i in 0..50u64 {
+            let a = ucb.pick(3);
+            let b = restored.pick(3);
+            assert_eq!(a, b, "pick {i} diverged after state import");
+            ucb.update_costed(a, (i % 5) as f64, 50 + i);
+            restored.update_costed(b, (i % 5) as f64, 50 + i);
+        }
+        assert_eq!(ucb.export_state(), restored.export_state());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler state kind mismatch")]
+    fn ucb1_import_rejects_cost_variant_mismatch() {
+        let state = Ucb1::new(1.0).export_state();
+        Ucb1::new(1.0).cost_normalised().import_state(&state);
+    }
+
+    #[test]
+    fn update_costed_accumulates_cycles_in_epsilon_greedy_state() {
+        let mut eg = EpsilonGreedy::new(1, 0.0);
+        let arm = eg.pick(2);
+        eg.update_costed(arm, 1.0, 500);
+        eg.update_costed(arm, 1.0, 700);
+        let state = eg.export_state();
+        assert_eq!(state.arms[arm].cycles, 1200);
+        let mut restored = EpsilonGreedy::new(1, 0.0);
+        restored.import_state(&state);
+        assert_eq!(restored.export_state(), state);
     }
 
     #[test]

@@ -12,10 +12,20 @@
 //!    multi-worker;
 //! 3. **sharded** — in-process sharding over the campaign loop.
 //!
+//! It also tracks the **evolve arm's time-to-coverage**: a random-only
+//! campaign runs to the budget and sets the plateau target, then the
+//! same-seed campaign with the evolutionary-corpus arm (scheduled by a
+//! cost-normalised UCB1 bandit) runs the same budget, and the JSON
+//! records how many tests each needed to reach that coverage. Both runs
+//! are deterministic per seed, so the comparison is a gateable fact, not
+//! a timing.
+//!
 //! Writes `BENCH_throughput.json` (repo root by default) so every PR
 //! carries a perf trajectory. `--smoke` shrinks budgets for CI; `--check`
 //! fails the run if the optimised per-test path on Rocket is not at least
-//! 2× the naive baseline (the PR-3 acceptance bar).
+//! 2× the naive baseline (the PR-3 acceptance bar), or if the evolve-arm
+//! campaign fails to reach the random plateau in fewer tests (the PR-4
+//! bar).
 //!
 //! ```text
 //! throughput [--smoke] [--check] [--out PATH]
@@ -27,8 +37,9 @@ use std::time::Instant;
 use chatfuzz::campaign::{CampaignBuilder, StopCondition};
 use chatfuzz::harness::{wrap, HarnessConfig, PrecompiledHarness};
 use chatfuzz::shard::{InProcessRunner, ShardedCampaign};
-use chatfuzz_baselines::{InputGenerator, RandomRegression};
+use chatfuzz_baselines::{InputGenerator, RandomRegression, Ucb1};
 use chatfuzz_bench::{boom_factory, print_table, rocket_factory};
+use chatfuzz_evolve::{EvolveConfig, EvolveGenerator};
 use chatfuzz_rtl::{Dut, DutRun};
 use chatfuzz_softcore::trace::Trace;
 use chatfuzz_softcore::{Hart, Memory, SoftCore, SoftCoreConfig, SoftCoreRunner};
@@ -175,6 +186,49 @@ fn sharded_throughput(shards: usize, tests_per_shard: usize) -> Measure {
     }
 }
 
+/// The evolve-arm time-to-coverage comparison (deterministic per seed).
+struct EvolveComparison {
+    budget: usize,
+    plateau_pct: f64,
+    random_tests: usize,
+    evolve_tests: Option<usize>,
+    evolve_final_pct: f64,
+}
+
+/// Runs the random-only campaign to `budget` tests, takes its final
+/// (plateau) coverage as the target, then runs the same-seed campaign
+/// with the evolutionary arm added (cost-normalised UCB1 over the two
+/// arms) and reports how many tests each needed to reach the target.
+fn evolve_comparison(budget: usize) -> EvolveComparison {
+    let seed = 5;
+    let random = CampaignBuilder::from_factory(rocket_factory())
+        .batch_size(32)
+        .workers(4)
+        .generator(RandomRegression::new(seed, 16))
+        .build()
+        .run_until(&[StopCondition::Tests(budget)]);
+    let plateau_pct = random.final_coverage_pct;
+    let random_tests =
+        random.tests_to_reach(plateau_pct).expect("random reaches its own final coverage");
+
+    let evolve = CampaignBuilder::from_factory(rocket_factory())
+        .batch_size(32)
+        .workers(4)
+        .generator(RandomRegression::new(seed, 16))
+        .generator(EvolveGenerator::new(EvolveConfig { seed, ..Default::default() }))
+        .scheduler(Ucb1::new(0.5).cost_normalised())
+        .build()
+        .run_until(&[StopCondition::Tests(budget)]);
+
+    EvolveComparison {
+        budget,
+        plateau_pct,
+        random_tests,
+        evolve_tests: evolve.tests_to_reach(plateau_pct),
+        evolve_final_pct: evolve.final_coverage_pct,
+    }
+}
+
 fn main() {
     let args = parse_args();
     let (hot_tests, reps, campaign_tests, shard_tests) =
@@ -210,6 +264,7 @@ fn main() {
     let rocket_w4 = campaign_throughput(&rocket_factory(), 4, campaign_tests);
     let boom_w4 = campaign_throughput(&boom_factory(), 4, campaign_tests);
     let sharded = sharded_throughput(4, shard_tests);
+    let evolve = evolve_comparison(campaign_tests);
 
     let rocket_speedup = rocket_hot.tests_per_sec / rocket_naive.tests_per_sec;
     let boom_speedup = boom_hot.tests_per_sec / boom_naive.tests_per_sec;
@@ -236,10 +291,24 @@ fn main() {
         ],
     );
     println!("rocket per-test speedup: {rocket_speedup:.2}x, boom: {boom_speedup:.2}x");
+    match evolve.evolve_tests {
+        Some(tests) => println!(
+            "evolve arm reached the random plateau ({:.2}%) in {tests} tests vs random's {} \
+             ({:.1}x fewer); evolve final {:.2}%",
+            evolve.plateau_pct,
+            evolve.random_tests,
+            evolve.random_tests as f64 / tests as f64,
+            evolve.evolve_final_pct,
+        ),
+        None => println!(
+            "evolve arm did NOT reach the random plateau ({:.2}%) within {} tests",
+            evolve.plateau_pct, evolve.budget
+        ),
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"schema\": 2,");
     let _ = writeln!(json, "  \"mode\": \"{}\",", if args.smoke { "smoke" } else { "full" });
     let _ = writeln!(json, "  \"per_test_hot_path\": {{");
     let pair =
@@ -269,6 +338,26 @@ fn main() {
     camp(&mut json, "rocket_workers_4", campaign_tests, &rocket_w4, false);
     camp(&mut json, "boom_workers_4", campaign_tests, &boom_w4, false);
     camp(&mut json, "rocket_sharded_4x2", 4 * shard_tests, &sharded, true);
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"evolve_time_to_coverage\": {{");
+    let _ = writeln!(json, "    \"budget\": {},", evolve.budget);
+    let _ = writeln!(json, "    \"plateau_pct\": {:.4},", evolve.plateau_pct);
+    let _ = writeln!(json, "    \"random_tests_to_plateau\": {},", evolve.random_tests);
+    match evolve.evolve_tests {
+        Some(tests) => {
+            let _ = writeln!(json, "    \"evolve_tests_to_plateau\": {tests},");
+            let _ = writeln!(
+                json,
+                "    \"tests_saved_factor\": {:.3},",
+                evolve.random_tests as f64 / tests as f64
+            );
+        }
+        None => {
+            let _ = writeln!(json, "    \"evolve_tests_to_plateau\": null,");
+            let _ = writeln!(json, "    \"tests_saved_factor\": null,");
+        }
+    }
+    let _ = writeln!(json, "    \"evolve_final_pct\": {:.4}", evolve.evolve_final_pct);
     json.push_str("  }\n}\n");
 
     std::fs::write(&args.out, &json).expect("write BENCH_throughput.json");
@@ -279,6 +368,19 @@ fn main() {
             rocket_speedup >= 2.0,
             "PR-3 acceptance: optimised Rocket hot path must be ≥ 2× the naive \
              baseline (got {rocket_speedup:.2}x)"
+        );
+        let evolve_tests = evolve.evolve_tests.unwrap_or_else(|| {
+            panic!(
+                "PR-4 acceptance: the evolve-arm campaign never reached the random \
+                 plateau ({:.2}%) within {} tests",
+                evolve.plateau_pct, evolve.budget
+            )
+        });
+        assert!(
+            evolve_tests < evolve.random_tests,
+            "PR-4 acceptance: the evolve-arm campaign must reach the random plateau \
+             in fewer tests (evolve {evolve_tests}, random {})",
+            evolve.random_tests
         );
     }
 }

@@ -24,11 +24,14 @@
 //! coverage and mismatch state, persist to disk via [`crate::persist`],
 //! and scale horizontally via [`crate::shard`].
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use chatfuzz_baselines::{Feedback, InputGenerator, RoundRobin, Scheduler, SchedulerState};
+use chatfuzz_baselines::{
+    CorpusState, Feedback, InputGenerator, RoundRobin, Scheduler, SchedulerState,
+};
 use chatfuzz_coverage::{Calculator, CovMap, PointKind, Space};
 use chatfuzz_rtl::{Dut, DutRun};
 use chatfuzz_softcore::trace::Trace;
@@ -239,12 +242,16 @@ impl CampaignReport {
 ///
 /// Scheduler state *is* captured ([`SchedulerState`]) and restored by
 /// [`CampaignBuilder::resume`], so bandit arm statistics survive a
-/// checkpoint. Generator internal state is not — trait objects carry
-/// arbitrary state; rebuild the generators (deterministic ones replay
-/// from their seed) and hand the snapshot to the builder. The rebuilt
-/// generator line-up must match the snapshot's (same names, same order),
-/// and the rebuilt scheduler must be the same kind constructed with the
-/// same parameters.
+/// checkpoint. So is every generator's evolutionary corpus
+/// ([`CorpusState`], via `InputGenerator::export_corpus`/`import_corpus`)
+/// — retained seeds, pick counters, and the mutation RNG stream continue
+/// bit-for-bit. Other generator-internal state is not — trait objects
+/// carry arbitrary state; rebuild the generators (deterministic ones
+/// replay from their seed, corpus-carrying ones are restored by the
+/// import) and hand the snapshot to the builder. The rebuilt generator
+/// line-up must match the snapshot's (same names, same order), and the
+/// rebuilt scheduler must be the same kind constructed with the same
+/// parameters.
 #[derive(Debug, Clone)]
 pub struct CampaignSnapshot {
     pub(crate) dut: String,
@@ -253,6 +260,9 @@ pub struct CampaignSnapshot {
     pub(crate) history: Vec<CoveragePoint>,
     pub(crate) gen_stats: Vec<GeneratorStats>,
     pub(crate) scheduler: SchedulerState,
+    /// Per-generator evolutionary corpus state, aligned with
+    /// `gen_stats`; `None` for corpus-free generators.
+    pub(crate) corpora: Vec<Option<CorpusState>>,
     pub(crate) tests_run: usize,
     pub(crate) batches_run: usize,
     pub(crate) total_cycles: u64,
@@ -295,6 +305,13 @@ impl CampaignSnapshot {
     /// Scheduler state at the checkpoint.
     pub fn scheduler_state(&self) -> &SchedulerState {
         &self.scheduler
+    }
+
+    /// Per-generator evolutionary corpus state at the checkpoint,
+    /// aligned with the generator line-up (`None` for generators that
+    /// keep no corpus).
+    pub fn corpora(&self) -> &[Option<CorpusState>] {
+        &self.corpora
     }
 
     /// Renders the checkpoint as a [`CampaignReport`] — the same view
@@ -377,6 +394,7 @@ pub struct CampaignBuilder<'g> {
     scheduler: Box<dyn Scheduler + 'g>,
     observers: Vec<Box<dyn CampaignObserver + 'g>>,
     resume_from: Option<CampaignSnapshot>,
+    auto_checkpoint: Option<(PathBuf, usize)>,
 }
 
 impl<'g> CampaignBuilder<'g> {
@@ -394,6 +412,7 @@ impl<'g> CampaignBuilder<'g> {
             scheduler: Box::new(RoundRobin::new()),
             observers: Vec::new(),
             resume_from: None,
+            auto_checkpoint: None,
         }
     }
 
@@ -467,6 +486,24 @@ impl<'g> CampaignBuilder<'g> {
         self
     }
 
+    /// Checkpoints the campaign to `path` every `every_batches` batches
+    /// during [`Campaign::run_until`], through the atomic temp+rename
+    /// writer in [`crate::persist`] — so long runs are durable without a
+    /// caller-driven `step_batch` loop. Each checkpoint is a mid-run
+    /// snapshot (no end-of-session history point), exactly what
+    /// [`CampaignBuilder::resume`] expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_batches == 0`. `run_until` panics if a
+    /// checkpoint write fails — a durability guarantee that silently
+    /// stopped holding is worse than a dead campaign.
+    pub fn auto_checkpoint(mut self, path: impl Into<PathBuf>, every_batches: usize) -> Self {
+        assert!(every_batches > 0, "checkpoint cadence must be positive");
+        self.auto_checkpoint = Some((path.into(), every_batches));
+        self
+    }
+
     /// Probes the DUT, restores or initialises state, and spawns the
     /// worker pool.
     ///
@@ -537,6 +574,22 @@ impl<'g> CampaignBuilder<'g> {
                     self.generators.len()
                 );
                 self.scheduler.import_state(&snapshot.scheduler);
+                // Restore each generator's evolutionary corpus (retained
+                // seeds + mutation RNG stream). The line-up already
+                // matched by name; the corpora vector is aligned with it.
+                assert_eq!(
+                    snapshot.corpora.len(),
+                    self.generators.len(),
+                    "resume snapshot carries corpus state for {} generators but the \
+                     line-up has {}",
+                    snapshot.corpora.len(),
+                    self.generators.len()
+                );
+                for (generator, corpus) in self.generators.iter_mut().zip(&snapshot.corpora) {
+                    if let Some(state) = corpus {
+                        generator.import_corpus(state);
+                    }
+                }
                 (
                     snapshot.calculator,
                     snapshot.log,
@@ -608,6 +661,7 @@ impl<'g> CampaignBuilder<'g> {
             space,
             image_pool: Vec::new(),
             scratch_pool: Vec::new(),
+            auto_checkpoint: self.auto_checkpoint,
             cfg: self.cfg,
             dut_name,
             generators: self.generators,
@@ -645,6 +699,8 @@ pub struct Campaign<'g> {
     image_pool: Vec<Vec<u8>>,
     /// Recycled per-test result buffers.
     scratch_pool: Vec<Scratch>,
+    /// Periodic durable checkpoints during `run_until` (path, cadence).
+    auto_checkpoint: Option<(PathBuf, usize)>,
     dut_name: String,
     generators: Vec<Box<dyn InputGenerator + 'g>>,
     gen_stats: Vec<GeneratorStats>,
@@ -740,12 +796,19 @@ impl<'g> Campaign<'g> {
         let raw_before = self.log.raw_count();
         let mut mux: Vec<usize> = Vec::with_capacity(n);
         let mut cycles_at: Vec<u64> = Vec::with_capacity(n);
+        let mut fingerprints: Vec<u64> = Vec::with_capacity(n);
+        let mut mismatched: Vec<bool> = Vec::with_capacity(n);
         for JobResult { run, golden, ran_golden, .. } in &results {
             self.total_cycles += run.cycles;
             cycles_at.push(self.total_cycles);
             mux.push(run.coverage.covered_bins_of_kind(PointKind::MuxSelect));
+            fingerprints.push(run.coverage.content_hash());
             if *ran_golden {
-                self.log.record(diff_traces(golden, &run.trace));
+                let diffs = diff_traces(golden, &run.trace);
+                mismatched.push(!diffs.is_empty());
+                self.log.record(diffs);
+            } else {
+                mismatched.push(false);
             }
         }
 
@@ -758,13 +821,15 @@ impl<'g> Campaign<'g> {
         let feedback: Vec<Feedback> = scores
             .inputs
             .iter()
-            .zip(&mux)
-            .map(|(s, m)| Feedback {
+            .enumerate()
+            .map(|(i, s)| Feedback {
                 standalone: s.standalone,
                 incremental: s.incremental,
-                mux_covered: *m,
+                mux_covered: mux[i],
                 total_after: s.total_after,
                 total_bins: s.total_bins,
+                cov_fingerprint: fingerprints[i],
+                mismatched: mismatched[i],
             })
             .collect();
         self.generators[arm].observe(&batch, &feedback);
@@ -792,8 +857,14 @@ impl<'g> Campaign<'g> {
         } else {
             self.batches_since_gain += 1;
         }
-        // MABFuzz-style reward: incremental coverage per test.
-        self.scheduler.update(arm, scores.batch_gain as f64 / n as f64);
+        // MABFuzz-style reward: incremental coverage per test, with the
+        // batch's simulated-cycle cost attached for cost-normalising
+        // schedulers (plain ones drop it).
+        self.scheduler.update_costed(
+            arm,
+            scores.batch_gain as f64 / n as f64,
+            self.total_cycles - cycles_before,
+        );
         let stats = &mut self.gen_stats[arm];
         stats.batches += 1;
         stats.tests += n;
@@ -824,12 +895,14 @@ impl<'g> Campaign<'g> {
 
     /// Runs batches until any stop condition triggers, then returns the
     /// report. Resumable: call again with new conditions to continue the
-    /// same session.
+    /// same session. With [`CampaignBuilder::auto_checkpoint`], a durable
+    /// snapshot lands on disk every N batches along the way.
     ///
     /// # Panics
     ///
     /// Panics if `stops` is empty or contains the unsatisfiable
-    /// `Plateau(0)` (either way the campaign could never return).
+    /// `Plateau(0)` (either way the campaign could never return), or if
+    /// an auto-checkpoint write fails.
     pub fn run_until(&mut self, stops: &[StopCondition]) -> CampaignReport {
         assert!(!stops.is_empty(), "no stop condition — the campaign would never end");
         assert!(
@@ -844,6 +917,16 @@ impl<'g> Campaign<'g> {
             }
             let n = self.next_batch_size(stops);
             self.step_batch_of(n);
+            // Periodic durable checkpoint (atomic temp+rename): taken
+            // *before* the session endpoint is pushed, so a resumed
+            // campaign continues from a mid-run state exactly like the
+            // caller-driven `step_batch` + `snapshot` pattern.
+            if let Some((path, every)) = &self.auto_checkpoint {
+                if self.batches_run.is_multiple_of(*every) {
+                    crate::persist::save_snapshot(path, &self.snapshot())
+                        .unwrap_or_else(|e| panic!("auto-checkpoint write failed: {e}"));
+                }
+            }
         }
         self.push_endpoint();
         self.report()
@@ -922,6 +1005,7 @@ impl<'g> Campaign<'g> {
             history: self.history.clone(),
             gen_stats: self.gen_stats.clone(),
             scheduler: self.scheduler.export_state(),
+            corpora: self.generators.iter().map(|g| g.export_corpus()).collect(),
             tests_run: self.tests_run,
             batches_run: self.batches_run,
             total_cycles: self.total_cycles,
@@ -1218,6 +1302,105 @@ mod tests {
     fn run_until_rejects_unsatisfiable_plateau() {
         let mut campaign = small_builder().generator(RandomRegression::new(5, 16)).build();
         campaign.run_until(&[StopCondition::Plateau(0)]);
+    }
+
+    #[test]
+    fn auto_checkpoint_writes_at_the_cadence_and_resumes_exactly() {
+        let dir = std::env::temp_dir().join(format!("chatfuzz-autockpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("auto.json");
+
+        // Cadence 2: after 4 batches of 16 the file holds batch 4's
+        // state; run_until(Tests(64)) stops right there.
+        let mut campaign = CampaignBuilder::from_factory(rocket_factory(BugConfig::all_on()))
+            .batch_size(16)
+            .workers(2)
+            .generator(RandomRegression::new(5, 16))
+            .auto_checkpoint(&path, 2)
+            .build();
+        let expected = campaign.run_until(&[StopCondition::Tests(64)]);
+        drop(campaign);
+
+        let space = rocket_factory(BugConfig::all_on())().space().clone();
+        let snapshot = crate::persist::load_snapshot(&path, &space).expect("checkpoint exists");
+        assert_eq!(snapshot.tests_run(), 64, "last cadence checkpoint covers the whole run");
+        assert_eq!(snapshot.batches_run(), 4);
+
+        // The checkpoint is a valid resume point: continuing from it
+        // matches continuing the live session.
+        let mut replayed = RandomRegression::new(5, 16);
+        let _ = replayed.next_batch(64);
+        let mut resumed = CampaignBuilder::from_factory(rocket_factory(BugConfig::all_on()))
+            .batch_size(16)
+            .workers(2)
+            .generator(replayed)
+            .resume(snapshot)
+            .build();
+        let report = resumed.run_until(&[StopCondition::Tests(96)]);
+        assert_eq!(report.tests_run, 96);
+        assert!(report.final_coverage_pct >= expected.final_coverage_pct);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint cadence must be positive")]
+    fn auto_checkpoint_rejects_zero_cadence() {
+        let _ = small_builder().auto_checkpoint("never.json", 0);
+    }
+
+    #[test]
+    fn snapshot_carries_no_corpora_for_corpus_free_generators() {
+        let mut campaign = small_builder().generator(RandomRegression::new(5, 16)).build();
+        campaign.step_batch();
+        let snapshot = campaign.snapshot();
+        assert_eq!(snapshot.corpora().len(), 1);
+        assert!(snapshot.corpora()[0].is_none());
+    }
+
+    #[test]
+    fn feedback_carries_fingerprints_and_mismatch_flags() {
+        use std::sync::{Arc as StdArc, Mutex};
+        let seen: StdArc<Mutex<Vec<Feedback>>> = StdArc::new(Mutex::new(Vec::new()));
+
+        struct Probe {
+            inner: RandomRegression,
+            sink: StdArc<Mutex<Vec<Feedback>>>,
+        }
+        impl InputGenerator for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn next_batch(&mut self, n: usize) -> Vec<Vec<u8>> {
+                self.inner.next_batch(n)
+            }
+            fn observe(&mut self, _batch: &[Vec<u8>], feedback: &[Feedback]) {
+                self.sink.lock().unwrap().extend_from_slice(feedback);
+            }
+        }
+
+        let mut campaign = CampaignBuilder::from_factory(rocket_factory(BugConfig::all_on()))
+            .batch_size(16)
+            .workers(2)
+            .generator(Probe { inner: RandomRegression::new(5, 16), sink: StdArc::clone(&seen) })
+            .build();
+        campaign.run_until(&[StopCondition::Tests(64)]);
+
+        let feedback = seen.lock().unwrap().clone();
+        assert_eq!(feedback.len(), 64);
+        // Every input ran something, so every standalone coverage set is
+        // non-empty and fingerprinted.
+        assert!(feedback.iter().all(|f| f.cov_fingerprint != 0));
+        // Identical coverage sets share a fingerprint; the batch is not
+        // all-identical.
+        let unique: std::collections::HashSet<u64> =
+            feedback.iter().map(|f| f.cov_fingerprint).collect();
+        assert!(unique.len() > 1, "fingerprints distinguish coverage sets");
+        // A buggy Rocket under random fuzzing raises mismatches; the
+        // flags must agree with the campaign's raw count in sum.
+        let report = campaign.report();
+        let flagged = feedback.iter().filter(|f| f.mismatched).count();
+        assert!(flagged > 0, "buggy DUT flags mismatching inputs");
+        assert!(report.raw_mismatches >= flagged, "flags never exceed recorded mismatches");
     }
 
     #[test]

@@ -11,15 +11,20 @@
 //!
 //! * [`campaign`] — the fuzzing loop as a resumable session:
 //!   [`CampaignBuilder`] → [`Campaign`] with `step_batch`/`run_until`,
-//!   stop conditions, per-batch observers, snapshot/resume, and
-//!   multi-generator scheduling (round-robin or the MABFuzz-style
-//!   epsilon-greedy bandit from `chatfuzz_baselines::schedule`);
+//!   stop conditions, per-batch observers, snapshot/resume,
+//!   auto-checkpointing, and multi-generator scheduling (round-robin,
+//!   the MABFuzz-style epsilon-greedy bandit, or UCB1 with per-arm
+//!   cycle-cost normalisation, all from `chatfuzz_baselines::schedule`).
+//!   Per-input feedback carries coverage fingerprints and mismatch
+//!   flags, closing the loop for the evolutionary corpus arm in
+//!   `chatfuzz_evolve`;
 //! * [`persist`] — versioned on-disk JSON serialisation of
 //!   [`CampaignSnapshot`], so long campaigns survive their process and
 //!   resume elsewhere;
 //! * [`shard`] — horizontal scaling: split one campaign into N shard
 //!   sub-campaigns with disjoint RNG streams (in-process or spawned
-//!   sub-processes) and merge the results;
+//!   sub-processes) and merge the results — coverage maps union,
+//!   evolutionary corpora pool as a fingerprint-deduped union;
 //! * [`pipeline`] — the three-step training pipeline (paper Fig. 1b);
 //! * [`generator`] — the LLM-based Input Generator with online
 //!   coverage-reward training (paper Fig. 1a), plus the n-gram ablation;

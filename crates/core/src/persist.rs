@@ -24,7 +24,8 @@
 //! | `coverage` | cumulative + previous-batch bitmap words as hex blobs |
 //! | `history` | exact coverage-over-time points |
 //! | `generator_stats` | per-generator scheduling statistics |
-//! | `scheduler` | [`SchedulerState`]: kind, cursor, epsilon, RNG words, arms |
+//! | `scheduler` | [`SchedulerState`]: kind, cursor, epsilon, RNG words, arms (pulls, reward, cycle cost) |
+//! | `corpora` | per-generator [`CorpusState`] (or `null`): RNG words, discovery counter, seeds as hex word blobs with retention statistics |
 //! | `mismatch_log` | raw count, suppression filter, clusters with full examples |
 //!
 //! Coverage bitmaps are stored as lowercase hex, 16 characters per
@@ -45,7 +46,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
-use chatfuzz_baselines::{ArmState, SchedulerState};
+use chatfuzz_baselines::{ArmState, CorpusSeedState, CorpusState, SchedulerState};
 use chatfuzz_coverage::{Calculator, CovMap, Space};
 use chatfuzz_isa::{Exception, PrivLevel, Reg};
 use chatfuzz_softcore::trace::ExitReason;
@@ -57,7 +58,10 @@ use crate::report::JsonWriter;
 /// Version stamped into every snapshot document. Bump on any incompatible
 /// schema change; [`parse_snapshot`] rejects unknown versions with
 /// [`PersistError::SchemaVersion`] instead of misreading them.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the per-generator evolutionary `corpora` array and the
+/// per-arm `cycles` cost to scheduler state.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Why a snapshot could not be loaded.
 #[derive(Debug)]
@@ -184,10 +188,21 @@ pub fn snapshot_json(snapshot: &CampaignSnapshot) -> String {
         w.open('{');
         w.field_u64("pulls", arm.pulls);
         w.field_f64("total_reward", arm.total_reward);
+        w.field_u64("cycles", arm.cycles);
         w.close('}');
     }
     w.close(']');
     w.close('}');
+
+    w.key("corpora");
+    w.open('[');
+    for corpus in &snapshot.corpora {
+        match corpus {
+            None => w.value_raw("null"),
+            Some(c) => write_corpus(&mut w, c),
+        }
+    }
+    w.close(']');
 
     w.key("mismatch_log");
     w.open('{');
@@ -217,6 +232,33 @@ pub fn snapshot_json(snapshot: &CampaignSnapshot) -> String {
 
     w.close('}');
     w.finish()
+}
+
+fn write_corpus(w: &mut JsonWriter, c: &CorpusState) {
+    w.open('{');
+    w.field_str("generator", &c.generator);
+    w.key("rng_words");
+    w.open('[');
+    for &word in &c.rng_words {
+        w.value_u64(u64::from(word));
+    }
+    w.close(']');
+    w.field_u64("next_found_at", c.next_found_at);
+    w.key("seeds");
+    w.open('[');
+    for s in &c.seeds {
+        w.open('{');
+        w.field_str("words", &words32_to_hex(&s.words));
+        w.field_u64("fingerprint", s.fingerprint);
+        w.field_u64("new_bins", s.new_bins);
+        w.field_u64("mux_bins", s.mux_bins);
+        w.field_raw("mismatch", if s.mismatch { "true" } else { "false" });
+        w.field_u64("picks", s.picks);
+        w.field_u64("found_at", s.found_at);
+        w.close('}');
+    }
+    w.close(']');
+    w.close('}');
 }
 
 fn write_stop(w: &mut JsonWriter, key: &str, stop: Option<StopCondition>) {
@@ -367,28 +409,48 @@ fn write_exception(w: &mut JsonWriter, e: &Exception) {
     w.close('}');
 }
 
-fn words_to_hex(words: &[u64]) -> String {
+/// One fixed-width lowercase-hex blob codec serves both word widths:
+/// `u64` coverage-bitmap words (16 chars each) and `u32` instruction
+/// words (8 chars each).
+fn words_to_hex_width(words: impl Iterator<Item = u64>, digits: usize) -> String {
     use std::fmt::Write as _;
-    let mut out = String::with_capacity(words.len() * 16);
+    let mut out = String::new();
     for w in words {
-        let _ = write!(out, "{w:016x}");
+        let _ = write!(out, "{w:0digits$x}");
     }
     out
 }
 
-fn hex_to_words(hex: &str) -> Result<Vec<u64>> {
-    if !hex.len().is_multiple_of(16) {
-        return err(format!("coverage hex blob length {} is not a multiple of 16", hex.len()));
+fn hex_to_words_width(hex: &str, digits: usize, what: &str) -> Result<Vec<u64>> {
+    if !hex.len().is_multiple_of(digits) {
+        return err(format!("{what} hex blob length {} is not a multiple of {digits}", hex.len()));
     }
     hex.as_bytes()
-        .chunks(16)
+        .chunks(digits)
         .map(|chunk| {
             let s = std::str::from_utf8(chunk)
-                .map_err(|_| PersistError::Parse("coverage hex blob is not ASCII".to_string()))?;
+                .map_err(|_| PersistError::Parse(format!("{what} hex blob is not ASCII")))?;
             u64::from_str_radix(s, 16)
-                .map_err(|_| PersistError::Parse(format!("bad coverage hex word `{s}`")))
+                .map_err(|_| PersistError::Parse(format!("bad {what} hex word `{s}`")))
         })
         .collect()
+}
+
+fn words_to_hex(words: &[u64]) -> String {
+    words_to_hex_width(words.iter().copied(), 16)
+}
+
+fn hex_to_words(hex: &str) -> Result<Vec<u64>> {
+    hex_to_words_width(hex, 16, "coverage")
+}
+
+fn words32_to_hex(words: &[u32]) -> String {
+    words_to_hex_width(words.iter().map(|&w| u64::from(w)), 8)
+}
+
+fn hex_to_words32(hex: &str) -> Result<Vec<u32>> {
+    // 8 hex digits never exceed u32::MAX, so the narrowing is lossless.
+    Ok(hex_to_words_width(hex, 8, "instruction")?.into_iter().map(|w| w as u32).collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -766,6 +828,7 @@ pub fn parse_snapshot(text: &str, space: &Arc<Space>) -> Result<CampaignSnapshot
             Ok(ArmState {
                 pulls: a.get("pulls")?.as_u64("scheduler.arms.pulls")?,
                 total_reward: a.get("total_reward")?.as_f64("scheduler.arms.total_reward")?,
+                cycles: a.get("cycles")?.as_u64("scheduler.arms.cycles")?,
             })
         })
         .collect::<Result<Vec<_>>>()?;
@@ -776,6 +839,20 @@ pub fn parse_snapshot(text: &str, space: &Arc<Space>) -> Result<CampaignSnapshot
         rng_words,
         arms,
     };
+
+    let corpora = doc
+        .get("corpora")?
+        .as_arr("corpora")?
+        .iter()
+        .map(|c| if *c == Json::Null { Ok(None) } else { read_corpus(c).map(Some) })
+        .collect::<Result<Vec<_>>>()?;
+    if corpora.len() != gen_stats.len() {
+        return err(format!(
+            "corpora carries {} entries for {} generators",
+            corpora.len(),
+            gen_stats.len()
+        ));
+    }
 
     let log_doc = doc.get("mismatch_log")?;
     let filter_doc = log_doc.get("filter")?;
@@ -823,12 +900,48 @@ pub fn parse_snapshot(text: &str, space: &Arc<Space>) -> Result<CampaignSnapshot
         history,
         gen_stats,
         scheduler,
+        corpora,
         tests_run: doc.get("tests_run")?.as_usize("tests_run")?,
         batches_run: doc.get("batches_run")?.as_usize("batches_run")?,
         total_cycles: doc.get("total_cycles")?.as_u64("total_cycles")?,
         batches_since_gain: doc.get("batches_since_gain")?.as_usize("batches_since_gain")?,
         wall: Duration::from_nanos(doc.get("wall_nanos")?.as_u64("wall_nanos")?),
         stopped_by: read_stop(doc.get("stopped_by")?)?,
+    })
+}
+
+fn read_corpus(value: &Json) -> Result<CorpusState> {
+    let rng_words = value
+        .get("rng_words")?
+        .as_arr("corpora.rng_words")?
+        .iter()
+        .map(|wrd| {
+            let v = wrd.as_u64("corpora.rng_words")?;
+            u32::try_from(v)
+                .map_err(|_| PersistError::Parse(format!("corpora.rng_words: {v} exceeds u32")))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let seeds = value
+        .get("seeds")?
+        .as_arr("corpora.seeds")?
+        .iter()
+        .map(|s| {
+            Ok(CorpusSeedState {
+                words: hex_to_words32(s.get("words")?.as_str("seeds.words")?)?,
+                fingerprint: s.get("fingerprint")?.as_u64("seeds.fingerprint")?,
+                new_bins: s.get("new_bins")?.as_u64("seeds.new_bins")?,
+                mux_bins: s.get("mux_bins")?.as_u64("seeds.mux_bins")?,
+                mismatch: s.get("mismatch")?.as_bool("seeds.mismatch")?,
+                picks: s.get("picks")?.as_u64("seeds.picks")?,
+                found_at: s.get("found_at")?.as_u64("seeds.found_at")?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(CorpusState {
+        generator: value.get("generator")?.as_str("corpora.generator")?.to_string(),
+        rng_words,
+        next_found_at: value.get("next_found_at")?.as_u64("corpora.next_found_at")?,
+        seeds,
     })
 }
 
@@ -1043,7 +1156,7 @@ mod tests {
         let snapshot = sample_snapshot();
         let space = factory()().space().clone();
         let doc =
-            snapshot_json(&snapshot).replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+            snapshot_json(&snapshot).replacen("\"schema_version\":2", "\"schema_version\":999", 1);
         match parse_snapshot(&doc, &space) {
             Err(PersistError::SchemaVersion { found: 999, supported }) => {
                 assert_eq!(supported, SCHEMA_VERSION);
@@ -1069,7 +1182,7 @@ mod tests {
     fn parse_rejects_corrupt_documents() {
         let space = factory()().space().clone();
         for bad in
-            ["", "{", "[1,2", "{\"schema_version\":1}", "{\"schema_version\":\"one\"}", "nullnull"]
+            ["", "{", "[1,2", "{\"schema_version\":2}", "{\"schema_version\":\"one\"}", "nullnull"]
         {
             assert!(parse_snapshot(bad, &space).is_err(), "accepted {bad:?}");
         }

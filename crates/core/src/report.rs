@@ -277,6 +277,12 @@ impl JsonWriter {
         let _ = write!(self.out, "{value}");
     }
 
+    /// A raw array element (e.g. `null` for an absent optional entry).
+    pub(crate) fn value_raw(&mut self, raw: &str) {
+        self.elem();
+        self.out.push_str(raw);
+    }
+
     pub(crate) fn mark_elem(&mut self) {
         if let Some(flag) = self.needs_comma.last_mut() {
             *flag = true;

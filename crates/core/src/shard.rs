@@ -377,6 +377,18 @@ impl ShardedOutcome {
                     "shard {i} generator line-up {theirs:?} differs from shard 0's {names:?}"
                 )));
             }
+            // Identical line-ups must agree on which arms carry a
+            // corpus, or the fingerprint-deduped union below has nothing
+            // sound to fold.
+            let corpus_shape =
+                |snap: &CampaignSnapshot| snap.corpora.iter().map(Option::is_some).collect();
+            let shape: Vec<bool> = corpus_shape(s);
+            if shape != corpus_shape(first) {
+                return Err(ShardError::Merge(format!(
+                    "shard {i} carries corpus state for a different set of generators \
+                     than shard 0"
+                )));
+            }
         }
         Ok(ShardedOutcome { snapshots })
     }
@@ -413,6 +425,26 @@ impl ShardedOutcome {
                 mine.tests += theirs.tests;
                 mine.new_bins += theirs.new_bins;
                 mine.cycles += theirs.cycles;
+            }
+            // Evolutionary corpora merge as a fingerprint-deduped union:
+            // shard 0's seeds keep their statistics, every later shard
+            // contributes only seeds with unseen coverage fingerprints,
+            // re-stamped with fresh discovery counters so ordering stays
+            // unique. Shard 0's RNG stream carries over, mirroring how
+            // the merged snapshot keeps shard 0's scheduler stream.
+            for (mine, theirs) in merged.corpora.iter_mut().zip(&s.corpora) {
+                let (Some(mine), Some(theirs)) = (mine.as_mut(), theirs.as_ref()) else {
+                    continue;
+                };
+                for seed in &theirs.seeds {
+                    if mine.seeds.iter().any(|k| k.fingerprint == seed.fingerprint) {
+                        continue;
+                    }
+                    let mut seed = seed.clone();
+                    seed.found_at = mine.next_found_at;
+                    mine.next_found_at += 1;
+                    mine.seeds.push(seed);
+                }
             }
             merged.tests_run += s.tests_run;
             merged.batches_run += s.batches_run;

@@ -169,6 +169,22 @@ impl CovMap {
         Some(CovMap { space: Arc::clone(space), words })
     }
 
+    /// A 64-bit FNV-1a-style hash of the bitmap contents — the *coverage
+    /// fingerprint* of one input's standalone coverage set. Two inputs
+    /// with identical fingerprints exercised the same bin set (modulo
+    /// hash collisions), which is what the evolutionary corpus dedupes
+    /// on. Stable across processes and platforms (pure integer folding
+    /// over [`CovMap::words`]), and cheap enough for the campaign's
+    /// per-test path: one xor+multiply per bitmap word.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Number of bins covered by `self` that `base` has not covered.
     pub fn count_new_vs(&self, base: &CovMap) -> usize {
         assert_eq!(
@@ -324,6 +340,20 @@ mod tests {
         m.hit(CondId(1), false);
         let holes: Vec<_> = m.holes().collect();
         assert_eq!(holes, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn content_hash_tracks_bin_sets() {
+        let space = space3();
+        let mut a = CovMap::new(&space);
+        let mut b = CovMap::new(&space);
+        assert_eq!(a.content_hash(), b.content_hash(), "empty maps agree");
+        a.hit(CondId(0), true);
+        assert_ne!(a.content_hash(), b.content_hash(), "a bin changes the hash");
+        b.hit(CondId(0), true);
+        assert_eq!(a.content_hash(), b.content_hash(), "same bin set, same hash");
+        a.hit(CondId(2), false);
+        assert_ne!(a.content_hash(), b.content_hash());
     }
 
     #[test]

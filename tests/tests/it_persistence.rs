@@ -32,8 +32,13 @@ const ENV_OUT: &str = "CHATFUZZ_IT_OUT";
 const ENV_TOTAL: &str = "CHATFUZZ_IT_TOTAL";
 
 /// The deterministic campaign under test. `consumed` fast-forwards the
-/// feedback-free generator past inputs an earlier process already ran.
-fn build_campaign(consumed: usize, resume: Option<CampaignSnapshot>) -> Campaign<'static> {
+/// feedback-free generator past inputs an earlier process already ran;
+/// `checkpoint` enables the built-in per-batch auto-checkpointing.
+fn build_campaign(
+    consumed: usize,
+    resume: Option<CampaignSnapshot>,
+    checkpoint: Option<&Path>,
+) -> Campaign<'static> {
     let mut generator = RandomRegression::new(SEED, 16);
     if consumed > 0 {
         let _ = generator.next_batch(consumed);
@@ -44,6 +49,9 @@ fn build_campaign(consumed: usize, resume: Option<CampaignSnapshot>) -> Campaign
         .generator(generator);
     if let Some(snapshot) = resume {
         builder = builder.resume(snapshot);
+    }
+    if let Some(path) = checkpoint {
+        builder = builder.auto_checkpoint(path, 1);
     }
     builder.build()
 }
@@ -72,19 +80,17 @@ impl Drop for KillOnDrop {
     }
 }
 
-/// Child role: run the campaign indefinitely, checkpointing to disk
-/// after every batch, until the parent kills this process.
+/// Child role: run the campaign indefinitely with the built-in
+/// auto-checkpointing (atomic temp+rename every batch — no caller-driven
+/// `step_batch` loop), until the parent kills this process.
 #[test]
 fn role_checkpointing_victim() {
     if std::env::var(ENV_ROLE).as_deref() != Ok("role_checkpointing_victim") {
         return;
     }
     let path = PathBuf::from(std::env::var(ENV_SNAPSHOT).expect("snapshot path"));
-    let mut campaign = build_campaign(0, None);
-    loop {
-        campaign.step_batch();
-        save_snapshot(&path, &campaign.snapshot()).expect("checkpoint");
-    }
+    let mut campaign = build_campaign(0, None, Some(&path));
+    campaign.run_until(&[StopCondition::Tests(usize::MAX)]);
 }
 
 /// Child role: load the snapshot, resume in this fresh process, run to
@@ -100,7 +106,7 @@ fn role_resumer() {
 
     let space = rocket_factory()().space().clone();
     let snapshot = load_snapshot(&path, &space).expect("load checkpoint");
-    let mut campaign = build_campaign(snapshot.tests_run(), Some(snapshot));
+    let mut campaign = build_campaign(snapshot.tests_run(), Some(snapshot), None);
     let report = campaign.run_until(&[StopCondition::Tests(total)]);
     std::fs::write(out, report::json_canonical(&report)).expect("write canonical report");
 }
@@ -165,8 +171,9 @@ fn killed_campaign_resumes_bit_identically() {
     let resumed = std::fs::read_to_string(&out_path).expect("resumed report");
 
     // 3. Uninterrupted reference in this process.
-    let expected =
-        report::json_canonical(&build_campaign(0, None).run_until(&[StopCondition::Tests(total)]));
+    let expected = report::json_canonical(
+        &build_campaign(0, None, None).run_until(&[StopCondition::Tests(total)]),
+    );
 
     assert_eq!(resumed, expected, "resumed campaign diverged from the uninterrupted run");
     let _ = std::fs::remove_dir_all(&dir);
@@ -177,12 +184,12 @@ fn killed_campaign_resumes_bit_identically() {
 #[test]
 fn saved_snapshot_resumes_in_process_identically() {
     let total = 6 * BATCH;
-    let expected = build_campaign(0, None).run_until(&[StopCondition::Tests(total)]);
+    let expected = build_campaign(0, None, None).run_until(&[StopCondition::Tests(total)]);
 
     // Checkpoint with `step_batch` + `snapshot`, not `run_until`: a
     // checkpoint is a mid-run state, and must not inject the
     // end-of-session history point `run_until` records.
-    let mut first = build_campaign(0, None);
+    let mut first = build_campaign(0, None, None);
     for _ in 0..3 {
         first.step_batch();
     }
@@ -193,7 +200,7 @@ fn saved_snapshot_resumes_in_process_identically() {
 
     let space = rocket_factory()().space().clone();
     let snapshot = load_snapshot(&path, &space).expect("load");
-    let report = build_campaign(snapshot.tests_run(), Some(snapshot))
+    let report = build_campaign(snapshot.tests_run(), Some(snapshot), None)
         .run_until(&[StopCondition::Tests(total)]);
 
     assert_eq!(report::json_canonical(&report), report::json_canonical(&expected));

@@ -12,6 +12,7 @@ use chatfuzz::shard::{
 };
 use chatfuzz_baselines::RandomRegression;
 use chatfuzz_coverage::CovMap;
+use chatfuzz_evolve::{EvolveConfig, EvolveGenerator};
 use chatfuzz_tests::rocket_factory;
 
 const SHARD_TESTS: usize = 64;
@@ -104,6 +105,98 @@ fn one_shard_equals_a_plain_campaign() {
         build_shard(ShardSpec { index: 0, shards: 1, seed: shard_seed(base_seed, 0) });
     let plain_report = plain.run_until(&stops);
     assert_eq!(sharded, report::json_canonical(&plain_report));
+}
+
+/// The corpus-carrying shard campaign: random + evolve arms, so shard
+/// snapshots carry `Some` corpus state for the evolve slot.
+fn build_evolve_shard(spec: ShardSpec) -> (Campaign<'static>, Vec<StopCondition>) {
+    let campaign = CampaignBuilder::from_factory(rocket_factory())
+        .batch_size(BATCH)
+        .workers(2)
+        .generator(RandomRegression::new(spec.seed, 16))
+        .generator(EvolveGenerator::new(EvolveConfig { seed: spec.seed, ..Default::default() }))
+        .build();
+    (campaign, vec![StopCondition::Tests(SHARD_TESTS * 2)])
+}
+
+/// Merging corpus-carrying shard snapshots unions the corpora as a
+/// fingerprint-deduped set: every shard seed is represented exactly
+/// once, and the merged snapshot resumes with the pooled corpus.
+#[test]
+fn merged_snapshot_unions_corpora_fingerprint_deduped() {
+    let sharded = ShardedCampaign::new(InProcessRunner::new(build_evolve_shard), 3, 29);
+    let outcome = sharded.run().expect("shards run");
+    for s in outcome.shard_snapshots() {
+        let corpus = s.corpora()[1].as_ref().expect("evolve arm exports a corpus");
+        assert!(!corpus.seeds.is_empty(), "every shard retained seeds");
+    }
+    let merged = outcome.merged_snapshot();
+    assert!(merged.corpora()[0].is_none(), "random arm stays corpus-free");
+    let pooled = merged.corpora()[1].clone().expect("merged corpus present");
+
+    // Union: every shard fingerprint appears in the pool…
+    let pool: std::collections::HashSet<u64> = pooled.seeds.iter().map(|s| s.fingerprint).collect();
+    let mut expected = std::collections::HashSet::new();
+    for s in outcome.shard_snapshots() {
+        for seed in &s.corpora()[1].as_ref().unwrap().seeds {
+            assert!(pool.contains(&seed.fingerprint), "shard seed lost in the merge");
+            expected.insert(seed.fingerprint);
+        }
+    }
+    // …exactly once (dedupe), and nothing else got in.
+    assert_eq!(pool.len(), pooled.seeds.len(), "no duplicate fingerprints");
+    assert_eq!(pool, expected, "pool is exactly the union");
+    // Discovery counters stay unique, so resumed eviction is
+    // deterministic.
+    let mut found: Vec<u64> = pooled.seeds.iter().map(|s| s.found_at).collect();
+    found.sort_unstable();
+    found.dedup();
+    assert_eq!(found.len(), pooled.seeds.len(), "found_at re-stamped uniquely");
+
+    // The merged snapshot resumes with the pooled corpus intact.
+    let tests_so_far = merged.tests_run();
+    let mut resumed = CampaignBuilder::from_factory(rocket_factory())
+        .batch_size(BATCH)
+        .workers(2)
+        .generator(RandomRegression::new(99, 16))
+        .generator(EvolveGenerator::new(EvolveConfig { seed: 99, ..Default::default() }))
+        .resume(merged)
+        .build();
+    let report = resumed.run_until(&[StopCondition::Tests(tests_so_far + 2 * BATCH)]);
+    assert_eq!(report.tests_run, tests_so_far + 2 * BATCH);
+    let after = resumed.snapshot();
+    let corpus_after = after.corpora()[1].as_ref().expect("corpus survives the resume");
+    assert!(
+        corpus_after.seeds.len() >= pooled.seeds.len().min(256),
+        "resumed corpus keeps the pooled seeds"
+    );
+}
+
+/// The 1-shard-identity law holds for corpus-carrying snapshots too: a
+/// 1-shard merge is the plain campaign, corpus included.
+#[test]
+fn one_shard_identity_holds_with_a_corpus() {
+    let base_seed = 13;
+    let outcome = ShardedCampaign::new(InProcessRunner::new(build_evolve_shard), 1, base_seed)
+        .run()
+        .expect("shard runs");
+    let merged = outcome.merged_snapshot();
+
+    let (mut plain, stops) =
+        build_evolve_shard(ShardSpec { index: 0, shards: 1, seed: shard_seed(base_seed, 0) });
+    plain.run_until(&stops);
+    let plain_snapshot = plain.snapshot();
+
+    assert_eq!(
+        report::json_canonical(&merged.report()),
+        report::json_canonical(&plain_snapshot.report()),
+        "1-shard merged report is the plain report"
+    );
+    assert_eq!(
+        merged.corpora(),
+        plain_snapshot.corpora(),
+        "1-shard merged corpus is the plain corpus, bit for bit"
+    );
 }
 
 /// Acceptance smoke: an 8-shard run through real worker sub-processes
