@@ -44,6 +44,30 @@ impl Adam {
         self.t
     }
 
+    /// The accumulated first/second moment tensors (empty before the
+    /// first step — moments allocate lazily), for checkpointing.
+    pub fn moments(&self) -> (&[Tensor], &[Tensor]) {
+        (&self.m, &self.v)
+    }
+
+    /// Restores the optimiser's accumulated state (step counter and
+    /// moment tensors) from a checkpoint, so bias correction and the
+    /// update trajectory continue bit-for-bit. Pass empty moment vectors
+    /// to restore a never-stepped optimiser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two moment lists differ in length or shape.
+    pub fn restore(&mut self, steps: u64, m: Vec<Tensor>, v: Vec<Tensor>) {
+        assert_eq!(m.len(), v.len(), "moment list lengths differ");
+        for (a, b) in m.iter().zip(&v) {
+            assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "moment shapes differ");
+        }
+        self.t = steps;
+        self.m = m;
+        self.v = v;
+    }
+
     /// Applies one update. `params` and `grads` must be index-aligned and
     /// keep the same shapes across calls.
     ///

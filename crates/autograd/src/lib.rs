@@ -33,5 +33,5 @@ pub mod tape;
 pub mod tensor;
 
 pub use adam::{Adam, AdamConfig};
-pub use tape::{Tape, Value};
+pub use tape::{gelu_scalar, Tape, Value};
 pub use tensor::Tensor;

@@ -628,6 +628,13 @@ fn elementwise3(g: &Tensor, x: &Tensor, y: &Tensor, f: impl Fn(f32, f32, f32) ->
 const GELU_S: f32 = 0.797_884_6; // sqrt(2/pi)
 const GELU_C: f32 = 0.044_715;
 
+/// The scalar GELU forward (tanh approximation) the [`Tape::gelu`] op
+/// applies elementwise. Public so tape-free inference paths (the KV-cached
+/// decoder in `chatfuzz-lm`) compute bit-identical activations.
+pub fn gelu_scalar(x: f32) -> f32 {
+    gelu_fwd(x)
+}
+
 fn gelu_fwd(x: f32) -> f32 {
     0.5 * x * (1.0 + (GELU_S * (x + GELU_C * x * x * x)).tanh())
 }

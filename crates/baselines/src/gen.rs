@@ -58,23 +58,82 @@ pub struct CorpusSeedState {
     pub found_at: u64,
 }
 
-/// The serialisable state of a corpus-carrying generator, produced by
-/// [`InputGenerator::export_corpus`] and restored by
-/// [`InputGenerator::import_corpus`]. Like `SchedulerState`, construction
-/// *parameters* are not part of the state — resume rebuilds the generator
-/// with the same constructor arguments and imports the accumulated state.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// The serialisable corpus half of a [`GeneratorState`]: the retained
+/// seed store of an evolutionary arm. The owning generator's RNG stream
+/// rides in [`GeneratorState::rng_words`], not here.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CorpusState {
-    /// [`InputGenerator::name`] of the exporting generator; import
-    /// asserts it matches so corpora never cross generator kinds.
-    pub generator: String,
-    /// Exact RNG stream state (`ChaCha8Rng::export_words`), so seed
-    /// selection and mutation continue bit-for-bit after a resume.
-    pub rng_words: Vec<u32>,
     /// Next discovery counter ([`CorpusSeedState::found_at`] source).
     pub next_found_at: u64,
     /// Retained seeds, in insertion order.
     pub seeds: Vec<CorpusSeedState>,
+}
+
+/// One not-yet-observed sample of a model-backed generator: the full
+/// token sequence of a generation plus where the prompt ends. Rides in
+/// [`ModelState::pending`] so a snapshot taken between `next_batch` and
+/// `observe` loses no rollout.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModelSample {
+    /// Prompt + generated tokens.
+    pub tokens: Vec<u32>,
+    /// Prompt length in tokens (generation starts here).
+    pub prompt_len: usize,
+}
+
+/// The serialisable model half of a [`GeneratorState`]: everything an
+/// online-trained language-model arm accumulates beyond its construction
+/// parameters. All floating-point payloads are raw `f32`s; the persist
+/// layer stores them as hex bit patterns so nothing passes through a
+/// decimal representation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModelState {
+    /// Whether the tokenizer uses learned BPE framing (`true`) or fixed
+    /// byte parcels (`false`).
+    pub bpe: bool,
+    /// Tokenizer merge pairs in learned order (the whole learned state;
+    /// expansions are rebuilt from these on import).
+    pub merges: Vec<(u32, u32)>,
+    /// Policy weight tensors, flattened row-major, in the model's
+    /// canonical parameter order.
+    pub params: Vec<Vec<f32>>,
+    /// Adam first moments, aligned with `params` (empty before the first
+    /// optimiser step — moments are allocated lazily).
+    pub opt_m: Vec<Vec<f32>>,
+    /// Adam second moments, aligned with `params`.
+    pub opt_v: Vec<Vec<f32>>,
+    /// Adam step counter (bias correction depends on it).
+    pub opt_steps: u64,
+    /// The current prompt pool as instruction-word programs — the static
+    /// corpus plus whatever the cross-arm seed exchange has folded in.
+    pub prompt_pool: Vec<Vec<u32>>,
+    /// Samples produced by the last `next_batch` whose feedback has not
+    /// arrived yet, grouped per input.
+    pub pending: Vec<Vec<ModelSample>>,
+}
+
+/// The serialisable state of a stateful generator, produced by
+/// [`InputGenerator::export_state`] and restored by
+/// [`InputGenerator::import_state`]. Like `SchedulerState`, construction
+/// *parameters* are not part of the state — resume rebuilds the generator
+/// with the same constructor arguments and imports the accumulated state.
+///
+/// A generator carries a corpus ([`CorpusState`]), a model
+/// ([`ModelState`]), both, or neither — `None` halves simply don't apply
+/// to that generator kind.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GeneratorState {
+    /// [`InputGenerator::name`] of the exporting generator; import
+    /// asserts it matches so state never crosses generator kinds.
+    pub generator: String,
+    /// Exact RNG stream state (`ChaCha8Rng::export_words`), so sampling,
+    /// seed selection, and mutation continue bit-for-bit after a resume.
+    pub rng_words: Vec<u32>,
+    /// Evolutionary corpus (retained seeds), when the generator keeps one.
+    pub corpus: Option<CorpusState>,
+    /// Model state (weights, optimiser moments, prompt pool), when the
+    /// generator trains one online.
+    pub model: Option<ModelState>,
 }
 
 /// A source of fuzzing inputs with coverage feedback.
@@ -94,25 +153,52 @@ pub trait InputGenerator: Send {
     /// returned by [`InputGenerator::next_batch`].
     fn observe(&mut self, batch: &[Vec<u8>], feedback: &[Feedback]);
 
-    /// Exports the generator's evolutionary corpus (plus its RNG stream)
-    /// for a campaign snapshot. Returns `None` for generators that keep
-    /// no corpus — the default.
-    fn export_corpus(&self) -> Option<CorpusState> {
+    /// Exports the generator's accumulated state (corpus and/or model,
+    /// plus its RNG stream) for a campaign snapshot. Returns `None` for
+    /// stateless generators — the default.
+    fn export_state(&self) -> Option<GeneratorState> {
         None
     }
 
     /// Restores state previously produced by
-    /// [`InputGenerator::export_corpus`], so retained seeds (and the
-    /// mutation RNG stream) survive a checkpoint/resume cycle. The
-    /// default ignores the state (corpus-free generators have nothing to
+    /// [`InputGenerator::export_state`], so retained seeds, trained
+    /// weights, and the RNG stream survive a checkpoint/resume cycle. The
+    /// default ignores the state (stateless generators have nothing to
     /// restore).
     ///
     /// # Panics
     ///
-    /// Corpus-carrying implementations panic if the state was exported by
-    /// a different generator kind.
-    fn import_corpus(&mut self, state: &CorpusState) {
+    /// Stateful implementations panic if the state was exported by a
+    /// different generator kind.
+    fn import_state(&mut self, state: &GeneratorState) {
         let _ = state;
+    }
+
+    /// A counter that changes whenever this generator's shareable seed
+    /// set changes ([`InputGenerator::contribute_seeds`] would return
+    /// something different). The campaign skips the whole cross-arm
+    /// exchange — no cloning — while every arm's revision is unchanged.
+    /// Stateless generators stay at `0`.
+    fn seeds_revision(&self) -> u64 {
+        0
+    }
+
+    /// Appends this generator's shareable seeds — decoded instruction-word
+    /// programs other arms may prompt or mutate from — to `out`. The
+    /// campaign calls this when some arm's
+    /// [`InputGenerator::seeds_revision`] moved and offers the pooled
+    /// result to every arm through [`InputGenerator::absorb_seeds`]. The
+    /// default contributes nothing.
+    fn contribute_seeds(&self, out: &mut Vec<Vec<u32>>) {
+        let _ = out;
+    }
+
+    /// Receives the campaign's pooled cross-arm seeds (everything the
+    /// arms contributed this batch, in generator order). Implementations
+    /// must be deterministic — resume-exactness depends on it — and must
+    /// not consume their sampling RNG here. The default ignores the pool.
+    fn absorb_seeds(&mut self, seeds: &[Vec<u32>]) {
+        let _ = seeds;
     }
 }
 
@@ -129,12 +215,24 @@ impl<G: InputGenerator + ?Sized> InputGenerator for &mut G {
         (**self).observe(batch, feedback)
     }
 
-    fn export_corpus(&self) -> Option<CorpusState> {
-        (**self).export_corpus()
+    fn export_state(&self) -> Option<GeneratorState> {
+        (**self).export_state()
     }
 
-    fn import_corpus(&mut self, state: &CorpusState) {
-        (**self).import_corpus(state)
+    fn import_state(&mut self, state: &GeneratorState) {
+        (**self).import_state(state)
+    }
+
+    fn seeds_revision(&self) -> u64 {
+        (**self).seeds_revision()
+    }
+
+    fn contribute_seeds(&self, out: &mut Vec<Vec<u32>>) {
+        (**self).contribute_seeds(out)
+    }
+
+    fn absorb_seeds(&mut self, seeds: &[Vec<u32>]) {
+        (**self).absorb_seeds(seeds)
     }
 }
 
@@ -151,11 +249,23 @@ impl<G: InputGenerator + ?Sized> InputGenerator for Box<G> {
         (**self).observe(batch, feedback)
     }
 
-    fn export_corpus(&self) -> Option<CorpusState> {
-        (**self).export_corpus()
+    fn export_state(&self) -> Option<GeneratorState> {
+        (**self).export_state()
     }
 
-    fn import_corpus(&mut self, state: &CorpusState) {
-        (**self).import_corpus(state)
+    fn import_state(&mut self, state: &GeneratorState) {
+        (**self).import_state(state)
+    }
+
+    fn seeds_revision(&self) -> u64 {
+        (**self).seeds_revision()
+    }
+
+    fn contribute_seeds(&self, out: &mut Vec<Vec<u32>>) {
+        (**self).contribute_seeds(out)
+    }
+
+    fn absorb_seeds(&mut self, seeds: &[Vec<u32>]) {
+        (**self).absorb_seeds(seeds)
     }
 }

@@ -17,7 +17,9 @@ pub mod gen;
 pub mod random_instr;
 pub mod schedule;
 
-pub use gen::{CorpusSeedState, CorpusState, Feedback, InputGenerator};
+pub use gen::{
+    CorpusSeedState, CorpusState, Feedback, GeneratorState, InputGenerator, ModelSample, ModelState,
+};
 pub use random_instr::random_instr;
 pub use schedule::{ArmState, EpsilonGreedy, RoundRobin, Scheduler, SchedulerState, Ucb1};
 

@@ -6,12 +6,19 @@
 //! generator. The campaign layer drives a [`Scheduler`] once per batch:
 //! [`Scheduler::pick`] selects the generator, then [`Scheduler::update`]
 //! reports the new-bins-per-test reward the batch earned.
+//!
+//! Arms in this codebase are *non-stationary*: the evolve arm's payoff
+//! decays as its corpus saturates and the LM arm's rises as online PPO
+//! converges. [`EpsilonGreedy::windowed`] / [`Ucb1::windowed`] switch the
+//! exploitation estimate to a sliding window over each arm's most recent
+//! rewards; the window contents ride in [`SchedulerState`] so resumed
+//! campaigns score arms identically.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Accumulated statistics of one bandit arm, in serialisable form.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ArmState {
     /// Batches this arm has produced.
     pub pulls: u64,
@@ -20,6 +27,13 @@ pub struct ArmState {
     /// Simulated DUT cycles this arm's batches consumed (the cost signal
     /// cost-normalising schedulers divide by).
     pub cycles: u64,
+    /// The sliding reward window (oldest first), populated only by
+    /// windowed schedulers. Riding in the state keeps non-stationary
+    /// resume exact: the restored bandit scores arms over the same recent
+    /// rewards the live one saw.
+    pub recent_rewards: Vec<f64>,
+    /// Per-entry cycle costs matching `recent_rewards`.
+    pub recent_cycles: Vec<u64>,
 }
 
 /// The serialisable state of a [`Scheduler`], produced by
@@ -134,19 +148,73 @@ impl Scheduler for RoundRobin {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct ArmStats {
     pulls: usize,
     total_reward: f64,
     cycles: u64,
+    /// Sliding (reward, cycles) window, oldest first; only filled by
+    /// windowed schedulers.
+    recent: Vec<(f64, u64)>,
 }
 
 impl ArmStats {
-    fn mean(&self) -> f64 {
+    /// Records one observation, keeping at most `window` recent entries
+    /// when a window is configured.
+    fn record(&mut self, reward: f64, cycles: u64, window: Option<usize>) {
+        self.pulls += 1;
+        self.total_reward += reward;
+        self.cycles += cycles;
+        if let Some(w) = window {
+            self.recent.push((reward, cycles));
+            if self.recent.len() > w {
+                let excess = self.recent.len() - w;
+                self.recent.drain(..excess);
+            }
+        }
+    }
+
+    /// Mean observed reward — lifetime, or over the sliding window when
+    /// one is configured (so the estimate tracks a decaying arm instead
+    /// of averaging over its glory days).
+    fn mean(&self, window: Option<usize>) -> f64 {
         if self.pulls == 0 {
-            f64::INFINITY // force one exploratory pull of every arm
-        } else {
-            self.total_reward / self.pulls as f64
+            return f64::INFINITY; // force one exploratory pull of every arm
+        }
+        match window {
+            Some(_) if !self.recent.is_empty() => {
+                self.recent.iter().map(|(r, _)| r).sum::<f64>() / self.recent.len() as f64
+            }
+            _ => self.total_reward / self.pulls as f64,
+        }
+    }
+
+    fn export(&self) -> ArmState {
+        ArmState {
+            pulls: self.pulls as u64,
+            total_reward: self.total_reward,
+            cycles: self.cycles,
+            recent_rewards: self.recent.iter().map(|(r, _)| *r).collect(),
+            recent_cycles: self.recent.iter().map(|(_, c)| *c).collect(),
+        }
+    }
+
+    fn import(state: &ArmState) -> ArmStats {
+        assert_eq!(
+            state.recent_rewards.len(),
+            state.recent_cycles.len(),
+            "reward/cycle windows disagree in length"
+        );
+        ArmStats {
+            pulls: state.pulls as usize,
+            total_reward: state.total_reward,
+            cycles: state.cycles,
+            recent: state
+                .recent_rewards
+                .iter()
+                .copied()
+                .zip(state.recent_cycles.iter().copied())
+                .collect(),
         }
     }
 }
@@ -156,11 +224,17 @@ impl ArmStats {
 /// generator, otherwise exploit the best observed mean reward. Epsilon
 /// decays multiplicatively so late batches concentrate on the winner
 /// while coverage-frontier shifts can still be picked up.
+///
+/// [`EpsilonGreedy::windowed`] switches the exploitation estimate to a
+/// sliding window over the most recent rewards — the right choice when
+/// arms are non-stationary (the evolve arm's payoff decays as its corpus
+/// saturates; the LM arm's rises as online PPO converges).
 #[derive(Debug)]
 pub struct EpsilonGreedy {
     epsilon: f64,
     decay: f64,
     floor: f64,
+    window: Option<usize>,
     rng: ChaCha8Rng,
     arms: Vec<ArmStats>,
 }
@@ -177,6 +251,7 @@ impl EpsilonGreedy {
             epsilon,
             decay: 1.0,
             floor: 0.0,
+            window: None,
             rng: ChaCha8Rng::seed_from_u64(seed),
             arms: Vec::new(),
         }
@@ -196,9 +271,23 @@ impl EpsilonGreedy {
         self
     }
 
-    /// Mean observed reward per arm (diagnostics).
+    /// Exploits the mean of each arm's last `window` rewards instead of
+    /// its lifetime mean (non-stationary arms). The window contents ride
+    /// in [`ArmState`], so a resumed bandit scores identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn windowed(mut self, window: usize) -> EpsilonGreedy {
+        assert!(window > 0, "reward window must be positive");
+        self.window = Some(window);
+        self
+    }
+
+    /// Mean observed reward per arm (diagnostics; windowed when the
+    /// bandit is).
     pub fn means(&self) -> Vec<f64> {
-        self.arms.iter().map(|a| if a.pulls == 0 { 0.0 } else { a.mean() }).collect()
+        self.arms.iter().map(|a| if a.pulls == 0 { 0.0 } else { a.mean(self.window) }).collect()
     }
 }
 
@@ -222,8 +311,8 @@ impl Scheduler for EpsilonGreedy {
         (0..arms)
             .max_by(|&a, &b| {
                 self.arms[a]
-                    .mean()
-                    .partial_cmp(&self.arms[b].mean())
+                    .mean(self.window)
+                    .partial_cmp(&self.arms[b].mean(self.window))
                     .expect("rewards are never NaN")
                     .then(b.cmp(&a)) // prefer the lower index on ties
             })
@@ -235,13 +324,11 @@ impl Scheduler for EpsilonGreedy {
     }
 
     fn update_costed(&mut self, arm: usize, reward: f64, cycles: u64) {
-        assert!(!reward.is_nan(), "NaN reward");
+        assert!(reward.is_finite(), "non-finite reward: {reward}");
         if self.arms.len() <= arm {
             self.arms.resize(arm + 1, ArmStats::default());
         }
-        self.arms[arm].pulls += 1;
-        self.arms[arm].total_reward += reward;
-        self.arms[arm].cycles += cycles;
+        self.arms[arm].record(reward, cycles, self.window);
     }
 
     fn export_state(&self) -> SchedulerState {
@@ -250,15 +337,7 @@ impl Scheduler for EpsilonGreedy {
             cursor: 0,
             epsilon: self.epsilon,
             rng_words: self.rng.export_words(),
-            arms: self
-                .arms
-                .iter()
-                .map(|a| ArmState {
-                    pulls: a.pulls as u64,
-                    total_reward: a.total_reward,
-                    cycles: a.cycles,
-                })
-                .collect(),
+            arms: self.arms.iter().map(ArmStats::export).collect(),
         }
     }
 
@@ -267,15 +346,7 @@ impl Scheduler for EpsilonGreedy {
         assert!((0.0..=1.0).contains(&state.epsilon), "epsilon out of range: {}", state.epsilon);
         self.epsilon = state.epsilon;
         self.rng = ChaCha8Rng::from_words(&state.rng_words).expect("corrupt scheduler RNG state");
-        self.arms = state
-            .arms
-            .iter()
-            .map(|a| ArmStats {
-                pulls: a.pulls as usize,
-                total_reward: a.total_reward,
-                cycles: a.cycles,
-            })
-            .collect();
+        self.arms = state.arms.iter().map(ArmStats::import).collect();
     }
 }
 
@@ -295,6 +366,7 @@ impl Scheduler for EpsilonGreedy {
 pub struct Ucb1 {
     c: f64,
     cost_normalised: bool,
+    window: Option<usize>,
     total_pulls: u64,
     arms: Vec<ArmStats>,
 }
@@ -313,7 +385,7 @@ impl Ucb1 {
     /// Panics if `c` is negative or not finite.
     pub fn new(c: f64) -> Ucb1 {
         assert!(c.is_finite() && c >= 0.0, "UCB exploration constant out of range: {c}");
-        Ucb1 { c, cost_normalised: false, total_pulls: 0, arms: Vec::new() }
+        Ucb1 { c, cost_normalised: false, window: None, total_pulls: 0, arms: Vec::new() }
     }
 
     /// Normalises each arm's exploitation term by its simulated-cycle
@@ -323,22 +395,46 @@ impl Ucb1 {
         self
     }
 
+    /// Exploits over a sliding window of each arm's last `window` rewards
+    /// (and cycle costs, when cost-normalised) instead of its lifetime
+    /// statistics, so the bandit tracks non-stationary arms. The
+    /// exploration bonus keeps using lifetime pull counts — every arm is
+    /// still pulled once first, and starvation still raises the bonus.
+    /// The window contents ride in [`ArmState`] for exact resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn windowed(mut self, window: usize) -> Ucb1 {
+        assert!(window > 0, "reward window must be positive");
+        self.window = Some(window);
+        self
+    }
+
     /// The exploitation (mean) term of one arm.
     fn exploit(&self, a: &ArmStats) -> f64 {
         if a.pulls == 0 {
             return f64::INFINITY;
         }
+        let (reward, pulls, cycles) = match self.window {
+            Some(_) if !a.recent.is_empty() => (
+                a.recent.iter().map(|(r, _)| r).sum::<f64>(),
+                a.recent.len() as f64,
+                a.recent.iter().map(|(_, c)| c).sum::<u64>(),
+            ),
+            _ => (a.total_reward, a.pulls as f64, a.cycles),
+        };
         if self.cost_normalised {
             // Reward per kilocycle; an arm that somehow reported zero
             // cost falls back to the per-pull mean rather than dividing
             // by zero.
-            if a.cycles == 0 {
-                a.total_reward / a.pulls as f64
+            if cycles == 0 {
+                reward / pulls
             } else {
-                a.total_reward * UCB_COST_UNIT / a.cycles as f64
+                reward * UCB_COST_UNIT / cycles as f64
             }
         } else {
-            a.total_reward / a.pulls as f64
+            reward / pulls
         }
     }
 
@@ -383,14 +479,12 @@ impl Scheduler for Ucb1 {
     }
 
     fn update_costed(&mut self, arm: usize, reward: f64, cycles: u64) {
-        assert!(!reward.is_nan(), "NaN reward");
+        assert!(reward.is_finite(), "non-finite reward: {reward}");
         if self.arms.len() <= arm {
             self.arms.resize(arm + 1, ArmStats::default());
         }
         self.total_pulls += 1;
-        self.arms[arm].pulls += 1;
-        self.arms[arm].total_reward += reward;
-        self.arms[arm].cycles += cycles;
+        self.arms[arm].record(reward, cycles, self.window);
     }
 
     fn export_state(&self) -> SchedulerState {
@@ -399,15 +493,7 @@ impl Scheduler for Ucb1 {
             // UCB1 keeps no RNG and no epsilon; the total pull count
             // rides in `cursor`.
             cursor: self.total_pulls,
-            arms: self
-                .arms
-                .iter()
-                .map(|a| ArmState {
-                    pulls: a.pulls as u64,
-                    total_reward: a.total_reward,
-                    cycles: a.cycles,
-                })
-                .collect(),
+            arms: self.arms.iter().map(ArmStats::export).collect(),
             ..Default::default()
         }
     }
@@ -415,15 +501,7 @@ impl Scheduler for Ucb1 {
     fn import_state(&mut self, state: &SchedulerState) {
         assert_eq!(state.scheduler, self.name(), "scheduler state kind mismatch");
         self.total_pulls = state.cursor;
-        self.arms = state
-            .arms
-            .iter()
-            .map(|a| ArmStats {
-                pulls: a.pulls as usize,
-                total_reward: a.total_reward,
-                cycles: a.cycles,
-            })
-            .collect();
+        self.arms = state.arms.iter().map(ArmStats::import).collect();
     }
 }
 
@@ -636,6 +714,108 @@ mod tests {
     fn import_rejects_foreign_state() {
         let state = RoundRobin::new().export_state();
         EpsilonGreedy::new(1, 0.1).import_state(&state);
+    }
+
+    /// Arm 0 pays 1.0 for a while, then dries up; arm 1 pays a steady
+    /// 0.3. The windowed bandit abandons the decayed arm as soon as its
+    /// recent window empties of reward; the lifetime-mean bandit keeps
+    /// clinging to its historical average.
+    #[test]
+    fn windowed_bandit_abandons_a_decayed_arm() {
+        let reward = |arm: usize, t: usize| -> f64 {
+            if arm == 0 {
+                if t < 12 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                0.3
+            }
+        };
+        let mut lifetime = EpsilonGreedy::new(1, 0.0);
+        let mut windowed = EpsilonGreedy::new(1, 0.0).windowed(4);
+        for t in 0..24 {
+            let arm = lifetime.pick(2);
+            lifetime.update(arm, reward(arm, t));
+            let arm = windowed.pick(2);
+            windowed.update(arm, reward(arm, t));
+        }
+        assert_eq!(windowed.pick(2), 1, "windowed mean tracks the payoff shift");
+        assert_eq!(lifetime.pick(2), 0, "lifetime mean still clings to the decayed arm");
+    }
+
+    #[test]
+    fn windowed_ucb1_abandons_a_decayed_arm() {
+        let reward = |arm: usize, t: usize| -> f64 {
+            if arm == 0 {
+                if t < 12 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                0.3
+            }
+        };
+        let mut ucb = Ucb1::new(0.0).windowed(4);
+        for t in 0..24 {
+            let arm = ucb.pick(2);
+            ucb.update(arm, reward(arm, t));
+        }
+        assert_eq!(ucb.pick(2), 1, "windowed UCB1 moves off the decayed arm");
+    }
+
+    #[test]
+    fn windowed_state_round_trips_mid_stream() {
+        let mut ucb = Ucb1::new(1.2).cost_normalised().windowed(3);
+        for i in 0..20u64 {
+            let arm = ucb.pick(3);
+            ucb.update_costed(arm, (i % 4) as f64, 100 + i);
+        }
+        let state = ucb.export_state();
+        assert!(
+            state.arms.iter().all(|a| a.recent_rewards.len() <= 3),
+            "window bound holds in the exported state"
+        );
+        assert!(
+            state.arms.iter().any(|a| !a.recent_rewards.is_empty()),
+            "recent rewards are exported"
+        );
+
+        let mut restored = Ucb1::new(1.2).cost_normalised().windowed(3);
+        restored.import_state(&state);
+        for i in 0..40u64 {
+            let a = ucb.pick(3);
+            let b = restored.pick(3);
+            assert_eq!(a, b, "pick {i} diverged after windowed state import");
+            ucb.update_costed(a, ((i + 1) % 5) as f64, 50 + i);
+            restored.update_costed(b, ((i + 1) % 5) as f64, 50 + i);
+        }
+        assert_eq!(ucb.export_state(), restored.export_state());
+
+        let mut eg = EpsilonGreedy::new(5, 0.3).windowed(4);
+        for i in 0..15 {
+            let arm = eg.pick(2);
+            eg.update(arm, (i % 3) as f64);
+        }
+        let state = eg.export_state();
+        let mut restored = EpsilonGreedy::new(5, 0.3).windowed(4);
+        restored.import_state(&state);
+        for i in 0..30 {
+            let a = eg.pick(2);
+            let b = restored.pick(2);
+            assert_eq!(a, b, "pick {i} diverged after windowed state import");
+            eg.update(a, (i % 4) as f64);
+            restored.update(b, (i % 4) as f64);
+        }
+        assert_eq!(eg.export_state(), restored.export_state());
+    }
+
+    #[test]
+    #[should_panic(expected = "reward window must be positive")]
+    fn windowed_rejects_zero() {
+        let _ = Ucb1::new(1.0).windowed(0);
     }
 
     #[test]

@@ -20,12 +20,19 @@
 //! are deterministic per seed, so the comparison is a gateable fact, not
 //! a timing.
 //!
+//! And the **LM sampling path**: tokens/sec of the naive per-token
+//! full-forward sampler (`Gpt::generate`, the PR-5 equality baseline)
+//! against the KV-cached incremental decoder (`Gpt::generate_batch_into`)
+//! on identical work (same RNG ⇒ token-identical output, asserted), plus
+//! tests/sec of a full online-training LM-arm campaign.
+//!
 //! Writes `BENCH_throughput.json` (repo root by default) so every PR
 //! carries a perf trajectory. `--smoke` shrinks budgets for CI; `--check`
 //! fails the run if the optimised per-test path on Rocket is not at least
-//! 2× the naive baseline (the PR-3 acceptance bar), or if the evolve-arm
+//! 2× the naive baseline (the PR-3 acceptance bar), if the evolve-arm
 //! campaign fails to reach the random plateau in fewer tests (the PR-4
-//! bar).
+//! bar), or if KV-cached sampling is not at least 3× the naive sampler
+//! (the PR-5 bar).
 //!
 //! ```text
 //! throughput [--smoke] [--check] [--out PATH]
@@ -35,14 +42,20 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use chatfuzz::campaign::{CampaignBuilder, StopCondition};
+use chatfuzz::generator::{LmGenerator, LmGeneratorConfig};
 use chatfuzz::harness::{wrap, HarnessConfig, PrecompiledHarness};
 use chatfuzz::shard::{InProcessRunner, ShardedCampaign};
 use chatfuzz_baselines::{InputGenerator, RandomRegression, Ucb1};
 use chatfuzz_bench::{boom_factory, print_table, rocket_factory};
+use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
 use chatfuzz_evolve::{EvolveConfig, EvolveGenerator};
+use chatfuzz_lm::{Gpt, GptConfig, KvCache, Tokenizer};
+use chatfuzz_rl::PpoConfig;
 use chatfuzz_rtl::{Dut, DutRun};
 use chatfuzz_softcore::trace::Trace;
 use chatfuzz_softcore::{Hart, Memory, SoftCore, SoftCoreConfig, SoftCoreRunner};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 struct Args {
     smoke: bool,
@@ -229,6 +242,102 @@ fn evolve_comparison(budget: usize) -> EvolveComparison {
     }
 }
 
+/// The LM sampling-path comparison (PR 5): naive per-token full forwards
+/// vs the KV-cached incremental decoder on identical work, plus an
+/// online-training LM-arm campaign.
+struct LmMeasure {
+    prompts: usize,
+    generated_tokens: usize,
+    naive_tokens_per_sec: f64,
+    cached_tokens_per_sec: f64,
+    speedup: f64,
+    campaign_tests: usize,
+    campaign_tests_per_sec: f64,
+}
+
+fn lm_throughput(smoke: bool) -> LmMeasure {
+    let (n_prompts, reps, campaign_tests) = if smoke { (48, 3, 256) } else { (96, 5, 1024) };
+    let seed = 7u64;
+
+    // Deterministic setup: seeded corpus, BPE tokenizer, compact GPT —
+    // the quick-experiment scale.
+    let mut corpus = CorpusGenerator::new(CorpusConfig { seed, ..Default::default() });
+    let programs = corpus.generate_words(64);
+    let tokenizer = Tokenizer::train(&programs, 192);
+    let mut init = ChaCha8Rng::seed_from_u64(seed);
+    let model = Gpt::new(GptConfig::compact(tokenizer.vocab_size() as usize), &mut init);
+    let prompts: Vec<Vec<u32>> = (0..n_prompts)
+        .map(|i| {
+            let program = &programs[i % programs.len()];
+            tokenizer.encode_prompt(&program[..(2 + i % 4).min(program.len())])
+        })
+        .collect();
+    let (max_new, temp, top_k) = (48, 0.9, 24);
+
+    // Naive: one full forward per sampled token (the equality baseline).
+    let mut naive_tokens = 0usize;
+    let mut naive_best = f64::INFINITY;
+    let mut naive_outs: Vec<Vec<u32>> = Vec::new();
+    for _ in 0..reps {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5a);
+        let start = Instant::now();
+        naive_outs =
+            prompts.iter().map(|p| model.generate(p, max_new, temp, top_k, &mut rng)).collect();
+        naive_best = naive_best.min(start.elapsed().as_secs_f64());
+        // Prompts are non-empty (BOS-framed), so generated = total − prompt.
+        naive_tokens = prompts.iter().zip(&naive_outs).map(|(p, o)| o.len() - p.len()).sum();
+    }
+
+    // KV-cached: one shared arena, incremental rows only.
+    let mut cache = KvCache::new(*model.config());
+    let mut cached_outs: Vec<Vec<u32>> = Vec::new();
+    let mut cached_best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5a);
+        let start = Instant::now();
+        model.generate_batch_into(
+            &prompts,
+            max_new,
+            temp,
+            top_k,
+            &mut rng,
+            &mut cache,
+            &mut cached_outs,
+        );
+        cached_best = cached_best.min(start.elapsed().as_secs_f64());
+    }
+    assert_eq!(cached_outs, naive_outs, "KV-cached and naive samplers must emit identical tokens");
+
+    // The LM arm inside a real campaign (online PPO on): tests/sec of
+    // the whole sample → simulate → reinforce loop.
+    let total_bins = rocket_factory()().space().total_bins();
+    let generator = LmGenerator::new(
+        tokenizer,
+        model,
+        PpoConfig { max_new_tokens: max_new, top_k, temperature: temp, ..Default::default() },
+        programs,
+        LmGeneratorConfig { seed, total_bins, samples_per_input: 1, ..Default::default() },
+    );
+    let mut campaign = CampaignBuilder::from_factory(rocket_factory())
+        .batch_size(32)
+        .workers(4)
+        .generator(generator)
+        .build();
+    let start = Instant::now();
+    campaign.run_until(&[StopCondition::Tests(campaign_tests)]);
+    let campaign_dt = start.elapsed().as_secs_f64();
+
+    LmMeasure {
+        prompts: n_prompts,
+        generated_tokens: naive_tokens,
+        naive_tokens_per_sec: naive_tokens as f64 / naive_best,
+        cached_tokens_per_sec: naive_tokens as f64 / cached_best,
+        speedup: naive_best / cached_best,
+        campaign_tests,
+        campaign_tests_per_sec: campaign_tests as f64 / campaign_dt,
+    }
+}
+
 fn main() {
     let args = parse_args();
     let (hot_tests, reps, campaign_tests, shard_tests) =
@@ -265,6 +374,7 @@ fn main() {
     let boom_w4 = campaign_throughput(&boom_factory(), 4, campaign_tests);
     let sharded = sharded_throughput(4, shard_tests);
     let evolve = evolve_comparison(campaign_tests);
+    let lm = lm_throughput(args.smoke);
 
     let rocket_speedup = rocket_hot.tests_per_sec / rocket_naive.tests_per_sec;
     let boom_speedup = boom_hot.tests_per_sec / boom_naive.tests_per_sec;
@@ -291,6 +401,17 @@ fn main() {
         ],
     );
     println!("rocket per-test speedup: {rocket_speedup:.2}x, boom: {boom_speedup:.2}x");
+    println!(
+        "lm sampling ({} prompts, {} tokens): naive {:.0} tok/s, kv-cached {:.0} tok/s \
+         ({:.2}x); lm-arm campaign {:.0} tests/s over {} tests",
+        lm.prompts,
+        lm.generated_tokens,
+        lm.naive_tokens_per_sec,
+        lm.cached_tokens_per_sec,
+        lm.speedup,
+        lm.campaign_tests_per_sec,
+        lm.campaign_tests,
+    );
     match evolve.evolve_tests {
         Some(tests) => println!(
             "evolve arm reached the random plateau ({:.2}%) in {tests} tests vs random's {} \
@@ -308,7 +429,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 2,");
+    let _ = writeln!(json, "  \"schema\": 3,");
     let _ = writeln!(json, "  \"mode\": \"{}\",", if args.smoke { "smoke" } else { "full" });
     let _ = writeln!(json, "  \"per_test_hot_path\": {{");
     let pair =
@@ -358,6 +479,15 @@ fn main() {
         }
     }
     let _ = writeln!(json, "    \"evolve_final_pct\": {:.4}", evolve.evolve_final_pct);
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"lm_throughput\": {{");
+    let _ = writeln!(json, "    \"prompts\": {},", lm.prompts);
+    let _ = writeln!(json, "    \"generated_tokens\": {},", lm.generated_tokens);
+    let _ = writeln!(json, "    \"naive_tokens_per_sec\": {:.1},", lm.naive_tokens_per_sec);
+    let _ = writeln!(json, "    \"cached_tokens_per_sec\": {:.1},", lm.cached_tokens_per_sec);
+    let _ = writeln!(json, "    \"speedup\": {:.3},", lm.speedup);
+    let _ = writeln!(json, "    \"campaign_tests\": {},", lm.campaign_tests);
+    let _ = writeln!(json, "    \"campaign_tests_per_sec\": {:.1}", lm.campaign_tests_per_sec);
     json.push_str("  }\n}\n");
 
     std::fs::write(&args.out, &json).expect("write BENCH_throughput.json");
@@ -381,6 +511,12 @@ fn main() {
             "PR-4 acceptance: the evolve-arm campaign must reach the random plateau \
              in fewer tests (evolve {evolve_tests}, random {})",
             evolve.random_tests
+        );
+        assert!(
+            lm.speedup >= 3.0,
+            "PR-5 acceptance: KV-cached sampling must be ≥ 3× the naive per-token \
+             forward (got {:.2}x)",
+            lm.speedup
         );
     }
 }

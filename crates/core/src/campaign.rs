@@ -30,7 +30,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use chatfuzz_baselines::{
-    CorpusState, Feedback, InputGenerator, RoundRobin, Scheduler, SchedulerState,
+    Feedback, GeneratorState, InputGenerator, RoundRobin, Scheduler, SchedulerState,
 };
 use chatfuzz_coverage::{Calculator, CovMap, PointKind, Space};
 use chatfuzz_rtl::{Dut, DutRun};
@@ -242,16 +242,17 @@ impl CampaignReport {
 ///
 /// Scheduler state *is* captured ([`SchedulerState`]) and restored by
 /// [`CampaignBuilder::resume`], so bandit arm statistics survive a
-/// checkpoint. So is every generator's evolutionary corpus
-/// ([`CorpusState`], via `InputGenerator::export_corpus`/`import_corpus`)
-/// — retained seeds, pick counters, and the mutation RNG stream continue
-/// bit-for-bit. Other generator-internal state is not — trait objects
-/// carry arbitrary state; rebuild the generators (deterministic ones
-/// replay from their seed, corpus-carrying ones are restored by the
-/// import) and hand the snapshot to the builder. The rebuilt generator
-/// line-up must match the snapshot's (same names, same order), and the
-/// rebuilt scheduler must be the same kind constructed with the same
-/// parameters.
+/// checkpoint. So is every stateful generator's accumulated state
+/// ([`GeneratorState`], via `InputGenerator::export_state`/`import_state`)
+/// — the evolve arm's retained seeds, pick counters, and mutation RNG
+/// stream, and the LM arm's trained weights, optimiser moments, refreshed
+/// prompt pool, and sampling RNG stream all continue bit-for-bit. Other
+/// generator-internal state is not — trait objects carry arbitrary state;
+/// rebuild the generators (deterministic ones replay from their seed,
+/// stateful ones are restored by the import) and hand the snapshot to the
+/// builder. The rebuilt generator line-up must match the snapshot's (same
+/// names, same order), and the rebuilt scheduler must be the same kind
+/// constructed with the same parameters.
 #[derive(Debug, Clone)]
 pub struct CampaignSnapshot {
     pub(crate) dut: String,
@@ -260,9 +261,9 @@ pub struct CampaignSnapshot {
     pub(crate) history: Vec<CoveragePoint>,
     pub(crate) gen_stats: Vec<GeneratorStats>,
     pub(crate) scheduler: SchedulerState,
-    /// Per-generator evolutionary corpus state, aligned with
-    /// `gen_stats`; `None` for corpus-free generators.
-    pub(crate) corpora: Vec<Option<CorpusState>>,
+    /// Per-generator accumulated state (corpus and/or model), aligned
+    /// with `gen_stats`; `None` for stateless generators.
+    pub(crate) gen_states: Vec<Option<GeneratorState>>,
     pub(crate) tests_run: usize,
     pub(crate) batches_run: usize,
     pub(crate) total_cycles: u64,
@@ -307,11 +308,10 @@ impl CampaignSnapshot {
         &self.scheduler
     }
 
-    /// Per-generator evolutionary corpus state at the checkpoint,
-    /// aligned with the generator line-up (`None` for generators that
-    /// keep no corpus).
-    pub fn corpora(&self) -> &[Option<CorpusState>] {
-        &self.corpora
+    /// Per-generator accumulated state at the checkpoint, aligned with
+    /// the generator line-up (`None` for stateless generators).
+    pub fn generator_states(&self) -> &[Option<GeneratorState>] {
+        &self.gen_states
     }
 
     /// Renders the checkpoint as a [`CampaignReport`] — the same view
@@ -574,20 +574,21 @@ impl<'g> CampaignBuilder<'g> {
                     self.generators.len()
                 );
                 self.scheduler.import_state(&snapshot.scheduler);
-                // Restore each generator's evolutionary corpus (retained
-                // seeds + mutation RNG stream). The line-up already
-                // matched by name; the corpora vector is aligned with it.
+                // Restore each generator's accumulated state (retained
+                // seeds, trained weights, RNG streams). The line-up
+                // already matched by name; the state vector is aligned
+                // with it.
                 assert_eq!(
-                    snapshot.corpora.len(),
+                    snapshot.gen_states.len(),
                     self.generators.len(),
-                    "resume snapshot carries corpus state for {} generators but the \
+                    "resume snapshot carries generator state for {} generators but the \
                      line-up has {}",
-                    snapshot.corpora.len(),
+                    snapshot.gen_states.len(),
                     self.generators.len()
                 );
-                for (generator, corpus) in self.generators.iter_mut().zip(&snapshot.corpora) {
-                    if let Some(state) = corpus {
-                        generator.import_corpus(state);
+                for (generator, state) in self.generators.iter_mut().zip(&snapshot.gen_states) {
+                    if let Some(state) = state {
+                        generator.import_state(state);
                     }
                 }
                 (
@@ -661,6 +662,8 @@ impl<'g> CampaignBuilder<'g> {
             space,
             image_pool: Vec::new(),
             scratch_pool: Vec::new(),
+            seed_pool: Vec::new(),
+            seed_revisions: Vec::new(),
             auto_checkpoint: self.auto_checkpoint,
             cfg: self.cfg,
             dut_name,
@@ -699,6 +702,11 @@ pub struct Campaign<'g> {
     image_pool: Vec<Vec<u8>>,
     /// Recycled per-test result buffers.
     scratch_pool: Vec<Scratch>,
+    /// Recycled cross-arm seed-exchange buffer.
+    seed_pool: Vec<Vec<u32>>,
+    /// Per-arm `seeds_revision` values at the last exchange — the change
+    /// gate that keeps no-new-seed batches clone-free.
+    seed_revisions: Vec<u64>,
     /// Periodic durable checkpoints during `run_until` (path, cadence).
     auto_checkpoint: Option<(PathBuf, usize)>,
     dut_name: String,
@@ -833,6 +841,35 @@ impl<'g> Campaign<'g> {
             })
             .collect();
         self.generators[arm].observe(&batch, &feedback);
+
+        // Cross-arm corpus sharing (ROADMAP: the paper's §III-A corpus,
+        // self-grown): arms that retain seeds publish them, every arm may
+        // fold them in — concretely, the evolve arm's coverage frontier
+        // becomes the LM arm's prompt pool. Deterministic (corpus order
+        // is), so resume-exactness is preserved. Gated on the arms'
+        // `seeds_revision` counters, so the common no-new-seed batch
+        // clones nothing.
+        if self.generators.len() > 1 {
+            let changed = self.seed_revisions.len() != self.generators.len()
+                || self
+                    .generators
+                    .iter()
+                    .zip(&self.seed_revisions)
+                    .any(|(g, &r)| g.seeds_revision() != r);
+            if changed {
+                self.seed_revisions.clear();
+                self.seed_revisions.extend(self.generators.iter().map(|g| g.seeds_revision()));
+                self.seed_pool.clear();
+                for generator in &self.generators {
+                    generator.contribute_seeds(&mut self.seed_pool);
+                }
+                if !self.seed_pool.is_empty() {
+                    for generator in &mut self.generators {
+                        generator.absorb_seeds(&self.seed_pool);
+                    }
+                }
+            }
+        }
 
         // Exact history: one point per coverage-advancing input.
         let wall = self.wall();
@@ -1005,7 +1042,7 @@ impl<'g> Campaign<'g> {
             history: self.history.clone(),
             gen_stats: self.gen_stats.clone(),
             scheduler: self.scheduler.export_state(),
-            corpora: self.generators.iter().map(|g| g.export_corpus()).collect(),
+            gen_states: self.generators.iter().map(|g| g.export_state()).collect(),
             tests_run: self.tests_run,
             batches_run: self.batches_run,
             total_cycles: self.total_cycles,
@@ -1349,12 +1386,12 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_carries_no_corpora_for_corpus_free_generators() {
+    fn snapshot_carries_no_state_for_stateless_generators() {
         let mut campaign = small_builder().generator(RandomRegression::new(5, 16)).build();
         campaign.step_batch();
         let snapshot = campaign.snapshot();
-        assert_eq!(snapshot.corpora().len(), 1);
-        assert!(snapshot.corpora()[0].is_none());
+        assert_eq!(snapshot.generator_states().len(), 1);
+        assert!(snapshot.generator_states()[0].is_none());
     }
 
     #[test]

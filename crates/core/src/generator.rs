@@ -1,7 +1,26 @@
 //! The LLM-based Input Generator (paper Fig. 1a) and the coverage reward.
+//!
+//! [`LmGenerator`] is a first-class campaign arm on par with the evolve
+//! arm:
+//!
+//! * **fast** — sampling runs through the KV-cached incremental decoder
+//!   ([`chatfuzz_lm::KvCache`], `PpoTrainer::sample_into`), token-pinned
+//!   equal to the naive path but `O(T)` per token;
+//! * **durable** — `InputGenerator::export_state` captures the whole
+//!   accumulated state (tokenizer merges, policy weights, Adam moments,
+//!   refreshed prompt pool, pending rollouts, exact ChaCha stream) as a
+//!   [`GeneratorState`], so an LM-arm campaign SIGKILL-resumes
+//!   bit-identically like any other;
+//! * **corpus-coupled** — `InputGenerator::absorb_seeds` refreshes the
+//!   prompt pool from the campaign's cross-arm seed exchange, so the LM
+//!   prompts from the *self-grown* evolve corpus (paper §III-A's corpus,
+//!   discovered rather than pre-built) on top of its static training
+//!   corpus.
 
-use chatfuzz_baselines::{Feedback, InputGenerator};
-use chatfuzz_lm::{Gpt, NgramLm, Tokenizer};
+use chatfuzz_autograd::Tensor;
+use chatfuzz_baselines::{Feedback, GeneratorState, InputGenerator, ModelSample, ModelState};
+use chatfuzz_lm::tokenizer::TokenizerKind;
+use chatfuzz_lm::{Gpt, KvCache, NgramLm, Tokenizer};
 use chatfuzz_rl::{PpoConfig, PpoTrainer};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -78,18 +97,29 @@ impl Default for LmGeneratorConfig {
 }
 
 /// The trained-model input generator: prompts with corpus prefixes,
-/// samples continuations, decodes them to instruction images, and (when
-/// online training is enabled) folds coverage feedback back into the
-/// policy with PPO.
+/// samples continuations through the KV-cached decoder, decodes them to
+/// instruction images, and (when online training is enabled) folds
+/// coverage feedback back into the policy with PPO.
 #[derive(Debug)]
 pub struct LmGenerator {
     tokenizer: Tokenizer,
     trainer: PpoTrainer,
-    prompt_pool: Vec<Vec<u32>>,
+    /// Static prompt programs from the training corpus (a construction
+    /// parameter; rebuilt identically on resume).
+    base_pool: Vec<Vec<u32>>,
+    /// Cross-arm refreshed prompt programs (accumulated state: the
+    /// campaign's seed exchange replaces this wholesale after every
+    /// batch).
+    shared_pool: Vec<Vec<u32>>,
     cfg: LmGeneratorConfig,
     rng: ChaCha8Rng,
-    /// Per input: the (tokens, prompt_len) of each stitched sample.
-    pending: Vec<Vec<(Vec<u32>, usize)>>,
+    /// Reusable KV arena for incremental sampling.
+    cache: KvCache,
+    /// Recycled sample buffer (`PpoTrainer::sample_into` target).
+    sample_buf: Vec<u32>,
+    /// Per input: the stitched samples awaiting feedback (the shape
+    /// [`ModelState::pending`] serialises verbatim).
+    pending: Vec<Vec<ModelSample>>,
 }
 
 impl LmGenerator {
@@ -106,12 +136,16 @@ impl LmGenerator {
         cfg: LmGeneratorConfig,
     ) -> LmGenerator {
         assert!(!prompt_pool.is_empty(), "prompt pool must not be empty");
+        let cache = KvCache::new(*policy.config());
         LmGenerator {
             tokenizer,
             trainer: PpoTrainer::new(policy, ppo),
-            prompt_pool,
+            base_pool: prompt_pool,
+            shared_pool: Vec::new(),
             cfg,
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            cache,
+            sample_buf: Vec::new(),
             pending: Vec::new(),
         }
     }
@@ -121,18 +155,33 @@ impl LmGenerator {
         self.trainer.policy()
     }
 
+    /// Number of cross-arm programs currently in the prompt pool (on top
+    /// of the static training corpus).
+    pub fn shared_prompt_count(&self) -> usize {
+        self.shared_pool.len()
+    }
+
     /// Dismantles the generator back into its trained artefacts
-    /// (tokenizer, policy, prompt pool) — e.g. to package a
+    /// (tokenizer, policy, static prompt pool) — e.g. to package a
     /// [`ChatFuzzModel`](crate::pipeline::ChatFuzzModel) after an
     /// online-training campaign.
     pub fn into_parts(self) -> (Tokenizer, Gpt, Vec<Vec<u32>>) {
-        (self.tokenizer, self.trainer.into_policy(), self.prompt_pool)
+        (self.tokenizer, self.trainer.into_policy(), self.base_pool)
     }
 
-    /// Builds a prompt from the first 2–5 instructions of a corpus
-    /// function (paper §IV-C.2), framed per the tokenizer's mode.
+    /// Builds a prompt from the first 2–5 instructions of a pool program
+    /// (paper §IV-C.2), framed per the tokenizer's mode. The pool is the
+    /// static corpus plus the cross-arm seeds; with an empty shared half
+    /// the RNG draw sequence is identical to indexing the static pool
+    /// alone.
     fn make_prompt(&mut self) -> Vec<u32> {
-        let program = self.prompt_pool.choose(&mut self.rng).expect("non-empty pool");
+        let total = self.base_pool.len() + self.shared_pool.len();
+        let index = self.rng.gen_range(0..total);
+        let program = if index < self.base_pool.len() {
+            &self.base_pool[index]
+        } else {
+            &self.shared_pool[index - self.base_pool.len()]
+        };
         let take = self.rng.gen_range(self.cfg.prompt_min..=self.cfg.prompt_max).min(program.len());
         self.tokenizer.encode_prompt(&program[..take])
     }
@@ -152,9 +201,14 @@ impl InputGenerator for LmGenerator {
                 for _ in 0..self.cfg.samples_per_input.max(1) {
                     let prompt = self.make_prompt();
                     let prompt_len = prompt.len();
-                    let full = self.trainer.sample(&prompt, &mut self.rng);
-                    bytes.extend(self.tokenizer.decode_to_bytes(&full));
-                    samples.push((full, prompt_len));
+                    self.trainer.sample_into(
+                        &prompt,
+                        &mut self.rng,
+                        &mut self.cache,
+                        &mut self.sample_buf,
+                    );
+                    bytes.extend(self.tokenizer.decode_to_bytes(&self.sample_buf));
+                    samples.push(ModelSample { tokens: self.sample_buf.clone(), prompt_len });
                 }
                 self.pending.push(samples);
                 bytes
@@ -172,7 +226,7 @@ impl InputGenerator for LmGenerator {
             // All samples stitched into the input share its reward (coarse
             // but unbiased credit assignment).
             let reward = self.cfg.reward.reward(fb, self.cfg.total_bins);
-            for (tokens, prompt_len) in samples {
+            for ModelSample { tokens, prompt_len } in samples {
                 if tokens.len() <= prompt_len {
                     continue; // nothing was generated; nothing to reinforce
                 }
@@ -183,13 +237,106 @@ impl InputGenerator for LmGenerator {
             self.trainer.step(&rollouts);
         }
     }
+
+    fn export_state(&self) -> Option<GeneratorState> {
+        let policy = self.trainer.policy();
+        let (m, v) = self.trainer.optimizer().moments();
+        let model = ModelState {
+            bpe: self.tokenizer.kind() == TokenizerKind::Bpe,
+            merges: self.tokenizer.merges().to_vec(),
+            params: policy.params().iter().map(|t| t.data().to_vec()).collect(),
+            opt_m: m.iter().map(|t| t.data().to_vec()).collect(),
+            opt_v: v.iter().map(|t| t.data().to_vec()).collect(),
+            opt_steps: self.trainer.optimizer().steps(),
+            prompt_pool: self.shared_pool.clone(),
+            pending: self.pending.clone(),
+        };
+        Some(GeneratorState {
+            generator: self.name().to_string(),
+            rng_words: self.rng.export_words(),
+            corpus: None,
+            model: Some(model),
+        })
+    }
+
+    fn import_state(&mut self, state: &GeneratorState) {
+        assert_eq!(state.generator, self.name(), "generator state kind mismatch");
+        let model = state.model.as_ref().expect("chatfuzz state carries a model");
+        let kind = if model.bpe { TokenizerKind::Bpe } else { TokenizerKind::FixedByte };
+        self.tokenizer = Tokenizer::from_parts(kind, model.merges.clone());
+        assert_eq!(
+            self.tokenizer.vocab_size() as usize,
+            self.trainer.policy().config().vocab,
+            "snapshot tokenizer disagrees with the rebuilt policy's vocabulary"
+        );
+
+        // Policy weights: shapes are fixed by the constructor's policy;
+        // only the values moved.
+        {
+            let mut params = self.trainer.policy_mut().params_mut();
+            assert_eq!(params.len(), model.params.len(), "snapshot parameter count mismatch");
+            for (tensor, data) in params.iter_mut().zip(&model.params) {
+                assert_eq!(tensor.len(), data.len(), "snapshot parameter shape mismatch");
+                tensor.data_mut().copy_from_slice(data);
+            }
+        }
+
+        // Adam moments (empty when the optimiser never stepped).
+        if model.opt_m.is_empty() {
+            assert!(model.opt_v.is_empty(), "first/second moment lists disagree");
+            self.trainer.optimizer_mut().restore(model.opt_steps, Vec::new(), Vec::new());
+        } else {
+            let shapes: Vec<(usize, usize)> =
+                self.trainer.policy().params().iter().map(|t| (t.rows(), t.cols())).collect();
+            assert_eq!(model.opt_m.len(), shapes.len(), "snapshot moment count mismatch");
+            assert_eq!(model.opt_v.len(), shapes.len(), "snapshot moment count mismatch");
+            let rebuild = |blobs: &[Vec<f32>]| -> Vec<Tensor> {
+                shapes
+                    .iter()
+                    .zip(blobs)
+                    .map(|(&(rows, cols), data)| Tensor::new(rows, cols, data.clone()))
+                    .collect()
+            };
+            self.trainer.optimizer_mut().restore(
+                model.opt_steps,
+                rebuild(&model.opt_m),
+                rebuild(&model.opt_v),
+            );
+        }
+
+        self.shared_pool = model.prompt_pool.clone();
+        self.pending = model.pending.clone();
+        self.rng = ChaCha8Rng::from_words(&state.rng_words).expect("corrupt generator RNG state");
+    }
+
+    fn absorb_seeds(&mut self, seeds: &[Vec<u32>]) {
+        // Wholesale replacement keeps the refresh idempotent and
+        // deterministic: the pool mirrors the contributing corpora (which
+        // are bounded and fingerprint-deduped) instead of growing without
+        // bound.
+        self.shared_pool.clear();
+        self.shared_pool.extend(seeds.iter().filter(|s| !s.is_empty()).cloned());
+    }
 }
 
 /// N-gram ablation generator (same prompting, no transformer, no RL).
+///
+/// The arm learns online at n-gram fidelity: coverage-advancing inputs
+/// fold back into the counts ([`NgramLm::absorb`]), so the ablation
+/// isolates the *model class* (transformer + PPO vs counting) rather than
+/// conflating it with online-vs-frozen learning.
 #[derive(Debug)]
 pub struct NgramGenerator {
     tokenizer: Tokenizer,
+    /// Counts as trained at construction (the baseline every resume
+    /// replays the absorbed inputs onto).
+    base_lm: NgramLm,
+    /// Working counts: `base_lm` plus everything absorbed online.
     lm: NgramLm,
+    /// Coverage-advancing inputs absorbed so far, in absorption order —
+    /// the accumulated state (bounded in practice: each entry advanced
+    /// cumulative coverage, and the bin count is finite).
+    absorbed: Vec<Vec<u32>>,
     prompt_pool: Vec<Vec<u32>>,
     rng: ChaCha8Rng,
     prompt_min: usize,
@@ -213,7 +360,9 @@ impl NgramGenerator {
         assert!(!prompt_pool.is_empty(), "prompt pool must not be empty");
         NgramGenerator {
             tokenizer,
+            base_lm: lm.clone(),
             lm,
+            absorbed: Vec::new(),
             prompt_pool,
             rng: ChaCha8Rng::seed_from_u64(seed),
             prompt_min: 2,
@@ -221,6 +370,20 @@ impl NgramGenerator {
             max_new,
         }
     }
+}
+
+/// FNV-1a over the little-endian bytes of a word program — the content
+/// fingerprint the n-gram arm stamps its absorbed inputs with, so shard
+/// merges dedupe identical inputs across shards.
+fn program_hash(words: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 impl InputGenerator for NgramGenerator {
@@ -240,7 +403,63 @@ impl InputGenerator for NgramGenerator {
             .collect()
     }
 
-    fn observe(&mut self, _batch: &[Vec<u8>], _feedback: &[Feedback]) {}
+    fn observe(&mut self, batch: &[Vec<u8>], feedback: &[Feedback]) {
+        for (bytes, fb) in batch.iter().zip(feedback) {
+            if fb.incremental == 0 {
+                continue;
+            }
+            // Whole-word images only (this generator's own outputs always
+            // are; a foreign batch may not be).
+            if bytes.is_empty() || !bytes.len().is_multiple_of(4) {
+                continue;
+            }
+            let words: Vec<u32> = bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            self.lm.absorb(&self.tokenizer.encode(&words));
+            self.absorbed.push(words);
+        }
+    }
+
+    fn export_state(&self) -> Option<GeneratorState> {
+        // The absorbed inputs (plus the RNG stream) *are* the accumulated
+        // state: the working counts are a pure function of base counts +
+        // absorbed sequence, so import replays them instead of
+        // serialising hash maps.
+        let seeds = self
+            .absorbed
+            .iter()
+            .enumerate()
+            .map(|(i, words)| chatfuzz_baselines::CorpusSeedState {
+                fingerprint: program_hash(words),
+                words: words.clone(),
+                found_at: i as u64,
+                ..Default::default()
+            })
+            .collect::<Vec<_>>();
+        Some(GeneratorState {
+            generator: self.name().to_string(),
+            rng_words: self.rng.export_words(),
+            corpus: Some(chatfuzz_baselines::CorpusState {
+                next_found_at: seeds.len() as u64,
+                seeds,
+            }),
+            model: None,
+        })
+    }
+
+    fn import_state(&mut self, state: &GeneratorState) {
+        assert_eq!(state.generator, self.name(), "generator state kind mismatch");
+        let corpus = state.corpus.as_ref().expect("chatfuzz-ngram state carries a corpus");
+        self.lm = self.base_lm.clone();
+        self.absorbed.clear();
+        for seed in &corpus.seeds {
+            self.lm.absorb(&self.tokenizer.encode(&seed.words));
+            self.absorbed.push(seed.words.clone());
+        }
+        self.rng = ChaCha8Rng::from_words(&state.rng_words).expect("corrupt generator RNG state");
+    }
 }
 
 #[cfg(test)]
@@ -322,5 +541,152 @@ mod tests {
         for input in &batch {
             assert_eq!(input.len() % 4, 0);
         }
+    }
+
+    #[test]
+    fn ngram_generator_learns_from_coverage_feedback() {
+        let (tok, _, pool) = setup();
+        let token_corpus: Vec<Vec<u32>> = pool.iter().map(|p| tok.encode(p)).collect();
+        let lm = NgramLm::train(&token_corpus, tok.vocab_size());
+        let build = || NgramGenerator::new(tok.clone(), lm.clone(), pool.clone(), 3, 24);
+
+        let mut learner = build();
+        let mut frozen = build();
+        let batch = learner.next_batch(4);
+        let advancing: Vec<Feedback> =
+            (0..4).map(|i| Feedback { incremental: i + 1, ..Default::default() }).collect();
+        let stagnant = vec![Feedback::default(); 4];
+        learner.observe(&batch, &advancing);
+        frozen.observe(&batch, &stagnant);
+        // Same RNG position either way (observe draws nothing), but the
+        // learner's counts shifted — the continuations diverge.
+        assert_ne!(
+            learner.next_batch(8),
+            frozen.next_batch(8),
+            "absorbed coverage winners change future sampling"
+        );
+    }
+
+    #[test]
+    fn ngram_state_round_trips_and_resumes_the_exact_stream() {
+        let (tok, _, pool) = setup();
+        let token_corpus: Vec<Vec<u32>> = pool.iter().map(|p| tok.encode(p)).collect();
+        let lm = NgramLm::train(&token_corpus, tok.vocab_size());
+        let build = || NgramGenerator::new(tok.clone(), lm.clone(), pool.clone(), 3, 24);
+
+        let mut live = build();
+        for round in 0..3 {
+            let batch = live.next_batch(6);
+            let feedback: Vec<Feedback> = (0..6)
+                .map(|i| Feedback { incremental: (i + round) % 2, ..Default::default() })
+                .collect();
+            live.observe(&batch, &feedback);
+        }
+        let state = live.export_state().expect("ngram exports state");
+        assert_eq!(state.generator, "chatfuzz-ngram");
+        let corpus = state.corpus.as_ref().expect("absorbed inputs ride in the corpus half");
+        assert!(!corpus.seeds.is_empty(), "coverage winners were absorbed");
+
+        // A fresh rebuild + import replays the absorbed inputs onto the
+        // base counts and restores the RNG, so the continuation is
+        // bit-identical — the invariant every stateful arm upholds.
+        let mut restored = build();
+        restored.import_state(&state);
+        for round in 0..2 {
+            let a = live.next_batch(5);
+            let b = restored.next_batch(5);
+            assert_eq!(a, b, "round {round} diverged after state import");
+            let feedback: Vec<Feedback> =
+                (0..5).map(|i| Feedback { incremental: i % 2, ..Default::default() }).collect();
+            live.observe(&a, &feedback);
+            restored.observe(&b, &feedback);
+        }
+        assert_eq!(live.export_state(), restored.export_state());
+    }
+
+    #[test]
+    fn lm_state_round_trips_and_resumes_the_exact_stream() {
+        let (tok, model, pool) = setup();
+        let ppo = PpoConfig { max_new_tokens: 8, lr: 1e-3, ..Default::default() };
+        let cfg = LmGeneratorConfig {
+            online_training: true,
+            total_bins: 100,
+            samples_per_input: 1,
+            ..Default::default()
+        };
+        let build = || LmGenerator::new(tok.clone(), model.clone(), ppo, pool.clone(), cfg);
+
+        let mut live = build();
+        for round in 0..3 {
+            let batch = live.next_batch(4);
+            let feedback: Vec<Feedback> = (0..4)
+                .map(|i| Feedback {
+                    standalone: 5 + i,
+                    incremental: (i + round) % 3,
+                    ..Default::default()
+                })
+                .collect();
+            live.observe(&batch, &feedback);
+        }
+        live.absorb_seeds(&[vec![0x0010_0093, 0x0000_0533]]);
+
+        let state = live.export_state().expect("chatfuzz exports state");
+        assert_eq!(state.generator, "chatfuzz");
+        assert!(state.corpus.is_none(), "the LM arm keeps no corpus");
+        let model_state = state.model.as_ref().expect("model half present");
+        assert!(model_state.opt_steps > 0, "online PPO stepped the optimiser");
+        assert!(!model_state.opt_m.is_empty(), "Adam moments exported");
+        assert_eq!(model_state.prompt_pool.len(), 1, "shared pool exported");
+
+        let mut restored = build();
+        restored.import_state(&state);
+        assert_eq!(restored.shared_prompt_count(), 1);
+        // Bit-identical continuation: same batches, same PPO updates,
+        // same state afterwards.
+        for round in 0..2 {
+            let a = live.next_batch(3);
+            let b = restored.next_batch(3);
+            assert_eq!(a, b, "round {round} diverged after state import");
+            let feedback: Vec<Feedback> = (0..3)
+                .map(|i| Feedback { standalone: 9, incremental: i, ..Default::default() })
+                .collect();
+            live.observe(&a, &feedback);
+            restored.observe(&b, &feedback);
+        }
+        assert_eq!(live.export_state(), restored.export_state());
+    }
+
+    #[test]
+    fn absorbed_seeds_extend_the_prompt_pool_deterministically() {
+        let (tok, model, pool) = setup();
+        let ppo = PpoConfig { max_new_tokens: 8, ..Default::default() };
+        let cfg = LmGeneratorConfig { online_training: false, ..Default::default() };
+        let mut with_seeds = LmGenerator::new(tok.clone(), model.clone(), ppo, pool.clone(), cfg);
+        let mut without = LmGenerator::new(tok, model, ppo, pool, cfg);
+
+        // An empty exchange leaves the RNG stream untouched: identical
+        // batches with and without the (no-op) refresh.
+        with_seeds.absorb_seeds(&[]);
+        assert_eq!(with_seeds.next_batch(4), without.next_batch(4));
+
+        // A real refresh widens the pool; empty programs are dropped.
+        with_seeds.absorb_seeds(&[vec![0x0010_0093; 4], Vec::new(), vec![0x0000_0533; 3]]);
+        assert_eq!(with_seeds.shared_prompt_count(), 2);
+        // Refresh is wholesale: a smaller next exchange shrinks it again.
+        with_seeds.absorb_seeds(&[vec![0x0010_0093; 2]]);
+        assert_eq!(with_seeds.shared_prompt_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "generator state kind mismatch")]
+    fn lm_import_rejects_foreign_state() {
+        let (tok, model, pool) = setup();
+        let cfg = LmGeneratorConfig::default();
+        let mut generator = LmGenerator::new(tok, model, PpoConfig::default(), pool, cfg);
+        let state = chatfuzz_baselines::GeneratorState {
+            generator: "evolve".to_string(),
+            ..Default::default()
+        };
+        generator.import_state(&state);
     }
 }

@@ -17,17 +17,22 @@
 //!   cycle-cost normalisation, all from `chatfuzz_baselines::schedule`).
 //!   Per-input feedback carries coverage fingerprints and mismatch
 //!   flags, closing the loop for the evolutionary corpus arm in
-//!   `chatfuzz_evolve`;
+//!   `chatfuzz_evolve`; a per-batch cross-arm seed exchange feeds the
+//!   evolve arm's retained seeds into the LM arm's prompt pool;
 //! * [`persist`] — versioned on-disk JSON serialisation of
 //!   [`CampaignSnapshot`], so long campaigns survive their process and
-//!   resume elsewhere;
+//!   resume elsewhere — including the LM arm's trained weights and
+//!   optimiser moments, stored as exact f32-bit hex blobs;
 //! * [`shard`] — horizontal scaling: split one campaign into N shard
 //!   sub-campaigns with disjoint RNG streams (in-process or spawned
 //!   sub-processes) and merge the results — coverage maps union,
-//!   evolutionary corpora pool as a fingerprint-deduped union;
+//!   evolutionary corpora pool as a fingerprint-deduped union, model
+//!   state carries over from shard 0;
 //! * [`pipeline`] — the three-step training pipeline (paper Fig. 1b);
 //! * [`generator`] — the LLM-based Input Generator with online
-//!   coverage-reward training (paper Fig. 1a), plus the n-gram ablation;
+//!   coverage-reward training (paper Fig. 1a) and KV-cached sampling,
+//!   plus the n-gram ablation (which also learns online from coverage
+//!   winners);
 //! * [`mismatch`] — the Mismatch Detector: trace diffing, unique-mismatch
 //!   clustering, and classification against the known RocketCore defects;
 //! * [`harness`] — the bare-metal wrapper (trap handler + stack) around

@@ -24,14 +24,18 @@
 //! | `coverage` | cumulative + previous-batch bitmap words as hex blobs |
 //! | `history` | exact coverage-over-time points |
 //! | `generator_stats` | per-generator scheduling statistics |
-//! | `scheduler` | [`SchedulerState`]: kind, cursor, epsilon, RNG words, arms (pulls, reward, cycle cost) |
-//! | `corpora` | per-generator [`CorpusState`] (or `null`): RNG words, discovery counter, seeds as hex word blobs with retention statistics |
+//! | `scheduler` | [`SchedulerState`]: kind, cursor, epsilon, RNG words, arms (pulls, reward, cycle cost, sliding reward/cycle windows) |
+//! | `generators` | per-generator [`GeneratorState`] (or `null`): RNG words, optional `corpus` (discovery counter, seeds as hex word blobs with retention statistics), optional `model` (tokenizer kind + merges, policy weights / Adam moments as hex `f32`-bit blobs, step counter, refreshed prompt pool as hex word blobs, pending rollouts) |
 //! | `mismatch_log` | raw count, suppression filter, clusters with full examples |
 //!
 //! Coverage bitmaps are stored as lowercase hex, 16 characters per
 //! `u64` word, alongside the space fingerprint; the loader takes the
 //! re-elaborated [`Space`] from a freshly probed DUT and refuses blobs
-//! whose fingerprint or word count disagree. Mismatch cluster examples
+//! whose fingerprint or word count disagree. Model weights and optimiser
+//! moments are stored as the hex of each `f32`'s bit pattern (8
+//! characters per scalar) — nothing numeric ever passes through a decimal
+//! representation, so restored weights are the exported weights to the
+//! bit. Mismatch cluster examples
 //! round-trip the full [`Mismatch`] enum (tagged objects), and cluster
 //! signatures/classifications are *recomputed* from the examples on load
 //! so they can never desynchronise from the code that defines them.
@@ -46,7 +50,9 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
-use chatfuzz_baselines::{ArmState, CorpusSeedState, CorpusState, SchedulerState};
+use chatfuzz_baselines::{
+    ArmState, CorpusSeedState, CorpusState, GeneratorState, ModelSample, ModelState, SchedulerState,
+};
 use chatfuzz_coverage::{Calculator, CovMap, Space};
 use chatfuzz_isa::{Exception, PrivLevel, Reg};
 use chatfuzz_softcore::trace::ExitReason;
@@ -60,8 +66,11 @@ use crate::report::JsonWriter;
 /// [`PersistError::SchemaVersion`] instead of misreading them.
 ///
 /// v2 added the per-generator evolutionary `corpora` array and the
-/// per-arm `cycles` cost to scheduler state.
-pub const SCHEMA_VERSION: u64 = 2;
+/// per-arm `cycles` cost to scheduler state. v3 generalised `corpora`
+/// into the `generators` array ([`GeneratorState`]: RNG stream + optional
+/// corpus + optional model with weights as hex `f32`-bit blobs) and added
+/// the schedulers' sliding reward windows to the per-arm state.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Why a snapshot could not be loaded.
 #[derive(Debug)]
@@ -189,17 +198,32 @@ pub fn snapshot_json(snapshot: &CampaignSnapshot) -> String {
         w.field_u64("pulls", arm.pulls);
         w.field_f64("total_reward", arm.total_reward);
         w.field_u64("cycles", arm.cycles);
+        // The sliding reward window of windowed schedulers (empty
+        // otherwise). Rust's shortest-roundtrip float formatting keeps
+        // the f64 rewards exact through the decimal form.
+        w.key("recent_rewards");
+        w.open('[');
+        for &r in &arm.recent_rewards {
+            w.value_f64(r);
+        }
+        w.close(']');
+        w.key("recent_cycles");
+        w.open('[');
+        for &c in &arm.recent_cycles {
+            w.value_u64(c);
+        }
+        w.close(']');
         w.close('}');
     }
     w.close(']');
     w.close('}');
 
-    w.key("corpora");
+    w.key("generators");
     w.open('[');
-    for corpus in &snapshot.corpora {
-        match corpus {
+    for state in &snapshot.gen_states {
+        match state {
             None => w.value_raw("null"),
-            Some(c) => write_corpus(&mut w, c),
+            Some(s) => write_generator_state(&mut w, s),
         }
     }
     w.close(']');
@@ -234,15 +258,34 @@ pub fn snapshot_json(snapshot: &CampaignSnapshot) -> String {
     w.finish()
 }
 
-fn write_corpus(w: &mut JsonWriter, c: &CorpusState) {
+fn write_generator_state(w: &mut JsonWriter, s: &GeneratorState) {
     w.open('{');
-    w.field_str("generator", &c.generator);
+    w.field_str("generator", &s.generator);
     w.key("rng_words");
     w.open('[');
-    for &word in &c.rng_words {
+    for &word in &s.rng_words {
         w.value_u64(u64::from(word));
     }
     w.close(']');
+    match &s.corpus {
+        None => w.field_raw("corpus", "null"),
+        Some(c) => {
+            w.key("corpus");
+            write_corpus(w, c);
+        }
+    }
+    match &s.model {
+        None => w.field_raw("model", "null"),
+        Some(m) => {
+            w.key("model");
+            write_model(w, m);
+        }
+    }
+    w.close('}');
+}
+
+fn write_corpus(w: &mut JsonWriter, c: &CorpusState) {
+    w.open('{');
     w.field_u64("next_found_at", c.next_found_at);
     w.key("seeds");
     w.open('[');
@@ -256,6 +299,56 @@ fn write_corpus(w: &mut JsonWriter, c: &CorpusState) {
         w.field_u64("picks", s.picks);
         w.field_u64("found_at", s.found_at);
         w.close('}');
+    }
+    w.close(']');
+    w.close('}');
+}
+
+fn write_model(w: &mut JsonWriter, m: &ModelState) {
+    w.open('{');
+    w.field_raw("bpe", if m.bpe { "true" } else { "false" });
+    // Merge pairs flattened: [l0, r0, l1, r1, …].
+    w.key("merges");
+    w.open('[');
+    for &(left, right) in &m.merges {
+        w.value_u64(u64::from(left));
+        w.value_u64(u64::from(right));
+    }
+    w.close(']');
+    let blob_list = |w: &mut JsonWriter, key: &str, blobs: &[Vec<f32>]| {
+        w.key(key);
+        w.open('[');
+        for blob in blobs {
+            w.value_str(&f32s_to_hex(blob));
+        }
+        w.close(']');
+    };
+    blob_list(w, "params", &m.params);
+    blob_list(w, "opt_m", &m.opt_m);
+    blob_list(w, "opt_v", &m.opt_v);
+    w.field_u64("opt_steps", m.opt_steps);
+    w.key("prompt_pool");
+    w.open('[');
+    for program in &m.prompt_pool {
+        w.value_str(&words32_to_hex(program));
+    }
+    w.close(']');
+    w.key("pending");
+    w.open('[');
+    for group in &m.pending {
+        w.open('[');
+        for sample in group {
+            w.open('{');
+            w.field_u64("prompt_len", sample.prompt_len as u64);
+            w.key("tokens");
+            w.open('[');
+            for &t in &sample.tokens {
+                w.value_u64(u64::from(t));
+            }
+            w.close(']');
+            w.close('}');
+        }
+        w.close(']');
     }
     w.close(']');
     w.close('}');
@@ -451,6 +544,20 @@ fn words32_to_hex(words: &[u32]) -> String {
 fn hex_to_words32(hex: &str) -> Result<Vec<u32>> {
     // 8 hex digits never exceed u32::MAX, so the narrowing is lossless.
     Ok(hex_to_words_width(hex, 8, "instruction")?.into_iter().map(|w| w as u32).collect())
+}
+
+/// Model weights travel as the hex of each `f32`'s bit pattern — the
+/// round trip is `to_bits`/`from_bits`, so no value (including NaNs,
+/// subnormals, and signed zeros) is disturbed by a decimal detour.
+fn f32s_to_hex(values: &[f32]) -> String {
+    words_to_hex_width(values.iter().map(|&v| u64::from(v.to_bits())), 8)
+}
+
+fn hex_to_f32s(hex: &str) -> Result<Vec<f32>> {
+    Ok(hex_to_words_width(hex, 8, "weight")?
+        .into_iter()
+        .map(|w| f32::from_bits(w as u32))
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -810,25 +917,33 @@ pub fn parse_snapshot(text: &str, space: &Arc<Space>) -> Result<CampaignSnapshot
         .collect::<Result<Vec<_>>>()?;
 
     let sched = doc.get("scheduler")?;
-    let rng_words = sched
-        .get("rng_words")?
-        .as_arr("scheduler.rng_words")?
-        .iter()
-        .map(|wrd| {
-            let v = wrd.as_u64("scheduler.rng_words")?;
-            u32::try_from(v)
-                .map_err(|_| PersistError::Parse(format!("scheduler.rng_words: {v} exceeds u32")))
-        })
-        .collect::<Result<Vec<_>>>()?;
+    let rng_words = read_rng_words(sched.get("rng_words")?, "scheduler.rng_words")?;
     let arms = sched
         .get("arms")?
         .as_arr("scheduler.arms")?
         .iter()
         .map(|a| {
+            let recent_rewards = a
+                .get("recent_rewards")?
+                .as_arr("scheduler.arms.recent_rewards")?
+                .iter()
+                .map(|r| r.as_f64("scheduler.arms.recent_rewards"))
+                .collect::<Result<Vec<_>>>()?;
+            let recent_cycles = a
+                .get("recent_cycles")?
+                .as_arr("scheduler.arms.recent_cycles")?
+                .iter()
+                .map(|c| c.as_u64("scheduler.arms.recent_cycles"))
+                .collect::<Result<Vec<_>>>()?;
+            if recent_rewards.len() != recent_cycles.len() {
+                return err("scheduler arm reward/cycle windows disagree in length");
+            }
             Ok(ArmState {
                 pulls: a.get("pulls")?.as_u64("scheduler.arms.pulls")?,
                 total_reward: a.get("total_reward")?.as_f64("scheduler.arms.total_reward")?,
                 cycles: a.get("cycles")?.as_u64("scheduler.arms.cycles")?,
+                recent_rewards,
+                recent_cycles,
             })
         })
         .collect::<Result<Vec<_>>>()?;
@@ -840,16 +955,16 @@ pub fn parse_snapshot(text: &str, space: &Arc<Space>) -> Result<CampaignSnapshot
         arms,
     };
 
-    let corpora = doc
-        .get("corpora")?
-        .as_arr("corpora")?
+    let gen_states = doc
+        .get("generators")?
+        .as_arr("generators")?
         .iter()
-        .map(|c| if *c == Json::Null { Ok(None) } else { read_corpus(c).map(Some) })
+        .map(|g| if *g == Json::Null { Ok(None) } else { read_generator_state(g).map(Some) })
         .collect::<Result<Vec<_>>>()?;
-    if corpora.len() != gen_stats.len() {
+    if gen_states.len() != gen_stats.len() {
         return err(format!(
-            "corpora carries {} entries for {} generators",
-            corpora.len(),
+            "generators carries {} entries for {} generator stats",
+            gen_states.len(),
             gen_stats.len()
         ));
     }
@@ -900,7 +1015,7 @@ pub fn parse_snapshot(text: &str, space: &Arc<Space>) -> Result<CampaignSnapshot
         history,
         gen_stats,
         scheduler,
-        corpora,
+        gen_states,
         tests_run: doc.get("tests_run")?.as_usize("tests_run")?,
         batches_run: doc.get("batches_run")?.as_usize("batches_run")?,
         total_cycles: doc.get("total_cycles")?.as_u64("total_cycles")?,
@@ -910,20 +1025,34 @@ pub fn parse_snapshot(text: &str, space: &Arc<Space>) -> Result<CampaignSnapshot
     })
 }
 
-fn read_corpus(value: &Json) -> Result<CorpusState> {
-    let rng_words = value
-        .get("rng_words")?
-        .as_arr("corpora.rng_words")?
+fn read_rng_words(value: &Json, what: &str) -> Result<Vec<u32>> {
+    value
+        .as_arr(what)?
         .iter()
         .map(|wrd| {
-            let v = wrd.as_u64("corpora.rng_words")?;
-            u32::try_from(v)
-                .map_err(|_| PersistError::Parse(format!("corpora.rng_words: {v} exceeds u32")))
+            let v = wrd.as_u64(what)?;
+            u32::try_from(v).map_err(|_| PersistError::Parse(format!("{what}: {v} exceeds u32")))
         })
-        .collect::<Result<Vec<_>>>()?;
+        .collect()
+}
+
+fn read_generator_state(value: &Json) -> Result<GeneratorState> {
+    let corpus = value.get("corpus")?;
+    let corpus = if *corpus == Json::Null { None } else { Some(read_corpus(corpus)?) };
+    let model = value.get("model")?;
+    let model = if *model == Json::Null { None } else { Some(read_model(model)?) };
+    Ok(GeneratorState {
+        generator: value.get("generator")?.as_str("generators.generator")?.to_string(),
+        rng_words: read_rng_words(value.get("rng_words")?, "generators.rng_words")?,
+        corpus,
+        model,
+    })
+}
+
+fn read_corpus(value: &Json) -> Result<CorpusState> {
     let seeds = value
         .get("seeds")?
-        .as_arr("corpora.seeds")?
+        .as_arr("corpus.seeds")?
         .iter()
         .map(|s| {
             Ok(CorpusSeedState {
@@ -938,10 +1067,82 @@ fn read_corpus(value: &Json) -> Result<CorpusState> {
         })
         .collect::<Result<Vec<_>>>()?;
     Ok(CorpusState {
-        generator: value.get("generator")?.as_str("corpora.generator")?.to_string(),
-        rng_words,
-        next_found_at: value.get("next_found_at")?.as_u64("corpora.next_found_at")?,
+        next_found_at: value.get("next_found_at")?.as_u64("corpus.next_found_at")?,
         seeds,
+    })
+}
+
+fn read_model(value: &Json) -> Result<ModelState> {
+    let merge_ids = value
+        .get("merges")?
+        .as_arr("model.merges")?
+        .iter()
+        .map(|m| {
+            let v = m.as_u64("model.merges")?;
+            u32::try_from(v)
+                .map_err(|_| PersistError::Parse(format!("model.merges: {v} exceeds u32")))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    if !merge_ids.len().is_multiple_of(2) {
+        return err("model.merges holds an odd number of ids (pairs expected)");
+    }
+    let merges: Vec<(u32, u32)> = merge_ids.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+
+    let blob_list = |key: &str| -> Result<Vec<Vec<f32>>> {
+        value.get(key)?.as_arr(key)?.iter().map(|b| hex_to_f32s(b.as_str(key)?)).collect()
+    };
+    let params = blob_list("params")?;
+    let opt_m = blob_list("opt_m")?;
+    let opt_v = blob_list("opt_v")?;
+    if opt_m.len() != opt_v.len() {
+        return err("model optimiser moment lists disagree in length");
+    }
+
+    let prompt_pool = value
+        .get("prompt_pool")?
+        .as_arr("model.prompt_pool")?
+        .iter()
+        .map(|p| hex_to_words32(p.as_str("model.prompt_pool")?))
+        .collect::<Result<Vec<_>>>()?;
+
+    let pending = value
+        .get("pending")?
+        .as_arr("model.pending")?
+        .iter()
+        .map(|group| {
+            group
+                .as_arr("model.pending")?
+                .iter()
+                .map(|s| {
+                    let tokens = s
+                        .get("tokens")?
+                        .as_arr("pending.tokens")?
+                        .iter()
+                        .map(|t| {
+                            let v = t.as_u64("pending.tokens")?;
+                            u32::try_from(v).map_err(|_| {
+                                PersistError::Parse(format!("pending.tokens: {v} exceeds u32"))
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    Ok(ModelSample {
+                        tokens,
+                        prompt_len: s.get("prompt_len")?.as_usize("pending.prompt_len")?,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    Ok(ModelState {
+        bpe: value.get("bpe")?.as_bool("model.bpe")?,
+        merges,
+        params,
+        opt_m,
+        opt_v,
+        opt_steps: value.get("opt_steps")?.as_u64("model.opt_steps")?,
+        prompt_pool,
+        pending,
     })
 }
 
@@ -1156,7 +1357,7 @@ mod tests {
         let snapshot = sample_snapshot();
         let space = factory()().space().clone();
         let doc =
-            snapshot_json(&snapshot).replacen("\"schema_version\":2", "\"schema_version\":999", 1);
+            snapshot_json(&snapshot).replacen("\"schema_version\":3", "\"schema_version\":999", 1);
         match parse_snapshot(&doc, &space) {
             Err(PersistError::SchemaVersion { found: 999, supported }) => {
                 assert_eq!(supported, SCHEMA_VERSION);
@@ -1182,7 +1383,7 @@ mod tests {
     fn parse_rejects_corrupt_documents() {
         let space = factory()().space().clone();
         for bad in
-            ["", "{", "[1,2", "{\"schema_version\":2}", "{\"schema_version\":\"one\"}", "nullnull"]
+            ["", "{", "[1,2", "{\"schema_version\":3}", "{\"schema_version\":\"one\"}", "nullnull"]
         {
             assert!(parse_snapshot(bad, &space).is_err(), "accepted {bad:?}");
         }

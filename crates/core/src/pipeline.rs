@@ -240,11 +240,15 @@ pub fn train_chatfuzz(
 
     // ---- Step 3: optimisation PPO with the coverage reward. ----
     //
-    // The paper runs this *inside* the fuzzing loop, and so do we: the
-    // cleaned-up policy is wrapped as the online-training LmGenerator and
-    // driven by a single-worker campaign session for
-    // `optimize_iters × optimize_batch` tests; a campaign observer turns
-    // each batch into one telemetry point.
+    // The paper runs this *inside* the fuzzing loop, and so do we: step 3
+    // is nothing but a thin wrapper over a Campaign carrying the LM arm —
+    // the cleaned-up policy becomes the online-training LmGenerator
+    // (sampling through its KV cache), a single-worker campaign session
+    // drives `optimize_iters × optimize_batch` tests, and a campaign
+    // observer turns each batch into one telemetry point. There is no
+    // bespoke rollout/simulate loop here: the same code path that serves
+    // production campaigns (scheduling, feedback, durability) trains the
+    // model.
     let probe = dut_factory();
     let total_bins = probe.space().total_bins();
     drop(probe);

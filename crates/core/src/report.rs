@@ -277,6 +277,15 @@ impl JsonWriter {
         let _ = write!(self.out, "{value}");
     }
 
+    pub(crate) fn value_f64(&mut self, value: f64) {
+        self.elem();
+        if value.is_finite() {
+            let _ = write!(self.out, "{value}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
     /// A raw array element (e.g. `null` for an absent optional entry).
     pub(crate) fn value_raw(&mut self, raw: &str) {
         self.elem();

@@ -40,8 +40,13 @@
 //! per-generator statistics sum, counters sum, wall-clock takes the
 //! parallel maximum, and the history keeps shard 0's exact curve followed
 //! by one boundary point per additional shard (the union coverage after
-//! folding that shard in). A 1-shard merge is therefore byte-identical
-//! (modulo wall clock) to the underlying plain campaign.
+//! folding that shard in). Generator state merges half by half:
+//! evolutionary corpora union fingerprint-deduped (shard 0's statistics
+//! win on collision), while model state — LM weights, optimiser moments,
+//! prompt pool, RNG stream — is shard 0's wholesale, since averaging
+//! independently trained weights would manufacture a policy no shard
+//! ever ran. A 1-shard merge is therefore byte-identical (modulo wall
+//! clock) to the underlying plain campaign, model state included.
 
 use std::fmt;
 use std::io;
@@ -377,15 +382,21 @@ impl ShardedOutcome {
                     "shard {i} generator line-up {theirs:?} differs from shard 0's {names:?}"
                 )));
             }
-            // Identical line-ups must agree on which arms carry a
-            // corpus, or the fingerprint-deduped union below has nothing
-            // sound to fold.
-            let corpus_shape =
-                |snap: &CampaignSnapshot| snap.corpora.iter().map(Option::is_some).collect();
-            let shape: Vec<bool> = corpus_shape(s);
-            if shape != corpus_shape(first) {
+            // Identical line-ups must agree on which arms carry which
+            // state halves (corpus/model), or the merge below has
+            // nothing sound to fold.
+            let state_shape = |snap: &CampaignSnapshot| -> Vec<(bool, bool, bool)> {
+                snap.gen_states
+                    .iter()
+                    .map(|g| match g {
+                        None => (false, false, false),
+                        Some(s) => (true, s.corpus.is_some(), s.model.is_some()),
+                    })
+                    .collect()
+            };
+            if state_shape(s) != state_shape(first) {
                 return Err(ShardError::Merge(format!(
-                    "shard {i} carries corpus state for a different set of generators \
+                    "shard {i} carries generator state of a different shape \
                      than shard 0"
                 )));
             }
@@ -426,14 +437,22 @@ impl ShardedOutcome {
                 mine.new_bins += theirs.new_bins;
                 mine.cycles += theirs.cycles;
             }
-            // Evolutionary corpora merge as a fingerprint-deduped union:
-            // shard 0's seeds keep their statistics, every later shard
-            // contributes only seeds with unseen coverage fingerprints,
-            // re-stamped with fresh discovery counters so ordering stays
-            // unique. Shard 0's RNG stream carries over, mirroring how
-            // the merged snapshot keeps shard 0's scheduler stream.
-            for (mine, theirs) in merged.corpora.iter_mut().zip(&s.corpora) {
+            // Generator state merges half by half. Evolutionary corpora
+            // union fingerprint-deduped: shard 0's seeds keep their
+            // statistics, every later shard contributes only seeds with
+            // unseen coverage fingerprints, re-stamped with fresh
+            // discovery counters so ordering stays unique. Model state is
+            // winner-takes-all: shard 0's weights, optimiser moments, and
+            // prompt pool carry over untouched (weight averaging would
+            // manufacture a policy no shard ever trained). Shard 0's RNG
+            // streams carry over too, mirroring how the merged snapshot
+            // keeps shard 0's scheduler stream.
+            for (mine, theirs) in merged.gen_states.iter_mut().zip(&s.gen_states) {
                 let (Some(mine), Some(theirs)) = (mine.as_mut(), theirs.as_ref()) else {
+                    continue;
+                };
+                let (Some(mine), Some(theirs)) = (mine.corpus.as_mut(), theirs.corpus.as_ref())
+                else {
                     continue;
                 };
                 for seed in &theirs.seeds {

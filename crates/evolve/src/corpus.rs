@@ -17,7 +17,8 @@
 //!
 //! Parent selection draws proportionally to energy from the corpus's own
 //! ChaCha stream, so scheduling is bit-reproducible and survives
-//! snapshot/resume (the stream is part of [`CorpusState`]). Eviction
+//! snapshot/resume (the stream rides in the generator's
+//! `GeneratorState::rng_words`). Eviction
 //! (over [`Corpus::max_seeds`]) removes the lowest-energy,
 //! youngest-on-tie seed; every quantity involved is an integer, so the
 //! whole store round-trips exactly through the persisted form.
@@ -48,6 +49,9 @@ pub struct Corpus {
     next_found_at: u64,
     max_seeds: usize,
     max_new_bins: u64,
+    /// Bumped on every content change (insert/eviction/import) — the
+    /// cheap change signal behind `InputGenerator::seeds_revision`.
+    revision: u64,
 }
 
 impl Corpus {
@@ -64,7 +68,13 @@ impl Corpus {
             next_found_at: 0,
             max_seeds,
             max_new_bins: 0,
+            revision: 0,
         }
+    }
+
+    /// A counter that changes whenever the retained seed set changes.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Number of retained seeds.
@@ -120,6 +130,7 @@ impl Corpus {
         while self.seeds.len() > self.max_seeds {
             self.evict_one();
         }
+        self.revision += 1;
         true
     }
 
@@ -201,6 +212,7 @@ impl Corpus {
         self.by_fingerprint.clear();
         self.next_found_at = state.next_found_at;
         self.max_new_bins = 0;
+        self.revision += 1;
         for s in &state.seeds {
             let instrs: Vec<Instr> = s
                 .words

@@ -31,10 +31,13 @@
 //! `InputGenerator::observe` — the same batch-outcome path every other
 //! generator uses; no side channel. The whole generator state (corpus,
 //! pick counters, ChaCha stream) exports as a
-//! [`CorpusState`](chatfuzz_baselines::CorpusState) through
-//! `InputGenerator::export_corpus`, rides in the campaign snapshot, and
-//! is restored by `import_corpus` on resume — so a SIGKILLed campaign
-//! continues bit-for-bit, retained seeds included.
+//! [`GeneratorState`](chatfuzz_baselines::GeneratorState) (corpus half
+//! populated) through `InputGenerator::export_state`, rides in the
+//! campaign snapshot, and is restored by `import_state` on resume — so a
+//! SIGKILLed campaign continues bit-for-bit, retained seeds included.
+//! The retained seeds are also published through
+//! `InputGenerator::contribute_seeds`, which the campaign's cross-arm
+//! exchange feeds to the LM generator's prompt pool.
 //!
 //! # Examples
 //!
@@ -59,7 +62,7 @@ pub mod mutate;
 
 pub use corpus::{Corpus, Seed};
 
-use chatfuzz_baselines::{random_instr, CorpusState, Feedback, InputGenerator};
+use chatfuzz_baselines::{random_instr, CorpusState, Feedback, GeneratorState, InputGenerator};
 use chatfuzz_isa::{decode, encode, Instr, INSTR_BYTES};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -221,20 +224,33 @@ impl InputGenerator for EvolveGenerator {
         }
     }
 
-    fn export_corpus(&self) -> Option<CorpusState> {
-        let mut state = CorpusState {
+    fn export_state(&self) -> Option<GeneratorState> {
+        let mut corpus = CorpusState::default();
+        self.corpus.export_into(&mut corpus);
+        Some(GeneratorState {
             generator: self.name().to_string(),
             rng_words: self.rng.export_words(),
-            ..Default::default()
-        };
-        self.corpus.export_into(&mut state);
-        Some(state)
+            corpus: Some(corpus),
+            model: None,
+        })
     }
 
-    fn import_corpus(&mut self, state: &CorpusState) {
-        assert_eq!(state.generator, self.name(), "corpus state kind mismatch");
+    fn import_state(&mut self, state: &GeneratorState) {
+        assert_eq!(state.generator, self.name(), "generator state kind mismatch");
+        let corpus = state.corpus.as_ref().expect("evolve state carries a corpus");
         self.rng = ChaCha8Rng::from_words(&state.rng_words).expect("corrupt corpus RNG state");
-        self.corpus.import(state);
+        self.corpus.import(corpus);
+    }
+
+    fn seeds_revision(&self) -> u64 {
+        self.corpus.revision()
+    }
+
+    fn contribute_seeds(&self, out: &mut Vec<Vec<u32>>) {
+        // Publish the retained seeds (insertion order, deterministic) so
+        // other arms — the LM generator's prompt pool in particular — can
+        // build on the coverage frontier this arm discovered.
+        out.extend(self.corpus.seeds().iter().map(|s| s.state.words.clone()));
     }
 }
 
@@ -311,12 +327,13 @@ mod tests {
                 (0..8).map(|i| fed(i % 4, round * 10 + i as u64)).collect();
             g.observe(&batch, &feedback);
         }
-        let state = g.export_corpus().expect("evolve exports a corpus");
+        let state = g.export_state().expect("evolve exports state");
         assert_eq!(state.generator, "evolve");
-        assert!(!state.seeds.is_empty());
+        assert!(state.model.is_none(), "evolve keeps no model state");
+        assert!(!state.corpus.as_ref().expect("corpus half").seeds.is_empty());
 
         let mut restored = EvolveGenerator::new(EvolveConfig::default());
-        restored.import_corpus(&state);
+        restored.import_state(&state);
         assert_eq!(restored.corpus_len(), g.corpus_len());
         // The continuation is bit-identical: same batches, same
         // retention decisions.
@@ -329,14 +346,28 @@ mod tests {
             g.observe(&a, &feedback);
             restored.observe(&b, &feedback);
         }
-        assert_eq!(g.export_corpus(), restored.export_corpus());
+        assert_eq!(g.export_state(), restored.export_state());
     }
 
     #[test]
-    #[should_panic(expected = "corpus state kind mismatch")]
-    fn import_rejects_foreign_corpus() {
-        let state = CorpusState { generator: "other".to_string(), ..Default::default() };
-        EvolveGenerator::new(EvolveConfig::default()).import_corpus(&state);
+    #[should_panic(expected = "generator state kind mismatch")]
+    fn import_rejects_foreign_state() {
+        let state = GeneratorState { generator: "other".to_string(), ..Default::default() };
+        EvolveGenerator::new(EvolveConfig::default()).import_state(&state);
+    }
+
+    #[test]
+    fn contributed_seeds_match_the_corpus() {
+        let mut g = EvolveGenerator::new(EvolveConfig::default());
+        let batch = g.next_batch(4);
+        let feedback: Vec<Feedback> = (0..4).map(|i| fed(2, 10 + i)).collect();
+        g.observe(&batch, &feedback);
+        let mut shared = Vec::new();
+        g.contribute_seeds(&mut shared);
+        assert_eq!(shared.len(), g.corpus_len());
+        for (seed, words) in g.corpus().seeds().iter().zip(&shared) {
+            assert_eq!(&seed.state.words, words);
+        }
     }
 
     #[test]

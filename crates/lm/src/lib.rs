@@ -7,24 +7,44 @@
 //!
 //! * [`tokenizer::Tokenizer`] — BPE over instruction hex nibbles with an
 //!   instruction separator; malformed decodes map to illegal words so the
-//!   cleanup-RL reward can penalise them;
+//!   cleanup-RL reward can penalise them; serialisable via
+//!   `merges`/`from_parts` for model-state checkpoints;
 //! * [`model::Gpt`] — a decoder-only transformer with a PPO value head,
-//!   built on `chatfuzz-autograd`;
+//!   built on `chatfuzz-autograd`, with two sampling paths: the naive
+//!   per-token full forward ([`Gpt::generate`], kept as the equality
+//!   baseline) and the KV-cached incremental decoder
+//!   ([`Gpt::generate_into`] / [`Gpt::generate_batch_into`] over a
+//!   reusable [`KvCache`] arena) — token-identical by construction,
+//!   `O(T)` instead of `O(T²)` rows per sequence;
 //! * [`train`] — the unsupervised "Initial Training" step;
-//! * [`ngram::NgramLm`] — the generator ablation (A1 in DESIGN.md).
+//! * [`ngram::NgramLm`] — the generator ablation (A1 in DESIGN.md), with
+//!   [`NgramLm::absorb`] for online count updates.
 //!
 //! # Examples
 //!
+//! Sample through the KV-cached path (the campaign's production path; the
+//! naive `generate` returns the same tokens, one full forward per token):
+//!
 //! ```
-//! use chatfuzz_lm::{Gpt, GptConfig, Tokenizer};
+//! use chatfuzz_lm::{Gpt, GptConfig, KvCache, Tokenizer};
+//! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
 //! let corpus = vec![vec![0x0010_0093u32, 0x0000_0533]];
 //! let tok = Tokenizer::train(&corpus, 64);
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-//! let model = Gpt::new(GptConfig::tiny(tok.vocab_size() as usize), &mut rng);
-//! let tokens = model.generate(&[chatfuzz_lm::tokenizer::BOS], 8, 1.0, 8, &mut rng);
+//! let model = Gpt::new(
+//!     GptConfig::tiny(tok.vocab_size() as usize),
+//!     &mut StdRng::seed_from_u64(0),
+//! );
+//!
+//! let mut cache = KvCache::new(*model.config());
+//! let mut tokens = Vec::new();
+//! let prompt = [chatfuzz_lm::tokenizer::BOS];
+//! model.generate_into(&prompt, 8, 1.0, 8, &mut StdRng::seed_from_u64(1), &mut cache, &mut tokens);
 //! let _program_bytes = tok.decode_to_bytes(&tokens);
+//!
+//! // The naive path emits the same tokens under the same RNG stream.
+//! assert_eq!(model.generate(&prompt, 8, 1.0, 8, &mut StdRng::seed_from_u64(1)), tokens);
 //! ```
 
 pub mod model;
@@ -32,7 +52,7 @@ pub mod ngram;
 pub mod tokenizer;
 pub mod train;
 
-pub use model::{sample_row, Forward, Gpt, GptConfig};
+pub use model::{sample_row, Forward, Gpt, GptConfig, KvCache};
 pub use ngram::NgramLm;
 pub use tokenizer::Tokenizer;
 pub use train::{evaluate_lm, train_lm, TrainConfig, TrainStep};

@@ -4,8 +4,26 @@
 //! 2-layer, 64-dim decoder trained on-CPU captures the same pipeline. The
 //! model carries a scalar value head used by the PPO phases (paper
 //! §III-B.2/3) and ties its output embedding to `wte` like GPT-2.
+//!
+//! # Sampling paths
+//!
+//! [`Gpt::generate`] is the naive reference sampler: every token re-runs
+//! a full `O(T)`-row forward through the autodiff tape, so sampling a
+//! sequence costs `O(T²)` rows (plus tape bookkeeping). It is kept
+//! deliberately un-optimised as the equality baseline.
+//!
+//! [`Gpt::generate_into`] is the production path: a tape-free incremental
+//! decoder over a reusable [`KvCache`] arena. Each step computes only the
+//! new token's row, attending over the cached per-layer K/V rows —
+//! `O(T)` work per token instead of `O(T²)`. Its arithmetic mirrors the
+//! tape ops row for row (same accumulation order, same skip-on-zero
+//! matmul, same layer-norm epsilon, shared GELU scalar and
+//! [`sample_row`]), so given the same RNG it emits **token-identical**
+//! output to `generate` — a pinned invariant (`tests/tests/it_lm.rs`).
+//! [`Gpt::generate_batch_into`] amortises the arena and output buffers
+//! over many sequences.
 
-use chatfuzz_autograd::{Tape, Tensor, Value};
+use chatfuzz_autograd::{gelu_scalar, Tape, Tensor, Value};
 use rand::Rng;
 
 use crate::tokenizer::EOS;
@@ -291,6 +309,288 @@ impl Gpt {
         }
         tokens
     }
+
+    /// KV-cached sampling into a caller-owned buffer: token-identical to
+    /// [`Gpt::generate`] under the same RNG, but each step runs only the
+    /// new token's row against the cached keys/values instead of
+    /// re-running the whole window (see the module docs). `out` receives
+    /// prompt + continuation; the cache is reset on entry and reusable
+    /// across calls, models permitting ([`KvCache::new`] shape).
+    ///
+    /// While the sequence still fits the context window only new rows
+    /// run; once it exceeds `max_seq` the window slides and the cache is
+    /// rebuilt per step (the naive path re-runs the window there too, so
+    /// the speedup degrades gracefully to parity, never below).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was allocated for a different configuration or
+    /// a token is outside the vocabulary.
+    #[allow(clippy::too_many_arguments)] // mirrors `generate` + (cache, out)
+    pub fn generate_into<R: Rng>(
+        &self,
+        prompt: &[u32],
+        max_new: usize,
+        temperature: f32,
+        top_k: usize,
+        rng: &mut R,
+        cache: &mut KvCache,
+        out: &mut Vec<u32>,
+    ) {
+        assert_eq!(cache.cfg, self.cfg, "KV cache was allocated for a different model shape");
+        out.clear();
+        out.extend_from_slice(prompt);
+        if out.is_empty() {
+            out.push(crate::tokenizer::BOS);
+        }
+        cache.reset();
+        let mut window_start = 0usize;
+        for _ in 0..max_new {
+            let start = out.len().saturating_sub(self.cfg.max_seq);
+            if start != window_start {
+                // The window slid: cached rows were computed under other
+                // position embeddings — rebuild from the new start.
+                cache.reset();
+                window_start = start;
+            }
+            // Feed every not-yet-cached row of the current window; the
+            // last row's logits drive the sample. On the first iteration
+            // this is the whole prompt (prefill), afterwards just the
+            // freshly appended token.
+            for &token in &out[window_start + cache.len..] {
+                self.decode_step(cache, token);
+            }
+            let next = sample_row(&cache.logits, temperature, top_k, rng);
+            out.push(next);
+            if next == EOS {
+                break;
+            }
+        }
+    }
+
+    /// Samples one continuation per prompt through a single shared
+    /// [`KvCache`] arena, recycling the per-sequence output buffers in
+    /// `outs`. Sequences are sampled in order from the shared RNG, so the
+    /// result equals calling [`Gpt::generate_into`] per prompt — and
+    /// therefore [`Gpt::generate`] — back to back.
+    #[allow(clippy::too_many_arguments)] // mirrors `generate` + (cache, outs)
+    pub fn generate_batch_into<R: Rng>(
+        &self,
+        prompts: &[Vec<u32>],
+        max_new: usize,
+        temperature: f32,
+        top_k: usize,
+        rng: &mut R,
+        cache: &mut KvCache,
+        outs: &mut Vec<Vec<u32>>,
+    ) {
+        outs.resize_with(prompts.len(), Vec::new);
+        for (prompt, out) in prompts.iter().zip(outs.iter_mut()) {
+            self.generate_into(prompt, max_new, temperature, top_k, rng, cache, out);
+        }
+    }
+
+    /// Appends one token to the cache (position `cache.len()`) and leaves
+    /// the next-token logits in `cache.logits`. The arithmetic mirrors
+    /// [`Gpt::forward`]'s tape ops row for row — see the module docs for
+    /// why that makes the two paths token-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is full (`max_seq` rows) or `token` is out of
+    /// vocabulary.
+    pub fn decode_step(&self, cache: &mut KvCache, token: u32) {
+        assert_eq!(cache.cfg, self.cfg, "KV cache was allocated for a different model shape");
+        assert!(cache.len < self.cfg.max_seq, "KV cache is full (window must slide)");
+        assert!((token as usize) < self.cfg.vocab, "token {token} out of vocab");
+        let pos = cache.len;
+        let d = self.cfg.d_model;
+        let hd = d / self.cfg.n_head;
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        // x = wte[token] + wpe[pos] (same add order as the tape).
+        let tok_row = self.wte.row(token as usize);
+        let pos_row = self.wpe.row(pos);
+        for (x, (t, p)) in cache.x.iter_mut().zip(tok_row.iter().zip(pos_row)) {
+            *x = t + p;
+        }
+
+        for (layer, b) in self.blocks.iter().enumerate() {
+            // Attention half: norm, project the new row's q/k/v, cache
+            // k/v, attend over everything cached so far.
+            layer_norm_row(&cache.x, &b.ln1_g, &b.ln1_b, &mut cache.h);
+            row_matmul(&cache.h, &b.wq, &mut cache.qrow);
+            let k_row = &mut cache.k[layer][pos * d..(pos + 1) * d];
+            row_matmul_into(&cache.h, &b.wk, k_row);
+            let v_row = &mut cache.v[layer][pos * d..(pos + 1) * d];
+            row_matmul_into(&cache.h, &b.wv, v_row);
+
+            for head in 0..self.cfg.n_head {
+                let hs = head * hd;
+                // Scores against every cached key row (the causal row
+                // `pos` of the full score matrix), then the same
+                // max/exp/denominator softmax the tape applies.
+                let qh = &cache.qrow[hs..hs + hd];
+                for j in 0..=pos {
+                    let kh = &cache.k[layer][j * d + hs..j * d + hs + hd];
+                    let mut acc = 0.0;
+                    for (x, y) in qh.iter().zip(kh) {
+                        acc += x * y;
+                    }
+                    cache.att[j] = acc * scale;
+                }
+                let max = cache.att[..=pos].iter().cloned().fold(f32::MIN, f32::max);
+                let mut denom = 0.0;
+                for j in 0..=pos {
+                    denom += (cache.att[j] - max).exp();
+                }
+                for j in 0..=pos {
+                    cache.att[j] = (cache.att[j] - max).exp() / denom;
+                }
+                // ctx_head = att · V (k ascending, skip-on-zero like the
+                // tape's matmul).
+                let ctx_head = &mut cache.ctx[hs..hs + hd];
+                ctx_head.fill(0.0);
+                for j in 0..=pos {
+                    let a = cache.att[j];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let vh = &cache.v[layer][j * d + hs..j * d + hs + hd];
+                    for (c, y) in ctx_head.iter_mut().zip(vh) {
+                        *c += a * y;
+                    }
+                }
+            }
+            row_matmul(&cache.ctx, &b.wo, &mut cache.h);
+            for (x, p) in cache.x.iter_mut().zip(&cache.h) {
+                *x += p;
+            }
+
+            // Feed-forward half.
+            layer_norm_row(&cache.x, &b.ln2_g, &b.ln2_b, &mut cache.h);
+            row_matmul(&cache.h, &b.w1, &mut cache.ff);
+            for (a, bias) in cache.ff.iter_mut().zip(b.b1.row(0)) {
+                *a = gelu_scalar(*a + bias);
+            }
+            row_matmul(&cache.ff, &b.w2, &mut cache.h);
+            for ((x, a), bias) in cache.x.iter_mut().zip(&cache.h).zip(b.b2.row(0)) {
+                *x += a + bias;
+            }
+        }
+
+        // Final norm + weight-tied logits (matmul_nt row: plain ascending
+        // dot against every embedding row).
+        layer_norm_row(&cache.x, &self.lnf_g, &self.lnf_b, &mut cache.h);
+        for (j, l) in cache.logits.iter_mut().enumerate() {
+            let wrow = self.wte.row(j);
+            let mut acc = 0.0;
+            for (x, y) in cache.h.iter().zip(wrow) {
+                acc += x * y;
+            }
+            *l = acc;
+        }
+        cache.len += 1;
+    }
+}
+
+/// Reusable arena for [`Gpt::generate_into`]: per-layer key/value rows of
+/// the current window plus every scratch row the incremental decoder
+/// needs. Allocate once per model shape, reuse across sequences — steady
+/// state sampling is then allocation-free.
+#[derive(Debug)]
+pub struct KvCache {
+    cfg: GptConfig,
+    /// Cached rows (tokens fed so far within the current window).
+    len: usize,
+    /// Per layer: cached key rows, `max_seq × d_model` row-major.
+    k: Vec<Vec<f32>>,
+    /// Per layer: cached value rows.
+    v: Vec<Vec<f32>>,
+    // Scratch rows, reused every step.
+    x: Vec<f32>,
+    h: Vec<f32>,
+    qrow: Vec<f32>,
+    ctx: Vec<f32>,
+    ff: Vec<f32>,
+    att: Vec<f32>,
+    /// Next-token logits of the last [`Gpt::decode_step`].
+    logits: Vec<f32>,
+}
+
+impl KvCache {
+    /// Allocates an arena for models of configuration `cfg`.
+    pub fn new(cfg: GptConfig) -> KvCache {
+        KvCache {
+            cfg,
+            len: 0,
+            k: (0..cfg.n_layer).map(|_| vec![0.0; cfg.max_seq * cfg.d_model]).collect(),
+            v: (0..cfg.n_layer).map(|_| vec![0.0; cfg.max_seq * cfg.d_model]).collect(),
+            x: vec![0.0; cfg.d_model],
+            h: vec![0.0; cfg.d_model.max(cfg.d_ff)],
+            qrow: vec![0.0; cfg.d_model],
+            ctx: vec![0.0; cfg.d_model],
+            ff: vec![0.0; cfg.d_ff],
+            att: vec![0.0; cfg.max_seq],
+            logits: vec![0.0; cfg.vocab],
+        }
+    }
+
+    /// Number of cached rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows are cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Discards the cached rows (keeps the allocations).
+    pub fn reset(&mut self) {
+        self.len = 0;
+    }
+
+    /// The next-token logits left by the last [`Gpt::decode_step`].
+    pub fn logits(&self) -> &[f32] {
+        &self.logits
+    }
+}
+
+/// One row of `Tensor::matmul`: `out[j] = Σ_k row[k]·w[k][j]`, `k`
+/// ascending with the batched product's skip-on-zero, so the accumulation
+/// is bit-identical to the tape's full-matrix forward.
+fn row_matmul(row: &[f32], w: &Tensor, out: &mut Vec<f32>) {
+    out.resize(w.cols(), 0.0);
+    row_matmul_into(row, w, out);
+}
+
+fn row_matmul_into(row: &[f32], w: &Tensor, out: &mut [f32]) {
+    assert_eq!(row.len(), w.rows(), "row_matmul dims");
+    assert_eq!(out.len(), w.cols(), "row_matmul out dims");
+    out.fill(0.0);
+    for (k, &a) in row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        for (o, &b) in out.iter_mut().zip(w.row(k)) {
+            *o += a * b;
+        }
+    }
+}
+
+/// One row of the tape's layer norm: same mean/variance summation order,
+/// same `1e-5` epsilon, same `xhat·gain + bias` form.
+fn layer_norm_row(row: &[f32], gain: &Tensor, bias: &Tensor, out: &mut Vec<f32>) {
+    const EPS: f32 = 1e-5;
+    let n = row.len();
+    out.resize(n, 0.0);
+    let mean = row.iter().sum::<f32>() / n as f32;
+    let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+    let rstd = 1.0 / (var + EPS).sqrt();
+    for c in 0..n {
+        out[c] = (row[c] - mean) * rstd * gain.get(0, c) + bias.get(0, c);
+    }
 }
 
 /// Temperature + top-k sampling from a logit row.
@@ -376,6 +676,47 @@ mod tests {
         let out = model.generate(&[1], 16, 1.0, 8, &mut rng());
         assert!(out.len() <= 17);
         assert!(out.iter().all(|&t| t < 20));
+    }
+
+    /// The KV-cached sampler is token-identical to the naive path under
+    /// the same RNG — across temperatures, top-k settings, and prompts
+    /// long enough to slide the context window (the full sweep lives in
+    /// `tests/tests/it_lm.rs`).
+    #[test]
+    fn cached_generation_matches_naive_token_for_token() {
+        let model = Gpt::new(GptConfig::tiny(20), &mut rng());
+        let mut cache = KvCache::new(*model.config());
+        let mut out = Vec::new();
+        for (prompt_len, max_new, temp, top_k) in
+            [(1usize, 16usize, 1.0f32, 8usize), (5, 32, 0.7, 3), (60, 16, 1.3, 20), (0, 8, 0.2, 1)]
+        {
+            let prompt: Vec<u32> = (0..prompt_len as u32).map(|i| i % 20).collect();
+            let naive = model.generate(&prompt, max_new, temp, top_k, &mut rng());
+            model.generate_into(&prompt, max_new, temp, top_k, &mut rng(), &mut cache, &mut out);
+            assert_eq!(out, naive, "prompt_len={prompt_len} max_new={max_new} temp={temp}");
+        }
+    }
+
+    #[test]
+    fn batch_sampling_equals_sequential_sampling() {
+        let model = Gpt::new(GptConfig::tiny(16), &mut rng());
+        let prompts: Vec<Vec<u32>> = (0..4).map(|i| vec![1, 3 + i]).collect();
+        let mut cache = KvCache::new(*model.config());
+        let mut outs = Vec::new();
+        model.generate_batch_into(&prompts, 12, 0.9, 6, &mut rng(), &mut cache, &mut outs);
+        let mut reference_rng = rng();
+        for (prompt, out) in prompts.iter().zip(&outs) {
+            let naive = model.generate(prompt, 12, 0.9, 6, &mut reference_rng);
+            assert_eq!(out, &naive);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different model shape")]
+    fn cache_rejects_mismatched_model() {
+        let model = Gpt::new(GptConfig::tiny(16), &mut rng());
+        let mut cache = KvCache::new(GptConfig::tiny(24));
+        model.decode_step(&mut cache, 1);
     }
 
     #[test]

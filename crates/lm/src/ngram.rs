@@ -41,22 +41,27 @@ impl NgramLm {
             total: 0,
         };
         for seq in data {
-            for (i, &t) in seq.iter().enumerate() {
-                *lm.unigram.entry(t).or_insert(0) += 1;
-                lm.total += 1;
-                if i >= 1 {
-                    *lm.bigram.entry(seq[i - 1]).or_default().entry(t).or_insert(0) += 1;
-                }
-                if i >= 2 {
-                    *lm.trigram
-                        .entry((seq[i - 2], seq[i - 1]))
-                        .or_default()
-                        .entry(t)
-                        .or_insert(0) += 1;
-                }
-            }
+            lm.absorb(seq);
         }
         lm
+    }
+
+    /// Folds one more token sequence into the counts — the online half of
+    /// training. A sequence absorbed here weighs exactly as much as one
+    /// seen at [`NgramLm::train`] time, so coverage-advancing inputs fed
+    /// back during a campaign shift future sampling toward what worked.
+    pub fn absorb(&mut self, seq: &[u32]) {
+        for (i, &t) in seq.iter().enumerate() {
+            *self.unigram.entry(t).or_insert(0) += 1;
+            self.total += 1;
+            if i >= 1 {
+                *self.bigram.entry(seq[i - 1]).or_default().entry(t).or_insert(0) += 1;
+            }
+            if i >= 2 {
+                *self.trigram.entry((seq[i - 2], seq[i - 1])).or_default().entry(t).or_insert(0) +=
+                    1;
+            }
+        }
     }
 
     /// Vocabulary size.
@@ -136,6 +141,20 @@ mod tests {
         // produces an in-vocab token.
         let t = lm.next_token(&[14, 15], &mut rng);
         assert!(t < 16);
+    }
+
+    #[test]
+    fn absorb_matches_training_on_the_same_data() {
+        let data = vec![vec![1u32, 7, 8, 9, 2], vec![1, 7, 9, 2]];
+        let trained = NgramLm::train(&data, 16);
+        let mut grown = NgramLm::train(&data[..1], 16);
+        grown.absorb(&data[1]);
+        // Same counts → same deterministic generations.
+        for seed in 0..4 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            assert_eq!(trained.generate(&[1], 8, &mut r1), grown.generate(&[1], 8, &mut r2));
+        }
     }
 
     #[test]

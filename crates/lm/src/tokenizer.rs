@@ -134,6 +134,42 @@ impl Tokenizer {
         self.kind
     }
 
+    /// The learned merge pairs in application order — together with
+    /// [`Tokenizer::kind`] this is the tokenizer's whole learned state
+    /// (see [`Tokenizer::from_parts`]).
+    pub fn merges(&self) -> &[(u32, u32)] {
+        &self.merges
+    }
+
+    /// Rebuilds a tokenizer from its framing kind and merge list — the
+    /// deserialisation half of model-state checkpoints. Expansions and
+    /// the merge map are reconstructed exactly as training built them, so
+    /// `from_parts(t.kind(), t.merges().to_vec())` encodes and decodes
+    /// identically to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a merge references a token id not defined yet (corrupt
+    /// state).
+    pub fn from_parts(kind: TokenizerKind, merges: Vec<(u32, u32)>) -> Tokenizer {
+        let mut expansions: Vec<Vec<u8>> = (0..BASE_VOCAB)
+            .map(|id| if id >= NIBBLE0 { vec![(id - NIBBLE0) as u8] } else { Vec::new() })
+            .collect();
+        let mut merge_map = HashMap::new();
+        for (i, &(left, right)) in merges.iter().enumerate() {
+            let new_id = BASE_VOCAB + i as u32;
+            assert!(
+                left < new_id && right < new_id,
+                "merge ({left},{right}) references an undefined token id"
+            );
+            merge_map.insert((left, right), new_id);
+            let mut expansion = expansions[left as usize].clone();
+            expansion.extend_from_slice(&expansions[right as usize]);
+            expansions.push(expansion);
+        }
+        Tokenizer { kind, merges, merge_map, expansions }
+    }
+
     /// Total vocabulary size (base + learned).
     pub fn vocab_size(&self) -> u32 {
         BASE_VOCAB + self.merges.len() as u32
@@ -387,5 +423,24 @@ mod tests {
         let t1 = Tokenizer::train(&corpus(), 128);
         let t2 = Tokenizer::train(&corpus(), 128);
         assert_eq!(t1.merges, t2.merges);
+    }
+
+    #[test]
+    fn from_parts_rebuilds_an_identical_tokenizer() {
+        for tok in [Tokenizer::train(&corpus(), 128), Tokenizer::fixed_byte()] {
+            let rebuilt = Tokenizer::from_parts(tok.kind(), tok.merges().to_vec());
+            assert_eq!(rebuilt.vocab_size(), tok.vocab_size());
+            for w in [0u32, u32::MAX, 0x0010_0093, 0x1234_5678] {
+                assert_eq!(rebuilt.encode(&[w]), tok.encode(&[w]), "word {w:#x}");
+            }
+            let ids = tok.encode(&[0x0010_0093, 0xdead_beef]);
+            assert_eq!(rebuilt.decode(&ids), tok.decode(&ids));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined token id")]
+    fn from_parts_rejects_forward_references() {
+        let _ = Tokenizer::from_parts(TokenizerKind::Bpe, vec![(BASE_VOCAB + 5, NIBBLE0)]);
     }
 }

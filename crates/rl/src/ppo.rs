@@ -7,7 +7,7 @@
 //! bonus, with KL-based early stopping across epochs.
 
 use chatfuzz_autograd::{Adam, AdamConfig, Tape, Tensor};
-use chatfuzz_lm::Gpt;
+use chatfuzz_lm::{Gpt, KvCache};
 use rand::Rng;
 
 use crate::gae::{gae, normalize};
@@ -129,6 +129,24 @@ impl PpoTrainer {
         &self.policy
     }
 
+    /// Mutable access to the policy — checkpoint restores write the
+    /// trained weights back through this (the frozen reference model is
+    /// deliberately untouched: it is a construction artefact, recreated
+    /// identically when the trainer is rebuilt with the same arguments).
+    pub fn policy_mut(&mut self) -> &mut Gpt {
+        &mut self.policy
+    }
+
+    /// The optimiser (moment export for checkpoints).
+    pub fn optimizer(&self) -> &Adam {
+        &self.adam
+    }
+
+    /// Mutable optimiser access (moment restore on resume).
+    pub fn optimizer_mut(&mut self) -> &mut Adam {
+        &mut self.adam
+    }
+
     /// Consumes the trainer, returning the trained policy.
     pub fn into_policy(self) -> Gpt {
         self.policy
@@ -157,6 +175,35 @@ impl PpoTrainer {
             return prompt.to_vec();
         }
         self.policy.generate(prompt, budget, self.cfg.temperature, self.cfg.top_k, rng)
+    }
+
+    /// KV-cached [`PpoTrainer::sample`]: identical budget clamp, identical
+    /// tokens under the same RNG (`Gpt::generate_into` is pinned
+    /// token-equal to the naive sampler), but `O(T)` per token through the
+    /// reusable cache arena instead of a fresh full forward per token.
+    pub fn sample_into<R: Rng>(
+        &self,
+        prompt: &[u32],
+        rng: &mut R,
+        cache: &mut KvCache,
+        out: &mut Vec<u32>,
+    ) {
+        let window = self.policy.config().max_seq;
+        let budget = window.saturating_sub(prompt.len()).min(self.cfg.max_new_tokens);
+        if budget == 0 {
+            out.clear();
+            out.extend_from_slice(prompt);
+            return;
+        }
+        self.policy.generate_into(
+            prompt,
+            budget,
+            self.cfg.temperature,
+            self.cfg.top_k,
+            rng,
+            cache,
+            out,
+        );
     }
 
     /// Builds a scored [`Rollout`] from a sampled sequence and its task
@@ -429,6 +476,18 @@ mod tests {
             after > (before + 0.08).max(before * 1.5),
             "P(rewarded token) should rise: {before:.3} -> {after:.3}"
         );
+    }
+
+    #[test]
+    fn sample_into_matches_sample() {
+        let trainer = tiny_trainer(9, PpoConfig { max_new_tokens: 12, ..Default::default() });
+        let mut cache = KvCache::new(*trainer.policy().config());
+        let mut out = Vec::new();
+        for prompt in [vec![1u32], vec![1, 4, 7], vec![2; 70]] {
+            let naive = trainer.sample(&prompt, &mut StdRng::seed_from_u64(3));
+            trainer.sample_into(&prompt, &mut StdRng::seed_from_u64(3), &mut cache, &mut out);
+            assert_eq!(out, naive, "prompt of {} tokens diverged", prompt.len());
+        }
     }
 
     #[test]

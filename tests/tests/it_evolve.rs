@@ -42,7 +42,7 @@ fn evolve_config() -> EvolveConfig {
 /// is feedback-free, so `consumed_random` fast-forwards it past inputs
 /// an earlier process ran; the evolve arm needs no fast-forward — its
 /// whole state (corpus, RNG) rides in the snapshot and is restored by
-/// `import_corpus` on resume.
+/// `import_state` on resume.
 fn build_campaign(
     consumed_random: usize,
     resume: Option<CampaignSnapshot>,
@@ -159,7 +159,11 @@ fn killed_evolve_campaign_resumes_bit_identically() {
     assert!(survived.tests_run() >= taken.tests_run());
     // By now the evolve arm has seeds; the resume must carry them.
     assert!(
-        survived.corpora().iter().flatten().any(|c| !c.seeds.is_empty()),
+        survived
+            .generator_states()
+            .iter()
+            .flatten()
+            .any(|g| g.corpus.as_ref().is_some_and(|c| !c.seeds.is_empty())),
         "checkpoint carries a non-empty corpus"
     );
     let total = survived.tests_run() + 4 * BATCH;
@@ -197,7 +201,7 @@ fn evolve_snapshot_resumes_in_process_identically() {
     }
     let snapshot = first.snapshot();
     assert!(
-        snapshot.corpora().iter().flatten().next().is_some(),
+        snapshot.generator_states().iter().flatten().any(|g| g.corpus.is_some()),
         "evolve arm exports corpus state"
     );
     let consumed_random = snapshot.report().generator_stats[0].tests;
@@ -303,7 +307,7 @@ proptest! {
         let space = rocket_factory()().space().clone();
         let parsed = parse_snapshot(&doc, &space).expect("round trip parses");
         prop_assert_eq!(snapshot_json(&parsed), doc, "byte-exact re-serialisation");
-        prop_assert_eq!(parsed.corpora(), snapshot.corpora());
+        prop_assert_eq!(parsed.generator_states(), snapshot.generator_states());
         prop_assert_eq!(parsed.scheduler_state(), snapshot.scheduler_state());
     }
 }

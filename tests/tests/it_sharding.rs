@@ -127,18 +127,23 @@ fn merged_snapshot_unions_corpora_fingerprint_deduped() {
     let sharded = ShardedCampaign::new(InProcessRunner::new(build_evolve_shard), 3, 29);
     let outcome = sharded.run().expect("shards run");
     for s in outcome.shard_snapshots() {
-        let corpus = s.corpora()[1].as_ref().expect("evolve arm exports a corpus");
+        let state = s.generator_states()[1].as_ref().expect("evolve arm exports state");
+        let corpus = state.corpus.as_ref().expect("evolve state carries a corpus");
         assert!(!corpus.seeds.is_empty(), "every shard retained seeds");
     }
     let merged = outcome.merged_snapshot();
-    assert!(merged.corpora()[0].is_none(), "random arm stays corpus-free");
-    let pooled = merged.corpora()[1].clone().expect("merged corpus present");
+    assert!(merged.generator_states()[0].is_none(), "random arm stays state-free");
+    let pooled = merged.generator_states()[1]
+        .clone()
+        .expect("merged state present")
+        .corpus
+        .expect("merged corpus present");
 
     // Union: every shard fingerprint appears in the pool…
     let pool: std::collections::HashSet<u64> = pooled.seeds.iter().map(|s| s.fingerprint).collect();
     let mut expected = std::collections::HashSet::new();
     for s in outcome.shard_snapshots() {
-        for seed in &s.corpora()[1].as_ref().unwrap().seeds {
+        for seed in &s.generator_states()[1].as_ref().unwrap().corpus.as_ref().unwrap().seeds {
             assert!(pool.contains(&seed.fingerprint), "shard seed lost in the merge");
             expected.insert(seed.fingerprint);
         }
@@ -165,7 +170,10 @@ fn merged_snapshot_unions_corpora_fingerprint_deduped() {
     let report = resumed.run_until(&[StopCondition::Tests(tests_so_far + 2 * BATCH)]);
     assert_eq!(report.tests_run, tests_so_far + 2 * BATCH);
     let after = resumed.snapshot();
-    let corpus_after = after.corpora()[1].as_ref().expect("corpus survives the resume");
+    let corpus_after = after.generator_states()[1]
+        .as_ref()
+        .and_then(|g| g.corpus.as_ref())
+        .expect("corpus survives the resume");
     assert!(
         corpus_after.seeds.len() >= pooled.seeds.len().min(256),
         "resumed corpus keeps the pooled seeds"
@@ -193,9 +201,9 @@ fn one_shard_identity_holds_with_a_corpus() {
         "1-shard merged report is the plain report"
     );
     assert_eq!(
-        merged.corpora(),
-        plain_snapshot.corpora(),
-        "1-shard merged corpus is the plain corpus, bit for bit"
+        merged.generator_states(),
+        plain_snapshot.generator_states(),
+        "1-shard merged state is the plain state, bit for bit"
     );
 }
 
