@@ -21,7 +21,9 @@ pub use gen::{
     CorpusSeedState, CorpusState, Feedback, GeneratorState, InputGenerator, ModelSample, ModelState,
 };
 pub use random_instr::random_instr;
-pub use schedule::{ArmState, EpsilonGreedy, RoundRobin, Scheduler, SchedulerState, Ucb1};
+pub use schedule::{
+    ArmState, ArmStatus, EpsilonGreedy, RoundRobin, Scheduler, SchedulerState, Ucb1,
+};
 
 use chatfuzz_isa::{decode, encode, INSTR_BYTES};
 use rand::{Rng, SeedableRng};

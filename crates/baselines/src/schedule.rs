@@ -63,6 +63,42 @@ pub struct SchedulerState {
     pub arms: Vec<ArmState>,
 }
 
+/// One arm's bandit statistics condensed for status display — what a
+/// fleet dashboard shows per generator without knowing which scheduler
+/// produced the numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmStatus {
+    /// Batches the arm has produced.
+    pub pulls: u64,
+    /// Lifetime mean reward per batch (0 for an unpulled arm).
+    pub mean_reward: f64,
+    /// Mean over the sliding reward window, when the scheduler keeps one
+    /// (the non-stationary estimate windowed bandits actually act on).
+    pub recent_mean_reward: Option<f64>,
+    /// Simulated DUT cycles the arm's batches consumed.
+    pub cycles: u64,
+}
+
+impl SchedulerState {
+    /// Per-arm status summaries, indexed like the campaign's generator
+    /// line-up. Works on any persisted [`SchedulerState`] — live session,
+    /// snapshot, or merged fleet — since every in-tree scheduler records
+    /// pulls, rewards, and cycle costs in the shared [`ArmState`] form.
+    pub fn arm_statuses(&self) -> Vec<ArmStatus> {
+        self.arms
+            .iter()
+            .map(|arm| ArmStatus {
+                pulls: arm.pulls,
+                mean_reward: if arm.pulls == 0 { 0.0 } else { arm.total_reward / arm.pulls as f64 },
+                recent_mean_reward: (!arm.recent_rewards.is_empty()).then(|| {
+                    arm.recent_rewards.iter().sum::<f64>() / arm.recent_rewards.len() as f64
+                }),
+                cycles: arm.cycles,
+            })
+            .collect()
+    }
+}
+
 /// Picks which generator produces each batch of a campaign.
 ///
 /// Implementations must be deterministic given their construction
@@ -558,6 +594,36 @@ mod tests {
             eg.update(arm, 0.0);
         }
         assert!((eg.epsilon - 0.1).abs() < 1e-12, "epsilon settled at the floor");
+    }
+
+    #[test]
+    fn arm_statuses_summarise_any_scheduler_state() {
+        let mut ucb = Ucb1::new(0.5).cost_normalised().windowed(4);
+        for i in 0..12u64 {
+            let arm = ucb.pick(2);
+            ucb.update_costed(arm, (i % 3) as f64, 100 + i);
+        }
+        let statuses = ucb.export_state().arm_statuses();
+        assert_eq!(statuses.len(), 2);
+        assert_eq!(statuses.iter().map(|s| s.pulls).sum::<u64>(), 12);
+        for (status, arm) in statuses.iter().zip(&ucb.export_state().arms) {
+            assert!(status.pulls > 0, "UCB1 initialises every arm");
+            assert!((status.mean_reward - arm.total_reward / arm.pulls as f64).abs() < 1e-12);
+            assert_eq!(status.cycles, arm.cycles);
+            let recent = status.recent_mean_reward.expect("windowed scheduler keeps a window");
+            let expect = arm.recent_rewards.iter().sum::<f64>() / arm.recent_rewards.len() as f64;
+            assert!((recent - expect).abs() < 1e-12);
+        }
+
+        // Unpulled arms summarise to zeros, not NaNs; unwindowed
+        // schedulers report no recent mean.
+        let statuses = RoundRobin::new().export_state().arm_statuses();
+        assert!(statuses.is_empty());
+        let state = SchedulerState { arms: vec![ArmState::default()], ..Default::default() };
+        let statuses = state.arm_statuses();
+        assert_eq!(statuses[0].pulls, 0);
+        assert_eq!(statuses[0].mean_reward, 0.0);
+        assert_eq!(statuses[0].recent_mean_reward, None);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Live fleet driver: registers a tenant campaign on the orchestrator
+//! and renders the streaming status endpoint in the terminal — the
+//! merge-then-continue generation, pooled coverage, fleet throughput,
+//! per-arm bandit statistics, lease lifecycle states, and live/dead
+//! workers, refreshed as the fleet runs.
+//!
+//! The campaign template is the two-arm line-up (random + evolutionary
+//! corpus under a cost-normalised UCB1 bandit), so the per-arm half of
+//! [`OrchestratorStatus`] has something to show. `--distill` installs
+//! the corpus-distillation hook: after every merge, each retained seed
+//! is re-executed standalone on a fresh DUT and the pooled corpus is
+//! minimised before the next generation fans out.
+//!
+//! ```text
+//! orchestrate [--workers N] [--fan-out N] [--lease-tests N]
+//!             [--total-tests N] [--seed N] [--target PCT] [--distill]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chatfuzz::campaign::{CampaignBuilder, CampaignSnapshot};
+use chatfuzz::harness::{wrap, HarnessConfig};
+use chatfuzz::report;
+use chatfuzz::shard::ShardSpec;
+use chatfuzz_baselines::{RandomRegression, Ucb1};
+use chatfuzz_bench::rocket_factory;
+use chatfuzz_coverage::CovMap;
+use chatfuzz_evolve::{Corpus, EvolveConfig, EvolveGenerator};
+use chatfuzz_orchestrate::{
+    DistillHook, FleetConfig, LeaseState, LocalPoolTransport, Orchestrator, OrchestratorStatus,
+};
+
+struct Args {
+    workers: usize,
+    fan_out: usize,
+    lease_tests: usize,
+    total_tests: usize,
+    seed: u64,
+    target: Option<f64>,
+    distill: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        workers: 4,
+        fan_out: 4,
+        lease_tests: 256,
+        total_tests: 2048,
+        seed: 5,
+        target: None,
+        distill: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => out.workers = next(&mut args, "--workers").parse().expect("--workers"),
+            "--fan-out" => out.fan_out = next(&mut args, "--fan-out").parse().expect("--fan-out"),
+            "--lease-tests" => {
+                out.lease_tests = next(&mut args, "--lease-tests").parse().expect("--lease-tests")
+            }
+            "--total-tests" => {
+                out.total_tests = next(&mut args, "--total-tests").parse().expect("--total-tests")
+            }
+            "--seed" => out.seed = next(&mut args, "--seed").parse().expect("--seed"),
+            "--target" => out.target = Some(next(&mut args, "--target").parse().expect("--target")),
+            "--distill" => out.distill = true,
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    out
+}
+
+/// The lease template: every shard lease runs the two-arm bandit
+/// campaign, seeded from its shard spec so arms never share streams.
+fn lease_template() -> chatfuzz_orchestrate::LeaseBuilder {
+    Arc::new(|spec: ShardSpec| {
+        CampaignBuilder::from_factory(rocket_factory())
+            .batch_size(32)
+            .generator(RandomRegression::new(spec.seed, 16))
+            .generator(EvolveGenerator::new(EvolveConfig { seed: spec.seed, ..Default::default() }))
+            .scheduler(Ucb1::new(0.5).cost_normalised())
+    })
+}
+
+/// The merge-time corpus minimiser: re-executes every retained seed of
+/// every pooled corpus standalone on a fresh DUT and lets
+/// [`Corpus::distill`] drop the seeds whose coverage is subsumed, so
+/// the re-split fan-out inherits the smallest corpus with the same
+/// pooled union.
+fn distill_hook() -> DistillHook {
+    let factory = rocket_factory();
+    Arc::new(move |snapshot: &mut CampaignSnapshot| {
+        let mut dut = factory();
+        for state in snapshot.generator_states_mut() {
+            let Some(state) = state else { continue };
+            let Some(corpus_state) = state.corpus.as_mut() else { continue };
+            if corpus_state.seeds.is_empty() {
+                continue;
+            }
+            let mut corpus = Corpus::new(corpus_state.seeds.len());
+            corpus.import(corpus_state);
+            let standalone: Vec<CovMap> = corpus
+                .seeds()
+                .iter()
+                .map(|seed| {
+                    let body: Vec<u8> =
+                        seed.state.words.iter().flat_map(|w| w.to_le_bytes()).collect();
+                    dut.run(&wrap(&body, HarnessConfig::default())).coverage
+                })
+                .collect();
+            if corpus.distill(&standalone) > 0 {
+                corpus.export_into(corpus_state);
+            }
+        }
+    })
+}
+
+/// One status line per campaign, plus a fleet-health line.
+fn render(status: &OrchestratorStatus) {
+    for campaign in &status.campaigns {
+        let count = |want: LeaseState| campaign.leases.iter().filter(|l| l.state == want).count();
+        let arms = campaign
+            .arms
+            .iter()
+            .map(|(name, arm)| format!("{name} p={} r={:.4}", arm.pulls, arm.mean_reward))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "[{}] gen {} | cov {:6.2}% | {:>6} tests ({:.0}/s) | leases i:{} h:{} c:{} r:{} \
+             | revoked {} | arms: {}{}",
+            campaign.name,
+            campaign.generation,
+            campaign.coverage_pct,
+            campaign.tests_run,
+            campaign.tests_per_sec,
+            count(LeaseState::Issued),
+            count(LeaseState::Heartbeating),
+            count(LeaseState::Completed),
+            count(LeaseState::Revoked),
+            campaign.revoked_leases,
+            if arms.is_empty() { "(awaiting first merge)" } else { &arms },
+            if campaign.done { " | DONE" } else { "" },
+        );
+    }
+    let live = status.workers.iter().filter(|w| w.alive).count();
+    println!("workers: {live} live, {} dead", status.workers.len() - live);
+}
+
+fn main() {
+    let args = parse_args();
+    let space = rocket_factory()().space().clone();
+    let mut config = FleetConfig {
+        fan_out: args.fan_out,
+        lease_tests: args.lease_tests,
+        total_tests: args.total_tests,
+        coverage_target_pct: args.target,
+        heartbeat_deadline: Duration::from_secs(30),
+        ..FleetConfig::new("rocket", args.seed, space, lease_template())
+    };
+    if args.distill {
+        config.distill = Some(distill_hook());
+    }
+
+    println!(
+        "== Orchestrated fleet: {} workers, {} leases x {} tests/generation, {} total ==",
+        args.workers, args.fan_out, args.lease_tests, args.total_tests
+    );
+    let ckpt = std::env::temp_dir().join(format!("chatfuzz-orchestrate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let mut orchestrator = Orchestrator::new(LocalPoolTransport::new(args.workers, &ckpt));
+    let campaign = orchestrator.register(config);
+
+    let mut last = Instant::now() - Duration::from_secs(1);
+    orchestrator
+        .run_streaming(|status| {
+            let done = status.campaigns.iter().all(|c| c.done);
+            if !done && last.elapsed() < Duration::from_millis(250) {
+                return;
+            }
+            last = Instant::now();
+            render(status);
+        })
+        .expect("fleet run");
+
+    let merged = orchestrator.final_snapshot(campaign).expect("finished campaign");
+    println!();
+    println!("{}", report::markdown_summary(&merged.report()));
+    let _ = std::fs::remove_dir_all(&ckpt);
+}

@@ -10,7 +10,12 @@
 //!    alive exactly so this comparison stays honest;
 //! 2. **campaign** — the full worker-pool loop, single worker and
 //!    multi-worker;
-//! 3. **sharded** — in-process sharding over the campaign loop.
+//! 3. **sharded** — in-process sharding over the campaign loop;
+//! 4. **orchestrated** — the PR-6 merge-then-continue fleet over
+//!    `LocalPoolTransport`, merged tests/sec at 4 workers vs 1 on
+//!    identical work (the merged result is asserted worker-count
+//!    independent), plus the deterministic coverage gate: the fleet
+//!    must reach the one-shot 4-shard plateau in no more tests.
 //!
 //! It also tracks the **evolve arm's time-to-coverage**: a random-only
 //! campaign runs to the budget and sets the plateau target, then the
@@ -31,8 +36,10 @@
 //! fails the run if the optimised per-test path on Rocket is not at least
 //! 2× the naive baseline (the PR-3 acceptance bar), if the evolve-arm
 //! campaign fails to reach the random plateau in fewer tests (the PR-4
-//! bar), or if KV-cached sampling is not at least 3× the naive sampler
-//! (the PR-5 bar).
+//! bar), if KV-cached sampling is not at least 3× the naive sampler
+//! (the PR-5 bar), or if the orchestrated merge-then-continue fleet
+//! needs more tests than the one-shot 4-shard campaign to reach the
+//! one-shot's plateau coverage (the PR-6 bar).
 //!
 //! ```text
 //! throughput [--smoke] [--check] [--out PATH]
@@ -44,12 +51,13 @@ use std::time::Instant;
 use chatfuzz::campaign::{CampaignBuilder, StopCondition};
 use chatfuzz::generator::{LmGenerator, LmGeneratorConfig};
 use chatfuzz::harness::{wrap, HarnessConfig, PrecompiledHarness};
-use chatfuzz::shard::{InProcessRunner, ShardedCampaign};
+use chatfuzz::shard::{InProcessRunner, ShardSpec, ShardedCampaign};
 use chatfuzz_baselines::{InputGenerator, RandomRegression, Ucb1};
 use chatfuzz_bench::{boom_factory, print_table, rocket_factory};
 use chatfuzz_corpus::{CorpusConfig, CorpusGenerator};
 use chatfuzz_evolve::{EvolveConfig, EvolveGenerator};
 use chatfuzz_lm::{Gpt, GptConfig, KvCache, Tokenizer};
+use chatfuzz_orchestrate::{FleetConfig, LocalPoolTransport, Orchestrator};
 use chatfuzz_rl::PpoConfig;
 use chatfuzz_rtl::{Dut, DutRun};
 use chatfuzz_softcore::trace::Trace;
@@ -242,6 +250,116 @@ fn evolve_comparison(budget: usize) -> EvolveComparison {
     }
 }
 
+/// The orchestrated-fleet comparison (PR 6): merged throughput of the
+/// same merge-then-continue fleet at 4 workers vs 1, plus the
+/// deterministic coverage-vs-tests gate against the one-shot 4-shard
+/// campaign with the same template and budget.
+struct OrchestratorComparison {
+    total_tests: usize,
+    fan_out: usize,
+    generations: u64,
+    workers1_tests_per_sec: f64,
+    workers4_tests_per_sec: f64,
+    workers4_cycles_per_sec: f64,
+    parallel_speedup: f64,
+    total_cycles: u64,
+    plateau_pct: f64,
+    oneshot_tests: Option<usize>,
+    oneshot_final_pct: f64,
+    fleet_tests: Option<usize>,
+    fleet_final_pct: f64,
+}
+
+/// The shared per-shard campaign template: the orchestrated fleet's
+/// leases and the one-shot reference shards both build through this, so
+/// the coverage comparison is template-identical (generation-0 lease
+/// seeds equal the one-shot shard seeds by the orchestrator's seed law).
+fn fleet_lease(spec: ShardSpec) -> CampaignBuilder<'static> {
+    CampaignBuilder::from_factory(rocket_factory())
+        .batch_size(32)
+        .generator(RandomRegression::new(spec.seed, 16))
+}
+
+/// Runs one fleet to completion on a `workers`-wide local pool and
+/// returns (final merged snapshot, generations run, wall seconds).
+fn orchestrated_fleet(
+    config: &FleetConfig,
+    workers: usize,
+    tag: &str,
+) -> (chatfuzz::campaign::CampaignSnapshot, u64, f64) {
+    let dir =
+        std::env::temp_dir().join(format!("chatfuzz-bench-orch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut orchestrator = Orchestrator::new(LocalPoolTransport::new(workers, &dir));
+    let campaign = orchestrator.register(config.clone());
+    let start = Instant::now();
+    orchestrator.run_to_completion().expect("orchestrated fleet");
+    let dt = start.elapsed().as_secs_f64();
+    let generations = orchestrator.status().campaigns[0].generation + 1;
+    let snapshot = orchestrator.final_snapshot(campaign).expect("finished fleet").clone();
+    let _ = std::fs::remove_dir_all(&dir);
+    (snapshot, generations, dt)
+}
+
+/// `plateau_pct` is the PR-4 random-arm plateau (the random-only
+/// campaign's final coverage at the same budget): both the fleet and
+/// the one-shot sharded run are measured by how many merged tests they
+/// need to reach it.
+fn orchestrator_throughput(total_tests: usize, plateau_pct: f64) -> OrchestratorComparison {
+    // Fixed bench seed for the fleet/one-shot pair; both runs derive all
+    // their streams from it, so the comparison is deterministic.
+    let base_seed = 4;
+    let fan_out = 4;
+    let shard_tests = total_tests / fan_out;
+    // Half-budget leases: the fleet merges and re-splits once mid-run,
+    // so the comparison actually exercises merge-then-continue.
+    let lease_tests = shard_tests / 2;
+
+    // One-shot reference: the same per-shard template run straight to
+    // the full budget with a single final merge.
+    let runner = InProcessRunner::new(move |spec: ShardSpec| {
+        (fleet_lease(spec).build(), vec![StopCondition::Tests(shard_tests)])
+    });
+    let oneshot = ShardedCampaign::new(runner, fan_out, base_seed)
+        .run()
+        .expect("one-shot sharded run")
+        .merged_report();
+
+    let space = rocket_factory()().space().clone();
+    let config = FleetConfig {
+        fan_out,
+        lease_tests,
+        total_tests,
+        checkpoint_every: 8,
+        heartbeat_deadline: std::time::Duration::from_secs(120),
+        ..FleetConfig::new("rocket-fleet", base_seed, space, std::sync::Arc::new(fleet_lease))
+    };
+    let (merged4, generations, dt4) = orchestrated_fleet(&config, 4, "w4");
+    let (merged1, _, dt1) = orchestrated_fleet(&config, 1, "w1");
+    assert_eq!(
+        chatfuzz::report::json_canonical(&merged4.report()),
+        chatfuzz::report::json_canonical(&merged1.report()),
+        "the fleet's merged result must not depend on the worker count"
+    );
+
+    let fleet = merged4.report();
+    OrchestratorComparison {
+        total_tests,
+        fan_out,
+        generations,
+        workers1_tests_per_sec: total_tests as f64 / dt1,
+        workers4_tests_per_sec: total_tests as f64 / dt4,
+        workers4_cycles_per_sec: fleet.total_cycles as f64 / dt4,
+        parallel_speedup: dt1 / dt4,
+        total_cycles: fleet.total_cycles,
+        plateau_pct,
+        oneshot_tests: oneshot.tests_to_reach(plateau_pct),
+        oneshot_final_pct: oneshot.final_coverage_pct,
+        fleet_tests: fleet.tests_to_reach(plateau_pct),
+        fleet_final_pct: fleet.final_coverage_pct,
+    }
+}
+
 /// The LM sampling-path comparison (PR 5): naive per-token full forwards
 /// vs the KV-cached incremental decoder on identical work, plus an
 /// online-training LM-arm campaign.
@@ -374,6 +492,7 @@ fn main() {
     let boom_w4 = campaign_throughput(&boom_factory(), 4, campaign_tests);
     let sharded = sharded_throughput(4, shard_tests);
     let evolve = evolve_comparison(campaign_tests);
+    let orch = orchestrator_throughput(campaign_tests, evolve.plateau_pct);
     let lm = lm_throughput(args.smoke);
 
     let rocket_speedup = rocket_hot.tests_per_sec / rocket_naive.tests_per_sec;
@@ -398,9 +517,27 @@ fn main() {
             fmt_row("rocket campaign w=4", &rocket_w4),
             fmt_row("boom campaign w=4", &boom_w4),
             fmt_row("rocket sharded 4×(w=2)", &sharded),
+            vec![
+                "rocket fleet 4 leases (w=4)".to_string(),
+                format!("{:.0}", orch.workers4_tests_per_sec),
+                format!("{:.3e}", orch.workers4_cycles_per_sec),
+            ],
         ],
     );
     println!("rocket per-test speedup: {rocket_speedup:.2}x, boom: {boom_speedup:.2}x");
+    let fmt_tests = |t: Option<usize>| t.map_or_else(|| "∞".to_string(), |t| t.to_string());
+    println!(
+        "orchestrated fleet ({} leases, {} generations): merged {:.0} tests/s at 4 workers \
+         vs {:.0} at 1 ({:.2}x); random plateau ({:.2}%) in {} tests vs one-shot's {}",
+        orch.fan_out,
+        orch.generations,
+        orch.workers4_tests_per_sec,
+        orch.workers1_tests_per_sec,
+        orch.parallel_speedup,
+        orch.plateau_pct,
+        fmt_tests(orch.fleet_tests),
+        fmt_tests(orch.oneshot_tests),
+    );
     println!(
         "lm sampling ({} prompts, {} tokens): naive {:.0} tok/s, kv-cached {:.0} tok/s \
          ({:.2}x); lm-arm campaign {:.0} tests/s over {} tests",
@@ -429,7 +566,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 3,");
+    let _ = writeln!(json, "  \"schema\": 4,");
     let _ = writeln!(json, "  \"mode\": \"{}\",", if args.smoke { "smoke" } else { "full" });
     let _ = writeln!(json, "  \"per_test_hot_path\": {{");
     let pair =
@@ -459,6 +596,26 @@ fn main() {
     camp(&mut json, "rocket_workers_4", campaign_tests, &rocket_w4, false);
     camp(&mut json, "boom_workers_4", campaign_tests, &boom_w4, false);
     camp(&mut json, "rocket_sharded_4x2", 4 * shard_tests, &sharded, true);
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"orchestrator_throughput\": {{");
+    let _ = writeln!(json, "    \"total_tests\": {},", orch.total_tests);
+    let _ = writeln!(json, "    \"fan_out\": {},", orch.fan_out);
+    let _ = writeln!(json, "    \"generations\": {},", orch.generations);
+    let _ = writeln!(json, "    \"workers_1_tests_per_sec\": {:.1},", orch.workers1_tests_per_sec);
+    let _ = writeln!(json, "    \"workers_4_tests_per_sec\": {:.1},", orch.workers4_tests_per_sec);
+    let _ = writeln!(json, "    \"parallel_speedup\": {:.3},", orch.parallel_speedup);
+    let _ = writeln!(json, "    \"total_cycles\": {},", orch.total_cycles);
+    let _ = writeln!(json, "    \"plateau_pct\": {:.4},", orch.plateau_pct);
+    let opt = |json: &mut String, key: &str, value: Option<usize>| {
+        let _ = match value {
+            Some(v) => writeln!(json, "    \"{key}\": {v},"),
+            None => writeln!(json, "    \"{key}\": null,"),
+        };
+    };
+    opt(&mut json, "oneshot_tests_to_plateau", orch.oneshot_tests);
+    opt(&mut json, "fleet_tests_to_plateau", orch.fleet_tests);
+    let _ = writeln!(json, "    \"oneshot_final_pct\": {:.4},", orch.oneshot_final_pct);
+    let _ = writeln!(json, "    \"fleet_final_pct\": {:.4}", orch.fleet_final_pct);
     json.push_str("  },\n");
     let _ = writeln!(json, "  \"evolve_time_to_coverage\": {{");
     let _ = writeln!(json, "    \"budget\": {},", evolve.budget);
@@ -517,6 +674,20 @@ fn main() {
             "PR-5 acceptance: KV-cached sampling must be ≥ 3× the naive per-token \
              forward (got {:.2}x)",
             lm.speedup
+        );
+        let fleet_tests = orch.fleet_tests.unwrap_or_else(|| {
+            panic!(
+                "PR-6 acceptance: the merge-then-continue fleet never reached the \
+                 random-arm plateau ({:.2}%) within {} tests",
+                orch.plateau_pct, orch.total_tests
+            )
+        });
+        assert!(
+            orch.oneshot_tests.is_none_or(|oneshot| fleet_tests <= oneshot),
+            "PR-6 acceptance: the 4-worker merge-then-continue fleet must reach the \
+             random-arm plateau in no more tests than the one-shot 4-shard campaign \
+             (fleet {fleet_tests}, one-shot {:?})",
+            orch.oneshot_tests
         );
     }
 }

@@ -314,6 +314,32 @@ impl CampaignSnapshot {
         &self.gen_states
     }
 
+    /// Mutable access to per-generator state — the seam orchestration
+    /// hooks use to rewrite pooled state between generations (e.g.
+    /// corpus distillation on a merged snapshot). The vector stays
+    /// aligned with the generator line-up; only rewrite in place.
+    pub fn generator_states_mut(&mut self) -> &mut [Option<GeneratorState>] {
+        &mut self.gen_states
+    }
+
+    /// Per-generator production counters at the checkpoint, aligned with
+    /// the generator line-up — the names here pair with the scheduler's
+    /// per-arm statistics ([`SchedulerState::arm_statuses`]).
+    ///
+    /// [`SchedulerState::arm_statuses`]: chatfuzz_baselines::SchedulerState::arm_statuses
+    pub fn generator_stats(&self) -> &[GeneratorStats] {
+        &self.gen_stats
+    }
+
+    /// The stop condition scoping one lease that continues this
+    /// checkpoint by `additional_tests` more tests.
+    /// [`StopCondition::Tests`] counts from the campaign's origin, not
+    /// from the resume point, so a lease budget must be added on top of
+    /// the tests the checkpoint already carries.
+    pub fn lease_stop(&self, additional_tests: usize) -> StopCondition {
+        StopCondition::Tests(self.tests_run + additional_tests)
+    }
+
     /// Renders the checkpoint as a [`CampaignReport`] — the same view
     /// [`Campaign::report`] produces for a live session, so persisted or
     /// merged snapshots feed the existing CSV/markdown/JSON renderers.

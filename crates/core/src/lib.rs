@@ -105,6 +105,6 @@ pub use pipeline::{
     PipelineReport,
 };
 pub use shard::{
-    shard_seed, InProcessRunner, ProcessShardRunner, ShardError, ShardRunner, ShardSpec,
-    ShardedCampaign, ShardedOutcome, WorkerRequest,
+    resplit_snapshot, shard_seed, InProcessRunner, ProcessShardRunner, ShardError, ShardRunner,
+    ShardSpec, ShardedCampaign, ShardedOutcome, WorkerRequest,
 };

@@ -406,6 +406,27 @@ impl MismatchLog {
         }
     }
 
+    /// Folds in only what `later` recorded *beyond* `base` — the merge
+    /// operation for merge-then-continue fleets, where every worker's
+    /// log starts as a copy of the shared base log and a plain
+    /// [`MismatchLog::merge_from`] would count the base once per worker.
+    /// `later` must descend from `base` (every base cluster count is a
+    /// lower bound for `later`'s).
+    pub fn merge_delta_from(&mut self, later: &MismatchLog, base: &MismatchLog) {
+        self.raw_count += later.raw_count - base.raw_count;
+        for (sig, theirs) in &later.clusters {
+            let base_count = base.clusters.get(sig).map_or(0, |u| u.count);
+            let delta = theirs.count - base_count;
+            if delta == 0 {
+                continue;
+            }
+            self.clusters
+                .entry(sig.clone())
+                .and_modify(|u| u.count += delta)
+                .or_insert_with(|| UniqueMismatch { count: delta, ..theirs.clone() });
+        }
+    }
+
     /// Unique mismatch clusters, in signature order.
     pub fn unique(&self) -> Vec<&UniqueMismatch> {
         self.clusters.values().collect()
@@ -563,6 +584,33 @@ mod tests {
             Mismatch::PcDivergence { index: 0, golden_pc: 1, dut_pc: 2 }
         );
         assert_eq!(unique.iter().find(|u| u.signature == "pc").unwrap().count, 2);
+    }
+
+    #[test]
+    fn merge_delta_adds_only_growth_beyond_the_base() {
+        let mut base = MismatchLog::new();
+        base.record(vec![Mismatch::PcDivergence { index: 0, golden_pc: 1, dut_pc: 2 }]);
+        let mut later = base.clone();
+        later.record(vec![
+            Mismatch::PcDivergence { index: 1, golden_pc: 3, dut_pc: 4 },
+            Mismatch::MemDivergence { index: 1, pc: 0x80 },
+        ]);
+
+        // Shard 0's copy already holds the base once.
+        let mut merged = base.clone();
+        merged.merge_delta_from(&later, &base);
+        assert_eq!(merged.raw_count(), 3, "base counted once, delta of 2 added");
+        let count_of = |log: &MismatchLog, sig: &str| {
+            log.unique().iter().find(|u| u.signature == sig).map(|u| u.count)
+        };
+        assert_eq!(count_of(&merged, "pc"), Some(2));
+        assert_eq!(count_of(&merged, "mem"), Some(1));
+
+        // A worker that recorded nothing new contributes nothing.
+        let mut unchanged = base.clone();
+        unchanged.merge_delta_from(&base, &base);
+        assert_eq!(unchanged.raw_count(), base.raw_count());
+        assert_eq!(unchanged.unique().len(), base.unique().len());
     }
 
     #[test]

@@ -94,6 +94,42 @@ pub enum PersistError {
         /// Fingerprint of the supplied space.
         expected: u64,
     },
+    /// A file-borne error, annotated with the path it occurred on.
+    /// [`load_snapshot`] wraps every failure in this variant so a fleet
+    /// coordinator juggling many snapshot files can tell *which* one was
+    /// truncated, version-skewed, or from a foreign design. Match on
+    /// [`PersistError::root`] for the underlying cause.
+    At {
+        /// The snapshot file involved.
+        path: std::path::PathBuf,
+        /// What went wrong with it.
+        source: Box<PersistError>,
+    },
+}
+
+impl PersistError {
+    /// Annotates the error with the file it occurred on (idempotent per
+    /// path — an already-located error is returned unchanged).
+    pub fn at(self, path: &Path) -> PersistError {
+        match self {
+            PersistError::At { .. } => self,
+            source => PersistError::At { path: path.to_path_buf(), source: Box::new(source) },
+        }
+    }
+
+    /// The underlying cause, with any [`PersistError::At`] location
+    /// peeled off — what retry/abort decisions should match on. An io
+    /// `NotFound` means "poll again", [`PersistError::Parse`] on a
+    /// half-written file means "retry", while a
+    /// [`PersistError::SchemaVersion`] or [`PersistError::SpaceMismatch`]
+    /// is permanent and must be surfaced, so the distinction is
+    /// load-bearing.
+    pub fn root(&self) -> &PersistError {
+        match self {
+            PersistError::At { source, .. } => source.root(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for PersistError {
@@ -102,18 +138,33 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "snapshot io error: {e}"),
             PersistError::Parse(msg) => write!(f, "snapshot parse error: {msg}"),
             PersistError::SchemaVersion { found, supported } => {
-                write!(f, "snapshot schema version {found} (this build supports {supported})")
+                write!(
+                    f,
+                    "snapshot schema version {found} not supported \
+                     (this build reads and writes version {supported})"
+                )
             }
             PersistError::SpaceMismatch { found, expected } => write!(
                 f,
                 "snapshot was taken on coverage space {found:#018x}, \
                  expected {expected:#018x}"
             ),
+            PersistError::At { path, source } => {
+                write!(f, "snapshot `{}`: {source}", path.display())
+            }
         }
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::At { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for PersistError {
     fn from(e: io::Error) -> PersistError {
@@ -1305,10 +1356,12 @@ pub fn save_snapshot(path: &Path, snapshot: &CampaignSnapshot) -> io::Result<()>
 }
 
 /// Reads and parses a snapshot written by [`save_snapshot`]. See
-/// [`parse_snapshot`] for the `space` argument and failure modes.
+/// [`parse_snapshot`] for the `space` argument and failure modes; every
+/// error is annotated with `path` via [`PersistError::At`] (peel it off
+/// with [`PersistError::root`] to decide retry vs abort).
 pub fn load_snapshot(path: &Path, space: &Arc<Space>) -> Result<CampaignSnapshot> {
-    let text = std::fs::read_to_string(path)?;
-    parse_snapshot(&text, space)
+    let text = std::fs::read_to_string(path).map_err(|e| PersistError::from(e).at(path))?;
+    parse_snapshot(&text, space).map_err(|e| e.at(path))
 }
 
 #[cfg(test)]
@@ -1387,6 +1440,64 @@ mod tests {
         {
             assert!(parse_snapshot(bad, &space).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn load_errors_carry_the_path_and_a_matchable_root_cause() {
+        let dir = std::env::temp_dir().join(format!("chatfuzz-persist-at-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let space = factory()().space().clone();
+
+        // Missing file: io root cause (the "poll again" case), located.
+        let missing = dir.join("missing.json");
+        let err = load_snapshot(&missing, &space).expect_err("missing file");
+        assert!(matches!(err.root(), PersistError::Io(e) if e.kind() == io::ErrorKind::NotFound));
+        assert!(err.to_string().contains("missing.json"), "path in message: {err}");
+
+        // Truncated document: parse root cause (the "retry" case).
+        let truncated = dir.join("truncated.json");
+        let doc = snapshot_json(&sample_snapshot());
+        std::fs::write(&truncated, &doc[..doc.len() / 2]).expect("write");
+        let err = load_snapshot(&truncated, &space).expect_err("truncated file");
+        assert!(matches!(err.root(), PersistError::Parse(_)), "got {err:?}");
+        assert!(err.to_string().contains("truncated.json"));
+
+        // Version skew: permanent, distinguishable, and fully described.
+        let skewed = dir.join("skewed.json");
+        std::fs::write(&skewed, doc.replacen("\"schema_version\":3", "\"schema_version\":999", 1))
+            .expect("write");
+        let err = load_snapshot(&skewed, &space).expect_err("skewed file");
+        assert!(matches!(
+            err.root(),
+            PersistError::SchemaVersion { found: 999, supported: SCHEMA_VERSION }
+        ));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("skewed.json") && msg.contains("999") && msg.contains("version 3"),
+            "found-vs-expected version in message: {msg}"
+        );
+
+        // Foreign design: fingerprint details survive the annotation.
+        let boom = chatfuzz_rtl::Boom::new(chatfuzz_rtl::BoomConfig::default());
+        let boom_space = boom.space().clone();
+        let foreign = dir.join("foreign.json");
+        std::fs::write(&foreign, &doc).expect("write");
+        let err = load_snapshot(&foreign, &boom_space).expect_err("foreign space");
+        match err.root() {
+            PersistError::SpaceMismatch { found, expected } => {
+                let msg = err.to_string();
+                assert!(msg.contains("foreign.json"));
+                assert!(msg.contains(&format!("{found:#018x}")));
+                assert!(msg.contains(&format!("{expected:#018x}")));
+            }
+            other => panic!("expected space mismatch, got {other:?}"),
+        }
+
+        // `at` is idempotent: re-annotating keeps the original location.
+        let err = PersistError::Parse("x".into()).at(Path::new("a")).at(Path::new("b"));
+        assert!(err.to_string().contains('a') && !err.to_string().contains('b'));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

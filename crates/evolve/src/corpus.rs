@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 
 use chatfuzz_baselines::{CorpusSeedState, CorpusState};
+use chatfuzz_coverage::CovMap;
 use chatfuzz_isa::{decode, Instr};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -191,6 +192,63 @@ impl Corpus {
         &self.seeds[i].instrs
     }
 
+    /// AFL-cmin-style corpus distillation: keeps a greedy covering
+    /// subset of the seeds and drops every seed whose *standalone*
+    /// coverage is a subset of what the retained set already reaches.
+    /// `standalone` carries each seed's standalone coverage map, aligned
+    /// with [`Corpus::seeds`] (seeds don't store per-seed bitmaps in the
+    /// snapshot, so the caller — e.g. an orchestrator at a merge point —
+    /// re-executes them to produce the maps).
+    ///
+    /// Greedy order is mismatch witnesses first (always retained — they
+    /// evidence bugs regardless of coverage), then widest standalone
+    /// cover, oldest on ties. By construction the retained set's union
+    /// equals the full set's union — distillation never loses coverage.
+    /// Returns the number of seeds dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `standalone` is not exactly one map per retained seed.
+    pub fn distill(&mut self, standalone: &[CovMap]) -> usize {
+        assert_eq!(
+            standalone.len(),
+            self.seeds.len(),
+            "distill needs one standalone coverage map per retained seed"
+        );
+        let Some(first) = standalone.first() else { return 0 };
+        let mut order: Vec<usize> = (0..self.seeds.len()).collect();
+        order.sort_by_key(|&i| {
+            let s = &self.seeds[i].state;
+            (!s.mismatch, std::cmp::Reverse(standalone[i].covered_bins()), s.found_at)
+        });
+        let mut running = CovMap::new(first.space());
+        let mut keep = vec![false; self.seeds.len()];
+        for &i in &order {
+            if self.seeds[i].state.mismatch || standalone[i].count_new_vs(&running) > 0 {
+                keep[i] = true;
+                running.merge_from(&standalone[i]);
+            }
+        }
+        let dropped = keep.iter().filter(|&&k| !k).count();
+        if dropped == 0 {
+            return 0;
+        }
+        let mut index = 0;
+        self.seeds.retain(|_| {
+            let kept = keep[index];
+            index += 1;
+            kept
+        });
+        self.by_fingerprint.clear();
+        self.max_new_bins = 0;
+        for (i, seed) in self.seeds.iter().enumerate() {
+            self.by_fingerprint.insert(seed.state.fingerprint, i);
+            self.max_new_bins = self.max_new_bins.max(seed.state.new_bins);
+        }
+        self.revision += 1;
+        dropped
+    }
+
     /// Exports the store (without the generator's RNG; the caller owns
     /// that) as the seed list + discovery counter of a [`CorpusState`].
     pub fn export_into(&self, state: &mut CorpusState) {
@@ -297,6 +355,77 @@ mod tests {
         assert_eq!(picks, run(), "selection is bit-reproducible");
         let strong = picks.iter().filter(|&&i| i == 0).count();
         assert!(strong > 35, "energy-weighted selection favours the discoverer ({strong}/50)");
+    }
+
+    fn distill_space() -> (std::sync::Arc<chatfuzz_coverage::Space>, Vec<chatfuzz_coverage::CondId>)
+    {
+        let mut builder = chatfuzz_coverage::SpaceBuilder::new("distill-unit");
+        let ids = builder.register_array("c", 6, chatfuzz_coverage::PointKind::Condition);
+        (builder.build(), ids)
+    }
+
+    #[test]
+    fn distill_drops_subsumed_seeds_and_never_union_coverage() {
+        let (space, ids) = distill_space();
+        let map_of = |bins: &[usize]| {
+            let mut m = CovMap::new(&space);
+            for &b in bins {
+                m.hit(ids[b], true);
+            }
+            m
+        };
+        let mut c = Corpus::new(8);
+        add(&mut c, 1, 10, false); // widest cover → kept
+        add(&mut c, 2, 2, false); // subset of seed 1 → dropped
+        add(&mut c, 3, 1, false); // unique bin → kept
+        add(&mut c, 4, 0, true); // mismatch witness, subset → kept anyway
+        let maps = vec![map_of(&[0, 1, 2]), map_of(&[0, 1]), map_of(&[3]), map_of(&[0])];
+        let union_before = CovMap::union(maps.iter()).expect("non-empty");
+        let revision_before = c.revision();
+
+        let dropped = c.distill(&maps);
+        assert_eq!(dropped, 1);
+        assert!(c.contains(1) && c.contains(3) && c.contains(4));
+        assert!(!c.contains(2), "subsumed seed dropped");
+        assert!(c.revision() > revision_before, "distillation is a content change");
+
+        // The retained seeds' union is the full union — nothing lost.
+        let union_after = CovMap::union([&maps[0], &maps[2], &maps[3]]).expect("non-empty");
+        assert!(union_before.is_subset_of(&union_after));
+        assert!(union_after.is_subset_of(&union_before));
+
+        // The store still works: picks hit only retained seeds, and the
+        // fingerprint index was rebuilt consistently.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            let i = c.pick_weighted(&mut rng);
+            assert!(i < c.len());
+        }
+        // A second distillation with the surviving maps is a fixpoint.
+        let survivors = vec![maps[0].clone(), maps[2].clone(), maps[3].clone()];
+        assert_eq!(c.distill(&survivors), 0);
+    }
+
+    #[test]
+    fn distill_prefers_wide_covers_and_keeps_every_unique_bin() {
+        let (space, ids) = distill_space();
+        let map_of = |bins: &[usize]| {
+            let mut m = CovMap::new(&space);
+            for &b in bins {
+                m.hit(ids[b], true);
+            }
+            m
+        };
+        // Three narrow seeds fully covered by one wide one inserted last.
+        let mut c = Corpus::new(8);
+        for fp in 1..=3u64 {
+            add(&mut c, fp, 1, false);
+        }
+        add(&mut c, 4, 6, false);
+        let maps = vec![map_of(&[0]), map_of(&[1]), map_of(&[2]), map_of(&[0, 1, 2])];
+        assert_eq!(c.distill(&maps), 3, "wide cover subsumes all three narrow seeds");
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(4));
     }
 
     #[test]

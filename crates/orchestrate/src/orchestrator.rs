@@ -1,0 +1,743 @@
+//! The orchestrator proper: a registry of tenant campaigns, each split
+//! into shard leases and advanced generation by generation.
+//!
+//! Per generation, every lease runs `lease_tests` more tests on its own
+//! worker. When all leases of a generation complete, the orchestrator
+//! merges their snapshots with the sharding merge, runs the optional
+//! distillation hook, and — unless a stop rule fires — **re-splits the
+//! merged snapshot into a new fan-out**, so every shard of the next
+//! generation continues from pooled coverage and a pooled corpus rather
+//! than its own island. `lease_tests` is therefore the merge cadence:
+//! `lease_tests >= total_tests` means one generation and no mid-flight
+//! merge at all.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chatfuzz::campaign::{CampaignSnapshot, StopCondition};
+use chatfuzz::shard::{resplit_snapshot, shard_seed, ShardError, ShardSpec, ShardedOutcome};
+use chatfuzz_baselines::ArmStatus;
+use chatfuzz_coverage::Space;
+
+use crate::lease::{DistillHook, LeaseBuilder, LeaseId, LeaseState, WorkOrder};
+use crate::transport::{Transport, TransportEvent, WorkerStatus};
+
+/// What can go wrong while orchestrating a fleet.
+#[derive(Debug)]
+pub enum OrchestrateError {
+    /// The transport could not move a work order or result.
+    Transport {
+        /// Lease the order belonged to ("" when not lease-scoped).
+        lease: String,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// Completed shard snapshots refused to merge.
+    Merge(ShardError),
+    /// A lease burned through its attempt budget without completing.
+    LeaseExhausted {
+        /// The lease that kept dying.
+        lease: String,
+        /// Attempts consumed.
+        attempts: u32,
+        /// Last failure detail (or "missed heartbeat deadline").
+        detail: String,
+    },
+}
+
+impl fmt::Display for OrchestrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestrateError::Transport { lease, detail } if lease.is_empty() => {
+                write!(f, "transport: {detail}")
+            }
+            OrchestrateError::Transport { lease, detail } => {
+                write!(f, "transport for lease {lease}: {detail}")
+            }
+            OrchestrateError::Merge(e) => write!(f, "merging generation results: {e}"),
+            OrchestrateError::LeaseExhausted { lease, attempts, detail } => {
+                write!(f, "lease {lease} failed {attempts} attempts (last: {detail})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrchestrateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrchestrateError::Merge(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One tenant campaign's fleet shape and budget.
+#[derive(Clone)]
+pub struct FleetConfig {
+    /// Registry name; spool workers look their template up by it.
+    pub name: String,
+    /// Root of every RNG stream the fleet derives.
+    pub base_seed: u64,
+    /// Leases per generation.
+    pub fan_out: usize,
+    /// Tests each lease adds per generation — the merge cadence.
+    pub lease_tests: usize,
+    /// Stop once the merged snapshot carries at least this many tests.
+    pub total_tests: usize,
+    /// Stop early once merged coverage reaches this percentage.
+    pub coverage_target_pct: Option<f64>,
+    /// Batches between worker auto-checkpoints — the crash-loss bound.
+    pub checkpoint_every: usize,
+    /// A lease whose heartbeat is older than this is revoked and reissued.
+    pub heartbeat_deadline: Duration,
+    /// Give up on a lease after this many attempts.
+    pub max_attempts: u32,
+    /// The campaign template instantiated per lease.
+    pub build: LeaseBuilder,
+    /// Coverage space shared by every lease of the campaign.
+    pub space: Arc<Space>,
+    /// Optional corpus distillation run on each merged snapshot.
+    pub distill: Option<DistillHook>,
+}
+
+impl FleetConfig {
+    /// A 4-wide fleet merging every 256 tests up to 1024 total, with a
+    /// 2-second heartbeat deadline — override fields as needed.
+    pub fn new(
+        name: impl Into<String>,
+        base_seed: u64,
+        space: Arc<Space>,
+        build: LeaseBuilder,
+    ) -> FleetConfig {
+        FleetConfig {
+            name: name.into(),
+            base_seed,
+            fan_out: 4,
+            lease_tests: 256,
+            total_tests: 1024,
+            coverage_target_pct: None,
+            checkpoint_every: 4,
+            heartbeat_deadline: Duration::from_secs(2),
+            max_attempts: 8,
+            build,
+            space,
+            distill: None,
+        }
+    }
+}
+
+/// The seed for one lease's shard spec. Generation 0 must stay plain
+/// `shard_seed(base, index)` so a 1-wide, 1-generation fleet reproduces a
+/// plain sharded campaign bit for bit; later generations salt by
+/// generation so re-split streams never repeat.
+fn lease_seed(base: u64, generation: u64, index: usize) -> u64 {
+    if generation == 0 {
+        shard_seed(base, index)
+    } else {
+        shard_seed(shard_seed(base, generation as usize), index)
+    }
+}
+
+struct LeaseSlot {
+    id: LeaseId,
+    attempt: u32,
+    state: LeaseState,
+    last_progress: Instant,
+    /// Absolute tests reported by the latest heartbeat (includes the base).
+    tests_run: usize,
+    result: Option<CampaignSnapshot>,
+}
+
+struct Tenant {
+    config: FleetConfig,
+    generation: u64,
+    /// Pooled snapshot of the last merged generation.
+    base: Option<CampaignSnapshot>,
+    leases: Vec<LeaseSlot>,
+    finished: Option<CampaignSnapshot>,
+    revoked: u64,
+    started: Option<Instant>,
+}
+
+impl Tenant {
+    fn reference(&self) -> Option<&CampaignSnapshot> {
+        self.finished.as_ref().or(self.base.as_ref())
+    }
+
+    fn base_tests(&self) -> usize {
+        self.base.as_ref().map_or(0, CampaignSnapshot::tests_run)
+    }
+
+    /// Merged tests plus heartbeat-reported in-flight progress.
+    fn live_tests(&self) -> usize {
+        if let Some(f) = &self.finished {
+            return f.tests_run();
+        }
+        let base = self.base_tests();
+        base + self.leases.iter().map(|slot| slot.tests_run.saturating_sub(base)).sum::<usize>()
+    }
+}
+
+/// A point-in-time view of one lease for the status API.
+#[derive(Debug, Clone)]
+pub struct LeaseStatus {
+    /// Which lease.
+    pub id: LeaseId,
+    /// Current attempt number.
+    pub attempt: u32,
+    /// Lifecycle state.
+    pub state: LeaseState,
+    /// Absolute tests the serving worker last reported.
+    pub tests_run: usize,
+}
+
+/// A point-in-time view of one tenant campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignStatus {
+    /// Registry name.
+    pub name: String,
+    /// Merge-then-continue generation currently running (or finished at).
+    pub generation: u64,
+    /// Whether the campaign hit a stop rule.
+    pub done: bool,
+    /// Pooled coverage as of the last merge (0 until the first merge).
+    pub coverage_pct: f64,
+    /// Merged tests plus in-flight heartbeat progress.
+    pub tests_run: usize,
+    /// Fleet-wide throughput since the first dispatch.
+    pub tests_per_sec: f64,
+    /// Leases revoked (or failed) and reissued so far.
+    pub revoked_leases: u64,
+    /// Per-arm scheduler statistics from the pooled snapshot, by name.
+    pub arms: Vec<(String, ArmStatus)>,
+    /// Current generation's leases.
+    pub leases: Vec<LeaseStatus>,
+}
+
+/// Everything a dashboard needs: per-campaign progress plus fleet health.
+#[derive(Debug, Clone)]
+pub struct OrchestratorStatus {
+    /// One entry per registered campaign.
+    pub campaigns: Vec<CampaignStatus>,
+    /// Live/dead view of the transport's workers.
+    pub workers: Vec<WorkerStatus>,
+}
+
+/// The long-lived coordinator: registry, lease bookkeeping, merge loop.
+pub struct Orchestrator<T: Transport> {
+    transport: T,
+    tenants: Vec<Tenant>,
+}
+
+impl<T: Transport> Orchestrator<T> {
+    /// Wraps a transport; campaigns are registered separately.
+    pub fn new(transport: T) -> Orchestrator<T> {
+        Orchestrator { transport, tenants: Vec::new() }
+    }
+
+    /// Registers a campaign and returns its slot (the `campaign` field of
+    /// its lease ids). Dispatch happens on the next [`step`](Self::step).
+    pub fn register(&mut self, config: FleetConfig) -> usize {
+        self.tenants.push(Tenant {
+            config,
+            generation: 0,
+            base: None,
+            leases: Vec::new(),
+            finished: None,
+            revoked: 0,
+            started: None,
+        });
+        self.tenants.len() - 1
+    }
+
+    /// Every registered campaign hit a stop rule.
+    pub fn is_done(&self) -> bool {
+        self.tenants.iter().all(|t| t.finished.is_some())
+    }
+
+    /// The final merged snapshot of a finished campaign.
+    pub fn final_snapshot(&self, campaign: usize) -> Option<&CampaignSnapshot> {
+        self.tenants.get(campaign).and_then(|t| t.finished.as_ref())
+    }
+
+    /// One bookkeeping pass: dispatch pending generations, drain transport
+    /// events, revoke stale leases, merge completed generations.
+    pub fn step(&mut self) -> Result<(), OrchestrateError> {
+        for index in 0..self.tenants.len() {
+            let tenant = &self.tenants[index];
+            if tenant.finished.is_none() && tenant.leases.is_empty() {
+                self.start_generation(index)?;
+            }
+        }
+        for event in self.transport.poll() {
+            self.absorb(event)?;
+        }
+        self.revoke_stale()?;
+        for index in 0..self.tenants.len() {
+            let tenant = &self.tenants[index];
+            if tenant.finished.is_none()
+                && !tenant.leases.is_empty()
+                && tenant.leases.iter().all(|slot| slot.state == LeaseState::Completed)
+            {
+                self.finish_generation(index)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps until every campaign finishes, then shuts the fleet down.
+    pub fn run_to_completion(&mut self) -> Result<(), OrchestrateError> {
+        self.run_streaming(|_| {})
+    }
+
+    /// Like [`run_to_completion`](Self::run_to_completion), but streams a
+    /// status snapshot to `on_status` after every step — the push half of
+    /// the status API ([`status`](Self::status) is the poll half).
+    pub fn run_streaming(
+        &mut self,
+        mut on_status: impl FnMut(&OrchestratorStatus),
+    ) -> Result<(), OrchestrateError> {
+        while !self.is_done() {
+            self.step()?;
+            on_status(&self.status());
+            if !self.is_done() {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        self.transport.shutdown();
+        Ok(())
+    }
+
+    /// Stops the fleet without waiting for campaigns to finish.
+    pub fn shutdown(&mut self) {
+        self.transport.shutdown();
+    }
+
+    /// A point-in-time view of every campaign and worker.
+    pub fn status(&self) -> OrchestratorStatus {
+        let campaigns = self
+            .tenants
+            .iter()
+            .map(|tenant| {
+                let reference = tenant.reference();
+                // Stateless schedulers (round-robin) track no per-arm
+                // state; fall back to the production counters so every
+                // arm still shows up on the dashboard.
+                let arms = reference
+                    .map(|snapshot| {
+                        let statuses = snapshot.scheduler_state().arm_statuses();
+                        snapshot
+                            .generator_stats()
+                            .iter()
+                            .enumerate()
+                            .map(|(slot, stats)| {
+                                let status = statuses.get(slot).cloned().unwrap_or(ArmStatus {
+                                    pulls: stats.batches as u64,
+                                    mean_reward: stats.reward_rate(),
+                                    recent_mean_reward: None,
+                                    cycles: stats.cycles,
+                                });
+                                (stats.name.clone(), status)
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let tests_run = tenant.live_tests();
+                let elapsed = tenant.started.map_or(0.0, |since| since.elapsed().as_secs_f64());
+                CampaignStatus {
+                    name: tenant.config.name.clone(),
+                    generation: tenant.generation,
+                    done: tenant.finished.is_some(),
+                    coverage_pct: reference.map_or(0.0, CampaignSnapshot::coverage_pct),
+                    tests_run,
+                    tests_per_sec: if elapsed > 0.0 { tests_run as f64 / elapsed } else { 0.0 },
+                    revoked_leases: tenant.revoked,
+                    arms,
+                    leases: tenant
+                        .leases
+                        .iter()
+                        .map(|slot| LeaseStatus {
+                            id: slot.id,
+                            attempt: slot.attempt,
+                            state: slot.state,
+                            tests_run: slot.tests_run,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        OrchestratorStatus { campaigns, workers: self.transport.workers() }
+    }
+
+    /// Issues every lease of the tenant's current generation.
+    fn start_generation(&mut self, index: usize) -> Result<(), OrchestrateError> {
+        let tenant = &mut self.tenants[index];
+        if tenant.started.is_none() {
+            tenant.started = Some(Instant::now());
+        }
+        let generation = tenant.generation;
+        let config = &tenant.config;
+        let base_tests = tenant.base.as_ref().map_or(0, CampaignSnapshot::tests_run);
+        let mut orders = Vec::with_capacity(config.fan_out);
+        let mut slots = Vec::with_capacity(config.fan_out);
+        for fan in 0..config.fan_out {
+            let id = LeaseId { campaign: index, generation, index: fan };
+            let seed = lease_seed(config.base_seed, generation, fan);
+            let spec = ShardSpec { index: fan, shards: config.fan_out, seed };
+            let (resume, stop) = match &tenant.base {
+                None => (None, StopCondition::Tests(config.lease_tests)),
+                Some(base) => {
+                    (Some(resplit_snapshot(base, seed)), base.lease_stop(config.lease_tests))
+                }
+            };
+            orders.push(WorkOrder {
+                lease: id,
+                attempt: 0,
+                campaign: config.name.clone(),
+                spec,
+                resume,
+                stop,
+                checkpoint_every: config.checkpoint_every,
+                build: config.build.clone(),
+                space: config.space.clone(),
+            });
+            slots.push(LeaseSlot {
+                id,
+                attempt: 0,
+                state: LeaseState::Issued,
+                last_progress: Instant::now(),
+                tests_run: base_tests,
+                result: None,
+            });
+        }
+        tenant.leases = slots;
+        for order in orders {
+            self.transport.dispatch(order)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one transport event to the lease bookkeeping. Events for a
+    /// superseded attempt or an older generation are dropped — that is
+    /// what makes revocation safe against zombie workers.
+    fn absorb(&mut self, event: TransportEvent) -> Result<(), OrchestrateError> {
+        match event {
+            TransportEvent::Heartbeat { lease, attempt, tests_run, .. } => {
+                if let Some(slot) = self.slot_mut(lease, attempt) {
+                    if slot.state != LeaseState::Completed {
+                        slot.state = LeaseState::Heartbeating;
+                        slot.last_progress = Instant::now();
+                        slot.tests_run = slot.tests_run.max(tests_run);
+                    }
+                }
+            }
+            TransportEvent::Completed { lease, attempt, snapshot } => {
+                if let Some(slot) = self.slot_mut(lease, attempt) {
+                    if slot.state != LeaseState::Completed {
+                        slot.state = LeaseState::Completed;
+                        slot.tests_run = snapshot.tests_run();
+                        slot.result = Some(*snapshot);
+                    }
+                }
+            }
+            TransportEvent::Failed { lease, attempt, detail } => {
+                if self.slot_mut(lease, attempt).is_some() {
+                    self.reissue(lease, &detail)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The live slot for a lease, only if `attempt` is its current attempt.
+    fn slot_mut(&mut self, lease: LeaseId, attempt: u32) -> Option<&mut LeaseSlot> {
+        self.tenants
+            .get_mut(lease.campaign)?
+            .leases
+            .iter_mut()
+            .find(|slot| slot.id == lease && slot.attempt == attempt)
+    }
+
+    /// Revokes and reissues every in-flight lease whose worker missed the
+    /// heartbeat deadline.
+    fn revoke_stale(&mut self) -> Result<(), OrchestrateError> {
+        let mut stale = Vec::new();
+        for tenant in &self.tenants {
+            if tenant.finished.is_some() {
+                continue;
+            }
+            for slot in &tenant.leases {
+                if slot.state != LeaseState::Completed
+                    && slot.last_progress.elapsed() > tenant.config.heartbeat_deadline
+                {
+                    stale.push(slot.id);
+                }
+            }
+        }
+        for lease in stale {
+            self.reissue(lease, "missed heartbeat deadline")?;
+        }
+        Ok(())
+    }
+
+    /// Revokes a lease's current attempt and reissues it from the freshest
+    /// checkpoint any prior attempt left — or the generation's pooled base
+    /// when no checkpoint exists yet. The absolute stop condition is
+    /// unchanged, so a reissued lease still lands on the same budget.
+    fn reissue(&mut self, lease: LeaseId, detail: &str) -> Result<(), OrchestrateError> {
+        let tenant = &mut self.tenants[lease.campaign];
+        let config = tenant.config.clone();
+        let base = tenant.base.clone();
+        let Some(slot) = tenant.leases.iter_mut().find(|slot| slot.id == lease) else {
+            return Ok(());
+        };
+        let old_attempt = slot.attempt;
+        let next_attempt = old_attempt + 1;
+        if next_attempt >= config.max_attempts {
+            return Err(OrchestrateError::LeaseExhausted {
+                lease: lease.to_string(),
+                attempts: next_attempt,
+                detail: detail.to_string(),
+            });
+        }
+        slot.state = LeaseState::Revoked;
+        tenant.revoked += 1;
+        self.transport.revoke(lease, old_attempt);
+        // The freshest auto-checkpoint bounds the loss to one checkpoint
+        // interval; with none, the lease replays from the pooled base.
+        let seed = lease_seed(config.base_seed, lease.generation, lease.index);
+        let checkpoint = (0..=old_attempt)
+            .rev()
+            .find_map(|attempt| self.transport.checkpoint(lease, attempt, &config.space));
+        let resume = checkpoint.or_else(|| base.as_ref().map(|b| resplit_snapshot(b, seed)));
+        let stop = match &base {
+            Some(b) => b.lease_stop(config.lease_tests),
+            None => StopCondition::Tests(config.lease_tests),
+        };
+        let order = WorkOrder {
+            lease,
+            attempt: next_attempt,
+            campaign: config.name.clone(),
+            spec: ShardSpec { index: lease.index, shards: config.fan_out, seed },
+            resume,
+            stop,
+            checkpoint_every: config.checkpoint_every,
+            build: config.build.clone(),
+            space: config.space.clone(),
+        };
+        let tenant = &mut self.tenants[lease.campaign];
+        if let Some(slot) = tenant.leases.iter_mut().find(|slot| slot.id == lease) {
+            slot.attempt = next_attempt;
+            slot.state = LeaseState::Issued;
+            slot.last_progress = Instant::now();
+        }
+        self.transport.dispatch(order)
+    }
+
+    /// Merges a completed generation and either finishes the campaign or
+    /// re-splits the pool into the next generation's leases.
+    fn finish_generation(&mut self, index: usize) -> Result<(), OrchestrateError> {
+        let tenant = &mut self.tenants[index];
+        let snapshots: Vec<CampaignSnapshot> = tenant
+            .leases
+            .iter_mut()
+            .map(|slot| slot.result.take().expect("finish_generation runs on completed leases"))
+            .collect();
+        let outcome = ShardedOutcome::new(snapshots).map_err(OrchestrateError::Merge)?;
+        let mut merged = match &tenant.base {
+            None => outcome.merged_snapshot(),
+            Some(base) => outcome.merged_snapshot_over_base(base),
+        };
+        if let Some(distill) = &tenant.config.distill {
+            distill(&mut merged);
+        }
+        tenant.leases.clear();
+        let budget_done = merged.tests_run() >= tenant.config.total_tests;
+        let target_done =
+            tenant.config.coverage_target_pct.is_some_and(|target| merged.coverage_pct() >= target);
+        if budget_done || target_done {
+            tenant.finished = Some(merged);
+        } else {
+            tenant.base = Some(merged);
+            tenant.generation += 1;
+            self.start_generation(index)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::NullTransport;
+    use chatfuzz::campaign::CampaignBuilder;
+    use chatfuzz_baselines::RandomRegression;
+    use chatfuzz_rtl::{Dut, Rocket, RocketConfig};
+
+    fn rocket_space() -> Arc<Space> {
+        Rocket::new(RocketConfig::default()).space().clone()
+    }
+
+    fn rocket_template() -> LeaseBuilder {
+        Arc::new(|spec: ShardSpec| {
+            CampaignBuilder::new(|| Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>)
+                .batch_size(8)
+                .generator(RandomRegression::new(spec.seed, 16))
+        })
+    }
+
+    fn config(fan_out: usize, lease_tests: usize, total: usize) -> FleetConfig {
+        FleetConfig {
+            fan_out,
+            lease_tests,
+            total_tests: total,
+            ..FleetConfig::new("rocket", 42, rocket_space(), rocket_template())
+        }
+    }
+
+    fn run_lease(order: &WorkOrder) -> CampaignSnapshot {
+        let mut builder = (order.build)(order.spec);
+        if let Some(resume) = order.resume.clone() {
+            builder = builder.resume(resume);
+        }
+        let mut campaign = builder.build();
+        campaign.run_until(&[order.stop]);
+        campaign.snapshot()
+    }
+
+    #[test]
+    fn generations_merge_and_resplit_until_the_budget() {
+        let mut orchestrator = Orchestrator::new(NullTransport::new());
+        let campaign = orchestrator.register(config(2, 32, 128));
+        assert!(!orchestrator.is_done());
+
+        let mut generations = 0;
+        while !orchestrator.is_done() {
+            orchestrator.step().expect("step");
+            let orders: Vec<WorkOrder> = orchestrator.transport.dispatched.drain(..).collect();
+            if orders.is_empty() {
+                panic!("an unfinished campaign always has work in flight");
+            }
+            generations += 1;
+            assert!(generations <= 2, "2 leases x 32 tests gain 64 merged tests per generation");
+            for order in &orders {
+                assert_eq!(order.campaign, "rocket");
+                assert_eq!(order.spec.shards, 2);
+                let snapshot = run_lease(order);
+                orchestrator.transport.events.push(TransportEvent::Completed {
+                    lease: order.lease,
+                    attempt: order.attempt,
+                    snapshot: Box::new(snapshot),
+                });
+            }
+            orchestrator.step().expect("merge step");
+        }
+        let fin = orchestrator.final_snapshot(campaign).expect("finished campaign");
+        assert_eq!(fin.tests_run(), 128, "two generations of 2x32 pooled tests");
+        let status = orchestrator.status();
+        assert!(status.campaigns[0].done);
+        assert_eq!(status.campaigns[0].tests_run, 128);
+        assert_eq!(status.campaigns[0].generation, 1);
+        assert_eq!(status.campaigns[0].revoked_leases, 0);
+        assert_eq!(status.campaigns[0].arms.len(), 1);
+        assert_eq!(status.campaigns[0].arms[0].0, "random");
+        assert!(status.campaigns[0].coverage_pct > 0.0);
+    }
+
+    #[test]
+    fn stale_leases_are_revoked_and_reissued_from_checkpoints() {
+        let mut orchestrator = Orchestrator::new(NullTransport::new());
+        let fleet =
+            FleetConfig { heartbeat_deadline: Duration::from_secs(3600), ..config(2, 32, 64) };
+        orchestrator.register(fleet);
+        orchestrator.step().expect("dispatch");
+        let orders: Vec<WorkOrder> = orchestrator.transport.dispatched.drain(..).collect();
+        assert_eq!(orders.len(), 2);
+
+        // Pretend lease 0's worker checkpointed some progress, then died:
+        // its reissue must resume from that checkpoint.
+        let survivor = run_lease(&orders[1]);
+        let checkpoint = {
+            let builder = (orders[0].build)(orders[0].spec);
+            let mut campaign = builder.build();
+            campaign.run_until(&[StopCondition::Tests(16)]);
+            campaign.snapshot()
+        };
+        orchestrator.transport.checkpoints.insert((orders[0].lease, 0), checkpoint.clone());
+        orchestrator.transport.events.push(TransportEvent::Completed {
+            lease: orders[1].lease,
+            attempt: 0,
+            snapshot: Box::new(survivor),
+        });
+        // Collapse the deadline: the next step absorbs the survivor's
+        // completion, then finds lease 0 stale and reissues it.
+        orchestrator.tenants[0].config.heartbeat_deadline = Duration::from_millis(0);
+        std::thread::sleep(Duration::from_millis(2));
+        orchestrator.step().expect("revocation step");
+        assert_eq!(orchestrator.transport.revoked, vec![(orders[0].lease, 0)]);
+        let reissues: Vec<WorkOrder> = orchestrator.transport.dispatched.drain(..).collect();
+        assert_eq!(reissues.len(), 1, "only the stale lease is reissued");
+        let reissue = &reissues[0];
+        assert_eq!(reissue.lease, orders[0].lease);
+        assert_eq!(reissue.attempt, 1);
+        assert_eq!(reissue.stop, orders[0].stop, "the absolute budget is unchanged");
+        assert_eq!(
+            reissue.resume.as_ref().map(|s| s.tests_run()),
+            Some(16),
+            "the reissue continues from the dead worker's checkpoint"
+        );
+        let status = orchestrator.status();
+        assert_eq!(status.campaigns[0].revoked_leases, 1);
+        assert!(status.campaigns[0]
+            .leases
+            .iter()
+            .any(|l| l.attempt == 1 && l.state == LeaseState::Issued));
+
+        // A zombie result from the revoked attempt 0 must be ignored…
+        let stale_result = run_lease(&orders[0]);
+        orchestrator.transport.events.push(TransportEvent::Completed {
+            lease: orders[0].lease,
+            attempt: 0,
+            snapshot: Box::new(stale_result),
+        });
+        // …while attempt 1's result completes the lease. Freeze staleness
+        // first so the reissued lease is not revoked again by the 0ms
+        // deadline used to force the first revocation.
+        let finished = run_lease(reissue);
+        orchestrator.tenants[0].config.heartbeat_deadline = Duration::from_secs(3600);
+        orchestrator.transport.events.push(TransportEvent::Heartbeat {
+            lease: reissue.lease,
+            attempt: 1,
+            tests_run: 16,
+            worker: 7,
+        });
+        orchestrator.step().expect("zombie step");
+        orchestrator.transport.events.push(TransportEvent::Completed {
+            lease: reissue.lease,
+            attempt: 1,
+            snapshot: Box::new(finished),
+        });
+        orchestrator.step().expect("completion step");
+        assert!(orchestrator.is_done(), "both leases completed despite the revocation");
+        assert_eq!(orchestrator.final_snapshot(0).map(|s| s.tests_run()), Some(64));
+    }
+
+    #[test]
+    fn lease_attempts_are_bounded() {
+        let mut orchestrator = Orchestrator::new(NullTransport::new());
+        orchestrator.register(FleetConfig {
+            max_attempts: 2,
+            heartbeat_deadline: Duration::from_millis(1),
+            ..config(1, 8, 8)
+        });
+        orchestrator.step().expect("dispatch");
+        std::thread::sleep(Duration::from_millis(5));
+        orchestrator.step().expect("first revocation survives");
+        assert_eq!(orchestrator.status().campaigns[0].revoked_leases, 1);
+        std::thread::sleep(Duration::from_millis(5));
+        let err = orchestrator.step().expect_err("second revocation exhausts the budget");
+        assert!(matches!(err, OrchestrateError::LeaseExhausted { attempts: 2, .. }), "{err}");
+        assert!(err.to_string().contains("missed heartbeat deadline"), "{err}");
+    }
+}

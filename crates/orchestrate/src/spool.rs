@@ -1,0 +1,585 @@
+//! Filesystem-spool transport: the machine-crossing stand-in.
+//!
+//! Orchestrator and workers share nothing but a directory. The protocol
+//! is files, every one written with the same atomic temp+rename dance the
+//! `persist` module uses, so a reader never sees a half-written file:
+//!
+//! ```text
+//! spool/
+//!   inbox/<lease>.json     work orders, one flat-JSON file each
+//!   claimed/<lease>.json   a worker claims an order by renaming it here;
+//!                          losing the rename race means another worker won
+//!   hb/<lease>.json        heartbeats: {seq, tests, pid}, rewritten per batch
+//!   ckpt/<lease>.ckpt.json attempt-scoped auto-checkpoints (persist format)
+//!   resume/<lease>.json    pooled snapshots a lease continues from
+//!   outbox/<lease>.json    final shard snapshots (persist format)
+//!   stop                   shutdown marker: workers drain and exit
+//! ```
+//!
+//! `<lease>` is the attempt-scoped stem `c{campaign}-g{gen}-l{index}-a{attempt}`,
+//! so a revoked attempt's late artefacts can never collide with its
+//! reissue. The shard half of a work order rides the same four
+//! `CHATFUZZ_SHARD_*` keys the subprocess sharding protocol uses,
+//! encoded and decoded by [`chatfuzz::shard::proto::Assignment`].
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use chatfuzz::campaign::{BatchOutcome, CampaignSnapshot, StopCondition};
+use chatfuzz::shard::proto::Assignment;
+use chatfuzz_coverage::Space;
+
+use crate::lease::{artefact_stem, LeaseBuilder, LeaseId, WorkOrder};
+use crate::orchestrator::OrchestrateError;
+use crate::transport::{Transport, TransportEvent, WorkerStatus};
+
+/// Environment variable carrying the spool root to worker processes.
+pub const ENV_SPOOL_DIR: &str = "CHATFUZZ_SPOOL_DIR";
+
+const INBOX: &str = "inbox";
+const CLAIMED: &str = "claimed";
+const HEARTBEATS: &str = "hb";
+const CHECKPOINTS: &str = "ckpt";
+const RESUMES: &str = "resume";
+const OUTBOX: &str = "outbox";
+const STOP_MARKER: &str = "stop";
+
+fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Flat JSON: string-to-string maps, the only shape the spool protocol needs.
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders key/value pairs as a one-line JSON object.
+fn encode_flat<'a>(pairs: impl IntoIterator<Item = (&'a str, &'a str)>) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in pairs.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(&mut out, key);
+        out.push_str("\":\"");
+        escape_into(&mut out, value);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn read_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{8}'),
+                'f' => out.push('\u{c}'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses a one-line JSON object of string values. `None` on any malformation.
+fn decode_flat(text: &str) -> Option<BTreeMap<String, String>> {
+    let mut chars = text.chars().peekable();
+    let mut map = BTreeMap::new();
+    while chars.peek()?.is_whitespace() {
+        chars.next();
+    }
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        while chars.peek()?.is_whitespace() {
+            chars.next();
+        }
+        match chars.next()? {
+            '}' => return Some(map),
+            '"' => {
+                let key = read_string(&mut chars)?;
+                while chars.peek()?.is_whitespace() {
+                    chars.next();
+                }
+                if chars.next()? != ':' {
+                    return None;
+                }
+                while chars.peek()?.is_whitespace() {
+                    chars.next();
+                }
+                if chars.next()? != '"' {
+                    return None;
+                }
+                let value = read_string(&mut chars)?;
+                map.insert(key, value);
+                while chars.peek()?.is_whitespace() {
+                    chars.next();
+                }
+                match chars.next()? {
+                    ',' => continue,
+                    '}' => return Some(map),
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator side.
+// ---------------------------------------------------------------------------
+
+struct Inflight {
+    lease: LeaseId,
+    attempt: u32,
+    space: Arc<Space>,
+    result: PathBuf,
+    heartbeat: PathBuf,
+    last_seq: u64,
+}
+
+struct SpoolChild {
+    child: Child,
+    alive: bool,
+}
+
+/// The orchestrator's end of the spool: writes work orders into `inbox/`,
+/// watches `hb/` and `outbox/`, and (optionally) keeps a fleet of worker
+/// processes running against the same directory.
+pub struct SpoolTransport {
+    root: PathBuf,
+    program: Option<(PathBuf, Vec<String>)>,
+    worker_count: usize,
+    children: Vec<SpoolChild>,
+    inflight: Vec<Inflight>,
+    serving: BTreeMap<u64, LeaseId>,
+}
+
+impl SpoolTransport {
+    /// Creates the transport over `root`, creating the spool directories.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<SpoolTransport> {
+        let root = root.into();
+        for dir in [INBOX, CLAIMED, HEARTBEATS, CHECKPOINTS, RESUMES, OUTBOX] {
+            std::fs::create_dir_all(root.join(dir))?;
+        }
+        Ok(SpoolTransport {
+            root,
+            program: None,
+            worker_count: 0,
+            children: Vec::new(),
+            inflight: Vec::new(),
+            serving: BTreeMap::new(),
+        })
+    }
+
+    /// Spawn `workers` copies of `program args…` (with [`ENV_SPOOL_DIR`] set
+    /// to the spool root) on first dispatch. Without this, the transport
+    /// assumes workers are started out of band — possibly on another
+    /// machine mounting the same directory.
+    pub fn spawn_workers(
+        mut self,
+        workers: usize,
+        program: impl Into<PathBuf>,
+        args: impl IntoIterator<Item = String>,
+    ) -> SpoolTransport {
+        self.program = Some((program.into(), args.into_iter().collect()));
+        self.worker_count = workers;
+        self
+    }
+
+    /// The spool root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn ensure_workers(&mut self) -> Result<(), OrchestrateError> {
+        let Some((program, args)) = &self.program else { return Ok(()) };
+        while self.children.len() < self.worker_count {
+            let child = Command::new(program)
+                .args(args)
+                .env(ENV_SPOOL_DIR, &self.root)
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .map_err(|e| OrchestrateError::Transport {
+                    lease: String::new(),
+                    detail: format!("spawning spool worker `{}`: {e}", program.display()),
+                })?;
+            self.children.push(SpoolChild { child, alive: true });
+        }
+        Ok(())
+    }
+
+    fn stem_paths(&self, lease: LeaseId, attempt: u32) -> (PathBuf, PathBuf, PathBuf, PathBuf) {
+        let stem = artefact_stem(lease, attempt);
+        (
+            self.root.join(INBOX).join(format!("{stem}.json")),
+            self.root.join(HEARTBEATS).join(format!("{stem}.json")),
+            self.root.join(RESUMES).join(format!("{stem}.json")),
+            self.root.join(OUTBOX).join(format!("{stem}.json")),
+        )
+    }
+}
+
+impl Transport for SpoolTransport {
+    fn dispatch(&mut self, order: WorkOrder) -> Result<(), OrchestrateError> {
+        self.ensure_workers()?;
+        let (inbox, heartbeat, resume_path, result) = self.stem_paths(order.lease, order.attempt);
+        let fail =
+            |detail: String| OrchestrateError::Transport { lease: order.lease.to_string(), detail };
+        let StopCondition::Tests(stop_tests) = order.stop else {
+            return Err(fail(format!("spool leases carry test budgets, not {:?}", order.stop)));
+        };
+        if let Some(snapshot) = &order.resume {
+            chatfuzz::save_snapshot(&resume_path, snapshot)
+                .map_err(|e| fail(format!("writing resume snapshot: {e}")))?;
+        }
+        let checkpoint =
+            crate::lease::checkpoint_path(&self.root.join(CHECKPOINTS), order.lease, order.attempt);
+        let assignment = Assignment::new(order.spec, &result);
+        let shard_pairs = assignment.pairs();
+        let lease = order.lease;
+        let numbers = [
+            ("lease_campaign", lease.campaign.to_string()),
+            ("lease_generation", lease.generation.to_string()),
+            ("lease_index", lease.index.to_string()),
+            ("attempt", order.attempt.to_string()),
+            ("stop_tests", stop_tests.to_string()),
+            ("ckpt_every", order.checkpoint_every.to_string()),
+        ];
+        let mut pairs: Vec<(&str, String)> = vec![("campaign", order.campaign.clone())];
+        pairs.extend(shard_pairs.iter().map(|(k, v)| (*k, v.clone())));
+        pairs.extend(numbers);
+        pairs.push(("ckpt_path", checkpoint.display().to_string()));
+        pairs.push(("hb_path", heartbeat.display().to_string()));
+        if order.resume.is_some() {
+            pairs.push(("resume_path", resume_path.display().to_string()));
+        }
+        let doc = encode_flat(pairs.iter().map(|(k, v)| (*k, v.as_str())));
+        atomic_write(&inbox, &doc).map_err(|e| fail(format!("writing lease file: {e}")))?;
+        self.inflight.push(Inflight {
+            lease,
+            attempt: order.attempt,
+            space: order.space,
+            result,
+            heartbeat,
+            last_seq: 0,
+        });
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Vec<TransportEvent> {
+        for entry in &mut self.children {
+            if entry.alive {
+                entry.alive = matches!(entry.child.try_wait(), Ok(None));
+            }
+        }
+        let mut events = Vec::new();
+        let mut still_inflight = Vec::new();
+        for mut entry in self.inflight.drain(..) {
+            if let Some(hb) =
+                std::fs::read_to_string(&entry.heartbeat).ok().and_then(|text| decode_flat(&text))
+            {
+                let seq = hb.get("seq").and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
+                if seq > entry.last_seq {
+                    entry.last_seq = seq;
+                    let worker = hb.get("pid").and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
+                    let tests_run =
+                        hb.get("tests").and_then(|s| s.parse::<usize>().ok()).unwrap_or(0);
+                    self.serving.insert(worker, entry.lease);
+                    events.push(TransportEvent::Heartbeat {
+                        lease: entry.lease,
+                        attempt: entry.attempt,
+                        tests_run,
+                        worker,
+                    });
+                }
+            }
+            if entry.result.exists() {
+                // Results land by atomic rename, so a visible file is a
+                // complete file: any load error is a real protocol fault.
+                match chatfuzz::load_snapshot(&entry.result, &entry.space) {
+                    Ok(snapshot) => {
+                        self.serving.retain(|_, l| *l != entry.lease);
+                        events.push(TransportEvent::Completed {
+                            lease: entry.lease,
+                            attempt: entry.attempt,
+                            snapshot: Box::new(snapshot),
+                        });
+                    }
+                    Err(e) => events.push(TransportEvent::Failed {
+                        lease: entry.lease,
+                        attempt: entry.attempt,
+                        detail: e.to_string(),
+                    }),
+                }
+            } else {
+                still_inflight.push(entry);
+            }
+        }
+        self.inflight = still_inflight;
+        events
+    }
+
+    fn checkpoint(
+        &self,
+        lease: LeaseId,
+        attempt: u32,
+        space: &Arc<Space>,
+    ) -> Option<CampaignSnapshot> {
+        let path = crate::lease::checkpoint_path(&self.root.join(CHECKPOINTS), lease, attempt);
+        chatfuzz::load_snapshot(&path, space).ok()
+    }
+
+    fn revoke(&mut self, lease: LeaseId, attempt: u32) {
+        // Withdraw the order if no worker claimed it yet; a claimed order's
+        // late result is attempt-stale and the orchestrator discards it.
+        let (inbox, ..) = self.stem_paths(lease, attempt);
+        let _ = std::fs::remove_file(inbox);
+        self.inflight.retain(|e| !(e.lease == lease && e.attempt == attempt));
+        self.serving.retain(|_, l| *l != lease);
+    }
+
+    fn workers(&self) -> Vec<WorkerStatus> {
+        self.children
+            .iter()
+            .map(|entry| {
+                let id = u64::from(entry.child.id());
+                WorkerStatus { id, alive: entry.alive, lease: self.serving.get(&id).copied() }
+            })
+            .collect()
+    }
+
+    fn shutdown(&mut self) {
+        let _ = atomic_write(&self.root.join(STOP_MARKER), "stop");
+        for entry in &mut self.children {
+            let _ = entry.child.wait();
+            entry.alive = false;
+        }
+    }
+}
+
+impl Drop for SpoolTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+// ---------------------------------------------------------------------------
+
+/// A worker process's end of the spool: claims work orders by renaming
+/// them out of `inbox/`, runs them against a registered campaign
+/// template, and writes results to `outbox/`.
+pub struct SpoolWorker {
+    root: PathBuf,
+    templates: Vec<(String, LeaseBuilder, Arc<Space>)>,
+    poll_interval: Duration,
+}
+
+impl SpoolWorker {
+    /// Creates a worker over an existing spool directory.
+    pub fn new(root: impl Into<PathBuf>) -> SpoolWorker {
+        SpoolWorker {
+            root: root.into(),
+            templates: Vec::new(),
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+
+    /// Creates a worker from [`ENV_SPOOL_DIR`], the way spawned worker
+    /// processes find their spool. `None` when the variable is unset —
+    /// the caller is not being run as a spool worker.
+    pub fn from_env() -> Option<SpoolWorker> {
+        std::env::var_os(ENV_SPOOL_DIR).map(SpoolWorker::new)
+    }
+
+    /// Registers a campaign template under the name work orders refer to.
+    /// A worker may serve any number of tenants.
+    pub fn register(
+        mut self,
+        campaign: impl Into<String>,
+        space: Arc<Space>,
+        build: LeaseBuilder,
+    ) -> SpoolWorker {
+        self.templates.push((campaign.into(), build, space));
+        self
+    }
+
+    /// Serves work orders until the shutdown marker appears. Returns the
+    /// number of leases completed.
+    pub fn serve(&self) -> usize {
+        let mut served = 0;
+        loop {
+            if self.root.join(STOP_MARKER).exists() {
+                return served;
+            }
+            match self.claim_next() {
+                Some(order) => {
+                    self.serve_order(&order);
+                    served += 1;
+                }
+                None => std::thread::sleep(self.poll_interval),
+            }
+        }
+    }
+
+    /// Claims the oldest unclaimed work order, if any.
+    fn claim_next(&self) -> Option<BTreeMap<String, String>> {
+        let mut names: Vec<String> = std::fs::read_dir(self.root.join(INBOX))
+            .ok()?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".json"))
+            .collect();
+        names.sort();
+        for name in names {
+            let from = self.root.join(INBOX).join(&name);
+            let to = self.root.join(CLAIMED).join(&name);
+            // The rename is the claim: exactly one worker wins it, losers
+            // move on to the next order.
+            if std::fs::rename(&from, &to).is_ok() {
+                if let Some(map) = std::fs::read_to_string(&to).ok().and_then(|t| decode_flat(&t)) {
+                    return Some(map);
+                }
+            }
+        }
+        None
+    }
+
+    /// Runs one claimed order to completion and publishes the result.
+    fn serve_order(&self, order: &BTreeMap<String, String>) {
+        let assignment = Assignment::from_lookup(|key| order.get(key).cloned())
+            .expect("spool lease carries a shard assignment");
+        let campaign = order.get("campaign").expect("spool lease names its campaign");
+        let (_, build, space) = self
+            .templates
+            .iter()
+            .find(|(name, ..)| name == campaign)
+            .unwrap_or_else(|| panic!("no template registered for campaign `{campaign}`"));
+        let field = |key: &str| {
+            order
+                .get(key)
+                .unwrap_or_else(|| panic!("spool lease missing `{key}`"))
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("spool lease field `{key}` is not a number"))
+        };
+        let stop = StopCondition::Tests(field("stop_tests") as usize);
+        let checkpoint_every = field("ckpt_every") as usize;
+        let checkpoint = PathBuf::from(order.get("ckpt_path").expect("ckpt_path"));
+        let heartbeat = PathBuf::from(order.get("hb_path").expect("hb_path"));
+        let attempt = field("attempt");
+        let resume = order.get("resume_path").map(|path| {
+            chatfuzz::load_snapshot(Path::new(path), space).expect("spool resume snapshot loads")
+        });
+        let pid = std::process::id();
+        let mut seq: u64 = 0;
+        let mut builder = (build)(assignment.spec)
+            .auto_checkpoint(checkpoint, checkpoint_every)
+            .observer(move |outcome: &BatchOutcome| {
+                seq += 1;
+                let doc = encode_flat([
+                    ("seq", seq.to_string().as_str()),
+                    ("tests", outcome.tests_total.to_string().as_str()),
+                    ("pid", pid.to_string().as_str()),
+                    ("attempt", attempt.to_string().as_str()),
+                ]);
+                let _ = atomic_write(&heartbeat, &doc);
+            });
+        if let Some(snapshot) = resume {
+            builder = builder.resume(snapshot);
+        }
+        let mut session = builder.build();
+        session.run_until(&[stop]);
+        chatfuzz::save_snapshot(assignment.out_path(), &session.snapshot())
+            .expect("spool result snapshot writes");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_json_round_trips_awkward_strings() {
+        let pairs = [
+            ("plain", "value".to_string()),
+            ("path", "/tmp/a b/c\\d".to_string()),
+            ("quoted", "say \"hi\"\n\tdone".to_string()),
+            ("control", "\u{1}\u{1f}".to_string()),
+        ];
+        let doc = encode_flat(pairs.iter().map(|(k, v)| (*k, v.as_str())));
+        let map = decode_flat(&doc).expect("encoder output decodes");
+        assert_eq!(map.len(), pairs.len());
+        for (k, v) in &pairs {
+            assert_eq!(map.get(*k), Some(v));
+        }
+        assert!(decode_flat("{\"unterminated\":\"...").is_none());
+        assert!(decode_flat("[]").is_none());
+        assert_eq!(decode_flat("{}").map(|m| m.len()), Some(0));
+    }
+
+    #[test]
+    fn claims_are_exclusive_and_ordered() {
+        let dir = std::env::temp_dir().join(format!("chatfuzz-spool-claim-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let transport = SpoolTransport::new(&dir).expect("spool dirs");
+        let worker = SpoolWorker::new(&dir);
+        assert!(worker.claim_next().is_none(), "empty inbox claims nothing");
+        for stem in ["c0-g0-l1-a0", "c0-g0-l0-a0"] {
+            atomic_write(
+                &transport.root().join(INBOX).join(format!("{stem}.json")),
+                &encode_flat([("campaign", stem)]),
+            )
+            .expect("seed inbox");
+        }
+        let first = worker.claim_next().expect("first claim");
+        assert_eq!(first.get("campaign").map(String::as_str), Some("c0-g0-l0-a0"));
+        let second = worker.claim_next().expect("second claim");
+        assert_eq!(second.get("campaign").map(String::as_str), Some("c0-g0-l1-a0"));
+        assert!(worker.claim_next().is_none(), "both orders are claimed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,196 @@
+//! Integration: the campaign orchestrator — fault injection (a spool
+//! worker SIGKILLed mid-lease is revoked, reassigned, and costs the
+//! fleet nothing observable), and the determinism law (a 1-worker fleet
+//! with merge cadence = ∞ is canonically identical to a plain campaign).
+
+use std::process::Command;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chatfuzz::campaign::{CampaignBuilder, CampaignSnapshot, StopCondition};
+use chatfuzz::report;
+use chatfuzz::shard::{shard_seed, ShardSpec};
+use chatfuzz_evolve::{EvolveConfig, EvolveGenerator};
+use chatfuzz_orchestrate::{
+    FleetConfig, LeaseBuilder, LocalPoolTransport, Orchestrator, SpoolTransport, SpoolWorker,
+};
+use chatfuzz_tests::rocket_factory;
+
+const CAMPAIGN: &str = "rocket-evolve";
+const BATCH: usize = 8;
+
+/// The canonical lease template for this file: a single *stateful* arm
+/// (the evolutionary corpus), so a checkpoint resume continues the RNG
+/// and corpus streams bit for bit — the property the fault-injection
+/// equality below leans on. Orchestrator, spool workers, and reference
+/// fleets must all build leases through this one function.
+fn evolve_template() -> LeaseBuilder {
+    Arc::new(|spec: ShardSpec| {
+        CampaignBuilder::from_factory(rocket_factory())
+            .batch_size(BATCH)
+            .workers(2)
+            .generator(EvolveGenerator::new(EvolveConfig { seed: spec.seed, ..Default::default() }))
+    })
+}
+
+fn fleet_config(base_seed: u64, fan_out: usize, lease_tests: usize, total: usize) -> FleetConfig {
+    let space = rocket_factory()().space().clone();
+    FleetConfig {
+        fan_out,
+        lease_tests,
+        total_tests: total,
+        checkpoint_every: 2,
+        heartbeat_deadline: Duration::from_secs(2),
+        ..FleetConfig::new(CAMPAIGN, base_seed, space, evolve_template())
+    }
+}
+
+/// Worker role for the fault-injection test: a no-op under plain
+/// `cargo test`, a spool worker when spawned with `CHATFUZZ_SPOOL_DIR`.
+#[test]
+fn role_spool_worker() {
+    let Some(worker) = SpoolWorker::from_env() else {
+        return;
+    };
+    let space = rocket_factory()().space().clone();
+    worker.register(CAMPAIGN, space, evolve_template()).serve();
+}
+
+/// Drives a fleet to completion over any transport, invoking `tick` with
+/// the orchestrator after every step (the SIGKILL hook).
+fn run_fleet<T: chatfuzz_orchestrate::Transport>(
+    orchestrator: &mut Orchestrator<T>,
+    campaign: usize,
+    mut tick: impl FnMut(&mut Orchestrator<T>),
+) -> CampaignSnapshot {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while !orchestrator.is_done() {
+        assert!(Instant::now() < deadline, "fleet did not converge in time");
+        orchestrator.step().expect("orchestrator step");
+        tick(orchestrator);
+        if !orchestrator.is_done() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    orchestrator.shutdown();
+    orchestrator.final_snapshot(campaign).expect("finished campaign").clone()
+}
+
+/// Acceptance: SIGKILL a spool worker mid-lease. The orchestrator must
+/// revoke the orphaned lease (visible in `OrchestratorStatus`), reassign
+/// it, and still produce the exact result of a loss-free fleet with the
+/// same budget — the kill costs at most one checkpoint interval of
+/// wall-clock, never any fleet state.
+#[test]
+fn sigkilled_spool_worker_is_revoked_reassigned_and_costs_nothing() {
+    let base_seed = 41;
+    // 2 generations: each adds 2 leases x 96 tests to the pool.
+    let config = fleet_config(base_seed, 2, 96, 384);
+
+    // Loss-free reference: the same fleet shape over in-process workers.
+    let ckpt = std::env::temp_dir().join(format!("chatfuzz-it-orch-ref-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let mut reference = Orchestrator::new(LocalPoolTransport::new(2, &ckpt));
+    let ref_id = reference.register(config.clone());
+    let loss_free = run_fleet(&mut reference, ref_id, |_| {});
+    assert_eq!(loss_free.tests_run(), 384);
+
+    // The spool fleet: two real worker processes (this test binary
+    // re-spawned), one of which gets SIGKILLed mid-lease.
+    let spool = std::env::temp_dir().join(format!("chatfuzz-it-orch-spool-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    let exe = std::env::current_exe().expect("test binary path");
+    let transport = SpoolTransport::new(&spool).expect("spool directories").spawn_workers(
+        2,
+        exe,
+        ["role_spool_worker", "--exact", "--nocapture"].map(String::from),
+    );
+    let mut orchestrator = Orchestrator::new(transport);
+    let campaign = orchestrator.register(config);
+
+    let mut killed = false;
+    let mut saw_survivor = false;
+    let merged = run_fleet(&mut orchestrator, campaign, |orchestrator| {
+        let status = orchestrator.status();
+        if killed {
+            // The post-kill fleet view: one dead worker, one live one.
+            saw_survivor |=
+                status.workers.iter().any(|w| !w.alive) && status.workers.iter().any(|w| w.alive);
+            return;
+        }
+        // Kill the first worker seen heartbeating on a lease.
+        if let Some(worker) = status.workers.iter().find(|w| w.alive && w.lease.is_some()) {
+            let killed_ok = Command::new("kill")
+                .args(["-9", &worker.id.to_string()])
+                .status()
+                .expect("spawn kill")
+                .success();
+            assert!(killed_ok, "SIGKILL delivered");
+            killed = true;
+        }
+    });
+    assert!(killed, "a worker heartbeated and was killed");
+    assert!(saw_survivor, "status showed the dead worker alongside the survivor");
+
+    let status = orchestrator.status();
+    assert!(
+        status.campaigns[0].revoked_leases >= 1,
+        "the orphaned lease was revoked and reassigned (status: {:?})",
+        status.campaigns[0]
+    );
+    // The kill must be invisible in the result: same pooled coverage,
+    // same canonical report as the loss-free fleet.
+    assert_eq!(merged.tests_run(), loss_free.tests_run());
+    let ours = merged.coverage();
+    let theirs = loss_free.coverage();
+    assert!(
+        ours.is_subset_of(theirs) && theirs.is_subset_of(ours),
+        "killed fleet coverage diverged from the loss-free fleet"
+    );
+    assert_eq!(
+        report::json_canonical(&merged.report()),
+        report::json_canonical(&loss_free.report()),
+        "killed fleet report diverged from the loss-free fleet"
+    );
+
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// Determinism law: a 1-worker, 1-lease fleet whose merge cadence is ∞
+/// (lease budget = total budget, so exactly one generation and no
+/// mid-flight merge) is canonically identical to the plain campaign with
+/// the same derived seed.
+#[test]
+fn one_worker_fleet_with_infinite_cadence_is_a_plain_campaign() {
+    let base_seed = 11;
+    let total = 128;
+
+    let ckpt = std::env::temp_dir().join(format!("chatfuzz-it-orch-one-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let mut orchestrator = Orchestrator::new(LocalPoolTransport::new(1, &ckpt));
+    let campaign = orchestrator.register(fleet_config(base_seed, 1, total, total));
+    let orchestrated = run_fleet(&mut orchestrator, campaign, |_| {});
+    assert_eq!(orchestrated.tests_run(), total);
+    let status = orchestrator.status();
+    assert_eq!(status.campaigns[0].generation, 0, "cadence ∞ means a single generation");
+    assert_eq!(status.campaigns[0].revoked_leases, 0);
+
+    let mut plain =
+        (evolve_template())(ShardSpec { index: 0, shards: 1, seed: shard_seed(base_seed, 0) })
+            .build();
+    plain.run_until(&[StopCondition::Tests(total)]);
+    let plain_snapshot = plain.snapshot();
+
+    assert_eq!(
+        report::json_canonical(&orchestrated.report()),
+        report::json_canonical(&plain_snapshot.report()),
+        "orchestrated single-lease run is the plain campaign"
+    );
+    assert_eq!(
+        orchestrated.generator_states(),
+        plain_snapshot.generator_states(),
+        "generator state carried through the orchestrator bit for bit"
+    );
+    let _ = std::fs::remove_dir_all(&ckpt);
+}
