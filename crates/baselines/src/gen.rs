@@ -81,6 +81,23 @@ pub struct ModelSample {
     pub prompt_len: usize,
 }
 
+/// One rollout queued for the learner of an actor/learner LM arm: a
+/// completed, reward-stamped sample awaiting the next publish boundary.
+/// Unlike a fully scored `Rollout`, only the (tokens, prompt boundary,
+/// reward) triple is kept — log-probabilities and values are recomputed
+/// deterministically from the policy weights when the learner consumes
+/// the queue, so snapshots stay small and bit-exact.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PendingRollout {
+    /// Prompt + generated tokens.
+    pub tokens: Vec<u32>,
+    /// Prompt length in tokens (generation starts here).
+    pub prompt_len: usize,
+    /// Terminal task reward (coverage-shaped); persisted as a raw bit
+    /// pattern so the queue round-trips exactly.
+    pub reward: f32,
+}
+
 /// The serialisable model half of a [`GeneratorState`]: everything an
 /// online-trained language-model arm accumulates beyond its construction
 /// parameters. All floating-point payloads are raw `f32`s; the persist
@@ -110,6 +127,18 @@ pub struct ModelState {
     /// Samples produced by the last `next_batch` whose feedback has not
     /// arrived yet, grouped per input.
     pub pending: Vec<Vec<ModelSample>>,
+    /// Number of weight snapshots published so far by an actor/learner
+    /// arm (the actor's frozen-snapshot version); `0` for the serialized
+    /// in-line trainer, which publishes implicitly every batch.
+    pub publish_epoch: u64,
+    /// Observed batches since the last publish boundary — together with
+    /// the (construction-time) publish cadence this pins exactly where in
+    /// the actor/learner cycle a resume lands.
+    pub batches_since_publish: u64,
+    /// Reward-stamped rollouts the learner has accepted but not yet
+    /// trained on (drained at every publish boundary). Empty for the
+    /// serialized in-line trainer.
+    pub learner_queue: Vec<PendingRollout>,
 }
 
 /// The serialisable state of a stateful generator, produced by
@@ -174,6 +203,16 @@ pub trait InputGenerator: Send {
         let _ = state;
     }
 
+    /// The published weight-snapshot version of an actor/learner arm
+    /// (how many times its learner has published new weights for the
+    /// actors to sample from). `None` for generators without a
+    /// versioned model — the default. Fleet dashboards surface this so
+    /// an orchestrated LM campaign shows how far training has advanced
+    /// across merges.
+    fn weight_epoch(&self) -> Option<u64> {
+        None
+    }
+
     /// A counter that changes whenever this generator's shareable seed
     /// set changes ([`InputGenerator::contribute_seeds`] would return
     /// something different). The campaign skips the whole cross-arm
@@ -223,6 +262,10 @@ impl<G: InputGenerator + ?Sized> InputGenerator for &mut G {
         (**self).import_state(state)
     }
 
+    fn weight_epoch(&self) -> Option<u64> {
+        (**self).weight_epoch()
+    }
+
     fn seeds_revision(&self) -> u64 {
         (**self).seeds_revision()
     }
@@ -255,6 +298,10 @@ impl<G: InputGenerator + ?Sized> InputGenerator for Box<G> {
 
     fn import_state(&mut self, state: &GeneratorState) {
         (**self).import_state(state)
+    }
+
+    fn weight_epoch(&self) -> Option<u64> {
+        (**self).weight_epoch()
     }
 
     fn seeds_revision(&self) -> u64 {

@@ -18,7 +18,8 @@ pub mod random_instr;
 pub mod schedule;
 
 pub use gen::{
-    CorpusSeedState, CorpusState, Feedback, GeneratorState, InputGenerator, ModelSample, ModelState,
+    CorpusSeedState, CorpusState, Feedback, GeneratorState, InputGenerator, ModelSample,
+    ModelState, PendingRollout,
 };
 pub use random_instr::random_instr;
 pub use schedule::{

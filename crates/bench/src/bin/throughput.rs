@@ -29,7 +29,10 @@
 //! full-forward sampler (`Gpt::generate`, the PR-5 equality baseline)
 //! against the KV-cached incremental decoder (`Gpt::generate_batch_into`)
 //! on identical work (same RNG ⇒ token-identical output, asserted), plus
-//! tests/sec of a full online-training LM-arm campaign.
+//! tests/sec of a full online-training LM-arm campaign — once with the
+//! serialized in-line trainer and once with the PR-7 actor/learner
+//! split (frozen-snapshot sampling, batched publishes), the latter
+//! re-run to assert it is deterministic per seed.
 //!
 //! Writes `BENCH_throughput.json` (repo root by default) so every PR
 //! carries a perf trajectory. `--smoke` shrinks budgets for CI; `--check`
@@ -37,9 +40,11 @@
 //! 2× the naive baseline (the PR-3 acceptance bar), if the evolve-arm
 //! campaign fails to reach the random plateau in fewer tests (the PR-4
 //! bar), if KV-cached sampling is not at least 3× the naive sampler
-//! (the PR-5 bar), or if the orchestrated merge-then-continue fleet
+//! (the PR-5 bar), if the orchestrated merge-then-continue fleet
 //! needs more tests than the one-shot 4-shard campaign to reach the
-//! one-shot's plateau coverage (the PR-6 bar).
+//! one-shot's plateau coverage (the PR-6 bar), or if the actor/learner
+//! LM campaign is not at least 5× the serialized in-line trainer
+//! (the PR-7 bar).
 //!
 //! ```text
 //! throughput [--smoke] [--check] [--out PATH]
@@ -371,6 +376,13 @@ struct LmMeasure {
     speedup: f64,
     campaign_tests: usize,
     campaign_tests_per_sec: f64,
+    /// Actor/learner split (PR 7): same campaign with frozen-snapshot
+    /// sampling and batched publishes, vs the serialized trainer above.
+    al_publish_every: usize,
+    al_learner_batch: usize,
+    al_tests_per_sec: f64,
+    al_speedup: f64,
+    al_publish_epochs: u64,
 }
 
 fn lm_throughput(smoke: bool) -> LmMeasure {
@@ -426,24 +438,54 @@ fn lm_throughput(smoke: bool) -> LmMeasure {
     }
     assert_eq!(cached_outs, naive_outs, "KV-cached and naive samplers must emit identical tokens");
 
-    // The LM arm inside a real campaign (online PPO on): tests/sec of
-    // the whole sample → simulate → reinforce loop.
+    // The LM arm inside a real campaign: tests/sec of the whole
+    // sample → simulate → reinforce loop, once with the serialized
+    // in-line trainer (train every batch, `publish_every == 0`) and
+    // once with the PR-7 actor/learner split (frozen-snapshot sampling,
+    // train only at publish boundaries on a bounded replay batch).
     let total_bins = rocket_factory()().space().total_bins();
-    let generator = LmGenerator::new(
-        tokenizer,
-        model,
-        PpoConfig { max_new_tokens: max_new, top_k, temperature: temp, ..Default::default() },
-        programs,
-        LmGeneratorConfig { seed, total_bins, samples_per_input: 1, ..Default::default() },
+    // Publish cadence scaled to the budget so both modes cross at least
+    // one publish boundary (smoke: 8 batches, full: 32).
+    let (publish_every, learner_batch) = if smoke { (8, 8) } else { (16, 16) };
+    let lm_campaign = |publish_every: usize, learner_batch: usize| {
+        let generator = LmGenerator::new(
+            tokenizer.clone(),
+            model.clone(),
+            PpoConfig { max_new_tokens: max_new, top_k, temperature: temp, ..Default::default() },
+            programs.clone(),
+            LmGeneratorConfig {
+                seed,
+                total_bins,
+                samples_per_input: 1,
+                publish_every,
+                learner_batch,
+                ..Default::default()
+            },
+        );
+        let mut campaign = CampaignBuilder::from_factory(rocket_factory())
+            .batch_size(32)
+            .workers(4)
+            .generator(generator)
+            .build();
+        let start = Instant::now();
+        campaign.run_until(&[StopCondition::Tests(campaign_tests)]);
+        (start.elapsed().as_secs_f64(), campaign.snapshot())
+    };
+    let (campaign_dt, _serialized) = lm_campaign(0, 0);
+    let (al_dt, al_snapshot) = lm_campaign(publish_every, learner_batch);
+    // Determinism gate: the actor/learner campaign is a pure function
+    // of its seed, so a re-run must reproduce it bit-for-bit.
+    let (al_dt2, al_snapshot2) = lm_campaign(publish_every, learner_batch);
+    assert_eq!(
+        chatfuzz::report::json_canonical(&al_snapshot.report()),
+        chatfuzz::report::json_canonical(&al_snapshot2.report()),
+        "the actor/learner campaign must be deterministic per seed"
     );
-    let mut campaign = CampaignBuilder::from_factory(rocket_factory())
-        .batch_size(32)
-        .workers(4)
-        .generator(generator)
-        .build();
-    let start = Instant::now();
-    campaign.run_until(&[StopCondition::Tests(campaign_tests)]);
-    let campaign_dt = start.elapsed().as_secs_f64();
+    let al_best = al_dt.min(al_dt2);
+    let al_publish_epochs = al_snapshot.generator_states()[0]
+        .as_ref()
+        .and_then(|state| state.model.as_ref())
+        .map_or(0, |model| model.publish_epoch);
 
     LmMeasure {
         prompts: n_prompts,
@@ -453,6 +495,11 @@ fn lm_throughput(smoke: bool) -> LmMeasure {
         speedup: naive_best / cached_best,
         campaign_tests,
         campaign_tests_per_sec: campaign_tests as f64 / campaign_dt,
+        al_publish_every: publish_every,
+        al_learner_batch: learner_batch,
+        al_tests_per_sec: campaign_tests as f64 / al_best,
+        al_speedup: campaign_dt / al_best,
+        al_publish_epochs,
     }
 }
 
@@ -549,6 +596,16 @@ fn main() {
         lm.campaign_tests_per_sec,
         lm.campaign_tests,
     );
+    println!(
+        "lm actor/learner (publish every {}, replay ≤{}): {:.0} tests/s vs serialized \
+         {:.0} ({:.2}x), {} published epochs",
+        lm.al_publish_every,
+        lm.al_learner_batch,
+        lm.al_tests_per_sec,
+        lm.campaign_tests_per_sec,
+        lm.al_speedup,
+        lm.al_publish_epochs,
+    );
     match evolve.evolve_tests {
         Some(tests) => println!(
             "evolve arm reached the random plateau ({:.2}%) in {tests} tests vs random's {} \
@@ -566,7 +623,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 4,");
+    let _ = writeln!(json, "  \"schema\": 5,");
     let _ = writeln!(json, "  \"mode\": \"{}\",", if args.smoke { "smoke" } else { "full" });
     let _ = writeln!(json, "  \"per_test_hot_path\": {{");
     let pair =
@@ -645,6 +702,15 @@ fn main() {
     let _ = writeln!(json, "    \"speedup\": {:.3},", lm.speedup);
     let _ = writeln!(json, "    \"campaign_tests\": {},", lm.campaign_tests);
     let _ = writeln!(json, "    \"campaign_tests_per_sec\": {:.1}", lm.campaign_tests_per_sec);
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"lm_actor_learner\": {{");
+    let _ = writeln!(json, "    \"campaign_tests\": {},", lm.campaign_tests);
+    let _ = writeln!(json, "    \"publish_every\": {},", lm.al_publish_every);
+    let _ = writeln!(json, "    \"learner_batch\": {},", lm.al_learner_batch);
+    let _ = writeln!(json, "    \"serialized_tests_per_sec\": {:.1},", lm.campaign_tests_per_sec);
+    let _ = writeln!(json, "    \"actor_learner_tests_per_sec\": {:.1},", lm.al_tests_per_sec);
+    let _ = writeln!(json, "    \"speedup\": {:.3},", lm.al_speedup);
+    let _ = writeln!(json, "    \"published_epochs\": {}", lm.al_publish_epochs);
     json.push_str("  }\n}\n");
 
     std::fs::write(&args.out, &json).expect("write BENCH_throughput.json");
@@ -688,6 +754,17 @@ fn main() {
              random-arm plateau in no more tests than the one-shot 4-shard campaign \
              (fleet {fleet_tests}, one-shot {:?})",
             orch.oneshot_tests
+        );
+        assert!(
+            lm.al_speedup >= 5.0,
+            "PR-7 acceptance: the actor/learner LM campaign must be ≥ 5× the \
+             serialized in-line trainer (got {:.2}x)",
+            lm.al_speedup
+        );
+        assert!(
+            lm.al_publish_epochs >= 1,
+            "PR-7 acceptance: the actor/learner LM campaign must have published at \
+             least one weight epoch"
         );
     }
 }

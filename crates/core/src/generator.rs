@@ -5,23 +5,58 @@
 //!
 //! * **fast** — sampling runs through the KV-cached incremental decoder
 //!   ([`chatfuzz_lm::KvCache`], `PpoTrainer::sample_into`), token-pinned
-//!   equal to the naive path but `O(T)` per token;
+//!   equal to the naive path but `O(T)` per token, and the actor/learner
+//!   mode below amortises the PPO cost across a whole publish interval;
 //! * **durable** — `InputGenerator::export_state` captures the whole
 //!   accumulated state (tokenizer merges, policy weights, Adam moments,
-//!   refreshed prompt pool, pending rollouts, exact ChaCha stream) as a
-//!   [`GeneratorState`], so an LM-arm campaign SIGKILL-resumes
-//!   bit-identically like any other;
+//!   refreshed prompt pool, pending rollouts, learner queue and publish
+//!   epoch, exact ChaCha stream) as a [`GeneratorState`], so an LM-arm
+//!   campaign SIGKILL-resumes bit-identically like any other;
 //! * **corpus-coupled** — `InputGenerator::absorb_seeds` refreshes the
 //!   prompt pool from the campaign's cross-arm seed exchange, so the LM
 //!   prompts from the *self-grown* evolve corpus (paper §III-A's corpus,
 //!   discovered rather than pre-built) on top of its static training
 //!   corpus.
+//!
+//! # Actor/learner split
+//!
+//! With [`LmGeneratorConfig::publish_every`] `== 0` the arm is the
+//! original *serialized* generator: every `observe` scores the batch's
+//! rollouts and runs a PPO step in line, so sampling always sees the
+//! newest weights. That path is deliberately kept as the equality
+//! baseline (the PR-3/PR-5 pattern).
+//!
+//! With `publish_every >= 1` the arm splits into an **actor** and a
+//! **learner**:
+//!
+//! * the [`LmActor`] holds a *frozen, versioned copy* of the policy (the
+//!   published snapshot) and does all sampling from it — test execution
+//!   and rollout scoring still flow through the campaign's ordinary
+//!   worker channels (`image_pool`/`scratch_pool`), there is no side
+//!   loop;
+//! * the [`LmLearner`] consumes completed, reward-stamped rollouts into
+//!   a queue and trains **only at deterministic publish boundaries**
+//!   (every `publish_every` observed batches): it replays up to
+//!   [`LmGeneratorConfig::learner_batch`] of the queued rollouts —
+//!   selected by reward, ties broken by arrival — through one PPO step,
+//!   then publishes the new weights to the actor and bumps the epoch.
+//!
+//! Because the learner's policy only ever changes inside a publish, the
+//! actor snapshot and the learner policy are bit-identical *between*
+//! boundaries; with `publish_every == 1` and an unbounded learner batch
+//! the whole construction is token-identical to the serialized baseline
+//! under the same RNG (pinned by proptest in
+//! `tests/tests/it_actor_learner.rs`). The queue, the boundary counter,
+//! and the epoch ride in [`ModelState`] (persist schema v4), so the
+//! SIGKILL-resume bit-identity law holds at any point of the cycle.
 
 use chatfuzz_autograd::Tensor;
-use chatfuzz_baselines::{Feedback, GeneratorState, InputGenerator, ModelSample, ModelState};
+use chatfuzz_baselines::{
+    Feedback, GeneratorState, InputGenerator, ModelSample, ModelState, PendingRollout,
+};
 use chatfuzz_lm::tokenizer::TokenizerKind;
 use chatfuzz_lm::{Gpt, KvCache, NgramLm, Tokenizer};
-use chatfuzz_rl::{PpoConfig, PpoTrainer};
+use chatfuzz_rl::{PpoConfig, PpoTrainer, Rollout};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -80,6 +115,15 @@ pub struct LmGeneratorConfig {
     /// a few windowed generations reaches that length without growing the
     /// transformer's context.
     pub samples_per_input: usize,
+    /// Publish cadence of the actor/learner split, in observed batches.
+    /// `0` keeps the serialized in-line trainer (score + PPO step every
+    /// batch — the equality baseline); `k >= 1` samples from the frozen
+    /// actor snapshot and trains/publishes only every `k` batches.
+    pub publish_every: usize,
+    /// Maximum rollouts the learner replays per publish boundary,
+    /// selected by reward (ties broken by arrival order). `0` replays
+    /// everything queued. Only meaningful when `publish_every >= 1`.
+    pub learner_batch: usize,
 }
 
 impl Default for LmGeneratorConfig {
@@ -92,18 +136,48 @@ impl Default for LmGeneratorConfig {
             reward: CoverageReward::default(),
             total_bins: 1,
             samples_per_input: 3,
+            publish_every: 0,
+            learner_batch: 0,
         }
     }
+}
+
+/// The sampling half of the actor/learner split: a frozen, versioned
+/// copy of the policy weights. Actors only ever read `policy`; the
+/// learner overwrites it (and bumps `epoch`) at publish boundaries.
+#[derive(Debug)]
+struct LmActor {
+    /// The published snapshot all sampling runs against.
+    policy: Gpt,
+    /// Snapshot version: number of publishes so far.
+    epoch: u64,
+}
+
+/// The training half of the actor/learner split: the PPO trainer plus
+/// the queue of completed, reward-stamped rollouts awaiting the next
+/// publish boundary.
+#[derive(Debug)]
+struct LmLearner {
+    trainer: PpoTrainer,
+    /// Rollouts accepted since the last publish, in arrival order.
+    queue: Vec<PendingRollout>,
+    /// Observed batches since the last publish boundary.
+    batches_since_publish: u64,
 }
 
 /// The trained-model input generator: prompts with corpus prefixes,
 /// samples continuations through the KV-cached decoder, decodes them to
 /// instruction images, and (when online training is enabled) folds
-/// coverage feedback back into the policy with PPO.
+/// coverage feedback back into the policy with PPO — in line every batch
+/// (serialized baseline) or through the actor/learner split (see the
+/// module docs).
 #[derive(Debug)]
 pub struct LmGenerator {
     tokenizer: Tokenizer,
-    trainer: PpoTrainer,
+    /// The learner: PPO trainer + queued rollouts + boundary counter.
+    learner: LmLearner,
+    /// The actor: frozen published policy snapshot + epoch.
+    actor: LmActor,
     /// Static prompt programs from the training corpus (a construction
     /// parameter; rebuilt identically on resume).
     base_pool: Vec<Vec<u32>>,
@@ -137,9 +211,15 @@ impl LmGenerator {
     ) -> LmGenerator {
         assert!(!prompt_pool.is_empty(), "prompt pool must not be empty");
         let cache = KvCache::new(*policy.config());
+        let actor = LmActor { policy: policy.clone(), epoch: 0 };
         LmGenerator {
             tokenizer,
-            trainer: PpoTrainer::new(policy, ppo),
+            learner: LmLearner {
+                trainer: PpoTrainer::new(policy, ppo),
+                queue: Vec::new(),
+                batches_since_publish: 0,
+            },
+            actor,
             base_pool: prompt_pool,
             shared_pool: Vec::new(),
             cfg,
@@ -152,7 +232,18 @@ impl LmGenerator {
 
     /// Access to the underlying policy (for checkpointing / inspection).
     pub fn policy(&self) -> &Gpt {
-        self.trainer.policy()
+        self.learner.trainer.policy()
+    }
+
+    /// The actor's published-snapshot version: how many publish
+    /// boundaries the learner has crossed. Stays `0` in serialized mode.
+    pub fn publish_epoch(&self) -> u64 {
+        self.actor.epoch
+    }
+
+    /// Rollouts currently queued for the learner's next publish.
+    pub fn queued_rollouts(&self) -> usize {
+        self.learner.queue.len()
     }
 
     /// Number of cross-arm programs currently in the prompt pool (on top
@@ -166,7 +257,42 @@ impl LmGenerator {
     /// [`ChatFuzzModel`](crate::pipeline::ChatFuzzModel) after an
     /// online-training campaign.
     pub fn into_parts(self) -> (Tokenizer, Gpt, Vec<Vec<u32>>) {
-        (self.tokenizer, self.trainer.into_policy(), self.base_pool)
+        (self.tokenizer, self.learner.trainer.into_policy(), self.base_pool)
+    }
+
+    /// Copies the learner's current policy weights into the actor's
+    /// frozen snapshot (the publish itself; epoch bookkeeping is the
+    /// caller's).
+    fn sync_actor(&mut self) {
+        let src = self.learner.trainer.policy();
+        let mut dst = self.actor.policy.params_mut();
+        for (tensor, source) in dst.iter_mut().zip(src.params()) {
+            tensor.data_mut().copy_from_slice(source.data());
+        }
+    }
+
+    /// A publish boundary: replay the reward-selected queued rollouts
+    /// through one PPO step, drop the rest (they were sampled under the
+    /// now-superseded snapshot), publish the new weights to the actor
+    /// and bump the epoch. Runs entirely on the campaign thread at a
+    /// deterministic batch index, so resume bit-identity is preserved.
+    fn publish(&mut self) {
+        let max_seq = self.learner.trainer.policy().config().max_seq;
+        let selected = select_replay(&self.learner.queue, self.cfg.learner_batch, max_seq);
+        if !selected.is_empty() {
+            let rollouts: Vec<Rollout> = selected
+                .into_iter()
+                .map(|i| {
+                    let r = &self.learner.queue[i];
+                    self.learner.trainer.score(r.tokens.clone(), r.prompt_len, r.reward)
+                })
+                .collect();
+            self.learner.trainer.step(&rollouts);
+        }
+        self.learner.queue.clear();
+        self.learner.batches_since_publish = 0;
+        self.actor.epoch += 1;
+        self.sync_actor();
     }
 
     /// Builds a prompt from the first 2–5 instructions of a pool program
@@ -187,6 +313,33 @@ impl LmGenerator {
     }
 }
 
+/// Reward-weighted replay selection: indices of the queued rollouts the
+/// learner trains on at a publish boundary, in arrival order. Rollouts
+/// that cannot be scored (nothing generated, or a merged-in sequence
+/// longer than the context window) are skipped; when `cap > 0` only the
+/// `cap` highest-reward rollouts survive, ties broken by arrival order —
+/// a fully deterministic selection, as resume bit-identity requires.
+fn select_replay(queue: &[PendingRollout], cap: usize, max_seq: usize) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..queue.len())
+        .filter(|&i| {
+            let r = &queue[i];
+            r.prompt_len >= 1 && r.tokens.len() > r.prompt_len && r.tokens.len() <= max_seq
+        })
+        .collect();
+    if cap > 0 && indices.len() > cap {
+        indices.sort_by(|&a, &b| {
+            queue[b]
+                .reward
+                .partial_cmp(&queue[a].reward)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        indices.truncate(cap);
+        indices.sort_unstable();
+    }
+    indices
+}
+
 impl InputGenerator for LmGenerator {
     fn name(&self) -> &str {
         "chatfuzz"
@@ -194,6 +347,11 @@ impl InputGenerator for LmGenerator {
 
     fn next_batch(&mut self, n: usize) -> Vec<Vec<u8>> {
         self.pending.clear();
+        let actor_mode = self.cfg.publish_every >= 1;
+        // Both samplers apply the same window clamp; the serialized path
+        // samples from the live trainer policy, the actor path from the
+        // frozen published snapshot (bit-identical between publishes).
+        let ppo = *self.learner.trainer.config();
         (0..n)
             .map(|_| {
                 let mut bytes = Vec::new();
@@ -201,12 +359,31 @@ impl InputGenerator for LmGenerator {
                 for _ in 0..self.cfg.samples_per_input.max(1) {
                     let prompt = self.make_prompt();
                     let prompt_len = prompt.len();
-                    self.trainer.sample_into(
-                        &prompt,
-                        &mut self.rng,
-                        &mut self.cache,
-                        &mut self.sample_buf,
-                    );
+                    if actor_mode {
+                        let window = self.actor.policy.config().max_seq;
+                        let budget = window.saturating_sub(prompt.len()).min(ppo.max_new_tokens);
+                        if budget == 0 {
+                            self.sample_buf.clear();
+                            self.sample_buf.extend_from_slice(&prompt);
+                        } else {
+                            self.actor.policy.generate_into(
+                                &prompt,
+                                budget,
+                                ppo.temperature,
+                                ppo.top_k,
+                                &mut self.rng,
+                                &mut self.cache,
+                                &mut self.sample_buf,
+                            );
+                        }
+                    } else {
+                        self.learner.trainer.sample_into(
+                            &prompt,
+                            &mut self.rng,
+                            &mut self.cache,
+                            &mut self.sample_buf,
+                        );
+                    }
                     bytes.extend(self.tokenizer.decode_to_bytes(&self.sample_buf));
                     samples.push(ModelSample { tokens: self.sample_buf.clone(), prompt_len });
                 }
@@ -221,35 +398,62 @@ impl InputGenerator for LmGenerator {
             self.pending.clear();
             return;
         }
-        let mut rollouts = Vec::new();
+        if self.cfg.publish_every == 0 {
+            // Serialized in-line trainer (the equality baseline): score
+            // the batch and run a PPO step right here, every batch.
+            let mut rollouts = Vec::new();
+            for (samples, fb) in self.pending.drain(..).zip(feedback) {
+                // All samples stitched into the input share its reward
+                // (coarse but unbiased credit assignment).
+                let reward = self.cfg.reward.reward(fb, self.cfg.total_bins);
+                for ModelSample { tokens, prompt_len } in samples {
+                    if tokens.len() <= prompt_len {
+                        continue; // nothing was generated; nothing to reinforce
+                    }
+                    rollouts.push(self.learner.trainer.score(tokens, prompt_len, reward));
+                }
+            }
+            if !rollouts.is_empty() {
+                self.learner.trainer.step(&rollouts);
+            }
+            return;
+        }
+        // Actor/learner: the scored feedback arrives here off the same
+        // worker channels every arm uses; the learner just queues the
+        // reward-stamped rollouts and defers training to the boundary.
         for (samples, fb) in self.pending.drain(..).zip(feedback) {
-            // All samples stitched into the input share its reward (coarse
-            // but unbiased credit assignment).
             let reward = self.cfg.reward.reward(fb, self.cfg.total_bins);
             for ModelSample { tokens, prompt_len } in samples {
                 if tokens.len() <= prompt_len {
-                    continue; // nothing was generated; nothing to reinforce
+                    continue;
                 }
-                rollouts.push(self.trainer.score(tokens, prompt_len, reward));
+                self.learner.queue.push(PendingRollout { tokens, prompt_len, reward });
             }
         }
-        if !rollouts.is_empty() {
-            self.trainer.step(&rollouts);
+        self.learner.batches_since_publish += 1;
+        if self.learner.batches_since_publish >= self.cfg.publish_every as u64 {
+            self.publish();
         }
     }
 
     fn export_state(&self) -> Option<GeneratorState> {
-        let policy = self.trainer.policy();
-        let (m, v) = self.trainer.optimizer().moments();
+        let policy = self.learner.trainer.policy();
+        let (m, v) = self.learner.trainer.optimizer().moments();
+        // The actor snapshot is not serialised separately: between
+        // publishes it is bit-identical to the learner policy (the
+        // learner only steps inside `publish`), so import re-derives it.
         let model = ModelState {
             bpe: self.tokenizer.kind() == TokenizerKind::Bpe,
             merges: self.tokenizer.merges().to_vec(),
             params: policy.params().iter().map(|t| t.data().to_vec()).collect(),
             opt_m: m.iter().map(|t| t.data().to_vec()).collect(),
             opt_v: v.iter().map(|t| t.data().to_vec()).collect(),
-            opt_steps: self.trainer.optimizer().steps(),
+            opt_steps: self.learner.trainer.optimizer().steps(),
             prompt_pool: self.shared_pool.clone(),
             pending: self.pending.clone(),
+            publish_epoch: self.actor.epoch,
+            batches_since_publish: self.learner.batches_since_publish,
+            learner_queue: self.learner.queue.clone(),
         };
         Some(GeneratorState {
             generator: self.name().to_string(),
@@ -266,14 +470,14 @@ impl InputGenerator for LmGenerator {
         self.tokenizer = Tokenizer::from_parts(kind, model.merges.clone());
         assert_eq!(
             self.tokenizer.vocab_size() as usize,
-            self.trainer.policy().config().vocab,
+            self.learner.trainer.policy().config().vocab,
             "snapshot tokenizer disagrees with the rebuilt policy's vocabulary"
         );
 
         // Policy weights: shapes are fixed by the constructor's policy;
         // only the values moved.
         {
-            let mut params = self.trainer.policy_mut().params_mut();
+            let mut params = self.learner.trainer.policy_mut().params_mut();
             assert_eq!(params.len(), model.params.len(), "snapshot parameter count mismatch");
             for (tensor, data) in params.iter_mut().zip(&model.params) {
                 assert_eq!(tensor.len(), data.len(), "snapshot parameter shape mismatch");
@@ -284,10 +488,16 @@ impl InputGenerator for LmGenerator {
         // Adam moments (empty when the optimiser never stepped).
         if model.opt_m.is_empty() {
             assert!(model.opt_v.is_empty(), "first/second moment lists disagree");
-            self.trainer.optimizer_mut().restore(model.opt_steps, Vec::new(), Vec::new());
+            self.learner.trainer.optimizer_mut().restore(model.opt_steps, Vec::new(), Vec::new());
         } else {
-            let shapes: Vec<(usize, usize)> =
-                self.trainer.policy().params().iter().map(|t| (t.rows(), t.cols())).collect();
+            let shapes: Vec<(usize, usize)> = self
+                .learner
+                .trainer
+                .policy()
+                .params()
+                .iter()
+                .map(|t| (t.rows(), t.cols()))
+                .collect();
             assert_eq!(model.opt_m.len(), shapes.len(), "snapshot moment count mismatch");
             assert_eq!(model.opt_v.len(), shapes.len(), "snapshot moment count mismatch");
             let rebuild = |blobs: &[Vec<f32>]| -> Vec<Tensor> {
@@ -297,7 +507,7 @@ impl InputGenerator for LmGenerator {
                     .map(|(&(rows, cols), data)| Tensor::new(rows, cols, data.clone()))
                     .collect()
             };
-            self.trainer.optimizer_mut().restore(
+            self.learner.trainer.optimizer_mut().restore(
                 model.opt_steps,
                 rebuild(&model.opt_m),
                 rebuild(&model.opt_v),
@@ -306,7 +516,17 @@ impl InputGenerator for LmGenerator {
 
         self.shared_pool = model.prompt_pool.clone();
         self.pending = model.pending.clone();
+        self.learner.queue = model.learner_queue.clone();
+        self.learner.batches_since_publish = model.batches_since_publish;
+        self.actor.epoch = model.publish_epoch;
+        // Re-derive the actor snapshot: at rest it always equals the
+        // learner policy (see `export_state`).
+        self.sync_actor();
         self.rng = ChaCha8Rng::from_words(&state.rng_words).expect("corrupt generator RNG state");
+    }
+
+    fn weight_epoch(&self) -> Option<u64> {
+        Some(self.actor.epoch)
     }
 
     fn absorb_seeds(&mut self, seeds: &[Vec<u32>]) {

@@ -25,7 +25,7 @@
 //! | `history` | exact coverage-over-time points |
 //! | `generator_stats` | per-generator scheduling statistics |
 //! | `scheduler` | [`SchedulerState`]: kind, cursor, epsilon, RNG words, arms (pulls, reward, cycle cost, sliding reward/cycle windows) |
-//! | `generators` | per-generator [`GeneratorState`] (or `null`): RNG words, optional `corpus` (discovery counter, seeds as hex word blobs with retention statistics), optional `model` (tokenizer kind + merges, policy weights / Adam moments as hex `f32`-bit blobs, step counter, refreshed prompt pool as hex word blobs, pending rollouts) |
+//! | `generators` | per-generator [`GeneratorState`] (or `null`): RNG words, optional `corpus` (discovery counter, seeds as hex word blobs with retention statistics), optional `model` (tokenizer kind + merges, policy weights / Adam moments as hex `f32`-bit blobs, step counter, refreshed prompt pool as hex word blobs, pending rollouts, and — since v4 — the actor/learner publish epoch, batches-since-publish counter, and reward-stamped learner rollout queue) |
 //! | `mismatch_log` | raw count, suppression filter, clusters with full examples |
 //!
 //! Coverage bitmaps are stored as lowercase hex, 16 characters per
@@ -51,7 +51,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use chatfuzz_baselines::{
-    ArmState, CorpusSeedState, CorpusState, GeneratorState, ModelSample, ModelState, SchedulerState,
+    ArmState, CorpusSeedState, CorpusState, GeneratorState, ModelSample, ModelState,
+    PendingRollout, SchedulerState,
 };
 use chatfuzz_coverage::{Calculator, CovMap, Space};
 use chatfuzz_isa::{Exception, PrivLevel, Reg};
@@ -69,8 +70,11 @@ use crate::report::JsonWriter;
 /// per-arm `cycles` cost to scheduler state. v3 generalised `corpora`
 /// into the `generators` array ([`GeneratorState`]: RNG stream + optional
 /// corpus + optional model with weights as hex `f32`-bit blobs) and added
-/// the schedulers' sliding reward windows to the per-arm state.
-pub const SCHEMA_VERSION: u64 = 3;
+/// the schedulers' sliding reward windows to the per-arm state. v4 added
+/// the actor/learner fields to the model half: the publish epoch, the
+/// batches-since-publish counter, and the learner's reward-stamped
+/// rollout queue (rewards as hex `f32`-bit patterns).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Why a snapshot could not be loaded.
 #[derive(Debug)]
@@ -400,6 +404,26 @@ fn write_model(w: &mut JsonWriter, m: &ModelState) {
             w.close('}');
         }
         w.close(']');
+    }
+    w.close(']');
+    w.field_u64("publish_epoch", m.publish_epoch);
+    w.field_u64("batches_since_publish", m.batches_since_publish);
+    // The learner queue: like `pending`, but flat and reward-stamped;
+    // the reward rides as its f32 bit pattern so the queue round-trips
+    // bit-exactly.
+    w.key("learner_queue");
+    w.open('[');
+    for rollout in &m.learner_queue {
+        w.open('{');
+        w.field_u64("prompt_len", rollout.prompt_len as u64);
+        w.field_str("reward", &f32s_to_hex(&[rollout.reward]));
+        w.key("tokens");
+        w.open('[');
+        for &t in &rollout.tokens {
+            w.value_u64(u64::from(t));
+        }
+        w.close(']');
+        w.close('}');
     }
     w.close(']');
     w.close('}');
@@ -1185,6 +1209,34 @@ fn read_model(value: &Json) -> Result<ModelState> {
         })
         .collect::<Result<Vec<_>>>()?;
 
+    let read_tokens = |s: &Json, what: &str| -> Result<Vec<u32>> {
+        s.get("tokens")?
+            .as_arr(what)?
+            .iter()
+            .map(|t| {
+                let v = t.as_u64(what)?;
+                u32::try_from(v)
+                    .map_err(|_| PersistError::Parse(format!("{what}: {v} exceeds u32")))
+            })
+            .collect()
+    };
+    let learner_queue = value
+        .get("learner_queue")?
+        .as_arr("model.learner_queue")?
+        .iter()
+        .map(|s| {
+            let reward_bits = hex_to_f32s(s.get("reward")?.as_str("learner_queue.reward")?)?;
+            if reward_bits.len() != 1 {
+                return err("learner_queue.reward must hold exactly one f32");
+            }
+            Ok(PendingRollout {
+                tokens: read_tokens(s, "learner_queue.tokens")?,
+                prompt_len: s.get("prompt_len")?.as_usize("learner_queue.prompt_len")?,
+                reward: reward_bits[0],
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+
     Ok(ModelState {
         bpe: value.get("bpe")?.as_bool("model.bpe")?,
         merges,
@@ -1194,6 +1246,11 @@ fn read_model(value: &Json) -> Result<ModelState> {
         opt_steps: value.get("opt_steps")?.as_u64("model.opt_steps")?,
         prompt_pool,
         pending,
+        publish_epoch: value.get("publish_epoch")?.as_u64("model.publish_epoch")?,
+        batches_since_publish: value
+            .get("batches_since_publish")?
+            .as_u64("model.batches_since_publish")?,
+        learner_queue,
     })
 }
 
@@ -1410,7 +1467,7 @@ mod tests {
         let snapshot = sample_snapshot();
         let space = factory()().space().clone();
         let doc =
-            snapshot_json(&snapshot).replacen("\"schema_version\":3", "\"schema_version\":999", 1);
+            snapshot_json(&snapshot).replacen("\"schema_version\":4", "\"schema_version\":999", 1);
         match parse_snapshot(&doc, &space) {
             Err(PersistError::SchemaVersion { found: 999, supported }) => {
                 assert_eq!(supported, SCHEMA_VERSION);
@@ -1436,7 +1493,7 @@ mod tests {
     fn parse_rejects_corrupt_documents() {
         let space = factory()().space().clone();
         for bad in
-            ["", "{", "[1,2", "{\"schema_version\":3}", "{\"schema_version\":\"one\"}", "nullnull"]
+            ["", "{", "[1,2", "{\"schema_version\":4}", "{\"schema_version\":\"one\"}", "nullnull"]
         {
             assert!(parse_snapshot(bad, &space).is_err(), "accepted {bad:?}");
         }
@@ -1465,7 +1522,7 @@ mod tests {
 
         // Version skew: permanent, distinguishable, and fully described.
         let skewed = dir.join("skewed.json");
-        std::fs::write(&skewed, doc.replacen("\"schema_version\":3", "\"schema_version\":999", 1))
+        std::fs::write(&skewed, doc.replacen("\"schema_version\":4", "\"schema_version\":999", 1))
             .expect("write");
         let err = load_snapshot(&skewed, &space).expect_err("skewed file");
         assert!(matches!(
@@ -1474,7 +1531,7 @@ mod tests {
         ));
         let msg = err.to_string();
         assert!(
-            msg.contains("skewed.json") && msg.contains("999") && msg.contains("version 3"),
+            msg.contains("skewed.json") && msg.contains("999") && msg.contains("version 4"),
             "found-vs-expected version in message: {msg}"
         );
 

@@ -261,6 +261,10 @@ pub fn train_chatfuzz(
         reward: reward_cfg,
         total_bins,
         samples_per_input: 1,
+        // The optimisation pipeline wants the training curve itself, so
+        // it keeps the serialized in-line trainer (train every batch).
+        publish_every: 0,
+        learner_batch: 0,
     };
     let mut generator = LmGenerator::new(
         tokenizer,

@@ -44,11 +44,17 @@
 //! by one boundary point per additional shard (the union coverage after
 //! folding that shard in). Generator state merges half by half:
 //! evolutionary corpora union fingerprint-deduped (shard 0's statistics
-//! win on collision), while model state — LM weights, optimiser moments,
-//! prompt pool, RNG stream — is shard 0's wholesale, since averaging
-//! independently trained weights would manufacture a policy no shard
-//! ever ran. A 1-shard merge is therefore byte-identical (modulo wall
-//! clock) to the underlying plain campaign, model state included.
+//! win on collision), while model *weights* stay shard 0's wholesale,
+//! since averaging independently trained weights would manufacture a
+//! policy no shard ever ran. What the other shards learned is pooled
+//! through the learner instead: prompt pools union, pending
+//! actor/learner rollout queues union fingerprint-deduped, and every
+//! corpus seed a later shard contributed is re-encoded as a
+//! reward-weighted replay rollout, so the next publish boundary trains
+//! the merged weights on the merged corpus (see
+//! `ModelState::learner_queue`). A 1-shard merge is therefore
+//! byte-identical (modulo wall clock) to the underlying plain campaign,
+//! model state included.
 //!
 //! # Merge-then-continue
 //!
@@ -68,7 +74,10 @@ use std::process::Command;
 use std::sync::Arc;
 use std::time::Duration;
 
+use chatfuzz_baselines::{CorpusSeedState, PendingRollout};
 use chatfuzz_coverage::{Calculator, CovMap, Space};
+use chatfuzz_lm::tokenizer::TokenizerKind;
+use chatfuzz_lm::Tokenizer;
 
 use crate::campaign::{Campaign, CampaignReport, CampaignSnapshot, CoveragePoint, StopCondition};
 use crate::persist::{self, PersistError};
@@ -586,12 +595,11 @@ fn fold_snapshots(
         // unseen coverage fingerprints, re-stamped with fresh
         // discovery counters so ordering stays unique (base seeds are
         // already in shard 0's copy, so the dedupe makes the base
-        // contribution idempotent). Model state is winner-takes-all:
-        // shard 0's weights, optimiser moments, and prompt pool carry
-        // over untouched (weight averaging would manufacture a policy no
-        // shard ever trained). Shard 0's RNG streams carry over too,
-        // mirroring how the merged snapshot keeps shard 0's scheduler
-        // stream.
+        // contribution idempotent). Seeds a later shard newly
+        // contributes are also collected so the model half below can
+        // replay them. Shard 0's RNG streams carry over, mirroring how
+        // the merged snapshot keeps shard 0's scheduler stream.
+        let mut contributed: Vec<CorpusSeedState> = Vec::new();
         for (mine, theirs) in merged.gen_states.iter_mut().zip(&s.gen_states) {
             let (Some(mine), Some(theirs)) = (mine.as_mut(), theirs.as_ref()) else {
                 continue;
@@ -603,11 +611,70 @@ fn fold_snapshots(
                 if mine.seeds.iter().any(|k| k.fingerprint == seed.fingerprint) {
                     continue;
                 }
+                contributed.push(seed.clone());
                 let mut seed = seed.clone();
                 seed.found_at = mine.next_found_at;
                 mine.next_found_at += 1;
                 mine.seeds.push(seed);
             }
+        }
+        // Model state: the *weights* (and optimiser moments) stay shard
+        // 0's — averaging independently trained weights would
+        // manufacture a policy no shard ever ran — but everything the
+        // other shards learned is pooled through the learner. Prompt
+        // pools union, pending actor/learner rollout queues union
+        // fingerprint-deduped, and every corpus seed a later shard
+        // contributed above is re-encoded as a reward-weighted replay
+        // rollout so the next publish boundary trains the merged weights
+        // on the merged corpus. Epoch and cadence counters take the
+        // cross-shard maximum so published weight versions stay
+        // monotone across the fleet.
+        for (mine, theirs) in merged.gen_states.iter_mut().zip(&s.gen_states) {
+            let (Some(mine), Some(theirs)) = (mine.as_mut(), theirs.as_ref()) else {
+                continue;
+            };
+            let (Some(model), Some(their_model)) = (mine.model.as_mut(), theirs.model.as_ref())
+            else {
+                continue;
+            };
+            for program in &their_model.prompt_pool {
+                if !model.prompt_pool.contains(program) {
+                    model.prompt_pool.push(program.clone());
+                }
+            }
+            let mut seen: Vec<u64> = model.learner_queue.iter().map(rollout_fingerprint).collect();
+            let mut push_unique = |queue: &mut Vec<PendingRollout>, rollout: PendingRollout| {
+                let fp = rollout_fingerprint(&rollout);
+                if !seen.contains(&fp) {
+                    seen.push(fp);
+                    queue.push(rollout);
+                }
+            };
+            for rollout in &their_model.learner_queue {
+                push_unique(&mut model.learner_queue, rollout.clone());
+            }
+            if !contributed.is_empty() {
+                let kind = if model.bpe { TokenizerKind::Bpe } else { TokenizerKind::FixedByte };
+                let tokenizer = Tokenizer::from_parts(kind, model.merges.clone());
+                for seed in &contributed {
+                    // Full `BOS .. EOS` encoding with `prompt_len` 1:
+                    // the whole program counts as "generated", so the
+                    // replay credits the policy for the entire seed.
+                    // Seeds whose encoding exceeds the model's context
+                    // window are skipped by the learner's replay
+                    // selection, not here (the window is a construction
+                    // parameter the merge does not know).
+                    let rollout = PendingRollout {
+                        tokens: tokenizer.encode(&seed.words),
+                        prompt_len: 1,
+                        reward: replay_reward(seed),
+                    };
+                    push_unique(&mut model.learner_queue, rollout);
+                }
+            }
+            model.publish_epoch = model.publish_epoch.max(their_model.publish_epoch);
+            model.batches_since_publish =
+                model.batches_since_publish.max(their_model.batches_since_publish);
         }
         merged.tests_run += s.tests_run - base_tests;
         merged.batches_run += s.batches_run - base.map_or(0, |b| b.batches_run);
@@ -635,6 +702,43 @@ fn fold_snapshots(
         .expect("outcome always has at least one shard");
     merged.calculator = Calculator::from_parts(running, previous);
     merged
+}
+
+/// FNV-1a content fingerprint of a pending rollout (tokens, prompt
+/// boundary, reward bit pattern) — the dedupe key the shard merge uses
+/// so a rollout absorbed by several shards replays once, not N times.
+fn rollout_fingerprint(rollout: &PendingRollout) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let eat = |h: u64, byte: u8| (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    for &t in &rollout.tokens {
+        for b in t.to_le_bytes() {
+            h = eat(h, b);
+        }
+    }
+    for b in (rollout.prompt_len as u64).to_le_bytes() {
+        h = eat(h, b);
+    }
+    for b in rollout.reward.to_bits().to_le_bytes() {
+        h = eat(h, b);
+    }
+    h
+}
+
+/// Deterministic replay reward for a corpus seed another shard
+/// contributed, shaped like the default [`CoverageReward`] incremental
+/// term (`0.5 * (1 + ln new_bins)`) plus a small mux-coverage term and a
+/// flat mismatch bonus — the discovery stats stand in for the coverage
+/// feedback the original run saw.
+///
+/// [`CoverageReward`]: crate::generator::CoverageReward
+fn replay_reward(seed: &CorpusSeedState) -> f32 {
+    let mut reward =
+        if seed.new_bins > 0 { 0.5 * (1.0 + (seed.new_bins as f32).ln()) } else { 0.0 };
+    reward += 0.1 * (seed.mux_bins as f32).ln_1p();
+    if seed.mismatch {
+        reward += 1.0;
+    }
+    reward
 }
 
 /// Derives one lease's continuation snapshot from a merged snapshot:

@@ -20,6 +20,20 @@
 //! * [`ngram::NgramLm`] — the generator ablation (A1 in DESIGN.md), with
 //!   [`NgramLm::absorb`] for online count updates.
 //!
+//! # Actor/learner contract (PR 7)
+//!
+//! Inside a campaign the [`Gpt`] plays two roles at once. The **actor**
+//! is a frozen clone of the weights, stamped with a monotonically
+//! increasing *publish epoch*; every batch is sampled from it on the
+//! worker pool, so sampling never observes a half-trained model. The
+//! **learner** (a `chatfuzz_rl::PpoTrainer` owned by the campaign's LM
+//! generator) queues scored rollouts and trains only at deterministic
+//! publish boundaries — every `publish_every` observed batches — then
+//! copies its weights over the actor and bumps the epoch. Between
+//! boundaries actor and learner weights are bit-identical, which is why
+//! checkpoints persist a single weight set plus the queue and epoch
+//! counters, and why a SIGKILL-resume replays to the same tokens.
+//!
 //! # Examples
 //!
 //! Sample through the KV-cached path (the campaign's production path; the

@@ -146,6 +146,13 @@ struct LeaseSlot {
     last_progress: Instant,
     /// Absolute tests reported by the latest heartbeat (includes the base).
     tests_run: usize,
+    /// Absolute tests at the current attempt's resume point: the
+    /// generation base for attempt 0, the resumed checkpoint (which may
+    /// sit *behind* the base) for a reissue. In-flight accounting counts
+    /// each attempt's delta from here, not from the base, so a reissue
+    /// from an early checkpoint neither inherits the dead attempt's
+    /// high-water mark nor has its progress clamped away.
+    resume_tests: usize,
     result: Option<CampaignSnapshot>,
 }
 
@@ -157,7 +164,14 @@ struct Tenant {
     leases: Vec<LeaseSlot>,
     finished: Option<CampaignSnapshot>,
     revoked: u64,
-    started: Option<Instant>,
+    /// Active lease time accumulated over finished generations — the
+    /// throughput denominator. Merge, distillation, and idle gaps
+    /// between generations are excluded (they happen after the clock
+    /// below is banked and before the next generation restarts it).
+    active: Duration,
+    /// When the current generation's leases were dispatched (`None`
+    /// between generations and after the campaign finishes).
+    generation_started: Option<Instant>,
 }
 
 impl Tenant {
@@ -169,13 +183,35 @@ impl Tenant {
         self.base.as_ref().map_or(0, CampaignSnapshot::tests_run)
     }
 
-    /// Merged tests plus heartbeat-reported in-flight progress.
+    /// Merged tests plus heartbeat-reported in-flight progress. Each
+    /// lease contributes the checkpoint prefix its current attempt
+    /// retains beyond the base plus the attempt's own delta past its
+    /// resume point — so a lease reissued from a checkpoint behind the
+    /// base still shows the progress its live attempt actually made
+    /// (the plain `tests_run - base` clamp would report zero until the
+    /// attempt re-passed the base).
     fn live_tests(&self) -> usize {
         if let Some(f) = &self.finished {
             return f.tests_run();
         }
         let base = self.base_tests();
-        base + self.leases.iter().map(|slot| slot.tests_run.saturating_sub(base)).sum::<usize>()
+        base + self
+            .leases
+            .iter()
+            .map(|slot| {
+                slot.resume_tests.saturating_sub(base)
+                    + slot.tests_run.saturating_sub(slot.resume_tests)
+            })
+            .sum::<usize>()
+    }
+
+    /// Seconds of active lease time: banked full generations plus the
+    /// in-flight generation's span. Excludes merge/distill/idle gaps so
+    /// `tests_per_sec` measures fleet throughput, not orchestrator
+    /// downtime.
+    fn active_secs(&self) -> f64 {
+        self.active.as_secs_f64()
+            + self.generation_started.map_or(0.0, |since| since.elapsed().as_secs_f64())
     }
 }
 
@@ -205,12 +241,19 @@ pub struct CampaignStatus {
     pub coverage_pct: f64,
     /// Merged tests plus in-flight heartbeat progress.
     pub tests_run: usize,
-    /// Fleet-wide throughput since the first dispatch.
+    /// Fleet-wide throughput over *active lease time* — merge, distill,
+    /// and idle gaps between generations are excluded from the
+    /// denominator, so the rate reflects what the workers sustain, not
+    /// how long the orchestrator sat between generations.
     pub tests_per_sec: f64,
     /// Leases revoked (or failed) and reissued so far.
     pub revoked_leases: u64,
     /// Per-arm scheduler statistics from the pooled snapshot, by name.
     pub arms: Vec<(String, ArmStatus)>,
+    /// Published weight-snapshot epochs of the pooled snapshot's
+    /// model-backed arms, by name — the fleet-level actor/learner
+    /// version counter (absent for arms without model state).
+    pub weight_epochs: Vec<(String, u64)>,
     /// Current generation's leases.
     pub leases: Vec<LeaseStatus>,
 }
@@ -246,7 +289,8 @@ impl<T: Transport> Orchestrator<T> {
             leases: Vec::new(),
             finished: None,
             revoked: 0,
-            started: None,
+            active: Duration::ZERO,
+            generation_started: None,
         });
         self.tenants.len() - 1
     }
@@ -321,19 +365,26 @@ impl<T: Transport> Orchestrator<T> {
             .iter()
             .map(|tenant| {
                 let reference = tenant.reference();
-                // Stateless schedulers (round-robin) track no per-arm
-                // state; fall back to the production counters so every
-                // arm still shows up on the dashboard.
                 let arms = reference
                     .map(|snapshot| {
                         let statuses = snapshot.scheduler_state().arm_statuses();
+                        // A stateless scheduler (round-robin) tracks no
+                        // per-arm state at all; its pull count per arm
+                        // *is* the production batch counter, so fall
+                        // back to that. A bandit that does track arms
+                        // must not have missing slots back-filled from
+                        // production counters — the panel would then
+                        // disagree with the pull totals the bandit's own
+                        // UCB scores use, so an arm the bandit never
+                        // pulled reports zero.
+                        let stateless = statuses.is_empty();
                         snapshot
                             .generator_stats()
                             .iter()
                             .enumerate()
                             .map(|(slot, stats)| {
                                 let status = statuses.get(slot).cloned().unwrap_or(ArmStatus {
-                                    pulls: stats.batches as u64,
+                                    pulls: if stateless { stats.batches as u64 } else { 0 },
                                     mean_reward: stats.reward_rate(),
                                     recent_mean_reward: None,
                                     cycles: stats.cycles,
@@ -343,8 +394,21 @@ impl<T: Transport> Orchestrator<T> {
                             .collect()
                     })
                     .unwrap_or_default();
+                let weight_epochs = reference
+                    .map(|snapshot| {
+                        snapshot
+                            .generator_stats()
+                            .iter()
+                            .zip(snapshot.generator_states())
+                            .filter_map(|(stats, state)| {
+                                let model = state.as_ref()?.model.as_ref()?;
+                                Some((stats.name.clone(), model.publish_epoch))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
                 let tests_run = tenant.live_tests();
-                let elapsed = tenant.started.map_or(0.0, |since| since.elapsed().as_secs_f64());
+                let elapsed = tenant.active_secs();
                 CampaignStatus {
                     name: tenant.config.name.clone(),
                     generation: tenant.generation,
@@ -354,6 +418,7 @@ impl<T: Transport> Orchestrator<T> {
                     tests_per_sec: if elapsed > 0.0 { tests_run as f64 / elapsed } else { 0.0 },
                     revoked_leases: tenant.revoked,
                     arms,
+                    weight_epochs,
                     leases: tenant
                         .leases
                         .iter()
@@ -373,8 +438,8 @@ impl<T: Transport> Orchestrator<T> {
     /// Issues every lease of the tenant's current generation.
     fn start_generation(&mut self, index: usize) -> Result<(), OrchestrateError> {
         let tenant = &mut self.tenants[index];
-        if tenant.started.is_none() {
-            tenant.started = Some(Instant::now());
+        if tenant.generation_started.is_none() {
+            tenant.generation_started = Some(Instant::now());
         }
         let generation = tenant.generation;
         let config = &tenant.config;
@@ -408,6 +473,7 @@ impl<T: Transport> Orchestrator<T> {
                 state: LeaseState::Issued,
                 last_progress: Instant::now(),
                 tests_run: base_tests,
+                resume_tests: base_tests,
                 result: None,
             });
         }
@@ -442,7 +508,14 @@ impl<T: Transport> Orchestrator<T> {
                 }
             }
             TransportEvent::Failed { lease, attempt, detail } => {
-                if self.slot_mut(lease, attempt).is_some() {
+                // A failure racing a completion loses: once the slot is
+                // Completed its snapshot is merge material, and reissuing
+                // it would re-run a finished lease (and let a zombie
+                // attempt into the next merge).
+                let live = self
+                    .slot_mut(lease, attempt)
+                    .is_some_and(|slot| slot.state != LeaseState::Completed);
+                if live {
                     self.reissue(lease, &detail)?;
                 }
             }
@@ -526,11 +599,18 @@ impl<T: Transport> Orchestrator<T> {
             build: config.build.clone(),
             space: config.space.clone(),
         };
+        // The new attempt starts over from its resume snapshot: reset
+        // the progress counters to that point so the dead attempt's
+        // high-water mark does not linger in the in-flight accounting
+        // (heartbeats within one attempt still ratchet with `max`).
+        let resume_tests = order.resume.as_ref().map_or(0, CampaignSnapshot::tests_run);
         let tenant = &mut self.tenants[lease.campaign];
         if let Some(slot) = tenant.leases.iter_mut().find(|slot| slot.id == lease) {
             slot.attempt = next_attempt;
             slot.state = LeaseState::Issued;
             slot.last_progress = Instant::now();
+            slot.tests_run = resume_tests;
+            slot.resume_tests = resume_tests;
         }
         self.transport.dispatch(order)
     }
@@ -539,6 +619,12 @@ impl<T: Transport> Orchestrator<T> {
     /// re-splits the pool into the next generation's leases.
     fn finish_generation(&mut self, index: usize) -> Result<(), OrchestrateError> {
         let tenant = &mut self.tenants[index];
+        // Bank the generation's active span before the merge/distill
+        // work below — that time is orchestrator overhead, not worker
+        // throughput, and stays out of the `tests_per_sec` denominator.
+        if let Some(since) = tenant.generation_started.take() {
+            tenant.active += since.elapsed();
+        }
         let snapshots: Vec<CampaignSnapshot> = tenant
             .leases
             .iter_mut()
@@ -721,6 +807,49 @@ mod tests {
         orchestrator.step().expect("completion step");
         assert!(orchestrator.is_done(), "both leases completed despite the revocation");
         assert_eq!(orchestrator.final_snapshot(0).map(|s| s.tests_run()), Some(64));
+    }
+
+    /// Bugfix pin: the dashboard must report the pull counts the bandit
+    /// actually acts on. With a windowed UCB1, lifetime pulls ride in
+    /// `SchedulerState::cursor`, so the per-arm pulls must sum to it —
+    /// the old fallback fabricated `stats.batches` for any slot the
+    /// scheduler's arm list happened not to cover.
+    #[test]
+    fn bandit_arm_pulls_match_the_scheduler_not_production_counters() {
+        use chatfuzz_baselines::Ucb1;
+
+        let template: LeaseBuilder = Arc::new(|spec: ShardSpec| {
+            CampaignBuilder::new(|| Box::new(Rocket::new(RocketConfig::default())) as Box<dyn Dut>)
+                .batch_size(8)
+                .generator(RandomRegression::new(spec.seed, 16))
+                .generator(RandomRegression::new(spec.seed ^ 0x9e37, 16))
+                .scheduler(Ucb1::new(1.0).windowed(4))
+        });
+        let mut orchestrator = Orchestrator::new(NullTransport::new());
+        let campaign = orchestrator.register(FleetConfig {
+            fan_out: 1,
+            lease_tests: 64,
+            total_tests: 64,
+            ..FleetConfig::new("rocket-ucb", 43, rocket_space(), template)
+        });
+        orchestrator.step().expect("dispatch");
+        let orders: Vec<WorkOrder> = orchestrator.transport.dispatched.drain(..).collect();
+        assert_eq!(orders.len(), 1);
+        let snapshot = run_lease(&orders[0]);
+        orchestrator.transport.events.push(TransportEvent::Completed {
+            lease: orders[0].lease,
+            attempt: 0,
+            snapshot: Box::new(snapshot),
+        });
+        orchestrator.step().expect("merge step");
+        let fin = orchestrator.final_snapshot(campaign).expect("finished campaign");
+        let cursor = fin.scheduler_state().cursor;
+        assert_eq!(cursor, 8, "64 tests in batches of 8 are 8 bandit pulls");
+        let status = orchestrator.status();
+        let arms = &status.campaigns[0].arms;
+        assert_eq!(arms.len(), 2);
+        let total: u64 = arms.iter().map(|(_, arm)| arm.pulls).sum();
+        assert_eq!(total, cursor, "dashboard pulls must sum to the bandit's lifetime count");
     }
 
     #[test]

@@ -3,16 +3,19 @@
 //! fleet nothing observable), and the determinism law (a 1-worker fleet
 //! with merge cadence = ∞ is canonically identical to a plain campaign).
 
+use std::collections::HashMap;
 use std::process::Command;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use chatfuzz::campaign::{CampaignBuilder, CampaignSnapshot, StopCondition};
 use chatfuzz::report;
 use chatfuzz::shard::{shard_seed, ShardSpec};
+use chatfuzz_coverage::Space;
 use chatfuzz_evolve::{EvolveConfig, EvolveGenerator};
 use chatfuzz_orchestrate::{
-    FleetConfig, LeaseBuilder, LocalPoolTransport, Orchestrator, SpoolTransport, SpoolWorker,
+    FleetConfig, LeaseBuilder, LeaseId, LocalPoolTransport, OrchestrateError, Orchestrator,
+    SpoolTransport, SpoolWorker, Transport, TransportEvent, WorkOrder, WorkerStatus,
 };
 use chatfuzz_tests::rocket_factory;
 
@@ -193,4 +196,235 @@ fn one_worker_fleet_with_infinite_cadence_is_a_plain_campaign() {
         "generator state carried through the orchestrator bit for bit"
     );
     let _ = std::fs::remove_dir_all(&ckpt);
+}
+
+/// A hand-driven transport: the test pushes events and reads dispatches
+/// through a shared handle, so orchestrator bookkeeping can be stepped
+/// through deterministically (the public-API twin of the orchestrator's
+/// internal `NullTransport`).
+#[derive(Clone, Default)]
+struct ManualTransport(Arc<Mutex<ManualState>>);
+
+#[derive(Default)]
+struct ManualState {
+    dispatched: Vec<WorkOrder>,
+    events: Vec<TransportEvent>,
+    checkpoints: HashMap<(LeaseId, u32), CampaignSnapshot>,
+    revoked: Vec<(LeaseId, u32)>,
+}
+
+impl ManualTransport {
+    fn take_dispatched(&self) -> Vec<WorkOrder> {
+        std::mem::take(&mut self.0.lock().unwrap().dispatched)
+    }
+
+    fn push_event(&self, event: TransportEvent) {
+        self.0.lock().unwrap().events.push(event);
+    }
+
+    fn insert_checkpoint(&self, lease: LeaseId, attempt: u32, snapshot: CampaignSnapshot) {
+        self.0.lock().unwrap().checkpoints.insert((lease, attempt), snapshot);
+    }
+
+    fn revoked(&self) -> Vec<(LeaseId, u32)> {
+        self.0.lock().unwrap().revoked.clone()
+    }
+}
+
+impl Transport for ManualTransport {
+    fn dispatch(&mut self, order: WorkOrder) -> Result<(), OrchestrateError> {
+        self.0.lock().unwrap().dispatched.push(order);
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Vec<TransportEvent> {
+        std::mem::take(&mut self.0.lock().unwrap().events)
+    }
+
+    fn checkpoint(
+        &self,
+        lease: LeaseId,
+        attempt: u32,
+        _space: &Arc<Space>,
+    ) -> Option<CampaignSnapshot> {
+        self.0.lock().unwrap().checkpoints.get(&(lease, attempt)).cloned()
+    }
+
+    fn revoke(&mut self, lease: LeaseId, attempt: u32) {
+        self.0.lock().unwrap().revoked.push((lease, attempt));
+    }
+
+    fn workers(&self) -> Vec<WorkerStatus> {
+        Vec::new()
+    }
+
+    fn shutdown(&mut self) {}
+}
+
+/// Runs one work order to completion exactly as a worker would.
+fn run_order(order: &WorkOrder) -> CampaignSnapshot {
+    let mut builder = (order.build)(order.spec);
+    if let Some(resume) = order.resume.clone() {
+        builder = builder.resume(resume);
+    }
+    let mut campaign = builder.build();
+    campaign.run_until(&[order.stop]);
+    campaign.snapshot()
+}
+
+/// Race pin: a worker failure report that arrives *after* the lease (and
+/// its whole generation) completed must lose the race — no revocation,
+/// no reissue, and the merge sees the completed snapshots, not a zombie
+/// re-run. The merged result is identical to a fleet that never saw the
+/// stale failure.
+#[test]
+fn failure_racing_the_last_completion_does_not_revoke_or_zombie_the_merge() {
+    let run = |inject_stale_failure: bool| {
+        let transport = ManualTransport::default();
+        let mut orchestrator = Orchestrator::new(transport.clone());
+        // 2 leases x 32 tests = the whole 64-test budget in one generation.
+        let campaign = orchestrator.register(fleet_config(7, 2, 32, 64));
+        orchestrator.step().expect("dispatch");
+        let orders = transport.take_dispatched();
+        assert_eq!(orders.len(), 2);
+        for order in &orders {
+            transport.push_event(TransportEvent::Completed {
+                lease: order.lease,
+                attempt: order.attempt,
+                snapshot: Box::new(run_order(order)),
+            });
+        }
+        if inject_stale_failure {
+            // The dying gasp of lease 0's worker lands in the same poll
+            // batch, after the completion it raced.
+            transport.push_event(TransportEvent::Failed {
+                lease: orders[0].lease,
+                attempt: orders[0].attempt,
+                detail: "worker exited after reporting its result".into(),
+            });
+        }
+        orchestrator.step().expect("absorb and merge");
+        assert!(orchestrator.is_done(), "the generation covered the whole budget");
+        let status = orchestrator.status();
+        assert_eq!(status.campaigns[0].revoked_leases, 0, "stale failure must not revoke");
+        assert!(transport.revoked().is_empty(), "no revocation reached the transport");
+        assert!(transport.take_dispatched().is_empty(), "no zombie reissue was dispatched");
+        orchestrator.final_snapshot(campaign).expect("finished campaign").clone()
+    };
+
+    let clean = run(false);
+    let raced = run(true);
+    assert_eq!(raced.tests_run(), 64);
+    assert_eq!(
+        report::json_canonical(&raced.report()),
+        report::json_canonical(&clean.report()),
+        "the stale failure must be invisible in the merged result"
+    );
+}
+
+/// Status-accounting pins for the two orchestrator bugfixes: in-flight
+/// tests count each attempt's delta from its own resume point (a reissue
+/// from a checkpoint *behind* the pooled base neither keeps the dead
+/// attempt's high-water mark nor has its progress clamped away), and
+/// `tests_per_sec` runs on active lease time, so it freezes once the
+/// campaign finishes instead of decaying while the orchestrator idles.
+#[test]
+fn status_counts_per_attempt_deltas_and_active_time() {
+    let transport = ManualTransport::default();
+    let mut orchestrator = Orchestrator::new(transport.clone());
+    // fan-out 1, 32-test cadence, 64 total: two generations.
+    let campaign = orchestrator.register(fleet_config(13, 1, 32, 64));
+    orchestrator.step().expect("dispatch generation 0");
+    let orders = transport.take_dispatched();
+    assert_eq!(orders.len(), 1);
+    transport.push_event(TransportEvent::Completed {
+        lease: orders[0].lease,
+        attempt: 0,
+        snapshot: Box::new(run_order(&orders[0])),
+    });
+    orchestrator.step().expect("merge generation 0");
+    let status = orchestrator.status();
+    assert_eq!(status.campaigns[0].tests_run, 32, "generation 0 pooled 32 tests");
+    assert_eq!(status.campaigns[0].generation, 1);
+
+    // Generation 1 runs from base 32 toward 64. Its worker heartbeats at
+    // 40 absolute tests, then dies; the only checkpoint on record sits at
+    // 16 tests — *behind* the base.
+    let gen1 = transport.take_dispatched();
+    assert_eq!(gen1.len(), 1);
+    let behind_base = {
+        let mut campaign = (gen1[0].build)(gen1[0].spec).build();
+        campaign.run_until(&[StopCondition::Tests(16)]);
+        campaign.snapshot()
+    };
+    assert_eq!(behind_base.tests_run(), 16);
+    transport.insert_checkpoint(gen1[0].lease, 0, behind_base);
+    transport.push_event(TransportEvent::Heartbeat {
+        lease: gen1[0].lease,
+        attempt: 0,
+        tests_run: 40,
+        worker: 1,
+    });
+    orchestrator.step().expect("heartbeat step");
+    assert_eq!(
+        orchestrator.status().campaigns[0].tests_run,
+        40,
+        "base 32 plus the live attempt's 8-test delta"
+    );
+
+    transport.push_event(TransportEvent::Failed {
+        lease: gen1[0].lease,
+        attempt: 0,
+        detail: "worker crashed".into(),
+    });
+    orchestrator.step().expect("reissue step");
+    let status = orchestrator.status();
+    assert_eq!(status.campaigns[0].revoked_leases, 1);
+    assert_eq!(
+        status.campaigns[0].tests_run, 32,
+        "the dead attempt's high-water mark must not linger: the reissue resumed from a \
+         16-test checkpoint, which retains nothing beyond the 32-test base"
+    );
+    let reissues = transport.take_dispatched();
+    assert_eq!(reissues.len(), 1);
+    assert_eq!(reissues[0].attempt, 1);
+    assert_eq!(reissues[0].resume.as_ref().map(CampaignSnapshot::tests_run), Some(16));
+
+    // The new attempt's progress counts from *its* resume point (16),
+    // not from the base: 20 absolute tests are 4 tests of live delta.
+    transport.push_event(TransportEvent::Heartbeat {
+        lease: gen1[0].lease,
+        attempt: 1,
+        tests_run: 20,
+        worker: 2,
+    });
+    orchestrator.step().expect("post-reissue heartbeat");
+    assert_eq!(
+        orchestrator.status().campaigns[0].tests_run,
+        36,
+        "base 32 plus the reissued attempt's 4-test delta past its own resume point"
+    );
+
+    transport.push_event(TransportEvent::Completed {
+        lease: gen1[0].lease,
+        attempt: 1,
+        snapshot: Box::new(run_order(&reissues[0])),
+    });
+    orchestrator.step().expect("final merge");
+    assert!(orchestrator.is_done());
+    let fin = orchestrator.final_snapshot(campaign).expect("finished campaign");
+    assert_eq!(fin.tests_run(), 64);
+
+    // Throughput runs on banked active lease time: once the campaign is
+    // done the clock is stopped, so the rate must not decay while the
+    // orchestrator sits idle (the old wall-clock denominator kept
+    // growing).
+    let rate = orchestrator.status().campaigns[0].tests_per_sec;
+    assert!(rate > 0.0, "a finished campaign reports a positive rate");
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(
+        orchestrator.status().campaigns[0].tests_per_sec,
+        rate,
+        "tests_per_sec is frozen once the campaign finishes"
+    );
 }
