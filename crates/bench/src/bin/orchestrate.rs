@@ -129,9 +129,22 @@ fn render(status: &OrchestratorStatus) {
             .map(|(name, arm)| format!("{name} p={} r={:.4}", arm.pulls, arm.mean_reward))
             .collect::<Vec<_>>()
             .join(", ");
+        let degradation = if campaign.quarantined_leases > 0
+            || campaign.max_fallback_depth > 0
+            || campaign.checksum_failures > 0
+        {
+            format!(
+                " | DEGRADED q:{} fb:{} ck:{}",
+                campaign.quarantined_leases,
+                campaign.max_fallback_depth,
+                campaign.checksum_failures
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "[{}] gen {} | cov {:6.2}% | {:>6} tests ({:.0}/s) | leases i:{} h:{} c:{} r:{} \
-             | revoked {} | arms: {}{}",
+            "[{}] gen {} | cov {:6.2}% | {:>6} tests ({:.0}/s) | leases i:{} h:{} c:{} r:{} q:{} \
+             | revoked {} | arms: {}{}{}",
             campaign.name,
             campaign.generation,
             campaign.coverage_pct,
@@ -141,13 +154,20 @@ fn render(status: &OrchestratorStatus) {
             count(LeaseState::Heartbeating),
             count(LeaseState::Completed),
             count(LeaseState::Revoked),
+            count(LeaseState::Quarantined),
             campaign.revoked_leases,
             if arms.is_empty() { "(awaiting first merge)" } else { &arms },
+            degradation,
             if campaign.done { " | DONE" } else { "" },
         );
     }
     let live = status.workers.iter().filter(|w| w.alive).count();
-    println!("workers: {live} live, {} dead", status.workers.len() - live);
+    let swept = if status.swept_tmp_files > 0 {
+        format!(", {} orphaned tmp files swept", status.swept_tmp_files)
+    } else {
+        String::new()
+    };
+    println!("workers: {live} live, {} dead{swept}", status.workers.len() - live);
 }
 
 fn main() {

@@ -149,6 +149,24 @@ impl SnapshotArgs {
     }
 }
 
+/// Prints what a snapshot recovery had to step over, so silent
+/// degradation (quarantined corpses, lineage fallback) is visible in
+/// the bench logs.
+fn report_degradation(recovery: &persist::Recovery) {
+    for path in &recovery.quarantined {
+        println!("[resume] quarantined corrupt snapshot: {}", path.display());
+    }
+    for (path, error) in &recovery.skipped {
+        println!("[resume] skipped {}: {error}", path.display());
+    }
+    if recovery.snapshot.is_some() && recovery.fallback_depth > 0 {
+        println!(
+            "[resume] fell back {} lineage entries to the last good one",
+            recovery.fallback_depth
+        );
+    }
+}
+
 /// The finished report of an already-complete snapshot: `Some` when
 /// `--resume` was given and the snapshot for `name` has reached the
 /// budget, so the caller can skip expensive campaign setup (notably the
@@ -168,8 +186,9 @@ pub fn completed_report(
         return None;
     }
     let space = factory().space().clone();
-    let snapshot = persist::load_snapshot(&path, &space)
-        .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", path.display()));
+    let recovery = persist::load_latest_valid(&path, &space);
+    report_degradation(&recovery);
+    let snapshot = recovery.snapshot?;
     if snapshot.tests_run() < tests {
         return None;
     }
@@ -208,10 +227,15 @@ pub fn run_budget_durable<'g>(
     let mut resume_from = None;
     if args.resume {
         let path = path.as_ref().expect("resume implies a snapshot path");
-        if path.exists() {
-            let space = factory().space().clone();
-            let snapshot = persist::load_snapshot(path, &space)
-                .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", path.display()));
+        let space = factory().space().clone();
+        // Last-good fallback: a torn or corrupted-in-place snapshot is
+        // quarantined and the freshest valid lineage entry (the rotated
+        // `.1`, `.2`, … auto-checkpoints) resumes instead; with nothing
+        // valid anywhere, the campaign restarts from scratch rather
+        // than dying on a bad file.
+        let recovery = persist::load_latest_valid(path, &space);
+        report_degradation(&recovery);
+        if let Some(snapshot) = recovery.snapshot {
             println!(
                 "[resume] {}: {} tests, {:.2}% coverage",
                 path.display(),

@@ -421,6 +421,7 @@ pub struct CampaignBuilder<'g> {
     observers: Vec<Box<dyn CampaignObserver + 'g>>,
     resume_from: Option<CampaignSnapshot>,
     auto_checkpoint: Option<(PathBuf, usize)>,
+    checkpoint_keep: usize,
 }
 
 impl<'g> CampaignBuilder<'g> {
@@ -439,6 +440,7 @@ impl<'g> CampaignBuilder<'g> {
             observers: Vec::new(),
             resume_from: None,
             auto_checkpoint: None,
+            checkpoint_keep: 2,
         }
     }
 
@@ -527,6 +529,17 @@ impl<'g> CampaignBuilder<'g> {
     pub fn auto_checkpoint(mut self, path: impl Into<PathBuf>, every_batches: usize) -> Self {
         assert!(every_batches > 0, "checkpoint cadence must be positive");
         self.auto_checkpoint = Some((path.into(), every_batches));
+        self
+    }
+
+    /// Checkpoint-lineage depth for [`CampaignBuilder::auto_checkpoint`]
+    /// (default 2): each write first rotates the previous document to
+    /// `{path}.1`, the one before to `{path}.2`, and so on, so
+    /// [`crate::persist::load_latest_valid`] can fall back past a
+    /// checkpoint torn by the very crash being recovered from. 0 keeps
+    /// only the newest file (the overwrite-in-place behaviour of v4).
+    pub fn checkpoint_lineage(mut self, keep: usize) -> Self {
+        self.checkpoint_keep = keep;
         self
     }
 
@@ -691,6 +704,7 @@ impl<'g> CampaignBuilder<'g> {
             seed_pool: Vec::new(),
             seed_revisions: Vec::new(),
             auto_checkpoint: self.auto_checkpoint,
+            checkpoint_keep: self.checkpoint_keep,
             cfg: self.cfg,
             dut_name,
             generators: self.generators,
@@ -735,6 +749,8 @@ pub struct Campaign<'g> {
     seed_revisions: Vec<u64>,
     /// Periodic durable checkpoints during `run_until` (path, cadence).
     auto_checkpoint: Option<(PathBuf, usize)>,
+    /// Rotated lineage depth for those checkpoints.
+    checkpoint_keep: usize,
     dut_name: String,
     generators: Vec<Box<dyn InputGenerator + 'g>>,
     gen_stats: Vec<GeneratorStats>,
@@ -986,8 +1002,31 @@ impl<'g> Campaign<'g> {
             // caller-driven `step_batch` + `snapshot` pattern.
             if let Some((path, every)) = &self.auto_checkpoint {
                 if self.batches_run.is_multiple_of(*every) {
-                    crate::persist::save_snapshot(path, &self.snapshot())
-                        .unwrap_or_else(|e| panic!("auto-checkpoint write failed: {e}"));
+                    let snapshot = self.snapshot();
+                    // Rotate the lineage once; transient io errors
+                    // (EINTR and friends) get a few plain-save retries
+                    // on top of the already-rotated lineage. Anything
+                    // persistent still panics — a durability guarantee
+                    // that silently stopped holding is worse than a
+                    // dead campaign.
+                    let mut result = crate::persist::save_snapshot_rotated(
+                        path,
+                        &snapshot,
+                        self.checkpoint_keep,
+                    );
+                    for backoff_ms in [10u64, 20, 40] {
+                        let transient = matches!(
+                            result.as_ref().map_err(|e| e.root()),
+                            Err(crate::persist::PersistError::Io(io))
+                                if io.kind() == std::io::ErrorKind::Interrupted
+                        );
+                        if !transient {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(backoff_ms));
+                        result = crate::persist::save_snapshot(path, &snapshot);
+                    }
+                    result.unwrap_or_else(|e| panic!("auto-checkpoint write failed: {e}"));
                 }
             }
         }

@@ -1,0 +1,422 @@
+//! Seeded, reproducible fault injection for the durability layer.
+//!
+//! Long fleets die in uglier ways than a clean SIGKILL: a checkpoint
+//! write torn mid-`rename`, a transient `EINTR` from a networked
+//! filesystem, a worker whose heartbeats stop arriving, a spool that
+//! delivers the same completion twice. This module is the single seam
+//! through which those failures are *injected on purpose*, so the
+//! recovery machinery in [`crate::persist`] and the orchestrator can be
+//! tested against every one of them deterministically.
+//!
+//! # Design
+//!
+//! A [`FaultPlan`] couples a [`FaultConfig`] (what to inject, and when)
+//! with a [`ChaCha8Rng`] decision stream and a persist-operation
+//! counter. Every probabilistic decision (transient io errors, dropped
+//! heartbeats, duplicated or reordered spool events) is drawn from the
+//! ChaCha stream, and every counted decision (torn write at op N, crash
+//! at boundary B) is driven by the operation counter — so a fault
+//! schedule replays **bit-exactly** from its seed, in the same process
+//! or a re-spawned one.
+//!
+//! Each atomic persist operation has two *crash boundaries*: boundary
+//! `2·op − 1` fires after the temp file is written but before the
+//! rename (the final path still holds the previous generation), and
+//! boundary `2·op` fires just after the rename (the new file is
+//! durable, but nothing downstream has observed it). A crash-point
+//! sweep that walks `1..=2·ops` therefore crashes at *every* persist
+//! boundary of a campaign.
+//!
+//! # Activation
+//!
+//! Production code consults [`active`], which reads the plan exactly
+//! once: either a plan previously installed in-process via [`install`],
+//! or — the cross-process path — one decoded from the
+//! [`ENV_VAR`] environment variable (see [`FaultConfig::env_value`]),
+//! which is how a test hands a fault schedule to a spawned worker.
+//! With no plan installed and no env var set, every choke point
+//! ([`atomic_write`], [`FaultPlan::drop_heartbeat`],
+//! [`FaultPlan::mangle_events`]) collapses to the plain fast path.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Environment variable a spawned process reads its fault plan from.
+/// The value is the [`FaultConfig::env_value`] encoding.
+pub const ENV_VAR: &str = "CHATFUZZ_FAULT_PLAN";
+
+/// What to inject, and when. The zero value (see [`FaultConfig::benign`])
+/// injects nothing; each field arms one fault independently.
+///
+/// Rates are expressed per myriad (per 10 000) so configs stay integral
+/// and encode losslessly through the env var.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed of the ChaCha decision stream.
+    pub seed: u64,
+    /// Abort the process at this persist boundary (`2·op − 1` = after
+    /// the temp write, before the rename; `2·op` = after the rename).
+    /// 0 disarms.
+    pub crash_at_boundary: u64,
+    /// Tear the Nth atomic write: only [`FaultConfig::torn_keep_bytes`]
+    /// bytes of the document reach the disk, and the rename still
+    /// happens — simulating filesystem data loss that `rename`
+    /// atomicity cannot save you from. 0 disarms.
+    pub torn_at_op: u64,
+    /// How many bytes of a torn write survive.
+    pub torn_keep_bytes: u64,
+    /// Per-myriad rate of transient (`io::ErrorKind::Interrupted`)
+    /// errors returned from atomic writes.
+    pub io_error_per_myriad: u32,
+    /// Per-myriad rate of heartbeat writes silently dropped (a dropped
+    /// heartbeat is indistinguishable from one delayed past the next —
+    /// the observer's sequence number just arrives late).
+    pub heartbeat_drop_per_myriad: u32,
+    /// Per-myriad rate of a polled transport event batch having one
+    /// event duplicated.
+    pub event_dup_per_myriad: u32,
+    /// Per-myriad rate of a polled transport event batch having two
+    /// events swapped out of order.
+    pub event_swap_per_myriad: u32,
+}
+
+impl FaultConfig {
+    /// A plan that injects nothing (but still counts persist ops).
+    pub fn benign(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            crash_at_boundary: 0,
+            torn_at_op: 0,
+            torn_keep_bytes: 0,
+            io_error_per_myriad: 0,
+            heartbeat_drop_per_myriad: 0,
+            event_dup_per_myriad: 0,
+            event_swap_per_myriad: 0,
+        }
+    }
+
+    /// Encodes the config for [`ENV_VAR`]; [`FaultConfig::parse`] is the
+    /// inverse. The encoding is a flat `key=value` list, stable enough
+    /// to paste into a shell to replay a CI failure locally:
+    /// `seed=7,crash_at=3,torn_at=0,torn_keep=0,io_err=0,hb_drop=0,dup=0,swap=0`.
+    pub fn env_value(&self) -> String {
+        format!(
+            "seed={},crash_at={},torn_at={},torn_keep={},io_err={},hb_drop={},dup={},swap={}",
+            self.seed,
+            self.crash_at_boundary,
+            self.torn_at_op,
+            self.torn_keep_bytes,
+            self.io_error_per_myriad,
+            self.heartbeat_drop_per_myriad,
+            self.event_dup_per_myriad,
+            self.event_swap_per_myriad,
+        )
+    }
+
+    /// Decodes [`FaultConfig::env_value`]. Unknown keys and malformed
+    /// numbers are errors — a mistyped fault plan must not silently run
+    /// a fault-free test.
+    pub fn parse(text: &str) -> Result<FaultConfig, String> {
+        let mut cfg = FaultConfig::benign(0);
+        for part in text.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan: `{part}` is not key=value"))?;
+            let num = |what: &str| -> Result<u64, String> {
+                value
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault plan: `{value}` is not a number (key `{what}`)"))
+            };
+            match key.trim() {
+                "seed" => cfg.seed = num("seed")?,
+                "crash_at" => cfg.crash_at_boundary = num("crash_at")?,
+                "torn_at" => cfg.torn_at_op = num("torn_at")?,
+                "torn_keep" => cfg.torn_keep_bytes = num("torn_keep")?,
+                "io_err" => cfg.io_error_per_myriad = num("io_err")? as u32,
+                "hb_drop" => cfg.heartbeat_drop_per_myriad = num("hb_drop")? as u32,
+                "dup" => cfg.event_dup_per_myriad = num("dup")? as u32,
+                "swap" => cfg.event_swap_per_myriad = num("swap")? as u32,
+                other => return Err(format!("fault plan: unknown key `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// A live fault schedule: config + ChaCha decision stream + persist-op
+/// counter. Construct one per process (or per transport) and replay it
+/// by constructing another from the same config.
+#[derive(Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: Mutex<ChaCha8Rng>,
+    persist_ops: AtomicU64,
+}
+
+impl FaultPlan {
+    pub fn new(cfg: FaultConfig) -> FaultPlan {
+        FaultPlan {
+            cfg,
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(cfg.seed)),
+            persist_ops: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Atomic persist operations counted so far (the sweep uses this to
+    /// enumerate crash boundaries: a run with N ops has `2·N` of them).
+    pub fn persist_ops(&self) -> u64 {
+        self.persist_ops.load(Ordering::SeqCst)
+    }
+
+    /// One Bernoulli decision off the ChaCha stream. Rate 0 never draws
+    /// (so disarmed faults don't perturb the stream of armed ones).
+    fn draw(&self, per_myriad: u32) -> bool {
+        if per_myriad == 0 {
+            return false;
+        }
+        let mut rng = self.rng.lock().expect("fault rng poisoned");
+        rng.next_u32() % 10_000 < per_myriad
+    }
+
+    /// An index draw for event mangling, also off the ChaCha stream.
+    fn index(&self, len: usize) -> usize {
+        let mut rng = self.rng.lock().expect("fault rng poisoned");
+        rng.next_u32() as usize % len
+    }
+
+    /// Should this heartbeat write be dropped?
+    pub fn drop_heartbeat(&self) -> bool {
+        self.draw(self.cfg.heartbeat_drop_per_myriad)
+    }
+
+    /// Duplicates and/or reorders events in a polled batch, per the
+    /// configured rates. The orchestrator must absorb both without
+    /// double-counting — exactly the at-least-once, unordered delivery a
+    /// real spool directory gives after an NFS hiccup.
+    pub fn mangle_events<T: Clone>(&self, events: &mut Vec<T>) {
+        if events.is_empty() {
+            return;
+        }
+        if self.draw(self.cfg.event_dup_per_myriad) {
+            let dup = events[self.index(events.len())].clone();
+            events.push(dup);
+        }
+        if events.len() >= 2 && self.draw(self.cfg.event_swap_per_myriad) {
+            let a = self.index(events.len());
+            let b = self.index(events.len());
+            events.swap(a, b);
+        }
+    }
+
+    /// The faulted atomic write (see [`atomic_write`] for the plan-less
+    /// entry point). Decides for the next persist op whether to return a
+    /// transient error, tear the payload, and/or abort the process at
+    /// one of the op's two crash boundaries.
+    pub fn atomic_write(&self, path: &Path, tmp: &Path, contents: &[u8]) -> io::Result<()> {
+        let op = self.persist_ops.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.draw(self.cfg.io_error_per_myriad) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient io error at persist op {op}"),
+            ));
+        }
+        let body = if self.cfg.torn_at_op == op {
+            &contents[..contents.len().min(self.cfg.torn_keep_bytes as usize)]
+        } else {
+            contents
+        };
+        std::fs::write(tmp, body)?;
+        if self.cfg.crash_at_boundary == 2 * op - 1 {
+            crash(op, "temp written, before rename");
+        }
+        std::fs::rename(tmp, path)?;
+        if self.cfg.crash_at_boundary == 2 * op {
+            crash(op, "after rename");
+        }
+        Ok(())
+    }
+}
+
+fn crash(op: u64, boundary: &str) -> ! {
+    // Deliberately not a panic: catch_unwind must not be able to absorb
+    // an injected crash, and a real power loss doesn't run destructors.
+    eprintln!("fault plan: crashing at persist op {op} ({boundary})");
+    std::process::abort();
+}
+
+static ACTIVE: OnceLock<Option<FaultPlan>> = OnceLock::new();
+
+/// Installs a process-global fault plan. Returns `false` if one was
+/// already resolved (installed, read from the environment, or observed
+/// absent) — the first resolution wins for the life of the process, so
+/// a schedule can never change mid-run.
+pub fn install(cfg: FaultConfig) -> bool {
+    let mut fresh = false;
+    ACTIVE.get_or_init(|| {
+        fresh = true;
+        Some(FaultPlan::new(cfg))
+    });
+    fresh
+}
+
+/// The process-global fault plan, if any: the one [`install`]ed, else
+/// one decoded from [`ENV_VAR`], else `None` (the common production
+/// case). A malformed env value aborts loudly — see
+/// [`FaultConfig::parse`].
+pub fn active() -> Option<&'static FaultPlan> {
+    ACTIVE
+        .get_or_init(|| {
+            std::env::var(ENV_VAR).ok().map(|text| {
+                let cfg =
+                    FaultConfig::parse(&text).unwrap_or_else(|e| panic!("{ENV_VAR}={text}: {e}"));
+                FaultPlan::new(cfg)
+            })
+        })
+        .as_ref()
+}
+
+/// Atomic temp-file + rename write, routed through the process-global
+/// fault plan when one is active. This is the single choke point for
+/// every durable write in the workspace — [`crate::persist`] snapshots
+/// and the spool transport's protocol files both land through here, so
+/// one armed plan faults them all.
+pub fn atomic_write(path: &Path, tmp: &Path, contents: &[u8]) -> io::Result<()> {
+    atomic_write_with(active(), path, tmp, contents)
+}
+
+/// [`atomic_write`] with an explicit (possibly absent) plan — for
+/// components that carry their own plan instead of the process-global
+/// one, like a transport faulted on the orchestrator side only.
+pub fn atomic_write_with(
+    plan: Option<&FaultPlan>,
+    path: &Path,
+    tmp: &Path,
+    contents: &[u8],
+) -> io::Result<()> {
+    match plan {
+        Some(plan) => plan.atomic_write(path, tmp, contents),
+        None => {
+            std::fs::write(tmp, contents)?;
+            std::fs::rename(tmp, path)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_encoding_round_trips() {
+        let cfg = FaultConfig {
+            seed: 0xDEAD_BEEF,
+            crash_at_boundary: 7,
+            torn_at_op: 3,
+            torn_keep_bytes: 128,
+            io_error_per_myriad: 250,
+            heartbeat_drop_per_myriad: 1000,
+            event_dup_per_myriad: 42,
+            event_swap_per_myriad: 9999,
+        };
+        assert_eq!(FaultConfig::parse(&cfg.env_value()), Ok(cfg));
+        assert_eq!(FaultConfig::parse(""), Ok(FaultConfig::benign(0)));
+        assert!(FaultConfig::parse("bogus=1").is_err(), "unknown key");
+        assert!(FaultConfig::parse("seed").is_err(), "missing value");
+        assert!(FaultConfig::parse("seed=x").is_err(), "bad number");
+    }
+
+    #[test]
+    fn decision_streams_replay_bit_exactly_from_the_seed() {
+        let cfg = FaultConfig {
+            heartbeat_drop_per_myriad: 3000,
+            event_dup_per_myriad: 2500,
+            event_swap_per_myriad: 2500,
+            ..FaultConfig::benign(41)
+        };
+        let a = FaultPlan::new(cfg);
+        let b = FaultPlan::new(cfg);
+        let beats_a: Vec<bool> = (0..256).map(|_| a.drop_heartbeat()).collect();
+        let beats_b: Vec<bool> = (0..256).map(|_| b.drop_heartbeat()).collect();
+        assert_eq!(beats_a, beats_b);
+        assert!(beats_a.iter().any(|&d| d) && beats_a.iter().any(|&d| !d), "rate is partial");
+
+        let mut evs_a: Vec<u32> = (0..8).collect();
+        let mut evs_b = evs_a.clone();
+        for _ in 0..64 {
+            a.mangle_events(&mut evs_a);
+            b.mangle_events(&mut evs_b);
+        }
+        assert_eq!(evs_a, evs_b);
+        assert!(evs_a.len() > 8, "duplicates were injected");
+    }
+
+    #[test]
+    fn disarmed_faults_do_not_perturb_the_stream() {
+        // A plan with only heartbeat drops armed must make the same
+        // decisions whether or not other (disarmed) fault kinds are
+        // consulted in between — rate-0 draws must not consume words.
+        let cfg = FaultConfig { heartbeat_drop_per_myriad: 5000, ..FaultConfig::benign(11) };
+        let a = FaultPlan::new(cfg);
+        let b = FaultPlan::new(cfg);
+        let mut noise: Vec<u32> = (0..4).collect();
+        let beats_a: Vec<bool> = (0..64).map(|_| a.drop_heartbeat()).collect();
+        let beats_b: Vec<bool> = (0..64)
+            .map(|_| {
+                b.mangle_events(&mut noise); // both rates 0: no draw
+                b.drop_heartbeat()
+            })
+            .collect();
+        assert_eq!(beats_a, beats_b);
+        assert_eq!(noise, (0..4).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn torn_writes_truncate_and_transient_errors_surface() {
+        let dir = std::env::temp_dir().join(format!("chatfuzz-faults-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let path = dir.join("doc.json");
+        let tmp = dir.join("doc.json.tmp");
+
+        let torn = FaultPlan::new(FaultConfig {
+            torn_at_op: 2,
+            torn_keep_bytes: 4,
+            ..FaultConfig::benign(0)
+        });
+        torn.atomic_write(&path, &tmp, b"first document").expect("op 1 clean");
+        assert_eq!(std::fs::read(&path).expect("read"), b"first document");
+        torn.atomic_write(&path, &tmp, b"second document").expect("op 2 torn but 'succeeds'");
+        assert_eq!(std::fs::read(&path).expect("read"), b"seco", "torn at byte 4");
+        assert_eq!(torn.persist_ops(), 2);
+
+        let flaky =
+            FaultPlan::new(FaultConfig { io_error_per_myriad: 10_000, ..FaultConfig::benign(0) });
+        let err = flaky.atomic_write(&path, &tmp, b"never lands").expect_err("always errors");
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(std::fs::read(&path).expect("read"), b"seco", "file untouched");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_plan_means_a_plain_atomic_write() {
+        let dir = std::env::temp_dir().join(format!("chatfuzz-faults-off-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let path = dir.join("doc.json");
+        let tmp = dir.join("doc.json.tmp");
+        atomic_write_with(None, &path, &tmp, b"payload").expect("write");
+        assert_eq!(std::fs::read(&path).expect("read"), b"payload");
+        assert!(!tmp.exists(), "temp renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

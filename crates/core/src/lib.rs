@@ -22,7 +22,14 @@
 //! * [`persist`] — versioned on-disk JSON serialisation of
 //!   [`CampaignSnapshot`], so long campaigns survive their process and
 //!   resume elsewhere — including the LM arm's trained weights and
-//!   optimiser moments, stored as exact f32-bit hex blobs;
+//!   optimiser moments, stored as exact f32-bit hex blobs; since v5
+//!   every document carries a content checksum, auto-checkpoints keep a
+//!   rotated lineage, and [`persist::load_latest_valid`] falls back
+//!   through it past torn or corrupt files (quarantining, not deleting);
+//! * [`faults`] — seeded, reproducible fault injection (torn writes,
+//!   crash boundaries, transient io errors, dropped heartbeats,
+//!   duplicated/reordered events) behind the one atomic-write choke
+//!   point the durability layer uses;
 //! * [`shard`] — horizontal scaling: split one campaign into N shard
 //!   sub-campaigns with disjoint RNG streams (in-process or spawned
 //!   sub-processes) and merge the results — coverage maps union,
@@ -82,6 +89,7 @@
 //! ```
 
 pub mod campaign;
+pub mod faults;
 pub mod generator;
 pub mod harness;
 pub mod mismatch;
@@ -94,12 +102,16 @@ pub use campaign::{
     BatchOutcome, Campaign, CampaignBuilder, CampaignConfig, CampaignObserver, CampaignReport,
     CampaignSnapshot, CoveragePoint, DutFactory, GeneratorStats, StopCondition,
 };
+pub use faults::{FaultConfig, FaultPlan};
 pub use generator::{CoverageReward, LmGenerator, LmGeneratorConfig, NgramGenerator};
 pub use harness::{wrap, HarnessConfig};
 pub use mismatch::{
     classify, diff_traces, KnownBug, Mismatch, MismatchFilter, MismatchLog, UniqueMismatch,
 };
-pub use persist::{load_snapshot, parse_snapshot, save_snapshot, snapshot_json, PersistError};
+pub use persist::{
+    load_latest_valid, load_snapshot, parse_snapshot, save_snapshot, save_snapshot_rotated,
+    snapshot_json, PersistError, Recovery,
+};
 pub use pipeline::{
     train_chatfuzz, ChatFuzzModel, CleanupPoint, ModelScale, OptimizePoint, PipelineConfig,
     PipelineReport,

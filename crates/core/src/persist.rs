@@ -15,6 +15,7 @@
 //!
 //! | key | contents |
 //! |---|---|
+//! | `checksum` | since v5: FNV-1a-64 of the rest of the document (see below) |
 //! | `schema_version` | integer; readers reject versions they don't know |
 //! | `dut` | DUT name the snapshot was taken on |
 //! | `space_fingerprint` | structural hash of the coverage space |
@@ -42,7 +43,29 @@
 //!
 //! Writes are atomic (temp file + rename), so a process polling for a
 //! snapshot — the cross-process resume tests, a monitoring dashboard —
-//! never observes a half-written document.
+//! never observes a half-written document. They land through the
+//! [`crate::faults`] choke point, so fault-injection tests can tear or
+//! crash any write without touching this module.
+//!
+//! # Checksums and lineage (v5)
+//!
+//! Rename atomicity does not protect against in-place corruption — a
+//! torn page after power loss, a bit flip on a flaky disk. Since v5
+//! every document opens with a `checksum` field: the FNV-1a-64 hash of
+//! the payload (the document with the checksum field removed), verified
+//! before any value in the file is trusted. v4 documents (no checksum)
+//! still load.
+//!
+//! Because the newest checkpoint is exactly the file most likely to be
+//! torn by the crash being recovered from, [`save_snapshot_rotated`]
+//! keeps a *lineage*: the previous document is rotated to `path.1`, the
+//! one before to `path.2`, … up to a caller-chosen depth.
+//! [`load_latest_valid`] walks that lineage newest-first, moves corrupt
+//! or torn files aside to `*.quarantined` (never deleting, never
+//! clobbering an earlier quarantined file), and returns the first good
+//! snapshot along with a [`Recovery`] record of everything it skipped —
+//! falling through to "no snapshot" (resume from the generation base)
+//! only when every entry is bad.
 
 use std::fmt;
 use std::io;
@@ -73,8 +96,16 @@ use crate::report::JsonWriter;
 /// the schedulers' sliding reward windows to the per-arm state. v4 added
 /// the actor/learner fields to the model half: the publish epoch, the
 /// batches-since-publish counter, and the learner's reward-stamped
-/// rollout queue (rewards as hex `f32`-bit patterns).
-pub const SCHEMA_VERSION: u64 = 4;
+/// rollout queue (rewards as hex `f32`-bit patterns). v5 added the
+/// leading `checksum` field; it changed no other key, so v4 documents
+/// (the oldest this build still reads, see
+/// [`MIN_SUPPORTED_SCHEMA_VERSION`]) load unchanged.
+pub const SCHEMA_VERSION: u64 = 5;
+
+/// Oldest schema version [`parse_snapshot`] still accepts. v4 is the
+/// v5 payload without the checksum field, so reading it costs nothing;
+/// v3 and earlier differ structurally and are rejected.
+pub const MIN_SUPPORTED_SCHEMA_VERSION: u64 = 4;
 
 /// Why a snapshot could not be loaded.
 #[derive(Debug)]
@@ -89,6 +120,17 @@ pub enum PersistError {
         found: u64,
         /// Version this build reads and writes.
         supported: u64,
+    },
+    /// The document parses, but its content checksum does not match —
+    /// the file was corrupted *in place* (torn page, bit rot), which
+    /// rename-atomicity cannot prevent. Like [`PersistError::Parse`],
+    /// this means the file is unusable; [`load_latest_valid`] reacts by
+    /// quarantining it and falling back through the lineage.
+    Checksum {
+        /// Checksum the document claims for itself.
+        claimed: u64,
+        /// Checksum computed over the document as read.
+        computed: u64,
     },
     /// The snapshot was taken on a different coverage space than the one
     /// supplied for loading (different design or elaboration).
@@ -123,8 +165,9 @@ impl PersistError {
 
     /// The underlying cause, with any [`PersistError::At`] location
     /// peeled off — what retry/abort decisions should match on. An io
-    /// `NotFound` means "poll again", [`PersistError::Parse`] on a
-    /// half-written file means "retry", while a
+    /// `NotFound` means "poll again", [`PersistError::Parse`] or
+    /// [`PersistError::Checksum`] on a corrupt file means "quarantine
+    /// and fall back through the lineage", while a
     /// [`PersistError::SchemaVersion`] or [`PersistError::SpaceMismatch`]
     /// is permanent and must be surfaced, so the distinction is
     /// load-bearing.
@@ -144,10 +187,16 @@ impl fmt::Display for PersistError {
             PersistError::SchemaVersion { found, supported } => {
                 write!(
                     f,
-                    "snapshot schema version {found} not supported \
-                     (this build reads and writes version {supported})"
+                    "snapshot schema version {found} not supported (this build \
+                     reads versions {MIN_SUPPORTED_SCHEMA_VERSION} through \
+                     {supported} and writes version {supported})"
                 )
             }
+            PersistError::Checksum { claimed, computed } => write!(
+                f,
+                "snapshot checksum mismatch: document claims {claimed:016x}, \
+                 content hashes to {computed:016x} — corrupted in place"
+            ),
             PersistError::SpaceMismatch { found, expected } => write!(
                 f,
                 "snapshot was taken on coverage space {found:#018x}, \
@@ -186,8 +235,18 @@ fn err<T>(msg: impl Into<String>) -> Result<T> {
 // Serialisation
 // ---------------------------------------------------------------------------
 
-/// Renders a snapshot as one schema-versioned JSON document.
+/// Renders a snapshot as one schema-versioned, checksummed JSON
+/// document: the payload below prefixed with a `checksum` field holding
+/// the FNV-1a-64 hash of the payload text.
 pub fn snapshot_json(snapshot: &CampaignSnapshot) -> String {
+    attach_checksum(&payload_json(snapshot))
+}
+
+/// The document minus its `checksum` field — exactly the bytes the
+/// checksum covers. The writer emits no whitespace, so splicing the
+/// checksum in after the opening `{` (and stripping it before
+/// verification) is purely textual.
+fn payload_json(snapshot: &CampaignSnapshot) -> String {
     let mut w = JsonWriter::new();
     w.open('{');
     w.field_u64("schema_version", SCHEMA_VERSION);
@@ -311,6 +370,53 @@ pub fn snapshot_json(snapshot: &CampaignSnapshot) -> String {
 
     w.close('}');
     w.finish()
+}
+
+/// FNV-1a-64 — tiny, dependency-free, and plenty for catching torn
+/// pages and bit rot (this is an integrity check, not an authenticity
+/// one; an adversary with write access to checkpoint files can do far
+/// worse than forge a hash).
+fn fnv1a64(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// `{"checksum":"<16 hex>",` + the payload minus its opening brace.
+const CHECKSUM_PREFIX: &str = "{\"checksum\":\"";
+
+fn attach_checksum(payload: &str) -> String {
+    let sum = fnv1a64(payload.bytes());
+    format!("{CHECKSUM_PREFIX}{sum:016x}\",{}", &payload[1..])
+}
+
+/// Verifies a document's leading checksum field against the rest of the
+/// text. Returns whether a checksum was present at all (v4 documents
+/// carry none); a present-but-wrong checksum is
+/// [`PersistError::Checksum`], a present-but-malformed one is a parse
+/// error.
+fn verify_checksum(text: &str) -> Result<bool> {
+    let Some(rest) = text.strip_prefix(CHECKSUM_PREFIX) else {
+        return Ok(false);
+    };
+    let Some(hex) = rest.get(..16) else {
+        return err("checksum field truncated");
+    };
+    let Ok(claimed) = u64::from_str_radix(hex, 16) else {
+        return err(format!("checksum `{hex}` is not 16 hex digits"));
+    };
+    let Some(payload_rest) = rest.get(18..).filter(|_| rest[16..].starts_with("\",")) else {
+        return err("malformed checksum field");
+    };
+    // The covered payload is `{` + everything after the checksum field.
+    let computed = fnv1a64(std::iter::once(b'{').chain(payload_rest.bytes()));
+    if computed != claimed {
+        return Err(PersistError::Checksum { claimed, computed });
+    }
+    Ok(true)
 }
 
 fn write_generator_state(w: &mut JsonWriter, s: &GeneratorState) {
@@ -942,11 +1048,19 @@ fn parse_json(text: &str) -> Result<Json> {
 /// (resume builds the DUT anyway); the document's recorded fingerprint
 /// must match, which catches resuming against the wrong design long
 /// before the campaign asserts.
+///
+/// The version gate runs first (so a future writer's document is
+/// reported as version skew, not as whatever its checksum scheme looks
+/// like to this build), then the v5 content checksum is verified before
+/// any value in the document is trusted.
 pub fn parse_snapshot(text: &str, space: &Arc<Space>) -> Result<CampaignSnapshot> {
     let doc = parse_json(text)?;
     let version = doc.get("schema_version")?.as_u64("schema_version")?;
-    if version != SCHEMA_VERSION {
+    if !(MIN_SUPPORTED_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
         return Err(PersistError::SchemaVersion { found: version, supported: SCHEMA_VERSION });
+    }
+    if !verify_checksum(text)? && version >= 5 {
+        return err("schema v5 document is missing its checksum field");
     }
     let found = doc.get("space_fingerprint")?.as_u64("space_fingerprint")?;
     if found != space.fingerprint() {
@@ -1396,20 +1510,165 @@ fn read_exception(value: &Json) -> Result<Exception> {
 // ---------------------------------------------------------------------------
 
 /// Writes a snapshot to `path` atomically: the document lands in a
-/// sibling temp file first and is renamed into place, so concurrent
-/// readers (and pollers waiting for a checkpoint to appear) never see a
-/// partial document. Parent directories are created as needed.
-pub fn save_snapshot(path: &Path, snapshot: &CampaignSnapshot) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
+/// sibling temp file first and is renamed into place (through the
+/// [`crate::faults`] choke point), so concurrent readers (and pollers
+/// waiting for a checkpoint to appear) never see a partial document.
+/// Parent directories are created as needed. Failures are annotated
+/// with `path` via [`PersistError::At`], like every other file-borne
+/// error in this module.
+pub fn save_snapshot(path: &Path, snapshot: &CampaignSnapshot) -> Result<()> {
+    let write = || -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        crate::faults::atomic_write(path, Path::new(&tmp), snapshot_json(snapshot).as_bytes())
+    };
+    write().map_err(|e| PersistError::from(e).at(path))
+}
+
+/// The lineage sibling of `path` at `depth`: the file itself for depth
+/// 0, `{path}.1`, `{path}.2`, … for rotated predecessors.
+pub fn lineage_path(path: &Path, depth: usize) -> std::path::PathBuf {
+    if depth == 0 {
+        return path.to_path_buf();
+    }
+    let mut os = path.as_os_str().to_owned();
+    os.push(format!(".{depth}"));
+    std::path::PathBuf::from(os)
+}
+
+/// [`save_snapshot`] with checkpoint lineage: before the new document
+/// is written, the existing one is rotated to `{path}.1`, the previous
+/// `{path}.1` to `{path}.2`, and so on, keeping up to `keep` rotated
+/// generations (the oldest is renamed over, not deleted early — with
+/// `keep = 0` this degrades to a plain overwriting [`save_snapshot`]).
+/// A crash anywhere in the rotation leaves a gap at worst;
+/// [`load_latest_valid`] scans past gaps.
+pub fn save_snapshot_rotated(path: &Path, snapshot: &CampaignSnapshot, keep: usize) -> Result<()> {
+    let rotate = |from: std::path::PathBuf, to: std::path::PathBuf| -> Result<()> {
+        match std::fs::rename(&from, &to) {
+            Ok(()) => Ok(()),
+            // Nothing at this depth yet — early in a campaign's life.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(PersistError::from(e).at(&from)),
+        }
+    };
+    for depth in (1..keep).rev() {
+        rotate(lineage_path(path, depth), lineage_path(path, depth + 1))?;
+    }
+    if keep > 0 {
+        rotate(path.to_path_buf(), lineage_path(path, 1))?;
+    }
+    save_snapshot(path, snapshot)
+}
+
+/// What [`load_latest_valid`] found while walking a checkpoint lineage.
+/// Everything it had to step over is recorded, because a fleet
+/// coordinator surfaces these in its status: a non-zero
+/// `checksum_failures` on a healthy disk is worth a human's attention.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// The newest loadable snapshot, or `None` when every lineage entry
+    /// was missing or bad — the caller falls back to its generation
+    /// base.
+    pub snapshot: Option<CampaignSnapshot>,
+    /// Lineage depth the snapshot came from (0 = the newest file).
+    /// Meaningful only when `snapshot` is `Some`.
+    pub fallback_depth: usize,
+    /// How many entries failed their content checksum.
+    pub checksum_failures: usize,
+    /// Corrupt/torn files moved aside (their new `*.quarantined` names).
+    pub quarantined: Vec<std::path::PathBuf>,
+    /// Entries skipped without quarantine, with the error naming why —
+    /// version skew and space mismatches are *healthy* files this build
+    /// must not destroy.
+    pub skipped: Vec<(std::path::PathBuf, PersistError)>,
+}
+
+impl Recovery {
+    /// A recovery that found `snapshot` directly (for transports whose
+    /// checkpoint store is not file-based).
+    pub fn found(snapshot: CampaignSnapshot) -> Recovery {
+        Recovery { snapshot: Some(snapshot), ..Recovery::default() }
+    }
+
+    /// Folds another recovery (a deeper fallback source, e.g. an older
+    /// attempt's lineage) into this one: bookkeeping accumulates, and
+    /// the other's snapshot is taken only if this one found none.
+    pub fn absorb(&mut self, other: Recovery) {
+        self.checksum_failures += other.checksum_failures;
+        self.quarantined.extend(other.quarantined);
+        self.skipped.extend(other.skipped);
+        if self.snapshot.is_none() {
+            self.snapshot = other.snapshot;
+            self.fallback_depth = other.fallback_depth;
         }
     }
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, snapshot_json(snapshot))?;
-    std::fs::rename(&tmp, path)
+}
+
+/// Deepest lineage entry [`load_latest_valid`] looks for. A crash
+/// mid-rotation can leave holes in the sequence, so the scan walks the
+/// whole range instead of stopping at the first missing depth.
+const MAX_LINEAGE_SCAN: usize = 32;
+
+/// Walks the checkpoint lineage of `path` newest-first and loads the
+/// first valid snapshot. Corrupt or torn entries ([`PersistError::Parse`]
+/// / [`PersistError::Checksum`] roots) are *quarantined*: renamed to
+/// `{file}.quarantined` (never deleted, and never clobbering an earlier
+/// quarantined file) so a post-mortem can inspect exactly what the
+/// crash left behind. Version-skewed or foreign-space entries are
+/// skipped untouched with a named error. Never fails: the worst case is
+/// a [`Recovery`] with no snapshot, which callers treat as "resume from
+/// the generation base".
+pub fn load_latest_valid(path: &Path, space: &Arc<Space>) -> Recovery {
+    let mut recovery = Recovery::default();
+    for depth in 0..=MAX_LINEAGE_SCAN {
+        let candidate = lineage_path(path, depth);
+        match load_snapshot(&candidate, space) {
+            Ok(snapshot) => {
+                recovery.snapshot = Some(snapshot);
+                recovery.fallback_depth = depth;
+                return recovery;
+            }
+            Err(e) => match e.root() {
+                PersistError::Io(io) if io.kind() == io::ErrorKind::NotFound => {}
+                PersistError::Parse(_) | PersistError::Checksum { .. } => {
+                    if matches!(e.root(), PersistError::Checksum { .. }) {
+                        recovery.checksum_failures += 1;
+                    }
+                    if let Some(parked) = quarantine(&candidate) {
+                        recovery.quarantined.push(parked);
+                    }
+                    recovery.skipped.push((candidate, e));
+                }
+                _ => recovery.skipped.push((candidate, e)),
+            },
+        }
+    }
+    recovery
+}
+
+/// Moves a corrupt file to the first free `{file}.quarantined[.N]`
+/// name. Returns the parking name, or `None` if the rename failed (the
+/// file stays in place; the lineage scan still steps over it).
+fn quarantine(path: &Path) -> Option<std::path::PathBuf> {
+    for attempt in 0..1000u32 {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".quarantined");
+        if attempt > 0 {
+            os.push(format!(".{attempt}"));
+        }
+        let target = std::path::PathBuf::from(os);
+        if target.exists() {
+            continue;
+        }
+        return std::fs::rename(path, &target).ok().map(|()| target);
+    }
+    None
 }
 
 /// Reads and parses a snapshot written by [`save_snapshot`]. See
@@ -1466,10 +1725,71 @@ mod tests {
     fn parse_rejects_future_schema_versions() {
         let snapshot = sample_snapshot();
         let space = factory()().space().clone();
+        // The version gate outranks the checksum: a future writer's
+        // document reports as version skew even though this build's
+        // checksum no longer matches the edited text.
         let doc =
-            snapshot_json(&snapshot).replacen("\"schema_version\":4", "\"schema_version\":999", 1);
+            snapshot_json(&snapshot).replacen("\"schema_version\":5", "\"schema_version\":999", 1);
         match parse_snapshot(&doc, &space) {
             Err(PersistError::SchemaVersion { found: 999, supported }) => {
+                assert_eq!(supported, SCHEMA_VERSION);
+            }
+            other => panic!("expected schema-version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_rejects_single_character_corruption() {
+        let snapshot = sample_snapshot();
+        let space = factory()().space().clone();
+        let doc = snapshot_json(&snapshot);
+        assert!(doc.starts_with(CHECKSUM_PREFIX), "checksum leads the document");
+
+        // Flip one hex digit inside the coverage bitmap — the JSON stays
+        // perfectly well-formed, so only the checksum can catch it.
+        let at = doc.find("\"cumulative\":\"").expect("coverage blob") + "\"cumulative\":\"".len();
+        let mut bytes = doc.clone().into_bytes();
+        bytes[at] = if bytes[at] == b'0' { b'1' } else { b'0' };
+        let flipped = String::from_utf8(bytes).expect("still utf8");
+        match parse_snapshot(&flipped, &space) {
+            Err(PersistError::Checksum { claimed, computed }) => {
+                assert_ne!(claimed, computed);
+                let msg = PersistError::Checksum { claimed, computed }.to_string();
+                assert!(msg.contains(&format!("{claimed:016x}")), "claimed hash in: {msg}");
+                assert!(msg.contains(&format!("{computed:016x}")), "computed hash in: {msg}");
+            }
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+
+        // A v5 document stripped of its checksum is rejected too.
+        let bare = payload_json(&snapshot);
+        assert!(parse_snapshot(&bare, &space).is_err(), "v5 without checksum");
+    }
+
+    #[test]
+    fn v4_documents_without_checksums_still_load() {
+        let snapshot = sample_snapshot();
+        let space = factory()().space().clone();
+        // A v4 document is exactly the v5 payload (no checksum field)
+        // with the old version stamp — the schema changed nothing else.
+        let v4 =
+            payload_json(&snapshot).replacen("\"schema_version\":5", "\"schema_version\":4", 1);
+        let parsed = parse_snapshot(&v4, &space).expect("v4 loads");
+        // Re-serialising writes the modern checksummed v5 form.
+        assert_eq!(snapshot_json(&parsed), snapshot_json(&snapshot));
+    }
+
+    #[test]
+    fn checksum_valid_but_schema_stale_is_a_named_version_error() {
+        let snapshot = sample_snapshot();
+        let space = factory()().space().clone();
+        let stale = attach_checksum(&payload_json(&snapshot).replacen(
+            "\"schema_version\":5",
+            "\"schema_version\":3",
+            1,
+        ));
+        match parse_snapshot(&stale, &space) {
+            Err(PersistError::SchemaVersion { found: 3, supported }) => {
                 assert_eq!(supported, SCHEMA_VERSION);
             }
             other => panic!("expected schema-version error, got {other:?}"),
@@ -1522,7 +1842,7 @@ mod tests {
 
         // Version skew: permanent, distinguishable, and fully described.
         let skewed = dir.join("skewed.json");
-        std::fs::write(&skewed, doc.replacen("\"schema_version\":4", "\"schema_version\":999", 1))
+        std::fs::write(&skewed, doc.replacen("\"schema_version\":5", "\"schema_version\":999", 1))
             .expect("write");
         let err = load_snapshot(&skewed, &space).expect_err("skewed file");
         assert!(matches!(
@@ -1531,9 +1851,31 @@ mod tests {
         ));
         let msg = err.to_string();
         assert!(
-            msg.contains("skewed.json") && msg.contains("999") && msg.contains("version 4"),
+            msg.contains("skewed.json") && msg.contains("999") && msg.contains("version 5"),
             "found-vs-expected version in message: {msg}"
         );
+
+        // In-place corruption: checksum root cause, located.
+        let rotted = dir.join("rotted.json");
+        let mut bytes = doc.clone().into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] = if bytes[mid] == b'0' { b'1' } else { b'0' };
+        std::fs::write(&rotted, &bytes).expect("write");
+        let err = load_snapshot(&rotted, &space).expect_err("rotted file");
+        assert!(
+            matches!(err.root(), PersistError::Checksum { .. } | PersistError::Parse(_)),
+            "corruption surfaces as checksum or parse, got {err:?}"
+        );
+        assert!(err.to_string().contains("rotted.json"));
+
+        // Save failures carry the path too: the parent "directory" here
+        // is a regular file, so the write cannot land.
+        let blocked = dir.join("blocker");
+        std::fs::write(&blocked, b"not a directory").expect("write");
+        let err =
+            save_snapshot(&blocked.join("x.json"), &sample_snapshot()).expect_err("blocked save");
+        assert!(matches!(err.root(), PersistError::Io(_)));
+        assert!(err.to_string().contains("x.json"), "path in message: {err}");
 
         // Foreign design: fingerprint details survive the annotation.
         let boom = chatfuzz_rtl::Boom::new(chatfuzz_rtl::BoomConfig::default());
@@ -1662,5 +2004,186 @@ mod tests {
         let doc = format!("{{\"v\":{}}}", (1u64 << 63) + 1);
         let parsed = parse_json(&doc).unwrap();
         assert_eq!(parsed.get("v").unwrap().as_u64("v").unwrap(), (1u64 << 63) + 1);
+    }
+
+    /// Three snapshots of the same campaign at growing budgets — a
+    /// miniature checkpoint history with distinguishable documents.
+    fn snapshot_series() -> Vec<CampaignSnapshot> {
+        let mut campaign = CampaignBuilder::from_factory(factory())
+            .batch_size(16)
+            .workers(2)
+            .generator(RandomRegression::new(5, 16))
+            .build();
+        [32, 64, 96]
+            .iter()
+            .map(|&budget| {
+                campaign.run_until(&[StopCondition::Tests(budget)]);
+                campaign.snapshot()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rotation_keeps_a_bounded_lineage_newest_first() {
+        let dir = std::env::temp_dir().join(format!("chatfuzz-lineage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("ckpt.json");
+        let series = snapshot_series();
+        for snapshot in &series {
+            save_snapshot_rotated(&path, snapshot, 2).expect("save");
+        }
+        // Newest at the path, predecessors behind it, depth capped at 2.
+        for (depth, expected) in [(0, &series[2]), (1, &series[1]), (2, &series[0])] {
+            let text = std::fs::read_to_string(lineage_path(&path, depth)).expect("read");
+            assert_eq!(text, snapshot_json(expected), "depth {depth}");
+        }
+        assert!(!lineage_path(&path, 3).exists(), "lineage bounded by keep");
+
+        // A healthy lineage recovers depth 0 and reports nothing amiss.
+        let space = factory()().space().clone();
+        let recovery = load_latest_valid(&path, &space);
+        assert_eq!(recovery.fallback_depth, 0);
+        assert_eq!(snapshot_json(&recovery.snapshot.expect("found")), snapshot_json(&series[2]));
+        assert!(recovery.quarantined.is_empty() && recovery.skipped.is_empty());
+        assert_eq!(recovery.checksum_failures, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_falls_back_past_corrupt_entries_and_quarantines_them() {
+        let dir = std::env::temp_dir().join(format!("chatfuzz-fallback-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("ckpt.json");
+        let series = snapshot_series();
+        for snapshot in &series {
+            save_snapshot_rotated(&path, snapshot, 2).expect("save");
+        }
+        // Tear the newest entry and bit-flip the next: one parse
+        // casualty, one checksum casualty.
+        let newest = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &newest[..newest.len() / 3]).expect("tear");
+        let older = std::fs::read_to_string(lineage_path(&path, 1)).expect("read");
+        let mut bytes = older.into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] = if bytes[mid] == b'0' { b'1' } else { b'0' };
+        std::fs::write(lineage_path(&path, 1), &bytes).expect("flip");
+
+        let space = factory()().space().clone();
+        let recovery = load_latest_valid(&path, &space);
+        assert_eq!(recovery.fallback_depth, 2, "fell back to the oldest entry");
+        assert_eq!(snapshot_json(&recovery.snapshot.expect("found")), snapshot_json(&series[0]));
+        assert_eq!(recovery.checksum_failures, 1);
+        assert_eq!(recovery.quarantined.len(), 2, "both bad files parked");
+        for parked in &recovery.quarantined {
+            assert!(parked.exists(), "quarantined file kept: {}", parked.display());
+        }
+        assert!(!path.exists(), "torn file moved aside, not left in place");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_with_every_entry_corrupt_reports_no_snapshot() {
+        let dir = std::env::temp_dir().join(format!("chatfuzz-allbad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("ckpt.json");
+        let series = snapshot_series();
+        for snapshot in &series {
+            save_snapshot_rotated(&path, snapshot, 2).expect("save");
+        }
+        for depth in 0..=2 {
+            std::fs::write(lineage_path(&path, depth), b"{\"torn").expect("corrupt");
+        }
+        let space = factory()().space().clone();
+        let recovery = load_latest_valid(&path, &space);
+        assert!(recovery.snapshot.is_none(), "caller falls back to the generation base");
+        assert_eq!(recovery.quarantined.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_stale_entries_are_skipped_with_a_named_error_not_quarantined() {
+        let dir = std::env::temp_dir().join(format!("chatfuzz-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("ckpt.json");
+        let series = snapshot_series();
+        for snapshot in &series {
+            save_snapshot_rotated(&path, snapshot, 2).expect("save");
+        }
+        // Replace the newest entry with a checksum-valid document from a
+        // schema this build no longer reads — a healthy file, not
+        // corruption. `path.1` still holds `series[1]`.
+        let stale = attach_checksum(&payload_json(&series[2]).replacen(
+            "\"schema_version\":5",
+            "\"schema_version\":3",
+            1,
+        ));
+        std::fs::write(&path, &stale).expect("write");
+
+        let space = factory()().space().clone();
+        let recovery = load_latest_valid(&path, &space);
+        assert_eq!(recovery.fallback_depth, 1, "stale entry stepped over");
+        assert_eq!(snapshot_json(&recovery.snapshot.expect("found")), snapshot_json(&series[1]));
+        assert!(recovery.quarantined.is_empty(), "healthy files are never renamed");
+        assert!(path.exists(), "stale file left exactly where it was");
+        let (skipped_path, skipped_err) = &recovery.skipped[0];
+        assert_eq!(skipped_path, &path);
+        assert!(
+            matches!(skipped_err.root(), PersistError::SchemaVersion { found: 3, .. }),
+            "named version error, got {skipped_err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_never_clobbers_an_earlier_quarantined_file() {
+        let dir = std::env::temp_dir().join(format!("chatfuzz-noclobber-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let path = dir.join("ckpt.json");
+        let space = factory()().space().clone();
+
+        // A previous recovery already parked one corpse.
+        let mut first_quarantined = path.as_os_str().to_owned();
+        first_quarantined.push(".quarantined");
+        let first_quarantined = std::path::PathBuf::from(first_quarantined);
+        std::fs::write(&first_quarantined, b"earlier corpse").expect("write");
+
+        std::fs::write(&path, b"{\"fresh corpse").expect("write");
+        let recovery = load_latest_valid(&path, &space);
+        assert!(recovery.snapshot.is_none());
+        assert_eq!(recovery.quarantined.len(), 1);
+        assert_ne!(recovery.quarantined[0], first_quarantined, "picked a fresh name");
+        assert_eq!(
+            std::fs::read(&first_quarantined).expect("read"),
+            b"earlier corpse",
+            "existing quarantined file untouched"
+        );
+        assert_eq!(std::fs::read(&recovery.quarantined[0]).expect("read"), b"{\"fresh corpse");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_absorb_accumulates_and_prefers_the_earlier_snapshot() {
+        let series = snapshot_series();
+        let mut primary =
+            Recovery { checksum_failures: 1, quarantined: vec!["a".into()], ..Recovery::default() };
+        let secondary = Recovery {
+            snapshot: Some(series[0].clone()),
+            fallback_depth: 2,
+            checksum_failures: 2,
+            quarantined: vec!["b".into()],
+            skipped: vec![("c".into(), PersistError::Parse("x".into()))],
+        };
+        primary.absorb(secondary);
+        assert_eq!(primary.fallback_depth, 2);
+        assert!(primary.snapshot.is_some());
+        assert_eq!(primary.checksum_failures, 3);
+        assert_eq!(primary.quarantined.len(), 2);
+        assert_eq!(primary.skipped.len(), 1);
+
+        // A recovery that already found a snapshot keeps it.
+        let mut found = Recovery::found(series[1].clone());
+        found.absorb(Recovery::found(series[0].clone()));
+        assert_eq!(snapshot_json(&found.snapshot.expect("kept")), snapshot_json(&series[1]));
     }
 }

@@ -396,8 +396,9 @@ impl WorkerRequest {
     }
 
     /// Writes the finished shard's snapshot where the parent expects it
-    /// (atomically, via [`persist::save_snapshot`]).
-    pub fn fulfil(&self, snapshot: &CampaignSnapshot) -> io::Result<()> {
+    /// (atomically, via [`persist::save_snapshot`]; any failure names
+    /// the output path).
+    pub fn fulfil(&self, snapshot: &CampaignSnapshot) -> Result<(), persist::PersistError> {
         persist::save_snapshot(&self.out, snapshot)
     }
 }

@@ -8,13 +8,20 @@
 //! issued ──► heartbeating ──► completed
 //!    │             │
 //!    └─────────────┴────────► revoked ──► reissued (attempt + 1)
+//!                                │
+//!                                └──► quarantined (attempts exhausted
+//!                                     or crash-looping; terminal)
 //! ```
 //!
 //! A lease that misses its heartbeat deadline is revoked and reissued
 //! under a higher *attempt* number, resuming from the worker's last
 //! auto-checkpoint. Results and checkpoints are attempt-scoped, so a
 //! zombie worker finishing a revoked attempt cannot corrupt the fleet:
-//! its late output is simply ignored.
+//! its late output is simply ignored. A lease that exhausts its attempt
+//! budget (or crash-loops without progress) is *quarantined*: its
+//! shard's last-good checkpoint still merges, the rest of the fleet
+//! continues, and the degradation is surfaced in status rather than
+//! wedging the generation.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -63,6 +70,19 @@ pub enum LeaseState {
     Completed,
     /// The previous attempt missed its deadline; a reissue is in flight.
     Revoked,
+    /// Terminal failure: the lease exhausted its attempt budget or
+    /// crash-looped. Its last-good checkpoint (if any) still merges;
+    /// no further attempts are issued.
+    Quarantined,
+}
+
+impl LeaseState {
+    /// Whether the lease can change state again. Terminal leases ignore
+    /// every further event — including duplicates a lossy transport
+    /// redelivers.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, LeaseState::Completed | LeaseState::Quarantined)
+    }
 }
 
 impl fmt::Display for LeaseState {
@@ -72,6 +92,7 @@ impl fmt::Display for LeaseState {
             LeaseState::Heartbeating => "heartbeating",
             LeaseState::Completed => "completed",
             LeaseState::Revoked => "revoked",
+            LeaseState::Quarantined => "quarantined",
         })
     }
 }

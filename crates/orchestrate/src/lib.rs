@@ -22,6 +22,8 @@
 //! issued ──► heartbeating ──► completed
 //!    │             │
 //!    └─────────────┴────────► revoked ──► reissued (attempt + 1)
+//!                                │
+//!                                └──► quarantined (terminal)
 //! ```
 //!
 //! Workers heartbeat once per batch. A lease whose worker misses its
@@ -30,6 +32,40 @@
 //! checkpoint interval of work. Reissues carry a bumped attempt number
 //! and every artefact (heartbeat, checkpoint, result) is attempt-scoped,
 //! so a zombie worker finishing a revoked attempt is simply ignored.
+//!
+//! # Recovery semantics
+//!
+//! Every failure path degrades gracefully instead of wedging the fleet:
+//!
+//! * **Checkpoint recovery walks a lineage.** Auto-checkpoints are
+//!   written with `persist::save_snapshot_rotated`, keeping the last K
+//!   generations behind the live file (`.1`, `.2`, …). Recovery uses
+//!   [`chatfuzz::persist::load_latest_valid`]: a torn or
+//!   corrupted-in-place file (every snapshot carries a content checksum
+//!   since schema v5) is renamed to `*.quarantined` — never deleted —
+//!   and the next lineage entry is tried, newest-first, across every
+//!   prior attempt, ultimately falling back to the generation's pooled
+//!   base.
+//! * **Dispatch retries with backoff.** A transient transport error
+//!   (a flaky filesystem, an injected io fault) is retried a few times
+//!   before it becomes an [`OrchestrateError`].
+//! * **Exhausted or crash-looping leases are quarantined.** A lease
+//!   that burns `max_attempts`, or keeps dying with zero progress, goes
+//!   to the terminal `Quarantined` state: its shard's last-good
+//!   checkpoint still merges into the generation, the surviving fan-out
+//!   continues, and the next generation re-splits at full width. Only a
+//!   generation in which *no* lease completed escalates to
+//!   [`OrchestrateError::LeaseExhausted`].
+//! * **Lossy delivery is tolerated.** Terminal leases ignore duplicate
+//!   and reordered transport events, so an at-least-once transport
+//!   cannot double-merge a result.
+//! * **Crash litter is swept.** Orphaned `*.tmp` files left by workers
+//!   that died mid-`temp+rename` are removed at orchestrator startup
+//!   and at every generation boundary.
+//!
+//! All of it is visible in [`OrchestratorStatus`]: quarantined leases,
+//! the deepest lineage fallback used, checksum failures stepped over,
+//! and swept temp files.
 //!
 //! # Merge-then-continue
 //!

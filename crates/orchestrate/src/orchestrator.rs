@@ -10,12 +10,20 @@
 //! than its own island. `lease_tests` is therefore the merge cadence:
 //! `lease_tests >= total_tests` means one generation and no mid-flight
 //! merge at all.
+//!
+//! Failure is expected, not exceptional: dispatches retry with backoff,
+//! a lease that exhausts `max_attempts` (or crash-loops without
+//! progress) is *quarantined* — its last-good checkpoint still merges
+//! and the generation completes on the survivors — and every recovery's
+//! degradation (fallback depth, checksum failures, swept temp files) is
+//! surfaced through [`OrchestratorStatus`].
 
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use chatfuzz::campaign::{CampaignSnapshot, StopCondition};
+use chatfuzz::persist::Recovery;
 use chatfuzz::shard::{resplit_snapshot, shard_seed, ShardError, ShardSpec, ShardedOutcome};
 use chatfuzz_baselines::ArmStatus;
 use chatfuzz_coverage::Space;
@@ -154,7 +162,19 @@ struct LeaseSlot {
     /// high-water mark nor has its progress clamped away.
     resume_tests: usize,
     result: Option<CampaignSnapshot>,
+    /// Consecutive failed attempts that made no progress past their
+    /// resume point — the crash-loop detector's counter.
+    stalled_attempts: u32,
+    /// Set when the lease is quarantined: attempts consumed and the
+    /// last failure detail, kept for the all-quarantined error path.
+    quarantined: Option<(u32, String)>,
 }
+
+/// Consecutive zero-progress failures before a lease is declared
+/// crash-looping and quarantined without burning the full attempt
+/// budget — a worker that dies before its first checkpoint every time
+/// will keep dying; retries only delay the generation.
+const CRASH_LOOP_LIMIT: u32 = 3;
 
 struct Tenant {
     config: FleetConfig,
@@ -164,6 +184,12 @@ struct Tenant {
     leases: Vec<LeaseSlot>,
     finished: Option<CampaignSnapshot>,
     revoked: u64,
+    /// Leases quarantined over the campaign's lifetime.
+    quarantined: u64,
+    /// Deepest lineage fallback any checkpoint recovery needed.
+    max_fallback_depth: usize,
+    /// Snapshot checksum failures seen while recovering checkpoints.
+    checksum_failures: usize,
     /// Active lease time accumulated over finished generations — the
     /// throughput denominator. Merge, distillation, and idle gaps
     /// between generations are excluded (they happen after the clock
@@ -248,6 +274,15 @@ pub struct CampaignStatus {
     pub tests_per_sec: f64,
     /// Leases revoked (or failed) and reissued so far.
     pub revoked_leases: u64,
+    /// Leases quarantined after exhausting retries or crash-looping —
+    /// their shards degraded to a last-good checkpoint (or nothing).
+    pub quarantined_leases: u64,
+    /// Deepest checkpoint-lineage fallback any recovery needed so far
+    /// (0 = every recovered checkpoint was the newest file).
+    pub max_fallback_depth: usize,
+    /// Snapshot checksum failures seen while recovering checkpoints —
+    /// corrupted-in-place files stepped over (and quarantined on disk).
+    pub checksum_failures: usize,
     /// Per-arm scheduler statistics from the pooled snapshot, by name.
     pub arms: Vec<(String, ArmStatus)>,
     /// Published weight-snapshot epochs of the pooled snapshot's
@@ -265,18 +300,27 @@ pub struct OrchestratorStatus {
     pub campaigns: Vec<CampaignStatus>,
     /// Live/dead view of the transport's workers.
     pub workers: Vec<WorkerStatus>,
+    /// Orphaned temp files swept from the transport's spool at startup
+    /// and at generation boundaries — litter crashed workers left
+    /// mid-`temp+rename`.
+    pub swept_tmp_files: usize,
 }
 
 /// The long-lived coordinator: registry, lease bookkeeping, merge loop.
 pub struct Orchestrator<T: Transport> {
     transport: T,
     tenants: Vec<Tenant>,
+    swept_tmp_files: usize,
 }
 
 impl<T: Transport> Orchestrator<T> {
-    /// Wraps a transport; campaigns are registered separately.
-    pub fn new(transport: T) -> Orchestrator<T> {
-        Orchestrator { transport, tenants: Vec::new() }
+    /// Wraps a transport; campaigns are registered separately. Sweeps
+    /// the transport's orphaned temp files immediately — startup is the
+    /// one point the previous incarnation's crash litter is guaranteed
+    /// not to be a live in-flight write.
+    pub fn new(mut transport: T) -> Orchestrator<T> {
+        let swept_tmp_files = transport.sweep_orphans();
+        Orchestrator { transport, tenants: Vec::new(), swept_tmp_files }
     }
 
     /// Registers a campaign and returns its slot (the `campaign` field of
@@ -289,6 +333,9 @@ impl<T: Transport> Orchestrator<T> {
             leases: Vec::new(),
             finished: None,
             revoked: 0,
+            quarantined: 0,
+            max_fallback_depth: 0,
+            checksum_failures: 0,
             active: Duration::ZERO,
             generation_started: None,
         });
@@ -322,7 +369,7 @@ impl<T: Transport> Orchestrator<T> {
             let tenant = &self.tenants[index];
             if tenant.finished.is_none()
                 && !tenant.leases.is_empty()
-                && tenant.leases.iter().all(|slot| slot.state == LeaseState::Completed)
+                && tenant.leases.iter().all(|slot| slot.state.is_terminal())
             {
                 self.finish_generation(index)?;
             }
@@ -417,6 +464,9 @@ impl<T: Transport> Orchestrator<T> {
                     tests_run,
                     tests_per_sec: if elapsed > 0.0 { tests_run as f64 / elapsed } else { 0.0 },
                     revoked_leases: tenant.revoked,
+                    quarantined_leases: tenant.quarantined,
+                    max_fallback_depth: tenant.max_fallback_depth,
+                    checksum_failures: tenant.checksum_failures,
                     arms,
                     weight_epochs,
                     leases: tenant
@@ -432,7 +482,11 @@ impl<T: Transport> Orchestrator<T> {
                 }
             })
             .collect();
-        OrchestratorStatus { campaigns, workers: self.transport.workers() }
+        OrchestratorStatus {
+            campaigns,
+            workers: self.transport.workers(),
+            swept_tmp_files: self.swept_tmp_files,
+        }
     }
 
     /// Issues every lease of the tenant's current generation.
@@ -475,23 +529,43 @@ impl<T: Transport> Orchestrator<T> {
                 tests_run: base_tests,
                 resume_tests: base_tests,
                 result: None,
+                stalled_attempts: 0,
+                quarantined: None,
             });
         }
         tenant.leases = slots;
         for order in orders {
-            self.transport.dispatch(order)?;
+            self.dispatch_with_retry(order)?;
         }
         Ok(())
     }
 
+    /// Dispatches a work order, retrying with backoff: transient
+    /// transport failures (an injected io error, a briefly-full spool)
+    /// must not take the whole fleet down with them.
+    fn dispatch_with_retry(&mut self, order: WorkOrder) -> Result<(), OrchestrateError> {
+        let mut delay = Duration::from_millis(5);
+        for _ in 0..3 {
+            if self.transport.dispatch(order.clone()).is_ok() {
+                return Ok(());
+            }
+            std::thread::sleep(delay);
+            delay *= 4;
+        }
+        self.transport.dispatch(order)
+    }
+
     /// Applies one transport event to the lease bookkeeping. Events for a
     /// superseded attempt or an older generation are dropped — that is
-    /// what makes revocation safe against zombie workers.
+    /// what makes revocation safe against zombie workers. Terminal slots
+    /// (completed *or* quarantined) ignore everything, which also makes
+    /// duplicated and reordered deliveries from a lossy transport
+    /// harmless: the first Completed wins, replays bounce off.
     fn absorb(&mut self, event: TransportEvent) -> Result<(), OrchestrateError> {
         match event {
             TransportEvent::Heartbeat { lease, attempt, tests_run, .. } => {
                 if let Some(slot) = self.slot_mut(lease, attempt) {
-                    if slot.state != LeaseState::Completed {
+                    if !slot.state.is_terminal() {
                         slot.state = LeaseState::Heartbeating;
                         slot.last_progress = Instant::now();
                         slot.tests_run = slot.tests_run.max(tests_run);
@@ -500,7 +574,7 @@ impl<T: Transport> Orchestrator<T> {
             }
             TransportEvent::Completed { lease, attempt, snapshot } => {
                 if let Some(slot) = self.slot_mut(lease, attempt) {
-                    if slot.state != LeaseState::Completed {
+                    if !slot.state.is_terminal() {
                         slot.state = LeaseState::Completed;
                         slot.tests_run = snapshot.tests_run();
                         slot.result = Some(*snapshot);
@@ -512,9 +586,8 @@ impl<T: Transport> Orchestrator<T> {
                 // Completed its snapshot is merge material, and reissuing
                 // it would re-run a finished lease (and let a zombie
                 // attempt into the next merge).
-                let live = self
-                    .slot_mut(lease, attempt)
-                    .is_some_and(|slot| slot.state != LeaseState::Completed);
+                let live =
+                    self.slot_mut(lease, attempt).is_some_and(|slot| !slot.state.is_terminal());
                 if live {
                     self.reissue(lease, &detail)?;
                 }
@@ -541,7 +614,7 @@ impl<T: Transport> Orchestrator<T> {
                 continue;
             }
             for slot in &tenant.leases {
-                if slot.state != LeaseState::Completed
+                if !slot.state.is_terminal()
                     && slot.last_progress.elapsed() > tenant.config.heartbeat_deadline
                 {
                     stale.push(slot.id);
@@ -554,10 +627,39 @@ impl<T: Transport> Orchestrator<T> {
         Ok(())
     }
 
+    /// Recovers the freshest checkpoint any attempt of a lease left,
+    /// scanning attempts newest-first and each attempt's lineage behind
+    /// it, and banks the degradation observed on the way (fallback
+    /// depth, checksum failures) into the tenant's counters.
+    fn recover_checkpoint(&mut self, lease: LeaseId, last_attempt: u32) -> Recovery {
+        let space = self.tenants[lease.campaign].config.space.clone();
+        let mut recovery = Recovery::default();
+        for attempt in (0..=last_attempt).rev() {
+            recovery.absorb(self.transport.checkpoint(lease, attempt, &space));
+            if recovery.snapshot.is_some() {
+                break;
+            }
+        }
+        let tenant = &mut self.tenants[lease.campaign];
+        if recovery.snapshot.is_some() {
+            tenant.max_fallback_depth = tenant.max_fallback_depth.max(recovery.fallback_depth);
+        }
+        tenant.checksum_failures += recovery.checksum_failures;
+        recovery
+    }
+
     /// Revokes a lease's current attempt and reissues it from the freshest
     /// checkpoint any prior attempt left — or the generation's pooled base
     /// when no checkpoint exists yet. The absolute stop condition is
     /// unchanged, so a reissued lease still lands on the same budget.
+    ///
+    /// Degradation instead of wedging: a lease that exhausts
+    /// `max_attempts`, or crash-loops ([`CRASH_LOOP_LIMIT`] consecutive
+    /// failures with zero progress), is quarantined rather than erroring
+    /// the whole orchestrator — its last-good checkpoint still merges
+    /// and the surviving fan-out carries the generation. Only a
+    /// generation with *no* completed lease at all escalates to
+    /// [`OrchestrateError::LeaseExhausted`].
     fn reissue(&mut self, lease: LeaseId, detail: &str) -> Result<(), OrchestrateError> {
         let tenant = &mut self.tenants[lease.campaign];
         let config = tenant.config.clone();
@@ -565,24 +667,42 @@ impl<T: Transport> Orchestrator<T> {
         let Some(slot) = tenant.leases.iter_mut().find(|slot| slot.id == lease) else {
             return Ok(());
         };
+        if slot.state.is_terminal() {
+            return Ok(());
+        }
         let old_attempt = slot.attempt;
         let next_attempt = old_attempt + 1;
-        if next_attempt >= config.max_attempts {
-            return Err(OrchestrateError::LeaseExhausted {
-                lease: lease.to_string(),
-                attempts: next_attempt,
-                detail: detail.to_string(),
-            });
+        let stalled =
+            if slot.tests_run > slot.resume_tests { 0 } else { slot.stalled_attempts + 1 };
+        slot.stalled_attempts = stalled;
+        self.transport.revoke(lease, old_attempt);
+        if next_attempt >= config.max_attempts || stalled >= CRASH_LOOP_LIMIT {
+            let detail = if next_attempt >= config.max_attempts {
+                detail.to_string()
+            } else {
+                format!("crash loop: {stalled} consecutive attempts with no progress ({detail})")
+            };
+            let recovery = self.recover_checkpoint(lease, old_attempt);
+            let tenant = &mut self.tenants[lease.campaign];
+            tenant.quarantined += 1;
+            if let Some(slot) = tenant.leases.iter_mut().find(|slot| slot.id == lease) {
+                slot.state = LeaseState::Quarantined;
+                slot.quarantined = Some((next_attempt, detail));
+                // The shard's last-good checkpoint becomes its merge
+                // contribution; with none, the shard contributes nothing
+                // (the pooled base already covers its starting point).
+                slot.tests_run = recovery.snapshot.as_ref().map_or(0, CampaignSnapshot::tests_run);
+                slot.resume_tests = slot.tests_run;
+                slot.result = recovery.snapshot;
+            }
+            return Ok(());
         }
         slot.state = LeaseState::Revoked;
         tenant.revoked += 1;
-        self.transport.revoke(lease, old_attempt);
         // The freshest auto-checkpoint bounds the loss to one checkpoint
         // interval; with none, the lease replays from the pooled base.
         let seed = lease_seed(config.base_seed, lease.generation, lease.index);
-        let checkpoint = (0..=old_attempt)
-            .rev()
-            .find_map(|attempt| self.transport.checkpoint(lease, attempt, &config.space));
+        let checkpoint = self.recover_checkpoint(lease, old_attempt).snapshot;
         let resume = checkpoint.or_else(|| base.as_ref().map(|b| resplit_snapshot(b, seed)));
         let stop = match &base {
             Some(b) => b.lease_stop(config.lease_tests),
@@ -612,11 +732,16 @@ impl<T: Transport> Orchestrator<T> {
             slot.tests_run = resume_tests;
             slot.resume_tests = resume_tests;
         }
-        self.transport.dispatch(order)
+        self.dispatch_with_retry(order)
     }
 
-    /// Merges a completed generation and either finishes the campaign or
-    /// re-splits the pool into the next generation's leases.
+    /// Merges a terminal generation — every lease completed or
+    /// quarantined — and either finishes the campaign or re-splits the
+    /// pool into the next generation's leases. Quarantined leases merge
+    /// their last-good checkpoint (when one was recovered), so a
+    /// degraded generation still pools every shard's salvageable
+    /// coverage; a generation where *nothing* completed escalates to
+    /// [`OrchestrateError::LeaseExhausted`] instead of merging.
     fn finish_generation(&mut self, index: usize) -> Result<(), OrchestrateError> {
         let tenant = &mut self.tenants[index];
         // Bank the generation's active span before the merge/distill
@@ -625,10 +750,29 @@ impl<T: Transport> Orchestrator<T> {
         if let Some(since) = tenant.generation_started.take() {
             tenant.active += since.elapsed();
         }
+        if !tenant.leases.iter().any(|slot| slot.state == LeaseState::Completed) {
+            let (lease, attempts, detail) = tenant
+                .leases
+                .iter()
+                .find_map(|slot| {
+                    let (attempts, detail) = slot.quarantined.clone()?;
+                    Some((slot.id.to_string(), attempts, detail))
+                })
+                .expect("an all-terminal generation with no completion has a quarantined lease");
+            return Err(OrchestrateError::LeaseExhausted { lease, attempts, detail });
+        }
         let snapshots: Vec<CampaignSnapshot> = tenant
             .leases
             .iter_mut()
-            .map(|slot| slot.result.take().expect("finish_generation runs on completed leases"))
+            .filter_map(|slot| match slot.state {
+                LeaseState::Completed => {
+                    Some(slot.result.take().expect("completed leases carry their snapshot"))
+                }
+                // A quarantined lease's result is its last-good
+                // checkpoint — absent when no attempt ever checkpointed.
+                LeaseState::Quarantined => slot.result.take(),
+                _ => unreachable!("finish_generation runs on terminal leases"),
+            })
             .collect();
         let outcome = ShardedOutcome::new(snapshots).map_err(OrchestrateError::Merge)?;
         let mut merged = match &tenant.base {
@@ -647,6 +791,12 @@ impl<T: Transport> Orchestrator<T> {
         } else {
             tenant.base = Some(merged);
             tenant.generation += 1;
+        }
+        // Generation boundary: sweep crash litter before (possibly)
+        // dispatching the next fan-out, so a crash-looping fleet never
+        // accretes unbounded `*.tmp` debris.
+        self.swept_tmp_files += self.transport.sweep_orphans();
+        if self.tenants[index].finished.is_none() {
             self.start_generation(index)?;
         }
         Ok(())
@@ -850,6 +1000,101 @@ mod tests {
         assert_eq!(arms.len(), 2);
         let total: u64 = arms.iter().map(|(_, arm)| arm.pulls).sum();
         assert_eq!(total, cursor, "dashboard pulls must sum to the bandit's lifetime count");
+    }
+
+    #[test]
+    fn a_quarantined_lease_degrades_gracefully_and_its_checkpoint_still_merges() {
+        let mut orchestrator = Orchestrator::new(NullTransport::new());
+        let campaign = orchestrator.register(FleetConfig {
+            max_attempts: 2,
+            heartbeat_deadline: Duration::from_secs(3600),
+            ..config(2, 32, 32)
+        });
+        orchestrator.step().expect("dispatch");
+        let orders: Vec<WorkOrder> = orchestrator.transport.dispatched.drain(..).collect();
+        assert_eq!(orders.len(), 2);
+
+        // Lease 1 completes; lease 0 checkpoints 16 tests, then burns
+        // its whole attempt budget without ever finishing.
+        let survivor = run_lease(&orders[1]);
+        let checkpoint = {
+            let mut campaign = (orders[0].build)(orders[0].spec).build();
+            campaign.run_until(&[StopCondition::Tests(16)]);
+            campaign.snapshot()
+        };
+        orchestrator.transport.checkpoints.insert((orders[0].lease, 0), checkpoint.clone());
+        orchestrator.transport.events.push(TransportEvent::Completed {
+            lease: orders[1].lease,
+            attempt: 0,
+            snapshot: Box::new(survivor.clone()),
+        });
+        orchestrator.transport.events.push(TransportEvent::Failed {
+            lease: orders[0].lease,
+            attempt: 0,
+            detail: "worker died".to_string(),
+        });
+        orchestrator.step().expect("first failure reissues");
+        let reissues: Vec<WorkOrder> = orchestrator.transport.dispatched.drain(..).collect();
+        assert_eq!(reissues.len(), 1);
+        assert_eq!(reissues[0].attempt, 1);
+        orchestrator.transport.events.push(TransportEvent::Failed {
+            lease: orders[0].lease,
+            attempt: 1,
+            detail: "worker died again".to_string(),
+        });
+        orchestrator
+            .step()
+            .expect("exhaustion quarantines the lease instead of wedging the generation");
+
+        assert!(orchestrator.is_done(), "the surviving lease completed the campaign");
+        let fin = orchestrator.final_snapshot(campaign).expect("merged despite the quarantine");
+        assert_eq!(
+            fin.tests_run(),
+            survivor.tests_run() + checkpoint.tests_run(),
+            "the quarantined shard's last-good checkpoint still merges"
+        );
+        assert!(fin.coverage_pct() >= survivor.coverage_pct());
+        assert!(fin.coverage_pct() >= checkpoint.coverage_pct());
+        let status = orchestrator.status();
+        assert_eq!(status.campaigns[0].quarantined_leases, 1);
+        assert_eq!(status.campaigns[0].revoked_leases, 1, "only the first failure reissued");
+        assert!(status.campaigns[0].done);
+    }
+
+    #[test]
+    fn crash_looping_leases_are_quarantined_before_the_attempt_budget() {
+        let mut orchestrator = Orchestrator::new(NullTransport::new());
+        orchestrator.register(FleetConfig {
+            max_attempts: 100,
+            heartbeat_deadline: Duration::from_secs(3600),
+            ..config(2, 32, 32)
+        });
+        orchestrator.step().expect("dispatch");
+        let orders: Vec<WorkOrder> = orchestrator.transport.dispatched.drain(..).collect();
+
+        // Lease 0 dies over and over with zero progress: the crash-loop
+        // detector must give up long before the 100-attempt budget.
+        for attempt in 0..CRASH_LOOP_LIMIT {
+            orchestrator.transport.events.push(TransportEvent::Failed {
+                lease: orders[0].lease,
+                attempt,
+                detail: "instant crash".to_string(),
+            });
+            orchestrator.step().expect("crash-looping is not an orchestrator error");
+        }
+        let status = orchestrator.status();
+        assert_eq!(status.campaigns[0].quarantined_leases, 1);
+        let slot = status.campaigns[0]
+            .leases
+            .iter()
+            .find(|l| l.id == orders[0].lease)
+            .expect("quarantined lease is still visible in status");
+        assert_eq!(slot.state, LeaseState::Quarantined);
+        assert_eq!(
+            status.campaigns[0].revoked_leases,
+            u64::from(CRASH_LOOP_LIMIT) - 1,
+            "the final failure quarantines instead of reissuing"
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::Duration;
 
-use chatfuzz::campaign::{BatchOutcome, CampaignSnapshot, StopCondition};
+use chatfuzz::campaign::{BatchOutcome, StopCondition};
+use chatfuzz::faults::FaultPlan;
+use chatfuzz::persist::Recovery;
 use chatfuzz::shard::proto::Assignment;
 use chatfuzz_coverage::Space;
 
@@ -48,13 +50,23 @@ const RESUMES: &str = "resume";
 const OUTBOX: &str = "outbox";
 const STOP_MARKER: &str = "stop";
 
+/// Worker-side protocol writes: routed through the env-driven global
+/// fault plan, so a worker process under test crashes and tears exactly
+/// where its [`chatfuzz::faults::ENV_VAR`] schedule says.
 fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    atomic_write_with(chatfuzz::faults::active(), path, contents)
+}
+
+/// The spool's one write choke point: every protocol file lands through
+/// the same faultable temp+rename dance persist uses. `plan` is an
+/// explicit orchestrator-side plan (kept off the process-global slot so
+/// parallel in-process tests don't fault each other).
+fn atomic_write_with(plan: Option<&FaultPlan>, path: &Path, contents: &str) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
+    chatfuzz::faults::atomic_write_with(plan, path, &tmp, contents.as_bytes())
 }
 
 // ---------------------------------------------------------------------------
@@ -194,6 +206,7 @@ pub struct SpoolTransport {
     children: Vec<SpoolChild>,
     inflight: Vec<Inflight>,
     serving: BTreeMap<u64, LeaseId>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl SpoolTransport {
@@ -210,7 +223,18 @@ impl SpoolTransport {
             children: Vec::new(),
             inflight: Vec::new(),
             serving: BTreeMap::new(),
+            faults: None,
         })
+    }
+
+    /// Injects an orchestrator-side fault plan: dispatch and shutdown
+    /// writes go through it, heartbeat reads are subject to its drop
+    /// schedule, and polled event batches to its duplication/reorder
+    /// schedule. Worker processes are unaffected — they read
+    /// [`chatfuzz::faults::ENV_VAR`] themselves.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> SpoolTransport {
+        self.faults = Some(plan);
+        self
     }
 
     /// Spawn `workers` copies of `program args…` (with [`ENV_SPOOL_DIR`] set
@@ -297,7 +321,8 @@ impl Transport for SpoolTransport {
             pairs.push(("resume_path", resume_path.display().to_string()));
         }
         let doc = encode_flat(pairs.iter().map(|(k, v)| (*k, v.as_str())));
-        atomic_write(&inbox, &doc).map_err(|e| fail(format!("writing lease file: {e}")))?;
+        atomic_write_with(self.faults.as_deref(), &inbox, &doc)
+            .map_err(|e| fail(format!("writing lease file: {e}")))?;
         self.inflight.push(Inflight {
             lease,
             attempt: order.attempt,
@@ -317,9 +342,15 @@ impl Transport for SpoolTransport {
         }
         let mut events = Vec::new();
         let mut still_inflight = Vec::new();
+        let faults = self.faults.clone();
         for mut entry in self.inflight.drain(..) {
-            if let Some(hb) =
-                std::fs::read_to_string(&entry.heartbeat).ok().and_then(|text| decode_flat(&text))
+            // A dropped heartbeat is only delayed: the file stays on disk
+            // and a later poll (or the next batch's rewrite) delivers it.
+            let hb_dropped = faults.as_deref().is_some_and(|plan| plan.drop_heartbeat());
+            if let Some(hb) = (!hb_dropped)
+                .then(|| std::fs::read_to_string(&entry.heartbeat).ok())
+                .flatten()
+                .and_then(|text| decode_flat(&text))
             {
                 let seq = hb.get("seq").and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
                 if seq > entry.last_seq {
@@ -359,17 +390,23 @@ impl Transport for SpoolTransport {
             }
         }
         self.inflight = still_inflight;
+        if let Some(plan) = &self.faults {
+            plan.mangle_events(&mut events);
+        }
         events
     }
 
-    fn checkpoint(
-        &self,
-        lease: LeaseId,
-        attempt: u32,
-        space: &Arc<Space>,
-    ) -> Option<CampaignSnapshot> {
+    fn checkpoint(&self, lease: LeaseId, attempt: u32, space: &Arc<Space>) -> Recovery {
         let path = crate::lease::checkpoint_path(&self.root.join(CHECKPOINTS), lease, attempt);
-        chatfuzz::load_snapshot(&path, space).ok()
+        chatfuzz::load_latest_valid(&path, space)
+    }
+
+    fn sweep_orphans(&mut self) -> usize {
+        crate::transport::sweep_tmp_files(
+            [INBOX, CLAIMED, HEARTBEATS, CHECKPOINTS, RESUMES, OUTBOX]
+                .into_iter()
+                .map(|dir| self.root.join(dir)),
+        )
     }
 
     fn revoke(&mut self, lease: LeaseId, attempt: u32) {
@@ -392,7 +429,15 @@ impl Transport for SpoolTransport {
     }
 
     fn shutdown(&mut self) {
-        let _ = atomic_write(&self.root.join(STOP_MARKER), "stop");
+        // Retry past transient injected errors: a missing stop marker
+        // would leave the worker fleet spinning forever.
+        for _ in 0..4 {
+            if atomic_write_with(self.faults.as_deref(), &self.root.join(STOP_MARKER), "stop")
+                .is_ok()
+            {
+                break;
+            }
+        }
         for entry in &mut self.children {
             let _ = entry.child.wait();
             entry.alive = false;
@@ -520,6 +565,9 @@ impl SpoolWorker {
             .auto_checkpoint(checkpoint, checkpoint_every)
             .observer(move |outcome: &BatchOutcome| {
                 seq += 1;
+                if chatfuzz::faults::active().is_some_and(|plan| plan.drop_heartbeat()) {
+                    return; // dropped: the next batch's rewrite supersedes it
+                }
                 let doc = encode_flat([
                     ("seq", seq.to_string().as_str()),
                     ("tests", outcome.tests_total.to_string().as_str()),
@@ -580,6 +628,29 @@ mod tests {
         let second = worker.claim_next().expect("second claim");
         assert_eq!(second.get("campaign").map(String::as_str), Some("c0-g0-l1-a0"));
         assert!(worker.claim_next().is_none(), "both orders are claimed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_tmp_files_are_swept_but_lineage_and_quarantine_survive() {
+        let dir = std::env::temp_dir().join(format!("chatfuzz-spool-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut transport = SpoolTransport::new(&dir).expect("spool dirs");
+        // Crash litter in two spool dirs: both the mid-rename shape
+        // (`x.json.tmp`) and the pid-suffixed shape (`x.tmp.1234`).
+        let ckpts = dir.join(CHECKPOINTS);
+        std::fs::write(dir.join(INBOX).join("c0-g0-l0-a0.json.tmp"), "torn").expect("tmp");
+        std::fs::write(ckpts.join("c0-g0-l0-a0.ckpt.tmp.1234"), "torn").expect("tmp");
+        // Survivors: the live checkpoint, its rotated lineage, and a
+        // quarantined corpse — none of which the sweep may touch.
+        for keep in ["c0.ckpt.json", "c0.ckpt.json.1", "c0.ckpt.json.quarantined"] {
+            std::fs::write(ckpts.join(keep), "{}").expect("survivor");
+        }
+        assert_eq!(transport.sweep_orphans(), 2, "exactly the two tmp orphans go");
+        assert_eq!(transport.sweep_orphans(), 0, "second sweep finds nothing");
+        for keep in ["c0.ckpt.json", "c0.ckpt.json.1", "c0.ckpt.json.quarantined"] {
+            assert!(ckpts.join(keep).exists(), "{keep} must survive the sweep");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -13,13 +13,18 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use chatfuzz::campaign::{BatchOutcome, CampaignSnapshot};
+use chatfuzz::persist::Recovery;
 use chatfuzz_coverage::Space;
 
 use crate::lease::{checkpoint_path, LeaseId, WorkOrder};
 use crate::orchestrator::OrchestrateError;
 
 /// What a transport reports back about in-flight leases.
-#[derive(Debug)]
+///
+/// Events are `Clone` because a lossy transport may deliver one more
+/// than once — the fault-injection layer duplicates and reorders polled
+/// batches, and the orchestrator's absorption must tolerate both.
+#[derive(Debug, Clone)]
 pub enum TransportEvent {
     /// The worker serving a lease made progress (one batch completed).
     Heartbeat {
@@ -72,19 +77,26 @@ pub trait Transport {
     /// Drains everything that happened since the last poll.
     fn poll(&mut self) -> Vec<TransportEvent>;
 
-    /// Loads the latest auto-checkpoint a given attempt left behind, for
-    /// reassignment after revocation.
-    fn checkpoint(
-        &self,
-        lease: LeaseId,
-        attempt: u32,
-        space: &Arc<Space>,
-    ) -> Option<CampaignSnapshot>;
+    /// Recovers the best auto-checkpoint a given attempt left behind,
+    /// for reassignment after revocation (or merge after quarantine).
+    /// The [`Recovery`] carries what was stepped over on the way —
+    /// fallback depth, checksum failures, quarantined files — so the
+    /// orchestrator can surface degradation instead of hiding it.
+    fn checkpoint(&self, lease: LeaseId, attempt: u32, space: &Arc<Space>) -> Recovery;
 
     /// Forgets a lease attempt: an undelivered order is withdrawn, and any
     /// late result from the attempt will be dropped by the orchestrator's
     /// attempt check. Default: nothing to withdraw.
     fn revoke(&mut self, _lease: LeaseId, _attempt: u32) {}
+
+    /// Sweeps orphaned temp files a crashed worker left behind
+    /// mid-`temp+rename`, returning how many were removed. Called by the
+    /// orchestrator at startup and at each generation boundary so a
+    /// crash-looping fleet never accretes unbounded litter. Default:
+    /// nothing to sweep.
+    fn sweep_orphans(&mut self) -> usize {
+        0
+    }
 
     /// Live/dead view of the fleet.
     fn workers(&self) -> Vec<WorkerStatus>;
@@ -202,13 +214,12 @@ impl Transport for LocalPoolTransport {
         self.event_rx.try_iter().collect()
     }
 
-    fn checkpoint(
-        &self,
-        lease: LeaseId,
-        attempt: u32,
-        space: &Arc<Space>,
-    ) -> Option<CampaignSnapshot> {
-        chatfuzz::load_snapshot(&checkpoint_path(&self.checkpoint_dir, lease, attempt), space).ok()
+    fn checkpoint(&self, lease: LeaseId, attempt: u32, space: &Arc<Space>) -> Recovery {
+        chatfuzz::load_latest_valid(&checkpoint_path(&self.checkpoint_dir, lease, attempt), space)
+    }
+
+    fn sweep_orphans(&mut self) -> usize {
+        sweep_tmp_files([self.checkpoint_dir.clone()])
     }
 
     fn workers(&self) -> Vec<WorkerStatus> {
@@ -236,6 +247,27 @@ impl Drop for LocalPoolTransport {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Removes every orphaned temp file directly inside the given
+/// directories and returns the count. Both temp naming schemes in the
+/// workspace — persist's `{file}.tmp` and the spool's
+/// `{stem}.tmp.{pid}` — contain `.tmp`, while real artefacts
+/// (snapshots, lineage rotations, quarantined corpses) never do, so the
+/// name test is the whole policy.
+pub(crate) fn sweep_tmp_files(dirs: impl IntoIterator<Item = PathBuf>) -> usize {
+    let mut swept = 0;
+    for dir in dirs {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let is_tmp = name.to_str().is_some_and(|n| n.contains(".tmp"));
+            if is_tmp && std::fs::remove_file(entry.path()).is_ok() {
+                swept += 1;
+            }
+        }
+    }
+    swept
 }
 
 /// An always-empty transport for tests that drive the orchestrator's
@@ -271,13 +303,11 @@ impl Transport for NullTransport {
         std::mem::take(&mut self.events)
     }
 
-    fn checkpoint(
-        &self,
-        lease: LeaseId,
-        attempt: u32,
-        _space: &Arc<Space>,
-    ) -> Option<CampaignSnapshot> {
-        self.checkpoints.get(&(lease, attempt)).cloned()
+    fn checkpoint(&self, lease: LeaseId, attempt: u32, _space: &Arc<Space>) -> Recovery {
+        match self.checkpoints.get(&(lease, attempt)) {
+            Some(snapshot) => Recovery::found(snapshot.clone()),
+            None => Recovery::default(),
+        }
     }
 
     fn revoke(&mut self, lease: LeaseId, attempt: u32) {

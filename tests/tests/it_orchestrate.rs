@@ -9,6 +9,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use chatfuzz::campaign::{CampaignBuilder, CampaignSnapshot, StopCondition};
+use chatfuzz::persist::Recovery;
 use chatfuzz::report;
 use chatfuzz::shard::{shard_seed, ShardSpec};
 use chatfuzz_coverage::Space;
@@ -241,13 +242,11 @@ impl Transport for ManualTransport {
         std::mem::take(&mut self.0.lock().unwrap().events)
     }
 
-    fn checkpoint(
-        &self,
-        lease: LeaseId,
-        attempt: u32,
-        _space: &Arc<Space>,
-    ) -> Option<CampaignSnapshot> {
-        self.0.lock().unwrap().checkpoints.get(&(lease, attempt)).cloned()
+    fn checkpoint(&self, lease: LeaseId, attempt: u32, _space: &Arc<Space>) -> Recovery {
+        match self.0.lock().unwrap().checkpoints.get(&(lease, attempt)) {
+            Some(snapshot) => Recovery::found(snapshot.clone()),
+            None => Recovery::default(),
+        }
     }
 
     fn revoke(&mut self, lease: LeaseId, attempt: u32) {
