@@ -11,11 +11,20 @@
 //! is re-executed standalone on a fresh DUT and the pooled corpus is
 //! minimised before the next generation fans out.
 //!
+//! The run is fully instrumented through `chatfuzz_telemetry`: the
+//! status refresh prints a per-generation wall-clock breakdown
+//! (dispatch vs execute vs merge vs idle), `--trace-path` streams the
+//! structured fleet timeline as JSONL, and `--metrics-path` keeps a
+//! Prometheus-style text dump current. Telemetry never perturbs the
+//! campaign: the merged result is bit-identical with or without it.
+//!
 //! ```text
 //! orchestrate [--workers N] [--fan-out N] [--lease-tests N]
 //!             [--total-tests N] [--seed N] [--target PCT] [--distill]
+//!             [--metrics-path PATH] [--trace-path PATH] [--help]
 //! ```
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -30,6 +39,7 @@ use chatfuzz_evolve::{Corpus, EvolveConfig, EvolveGenerator};
 use chatfuzz_orchestrate::{
     DistillHook, FleetConfig, LeaseState, LocalPoolTransport, Orchestrator, OrchestratorStatus,
 };
+use chatfuzz_telemetry::{names, TelemetrySink};
 
 struct Args {
     workers: usize,
@@ -39,6 +49,53 @@ struct Args {
     seed: u64,
     target: Option<f64>,
     distill: bool,
+    metrics_path: Option<PathBuf>,
+    trace_path: Option<PathBuf>,
+}
+
+fn print_help() {
+    println!(
+        "orchestrate — live merge-then-continue fleet driver\n\
+         \n\
+         USAGE: orchestrate [OPTIONS]\n\
+         \n\
+         OPTIONS:\n\
+           --workers N        worker threads in the local pool (default 4)\n\
+           --fan-out N        leases per generation (default 4)\n\
+           --lease-tests N    test budget per lease (default 256)\n\
+           --total-tests N    overall campaign budget (default 2048)\n\
+           --seed N           fleet base seed (default 5)\n\
+           --target PCT       stop at this pooled coverage percentage\n\
+           --distill          minimise pooled corpora at merge boundaries\n\
+           --metrics-path P   keep a Prometheus-style text dump current at P\n\
+           --trace-path P     stream the structured fleet timeline to P (JSONL)\n\
+           --help             this message\n\
+         \n\
+         METRICS (exposed via --metrics-path, counted whether or not it is set):\n\
+           chatfuzz_campaign_tests_total              tests executed\n\
+           chatfuzz_campaign_cycles_total             DUT cycles simulated\n\
+           chatfuzz_campaign_coverage_bins            covered bins (gauge)\n\
+           chatfuzz_campaign_mismatches_total         new unique mismatches\n\
+           chatfuzz_campaign_batch_latency_us         per-batch wall clock (histogram)\n\
+           chatfuzz_campaign_lm_tokens_total          tokens sampled by the LM arms\n\
+           chatfuzz_campaign_lm_publish_epochs        newest published weight epoch (gauge)\n\
+           chatfuzz_persist_write_us                  checkpoint write latency (histogram)\n\
+           chatfuzz_persist_writes_total              checkpoint writes\n\
+           chatfuzz_persist_recover_us                checkpoint recovery latency (histogram)\n\
+           chatfuzz_persist_checksum_failures_total   corrupt snapshots stepped over\n\
+           chatfuzz_persist_quarantined_total         corrupt snapshots quarantined on disk\n\
+           chatfuzz_faults_injected_total             injected faults that fired\n\
+           chatfuzz_fleet_heartbeat_gap_us            gap between lease heartbeats (histogram)\n\
+           chatfuzz_fleet_leases_issued_total         lease attempts dispatched\n\
+           chatfuzz_fleet_leases_revoked_total        lease attempts revoked\n\
+           chatfuzz_fleet_leases_quarantined_total    leases quarantined (terminal)\n\
+           chatfuzz_fleet_merge_us                    merge + re-split latency (histogram)\n\
+           chatfuzz_fleet_phase_dispatch_us_total     wall clock spent dispatching\n\
+           chatfuzz_fleet_phase_execute_us_total      wall clock spent executing leases\n\
+           chatfuzz_fleet_phase_merge_us_total        wall clock spent merging\n\
+           chatfuzz_fleet_phase_idle_us_total         wall clock spent idle-polling\n\
+           chatfuzz_telemetry_events_dropped_total    timeline events lost to ring overflow"
+    );
 }
 
 fn parse_args() -> Args {
@@ -50,6 +107,8 @@ fn parse_args() -> Args {
         seed: 5,
         target: None,
         distill: false,
+        metrics_path: None,
+        trace_path: None,
     };
     let mut args = std::env::args().skip(1);
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -68,7 +127,13 @@ fn parse_args() -> Args {
             "--seed" => out.seed = next(&mut args, "--seed").parse().expect("--seed"),
             "--target" => out.target = Some(next(&mut args, "--target").parse().expect("--target")),
             "--distill" => out.distill = true,
-            other => panic!("unknown argument `{other}`"),
+            "--metrics-path" => out.metrics_path = Some(next(&mut args, "--metrics-path").into()),
+            "--trace-path" => out.trace_path = Some(next(&mut args, "--trace-path").into()),
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument `{other}` (try --help)"),
         }
     }
     out
@@ -119,8 +184,11 @@ fn distill_hook() -> DistillHook {
     })
 }
 
-/// One status line per campaign, plus a fleet-health line.
-fn render(status: &OrchestratorStatus) {
+/// One status line per campaign, plus a fleet-health line. Leases that
+/// were revoked or quarantined carry *why* — heartbeat miss vs crash
+/// loop vs transport failure — so degradation is diagnosable from the
+/// dashboard, not just countable.
+fn render(status: &OrchestratorStatus, telemetry: &TelemetrySink) {
     for campaign in &status.campaigns {
         let count = |want: LeaseState| campaign.leases.iter().filter(|l| l.state == want).count();
         let arms = campaign
@@ -161,6 +229,22 @@ fn render(status: &OrchestratorStatus) {
             if campaign.done { " | DONE" } else { "" },
         );
     }
+    // The reasons behind the revocation/quarantine counts. Live leases
+    // carry their latest failure; quarantines are permanent degradation,
+    // so their reasons persist past the generation's lease list.
+    for campaign in &status.campaigns {
+        for lease in &campaign.leases {
+            if lease.state == LeaseState::Quarantined {
+                continue; // reported below, from the persistent log
+            }
+            if let Some(reason) = &lease.last_failure {
+                println!("  {} [{}] a{}: {reason}", lease.id, lease.state, lease.attempt);
+            }
+        }
+        for (lease, reason) in &campaign.quarantine_reasons {
+            println!("  {lease} [quarantined]: {reason}");
+        }
+    }
     let live = status.workers.iter().filter(|w| w.alive).count();
     let swept = if status.swept_tmp_files > 0 {
         format!(", {} orphaned tmp files swept", status.swept_tmp_files)
@@ -168,10 +252,42 @@ fn render(status: &OrchestratorStatus) {
         String::new()
     };
     println!("workers: {live} live, {} dead{swept}", status.workers.len() - live);
+    render_phases(telemetry);
+}
+
+/// The per-generation wall-clock breakdown: where the fleet's time
+/// actually went, from the cumulative phase counters.
+fn render_phases(telemetry: &TelemetrySink) {
+    let phase = |name| telemetry.counter_value(name) as f64 / 1e6;
+    let (dispatch, execute, merge, idle) = (
+        phase(names::FLEET_PHASE_DISPATCH_US),
+        phase(names::FLEET_PHASE_EXECUTE_US),
+        phase(names::FLEET_PHASE_MERGE_US),
+        phase(names::FLEET_PHASE_IDLE_US),
+    );
+    let total = dispatch + execute + merge + idle;
+    if total > 0.0 {
+        println!(
+            "phases: dispatch {dispatch:.2}s ({:.0}%) | execute {execute:.2}s ({:.0}%) \
+             | merge {merge:.2}s ({:.0}%) | idle {idle:.2}s ({:.0}%)",
+            100.0 * dispatch / total,
+            100.0 * execute / total,
+            100.0 * merge / total,
+            100.0 * idle / total,
+        );
+    }
 }
 
 fn main() {
     let args = parse_args();
+    // One sink serves the whole process: threaded into the fleet config
+    // for the orchestrator and its in-process workers, and installed
+    // globally so persist/fault instrumentation lands in the same place.
+    let telemetry = TelemetrySink::enabled();
+    if let Some(path) = &args.trace_path {
+        telemetry.trace_to(path).expect("opening --trace-path");
+    }
+    chatfuzz_telemetry::install_global(telemetry.clone());
     let space = rocket_factory()().space().clone();
     let mut config = FleetConfig {
         fan_out: args.fan_out,
@@ -179,6 +295,7 @@ fn main() {
         total_tests: args.total_tests,
         coverage_target_pct: args.target,
         heartbeat_deadline: Duration::from_secs(30),
+        telemetry: telemetry.clone(),
         ..FleetConfig::new("rocket", args.seed, space, lease_template())
     };
     if args.distill {
@@ -202,12 +319,26 @@ fn main() {
                 return;
             }
             last = Instant::now();
-            render(status);
+            render(status, &telemetry);
+            // Keep the exports current at the render cadence: the trace
+            // file tails cleanly and the metrics dump is scrape-fresh.
+            let _ = telemetry.flush_trace();
+            if let Some(path) = &args.metrics_path {
+                let _ = telemetry.write_prometheus(path);
+            }
         })
         .expect("fleet run");
 
     let merged = orchestrator.final_snapshot(campaign).expect("finished campaign");
     println!();
     println!("{}", report::markdown_summary(&merged.report()));
+    let _ = telemetry.flush_trace();
+    if let Some(path) = &args.metrics_path {
+        telemetry.write_prometheus(path).expect("writing --metrics-path");
+        println!("metrics: {}", path.display());
+    }
+    if let Some(path) = &args.trace_path {
+        println!("trace: {}", path.display());
+    }
     let _ = std::fs::remove_dir_all(&ckpt);
 }

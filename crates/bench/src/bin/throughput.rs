@@ -42,9 +42,12 @@
 //! bar), if KV-cached sampling is not at least 3× the naive sampler
 //! (the PR-5 bar), if the orchestrated merge-then-continue fleet
 //! needs more tests than the one-shot 4-shard campaign to reach the
-//! one-shot's plateau coverage (the PR-6 bar), or if the actor/learner
+//! one-shot's plateau coverage (the PR-6 bar), if the actor/learner
 //! LM campaign is not at least 5× the serialized in-line trainer
-//! (the PR-7 bar).
+//! (the PR-7 bar), or if running a campaign with a fully enabled
+//! telemetry sink costs more than 3% of wall clock over the same
+//! campaign with telemetry disabled (the PR-9 bar — the two results
+//! are also asserted bit-identical, telemetry's neutrality contract).
 //!
 //! ```text
 //! throughput [--smoke] [--check] [--out PATH]
@@ -67,6 +70,7 @@ use chatfuzz_rl::PpoConfig;
 use chatfuzz_rtl::{Dut, DutRun};
 use chatfuzz_softcore::trace::Trace;
 use chatfuzz_softcore::{Hart, Memory, SoftCore, SoftCoreConfig, SoftCoreRunner};
+use chatfuzz_telemetry::TelemetrySink;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -365,6 +369,54 @@ fn orchestrator_throughput(total_tests: usize, plateau_pct: f64) -> Orchestrator
     }
 }
 
+/// The telemetry overhead gate (PR 9): the same two-arm campaign run
+/// with a disabled sink and with a fully enabled one (metrics + events
+/// firing on every batch), best-of-`reps` each. The results must be
+/// bit-identical — telemetry observes, never perturbs — and the enabled
+/// run must stay within a few percent of the disabled wall clock.
+struct TelemetryOverhead {
+    tests: usize,
+    disabled_tests_per_sec: f64,
+    enabled_tests_per_sec: f64,
+    /// enabled wall clock / disabled wall clock (1.0 = free).
+    overhead: f64,
+}
+
+fn telemetry_overhead(tests: usize, reps: usize) -> TelemetryOverhead {
+    let seed = 5;
+    let run = |sink: TelemetrySink| {
+        let mut best = f64::INFINITY;
+        let mut canonical = String::new();
+        for _ in 0..reps {
+            let mut campaign = CampaignBuilder::from_factory(rocket_factory())
+                .batch_size(32)
+                .workers(4)
+                .generator(RandomRegression::new(seed, 16))
+                .generator(EvolveGenerator::new(EvolveConfig { seed, ..Default::default() }))
+                .scheduler(Ucb1::new(0.5).cost_normalised())
+                .telemetry(sink.clone())
+                .build();
+            let start = Instant::now();
+            let report = campaign.run_until(&[StopCondition::Tests(tests)]);
+            best = best.min(start.elapsed().as_secs_f64());
+            canonical = chatfuzz::report::json_canonical(&report);
+        }
+        (best, canonical)
+    };
+    let (disabled_dt, disabled_json) = run(TelemetrySink::disabled());
+    let (enabled_dt, enabled_json) = run(TelemetrySink::enabled());
+    assert_eq!(
+        disabled_json, enabled_json,
+        "PR-9 neutrality: an installed telemetry sink must not change the campaign result"
+    );
+    TelemetryOverhead {
+        tests,
+        disabled_tests_per_sec: tests as f64 / disabled_dt,
+        enabled_tests_per_sec: tests as f64 / enabled_dt,
+        overhead: enabled_dt / disabled_dt,
+    }
+}
+
 /// The LM sampling-path comparison (PR 5): naive per-token full forwards
 /// vs the KV-cached incremental decoder on identical work, plus an
 /// online-training LM-arm campaign.
@@ -541,6 +593,7 @@ fn main() {
     let evolve = evolve_comparison(campaign_tests);
     let orch = orchestrator_throughput(campaign_tests, evolve.plateau_pct);
     let lm = lm_throughput(args.smoke);
+    let tele = telemetry_overhead(campaign_tests, reps);
 
     let rocket_speedup = rocket_hot.tests_per_sec / rocket_naive.tests_per_sec;
     let boom_speedup = boom_hot.tests_per_sec / boom_naive.tests_per_sec;
@@ -606,6 +659,14 @@ fn main() {
         lm.al_speedup,
         lm.al_publish_epochs,
     );
+    println!(
+        "telemetry overhead over {} tests: enabled {:.0} tests/s vs disabled {:.0} \
+         ({:+.2}%), results bit-identical",
+        tele.tests,
+        tele.enabled_tests_per_sec,
+        tele.disabled_tests_per_sec,
+        100.0 * (tele.overhead - 1.0),
+    );
     match evolve.evolve_tests {
         Some(tests) => println!(
             "evolve arm reached the random plateau ({:.2}%) in {tests} tests vs random's {} \
@@ -623,7 +684,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": 5,");
+    let _ = writeln!(json, "  \"schema\": 6,");
     let _ = writeln!(json, "  \"mode\": \"{}\",", if args.smoke { "smoke" } else { "full" });
     let _ = writeln!(json, "  \"per_test_hot_path\": {{");
     let pair =
@@ -711,6 +772,12 @@ fn main() {
     let _ = writeln!(json, "    \"actor_learner_tests_per_sec\": {:.1},", lm.al_tests_per_sec);
     let _ = writeln!(json, "    \"speedup\": {:.3},", lm.al_speedup);
     let _ = writeln!(json, "    \"published_epochs\": {}", lm.al_publish_epochs);
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"telemetry_overhead\": {{");
+    let _ = writeln!(json, "    \"tests\": {},", tele.tests);
+    let _ = writeln!(json, "    \"disabled_tests_per_sec\": {:.1},", tele.disabled_tests_per_sec);
+    let _ = writeln!(json, "    \"enabled_tests_per_sec\": {:.1},", tele.enabled_tests_per_sec);
+    let _ = writeln!(json, "    \"overhead\": {:.4}", tele.overhead);
     json.push_str("  }\n}\n");
 
     std::fs::write(&args.out, &json).expect("write BENCH_throughput.json");
@@ -765,6 +832,12 @@ fn main() {
             lm.al_publish_epochs >= 1,
             "PR-7 acceptance: the actor/learner LM campaign must have published at \
              least one weight epoch"
+        );
+        assert!(
+            tele.overhead <= 1.03,
+            "PR-9 acceptance: an enabled telemetry sink must cost ≤ 3% of campaign \
+             wall clock (got {:+.2}%)",
+            100.0 * (tele.overhead - 1.0)
         );
     }
 }

@@ -36,6 +36,7 @@ use chatfuzz_coverage::{Calculator, CovMap, PointKind, Space};
 use chatfuzz_rtl::{Dut, DutRun};
 use chatfuzz_softcore::trace::Trace;
 use chatfuzz_softcore::{SoftCoreConfig, SoftCoreRunner};
+use chatfuzz_telemetry::TelemetrySink;
 use crossbeam::channel::{self, Receiver, Sender};
 
 use crate::harness::{HarnessConfig, PrecompiledHarness};
@@ -422,6 +423,7 @@ pub struct CampaignBuilder<'g> {
     resume_from: Option<CampaignSnapshot>,
     auto_checkpoint: Option<(PathBuf, usize)>,
     checkpoint_keep: usize,
+    telemetry: TelemetrySink,
 }
 
 impl<'g> CampaignBuilder<'g> {
@@ -441,6 +443,7 @@ impl<'g> CampaignBuilder<'g> {
             resume_from: None,
             auto_checkpoint: None,
             checkpoint_keep: 2,
+            telemetry: TelemetrySink::disabled(),
         }
     }
 
@@ -529,6 +532,17 @@ impl<'g> CampaignBuilder<'g> {
     pub fn auto_checkpoint(mut self, path: impl Into<PathBuf>, every_batches: usize) -> Self {
         assert!(every_batches > 0, "checkpoint cadence must be positive");
         self.auto_checkpoint = Some((path.into(), every_batches));
+        self
+    }
+
+    /// Attaches a telemetry sink: batch spans, scheduler pick/reward
+    /// events, checkpoint durations, and throughput counters flow into
+    /// it. Telemetry is strictly observational — it never touches the
+    /// campaign's RNG streams or snapshot content, so a run with any
+    /// sink (or the default disabled one) produces bit-identical
+    /// results; wall-clock readings exist only in the sink's output.
+    pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
         self
     }
 
@@ -705,6 +719,7 @@ impl<'g> CampaignBuilder<'g> {
             seed_revisions: Vec::new(),
             auto_checkpoint: self.auto_checkpoint,
             checkpoint_keep: self.checkpoint_keep,
+            telemetry: self.telemetry,
             cfg: self.cfg,
             dut_name,
             generators: self.generators,
@@ -751,6 +766,8 @@ pub struct Campaign<'g> {
     auto_checkpoint: Option<(PathBuf, usize)>,
     /// Rotated lineage depth for those checkpoints.
     checkpoint_keep: usize,
+    /// Observational instrumentation; never part of snapshots.
+    telemetry: TelemetrySink,
     dut_name: String,
     generators: Vec<Box<dyn InputGenerator + 'g>>,
     gen_stats: Vec<GeneratorStats>,
@@ -817,12 +834,19 @@ impl<'g> Campaign<'g> {
     /// Panics if `n == 0` or the worker pool died.
     pub fn step_batch_of(&mut self, n: usize) -> BatchOutcome {
         assert!(n > 0, "empty batch");
+        let batch_span = self.telemetry.now();
         let arm = self.scheduler.pick(self.generators.len());
         assert!(
             arm < self.generators.len(),
             "scheduler picked generator {arm} of {}",
             self.generators.len()
         );
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                "scheduler_pick",
+                vec![("arm", arm.into()), ("name", self.gen_stats[arm].name.as_str().into())],
+            );
+        }
 
         let batch = self.generators[arm].next_batch(n);
         assert_eq!(batch.len(), n, "generator returned a short batch");
@@ -944,6 +968,16 @@ impl<'g> Campaign<'g> {
             scores.batch_gain as f64 / n as f64,
             self.total_cycles - cycles_before,
         );
+        if self.telemetry.is_enabled() {
+            self.telemetry.event(
+                "scheduler_reward",
+                vec![
+                    ("arm", arm.into()),
+                    ("reward", (scores.batch_gain as f64 / n as f64).into()),
+                    ("cost_cycles", (self.total_cycles - cycles_before).into()),
+                ],
+            );
+        }
         let stats = &mut self.gen_stats[arm];
         stats.batches += 1;
         stats.tests += n;
@@ -966,6 +1000,34 @@ impl<'g> Campaign<'g> {
             feedback,
             wall,
         };
+        if self.telemetry.is_enabled() {
+            let batch_us = self
+                .telemetry
+                .observe_since(chatfuzz_telemetry::names::CAMPAIGN_BATCH_LATENCY_US, batch_span);
+            use chatfuzz_telemetry::names;
+            self.telemetry.counter_add(names::CAMPAIGN_TESTS, n as u64);
+            self.telemetry.counter_add(names::CAMPAIGN_CYCLES, outcome.batch_cycles);
+            self.telemetry.counter_add(names::CAMPAIGN_MISMATCHES, outcome.new_mismatches as u64);
+            self.telemetry.gauge_set(names::CAMPAIGN_COVERAGE_BINS, outcome.covered_bins as i64);
+            // The LM arms sample one 32-bit instruction per token.
+            if outcome.generator.starts_with("chatfuzz") {
+                let tokens: usize = batch.iter().map(|b| b.len() / 4).sum();
+                self.telemetry.counter_add(names::CAMPAIGN_LM_TOKENS, tokens as u64);
+            }
+            self.telemetry.event(
+                "batch",
+                vec![
+                    ("index", outcome.batch_index.into()),
+                    ("arm", outcome.generator.as_str().into()),
+                    ("tests", n.into()),
+                    ("new_bins", outcome.new_bins.into()),
+                    ("covered_bins", outcome.covered_bins.into()),
+                    ("cycles", outcome.batch_cycles.into()),
+                    ("new_mismatches", outcome.new_mismatches.into()),
+                    ("duration_us", batch_us.into()),
+                ],
+            );
+        }
         for observer in &mut self.observers {
             observer.on_batch(&outcome);
         }
@@ -1003,6 +1065,7 @@ impl<'g> Campaign<'g> {
             if let Some((path, every)) = &self.auto_checkpoint {
                 if self.batches_run.is_multiple_of(*every) {
                     let snapshot = self.snapshot();
+                    let write_span = self.telemetry.now();
                     // Rotate the lineage once; transient io errors
                     // (EINTR and friends) get a few plain-save retries
                     // on top of the already-rotated lineage. Anything
@@ -1027,6 +1090,21 @@ impl<'g> Campaign<'g> {
                         result = crate::persist::save_snapshot(path, &snapshot);
                     }
                     result.unwrap_or_else(|e| panic!("auto-checkpoint write failed: {e}"));
+                    if self.telemetry.is_enabled() {
+                        // Write metrics (duration histogram, op counter)
+                        // are recorded inside `persist::save_snapshot`
+                        // against the process-global sink; this is the
+                        // timeline view of the same write.
+                        let write_us = write_span.map_or(0, |s| s.elapsed().as_micros() as u64);
+                        self.telemetry.event(
+                            "checkpoint_write",
+                            vec![
+                                ("tests", self.tests_run.into()),
+                                ("batch", self.batches_run.into()),
+                                ("duration_us", write_us.into()),
+                            ],
+                        );
+                    }
                 }
             }
         }

@@ -225,25 +225,51 @@ impl FaultPlan {
     pub fn atomic_write(&self, path: &Path, tmp: &Path, contents: &[u8]) -> io::Result<()> {
         let op = self.persist_ops.fetch_add(1, Ordering::SeqCst) + 1;
         if self.draw(self.cfg.io_error_per_myriad) {
+            fault_fired("io_error", op, path);
             return Err(io::Error::new(
                 io::ErrorKind::Interrupted,
                 format!("injected transient io error at persist op {op}"),
             ));
         }
         let body = if self.cfg.torn_at_op == op {
+            fault_fired("torn_write", op, path);
             &contents[..contents.len().min(self.cfg.torn_keep_bytes as usize)]
         } else {
             contents
         };
         std::fs::write(tmp, body)?;
         if self.cfg.crash_at_boundary == 2 * op - 1 {
+            fault_fired("crash", op, path);
             crash(op, "temp written, before rename");
         }
         std::fs::rename(tmp, path)?;
         if self.cfg.crash_at_boundary == 2 * op {
+            fault_fired("crash", op, path);
             crash(op, "after rename");
         }
         Ok(())
+    }
+}
+
+/// Reports a fired fault-plan decision to the process-global telemetry
+/// sink. The trace is flushed eagerly: a fault is rare, and the next
+/// decision may be an abort that would otherwise take the timeline with
+/// it. Telemetry only *observes* the plan — the decision stream and the
+/// persist-op counter are untouched, so an instrumented schedule
+/// replays bit-exactly.
+fn fault_fired(fault: &'static str, op: u64, path: &Path) {
+    let sink = chatfuzz_telemetry::global();
+    if sink.is_enabled() {
+        sink.counter_add(chatfuzz_telemetry::names::FAULTS_INJECTED, 1);
+        sink.event(
+            "fault_injected",
+            vec![
+                ("fault", fault.into()),
+                ("op", op.into()),
+                ("path", path.display().to_string().into()),
+            ],
+        );
+        let _ = sink.flush_trace();
     }
 }
 

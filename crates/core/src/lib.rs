@@ -46,6 +46,13 @@
 //!   every generated test;
 //! * [`report`] — CSV/markdown/JSON renderings of campaign results.
 //!
+//! Campaigns are observable without being perturbable: a
+//! `chatfuzz_telemetry::TelemetrySink` attached via
+//! [`CampaignBuilder::telemetry`] receives batch spans, scheduler
+//! pick/reward events, checkpoint and recovery durations, and fault
+//! injections — while results stay bit-identical to an uninstrumented
+//! run (wall clock lives only in telemetry output).
+//!
 //! # Examples
 //!
 //! Fuzz a buggy RocketCore with two baseline generators multiplexed by an

@@ -1517,6 +1517,8 @@ fn read_exception(value: &Json) -> Result<Exception> {
 /// with `path` via [`PersistError::At`], like every other file-borne
 /// error in this module.
 pub fn save_snapshot(path: &Path, snapshot: &CampaignSnapshot) -> Result<()> {
+    let sink = chatfuzz_telemetry::global();
+    let span = sink.now();
     let write = || -> io::Result<()> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -1527,7 +1529,12 @@ pub fn save_snapshot(path: &Path, snapshot: &CampaignSnapshot) -> Result<()> {
         tmp.push(".tmp");
         crate::faults::atomic_write(path, Path::new(&tmp), snapshot_json(snapshot).as_bytes())
     };
-    write().map_err(|e| PersistError::from(e).at(path))
+    let result = write().map_err(|e| PersistError::from(e).at(path));
+    if sink.is_enabled() {
+        sink.observe_since(chatfuzz_telemetry::names::PERSIST_WRITE_US, span);
+        sink.counter_add(chatfuzz_telemetry::names::PERSIST_WRITES, 1);
+    }
+    result
 }
 
 /// The lineage sibling of `path` at `depth`: the file itself for depth
@@ -1596,6 +1603,35 @@ impl Recovery {
         Recovery { snapshot: Some(snapshot), ..Recovery::default() }
     }
 
+    /// A one-line human summary of what the recovery walked through —
+    /// what it landed on, how deep it had to fall back, and every
+    /// checksum failure and quarantined corpse along the way. Fleet
+    /// transports feed this line into the telemetry event stream so a
+    /// recovery is never silently absorbed.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut line = match &self.snapshot {
+            Some(snapshot) => format!(
+                "recovered tests={} fallback_depth={}",
+                snapshot.tests_run(),
+                self.fallback_depth
+            ),
+            None => "no valid checkpoint (fall back to base)".to_string(),
+        };
+        if self.checksum_failures > 0 {
+            let _ = write!(line, " checksum_failures={}", self.checksum_failures);
+        }
+        if !self.quarantined.is_empty() {
+            let names: Vec<String> =
+                self.quarantined.iter().map(|p| p.display().to_string()).collect();
+            let _ = write!(line, " quarantined=[{}]", names.join(", "));
+        }
+        if !self.skipped.is_empty() {
+            let _ = write!(line, " skipped={}", self.skipped.len());
+        }
+        line
+    }
+
     /// Folds another recovery (a deeper fallback source, e.g. an older
     /// attempt's lineage) into this one: bookkeeping accumulates, and
     /// the other's snapshot is taken only if this one found none.
@@ -1625,6 +1661,26 @@ const MAX_LINEAGE_SCAN: usize = 32;
 /// a [`Recovery`] with no snapshot, which callers treat as "resume from
 /// the generation base".
 pub fn load_latest_valid(path: &Path, space: &Arc<Space>) -> Recovery {
+    let sink = chatfuzz_telemetry::global();
+    let span = sink.now();
+    let recovery = load_latest_valid_inner(path, space);
+    if sink.is_enabled() {
+        use chatfuzz_telemetry::names;
+        sink.observe_since(names::PERSIST_RECOVER_US, span);
+        sink.counter_add(names::PERSIST_CHECKSUM_FAILURES, recovery.checksum_failures as u64);
+        sink.counter_add(names::PERSIST_QUARANTINED, recovery.quarantined.len() as u64);
+        sink.event(
+            "recovery",
+            vec![
+                ("path", path.display().to_string().into()),
+                ("summary", recovery.summary().into()),
+            ],
+        );
+    }
+    recovery
+}
+
+fn load_latest_valid_inner(path: &Path, space: &Arc<Space>) -> Recovery {
     let mut recovery = Recovery::default();
     for depth in 0..=MAX_LINEAGE_SCAN {
         let candidate = lineage_path(path, depth);

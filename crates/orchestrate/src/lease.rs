@@ -30,6 +30,7 @@ use std::sync::Arc;
 use chatfuzz::campaign::{CampaignBuilder, CampaignSnapshot, StopCondition};
 use chatfuzz::shard::ShardSpec;
 use chatfuzz_coverage::Space;
+use chatfuzz_telemetry::TelemetrySink;
 
 /// A tenant's campaign template: given a shard spec, produce a fully
 /// configured builder (factory, generators, scheduler, batch size). The
@@ -119,6 +120,10 @@ pub struct WorkOrder {
     pub build: LeaseBuilder,
     /// Coverage space, needed to load checkpoints and results.
     pub space: Arc<Space>,
+    /// The tenant's telemetry sink, attached to the lease campaign by
+    /// in-process transports (out-of-process workers fall back to their
+    /// process-global sink — a handle cannot cross an exec boundary).
+    pub telemetry: TelemetrySink,
 }
 
 impl fmt::Debug for WorkOrder {

@@ -27,6 +27,7 @@ use chatfuzz::persist::Recovery;
 use chatfuzz::shard::{resplit_snapshot, shard_seed, ShardError, ShardSpec, ShardedOutcome};
 use chatfuzz_baselines::ArmStatus;
 use chatfuzz_coverage::Space;
+use chatfuzz_telemetry::{names, TelemetrySink};
 
 use crate::lease::{DistillHook, LeaseBuilder, LeaseId, LeaseState, WorkOrder};
 use crate::transport::{Transport, TransportEvent, WorkerStatus};
@@ -107,6 +108,12 @@ pub struct FleetConfig {
     pub space: Arc<Space>,
     /// Optional corpus distillation run on each merged snapshot.
     pub distill: Option<DistillHook>,
+    /// Instrumentation sink: lease lifecycle events, heartbeat gaps,
+    /// merge durations, and phase counters flow into it, and it is
+    /// handed down to every lease campaign the local-pool transport
+    /// builds. Strictly observational — a fleet run with any sink (or
+    /// the default disabled one) produces bit-identical snapshots.
+    pub telemetry: TelemetrySink,
 }
 
 impl FleetConfig {
@@ -131,6 +138,7 @@ impl FleetConfig {
             build,
             space,
             distill: None,
+            telemetry: TelemetrySink::disabled(),
         }
     }
 }
@@ -168,6 +176,11 @@ struct LeaseSlot {
     /// Set when the lease is quarantined: attempts consumed and the
     /// last failure detail, kept for the all-quarantined error path.
     quarantined: Option<(u32, String)>,
+    /// Why the most recent attempt was revoked or quarantined —
+    /// "missed heartbeat deadline", a crash-loop verdict, or the
+    /// transport's failure detail. Kept (not just counted) so status
+    /// renderers can say *what* went wrong, not merely how often.
+    last_failure: Option<String>,
 }
 
 /// Consecutive zero-progress failures before a lease is declared
@@ -186,6 +199,9 @@ struct Tenant {
     revoked: u64,
     /// Leases quarantined over the campaign's lifetime.
     quarantined: u64,
+    /// Why each quarantine happened, by lease — quarantine is permanent
+    /// degradation, so its reasons outlive the generation's lease list.
+    quarantine_log: Vec<(LeaseId, String)>,
     /// Deepest lineage fallback any checkpoint recovery needed.
     max_fallback_depth: usize,
     /// Snapshot checksum failures seen while recovering checkpoints.
@@ -252,6 +268,9 @@ pub struct LeaseStatus {
     pub state: LeaseState,
     /// Absolute tests the serving worker last reported.
     pub tests_run: usize,
+    /// The most recent revocation/quarantine reason, if any — heartbeat
+    /// miss vs crash loop vs transport failure.
+    pub last_failure: Option<String>,
 }
 
 /// A point-in-time view of one tenant campaign.
@@ -277,6 +296,10 @@ pub struct CampaignStatus {
     /// Leases quarantined after exhausting retries or crash-looping —
     /// their shards degraded to a last-good checkpoint (or nothing).
     pub quarantined_leases: u64,
+    /// Why each quarantine happened, by lease, over the campaign's whole
+    /// lifetime — quarantine is permanent degradation, so its reasons
+    /// outlive the generation's lease list (which is cleared on merge).
+    pub quarantine_reasons: Vec<(LeaseId, String)>,
     /// Deepest checkpoint-lineage fallback any recovery needed so far
     /// (0 = every recovered checkpoint was the newest file).
     pub max_fallback_depth: usize,
@@ -334,6 +357,7 @@ impl<T: Transport> Orchestrator<T> {
             finished: None,
             revoked: 0,
             quarantined: 0,
+            quarantine_log: Vec::new(),
             max_fallback_depth: 0,
             checksum_failures: 0,
             active: Duration::ZERO,
@@ -393,7 +417,18 @@ impl<T: Transport> Orchestrator<T> {
             self.step()?;
             on_status(&self.status());
             if !self.is_done() {
+                // Idle wall clock (the poll loop's sleeps) goes to the
+                // process-global sink: per-tenant attribution would be
+                // arbitrary, and the orchestrate binary installs its
+                // sink globally anyway.
+                let idle = chatfuzz_telemetry::global().now();
                 std::thread::sleep(Duration::from_millis(2));
+                if let Some(start) = idle {
+                    chatfuzz_telemetry::global().counter_add(
+                        names::FLEET_PHASE_IDLE_US,
+                        start.elapsed().as_micros() as u64,
+                    );
+                }
             }
         }
         self.transport.shutdown();
@@ -456,6 +491,15 @@ impl<T: Transport> Orchestrator<T> {
                     .unwrap_or_default();
                 let tests_run = tenant.live_tests();
                 let elapsed = tenant.active_secs();
+                if tenant.config.telemetry.is_enabled() {
+                    let epochs: &Vec<(String, u64)> = &weight_epochs;
+                    if let Some(epoch) = epochs.iter().map(|(_, e)| *e).max() {
+                        tenant
+                            .config
+                            .telemetry
+                            .gauge_set(names::CAMPAIGN_LM_PUBLISH_EPOCHS, epoch as i64);
+                    }
+                }
                 CampaignStatus {
                     name: tenant.config.name.clone(),
                     generation: tenant.generation,
@@ -465,6 +509,7 @@ impl<T: Transport> Orchestrator<T> {
                     tests_per_sec: if elapsed > 0.0 { tests_run as f64 / elapsed } else { 0.0 },
                     revoked_leases: tenant.revoked,
                     quarantined_leases: tenant.quarantined,
+                    quarantine_reasons: tenant.quarantine_log.clone(),
                     max_fallback_depth: tenant.max_fallback_depth,
                     checksum_failures: tenant.checksum_failures,
                     arms,
@@ -477,6 +522,11 @@ impl<T: Transport> Orchestrator<T> {
                             attempt: slot.attempt,
                             state: slot.state,
                             tests_run: slot.tests_run,
+                            last_failure: slot
+                                .quarantined
+                                .as_ref()
+                                .map(|(_, detail)| detail.clone())
+                                .or_else(|| slot.last_failure.clone()),
                         })
                         .collect(),
                 }
@@ -492,6 +542,8 @@ impl<T: Transport> Orchestrator<T> {
     /// Issues every lease of the tenant's current generation.
     fn start_generation(&mut self, index: usize) -> Result<(), OrchestrateError> {
         let tenant = &mut self.tenants[index];
+        let sink = tenant.config.telemetry.clone();
+        let dispatch_span = sink.now();
         if tenant.generation_started.is_none() {
             tenant.generation_started = Some(Instant::now());
         }
@@ -520,6 +572,7 @@ impl<T: Transport> Orchestrator<T> {
                 checkpoint_every: config.checkpoint_every,
                 build: config.build.clone(),
                 space: config.space.clone(),
+                telemetry: config.telemetry.clone(),
             });
             slots.push(LeaseSlot {
                 id,
@@ -531,11 +584,38 @@ impl<T: Transport> Orchestrator<T> {
                 result: None,
                 stalled_attempts: 0,
                 quarantined: None,
+                last_failure: None,
             });
         }
         tenant.leases = slots;
+        if sink.is_enabled() {
+            sink.event(
+                "generation_start",
+                vec![
+                    ("campaign", self.tenants[index].config.name.as_str().into()),
+                    ("generation", generation.into()),
+                    ("fan_out", self.tenants[index].config.fan_out.into()),
+                    ("base_tests", base_tests.into()),
+                ],
+            );
+        }
         for order in orders {
+            if sink.is_enabled() {
+                sink.counter_add(names::FLEET_LEASES_ISSUED, 1);
+                sink.event(
+                    "lease_issued",
+                    vec![
+                        ("lease", order.lease.to_string().into()),
+                        ("attempt", order.attempt.into()),
+                        ("resume_tests", base_tests.into()),
+                    ],
+                );
+            }
             self.dispatch_with_retry(order)?;
+        }
+        if sink.is_enabled() {
+            let us = dispatch_span.map_or(0, |s| s.elapsed().as_micros() as u64);
+            sink.counter_add(names::FLEET_PHASE_DISPATCH_US, us);
         }
         Ok(())
     }
@@ -564,8 +644,13 @@ impl<T: Transport> Orchestrator<T> {
     fn absorb(&mut self, event: TransportEvent) -> Result<(), OrchestrateError> {
         match event {
             TransportEvent::Heartbeat { lease, attempt, tests_run, .. } => {
+                let sink = self.tenant_sink(lease);
                 if let Some(slot) = self.slot_mut(lease, attempt) {
                     if !slot.state.is_terminal() {
+                        if sink.is_enabled() && slot.state == LeaseState::Heartbeating {
+                            let gap = slot.last_progress.elapsed().as_micros() as u64;
+                            sink.observe(names::FLEET_HEARTBEAT_GAP_US, gap);
+                        }
                         slot.state = LeaseState::Heartbeating;
                         slot.last_progress = Instant::now();
                         slot.tests_run = slot.tests_run.max(tests_run);
@@ -573,11 +658,22 @@ impl<T: Transport> Orchestrator<T> {
                 }
             }
             TransportEvent::Completed { lease, attempt, snapshot } => {
+                let sink = self.tenant_sink(lease);
                 if let Some(slot) = self.slot_mut(lease, attempt) {
                     if !slot.state.is_terminal() {
                         slot.state = LeaseState::Completed;
                         slot.tests_run = snapshot.tests_run();
                         slot.result = Some(*snapshot);
+                        if sink.is_enabled() {
+                            sink.event(
+                                "lease_completed",
+                                vec![
+                                    ("lease", lease.to_string().into()),
+                                    ("attempt", attempt.into()),
+                                    ("tests", slot.tests_run.into()),
+                                ],
+                            );
+                        }
                     }
                 }
             }
@@ -594,6 +690,13 @@ impl<T: Transport> Orchestrator<T> {
             }
         }
         Ok(())
+    }
+
+    /// The owning tenant's sink (disabled when the lease is unknown).
+    fn tenant_sink(&self, lease: LeaseId) -> TelemetrySink {
+        self.tenants
+            .get(lease.campaign)
+            .map_or_else(TelemetrySink::disabled, |t| t.config.telemetry.clone())
     }
 
     /// The live slot for a lease, only if `attempt` is its current attempt.
@@ -645,6 +748,12 @@ impl<T: Transport> Orchestrator<T> {
             tenant.max_fallback_depth = tenant.max_fallback_depth.max(recovery.fallback_depth);
         }
         tenant.checksum_failures += recovery.checksum_failures;
+        if tenant.config.telemetry.is_enabled() {
+            tenant.config.telemetry.event(
+                "lease_recovery",
+                vec![("lease", lease.to_string().into()), ("summary", recovery.summary().into())],
+            );
+        }
         recovery
     }
 
@@ -675,6 +784,8 @@ impl<T: Transport> Orchestrator<T> {
         let stalled =
             if slot.tests_run > slot.resume_tests { 0 } else { slot.stalled_attempts + 1 };
         slot.stalled_attempts = stalled;
+        slot.last_failure = Some(detail.to_string());
+        let sink = config.telemetry.clone();
         self.transport.revoke(lease, old_attempt);
         if next_attempt >= config.max_attempts || stalled >= CRASH_LOOP_LIMIT {
             let detail = if next_attempt >= config.max_attempts {
@@ -683,8 +794,20 @@ impl<T: Transport> Orchestrator<T> {
                 format!("crash loop: {stalled} consecutive attempts with no progress ({detail})")
             };
             let recovery = self.recover_checkpoint(lease, old_attempt);
+            if sink.is_enabled() {
+                sink.counter_add(names::FLEET_LEASES_QUARANTINED, 1);
+                sink.event(
+                    "lease_quarantined",
+                    vec![
+                        ("lease", lease.to_string().into()),
+                        ("attempts", next_attempt.into()),
+                        ("reason", detail.as_str().into()),
+                    ],
+                );
+            }
             let tenant = &mut self.tenants[lease.campaign];
             tenant.quarantined += 1;
+            tenant.quarantine_log.push((lease, detail.clone()));
             if let Some(slot) = tenant.leases.iter_mut().find(|slot| slot.id == lease) {
                 slot.state = LeaseState::Quarantined;
                 slot.quarantined = Some((next_attempt, detail));
@@ -699,6 +822,17 @@ impl<T: Transport> Orchestrator<T> {
         }
         slot.state = LeaseState::Revoked;
         tenant.revoked += 1;
+        if sink.is_enabled() {
+            sink.counter_add(names::FLEET_LEASES_REVOKED, 1);
+            sink.event(
+                "lease_revoked",
+                vec![
+                    ("lease", lease.to_string().into()),
+                    ("attempt", old_attempt.into()),
+                    ("reason", detail.into()),
+                ],
+            );
+        }
         // The freshest auto-checkpoint bounds the loss to one checkpoint
         // interval; with none, the lease replays from the pooled base.
         let seed = lease_seed(config.base_seed, lease.generation, lease.index);
@@ -718,6 +852,7 @@ impl<T: Transport> Orchestrator<T> {
             checkpoint_every: config.checkpoint_every,
             build: config.build.clone(),
             space: config.space.clone(),
+            telemetry: config.telemetry.clone(),
         };
         // The new attempt starts over from its resume snapshot: reset
         // the progress counters to that point so the dead attempt's
@@ -732,6 +867,17 @@ impl<T: Transport> Orchestrator<T> {
             slot.tests_run = resume_tests;
             slot.resume_tests = resume_tests;
         }
+        if sink.is_enabled() {
+            sink.counter_add(names::FLEET_LEASES_ISSUED, 1);
+            sink.event(
+                "lease_issued",
+                vec![
+                    ("lease", lease.to_string().into()),
+                    ("attempt", next_attempt.into()),
+                    ("resume_tests", resume_tests.into()),
+                ],
+            );
+        }
         self.dispatch_with_retry(order)
     }
 
@@ -744,12 +890,17 @@ impl<T: Transport> Orchestrator<T> {
     /// [`OrchestrateError::LeaseExhausted`] instead of merging.
     fn finish_generation(&mut self, index: usize) -> Result<(), OrchestrateError> {
         let tenant = &mut self.tenants[index];
+        let sink = tenant.config.telemetry.clone();
         // Bank the generation's active span before the merge/distill
         // work below — that time is orchestrator overhead, not worker
         // throughput, and stays out of the `tests_per_sec` denominator.
         if let Some(since) = tenant.generation_started.take() {
+            if sink.is_enabled() {
+                sink.counter_add(names::FLEET_PHASE_EXECUTE_US, since.elapsed().as_micros() as u64);
+            }
             tenant.active += since.elapsed();
         }
+        let merge_span = sink.now();
         if !tenant.leases.iter().any(|slot| slot.state == LeaseState::Completed) {
             let (lease, attempts, detail) = tenant
                 .leases
@@ -786,6 +937,23 @@ impl<T: Transport> Orchestrator<T> {
         let budget_done = merged.tests_run() >= tenant.config.total_tests;
         let target_done =
             tenant.config.coverage_target_pct.is_some_and(|target| merged.coverage_pct() >= target);
+        if sink.is_enabled() {
+            let merge_us = merge_span.map_or(0, |s| s.elapsed().as_micros() as u64);
+            sink.observe(names::FLEET_MERGE_US, merge_us);
+            sink.counter_add(names::FLEET_PHASE_MERGE_US, merge_us);
+            sink.event(
+                "generation_merge",
+                vec![
+                    ("campaign", tenant.config.name.as_str().into()),
+                    ("generation", tenant.generation.into()),
+                    ("tests", merged.tests_run().into()),
+                    ("coverage_pct", merged.coverage_pct().into()),
+                    ("distilled", u64::from(tenant.config.distill.is_some()).into()),
+                    ("resplit", u64::from(!(budget_done || target_done)).into()),
+                    ("duration_us", merge_us.into()),
+                ],
+            );
+        }
         if budget_done || target_done {
             tenant.finished = Some(merged);
         } else {

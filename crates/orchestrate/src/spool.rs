@@ -48,6 +48,7 @@ const HEARTBEATS: &str = "hb";
 const CHECKPOINTS: &str = "ckpt";
 const RESUMES: &str = "resume";
 const OUTBOX: &str = "outbox";
+const TRACES: &str = "trace";
 const STOP_MARKER: &str = "stop";
 
 /// Worker-side protocol writes: routed through the env-driven global
@@ -398,7 +399,9 @@ impl Transport for SpoolTransport {
 
     fn checkpoint(&self, lease: LeaseId, attempt: u32, space: &Arc<Space>) -> Recovery {
         let path = crate::lease::checkpoint_path(&self.root.join(CHECKPOINTS), lease, attempt);
-        chatfuzz::load_latest_valid(&path, space)
+        let recovery = chatfuzz::load_latest_valid(&path, space);
+        crate::transport::log_checkpoint_recovery(lease, attempt, &recovery);
+        recovery
     }
 
     fn sweep_orphans(&mut self) -> usize {
@@ -560,8 +563,33 @@ impl SpoolWorker {
             chatfuzz::load_snapshot(Path::new(path), space).expect("spool resume snapshot loads")
         });
         let pid = std::process::id();
+        let lease = LeaseId {
+            campaign: field("lease_campaign") as usize,
+            generation: field("lease_generation"),
+            index: field("lease_index") as usize,
+        };
+        // A TelemetrySink handle cannot cross the exec boundary, so the
+        // worker falls back to its process-global sink. When one is
+        // installed, the lease's timeline lands in an attempt-scoped
+        // trace file next to its other artefacts — same stem, so a
+        // revoked attempt's late events never mix with its reissue's.
+        let sink = chatfuzz_telemetry::global().clone();
+        if sink.is_enabled() {
+            let stem = artefact_stem(lease, attempt as u32);
+            let trace = self.root.join(TRACES).join(format!("{stem}.trace.jsonl"));
+            let _ = sink.trace_to(&trace);
+            sink.event(
+                "lease_serving",
+                vec![
+                    ("lease", lease.to_string().into()),
+                    ("attempt", attempt.into()),
+                    ("pid", u64::from(pid).into()),
+                ],
+            );
+        }
         let mut seq: u64 = 0;
         let mut builder = (build)(assignment.spec)
+            .telemetry(sink.clone())
             .auto_checkpoint(checkpoint, checkpoint_every)
             .observer(move |outcome: &BatchOutcome| {
                 seq += 1;
@@ -583,6 +611,9 @@ impl SpoolWorker {
         session.run_until(&[stop]);
         chatfuzz::save_snapshot(assignment.out_path(), &session.snapshot())
             .expect("spool result snapshot writes");
+        // Drain this lease's timeline before the claim loop moves on —
+        // the next order may retarget the trace to a different stem.
+        let _ = sink.flush_trace();
     }
 }
 

@@ -166,6 +166,7 @@ fn run_order(
     let heartbeat_tx = event_tx.clone();
     let outcome = catch_unwind(AssertUnwindSafe(move || {
         let mut builder = (order.build)(order.spec)
+            .telemetry(order.telemetry)
             .auto_checkpoint(
                 checkpoint_path(checkpoint_dir, lease, attempt),
                 order.checkpoint_every,
@@ -215,7 +216,12 @@ impl Transport for LocalPoolTransport {
     }
 
     fn checkpoint(&self, lease: LeaseId, attempt: u32, space: &Arc<Space>) -> Recovery {
-        chatfuzz::load_latest_valid(&checkpoint_path(&self.checkpoint_dir, lease, attempt), space)
+        let recovery = chatfuzz::load_latest_valid(
+            &checkpoint_path(&self.checkpoint_dir, lease, attempt),
+            space,
+        );
+        log_checkpoint_recovery(lease, attempt, &recovery);
+        recovery
     }
 
     fn sweep_orphans(&mut self) -> usize {
@@ -246,6 +252,25 @@ impl Transport for LocalPoolTransport {
 impl Drop for LocalPoolTransport {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Logs a checkpoint recovery's one-line [`Recovery::summary`] through
+/// the process-global telemetry stream, so neither transport silently
+/// absorbs fallback depth or quarantines on the reassignment path. The
+/// per-file persist metrics are already banked by `load_latest_valid`
+/// itself; this event adds the lease context.
+pub(crate) fn log_checkpoint_recovery(lease: LeaseId, attempt: u32, recovery: &Recovery) {
+    let sink = chatfuzz_telemetry::global();
+    if sink.is_enabled() {
+        sink.event(
+            "checkpoint_recovery",
+            vec![
+                ("lease", lease.to_string().into()),
+                ("attempt", attempt.into()),
+                ("summary", recovery.summary().into()),
+            ],
+        );
     }
 }
 

@@ -30,6 +30,7 @@ use chatfuzz::report;
 use chatfuzz::shard::ShardSpec;
 use chatfuzz_baselines::{InputGenerator, RandomRegression};
 use chatfuzz_orchestrate::{FleetConfig, LeaseBuilder, LocalPoolTransport, Orchestrator};
+use chatfuzz_telemetry::TelemetrySink;
 use chatfuzz_tests::rocket_factory;
 
 const SEED: u64 = 47;
@@ -232,7 +233,11 @@ fn torn_checkpoints_are_quarantined_and_lineage_recovers() {
 /// Graceful fleet degradation end to end: one shard's lease dies on
 /// every attempt (its template panics before the campaign even builds),
 /// the crash-loop detector quarantines it, and the surviving shards
-/// still complete the campaign with their merged coverage intact.
+/// still complete the campaign with their merged coverage intact. The
+/// fleet runs fully instrumented, streaming its timeline to
+/// `target/it-faults/fleet-quarantine.trace.jsonl` — left behind for CI
+/// upload when the test fails, removed on success — and the quarantine
+/// must be visible on it, reason and all.
 #[test]
 fn a_fleet_with_one_quarantined_lease_still_completes() {
     let fan_out = 3;
@@ -248,12 +253,17 @@ fn a_fleet_with_one_quarantined_lease_still_completes() {
     let space = rocket_factory()().space().clone();
     let ckpt_dir = artefact_root().join("fleet-quarantine");
     let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let trace_path = artefact_root().join("fleet-quarantine.trace.jsonl");
+    let _ = std::fs::remove_file(&trace_path);
+    let sink = TelemetrySink::enabled();
+    sink.trace_to(&trace_path).expect("fleet trace file");
     let mut orchestrator = Orchestrator::new(LocalPoolTransport::new(2, &ckpt_dir));
     let campaign = orchestrator.register(FleetConfig {
         fan_out,
         lease_tests,
         total_tests: (fan_out - 1) * lease_tests,
         heartbeat_deadline: Duration::from_secs(3600),
+        telemetry: sink.clone(),
         ..FleetConfig::new("rocket", SEED, space, template.clone())
     });
     orchestrator.run_to_completion().expect("survivors carry the generation");
@@ -279,5 +289,24 @@ fn a_fleet_with_one_quarantined_lease_still_completes() {
     let status = orchestrator.status();
     assert_eq!(status.campaigns[0].quarantined_leases, 1);
     assert!(status.campaigns[0].done);
+    // The quarantine carries its *reason* into the status endpoint, even
+    // after generation completion clears the live lease list…
+    let (lease, reason) =
+        status.campaigns[0].quarantine_reasons.first().expect("quarantine records why");
+    assert_eq!(lease.index, 0, "shard 0 is the one the fault plan kills");
+    assert!(
+        reason.contains("injected: shard 0 always dies"),
+        "the panic message must survive into the campaign status, got: {reason}"
+    );
+    // …and onto the exported timeline, alongside the lease bookkeeping.
+    sink.flush_trace().expect("flush fleet trace");
+    let trace = std::fs::read_to_string(&trace_path).expect("fleet trace exists");
+    assert!(
+        trace.lines().any(|l| l.contains("\"kind\":\"lease_quarantined\"")),
+        "quarantine must appear on the fleet timeline"
+    );
+    assert!(trace.lines().any(|l| l.contains("\"kind\":\"generation_merge\"")));
+    assert_eq!(sink.counter_value(chatfuzz_telemetry::names::FLEET_LEASES_QUARANTINED), 1);
     let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let _ = std::fs::remove_file(&trace_path);
 }
